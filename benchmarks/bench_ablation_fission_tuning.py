@@ -1,0 +1,58 @@
+"""Ablation: fission schedule tuning -- stream count and segment size.
+
+The paper states at least three streams are needed to fully exploit the
+C2070's two copy engines + compute overlap (SS IV-B).  This ablation
+verifies that claim quantitatively and sweeps the segment size, showing
+the trade-off between per-segment overheads (small segments) and
+fill/drain pipeline bubbles (huge segments).
+"""
+
+from repro.bench import format_series, format_table, print_header
+from repro.core.fission import FissionConfig
+from repro.runtime import ExecutionConfig, Strategy
+from repro.runtime.select_chain import run_select_chain
+
+N = 1_000_000_000
+
+
+def _measure():
+    by_streams = []
+    for streams in (1, 2, 3, 4, 6):
+        cfg = ExecutionConfig(
+            strategy=Strategy.FISSION,
+            fission=FissionConfig(num_streams=streams))
+        r = run_select_chain(N, 1, 0.5, Strategy.FISSION, config=cfg)
+        by_streams.append([streams, r.throughput / 1e9])
+
+    by_segment = []
+    for seg_mb in (4, 16, 48, 96, 256, 1024):
+        cfg = ExecutionConfig(
+            strategy=Strategy.FISSION,
+            fission=FissionConfig(target_segment_bytes=seg_mb << 20))
+        r = run_select_chain(N, 1, 0.5, Strategy.FISSION, config=cfg)
+        by_segment.append([seg_mb, r.throughput / 1e9])
+    return by_streams, by_segment
+
+
+def test_ablation_fission_tuning(benchmark, device):
+    by_streams, by_segment = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header("Ablation: fission tuning",
+                 "stream count and segment size, 1G-element SELECT", device)
+    print(format_table(["# streams", "GB/s"], by_streams, width=12))
+    print(format_series("segment sweep", [r[0] for r in by_segment],
+                        [r[1] for r in by_segment], unit="GB/s over seg MB"))
+
+    tput = dict(by_streams)
+    # the paper's claim: three streams needed for full overlap;
+    # more than three adds nothing (two copy engines + one compute queue)
+    assert tput[2] > tput[1]
+    assert tput[3] > tput[2] * 0.999
+    assert abs(tput[6] - tput[3]) / tput[3] < 0.05
+
+    seg = dict(by_segment)
+    best = max(seg.values())
+    # mid-size segments are within a few % of the best; the 1 GiB segments
+    # lose to fill/drain bubbles
+    assert seg[96] > 0.95 * best
+    assert seg[1024] < best

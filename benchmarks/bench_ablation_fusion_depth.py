@@ -1,0 +1,65 @@
+"""Ablation: how deep should fusion go? (the SS III-C register caveat)
+
+"Fusing too many kernels may cause problems [because of] increased
+register (and shared memory) pressure.  This can increase spill code or
+have adverse cache effects."
+
+This ablation fuses ever-longer SELECT chains (distinct predicate fields,
+so register demand grows) and reports compute throughput plus the cost
+model's marginal decision at each depth.
+"""
+
+from repro.bench import format_table, print_header
+from repro.core.cost import FusionCostModel
+from repro.core.opmodels import chain_for_region
+from repro.plans import Plan
+from repro.ra import Field
+
+N = 1 << 22
+MAX_DEPTH = 12
+
+
+def _measure(device):
+    plan = Plan()
+    node = plan.source("in", row_nbytes=4)
+    nodes = []
+    for i in range(MAX_DEPTH):
+        node = plan.select(node, Field(f"c{i}") < i + 1, name=f"s{i}")
+        nodes.append(node)
+
+    cm = FusionCostModel(device)
+    rows = []
+    for depth in range(2, MAX_DEPTH + 1):
+        chain = chain_for_region(nodes[:depth])
+        regs = max(k.regs_per_thread for k in chain.kernels)
+        fused_t = cm.region_time(nodes[:depth], N)
+        unfused_t = cm.unfused_time(nodes[:depth], N)
+        decision = cm.evaluate(nodes[:depth - 1], nodes[depth - 1], N)
+        rows.append([depth, regs, fused_t * 1e3, unfused_t * 1e3,
+                     unfused_t / fused_t,
+                     "FUSE" if decision.fuse else "stop"])
+    return rows
+
+
+def test_ablation_fusion_depth(benchmark, device):
+    rows = benchmark.pedantic(lambda: _measure(device), rounds=1, iterations=1)
+
+    print_header("Ablation: fusion depth",
+                 "register pressure vs fused-chain length", device)
+    print(format_table(
+        ["depth", "regs/thread", "fused ms", "unfused ms", "speedup",
+         "marginal decision"], rows, width=14))
+
+    speedups = {r[0]: r[4] for r in rows}
+    regs = {r[0]: r[1] for r in rows}
+    decisions = {r[0]: r[5] for r in rows}
+
+    # shallow fusion always wins
+    assert speedups[2] > 1.3
+    # register demand grows monotonically with depth
+    assert all(regs[d + 1] > regs[d] for d in range(2, MAX_DEPTH))
+    # past the Fermi budget the advantage collapses and the model says stop
+    deep = max(speedups)
+    assert any(d == "stop" for d in decisions.values())
+    stop_depth = min(d for d, v in decisions.items() if v == "stop")
+    assert speedups[stop_depth] < deep

@@ -1,0 +1,57 @@
+"""Extension: fusion across queries (SS III-A).
+
+K analytic queries filter the same fact table.  Comparing the three
+sharing regimes quantifies what the paper's "apply kernel fusion across
+queries" remark is worth: deduplicating the upload, then sharing the scan
+itself via pattern-(c) multi-output kernels.
+"""
+
+from repro.bench import format_table, print_header
+from repro.plans import Plan
+from repro.ra import AggSpec, Field
+from repro.runtime.workload import QueryWorkload, WorkloadScheduler
+
+N = 200_000_000
+
+
+def _query(i):
+    plan = Plan(name=f"query{i}")
+    t = plan.source("lineitem", row_nbytes=4)
+    node = plan.select(t, Field("x") < 10 * (i + 1), selectivity=0.2,
+                       name="filter")
+    plan.aggregate(node, [], {"n": AggSpec("count")}, name="count")
+    return plan
+
+
+def _measure():
+    sched = WorkloadScheduler()
+    rows = {"lineitem": N}
+    out = []
+    for k in (2, 4, 6):
+        workload = QueryWorkload(plans=[_query(i) for i in range(k)])
+        results = sched.compare(workload, rows)
+        iso = results["isolated"].makespan
+        out.append([
+            k,
+            iso * 1e3,
+            results["shared_source"].makespan * 1e3,
+            results["cross_query_fused"].makespan * 1e3,
+            iso / results["cross_query_fused"].makespan,
+        ])
+    return out
+
+
+def test_ext_cross_query_fusion(benchmark, device):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header("Extension: cross-query fusion",
+                 "K queries sharing one fact-table scan", device)
+    print(format_table(
+        ["K queries", "isolated ms", "shared src ms", "fused ms",
+         "total speedup"], rows, width=14))
+
+    speed = {r[0]: r[4] for r in rows}
+    assert speed[2] > 1.5          # upload dedup alone is big
+    assert speed[4] > speed[2]     # and grows with the number of queries
+    for r in rows:
+        assert r[3] < r[2] < r[1]  # fused < shared < isolated

@@ -1,0 +1,42 @@
+"""Extension: hybrid CPU+GPU execution (the paper's Ocelot future work).
+
+"It is possible to execute fused kernels on both the CPU and GPU to fully
+utilize the available computation power."  This bench splits the 2x SELECT
+between the (PCIe-bound) GPU pipeline and the host CPU and measures the
+gain over GPU-only execution at the balanced split.
+"""
+
+from repro.bench import format_table, print_header
+from repro.runtime.hybrid import balance_split, run_hybrid_select
+
+N = 1_000_000_000
+
+
+def _measure():
+    rows = []
+    for frac in (0.0, 0.1, 0.2, None, 0.4, 0.6, 1.0):
+        r = run_hybrid_select(N, cpu_fraction=frac)
+        rows.append([
+            "auto" if frac is None else f"{frac:.1f}",
+            r.cpu_fraction, r.gpu_time * 1e3, r.cpu_time * 1e3,
+            r.throughput / 1e9,
+        ])
+    return rows
+
+
+def test_ext_hybrid_cpu_gpu(benchmark, device):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header("Extension: hybrid CPU+GPU",
+                 "2x SELECT split across host and device", device)
+    print(format_table(["cpu share", "actual", "gpu ms", "cpu ms", "GB/s"],
+                       rows, width=12))
+
+    tput = {r[0]: r[4] for r in rows}
+    auto = tput["auto"]
+    assert auto > tput["0.0"]          # beats GPU-only
+    assert auto > tput["1.0"]          # beats CPU-only
+    assert auto >= max(tput.values()) * 0.99  # the balanced split is best
+
+    f = balance_split(N)
+    assert 0.05 < f < 0.5  # CPU contributes a real but minority share

@@ -1,0 +1,97 @@
+"""Extension: fusion benefit per Figure-2 pattern.
+
+The paper evaluates fusion on pattern (a) (SELECT chains) and, within
+Q1/Q21, on (b)/(e)/(g)/(h).  This bench builds a representative plan for
+*each* pattern and measures the compute-only fusion gain, quantifying
+which combinations pay the most.
+"""
+
+from repro.bench import format_table, print_header
+from repro.plans import Plan
+from repro.ra import AggSpec, Const, Field
+from repro.runtime import ExecutionConfig, Executor, Strategy
+
+N = 100_000_000
+
+
+def _plans():
+    out = {}
+
+    # (a) SELECT -> SELECT
+    p = Plan(name="a")
+    n = p.source("t", row_nbytes=4)
+    n = p.select(n, Field("x") < 1, selectivity=0.5, name="s0")
+    p.select(n, Field("x") < 2, selectivity=0.5, name="s1")
+    out["a: select->select"] = (p, {"t": N})
+
+    # (b) JOIN -> JOIN (gather joins, as Q1's column merges)
+    p = Plan(name="b")
+    n = p.source("t", row_nbytes=4)
+    c1 = p.source("c1", row_nbytes=4)
+    c2 = p.source("c2", row_nbytes=4)
+    n = p.join(n, c1, gather=True, out_row_nbytes=8, name="j0")
+    p.join(n, c2, gather=True, out_row_nbytes=12, name="j1")
+    out["b: join->join"] = (p, {"t": N, "c1": N, "c2": N})
+
+    # (d) JOIN -> SELECT
+    p = Plan(name="d")
+    n = p.source("t", row_nbytes=4)
+    c = p.source("c", row_nbytes=4)
+    n = p.join(n, c, gather=True, out_row_nbytes=8, name="j")
+    p.select(n, Field("x") < 1, selectivity=0.5, name="s")
+    out["d: join->select"] = (p, {"t": N, "c": N})
+
+    # (e) JOIN -> ARITH
+    p = Plan(name="e")
+    n = p.source("t", row_nbytes=4)
+    c = p.source("c", row_nbytes=4)
+    n = p.join(n, c, gather=True, out_row_nbytes=8, name="j")
+    p.arith(n, {"y": Field("x") * Const(2.0)}, name="ar")
+    out["e: join->arith"] = (p, {"t": N, "c": N})
+
+    # (g) SELECT -> AGGREGATE
+    p = Plan(name="g")
+    n = p.source("t", row_nbytes=4)
+    n = p.select(n, Field("x") < 1, selectivity=0.5, name="s")
+    p.aggregate(n, [], {"n": AggSpec("count")}, name="agg")
+    out["g: select->aggregate"] = (p, {"t": N})
+
+    # (h) ARITH -> PROJECT
+    p = Plan(name="h")
+    n = p.source("t", row_nbytes=8)
+    n = p.arith(n, {"total": (Const(1.0) - Field("discount")) * Field("price")},
+                name="ar")
+    p.project(n, ["total"], out_row_nbytes=8, name="proj")
+    out["h: arith->project"] = (p, {"t": N})
+
+    return out
+
+
+def _measure(executor):
+    rows_out = []
+    cfg = dict(include_transfers=False)
+    for label, (plan, rows) in _plans().items():
+        serial = executor.run(plan, rows,
+                              ExecutionConfig(strategy=Strategy.SERIAL, **cfg))
+        fused = executor.run(plan, rows,
+                             ExecutionConfig(strategy=Strategy.FUSED, **cfg))
+        rows_out.append([label, serial.makespan * 1e3, fused.makespan * 1e3,
+                         serial.makespan / fused.makespan])
+    return rows_out
+
+
+def test_ext_pattern_fusion_gains(benchmark, executor, device):
+    rows = benchmark.pedantic(lambda: _measure(executor), rounds=1, iterations=1)
+
+    print_header("Extension: per-pattern fusion gains",
+                 "compute-only speedup for each Figure-2 pattern", device)
+    print(format_table(["pattern", "unfused ms", "fused ms", "speedup"],
+                       rows, width=22))
+
+    gains = {r[0].split(":")[0]: r[3] for r in rows}
+    # every pattern benefits
+    assert all(g > 1.1 for g in gains.values()), gains
+    # chains whose intermediate is wide (join -> consumer) benefit most:
+    # fusing avoids materializing the joined tuple
+    assert gains["d"] > gains["a"]
+    assert max(gains.values()) > 1.8

@@ -1,0 +1,67 @@
+"""Extension: TPC-H Q6 -- whole-query fusion (no barrier anywhere).
+
+Q6 is the limiting case of the paper's Figure-2 patterns: three SELECTs,
+ARITH, and a global AGGREGATE chain with purely elementwise dependences,
+so the *entire query* fuses into a single kernel.  This bench measures the
+upper bound of fusion's compute benefit on a real query shape and shows
+that, end to end, the query then becomes purely PCIe-bound -- the paper's
+motivation for combining fusion with fission.
+"""
+
+from repro.bench import PaperComparison, format_table, print_header
+from repro.runtime import ExecutionConfig, Strategy
+from repro.simgpu import EventKind
+from repro.tpch import build_q6_plan, q6_source_rows
+
+N = 6_000_000
+
+
+def _measure(executor):
+    plan = build_q6_plan()
+    rows = q6_source_rows(N)
+    out = {}
+    for s in (Strategy.SERIAL, Strategy.FUSED, Strategy.FUSED_FISSION):
+        out[s] = executor.run(plan, rows, ExecutionConfig(strategy=s))
+    compute = {}
+    for s in (Strategy.SERIAL, Strategy.FUSED):
+        compute[s] = executor.run(
+            plan, rows, ExecutionConfig(strategy=s, include_transfers=False))
+    return out, compute
+
+
+def test_ext_q6_whole_query_fusion(benchmark, executor, device):
+    out, compute = benchmark.pedantic(lambda: _measure(executor),
+                                      rounds=1, iterations=1)
+
+    print_header("Extension: TPC-H Q6", "whole-query fusion into one kernel",
+                 device)
+    base = out[Strategy.SERIAL].makespan
+    rows = [
+        ["not optimized", out[Strategy.SERIAL].makespan * 1e3, 1.0,
+         len(out[Strategy.SERIAL].timeline.filter(EventKind.KERNEL))],
+        ["fusion", out[Strategy.FUSED].makespan * 1e3,
+         out[Strategy.FUSED].makespan / base,
+         len(out[Strategy.FUSED].timeline.filter(EventKind.KERNEL))],
+        ["fusion+fission", out[Strategy.FUSED_FISSION].makespan * 1e3,
+         out[Strategy.FUSED_FISSION].makespan / base,
+         len(out[Strategy.FUSED_FISSION].timeline.filter(EventKind.KERNEL))],
+    ]
+    print(format_table(["method", "ms", "normalized", "# kernels"], rows,
+                       width=15))
+
+    compute_gain = (compute[Strategy.SERIAL].makespan
+                    / compute[Strategy.FUSED].makespan)
+    total_gain = (base / out[Strategy.FUSED_FISSION].makespan - 1) * 100
+    io_share = out[Strategy.FUSED].io_time / out[Strategy.FUSED].makespan
+    cmp = PaperComparison("Q6 extension (no paper baseline; bounds)")
+    cmp.add("compute-only fusion speedup (x)", 1.8, compute_gain)
+    cmp.add("fused end-to-end PCIe share (%)", 90.0, io_share * 100)
+    cmp.add("fusion+fission total gain (%)", 10.0, total_gain)
+    cmp.print()
+
+    assert len(out[Strategy.FUSED].timeline.filter(EventKind.KERNEL)) == 1
+    assert compute_gain > 1.4
+    # once fused, Q6 is almost pure PCIe: the remaining gain from fission
+    # is bounded by the small compute it can hide
+    assert io_share > 0.75
+    assert total_gain > 4

@@ -1,0 +1,47 @@
+"""Extension: shared-scan fusion for Figure 2's pattern (c).
+
+Several SELECTs filtering the *same* input (possibly from different
+queries -- the paper notes fusion applies "across queries") can share a
+single scan.  This bench measures the multi-output kernel against K
+separate SELECT pipelines and shows the win grows with K until register
+pressure bites.
+"""
+
+from repro.bench import format_table, print_header
+from repro.core.multifusion import SharedScanGroup, chain_for_shared_scan
+from repro.core.opmodels import chain_for_region
+from repro.plans import Plan
+from repro.ra import Field
+
+N = 200_000_000
+
+
+def _measure(device):
+    rows = []
+    for k in (2, 3, 4, 6, 8):
+        plan = Plan()
+        src = plan.source("t", row_nbytes=4)
+        selects = [plan.select(src, Field("x") < 10, selectivity=0.2,
+                               name=f"q{i}") for i in range(k)]
+        shared_chain = chain_for_shared_scan(SharedScanGroup(src, tuple(selects)))
+        shared = shared_chain.total_duration(N, device)
+        separate = sum(chain_for_region([s]).total_duration(N, device)
+                       for s in selects)
+        regs = max(kk.regs_per_thread for kk in shared_chain.kernels)
+        rows.append([k, regs, separate * 1e3, shared * 1e3, separate / shared])
+    return rows
+
+
+def test_ext_shared_scan(benchmark, device):
+    rows = benchmark.pedantic(lambda: _measure(device), rounds=1, iterations=1)
+
+    print_header("Extension: shared-scan fusion (pattern c)",
+                 "K SELECTs over one input, 200M elements", device)
+    print(format_table(["K selects", "regs/thread", "separate ms",
+                        "shared ms", "speedup"], rows, width=14))
+
+    speed = {r[0]: r[4] for r in rows}
+    assert speed[2] > 1.2
+    assert speed[3] > speed[2]
+    # register pressure eventually erodes the win
+    assert speed[8] < max(speed.values())

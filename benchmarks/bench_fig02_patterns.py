@@ -1,0 +1,61 @@
+"""Figure 2: census of the common operator combinations (a)-(h).
+
+The paper derives eight fusable patterns from the 22 TPC-H queries.  This
+bench runs the detector over the reproduced Q1/Q21 plans plus a synthetic
+suite modeled on the figure, and prints the per-pattern census.
+"""
+
+from repro.bench import format_table, print_header
+from repro.plans import Plan, pattern_census
+from repro.ra.arithmetic import AggSpec
+from repro.ra.expr import Const, Field
+from repro.tpch import build_q1_plan, build_q21_plan
+
+
+def synthetic_pattern_suite() -> Plan:
+    """One plan exhibiting every Figure-2 pattern at least once."""
+    plan = Plan(name="fig2_suite")
+    t = plan.source("t", row_nbytes=8)
+    u = plan.source("u", row_nbytes=8)
+    # (a) + (c): two select chains off one input
+    a1 = plan.select(t, Field("x") < 10, name="a1")
+    a2 = plan.select(a1, Field("x") < 5, name="a2")
+    c2 = plan.select(t, Field("x") > 90, name="c2")
+    # (f): join of two selected tables, then (b): join cascade
+    sb = plan.select(u, Field("y") < 10, name="sb")
+    f = plan.join(a2, sb, name="fjoin")
+    b = plan.join(f, plan.source("v", row_nbytes=8), name="bjoin")
+    # (d) select and (e) arith on join output
+    d = plan.select(b, Field("x") < 3, name="dsel")
+    e = plan.arith(b, {"disc": (Const(1.0) - Field("discount")) * Field("price")},
+                   name="earith")
+    # (h): project keeps only the arith result
+    plan.project(e, ["disc"], name="hproj")
+    # (g): aggregation on selected data
+    plan.aggregate(d, [], {"n": AggSpec("count")}, name="gagg")
+    return plan
+
+
+def _measure():
+    return {
+        "synthetic suite": pattern_census(synthetic_pattern_suite()),
+        "TPC-H Q1": pattern_census(build_q1_plan()),
+        "TPC-H Q21": pattern_census(build_q21_plan()),
+    }
+
+
+def test_fig02_pattern_census(benchmark, device):
+    census = benchmark.pedantic(_measure, rounds=3, iterations=1)
+
+    print_header("Figure 2", "census of fusable operator patterns (a)-(h)",
+                 device)
+    headers = ["plan"] + list("abcdefgh")
+    rows = [[name] + [c[p] for p in "abcdefgh"] for name, c in census.items()]
+    print(format_table(headers, rows, width=10))
+
+    # the synthetic suite exhibits every pattern
+    assert all(census["synthetic suite"][p] >= 1 for p in "abcdefgh")
+    # Q1 is dominated by the join cascade (pattern b)
+    assert census["TPC-H Q1"]["b"] >= 5
+    # Q21 contains join-like chains
+    assert census["TPC-H Q21"]["b"] >= 1

@@ -1,0 +1,50 @@
+"""Figure 4(a): SELECT throughput, GPU vs 16-thread CPU, at 10/50/90%
+selectivity over 32-bit integers.
+
+Paper-reported average speedups: 2.88x (10%), 8.80x (50%), 8.35x (90%);
+GPU curves around 15-25 GB/s, CPU single-digit GB/s; both improve as less
+data is selected.
+"""
+
+import numpy as np
+
+from repro.bench import PaperComparison, format_series, print_header
+from repro.cpubase import cpu_select_throughput
+from repro.runtime.select_chain import gpu_select_throughput
+
+SIZES = [25_000_000, 50_000_000, 100_000_000, 200_000_000, 400_000_000]
+SELECTIVITIES = [0.1, 0.5, 0.9]
+PAPER_SPEEDUPS = {0.1: 2.88, 0.5: 8.80, 0.9: 8.35}
+
+
+def _measure():
+    gpu = {f: [gpu_select_throughput(n, f) / 1e9 for n in SIZES]
+           for f in SELECTIVITIES}
+    cpu = {f: [cpu_select_throughput(n, selectivity=f) / 1e9 for n in SIZES]
+           for f in SELECTIVITIES}
+    return gpu, cpu
+
+
+def test_fig04a_select_gpu_vs_cpu(benchmark, device):
+    gpu, cpu = benchmark.pedantic(_measure, rounds=3, iterations=1)
+
+    print_header("Figure 4(a)", "SELECT throughput: GPU vs CPU", device)
+    for f in SELECTIVITIES:
+        print(format_series(f"GPU {int(f*100)}%", [n // 10**6 for n in SIZES],
+                            gpu[f], unit="GB/s over Melem"))
+    for f in SELECTIVITIES:
+        print(format_series(f"CPU {int(f*100)}%", [n // 10**6 for n in SIZES],
+                            cpu[f], unit="GB/s over Melem"))
+
+    cmp = PaperComparison("Fig 4(a) average GPU/CPU speedup")
+    for f in SELECTIVITIES:
+        measured = float(np.mean([g / c for g, c in zip(gpu[f], cpu[f])]))
+        cmp.add(f"speedup @ {int(f*100)}% selected", PAPER_SPEEDUPS[f], measured)
+        assert measured > 1.0
+    cmp.print()
+
+    # shape assertions: GPU on top, both monotone in selectivity
+    for f in SELECTIVITIES:
+        assert all(g > c for g, c in zip(gpu[f], cpu[f]))
+    assert gpu[0.1][-1] > gpu[0.5][-1] > gpu[0.9][-1]
+    assert cpu[0.1][-1] > cpu[0.5][-1] > cpu[0.9][-1]

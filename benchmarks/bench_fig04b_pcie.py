@@ -1,0 +1,52 @@
+"""Figure 4(b): PCIe 2.0 bandwidth measurement, pinned vs paged x WR/RD.
+
+Paper observations: all curves well under the theoretical 8 GB/s; pinned
+above paged; the pinned advantage shrinks for very large buffers.
+"""
+
+from repro.bench import PaperComparison, format_series, print_header
+from repro.simgpu import Direction, HostMemory, PcieModel
+
+SIZES_ELEMS = [25_000_000, 50_000_000, 100_000_000, 200_000_000, 400_000_000]
+CURVES = [
+    ("CPU WR GPU (PINNED)", Direction.H2D, HostMemory.PINNED),
+    ("CPU WR GPU (PAGED)", Direction.H2D, HostMemory.PAGED),
+    ("CPU RD GPU (PINNED)", Direction.D2H, HostMemory.PINNED),
+    ("CPU RD GPU (PAGED)", Direction.D2H, HostMemory.PAGED),
+]
+#: approximate plateau values read off the paper's figure (GB/s)
+PAPER_PLATEAUS = {
+    "CPU WR GPU (PINNED)": 5.9,
+    "CPU WR GPU (PAGED)": 4.0,
+    "CPU RD GPU (PINNED)": 6.3,
+    "CPU RD GPU (PAGED)": 3.2,
+}
+
+
+def _measure(device):
+    pcie = PcieModel(device.calib.pcie)
+    out = {}
+    for name, direction, memory in CURVES:
+        out[name] = [pcie.effective_bandwidth(n * 4, direction, memory) / 1e9
+                     for n in SIZES_ELEMS]
+    return out
+
+
+def test_fig04b_pcie_bandwidth(benchmark, device):
+    curves = benchmark.pedantic(lambda: _measure(device), rounds=3, iterations=1)
+
+    print_header("Figure 4(b)", "PCIe 2.0 bandwidth, pinned/paged x WR/RD", device)
+    for name in curves:
+        print(format_series(name, [n // 10**6 for n in SIZES_ELEMS],
+                            curves[name], unit="GB/s over Melem"))
+
+    cmp = PaperComparison("Fig 4(b) plateau bandwidths")
+    for name, values in curves.items():
+        cmp.add(name, PAPER_PLATEAUS[name], values[-2])
+    cmp.print()
+
+    for i, n in enumerate(SIZES_ELEMS):
+        assert curves["CPU WR GPU (PINNED)"][i] > curves["CPU WR GPU (PAGED)"][i]
+        assert curves["CPU RD GPU (PINNED)"][i] > curves["CPU RD GPU (PAGED)"][i]
+        for name in curves:
+            assert curves[name][i] < 8.0  # below theoretical

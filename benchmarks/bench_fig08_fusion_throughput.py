@@ -1,0 +1,72 @@
+"""Figure 8: two back-to-back SELECTs (50% each) under three methods.
+
+(a) end-to-end throughput of *with round trip*, *without round trip*, and
+*fused* -- paper averages: fused +49.9% over with-round-trip, +6.2% over
+without-round-trip.
+(b) GPU-compute-only comparison -- paper: fused +79.9% over unfused.
+
+Note (recorded in EXPERIMENTS.md): the paper's own Fig 9 breakdown (round
+trip = 54% of the with-round-trip total) implies a larger fused advantage
+over with-round-trip than its quoted +49.9% average; our simulator
+reproduces the breakdown, so the measured (a) ratio lands above the quoted
+average.
+"""
+
+import numpy as np
+
+from repro.bench import PaperComparison, format_series, print_header
+from repro.runtime import Strategy
+from repro.runtime.select_chain import run_select_chain
+
+SIZES = [4_194_304, 50_000_000, 100_000_000, 205_520_896, 415_236_096]
+METHODS = [Strategy.WITH_ROUND_TRIP, Strategy.SERIAL, Strategy.FUSED]
+LABEL = {Strategy.WITH_ROUND_TRIP: "w/ round trip",
+         Strategy.SERIAL: "w/o round trip", Strategy.FUSED: "fused"}
+
+
+def _measure():
+    tput = {m: [] for m in METHODS}
+    compute = {m: [] for m in METHODS}
+    for n in SIZES:
+        for m in METHODS:
+            r = run_select_chain(n, 2, 0.5, m)
+            tput[m].append(r.throughput / 1e9)
+            rc = run_select_chain(n, 2, 0.5, m, include_transfers=False)
+            compute[m].append(n * 4 / rc.makespan / 1e9)
+    return tput, compute
+
+
+def test_fig08_fusion_throughput(benchmark, device):
+    tput, compute = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header("Figure 8(a)", "2x SELECT end-to-end throughput", device)
+    xs = [n // 10**6 for n in SIZES]
+    for m in METHODS:
+        print(format_series(LABEL[m], xs, tput[m], unit="GB/s over Melem"))
+
+    def avg_gain(a, b):
+        return float(np.mean([x / y - 1 for x, y in zip(tput[a], tput[b])])) * 100
+
+    cmp = PaperComparison("Fig 8(a) average throughput gains")
+    cmp.add("fused vs w/ round trip (%)", 49.9,
+            avg_gain(Strategy.FUSED, Strategy.WITH_ROUND_TRIP))
+    cmp.add("fused vs w/o round trip (%)", 6.2,
+            avg_gain(Strategy.FUSED, Strategy.SERIAL))
+    cmp.print()
+
+    print_header("Figure 8(b)", "2x SELECT GPU-compute-only throughput", device)
+    for m in (Strategy.SERIAL, Strategy.FUSED):
+        print(format_series(LABEL[m], xs, compute[m], unit="GB/s over Melem"))
+    comp_gain = float(np.mean(
+        [f / u - 1 for f, u in zip(compute[Strategy.FUSED],
+                                   compute[Strategy.SERIAL])])) * 100
+    cmp_b = PaperComparison("Fig 8(b) compute-only gain")
+    cmp_b.add("fused vs w/o round trip, compute only (%)", 79.9, comp_gain)
+    cmp_b.print()
+
+    # orderings
+    for i in range(len(SIZES)):
+        assert (tput[Strategy.FUSED][i] > tput[Strategy.SERIAL][i]
+                > tput[Strategy.WITH_ROUND_TRIP][i])
+        assert compute[Strategy.FUSED][i] > compute[Strategy.SERIAL][i]
+    assert comp_gain > 40.0

@@ -1,0 +1,64 @@
+"""Figure 9: execution-time breakdown of the 2x SELECT methods into
+input/output transfer, intermediate round trip, and GPU computation.
+
+Paper observations: PCIe time dominates every method; input/output time is
+identical across methods; the round trip is ~54% of the with-round-trip
+total and is entirely eliminated by keeping data on the GPU or fusing.
+"""
+
+from repro.bench import PaperComparison, format_table, print_header
+from repro.runtime import Strategy
+from repro.runtime.select_chain import run_select_chain
+
+SIZES = [4_194_304, 205_520_896, 415_236_096]
+METHODS = [Strategy.WITH_ROUND_TRIP, Strategy.SERIAL, Strategy.FUSED]
+LABEL = {Strategy.WITH_ROUND_TRIP: "w/ round trip",
+         Strategy.SERIAL: "w/o round trip", Strategy.FUSED: "fused"}
+
+
+def _measure():
+    rows = []
+    shares = []
+    for n in SIZES:
+        base = None
+        for m in METHODS:
+            r = run_select_chain(n, 2, 0.5, m)
+            total = r.makespan
+            if base is None:
+                base = total
+            rows.append([
+                f"{n/1e6:.0f}M", LABEL[m],
+                r.io_time / base, r.roundtrip_time / base,
+                r.compute_time / base, total / base,
+            ])
+            if m is Strategy.WITH_ROUND_TRIP:
+                shares.append(r.roundtrip_time / total)
+    return rows, shares
+
+
+def test_fig09_breakdown(benchmark, device):
+    rows, rt_shares = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header("Figure 9", "execution-time breakdown (normalized to "
+                 "w/ round trip)", device)
+    print(format_table(
+        ["elements", "method", "input/output", "round trip", "compute", "total"],
+        rows, width=14))
+
+    avg_rt = sum(rt_shares) / len(rt_shares)
+    cmp = PaperComparison("Fig 9")
+    cmp.add("round-trip share of w/-round-trip total (%)", 54.0, avg_rt * 100)
+    cmp.print()
+
+    # the structural claims
+    by_size = {}
+    for r in rows:
+        by_size.setdefault(r[0], {})[r[1]] = r
+    for size, methods in by_size.items():
+        io = [m[2] for m in methods.values()]
+        assert max(io) - min(io) < 0.01 * max(io)   # same i/o everywhere
+        assert methods["w/ round trip"][3] > 0
+        assert methods["w/o round trip"][3] == 0
+        assert methods["fused"][3] == 0
+        assert methods["fused"][4] < methods["w/o round trip"][4]  # less compute
+    assert 0.35 < avg_rt < 0.65

@@ -1,0 +1,56 @@
+"""Figure 10: per-CUDA-kernel breakdown of the compute part, fused vs
+unfused.
+
+Paper: the fused filter kernel is 1.57x faster than the two separate
+filters; the fused gather is 3.03x faster than the two separate gathers.
+"""
+
+from repro.bench import PaperComparison, format_table, print_header
+from repro.runtime import Strategy
+from repro.runtime.select_chain import run_select_chain
+
+SIZES = [4_194_304, 205_520_896, 415_236_096]
+
+
+def _kernel_split(result):
+    filt = sum(v for k, v in result.kernel_times().items() if "compute" in k)
+    gath = sum(v for k, v in result.kernel_times().items() if "gather" in k)
+    return filt, gath
+
+
+def _measure():
+    rows = []
+    ratios = []
+    for n in SIZES:
+        ru = run_select_chain(n, 2, 0.5, Strategy.SERIAL, include_transfers=False)
+        rf = run_select_chain(n, 2, 0.5, Strategy.FUSED, include_transfers=False)
+        fu, gu = _kernel_split(ru)
+        ff, gf = _kernel_split(rf)
+        base = fu + gu
+        rows.append([f"{n/1e6:.0f}M", "UNFUSED", fu / base, gu / base, 1.0])
+        rows.append([f"{n/1e6:.0f}M", "FUSED", ff / base, gf / base,
+                     (ff + gf) / base])
+        ratios.append((fu / ff, gu / gf, base / (ff + gf)))
+    return rows, ratios
+
+
+def test_fig10_kernel_breakdown(benchmark, device):
+    rows, ratios = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header("Figure 10", "compute breakdown by CUDA kernel "
+                 "(normalized to unfused)", device)
+    print(format_table(["elements", "config", "filter", "gather", "total"],
+                       rows, width=12))
+
+    avg_f = sum(r[0] for r in ratios) / len(ratios)
+    avg_g = sum(r[1] for r in ratios) / len(ratios)
+    avg_t = sum(r[2] for r in ratios) / len(ratios)
+    cmp = PaperComparison("Fig 10 fused-kernel speedups")
+    cmp.add("fused filter vs separate filters (x)", 1.57, avg_f)
+    cmp.add("fused gather vs separate gathers (x)", 3.03, avg_g)
+    cmp.add("overall compute (x)", 1.80, avg_t)
+    cmp.print()
+
+    assert 1.2 < avg_f < 2.2
+    assert 2.3 < avg_g < 3.8
+    assert avg_g > avg_f  # gather benefits most: it fully collapses

@@ -1,0 +1,47 @@
+"""Figure 11(a): sensitivity of fusion to the number of fused kernels.
+
+Paper: fusing three SELECTs achieves 2.35x throughput vs. unfused; fusing
+two achieves 1.80x (GPU compute only) -- more fusion, more benefit.
+"""
+
+from repro.bench import PaperComparison, format_series, print_header
+from repro.runtime import Strategy
+from repro.runtime.select_chain import run_select_chain
+
+SIZES = [25_000_000, 100_000_000, 200_000_000, 400_000_000]
+PAPER = {2: 1.80, 3: 2.35}
+
+
+def _measure():
+    curves = {}
+    speedups = {}
+    for k in (2, 3):
+        fused, unfused = [], []
+        for n in SIZES:
+            rf = run_select_chain(n, k, 0.5, Strategy.FUSED, include_transfers=False)
+            ru = run_select_chain(n, k, 0.5, Strategy.SERIAL, include_transfers=False)
+            fused.append(n * 4 / rf.makespan / 1e9)
+            unfused.append(n * 4 / ru.makespan / 1e9)
+        curves[f"fusion {k} SELECTs"] = fused
+        curves[f"no fusion {k} SELECTs"] = unfused
+        speedups[k] = sum(f / u for f, u in zip(fused, unfused)) / len(SIZES)
+    return curves, speedups
+
+
+def test_fig11a_number_of_fused_kernels(benchmark, device):
+    curves, speedups = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header("Figure 11(a)", "sensitivity to the number of fused kernels",
+                 device)
+    xs = [n // 10**6 for n in SIZES]
+    for name, ys in curves.items():
+        print(format_series(name, xs, ys, unit="GB/s over Melem"))
+
+    cmp = PaperComparison("Fig 11(a) fused-vs-unfused throughput ratio")
+    for k in (2, 3):
+        cmp.add(f"fusing {k} SELECTs (x)", PAPER[k], speedups[k])
+    cmp.print()
+
+    assert speedups[3] > speedups[2] > 1.3
+    for i in range(len(SIZES)):
+        assert curves["fusion 3 SELECTs"][i] > curves["fusion 2 SELECTs"][i] * 0.95

@@ -1,0 +1,47 @@
+"""Figure 11(b): sensitivity of kernel fusion to the data selection rate.
+
+Paper: "the benefits of kernel fusion increase with the fraction of data
+selected ... data movement optimization has a more drastic effect when
+there is more data."
+"""
+
+from repro.bench import PaperComparison, format_series, print_header
+from repro.runtime import Strategy
+from repro.runtime.select_chain import run_select_chain
+
+SIZES = [25_000_000, 100_000_000, 200_000_000, 400_000_000]
+RATES = [0.1, 0.9]
+
+
+def _measure():
+    curves = {}
+    gains = {}
+    for f in RATES:
+        fused, unfused = [], []
+        for n in SIZES:
+            rf = run_select_chain(n, 2, f, Strategy.FUSED, include_transfers=False)
+            ru = run_select_chain(n, 2, f, Strategy.SERIAL, include_transfers=False)
+            fused.append(n * 4 / rf.makespan / 1e9)
+            unfused.append(n * 4 / ru.makespan / 1e9)
+        curves[f"fusion ({int(f*100)}%)"] = fused
+        curves[f"no fusion ({int(f*100)}%)"] = unfused
+        gains[f] = sum(a / b for a, b in zip(fused, unfused)) / len(SIZES)
+    return curves, gains
+
+
+def test_fig11b_selection_rate(benchmark, device):
+    curves, gains = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header("Figure 11(b)", "fusion benefit vs data selection rate", device)
+    xs = [n // 10**6 for n in SIZES]
+    for name, ys in curves.items():
+        print(format_series(name, xs, ys, unit="GB/s over Melem"))
+
+    cmp = PaperComparison("Fig 11(b)")
+    cmp.add("fusion gain at 90% selected > at 10%: ratio", 1.0,
+            gains[0.9] / gains[0.1])
+    cmp.print()
+
+    assert gains[0.9] > gains[0.1] > 1.0
+    # absolute throughput still higher at low selectivity (less data moved)
+    assert curves["fusion (10%)"][-1] > curves["fusion (90%)"][-1]

@@ -1,0 +1,52 @@
+"""Figure 12: concurrently executing two independent SELECTs via the
+Stream Pool vs running them serially.
+
+Paper: the half-resource configuration ("new") is ~2x slower than the
+full-resource one ("old"); concurrent streams beat "new" everywhere and
+beat "old" only below ~8M total elements.
+"""
+
+from repro.bench import PaperComparison, format_series, print_header
+from repro.runtime.concurrent import run_two_selects
+
+SIZES_SMALL = [2, 4, 6, 9, 14, 19, 24, 29, 34]       # Melem (lower panel)
+SIZES_LARGE = [50, 100, 200, 300, 400]               # Melem (upper panel)
+
+
+def _measure():
+    out = {}
+    for mode in ("old", "new", "stream"):
+        out[mode] = [run_two_selects(m * 10**6, mode).throughput / 1e9
+                     for m in SIZES_SMALL + SIZES_LARGE]
+    return out
+
+
+def test_fig12_concurrent_streams(benchmark, device):
+    curves = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    xs = SIZES_SMALL + SIZES_LARGE
+
+    print_header("Figure 12", "two independent SELECTs: stream vs no-stream",
+                 device)
+    for mode in ("stream", "no stream (new)", "no stream (old)"):
+        key = mode.split("(")[-1].rstrip(")") if "(" in mode else "stream"
+        print(format_series(mode, xs, curves[key], unit="GB/s over Melem"))
+
+    # locate the crossover where old overtakes stream
+    crossover = None
+    for x, s, o in zip(xs, curves["stream"], curves["old"]):
+        if o > s:
+            crossover = x
+            break
+
+    cmp = PaperComparison("Fig 12")
+    cmp.add("old/new throughput ratio at 200M (x)", 2.0,
+            curves["old"][-2] / curves["new"][-2])
+    cmp.add("stream-vs-old crossover (Melem)", 8.0, float(crossover or -1))
+    cmp.print()
+
+    assert crossover is not None and 2 <= crossover <= 30
+    # stream always beats new; old wins at the largest size
+    for i in range(len(xs)):
+        assert curves["stream"][i] > curves["new"][i]
+    assert curves["old"][-1] > curves["stream"][-1]
+    assert curves["stream"][0] > curves["old"][0]

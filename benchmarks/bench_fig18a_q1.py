@@ -1,0 +1,64 @@
+"""Figure 18(a): TPC-H Q1 -- not optimized vs fusion vs fusion+fission.
+
+Paper: the SORT (which can neither fuse nor fission) takes ~71% of the
+baseline; fusion contributes 1.25x, fission another 1.01x, for a 26.5%
+total improvement; fusing the SELECT + 6 JOINs block alone is 3.18x.
+"""
+
+from repro.bench import PaperComparison, format_table, print_header
+from repro.runtime import ExecutionConfig, Strategy
+from repro.tpch import build_q1_plan, q1_source_rows
+
+N_LINEITEM = 6_000_000  # scale factor ~1
+
+
+def _measure(executor):
+    plan = build_q1_plan()
+    rows = q1_source_rows(N_LINEITEM)
+    res = {s: executor.run(plan, rows, ExecutionConfig(strategy=s))
+           for s in (Strategy.SERIAL, Strategy.FUSED, Strategy.FUSED_FISSION)}
+
+    serial = res[Strategy.SERIAL]
+    sort_share = sum(v for k, v in serial.kernel_times().items()
+                     if "sort" in k) / serial.makespan
+
+    cfg = dict(include_transfers=False)
+    cs = executor.run(plan, rows, ExecutionConfig(strategy=Strategy.SERIAL, **cfg))
+    cf = executor.run(plan, rows, ExecutionConfig(strategy=Strategy.FUSED, **cfg))
+
+    def block(r):
+        return sum(v for k, v in r.kernel_times().items()
+                   if ("sel" in k or "join" in k) and "sort" not in k)
+
+    return res, sort_share, block(cs) / block(cf)
+
+
+def test_fig18a_q1(benchmark, executor, device):
+    res, sort_share, block_speedup = benchmark.pedantic(
+        lambda: _measure(executor), rounds=1, iterations=1)
+
+    base = res[Strategy.SERIAL].makespan
+    rows = [[name, res[s].makespan / base]
+            for name, s in [("Not Optimized", Strategy.SERIAL),
+                            ("Fusion", Strategy.FUSED),
+                            ("Fusion + Fission", Strategy.FUSED_FISSION)]]
+    print_header("Figure 18(a)", "TPC-H Q1 normalized execution time", device)
+    print(format_table(["method", "normalized time"], rows, width=20))
+
+    fusion_x = base / res[Strategy.FUSED].makespan
+    fission_x = res[Strategy.FUSED].makespan / res[Strategy.FUSED_FISSION].makespan
+    total_pct = (base / res[Strategy.FUSED_FISSION].makespan - 1) * 100
+
+    cmp = PaperComparison("Fig 18(a) TPC-H Q1")
+    cmp.add("SORT share of baseline (%)", 71.0, sort_share * 100)
+    cmp.add("fusion speedup (x)", 1.25, fusion_x)
+    cmp.add("fission extra speedup (x)", 1.01, fission_x)
+    cmp.add("total improvement (%)", 26.5, total_pct)
+    cmp.add("fused SELECT+6-JOIN block speedup (x)", 3.18, block_speedup)
+    cmp.print()
+
+    assert 0.60 < sort_share < 0.85
+    assert 1.05 < fusion_x < 1.5
+    assert 1.0 < fission_x < 1.15
+    assert 10 < total_pct < 45
+    assert 2.0 < block_speedup < 5.0

@@ -1,0 +1,64 @@
+"""Figure 18(b): TPC-H Q21 -- not optimized vs fusion vs fusion+fission.
+
+Paper: Q21 has many more relational operators and several barriers
+(sorts/aggregations) bounding fusion, so the total improvement is smaller
+than Q1's: 13.2% overall; the fusable blocks alone speed up 1.22x.
+"""
+
+from repro.bench import PaperComparison, format_table, print_header
+from repro.core.fusion import fuse_plan
+from repro.runtime import ExecutionConfig, Strategy
+from repro.tpch import build_q21_plan, q21_source_rows
+
+ROWS = q21_source_rows(6_000_000, 1_500_000, 10_000)
+
+
+def _measure(executor):
+    plan = build_q21_plan()
+    res = {s: executor.run(plan, ROWS, ExecutionConfig(strategy=s))
+           for s in (Strategy.SERIAL, Strategy.FUSED, Strategy.FUSED_FISSION)}
+
+    # fused-block speedup: compare the fused regions' kernel time against
+    # the same operators run unfused
+    fr = fuse_plan(plan)
+    fused_ops = {n.name for r in fr.regions if r.fused for n in r.nodes}
+
+    def ops_time(r):
+        return sum(v for k, v in r.kernel_times().items()
+                   if any(op in k for op in fused_ops))
+
+    block_ratio = (ops_time(res[Strategy.SERIAL])
+                   / max(ops_time(res[Strategy.FUSED]), 1e-12))
+    return res, block_ratio
+
+
+def test_fig18b_q21(benchmark, executor, device):
+    res, block_ratio = benchmark.pedantic(
+        lambda: _measure(executor), rounds=1, iterations=1)
+
+    base = res[Strategy.SERIAL].makespan
+    rows = [[name, res[s].makespan / base]
+            for name, s in [("Not Optimized", Strategy.SERIAL),
+                            ("Fusion", Strategy.FUSED),
+                            ("Fusion + Fission", Strategy.FUSED_FISSION)]]
+    print_header("Figure 18(b)", "TPC-H Q21 normalized execution time", device)
+    print(format_table(["method", "normalized time"], rows, width=20))
+
+    total_pct = (base / res[Strategy.FUSED_FISSION].makespan - 1) * 100
+    cmp = PaperComparison("Fig 18(b) TPC-H Q21")
+    cmp.add("total improvement (%)", 13.2, total_pct)
+    cmp.add("fused-block speedup (x)", 1.22, block_ratio)
+    cmp.print()
+
+    assert 5 < total_pct < 35
+    assert block_ratio > 1.05
+    # Q21's gain is smaller than Q1's (fewer kernels can fuse)
+    from repro.tpch import build_q1_plan, q1_source_rows
+    q1 = build_q1_plan()
+    q1_serial = executor.run(q1, q1_source_rows(6_000_000),
+                             ExecutionConfig(strategy=Strategy.SERIAL))
+    q1_fused = executor.run(q1, q1_source_rows(6_000_000),
+                            ExecutionConfig(strategy=Strategy.FUSED))
+    q1_fusion_pct = (q1_serial.makespan / q1_fused.makespan - 1) * 100
+    q21_fusion_pct = (base / res[Strategy.FUSED].makespan - 1) * 100
+    assert q21_fusion_pct < q1_fusion_pct

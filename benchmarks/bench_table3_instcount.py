@@ -1,0 +1,94 @@
+"""Table III: PTX instruction counts before/after fusion at O0 and O3.
+
+Paper-reported counts for the two threshold-filter statements:
+
+    not fused: 5 x 2 at O0  ->  3 x 2 at O3   (40% reduction)
+    fused    : 10    at O0  ->  3     at O3   (70% reduction)
+"""
+
+from repro.bench import PaperComparison, format_table, print_header
+from repro.compilerlite import FilterStatement, gen_fused_naive, gen_unfused, optimize, table3
+
+
+def test_table3_instruction_counts(benchmark, device):
+    t = benchmark.pedantic(table3, rounds=5, iterations=1)
+
+    print_header("Table III", "compiler-scope study: instruction counts", device)
+    rows = [
+        ["if(d<T1); if(d<T2)  (not fused)",
+         f"{t['unfused_o0'][0]} x {len(t['unfused_o0'])}",
+         f"{t['unfused_o3'][0]} x {len(t['unfused_o3'])}"],
+        ["if(d<T1 && d<T2)    (fused)", t["fused_o0"], t["fused_o3"]],
+    ]
+    print(format_table(["statement", "inst # (O0)", "inst # (O3)"], rows, width=30))
+
+    cmp = PaperComparison("Table III")
+    cmp.add("unfused O0 per kernel", 5, t["unfused_o0"][0])
+    cmp.add("unfused O3 per kernel", 3, t["unfused_o3"][0])
+    cmp.add("fused O0", 10, t["fused_o0"])
+    cmp.add("fused O3", 3, t["fused_o3"])
+    cmp.add("unfused O3 reduction (%)", 40.0,
+            100 * (1 - t["unfused_o3"][0] / t["unfused_o0"][0]))
+    cmp.add("fused O3 reduction (%)", 70.0,
+            100 * (1 - t["fused_o3"] / t["fused_o0"]))
+    cmp.print()
+
+    assert t["unfused_o0"] == [5, 5]
+    assert t["unfused_o3"] == [3, 3]
+    assert t["fused_o0"] == 10
+    assert t["fused_o3"] == 3
+
+
+def test_table3_scaling_with_chain_length(benchmark, device):
+    """Extension: the fused-O3 count stays flat as more same-direction
+    filters fuse -- the optimization scope benefit grows with chain length."""
+    def sweep():
+        rows = []
+        for n in range(1, 7):
+            stmts = [FilterStatement("lt", 10.0 * (i + 1)) for i in range(n)]
+            fused = gen_fused_naive(stmts)
+            unfused_o3 = sum(optimize(p).count() for p in gen_unfused(stmts))
+            rows.append([n, 5 * n, fused.count(), unfused_o3,
+                         optimize(fused).count()])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print_header("Table III (extension)", "instruction counts vs chain length", device)
+    print(format_table(
+        ["# filters", "unfused O0", "fused O0", "unfused O3", "fused O3"], rows))
+    for n, _, _, unfused_o3, fused_o3 in rows:
+        assert fused_o3 == 3           # collapses to ld/setp/st regardless
+        assert unfused_o3 == 3 * n     # each kernel keeps its own skeleton
+
+
+def test_table3_arithmetic_scope(benchmark, device):
+    """Extension: the same scope effect on Q1's fused ARITH block --
+    disc_price and charge share (1-discount)*price, which CSE can only
+    recover when both assignments live in one fused kernel."""
+    from repro.compilerlite import gen_arith_kernel, gen_unfused_arith
+    from repro.ra.expr import Const, Field
+
+    disc_price = Field("price") * (Const(1.0) - Field("discount"))
+    charge = (Field("price") * (Const(1.0) - Field("discount"))
+              * (Const(1.0) + Field("tax")))
+    assignments = [("disc_price", disc_price), ("charge", charge)]
+
+    def measure():
+        fused = gen_arith_kernel(assignments)
+        unfused = gen_unfused_arith(assignments)
+        return {
+            "fused_o0": fused.count(),
+            "fused_o3": optimize(fused).count(),
+            "unfused_o0": sum(p.count() for p in unfused),
+            "unfused_o3": sum(optimize(p).count() for p in unfused),
+        }
+
+    t = benchmark.pedantic(measure, rounds=3, iterations=1)
+    print_header("Table III (arith extension)",
+                 "Q1's fused arithmetic: CSE across assignments", device)
+    print(format_table(
+        ["config", "inst # (O0)", "inst # (O3)"],
+        [["separate kernels", t["unfused_o0"], t["unfused_o3"]],
+         ["fused kernel", t["fused_o0"], t["fused_o3"]]], width=20))
+    assert t["fused_o3"] < t["unfused_o3"]
+    assert t["fused_o3"] < t["fused_o0"]

@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module reproduces one table or figure of the paper: it
+runs the simulation at the paper's parameters, prints the same series/rows
+the paper reports plus a paper-vs-measured comparison, and times the
+simulation itself through pytest-benchmark (the benchmark metric is
+simulator throughput, not simulated GPU time).
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def device():
+    from repro.simgpu import DeviceSpec
+    return DeviceSpec()
+
+
+@pytest.fixture(scope="session")
+def executor(device):
+    from repro.runtime import Executor
+    return Executor(device)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Explore the fusion cost model: when does fusing stop paying?
+
+The paper (SS III-C) notes that fusion increases register pressure, so
+"fusing too many kernels may cause problems".  This example sweeps chain
+length and shows where the cost model draws the line, plus the Table III
+compiler-scope study on the generated mini-IR.
+
+Run:  python examples/fusion_explorer.py
+"""
+
+from repro.compilerlite import (
+    FilterStatement,
+    gen_fused_naive,
+    gen_unfused,
+    optimize,
+)
+from repro.core.cost import FusionCostModel
+from repro.core.opmodels import chain_for_region
+from repro.plans import Plan
+from repro.ra import Field
+from repro.simgpu import DeviceSpec
+
+
+def sweep_chain_length(device: DeviceSpec, max_len: int = 24) -> None:
+    plan = Plan()
+    node = plan.source("in", row_nbytes=4)
+    nodes = []
+    for i in range(max_len):
+        # distinct fields keep register demand growing, as real fused
+        # kernels' do
+        node = plan.select(node, Field(f"c{i}") < i + 1, name=f"s{i}")
+        nodes.append(node)
+
+    cm = FusionCostModel(device)
+    print(f"{'chain':>5} {'regs':>5} {'fused ms':>9} {'unfused ms':>11} "
+          f"{'benefit':>9}  decision")
+    for k in range(1, max_len):
+        decision = cm.evaluate(nodes[:k], nodes[k])
+        chain = chain_for_region(nodes[:k + 1])
+        verdict = "FUSE" if decision.fuse else "stop"
+        spill = " (spilling)" if decision.fused_regs > 63 else ""
+        print(f"{k+1:>5} {decision.fused_regs:>5} "
+              f"{decision.fused_time*1e3:>9.2f} {decision.unfused_time*1e3:>11.2f} "
+              f"{decision.benefit*1e3:>+9.2f}  {verdict}{spill}")
+        if not decision.fuse:
+            print(f"\ncost model stops fusing at {k+1} kernels: register "
+                  f"pressure ({decision.fused_regs} regs/thread) has pushed "
+                  f"spill traffic past the savings.")
+            break
+
+
+def table3_study() -> None:
+    print("\ncompiler-scope study (Table III):")
+    stmts = [FilterStatement("lt", 100.0), FilterStatement("lt", 50.0)]
+    fused = gen_fused_naive(stmts)
+    print("\nnaive fused kernel at O0 "
+          f"({fused.count()} instructions):")
+    print(fused.render())
+    opt = optimize(fused)
+    print(f"\nafter O3 ({opt.count()} instructions -- note the combined "
+          "threshold):")
+    print(opt.render())
+    unfused_o3 = [optimize(p).count() for p in gen_unfused(stmts)]
+    print(f"\nunfused kernels after O3: {unfused_o3} instructions each")
+
+
+def main() -> None:
+    device = DeviceSpec()
+    print("=== fusion cost-model sweep: SELECT chains ===\n")
+    sweep_chain_length(device)
+    table3_study()
+
+
+if __name__ == "__main__":
+    main()

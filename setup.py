@@ -1,0 +1,6 @@
+"""Setup shim so legacy installs (`python setup.py develop`) work in
+environments whose setuptools predates bundled wheel support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro -- reproduction of "Optimizing Data Warehousing Applications for
+GPUs Using Kernel Fusion/Fission" (Wu et al., IPDPS workshops 2012).
+
+The package implements the paper's two compiler optimizations -- kernel
+fusion (SS III) and kernel fission (SS IV) -- over a relational-algebra
+operator library, and evaluates them on a simulated Fermi-class platform
+(Tesla C2070 + PCIe 2.0 host, Table II).  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the per-figure reproduction record.
+
+Quick start::
+
+    from repro.runtime.select_chain import run_select_chain
+    from repro.runtime import Strategy
+
+    fused = run_select_chain(100_000_000, num_selects=2,
+                             strategy=Strategy.FUSED)
+    print(fused.throughput / 1e9, "GB/s")
+"""
+
+__version__ = "0.1.0"
+
+from . import compilerlite, core, cpubase, plans, ra, runtime, simgpu, streampool, tpch
+from .errors import (
+    CompilerError,
+    DeviceOOMError,
+    FusionError,
+    PlanError,
+    RelationError,
+    ReproError,
+    SchedulingError,
+)
+
+__all__ = [
+    "compilerlite", "core", "cpubase", "plans", "ra", "runtime", "simgpu",
+    "streampool", "tpch", "CompilerError", "DeviceOOMError", "FusionError",
+    "PlanError", "RelationError", "ReproError", "SchedulingError",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Benchmark harness helpers: paper-vs-measured tables and series output."""
+
+from .harness import PaperComparison, format_series, format_table, print_header
+
+__all__ = ["PaperComparison", "format_series", "format_table", "print_header"]

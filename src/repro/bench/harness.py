@@ -1,0 +1,64 @@
+"""Output helpers for the benchmark suite.
+
+Every ``benchmarks/bench_*.py`` module prints the same rows/series the
+paper's table or figure reports, plus a paper-vs-measured comparison line
+so the reproduction quality is visible in the bench log (and recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simgpu.device import DeviceSpec, describe_environment
+
+
+def print_header(experiment: str, description: str,
+                 device: DeviceSpec | None = None) -> None:
+    bar = "=" * 72
+    print(f"\n{bar}\n{experiment}: {description}\n{bar}")
+    print(describe_environment(device or DeviceSpec()))
+
+
+def format_table(headers: list[str], rows: list[list], width: int = 14) -> str:
+    def fmt(v):
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+    lines = ["  ".join(h.rjust(width) for h in headers)]
+    for row in rows:
+        lines.append("  ".join(fmt(v).rjust(width) for v in row))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: list, ys: list[float], unit: str = "") -> str:
+    pts = "  ".join(f"({x}, {y:.3f})" for x, y in zip(xs, ys))
+    return f"{name} [{unit}]: {pts}"
+
+
+@dataclass
+class PaperComparison:
+    """Collects (metric, paper value, measured value) triples and renders
+    the comparison block each bench prints."""
+
+    experiment: str
+    entries: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def add(self, metric: str, paper: float, measured: float) -> None:
+        self.entries.append((metric, paper, measured))
+
+    def render(self) -> str:
+        lines = [f"--- paper vs measured ({self.experiment}) ---"]
+        for metric, paper, measured in self.entries:
+            if paper != 0:
+                delta = (measured - paper) / abs(paper) * 100.0
+                lines.append(
+                    f"{metric:46s} paper={paper:10.3f} measured={measured:10.3f} "
+                    f"({delta:+.1f}%)")
+            else:
+                lines.append(
+                    f"{metric:46s} paper={paper:10.3f} measured={measured:10.3f}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())

@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info        print the simulated platform (Table II)
+select      run the SELECT-chain microbenchmark under every strategy
+q1 / q21 / q6
+            run a TPC-H query functionally (synthetic data) and report the
+            simulated strategy comparison
+fuse        show what the fusion pass does to a query plan (+ rendered
+            fused-kernel source with --render)
+trace       write a Chrome trace of a strategy run for visual inspection
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.fusion import fuse_plan
+from .core.render import render_fused_kernel
+from .plans import evaluate_sinks, pattern_census
+from .runtime import ExecutionConfig, Executor, Strategy
+from .runtime.autostrategy import run_auto
+from .runtime.select_chain import run_select_chain, select_chain_plan
+from .simgpu import DeviceSpec, describe_environment
+from .simgpu.trace import write_chrome_trace
+from .tpch import (
+    TpchConfig,
+    build_q1_plan,
+    build_q21_plan,
+    build_q6_plan,
+    generate,
+    q1_column_relations,
+    q1_source_rows,
+    q21_source_rows,
+    q6_source_rows,
+)
+
+_QUERIES = {
+    "q1": (build_q1_plan, lambda n: q1_source_rows(n)),
+    "q21": (build_q21_plan, lambda n: q21_source_rows(n, n // 4, max(1, n // 600))),
+    "q6": (build_q6_plan, lambda n: q6_source_rows(n)),
+}
+
+
+def _cmd_info(args) -> int:
+    print(describe_environment(DeviceSpec()))
+    return 0
+
+
+def _cmd_select(args) -> int:
+    print(describe_environment(DeviceSpec()))
+    print(f"\nSELECT chain: {args.num} x SELECT({args.selectivity:.0%}) over "
+          f"{args.elements/1e6:.0f}M 32-bit ints")
+    for strategy in Strategy:
+        r = run_select_chain(args.elements, args.num, args.selectivity, strategy)
+        print(f"  {strategy.value:16s} {r.throughput/1e9:7.2f} GB/s "
+              f"({r.makespan*1e3:9.1f} ms, {r.num_chunks} chunk(s))")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    build, rows_fn = _QUERIES[args.command]
+    plan = build()
+    rows = rows_fn(args.elements)
+
+    if args.functional:
+        data = generate(TpchConfig(scale_factor=args.scale_factor))
+        if args.command == "q1":
+            sources = q1_column_relations(data.lineitem)
+        elif args.command == "q6":
+            sources = {"lineitem": data.lineitem}
+        else:
+            sources = {"lineitem": data.lineitem, "orders": data.orders,
+                       "supplier": data.supplier, "nation": data.nation}
+        out = evaluate_sinks(plan, sources)
+        for name, rel in out.items():
+            print(f"{name}: {rel.num_rows} rows, fields {rel.fields}")
+
+    print(f"\npattern census: {pattern_census(plan)}")
+    print(fuse_plan(plan).describe())
+    print(f"\nsimulated at {args.elements/1e6:.0f}M lineitems:")
+    ex = Executor()
+    base = None
+    for strategy in (Strategy.SERIAL, Strategy.FUSED, Strategy.FUSED_FISSION):
+        r = ex.run(plan, rows, ExecutionConfig(strategy=strategy))
+        base = base or r.makespan
+        print(f"  {strategy.value:16s} {r.makespan*1e3:9.1f} ms "
+              f"({r.makespan/base:5.3f} of baseline)")
+    auto, choice = run_auto(plan, rows, ex)
+    print(f"  auto -> {choice.strategy.value} "
+          f"({auto.makespan*1e3:.1f} ms)")
+    for reason in choice.reasons:
+        print(f"       - {reason}")
+    return 0
+
+
+def _cmd_fuse(args) -> int:
+    plan = (_QUERIES[args.query][0]() if args.query in _QUERIES
+            else select_chain_plan(3))
+    fr = fuse_plan(plan)
+    print(fr.describe())
+    if args.render:
+        for region in fr.regions:
+            if region.fused:
+                print()
+                print(render_fused_kernel(region.nodes))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    strategy = Strategy(args.strategy)
+    r = run_select_chain(args.elements, 2, 0.5, strategy)
+    write_chrome_trace(r.timeline, args.output)
+    print(f"wrote {len(r.timeline.events)} events to {args.output} "
+          f"(open in chrome://tracing)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kernel fusion/fission for GPU data warehousing "
+                    "(IPDPS-W 2012 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the simulated platform")
+
+    p_sel = sub.add_parser("select", help="SELECT-chain microbenchmark")
+    p_sel.add_argument("--elements", type=int, default=200_000_000)
+    p_sel.add_argument("--num", type=int, default=2)
+    p_sel.add_argument("--selectivity", type=float, default=0.5)
+
+    for q in _QUERIES:
+        p_q = sub.add_parser(q, help=f"TPC-H {q.upper()}")
+        p_q.add_argument("--elements", type=int, default=6_000_000,
+                         help="simulated lineitem cardinality")
+        p_q.add_argument("--functional", action="store_true",
+                         help="also run the query on generated data")
+        p_q.add_argument("--scale-factor", type=float, default=0.01)
+
+    p_fuse = sub.add_parser("fuse", help="show the fusion pass's output")
+    p_fuse.add_argument("--query", choices=[*_QUERIES, "chain"],
+                        default="chain")
+    p_fuse.add_argument("--render", action="store_true",
+                        help="print CUDA-like source of fused kernels")
+
+    p_tr = sub.add_parser("trace", help="export a Chrome trace")
+    p_tr.add_argument("--strategy", default="fused_fission",
+                      choices=[s.value for s in Strategy])
+    p_tr.add_argument("--elements", type=int, default=500_000_000)
+    p_tr.add_argument("--output", default="trace.json")
+
+    p_c = sub.add_parser("compile", help="run the full compilation pipeline")
+    p_c.add_argument("--query", choices=[*_QUERIES, "chain"], default="chain")
+    p_c.add_argument("--elements", type=int, default=6_000_000)
+
+    p_e = sub.add_parser("explain", help="print a plan tree with fusion overlay")
+    p_e.add_argument("--query", choices=[*_QUERIES, "chain"], default="q1")
+    p_e.add_argument("--elements", type=int, default=6_000_000)
+
+    p_sql = sub.add_parser("sql", help="run a SQL query over generated TPC-H")
+    p_sql.add_argument("statement", help="e.g. \"SELECT returnflag, COUNT(*) "
+                       "AS n FROM lineitem GROUP BY returnflag\"")
+    p_sql.add_argument("--scale-factor", type=float, default=0.01)
+    p_sql.add_argument("--limit", type=int, default=20,
+                       help="max rows to print")
+
+    return parser
+
+
+def _cmd_sql(args) -> int:
+    from .core.passes import compile_plan
+    from .plans import evaluate_sinks
+    from .sql import sql_to_plan
+
+    plan = sql_to_plan(args.statement)
+    data = generate(TpchConfig(scale_factor=args.scale_factor))
+    tables = {"lineitem": data.lineitem, "orders": data.orders,
+              "supplier": data.supplier, "nation": data.nation}
+    sources = {s.name: tables[s.name] for s in plan.sources()
+               if s.name in tables}
+    missing = [s.name for s in plan.sources() if s.name not in tables]
+    if missing:
+        print(f"unknown table(s): {missing}; available: {sorted(tables)}")
+        return 1
+
+    out = list(evaluate_sinks(plan, sources).values())[0]
+    header = "  ".join(f"{f:>14}" for f in out.fields)
+    print(header)
+    for i in range(min(out.num_rows, args.limit)):
+        print("  ".join(f"{out.column(f)[i]!s:>14}" for f in out.fields))
+    if out.num_rows > args.limit:
+        print(f"... ({out.num_rows} rows total)")
+
+    rows = {s.name: tables[s.name].num_rows for s in plan.sources()}
+    cp = compile_plan(plan, rows)
+    print()
+    print(cp.describe())
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from .core.passes import compile_plan
+    if args.query in _QUERIES:
+        build, rows_fn = _QUERIES[args.query]
+        plan, rows = build(), rows_fn(args.elements)
+    else:
+        plan, rows = select_chain_plan(3), {"input": args.elements}
+    cp = compile_plan(plan, rows)
+    print(cp.describe())
+    result = cp.run()
+    print(f"\nsimulated: {result.makespan*1e3:.1f} ms "
+          f"({result.throughput/1e9:.2f} GB/s of input)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "select":
+        return _cmd_select(args)
+    if args.command in _QUERIES:
+        return _cmd_query(args)
+    if args.command == "fuse":
+        return _cmd_fuse(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "sql":
+        return _cmd_sql(args)
+    if args.command == "explain":
+        from .plans.explain import explain
+        if args.query in _QUERIES:
+            build, rows_fn = _QUERIES[args.query]
+            plan, rows = build(), rows_fn(args.elements)
+        else:
+            plan, rows = select_chain_plan(3), {"input": args.elements}
+        print(explain(plan, source_rows=rows))
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Interpreter for the mini-IR.
+
+Executes a straight-line program (with forward branches and guards) over a
+memory dictionary; used to verify that optimization passes preserve
+semantics (every store to a non-temporary location must match).
+"""
+
+from __future__ import annotations
+
+from ..errors import CompilerError
+from .ir import Program, is_imm
+
+_CMP = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+}
+
+_ARITH = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+}
+
+MAX_STEPS = 10_000
+
+
+def run_program(prog: Program, memory: dict[str, float]) -> dict[str, float]:
+    """Execute `prog`; returns the final memory (input dict is not mutated)."""
+    mem = dict(memory)
+    regs: dict[str, float] = {}
+    labels = {i.srcs[0]: k for k, i in enumerate(prog.instrs) if i.op == "label"}
+
+    def value(v):
+        if is_imm(v):
+            return v
+        if v not in regs:
+            raise CompilerError(f"use of undefined register {v!r}")
+        return regs[v]
+
+    pc = 0
+    steps = 0
+    while pc < len(prog.instrs):
+        steps += 1
+        if steps > MAX_STEPS:
+            raise CompilerError("interpreter step limit exceeded")
+        instr = prog.instrs[pc]
+        pc += 1
+        if instr.op in ("label", "ret"):
+            if instr.op == "ret":
+                break
+            continue
+        if instr.guard is not None:
+            want = not instr.guard.startswith("!")
+            pred = instr.guard.lstrip("!")
+            if bool(regs.get(pred, False)) != want:
+                continue
+        if instr.op == "ld":
+            loc = instr.srcs[0]
+            if loc not in mem:
+                raise CompilerError(f"load from uninitialized location {loc!r}")
+            regs[instr.dst] = mem[loc]
+        elif instr.op == "st":
+            mem[instr.srcs[0]] = value(instr.srcs[1])
+        elif instr.op == "mov":
+            regs[instr.dst] = value(instr.srcs[0])
+        elif instr.op == "setp":
+            regs[instr.dst] = _CMP[instr.cmp](value(instr.srcs[0]),
+                                              value(instr.srcs[1]))
+        elif instr.op == "and_pred":
+            regs[instr.dst] = bool(value(instr.srcs[0])) and bool(value(instr.srcs[1]))
+        elif instr.op in _ARITH:
+            regs[instr.dst] = _ARITH[instr.op](value(instr.srcs[0]),
+                                               value(instr.srcs[1]))
+        elif instr.op == "bra":
+            target = instr.srcs[0]
+            if target not in labels:
+                raise CompilerError(f"branch to unknown label {target!r}")
+            pc = labels[target]
+        else:
+            raise CompilerError(f"cannot interpret op {instr.op!r}")
+    return mem
+
+
+def visible_output(prog: Program, memory: dict[str, float]) -> dict[str, float]:
+    """Run and return only the non-temporary locations (observable effects)."""
+    mem = run_program(prog, memory)
+    return {k: v for k, v in mem.items() if not k.startswith("tmp")}

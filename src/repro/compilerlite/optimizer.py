@@ -1,0 +1,284 @@
+"""Optimization passes over the mini-IR (the "O3" of Table III).
+
+Classic scalar optimizations, each a ``Program -> Program`` function:
+
+* store/load forwarding   -- kills the temp-buffer hop naive fusion makes
+* copy propagation        -- folds the forwarded mov away
+* constant propagation    -- folds ``mov r, IMM`` into setp immediates
+* predicate combination   -- ``d<T1 && d<T2  ==>  d < min(T1,T2)``
+* branch-to-predication   -- guarded-skip + store  ==>  predicated store
+* dead-code elimination   -- unused defs, dead temp stores, orphan labels
+
+Run to fixpoint by :func:`optimize`.  The paper's point (Table III) is that
+these passes recover much more on *fused* kernels because the optimization
+scope is larger: 5 -> 3 per unfused filter kernel, but 10 -> 3 fused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from .ir import Instr, Program, is_imm
+
+Pass = Callable[[Program], Program]
+
+
+# ---------------------------------------------------------------------------
+# individual passes
+# ---------------------------------------------------------------------------
+
+def store_load_forwarding(prog: Program) -> Program:
+    """Replace a load from a location just stored (same straight-line
+    region) with a register copy."""
+    out: list[Instr] = []
+    known: dict[str, str] = {}  # location -> register holding its value
+    for instr in prog.instrs:
+        if instr.op == "label":
+            known.clear()  # control-flow merge: forget forwarding state
+            out.append(instr)
+            continue
+        if instr.op == "st" and instr.guard is None:
+            known[instr.srcs[0]] = instr.srcs[1]
+            out.append(instr)
+            continue
+        if (instr.op == "ld" and instr.guard is None
+                and instr.srcs[0] in known):
+            out.append(Instr("mov", dst=instr.dst, srcs=(known[instr.srcs[0]],)))
+            continue
+        out.append(instr)
+    return Program(prog.name, out)
+
+
+def copy_propagation(prog: Program) -> Program:
+    """Forward ``mov rX, rY`` by rewriting later uses of rX to rY."""
+    out = list(prog.instrs)
+    for k, instr in enumerate(out):
+        if (instr.op == "mov" and instr.srcs
+                and isinstance(instr.srcs[0], str)
+                and len(prog.defs_of(instr.dst)) == 1):
+            src = instr.srcs[0]
+            # the source must not be redefined between the mov and the uses
+            redefs = [d for d in prog.defs_of(src) if d > k]
+            if redefs:
+                continue
+            for j in range(k + 1, len(out)):
+                u = out[j]
+                if instr.dst in u.srcs:
+                    out[j] = replace(
+                        u, srcs=tuple(src if s == instr.dst else s
+                                      for s in u.srcs))
+    return Program(prog.name, out)
+
+
+def constant_propagation(prog: Program) -> Program:
+    """Fold ``mov r, IMM`` into immediate operands of later uses."""
+    out = list(prog.instrs)
+    consts: dict[str, float] = {}
+    for k, instr in enumerate(out):
+        if instr.op == "mov" and instr.srcs and is_imm(instr.srcs[0]):
+            if len(prog.defs_of(instr.dst)) == 1:
+                consts[instr.dst] = instr.srcs[0]
+            continue
+        if instr.op in ("setp", "st") and any(s in consts for s in instr.srcs):
+            # st's first src is a location name, never a register
+            new_srcs = []
+            for pos, s in enumerate(instr.srcs):
+                if instr.op == "st" and pos == 0:
+                    new_srcs.append(s)
+                else:
+                    new_srcs.append(consts.get(s, s))
+            out[k] = replace(instr, srcs=tuple(new_srcs))
+    return Program(prog.name, out)
+
+
+def predicate_combination(prog: Program) -> Program:
+    """Combine chained same-direction compares against immediates.
+
+    Pattern: ``setp.lt pA, r, IMM1`` whose only use guards a skip branch,
+    followed (on the fallthrough path, before the branch target) by
+    ``setp.lt pB, r, IMM2`` -- equivalent to a single compare against
+    ``min(IMM1, IMM2)`` (max for gt/ge).
+    """
+    instrs = list(prog.instrs)
+    for k, first in enumerate(instrs):
+        if first.op != "setp" or not is_imm(first.srcs[1]):
+            continue
+        uses = [j for j in range(len(instrs))
+                if instrs[j].guard is not None
+                and instrs[j].guard.lstrip("!") == first.dst]
+        if len(uses) != 1:
+            continue
+        bra_idx = uses[0]
+        bra = instrs[bra_idx]
+        if bra.op != "bra" or bra.guard != f"!{first.dst}":
+            continue
+        target = bra.srcs[0]
+        # find a second compatible setp between the branch and its target
+        for j in range(bra_idx + 1, len(instrs)):
+            second = instrs[j]
+            if second.op == "label" and second.srcs[0] == target:
+                break
+            if (second.op == "setp" and second.cmp == first.cmp
+                    and second.srcs[0] == first.srcs[0]
+                    and is_imm(second.srcs[1])):
+                if first.cmp in ("lt", "le"):
+                    combined = min(first.srcs[1], second.srcs[1])
+                elif first.cmp in ("gt", "ge"):
+                    combined = max(first.srcs[1], second.srcs[1])
+                else:
+                    break
+                instrs[j] = replace(second,
+                                    srcs=(second.srcs[0], combined))
+                del instrs[bra_idx]
+                del instrs[k]
+                return Program(prog.name, instrs)  # one rewrite per run
+    return Program(prog.name, instrs)
+
+
+def branch_to_predication(prog: Program) -> Program:
+    """Turn a guarded skip over simple instructions into predication."""
+    instrs = list(prog.instrs)
+    for k, instr in enumerate(instrs):
+        if instr.op != "bra" or instr.guard is None or not instr.guard.startswith("!"):
+            continue
+        target = instr.srcs[0]
+        pred = instr.guard[1:]
+        body: list[int] = []
+        ok = False
+        for j in range(k + 1, len(instrs)):
+            nxt = instrs[j]
+            if nxt.op == "label" and nxt.srcs[0] == target:
+                ok = True
+                break
+            if nxt.op in ("st", "mov") and nxt.guard is None:
+                body.append(j)
+            else:
+                ok = False
+                break
+        if ok and body:
+            for j in body:
+                instrs[j] = instrs[j].with_guard(pred)
+            del instrs[k]
+            return Program(prog.name, instrs)
+    return Program(prog.name, instrs)
+
+
+def common_subexpression_elimination(prog: Program) -> Program:
+    """Value numbering over pure instructions within a straight-line region.
+
+    Re-loads of the same location, re-materialized constants, and repeated
+    arithmetic on identical operands collapse onto the first computation.
+    State resets at labels (control-flow merges) and loads reset at stores
+    to the same location.
+    """
+    out = list(prog.instrs)
+    available: dict[tuple, str] = {}  # value key -> register holding it
+    replacements: dict[str, str] = {}
+
+    def resolve(v):
+        return replacements.get(v, v) if isinstance(v, str) else v
+
+    for k, instr in enumerate(out):
+        if instr.op == "label":
+            available.clear()
+            continue
+        srcs = tuple(resolve(s) for s in instr.srcs)
+        guard = instr.guard
+        if guard is not None:
+            neg = guard.startswith("!")
+            guard = ("!" if neg else "") + resolve(guard.lstrip("!"))
+        if srcs != instr.srcs or guard != instr.guard:
+            instr = replace(instr, srcs=srcs, guard=guard)
+            out[k] = instr
+        if instr.op == "st":
+            # invalidate loads of the stored location
+            available.pop(("ld", instr.srcs[0]), None)
+            continue
+        if instr.guard is not None:
+            continue  # guarded defs are not unconditionally available
+        key: tuple | None = None
+        if instr.op == "ld":
+            key = ("ld", instr.srcs[0])
+        elif instr.op == "mov" and is_imm(instr.srcs[0]):
+            key = ("const", instr.srcs[0])
+        elif instr.is_pure_arith:
+            key = (instr.op,) + instr.srcs
+        elif instr.op == "setp":
+            key = ("setp", instr.cmp) + instr.srcs
+        if key is None:
+            continue
+        if key in available:
+            replacements[instr.dst] = available[key]
+            out[k] = Instr("mov", dst=instr.dst, srcs=(available[key],))
+        else:
+            available[key] = instr.dst
+    return Program(prog.name, out)
+
+
+def dead_code_elimination(prog: Program) -> Program:
+    """Remove unused defs, dead temp stores, and orphan labels."""
+    instrs = list(prog.instrs)
+    changed = True
+    while changed:
+        changed = False
+        prog2 = Program(prog.name, instrs)
+        for k in range(len(instrs) - 1, -1, -1):
+            instr = instrs[k]
+            if (instr.op in ("ld", "mov", "setp", "and_pred")
+                    and instr.dst is not None
+                    and not prog2.uses_of(instr.dst)):
+                del instrs[k]
+                changed = True
+                break
+            if instr.op == "st" and str(instr.srcs[0]).startswith("tmp"):
+                loaded = any(i.op == "ld" and i.srcs[0] == instr.srcs[0]
+                             for i in instrs[k + 1:])
+                if not loaded:
+                    del instrs[k]
+                    changed = True
+                    break
+            if instr.op == "label":
+                referenced = any(i.op == "bra" and i.srcs[0] == instr.srcs[0]
+                                 for i in instrs)
+                if not referenced:
+                    del instrs[k]
+                    changed = True
+                    break
+    return Program(prog.name, instrs)
+
+
+#: the O3 pipeline, in application order
+O3_PASSES: list[Pass] = [
+    store_load_forwarding,
+    copy_propagation,
+    common_subexpression_elimination,
+    copy_propagation,
+    constant_propagation,
+    dead_code_elimination,
+    predicate_combination,
+    branch_to_predication,
+    dead_code_elimination,
+]
+
+
+def optimize(prog: Program, passes: list[Pass] | None = None,
+             max_iters: int = 10) -> Program:
+    """Run the pass pipeline to fixpoint (bounded)."""
+    passes = O3_PASSES if passes is None else passes
+    current = prog.copy()
+    for _ in range(max_iters):
+        before = [i.render() for i in current.instrs]
+        for p in passes:
+            current = p(current)
+        if [i.render() for i in current.instrs] == before:
+            break
+    return current
+
+
+def instruction_counts(programs: list[Program], optimized: bool
+                       ) -> list[int]:
+    """Instruction counts for each program, at O0 or O3."""
+    if not optimized:
+        return [p.count() for p in programs]
+    return [optimize(p).count() for p in programs]

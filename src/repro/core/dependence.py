@@ -1,0 +1,67 @@
+"""Dependence analysis between operator kernels (paper SS III-C).
+
+Two kinds of inter-kernel dependence exist:
+
+* **ELEMENTWISE** -- each output element of the consumer depends on one
+  element produced by the producer.  The array dependence decomposes into
+  scalar dependences, so the kernels can be fused (e.g. SELECT -> SELECT).
+* **BARRIER** -- the consumer must wait for the *entire* producer (e.g.
+  SORT -> anything, anything -> SORT, or the build side of a JOIN).
+
+Domain-specific knowledge supplies the classification: "JOIN-JOIN can be
+fused, but SORT-JOIN cannot ... SORT and UNIQUE cannot be fused with any
+other operators."
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..plans.plan import OpType, PlanNode
+
+
+class DepClass(enum.Enum):
+    ELEMENTWISE = "elementwise"
+    BARRIER = "barrier"
+
+
+#: producers whose full output must exist before any consumer element is valid
+_BARRIER_PRODUCERS = frozenset({
+    OpType.SORT, OpType.UNIQUE, OpType.AGGREGATE, OpType.UNION,
+})
+
+#: consumers that need their whole input before producing anything
+_BARRIER_CONSUMERS = frozenset({OpType.SORT, OpType.UNIQUE, OpType.UNION})
+
+#: binary consumers whose *second* input is a build/lookup structure
+_BUILD_SIDE_CONSUMERS = frozenset({
+    OpType.JOIN, OpType.SEMI_JOIN, OpType.ANTI_JOIN, OpType.PRODUCT,
+    OpType.INTERSECTION, OpType.DIFFERENCE,
+})
+
+
+def classify_edge(producer: PlanNode, consumer: PlanNode, input_index: int
+                  ) -> DepClass:
+    """Classify the dependence of `consumer`'s `input_index`-th input on
+    `producer`."""
+    if producer.op in _BARRIER_PRODUCERS:
+        return DepClass.BARRIER
+    if consumer.op in _BARRIER_CONSUMERS:
+        return DepClass.BARRIER
+    if consumer.op in _BUILD_SIDE_CONSUMERS and input_index >= 1:
+        return DepClass.BARRIER
+    return DepClass.ELEMENTWISE
+
+
+def is_fusable_into_chain(producer: PlanNode, consumer: PlanNode) -> bool:
+    """Can `consumer` extend a fused chain ending at `producer`?
+
+    True iff the consumer's primary (left) input is elementwise-dependent
+    on the producer.
+    """
+    if producer not in consumer.inputs:
+        return False
+    idx = consumer.inputs.index(producer)
+    if idx != 0:
+        return False
+    return classify_edge(producer, consumer, 0) is DepClass.ELEMENTWISE

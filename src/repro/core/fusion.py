@@ -1,0 +1,192 @@
+"""The kernel-fusion pass (paper SS III).
+
+Walks the plan in topological order and greedily grows fused regions:
+a consumer joins the region ending at its primary input when
+
+1. the dependence is ELEMENTWISE (SS III-C dependence analysis),
+2. the producer has no other consumer (its intermediate would otherwise
+   have to be materialized anyway),
+3. merging does not create a cycle between regions (a side input must not
+   transitively depend on the region being extended), and
+4. the cost model approves (register pressure vs. saved traffic/stages).
+
+The output is a :class:`FusionResult`: a *topologically ordered* list of
+execution blocks, each either a fused region (>= 1 fusable ops lowered to
+one compute + one gather kernel) or a standalone operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..plans.plan import OpType, Plan, PlanNode
+from .cost import FusionCostModel
+from .dependence import is_fusable_into_chain
+from .opmodels import FUSABLE_OPS
+
+
+@dataclass(eq=False)
+class Region:
+    """One execution block after fusion."""
+
+    nodes: list[PlanNode]
+
+    @property
+    def fused(self) -> bool:
+        return len(self.nodes) > 1
+
+    @property
+    def is_barrier_op(self) -> bool:
+        return self.nodes[0].op not in FUSABLE_OPS and self.nodes[0].op is not OpType.SOURCE
+
+    @property
+    def name(self) -> str:
+        return "+".join(n.name for n in self.nodes)
+
+    @property
+    def output_node(self) -> PlanNode:
+        return self.nodes[-1]
+
+    @property
+    def selectivity(self) -> float:
+        sel = 1.0
+        for n in self.nodes:
+            sel *= n.selectivity
+        return sel
+
+
+@dataclass
+class FusionResult:
+    plan: Plan
+    regions: list[Region]
+    decisions: list[tuple[str, bool, float]] = field(default_factory=list)
+
+    @property
+    def num_fused_regions(self) -> int:
+        return sum(1 for r in self.regions if r.fused)
+
+    @property
+    def num_kernels_saved(self) -> int:
+        """Operator kernels eliminated by fusion (each op standing alone
+        would cost its own compute+gather pair)."""
+        return sum(2 * (len(r.nodes) - 1) for r in self.regions if r.fused)
+
+    def region_of(self, node: PlanNode) -> Region:
+        for r in self.regions:
+            if node in r.nodes:
+                return r
+        raise KeyError(node.name)
+
+    def describe(self) -> str:
+        lines = [f"fusion result for plan {self.plan.name!r}:"]
+        for r in self.regions:
+            mark = "FUSED " if r.fused else ("barrier" if r.is_barrier_op else "single")
+            lines.append(f"  [{mark}] {r.name}")
+        return "\n".join(lines)
+
+
+class _RegionGraph:
+    """Tracks inter-region dependencies during the greedy pass."""
+
+    def __init__(self):
+        self.deps: dict[int, set[int]] = {}   # region id -> ids it depends on
+        self.by_id: dict[int, Region] = {}
+
+    def add(self, region: Region) -> None:
+        self.deps[id(region)] = set()
+        self.by_id[id(region)] = region
+
+    def add_dep(self, region: Region, on: Region) -> None:
+        if on is not region:
+            self.deps[id(region)].add(id(on))
+
+    def depends_on(self, region: Region, target: Region) -> bool:
+        """True if `region` transitively depends on `target`."""
+        seen: set[int] = set()
+        stack = [id(region)]
+        tid = id(target)
+        while stack:
+            rid = stack.pop()
+            if rid == tid:
+                return True
+            if rid in seen:
+                continue
+            seen.add(rid)
+            stack.extend(self.deps.get(rid, ()))
+        return False
+
+    def topo_order(self, regions: list[Region]) -> list[Region]:
+        order: list[Region] = []
+        done: set[int] = set()
+
+        def visit(region: Region) -> None:
+            rid = id(region)
+            if rid in done:
+                return
+            done.add(rid)
+            for dep_id in sorted(self.deps.get(rid, ()),
+                                 key=lambda d: _creation_rank[d]):
+                visit(self.by_id[dep_id])
+            order.append(region)
+
+        _creation_rank = {id(r): i for i, r in enumerate(regions)}
+        for region in regions:
+            visit(region)
+        return order
+
+
+def fuse_plan(plan: Plan, cost_model: FusionCostModel | None = None,
+              enable: bool = True) -> FusionResult:
+    """Run the fusion pass.  With ``enable=False``, every operator is its
+    own region (the unfused baseline, used by the serial strategies)."""
+    plan.validate()
+    order = [n for n in plan.topological() if n.op is not OpType.SOURCE]
+    region_of: dict[int, Region] = {}
+    regions: list[Region] = []
+    decisions: list[tuple[str, bool, float]] = []
+    graph = _RegionGraph()
+
+    def input_regions(node: PlanNode) -> list[Region]:
+        return [region_of[id(inp)] for inp in node.inputs
+                if inp.op is not OpType.SOURCE]
+
+    for node in order:
+        merged = False
+        if enable and node.op in FUSABLE_OPS and node.inputs:
+            primary = node.inputs[0]
+            prim_region = region_of.get(id(primary))
+            side_regions = [region_of[id(inp)] for inp in node.inputs[1:]
+                            if inp.op is not OpType.SOURCE]
+            acyclic = prim_region is not None and not any(
+                graph.depends_on(s, prim_region) for s in side_regions)
+            if (
+                prim_region is not None
+                and prim_region.output_node is primary
+                and not prim_region.is_barrier_op
+                and len(plan.consumers(primary)) == 1
+                and is_fusable_into_chain(primary, node)
+                and acyclic
+            ):
+                if cost_model is None:
+                    approve, benefit = True, 0.0
+                else:
+                    decision = cost_model.evaluate(prim_region.nodes, node)
+                    approve, benefit = decision.fuse, decision.benefit
+                decisions.append((f"{prim_region.name} + {node.name}",
+                                  approve, benefit))
+                if approve:
+                    prim_region.nodes.append(node)
+                    region_of[id(node)] = prim_region
+                    for s in side_regions:
+                        graph.add_dep(prim_region, s)
+                    merged = True
+        if not merged:
+            region = Region(nodes=[node])
+            graph.add(region)
+            regions.append(region)
+            region_of[id(node)] = region
+            for dep in input_regions(node):
+                graph.add_dep(region, dep)
+
+    ordered = graph.topo_order(regions)
+    return FusionResult(plan=plan, regions=ordered, decisions=decisions)

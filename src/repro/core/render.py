@@ -1,0 +1,115 @@
+"""Render a fused region as CUDA-like source (what the compiler would emit).
+
+The paper's automation section (SS III-C) describes the generated fused
+kernel's structure: partition first, the topologically sorted compute
+stages passing intermediates through registers, then buffer and gather.
+This renderer produces that source text for inspection/debugging -- the
+textual counterpart of Fig 6 -- and is used by `examples/fusion_explorer`
+and the docs tests.
+"""
+
+from __future__ import annotations
+
+from ..errors import FusionError
+from ..plans.plan import OpType, PlanNode
+from ..ra.expr import And, BinOp, Compare, Const, Expr, Field, Not, Or, Predicate
+from .opmodels import FUSABLE_OPS
+
+
+def render_expr(expr: Expr) -> str:
+    if isinstance(expr, Field):
+        return expr.name
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, BinOp):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    raise FusionError(f"cannot render expression {expr!r}")
+
+
+def render_predicate(pred: Predicate) -> str:
+    if isinstance(pred, Compare):
+        return f"({render_expr(pred.left)} {pred.op} {render_expr(pred.right)})"
+    if isinstance(pred, And):
+        return f"({render_predicate(pred.left)} && {render_predicate(pred.right)})"
+    if isinstance(pred, Or):
+        return f"({render_predicate(pred.left)} || {render_predicate(pred.right)})"
+    if isinstance(pred, Not):
+        return f"(!{render_predicate(pred.inner)})"
+    raise FusionError(f"cannot render predicate {pred!r}")
+
+
+def _stage_lines(node: PlanNode) -> list[str]:
+    if node.op is OpType.SELECT:
+        return [f"// filter stage: {node.name}",
+                f"if (!{render_predicate(node.params['predicate'])}) continue;"]
+    if node.op is OpType.PROJECT:
+        fields = ", ".join(node.params["fields"])
+        return [f"// project stage: {node.name} -> keep [{fields}]"]
+    if node.op is OpType.ARITH:
+        lines = [f"// arithmetic stage: {node.name}"]
+        for out, expr in node.params["outputs"].items():
+            lines.append(f"float {out} = {render_expr(expr)};")
+        return lines
+    if node.op is OpType.JOIN:
+        how = ("gather from aligned column"
+               if node.params.get("gather") else "probe hash table")
+        return [f"// join stage: {node.name} ({how})",
+                f"value_{node.name} = table_{node.inputs[1].name}[key];",
+                "// (miss) continue; -- on no match" if not node.params.get("gather") else ""]
+    if node.op in (OpType.SEMI_JOIN, OpType.ANTI_JOIN,
+                   OpType.INTERSECTION, OpType.DIFFERENCE):
+        neg = "!" if node.op in (OpType.ANTI_JOIN, OpType.DIFFERENCE) else ""
+        return [f"// set-lookup stage: {node.name}",
+                f"if ({neg}lookup_{node.inputs[1].name}(key)) continue;"
+                if neg == "" else
+                f"if ({neg}lookup_{node.inputs[1].name}(key) == false) continue;"]
+    if node.op is OpType.PRODUCT:
+        return [f"// product stage: {node.name} (expand against "
+                f"{node.inputs[1].name})"]
+    if node.op is OpType.AGGREGATE:
+        keys = node.params.get("group_by") or ["<global>"]
+        return [f"// reduce stage: {node.name} (group by {', '.join(keys)})",
+                "atomic_reduce(out, key, value);"]
+    raise FusionError(f"cannot render stage for {node.op.value}")
+
+
+def render_fused_kernel(nodes: list[PlanNode], name: str | None = None) -> str:
+    """CUDA-like source for a fused region's compute (+ gather) kernel."""
+    if not nodes:
+        raise FusionError("empty region")
+    for n in nodes:
+        if n.op not in FUSABLE_OPS:
+            raise FusionError(f"{n.name} ({n.op.value}) is not fusable")
+    kname = name or "_".join(n.name for n in nodes)
+    terminal_agg = nodes[-1].op is OpType.AGGREGATE
+
+    body: list[str] = []
+    body.append("// stage 1: partition -- one contiguous chunk per CTA")
+    body.append("range r = partition(n, blockIdx.x, gridDim.x);")
+    body.append("for (int i = r.begin + threadIdx.x; i < r.end; i += blockDim.x) {")
+    body.append("    // element enters registers once; all fused stages chain here")
+    for node in nodes:
+        for line in _stage_lines(node):
+            if line:
+                body.append("    " + line)
+    if terminal_agg:
+        body.append("}")
+    else:
+        body.append("    // final stage: buffer survivors into the CTA's staging area")
+        body.append("    buffer[cta_count++] = element;")
+        body.append("}")
+
+    src = [f"__global__ void {kname}_compute(...)", "{"]
+    src += ["    " + l for l in body]
+    src.append("}")
+    if not terminal_agg:
+        src += [
+            "",
+            "// global synchronization, then:",
+            f"__global__ void {kname}_gather(...)",
+            "{",
+            "    // exclusive-scan CTA counts; copy each CTA's survivors",
+            "    out[scan[blockIdx.x] + threadIdx.x] = buffer[threadIdx.x];",
+            "}",
+        ]
+    return "\n".join(src)

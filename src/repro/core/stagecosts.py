@@ -1,0 +1,91 @@
+"""Per-stage cost parameters for the RA kernel implementations.
+
+Each RA operator's GPU implementation is modeled as stages (partition /
+compute / buffer / gather, per Diamos et al.).  The constants here are the
+per-element instruction counts, register demands, and memory-traffic
+factors of each stage kind.  They are *fit* constants: chosen so the
+simulated SELECT pipeline matches the paper's measured curves --
+
+* absolute GPU SELECT throughput ~= 20 GB/s at 50% selectivity (Fig 4a),
+* fused filter ~= 1.57x two separate filters, fused gather ~= 3.03x two
+  separate gathers (Fig 10),
+* SORT dominating TPC-H Q1 at ~71% of baseline time (Fig 18a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StageCostParams:
+    # skeleton ---------------------------------------------------------------
+    skeleton_base_regs: int = 6           # thread bookkeeping of any kernel
+    partition_insts: float = 3.0          # index math per element
+    partition_regs: int = 2
+    buffer_insts_per_match: float = 6.0   # compact matched rows into CTA buffer
+    buffer_regs: int = 3
+    gather_insts_per_elem: float = 8.0    # scan + copy, on surviving elements
+    gather_regs: int = 8
+    #: gather streams coalesced, non-divergent traffic: it sees better
+    #: effective bandwidth than the divergent filter stages.  Fit to the
+    #: fused-gather 3.03x / overall-compute 1.80x split of Fig 10 / Fig 8(b).
+    gather_bw_factor: float = 1.8
+
+    # filter (SELECT) ---------------------------------------------------------
+    #: per-element cost of the *first* filter stage: load, index math,
+    #: ballot/prefix machinery.  Fit so the GPU SELECT curve is mildly
+    #: instruction-bound, giving the flat-ish 22/19/16 GB/s profile of
+    #: Fig 4(a).
+    filter_base_insts: float = 76.0
+    #: marginal cost of a *chained* (fused) filter stage: the heavy
+    #: per-element machinery is shared; only the predicate is re-evaluated.
+    filter_chained_insts: float = 6.0
+    filter_insts_per_pred_inst: float = 2.0
+    filter_regs_base: int = 6
+    filter_regs_per_field: int = 1
+
+    # map (ARITH / PROJECT) ------------------------------------------------------
+    map_insts_per_expr_inst: float = 2.0
+    map_base_insts: float = 6.0
+    map_regs_base: int = 4
+    project_insts: float = 2.0            # register moves only
+
+    # join --------------------------------------------------------------------
+    hash_build_insts: float = 22.0        # per build-side element
+    hash_build_regs: int = 10
+    hash_table_bytes_factor: float = 2.0  # table size / build input size
+    join_probe_insts: float = 30.0        # per probe element
+    join_probe_regs: int = 7
+    join_probe_read_factor: float = 2.0   # random-access amplification
+    # positional (row-id) gather join: direct column fetch, no build
+    gather_join_insts: float = 14.0
+    gather_join_regs: int = 4
+
+    # set lookup (SEMI/ANTI JOIN, INTERSECTION, DIFFERENCE probe side) -----------
+    set_lookup_insts: float = 26.0
+    set_lookup_regs: int = 6
+
+    # product ---------------------------------------------------------------------
+    product_insts_per_output: float = 8.0
+    product_regs: int = 6
+
+    # reduction (AGGREGATE) ---------------------------------------------------------
+    reduce_insts_per_elem: float = 12.0
+    reduce_regs: int = 8
+
+    # sort / unique -------------------------------------------------------------------
+    sort_pass_insts: float = 10.0         # per element, per merge pass
+    #: data passes per log2(n): 1.0 would be an ideal merge sort; the
+    #: paper's multi-field sort (Diamos et al.) behaves bitonic-flavored.
+    #: Fit to SORT's ~71% share of the Q1 baseline (Fig 18a).
+    sort_pass_factor: float = 1.6
+    sort_regs: int = 20
+    unique_compact_insts: float = 8.0
+
+    # host-side ------------------------------------------------------------------------
+    host_gather_bw: float = 8.0e9         # bytes/s for the CPU-side gather
+                                          # fission requires (SS IV-C)
+
+
+DEFAULT_STAGE_COSTS = StageCostParams()

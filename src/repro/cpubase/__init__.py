@@ -1,0 +1,5 @@
+"""CPU baseline (16-thread dual-Xeon SELECT, for the Fig 4(a) comparison)."""
+
+from .select import cpu_select, cpu_select_time, cpu_select_throughput
+
+__all__ = ["cpu_select", "cpu_select_time", "cpu_select_throughput"]

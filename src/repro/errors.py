@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DeviceOOMError(ReproError):
+    """Raised when a device-memory allocation exceeds the GPU capacity."""
+
+    def __init__(self, requested: int, free: int, capacity: int):
+        self.requested = int(requested)
+        self.free = int(free)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"device OOM: requested {requested} B, free {free} B "
+            f"of {capacity} B capacity"
+        )
+
+
+class SchedulingError(ReproError):
+    """Raised for invalid stream / engine scheduling requests."""
+
+
+class FusionError(ReproError):
+    """Raised when a fusion request violates fusibility rules."""
+
+
+class PlanError(ReproError):
+    """Raised for malformed logical plans."""
+
+
+class RelationError(ReproError):
+    """Raised for schema or shape violations on relations."""
+
+
+class CompilerError(ReproError):
+    """Raised by the compilerlite micro-compiler."""

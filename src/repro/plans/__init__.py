@@ -1,0 +1,13 @@
+"""Logical query plans, functional interpretation, and pattern detection."""
+
+from .explain import explain
+from .interp import evaluate, evaluate_sinks
+from .patterns import PatternMatch, find_patterns, pattern_census
+from .plan import FUSION_BARRIER_OPS, OpType, Plan, PlanNode
+from .rewrite import merge_selects, optimize_plan, prune_projects, reorder_selects
+
+__all__ = [
+    "explain", "evaluate", "evaluate_sinks", "PatternMatch", "find_patterns",
+    "pattern_census", "FUSION_BARRIER_OPS", "OpType", "Plan", "PlanNode",
+    "merge_selects", "optimize_plan", "prune_projects", "reorder_selects",
+]

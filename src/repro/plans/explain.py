@@ -1,0 +1,79 @@
+"""EXPLAIN: human-readable plan trees with optimizer annotations.
+
+Renders a logical plan as an indented tree, optionally overlaying
+
+* estimated cardinalities (given source row counts),
+* the fusion pass's region assignment, and
+* per-node output-row bytes,
+
+so a user can see at a glance what will fuse, what forms a barrier, and
+where the data volume collapses.
+"""
+
+from __future__ import annotations
+
+from .plan import OpType, Plan, PlanNode
+
+
+def _node_label(node: PlanNode, sizes: dict[str, int] | None,
+                region_names: dict[str, str] | None) -> str:
+    from ..core.opmodels import out_row_nbytes  # lazy: avoids an import cycle
+    parts = [f"{node.op.value.upper()} {node.name}"]
+    if node.op is OpType.SELECT and node.predicate is not None:
+        try:
+            from ..core.render import render_predicate
+            parts.append(render_predicate(node.predicate))
+        except Exception:
+            pass
+    if node.op is not OpType.SOURCE and node.selectivity != 1.0:
+        parts.append(f"sel={node.selectivity:g}")
+    if sizes is not None:
+        parts.append(f"rows~{sizes[node.name]:,}")
+    parts.append(f"row={out_row_nbytes(node)}B")
+    if region_names is not None and node.name in region_names:
+        parts.append(f"[{region_names[node.name]}]")
+    return "  ".join(parts)
+
+
+def explain(plan: Plan, source_rows: dict[str, int] | None = None,
+            fused: bool = True) -> str:
+    """The EXPLAIN text for a plan."""
+    from ..core.fusion import fuse_plan  # lazy: avoids an import cycle
+    plan.validate()
+    sizes = None
+    if source_rows is not None:
+        from ..runtime.sizes import estimate_sizes
+        sizes = estimate_sizes(plan, source_rows)
+
+    region_names: dict[str, str] | None = None
+    fusion = None
+    if fused:
+        fusion = fuse_plan(plan)
+        region_names = {}
+        for idx, region in enumerate(fusion.regions):
+            if region.fused:
+                tag = f"fused region {idx}"
+            elif region.is_barrier_op:
+                tag = f"barrier {idx}"
+            else:
+                tag = f"region {idx}"
+            for node in region.nodes:
+                region_names[node.name] = tag
+
+    lines: list[str] = [f"plan {plan.name!r}"]
+
+    def visit(node: PlanNode, depth: int, slot: str) -> None:
+        indent = "  " * depth + slot
+        lines.append(indent + _node_label(node, sizes, region_names))
+        for i, inp in enumerate(node.inputs):
+            child_slot = "<- " if i == 0 else "+= "
+            visit(inp, depth + 1, child_slot)
+
+    for sink in plan.sinks():
+        visit(sink, 1, "")
+
+    if fusion is not None:
+        lines.append("")
+        lines.append(f"fusion: {fusion.num_fused_regions} fused region(s), "
+                     f"{fusion.num_kernels_saved} kernel(s) eliminated")
+    return "\n".join(lines)

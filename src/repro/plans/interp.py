@@ -1,0 +1,66 @@
+"""Functional plan interpreter.
+
+Evaluates a logical plan over real relations with the NumPy operator
+implementations -- the reference the optimized (fused) execution is checked
+against.  Timing plays no role here.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from ..ra import arithmetic, operators
+from ..ra.sort import sort as ra_sort, unique as ra_unique
+from ..ra.relation import Relation
+from .plan import OpType, Plan, PlanNode
+
+
+def evaluate(plan: Plan, sources: dict[str, Relation]) -> dict[str, Relation]:
+    """Evaluate every node; returns {node name: result relation}."""
+    plan.validate()
+    results: dict[str, Relation] = {}
+    for node in plan.topological():
+        results[node.name] = _eval_node(node, results, sources)
+    return results
+
+
+def evaluate_sinks(plan: Plan, sources: dict[str, Relation]) -> dict[str, Relation]:
+    """Evaluate the plan and return only the sink results."""
+    results = evaluate(plan, sources)
+    return {n.name: results[n.name] for n in plan.sinks()}
+
+
+def _eval_node(node: PlanNode, results: dict[str, Relation],
+               sources: dict[str, Relation]) -> Relation:
+    ins = [results[i.name] for i in node.inputs]
+    p = node.params
+    if node.op is OpType.SOURCE:
+        if node.name not in sources:
+            raise PlanError(f"no input relation bound for source {node.name!r}")
+        return sources[node.name]
+    if node.op is OpType.SELECT:
+        return operators.select(ins[0], p["predicate"])
+    if node.op is OpType.PROJECT:
+        return operators.project(ins[0], p["fields"])
+    if node.op is OpType.JOIN:
+        return operators.join(ins[0], ins[1], on=p.get("on"))
+    if node.op is OpType.SEMI_JOIN:
+        return operators.semi_join(ins[0], ins[1], on=p.get("on"))
+    if node.op is OpType.ANTI_JOIN:
+        return operators.anti_join(ins[0], ins[1], on=p.get("on"))
+    if node.op is OpType.PRODUCT:
+        return operators.product(ins[0], ins[1])
+    if node.op is OpType.UNION:
+        return operators.union(ins[0], ins[1])
+    if node.op is OpType.INTERSECTION:
+        return operators.intersection(ins[0], ins[1])
+    if node.op is OpType.DIFFERENCE:
+        return operators.difference(ins[0], ins[1])
+    if node.op is OpType.SORT:
+        return ra_sort(ins[0], by=p.get("by"), descending=p.get("descending", False))
+    if node.op is OpType.UNIQUE:
+        return ra_unique(ins[0])
+    if node.op is OpType.ARITH:
+        return arithmetic.arith(ins[0], p["outputs"], keep=p.get("keep"))
+    if node.op is OpType.AGGREGATE:
+        return arithmetic.aggregate(ins[0], p["group_by"], p["aggs"])
+    raise PlanError(f"unhandled op {node.op}")

@@ -1,0 +1,105 @@
+"""Detection of the paper's Figure 2 operator patterns.
+
+The paper identifies eight frequently occurring operator combinations in
+TPC-H that are candidates for fusion:
+
+=====  ==========================================================
+(a)    back-to-back SELECTs (e.g. date-range filters)
+(b)    a cascade of JOINs building a wide table
+(c)    several SELECTs filtering the *same* input
+(d)    SELECT over fields produced by a JOIN
+(e)    ARITH over fields produced by a JOIN
+(f)    JOIN of two SELECT-ed tables
+(g)    AGGREGATION over SELECT-ed data
+(h)    ARITH followed by PROJECT discarding the sources
+=====  ==========================================================
+
+These matches feed the fusion pass's candidate discovery; they are also
+reproduced as an experiment (tests + a pattern-census bench over Q1/Q21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .plan import OpType, Plan, PlanNode
+
+#: join-shaped operators: the figure draws JOIN, but semi/anti joins have
+#: the same producer/consumer structure and fuse the same way
+JOIN_LIKE = frozenset({OpType.JOIN, OpType.SEMI_JOIN, OpType.ANTI_JOIN})
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    pattern: str          # 'a' .. 'h'
+    nodes: tuple[PlanNode, ...]
+
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(n.name for n in self.nodes)
+
+
+def find_patterns(plan: Plan) -> list[PatternMatch]:
+    """All Figure-2 pattern instances in the plan, in topological order."""
+    matches: list[PatternMatch] = []
+    order = list(plan.topological())
+
+    for node in order:
+        # (a) SELECT -> SELECT
+        if node.op is OpType.SELECT:
+            for consumer in plan.consumers(node):
+                if consumer.op is OpType.SELECT:
+                    matches.append(PatternMatch("a", (node, consumer)))
+
+        # (b) JOIN -> JOIN
+        if node.op in JOIN_LIKE:
+            for consumer in plan.consumers(node):
+                if consumer.op in JOIN_LIKE:
+                    matches.append(PatternMatch("b", (node, consumer)))
+
+        # (c) one producer feeding >= 2 SELECTs
+        selects = [c for c in plan.consumers(node) if c.op is OpType.SELECT]
+        if len(selects) >= 2:
+            matches.append(PatternMatch("c", (node, *selects)))
+
+        # (d) JOIN -> SELECT, (e) JOIN -> ARITH
+        if node.op in JOIN_LIKE:
+            for consumer in plan.consumers(node):
+                if consumer.op is OpType.SELECT:
+                    matches.append(PatternMatch("d", (node, consumer)))
+                if consumer.op is OpType.ARITH:
+                    matches.append(PatternMatch("e", (node, consumer)))
+
+        # (f) JOIN whose both inputs are SELECTs
+        if node.op in JOIN_LIKE and len(node.inputs) == 2:
+            left, right = node.inputs
+            if left.op is OpType.SELECT and right.op is OpType.SELECT:
+                matches.append(PatternMatch("f", (left, right, node)))
+
+        # (g) SELECT -> AGGREGATE
+        if node.op is OpType.SELECT:
+            for consumer in plan.consumers(node):
+                if consumer.op is OpType.AGGREGATE:
+                    matches.append(PatternMatch("g", (node, consumer)))
+
+        # (h) ARITH -> PROJECT discarding at least one source field
+        if node.op is OpType.ARITH:
+            for consumer in plan.consumers(node):
+                if consumer.op is OpType.PROJECT:
+                    kept = set(consumer.params.get("fields", []))
+                    produced = set(node.params.get("outputs", {}))
+                    used = set()
+                    for expr in node.params.get("outputs", {}).values():
+                        used |= expr.fields()
+                    discards_source = bool(used - kept) or not used
+                    if produced & kept and discards_source:
+                        matches.append(PatternMatch("h", (node, consumer)))
+
+    return matches
+
+
+def pattern_census(plan: Plan) -> dict[str, int]:
+    """Count of each Figure-2 pattern present in the plan."""
+    census = {p: 0 for p in "abcdefgh"}
+    for m in find_patterns(plan):
+        census[m.pattern] += 1
+    return census

@@ -1,0 +1,235 @@
+"""Logical query plans: DAGs of relational-algebra operators.
+
+A :class:`Plan` is what the fusion/fission passes rewrite and what the
+executor runs.  Nodes carry the operator type, its parameters (predicate,
+fields, expressions, ...), and an output-cardinality estimate used when the
+workload is *virtual* (timing-only, no materialized arrays -- needed for
+the paper's multi-billion-element experiments).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..errors import PlanError
+from ..ra.expr import Expr, Predicate
+
+
+class OpType(enum.Enum):
+    SOURCE = "source"
+    SELECT = "select"
+    PROJECT = "project"
+    JOIN = "join"
+    SEMI_JOIN = "semi_join"
+    ANTI_JOIN = "anti_join"
+    PRODUCT = "product"
+    UNION = "union"
+    INTERSECTION = "intersection"
+    DIFFERENCE = "difference"
+    SORT = "sort"
+    UNIQUE = "unique"
+    ARITH = "arith"
+    AGGREGATE = "aggregate"
+
+
+#: operators that can never fuse with anything (paper SS III-C).
+FUSION_BARRIER_OPS = frozenset({OpType.SORT, OpType.UNIQUE})
+
+
+@dataclass(eq=False)
+class PlanNode:
+    """One operator application in a plan DAG."""
+
+    op: OpType
+    name: str
+    inputs: list["PlanNode"] = field(default_factory=list)
+    params: dict[str, Any] = field(default_factory=dict)
+    #: estimated ratio of output rows to (left) input rows
+    selectivity: float = 1.0
+    #: estimated bytes per output row; None -> inherit from (left) input
+    out_row_nbytes: int | None = None
+
+    def __post_init__(self):
+        if self.selectivity < 0:
+            raise PlanError(f"negative selectivity on {self.name}")
+
+    @property
+    def predicate(self) -> Predicate | None:
+        return self.params.get("predicate")
+
+    def __repr__(self):
+        ins = ",".join(i.name for i in self.inputs)
+        return f"PlanNode({self.op.value}:{self.name} <- [{ins}])"
+
+
+class Plan:
+    """A DAG of :class:`PlanNode` built through a fluent API.
+
+    >>> plan = Plan()
+    >>> src = plan.source("lineitem", row_nbytes=4)
+    >>> sel = plan.select(src, Field("f0") < 10, selectivity=0.5)
+    """
+
+    def __init__(self, name: str = "plan"):
+        self.name = name
+        self.nodes: list[PlanNode] = []
+        self._counter = itertools.count()
+
+    # -- builders -------------------------------------------------------------
+    def _add(self, node: PlanNode) -> PlanNode:
+        for inp in node.inputs:
+            if inp not in self.nodes:
+                raise PlanError(f"input {inp.name} of {node.name} not in this plan")
+        self.nodes.append(node)
+        return node
+
+    def _name(self, op: OpType, name: str | None) -> str:
+        return name or f"{op.value}_{next(self._counter)}"
+
+    def source(self, name: str, row_nbytes: int = 4, n_rows: int | None = None
+               ) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.SOURCE, name, [],
+            params={"n_rows": n_rows}, out_row_nbytes=row_nbytes))
+
+    def select(self, input_node: PlanNode, predicate: Predicate,
+               selectivity: float = 0.5, name: str | None = None) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.SELECT, self._name(OpType.SELECT, name), [input_node],
+            params={"predicate": predicate}, selectivity=selectivity))
+
+    def project(self, input_node: PlanNode, fields: list[str],
+                out_row_nbytes: int | None = None, name: str | None = None) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.PROJECT, self._name(OpType.PROJECT, name), [input_node],
+            params={"fields": fields}, out_row_nbytes=out_row_nbytes))
+
+    def join(self, left: PlanNode, right: PlanNode, on: str | None = None,
+             match_rate: float = 1.0, out_row_nbytes: int | None = None,
+             gather: bool = False, name: str | None = None) -> PlanNode:
+        """JOIN.  ``gather=True`` marks a positional (row-id) join against an
+        aligned column array: no hash build, the probe is a direct fetch --
+        how the paper's columnar engine merges lineitem columns in Q1."""
+        return self._add(PlanNode(
+            OpType.JOIN, self._name(OpType.JOIN, name), [left, right],
+            params={"on": on, "gather": gather}, selectivity=match_rate,
+            out_row_nbytes=out_row_nbytes))
+
+    def semi_join(self, left: PlanNode, right: PlanNode, on: str | None = None,
+                  match_rate: float = 0.5, name: str | None = None) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.SEMI_JOIN, self._name(OpType.SEMI_JOIN, name), [left, right],
+            params={"on": on}, selectivity=match_rate))
+
+    def anti_join(self, left: PlanNode, right: PlanNode, on: str | None = None,
+                  match_rate: float = 0.5, name: str | None = None) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.ANTI_JOIN, self._name(OpType.ANTI_JOIN, name), [left, right],
+            params={"on": on}, selectivity=match_rate))
+
+    def product(self, left: PlanNode, right: PlanNode, right_rows: int = 1,
+                name: str | None = None) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.PRODUCT, self._name(OpType.PRODUCT, name), [left, right],
+            selectivity=float(right_rows)))
+
+    def union(self, left: PlanNode, right: PlanNode, name: str | None = None) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.UNION, self._name(OpType.UNION, name), [left, right],
+            selectivity=1.0))
+
+    def intersection(self, left: PlanNode, right: PlanNode,
+                     match_rate: float = 0.5, name: str | None = None) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.INTERSECTION, self._name(OpType.INTERSECTION, name),
+            [left, right], selectivity=match_rate))
+
+    def difference(self, left: PlanNode, right: PlanNode,
+                   keep_rate: float = 0.5, name: str | None = None) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.DIFFERENCE, self._name(OpType.DIFFERENCE, name),
+            [left, right], selectivity=keep_rate))
+
+    def sort(self, input_node: PlanNode, by: list[str] | None = None,
+             descending: bool = False, name: str | None = None) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.SORT, self._name(OpType.SORT, name), [input_node],
+            params={"by": by, "descending": descending}))
+
+    def unique(self, input_node: PlanNode, distinct_rate: float = 1.0,
+               name: str | None = None) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.UNIQUE, self._name(OpType.UNIQUE, name), [input_node],
+            selectivity=distinct_rate))
+
+    def arith(self, input_node: PlanNode, outputs: dict[str, Expr],
+              keep: list[str] | None = None, out_row_nbytes: int | None = None,
+              name: str | None = None) -> PlanNode:
+        return self._add(PlanNode(
+            OpType.ARITH, self._name(OpType.ARITH, name), [input_node],
+            params={"outputs": outputs, "keep": keep},
+            out_row_nbytes=out_row_nbytes))
+
+    def aggregate(self, input_node: PlanNode, group_by: list[str],
+                  aggs: dict, n_groups: int | None = 1,
+                  group_rate: float = 0.01, name: str | None = None) -> PlanNode:
+        """AGGREGATE.  Output size is `n_groups` rows when given, else
+        ``group_rate`` * input rows (for group counts that scale with the
+        data, like Q21's per-order aggregates)."""
+        return self._add(PlanNode(
+            OpType.AGGREGATE, self._name(OpType.AGGREGATE, name), [input_node],
+            params={"group_by": group_by, "aggs": aggs, "n_groups": n_groups},
+            selectivity=group_rate))
+
+    # -- graph queries ----------------------------------------------------------
+    def consumers(self, node: PlanNode) -> list[PlanNode]:
+        return [n for n in self.nodes if node in n.inputs]
+
+    def sinks(self) -> list[PlanNode]:
+        return [n for n in self.nodes if not self.consumers(n)]
+
+    def sources(self) -> list[PlanNode]:
+        return [n for n in self.nodes if n.op is OpType.SOURCE]
+
+    def topological(self) -> Iterator[PlanNode]:
+        """Nodes in dependency order (inputs before consumers)."""
+        seen: set[int] = set()
+        order: list[PlanNode] = []
+
+        def visit(node: PlanNode, stack: tuple[int, ...]) -> None:
+            nid = id(node)
+            if nid in stack:
+                raise PlanError(f"cycle through {node.name}")
+            if nid in seen:
+                return
+            for inp in node.inputs:
+                visit(inp, stack + (nid,))
+            seen.add(nid)
+            order.append(node)
+
+        for node in self.nodes:
+            visit(node, ())
+        return iter(order)
+
+    def validate(self) -> None:
+        """Raise PlanError on structural problems."""
+        arity = {
+            OpType.SOURCE: 0, OpType.SELECT: 1, OpType.PROJECT: 1,
+            OpType.SORT: 1, OpType.UNIQUE: 1, OpType.ARITH: 1,
+            OpType.AGGREGATE: 1, OpType.JOIN: 2, OpType.SEMI_JOIN: 2,
+            OpType.ANTI_JOIN: 2, OpType.PRODUCT: 2, OpType.UNION: 2,
+            OpType.INTERSECTION: 2, OpType.DIFFERENCE: 2,
+        }
+        names = set()
+        for node in self.nodes:
+            if len(node.inputs) != arity[node.op]:
+                raise PlanError(
+                    f"{node.name}: {node.op.value} needs {arity[node.op]} inputs, "
+                    f"has {len(node.inputs)}")
+            if node.name in names:
+                raise PlanError(f"duplicate node name {node.name!r}")
+            names.add(node.name)
+        list(self.topological())  # raises on cycles

@@ -1,0 +1,147 @@
+"""Logical plan rewrites that run before fusion.
+
+The paper frames fusion as one pass in a compiler pipeline ("mainstream
+compiler passes that can automatically provide inter-kernel
+optimizations").  These are the classic relational rewrites that pipeline
+feeds fusion with better input:
+
+* **select reordering** -- in a chain of SELECTs, apply the most selective
+  predicate first, shrinking every downstream stage (fused or not);
+* **select merging** -- adjacent SELECTs collapse into one conjunctive
+  predicate (the logical counterpart of fusing two filter stages);
+* **project pruning** -- adjacent PROJECTs collapse to the outermost one.
+
+Each rewrite returns a *new* plan (the input is never mutated) and
+preserves functional semantics -- property-tested against the interpreter.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from ..ra.expr import And
+from .plan import OpType, Plan, PlanNode
+
+
+def _clone_plan(plan: Plan) -> tuple[Plan, dict[int, PlanNode]]:
+    """Deep-copy the plan graph; returns the copy and old-id -> new node."""
+    new = Plan(name=plan.name)
+    mapping: dict[int, PlanNode] = {}
+    for node in plan.topological():
+        clone = PlanNode(
+            op=node.op, name=node.name,
+            inputs=[mapping[id(i)] for i in node.inputs],
+            params=dict(node.params),
+            selectivity=node.selectivity,
+            out_row_nbytes=node.out_row_nbytes,
+        )
+        new.nodes.append(clone)
+        mapping[id(node)] = clone
+    return new, mapping
+
+
+def _select_chains(plan: Plan) -> list[list[PlanNode]]:
+    """Maximal chains of single-consumer SELECT nodes."""
+    chains: list[list[PlanNode]] = []
+    claimed: set[int] = set()
+    for node in plan.topological():
+        if node.op is not OpType.SELECT or id(node) in claimed:
+            continue
+        # only start a chain at a SELECT whose producer is not a chainable
+        # SELECT (i.e. at the head)
+        prod = node.inputs[0]
+        if (prod.op is OpType.SELECT and len(plan.consumers(prod)) == 1):
+            continue
+        chain = [node]
+        claimed.add(id(node))
+        cur = node
+        while True:
+            consumers = plan.consumers(cur)
+            if (len(consumers) == 1 and consumers[0].op is OpType.SELECT):
+                cur = consumers[0]
+                chain.append(cur)
+                claimed.add(id(cur))
+            else:
+                break
+        if len(chain) >= 2:
+            chains.append(chain)
+    return chains
+
+
+def reorder_selects(plan: Plan) -> Plan:
+    """Sort each SELECT chain by ascending selectivity (most selective
+    first).  Legal because conjunctive filters commute; profitable because
+    every later stage sees fewer elements."""
+    new, mapping = _clone_plan(plan)
+    for chain in _select_chains(new):
+        ordered = sorted(chain, key=lambda n: n.selectivity)
+        if ordered == chain:
+            continue
+        # rewire: the head keeps the original upstream input; predicates,
+        # selectivities and names rotate into the sorted order
+        attrs = [(n.predicate, n.selectivity, n.name) for n in ordered]
+        for node, (pred, sel, name) in zip(chain, attrs):
+            node.params = dict(node.params, predicate=pred)
+            node.selectivity = sel
+            node.name = name
+    return new
+
+
+def merge_selects(plan: Plan) -> Plan:
+    """Collapse each SELECT chain into one conjunctive SELECT."""
+    new, _ = _clone_plan(plan)
+    for chain in _select_chains(new):
+        head, rest = chain[0], chain[1:]
+        pred = head.predicate
+        sel = head.selectivity
+        for node in rest:
+            pred = And(pred, node.predicate)
+            sel *= node.selectivity
+        tail = rest[-1]
+        merged_name = "+".join(n.name for n in chain)
+        head.params = dict(head.params, predicate=pred)
+        head.selectivity = sel
+        head.name = merged_name
+        # re-point the tail's consumers at the head; drop the rest
+        for consumer in new.consumers(tail):
+            consumer.inputs = [head if i is tail else i for i in consumer.inputs]
+        for node in rest:
+            new.nodes.remove(node)
+    return new
+
+
+def prune_projects(plan: Plan) -> Plan:
+    """PROJECT(PROJECT(x)) -> PROJECT(x) with the outer field list (must be
+    a subset of the inner's, else the plan was invalid anyway)."""
+    new, _ = _clone_plan(plan)
+    changed = True
+    while changed:
+        changed = False
+        for node in list(new.nodes):
+            if node.op is not OpType.PROJECT:
+                continue
+            inner = node.inputs[0]
+            if (inner.op is OpType.PROJECT
+                    and len(new.consumers(inner)) == 1):
+                outer_fields = node.params["fields"]
+                inner_fields = inner.params["fields"]
+                missing = [f for f in outer_fields
+                           if isinstance(f, str) and f not in inner_fields]
+                if missing:
+                    raise PlanError(
+                        f"project {node.name} reads {missing} which "
+                        f"{inner.name} already dropped")
+                node.inputs = [inner.inputs[0]]
+                new.nodes.remove(inner)
+                changed = True
+    return new
+
+
+def optimize_plan(plan: Plan) -> Plan:
+    """The standard pre-fusion pipeline: prune, reorder.
+
+    Select *merging* is intentionally not applied by default: merged
+    SELECTs deny the fusion pass its per-stage structure (and the executor
+    its per-operator accounting); fusion achieves the same effect at the
+    kernel level.
+    """
+    return reorder_selects(prune_projects(plan))

@@ -1,0 +1,121 @@
+"""Arithmetic (ARITH) and AGGREGATION operators.
+
+Data-warehousing queries mix RA operators with arithmetic over fields --
+the paper's canonical example is the total discounted price
+``sum((1 - discount) * price)`` (Fig 2(h)) -- and grouped aggregation
+(Fig 2(g)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import RelationError
+from .expr import Expr
+from .relation import Relation
+from .rows import pack_rows
+
+#: Supported aggregate functions.
+AGG_FUNCS = ("sum", "mean", "count", "min", "max")
+
+
+def arith(rel: Relation, outputs: Mapping[str, Expr], keep: list[str] | None = None
+          ) -> Relation:
+    """ARITH: compute new fields from expressions over existing fields.
+
+    `keep` lists input fields to retain; by default all inputs are kept
+    (PROJECT discards sources explicitly, per Fig 2(h)).
+    """
+    base = rel.fields if keep is None else keep
+    for n in base:
+        if n not in rel.columns:
+            raise RelationError(f"keep field {n!r} not in relation")
+    cols: dict[str, np.ndarray] = {n: rel.column(n) for n in base}
+    for name, expr in outputs.items():
+        missing = expr.fields() - set(rel.fields)
+        if missing:
+            raise RelationError(f"expression for {name!r} uses unknown fields {missing}")
+        value = expr.evaluate(rel.columns)
+        value = np.broadcast_to(np.asarray(value), (rel.num_rows,)).copy()
+        cols[name] = value
+    key = rel.key if rel.key in cols else next(iter(cols))
+    return Relation(cols, key=key)
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate output: `func` applied to `field` (field ignored for count)."""
+
+    func: str
+    field: str | None = None
+
+    def __post_init__(self):
+        if self.func not in AGG_FUNCS:
+            raise RelationError(f"unknown aggregate {self.func!r}; have {AGG_FUNCS}")
+        if self.func != "count" and self.field is None:
+            raise RelationError(f"aggregate {self.func!r} needs a field")
+
+
+def aggregate(rel: Relation, group_by: list[str],
+              aggs: Mapping[str, AggSpec]) -> Relation:
+    """AGGREGATION: grouped reduction.
+
+    Returns one tuple per distinct `group_by` value combination, ordered by
+    group key, with one output field per entry of `aggs`.
+    """
+    if not aggs:
+        raise RelationError("aggregate needs at least one output")
+    for n in group_by:
+        if n not in rel.columns:
+            raise RelationError(f"group-by field {n!r} not in relation")
+
+    if rel.num_rows == 0 and group_by:
+        # no rows -> no groups: empty output with the right schema
+        cols: dict[str, np.ndarray] = {n: rel.column(n)[:0] for n in group_by}
+        for name, spec in aggs.items():
+            if spec.func == "count":
+                cols[name] = np.empty(0, dtype=np.int64)
+            else:
+                cols[name] = rel.column(spec.field)[:0].astype(np.float64)
+        return Relation(cols, key=group_by[0])
+
+    if group_by:
+        packed = pack_rows(rel, group_by)
+        uniq, inverse, counts = np.unique(packed, return_inverse=True, return_counts=True)
+        n_groups = len(uniq)
+        order = np.argsort(inverse, kind="stable")
+        boundaries = np.cumsum(counts)[:-1]
+        group_cols = {
+            n: rel.column(n)[order[np.concatenate([[0], boundaries])]]
+            for n in group_by
+        }
+    else:
+        n_groups = 1
+        inverse = np.zeros(rel.num_rows, dtype=np.int64)
+        counts = np.array([rel.num_rows])
+        order = np.arange(rel.num_rows)
+        boundaries = np.array([], dtype=np.int64)
+        group_cols = {}
+
+    out: dict[str, np.ndarray] = dict(group_cols)
+    for name, spec in aggs.items():
+        if spec.func == "count":
+            out[name] = counts.astype(np.int64)
+            continue
+        values = rel.column(spec.field)[order]
+        segments = np.split(values, boundaries) if n_groups > 1 else [values]
+        if spec.func == "sum":
+            result = np.array([seg.sum() for seg in segments])
+        elif spec.func == "mean":
+            result = np.array([seg.mean() if len(seg) else np.nan for seg in segments])
+        elif spec.func == "min":
+            result = np.array([seg.min() for seg in segments])
+        elif spec.func == "max":
+            result = np.array([seg.max() for seg in segments])
+        out[name] = result
+
+    key = group_by[0] if group_by else next(iter(out))
+    return Relation(out, key=key)

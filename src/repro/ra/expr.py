@@ -1,0 +1,238 @@
+"""Scalar expression and predicate ASTs.
+
+These small ASTs serve three masters:
+
+* functional evaluation over relation columns (NumPy, vectorized);
+* the fusion pass, which chains compute stages and can combine predicates;
+* :mod:`repro.compilerlite`, which generates PTX-like code from them
+  (Table III's instruction-count study).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# arithmetic expressions
+# ---------------------------------------------------------------------------
+
+_BINOPS: dict[str, Callable] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Expr:
+    """Base class for arithmetic expressions over tuple fields."""
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def fields(self) -> set[str]:
+        raise NotImplementedError
+
+    def instruction_estimate(self) -> int:
+        """Rough PTX instruction count to evaluate per element."""
+        raise NotImplementedError
+
+    # operator sugar
+    def __add__(self, other): return BinOp("+", self, _wrap(other))
+    def __radd__(self, other): return BinOp("+", _wrap(other), self)
+    def __sub__(self, other): return BinOp("-", self, _wrap(other))
+    def __rsub__(self, other): return BinOp("-", _wrap(other), self)
+    def __mul__(self, other): return BinOp("*", self, _wrap(other))
+    def __rmul__(self, other): return BinOp("*", _wrap(other), self)
+    def __truediv__(self, other): return BinOp("/", self, _wrap(other))
+
+    # comparison sugar -> predicates
+    def __lt__(self, other): return Compare("<", self, _wrap(other))
+    def __le__(self, other): return Compare("<=", self, _wrap(other))
+    def __gt__(self, other): return Compare(">", self, _wrap(other))
+    def __ge__(self, other): return Compare(">=", self, _wrap(other))
+    def eq(self, other): return Compare("==", self, _wrap(other))
+    def ne(self, other): return Compare("!=", self, _wrap(other))
+
+
+def _wrap(value) -> "Expr":
+    return value if isinstance(value, Expr) else Const(value)
+
+
+@dataclass(frozen=True, eq=True)
+class Field(Expr):
+    name: str
+
+    def evaluate(self, columns):
+        return columns[self.name]
+
+    def fields(self):
+        return {self.name}
+
+    def instruction_estimate(self):
+        return 1  # one load
+
+    def __repr__(self):
+        return f"Field({self.name!r})"
+
+
+@dataclass(frozen=True, eq=True)
+class Const(Expr):
+    value: float | int | str
+
+    def evaluate(self, columns):
+        return self.value
+
+    def fields(self):
+        return set()
+
+    def instruction_estimate(self):
+        return 0  # folds into an immediate
+
+    def __repr__(self):
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True, eq=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _BINOPS:
+            raise ValueError(f"unknown binop {self.op!r}")
+
+    def evaluate(self, columns):
+        return _BINOPS[self.op](self.left.evaluate(columns), self.right.evaluate(columns))
+
+    def fields(self):
+        return self.left.fields() | self.right.fields()
+
+    def instruction_estimate(self):
+        return 1 + self.left.instruction_estimate() + self.right.instruction_estimate()
+
+
+# ---------------------------------------------------------------------------
+# predicates
+# ---------------------------------------------------------------------------
+
+_CMPS: dict[str, Callable] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class Predicate:
+    """Boolean expression over tuple fields."""
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def fields(self) -> set[str]:
+        raise NotImplementedError
+
+    def instruction_estimate(self) -> int:
+        raise NotImplementedError
+
+    def __and__(self, other): return And(self, other)
+    def __or__(self, other): return Or(self, other)
+    def __invert__(self): return Not(self)
+
+
+@dataclass(frozen=True, eq=True)
+class Compare(Predicate):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _CMPS:
+            raise ValueError(f"unknown comparison {self.op!r}")
+
+    def evaluate(self, columns):
+        return np.asarray(
+            _CMPS[self.op](self.left.evaluate(columns), self.right.evaluate(columns))
+        )
+
+    def fields(self):
+        return self.left.fields() | self.right.fields()
+
+    def instruction_estimate(self):
+        # setp + operand evaluation
+        return 1 + self.left.instruction_estimate() + self.right.instruction_estimate()
+
+
+@dataclass(frozen=True, eq=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, columns):
+        return self.left.evaluate(columns) & self.right.evaluate(columns)
+
+    def fields(self):
+        return self.left.fields() | self.right.fields()
+
+    def instruction_estimate(self):
+        return 1 + self.left.instruction_estimate() + self.right.instruction_estimate()
+
+
+@dataclass(frozen=True, eq=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, columns):
+        return self.left.evaluate(columns) | self.right.evaluate(columns)
+
+    def fields(self):
+        return self.left.fields() | self.right.fields()
+
+    def instruction_estimate(self):
+        return 1 + self.left.instruction_estimate() + self.right.instruction_estimate()
+
+
+@dataclass(frozen=True, eq=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def evaluate(self, columns):
+        return ~self.inner.evaluate(columns)
+
+    def fields(self):
+        return self.inner.fields()
+
+    def instruction_estimate(self):
+        return 1 + self.inner.instruction_estimate()
+
+
+@dataclass(frozen=True, eq=True)
+class TruePredicate(Predicate):
+    def evaluate(self, columns):
+        any_col = next(iter(columns.values()))
+        return np.ones(len(any_col), dtype=bool)
+
+    def fields(self):
+        return set()
+
+    def instruction_estimate(self):
+        return 0
+
+
+def conjoin(predicates: list[Predicate]) -> Predicate:
+    """AND a list of predicates together (the fused-filter predicate)."""
+    if not predicates:
+        return TruePredicate()
+    result = predicates[0]
+    for p in predicates[1:]:
+        result = And(result, p)
+    return result

@@ -1,0 +1,42 @@
+"""Relation persistence: save/load columnar relations as ``.npz`` files.
+
+Keeps generated TPC-H tables (or any relation) reusable across sessions --
+a small adoption utility; the format is one compressed NumPy archive with
+a reserved key recording the relation's key field.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import RelationError
+from .relation import Relation
+
+_META_KEY = "__repro_key__"
+
+
+def save_relation(rel: Relation, path: str) -> None:
+    """Write the relation to `path` (``.npz`` appended if missing)."""
+    for name in rel.fields:
+        if name == _META_KEY:
+            raise RelationError(f"field name {name!r} is reserved")
+    np.savez_compressed(
+        path,
+        **rel.columns,
+        **{_META_KEY: np.array(rel.key)},
+    )
+
+
+def load_relation(path: str) -> Relation:
+    """Read a relation previously written by :func:`save_relation`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as archive:
+        names = [n for n in archive.files if n != _META_KEY]
+        if not names or _META_KEY not in archive.files:
+            raise RelationError(f"{path} is not a saved relation")
+        key = str(archive[_META_KEY])
+        columns = {n: archive[n] for n in names}
+    return Relation(columns, key=key)

@@ -1,0 +1,137 @@
+"""Functional implementations of the relational-algebra operators (Table I).
+
+These compute *results*; simulated execution cost is attached separately by
+the kernel layer (:mod:`repro.core.kernel`).  Semantics follow the paper's
+Table I: relations are sets of tuples, the first field is the key, set
+operators compare whole tuples, and JOIN matches on the key field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RelationError
+from .expr import Predicate
+from .relation import Relation
+from .rows import inner_join_indices, pack_rows, rows_isin, unique_rows_mask
+
+
+def select(rel: Relation, predicate: Predicate) -> Relation:
+    """SELECT: keep the tuples satisfying `predicate`."""
+    mask = predicate.evaluate(rel.columns)
+    return rel.take(np.asarray(mask, dtype=bool))
+
+
+def project(rel: Relation, fields: list[str] | list[int]) -> Relation:
+    """PROJECT: keep only the named fields (or field positions)."""
+    if not fields:
+        raise RelationError("projection needs at least one field")
+    names = [rel.fields[f] if isinstance(f, int) else f for f in fields]
+    for n in names:
+        if n not in rel.columns:
+            raise RelationError(f"projecting unknown field {n!r}")
+    key = names[0]
+    return Relation({n: rel.column(n) for n in names}, key=key)
+
+
+def _check_union_compatible(x: Relation, y: Relation) -> None:
+    if len(x.fields) != len(y.fields):
+        raise RelationError(
+            f"set operation on incompatible arities {len(x.fields)} vs {len(y.fields)}")
+
+
+def _align(y: Relation, x: Relation) -> Relation:
+    """View `y` with `x`'s field names (set ops match positionally)."""
+    return Relation(
+        dict(zip(x.fields, y.columns.values())), key=x.key,
+    )
+
+
+def union(x: Relation, y: Relation) -> Relation:
+    """UNION: set union of tuples, keeping x's order then new tuples of y."""
+    _check_union_compatible(x, y)
+    y = _align(y, x)
+    px, py = pack_rows(x), pack_rows(y)
+    if px.dtype != py.dtype:
+        py = py.astype(px.dtype)
+    fresh_y = ~rows_isin(py, px) & unique_rows_mask(py)
+    x_unique = unique_rows_mask(px)
+    cols = {
+        n: np.concatenate([x.column(n)[x_unique], y.column(n)[fresh_y]])
+        for n in x.fields
+    }
+    return Relation(cols, key=x.key)
+
+
+def intersection(x: Relation, y: Relation) -> Relation:
+    """INTERSECTION: tuples appearing in both x and y."""
+    _check_union_compatible(x, y)
+    y = _align(y, x)
+    px, py = pack_rows(x), pack_rows(y)
+    if px.dtype != py.dtype:
+        py = py.astype(px.dtype)
+    mask = rows_isin(px, py) & unique_rows_mask(px)
+    return x.take(mask)
+
+
+def difference(x: Relation, y: Relation) -> Relation:
+    """DIFFERENCE: tuples of x not appearing in y."""
+    _check_union_compatible(x, y)
+    y = _align(y, x)
+    px, py = pack_rows(x), pack_rows(y)
+    if px.dtype != py.dtype:
+        py = py.astype(px.dtype)
+    mask = ~rows_isin(px, py) & unique_rows_mask(px)
+    return x.take(mask)
+
+
+def product(x: Relation, y: Relation) -> Relation:
+    """PRODUCT: cartesian product; y's fields are appended (renamed on clash)."""
+    nx, ny = x.num_rows, y.num_rows
+    xi = np.repeat(np.arange(nx), ny)
+    yi = np.tile(np.arange(ny), nx)
+    cols: dict[str, np.ndarray] = {n: x.column(n)[xi] for n in x.fields}
+    for n in y.fields:
+        out = n if n not in cols else f"{n}_r"
+        cols[out] = y.column(n)[yi]
+    return Relation(cols, key=x.key)
+
+
+def join(x: Relation, y: Relation, on: str | None = None) -> Relation:
+    """JOIN: inner equi-join on the key field (Table I).
+
+    Output tuples are x's fields followed by y's non-key fields, renamed
+    with a ``_r`` suffix when they clash with x's field names.
+    """
+    kx = on if on is not None else x.key
+    ky = on if on is not None else y.key
+    if kx not in x.columns:
+        raise RelationError(f"join key {kx!r} missing from left relation")
+    if ky not in y.columns:
+        raise RelationError(f"join key {ky!r} missing from right relation")
+    li, ri = inner_join_indices(x.column(kx), y.column(ky))
+    cols: dict[str, np.ndarray] = {n: x.column(n)[li] for n in x.fields}
+    for n in y.fields:
+        if n == ky:
+            continue
+        out = n if n not in cols else f"{n}_r"
+        cols[out] = y.column(n)[ri]
+    return Relation(cols, key=kx)
+
+
+def semi_join(x: Relation, y: Relation, on: str | None = None) -> Relation:
+    """Tuples of x whose key appears in y (EXISTS; used by Q21)."""
+    kx = on if on is not None else x.key
+    ky = on if on is not None else y.key
+    ykeys = y.column(ky)
+    mask = np.isin(x.column(kx), ykeys)
+    return x.take(mask)
+
+
+def anti_join(x: Relation, y: Relation, on: str | None = None) -> Relation:
+    """Tuples of x whose key does NOT appear in y (NOT EXISTS; Q21)."""
+    kx = on if on is not None else x.key
+    ky = on if on is not None else y.key
+    ykeys = y.column(ky)
+    mask = ~np.isin(x.column(kx), ykeys)
+    return x.take(mask)

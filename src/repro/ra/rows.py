@@ -1,0 +1,73 @@
+"""Row-packing helpers: treat a columnar relation as an array of tuples.
+
+Set-semantics operators (UNION, INTERSECTION, DIFFERENCE, UNIQUE) need to
+compare whole tuples; packing columns into a NumPy structured array lets us
+use sorted/set primitives (`np.unique`, `np.isin`) directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .relation import Relation
+
+
+def pack_rows(rel: Relation, fields: list[str] | None = None) -> np.ndarray:
+    """Pack the given fields (default: all) into a structured array."""
+    names = fields if fields is not None else rel.fields
+    dtype = np.dtype([(f"c{i}", rel.column(n).dtype) for i, n in enumerate(names)])
+    out = np.empty(rel.num_rows, dtype=dtype)
+    for i, n in enumerate(names):
+        out[f"c{i}"] = rel.column(n)
+    return out
+
+
+def rows_isin(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Boolean mask: which packed rows of `left` appear anywhere in `right`."""
+    if left.dtype != right.dtype:
+        raise ValueError(f"dtype mismatch: {left.dtype} vs {right.dtype}")
+    if len(right) == 0:
+        return np.zeros(len(left), dtype=bool)
+    sorted_right = np.sort(right)
+    idx = np.searchsorted(sorted_right, left)
+    idx = np.minimum(idx, len(sorted_right) - 1)
+    return sorted_right[idx] == left
+
+
+def unique_rows_mask(packed: np.ndarray) -> np.ndarray:
+    """Mask keeping the first occurrence of each distinct row (stable)."""
+    _, first_idx = np.unique(packed, return_index=True)
+    mask = np.zeros(len(packed), dtype=bool)
+    mask[first_idx] = True
+    return mask
+
+
+def inner_join_indices(left_keys: np.ndarray, right_keys: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Index pairs (li, ri) such that left_keys[li] == right_keys[ri].
+
+    Handles duplicate keys on both sides (produces the full cross product
+    per key group), as a sort-merge join does.  Output is ordered by key,
+    then by left index, then right index.
+    """
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    lorder = np.argsort(left_keys, kind="stable")
+    rorder = np.argsort(right_keys, kind="stable")
+    lsorted = left_keys[lorder]
+    rsorted = right_keys[rorder]
+
+    lo = np.searchsorted(rsorted, lsorted, side="left")
+    hi = np.searchsorted(rsorted, lsorted, side="right")
+    counts = hi - lo  # matches per left row
+    total = int(counts.sum())
+    if total == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    li_sorted = np.repeat(np.arange(len(lsorted)), counts)
+    # right positions: for each left row, the run lo[i]..hi[i]
+    starts = np.repeat(lo, counts)
+    within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    ri_sorted = starts + within
+
+    return lorder[li_sorted], rorder[ri_sorted]

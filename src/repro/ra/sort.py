@@ -1,0 +1,49 @@
+"""SORT and UNIQUE operators.
+
+These maintain ordering relations amongst tuples (paper SS II).  They are
+the fusion *barriers*: SORT and UNIQUE "cannot be fused with any other
+operators" (SS III-C) because every output element depends on the entire
+input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RelationError
+from .relation import Relation
+from .rows import pack_rows, unique_rows_mask
+
+
+def sort(rel: Relation, by: list[str] | None = None, descending: bool = False
+         ) -> Relation:
+    """SORT: stable sort by the given fields (default: the key field)."""
+    fields = by if by is not None else [rel.key]
+    if not fields:
+        raise RelationError("sort needs at least one field")
+    for n in fields:
+        if n not in rel.columns:
+            raise RelationError(f"sort field {n!r} not in relation")
+    # np.lexsort sorts by the *last* key first
+    keys = tuple(rel.column(n) for n in reversed(fields))
+    order = np.lexsort(keys)
+    if descending:
+        order = order[::-1]
+    return rel.take(order)
+
+
+def unique(rel: Relation) -> Relation:
+    """UNIQUE: drop duplicate tuples, keeping first occurrences."""
+    mask = unique_rows_mask(pack_rows(rel))
+    return rel.take(mask)
+
+
+def is_sorted(rel: Relation, by: list[str] | None = None) -> bool:
+    """True if the relation is non-decreasing in the given fields."""
+    fields = by if by is not None else [rel.key]
+    packed = pack_rows(rel, fields)
+    if len(packed) <= 1:
+        return True
+    # structured (void) dtypes don't support <= directly; a row sequence is
+    # sorted iff it equals its own (lexicographic) sort
+    return bool(np.array_equal(np.sort(packed), packed))

@@ -1,0 +1,85 @@
+"""Functional segmented execution: what fission computes, segment by
+segment.
+
+Kernel fission (paper SS IV) runs an operator over segments of the input
+so transfers pipeline; "since data is transferred to the CPU at different
+times, the CPU has to implement a gather stage at the end" (SS IV-C).
+This module is the *functional* counterpart: run a SELECT chain (fused or
+not) over each segment independently, then perform that CPU-side gather --
+and prove the result identical to the unsegmented pipeline, for any
+segment size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import RelationError
+from .expr import Predicate
+from .relation import Relation
+from .stages import staged_select, unfused_select_chain
+
+
+@dataclass
+class SegmentResult:
+    """One segment's output, tagged with its origin for the host gather."""
+
+    index: int
+    start_row: int
+    relation: Relation
+
+
+def split_rows(n_rows: int, segment_rows: int) -> list[tuple[int, int]]:
+    """(start, length) pairs covering [0, n_rows)."""
+    if segment_rows < 1:
+        raise RelationError(f"segment_rows must be >= 1, got {segment_rows}")
+    out = []
+    start = 0
+    while start < n_rows:
+        length = min(segment_rows, n_rows - start)
+        out.append((start, length))
+        start += length
+    return out
+
+
+def host_gather(segments: list[SegmentResult]) -> Relation:
+    """The CPU-side gather: concatenate segment outputs in segment order.
+
+    Segments may *complete* in any order (the pipeline interleaves them);
+    ordering by index restores the canonical output.
+    """
+    if not segments:
+        raise RelationError("nothing to gather")
+    ordered = sorted(segments, key=lambda s: s.index)
+    first = ordered[0].relation
+    cols = {
+        name: np.concatenate([s.relation.column(name) for s in ordered])
+        for name in first.fields
+    }
+    return Relation(cols, key=first.key)
+
+
+def streamed_select_chain(rel: Relation, predicates: list[Predicate],
+                          segment_rows: int, fused: bool = True,
+                          num_ctas: int = 16) -> Relation:
+    """Run a SELECT chain segment by segment + host gather.
+
+    Equivalent to running the chain over the whole relation at once --
+    SELECT is elementwise, so segmentation commutes with it (this is
+    precisely why fission applies to it, and why SORT cannot fission).
+    """
+    if not predicates:
+        raise RelationError("need at least one predicate")
+    segments: list[SegmentResult] = []
+    for index, (start, length) in enumerate(split_rows(rel.num_rows,
+                                                       segment_rows)):
+        chunk = rel.take(np.arange(start, start + length))
+        if fused:
+            out = staged_select(chunk, predicates, num_ctas=num_ctas)
+        else:
+            out = unfused_select_chain(chunk, predicates, num_ctas=num_ctas)
+        segments.append(SegmentResult(index=index, start_row=start,
+                                      relation=out))
+    return host_gather(segments)

@@ -1,0 +1,17 @@
+"""Plan execution on the simulated platform: strategies, executor, metrics."""
+
+from .compressed import CompressedRunResult, run_compressed_select_chain
+from .estimates import EstimateProfile, profile_estimates
+from .executor import Executor, RunResult
+from .hybrid import HybridRunResult, balance_split, run_hybrid_select
+from .gpu_rt import DeviceBuffer, FunctionalRunResult, GpuRuntime
+from .sizes import estimate_sizes
+from .strategies import ExecutionConfig, Strategy
+
+__all__ = [
+    "Executor", "RunResult", "DeviceBuffer", "FunctionalRunResult",
+    "GpuRuntime", "estimate_sizes", "ExecutionConfig", "Strategy",
+    "CompressedRunResult", "run_compressed_select_chain",
+    "HybridRunResult", "balance_split", "run_hybrid_select",
+    "EstimateProfile", "profile_estimates",
+]

@@ -1,0 +1,93 @@
+"""Automatic strategy selection.
+
+Encodes the paper's decision rules as a tiny planner:
+
+* intermediates that fit on the device stay there -- *with round trip* is
+  only ever a forced fallback (SS III-B);
+* fusion is applied wherever the pass (with its cost model) finds fusable
+  chains (SS III-C);
+* fission is applied when there is a pipelinable prefix from the driver
+  input and the input transfer is worth hiding -- always true for
+  > GPU-memory inputs, and generally whenever PCIe dominates (SS IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.fusion import fuse_plan
+from ..core.opmodels import out_row_nbytes
+from ..plans.plan import Plan
+from ..simgpu.device import DeviceSpec
+from .executor import Executor, RunResult
+from .sizes import estimate_sizes
+from .strategies import ExecutionConfig, Strategy
+
+
+@dataclass(frozen=True)
+class StrategyChoice:
+    strategy: Strategy
+    reasons: tuple[str, ...]
+
+
+def choose_strategy(plan: Plan, source_rows: dict[str, int],
+                    device: DeviceSpec | None = None,
+                    memory_safety: float = 0.9) -> StrategyChoice:
+    """Pick the execution strategy the paper's rules imply for this plan."""
+    device = device or DeviceSpec()
+    plan.validate()
+    sizes = estimate_sizes(plan, source_rows)
+    reasons: list[str] = []
+
+    fr = fuse_plan(plan)
+    fusable = fr.num_fused_regions > 0
+    if fusable:
+        reasons.append(
+            f"fusion: {fr.num_fused_regions} fusable region(s) save "
+            f"{fr.num_kernels_saved} kernel(s)")
+    else:
+        reasons.append("fusion: no fusable chains (barriers or shared "
+                       "intermediates everywhere)")
+
+    # does the working set fit?
+    total_bytes = sum(float(sizes[n.name]) * out_row_nbytes(n)
+                      for n in plan.nodes)
+    budget = device.global_mem_bytes * memory_safety
+    oversized = total_bytes > budget
+    if oversized:
+        reasons.append(
+            f"working set ~{total_bytes/2**30:.1f} GiB exceeds the "
+            f"{budget/2**30:.1f} GiB device budget: stream with fission")
+
+    # is there something to pipeline?  (a non-barrier region fed by the
+    # largest source)
+    driver = max(plan.sources(), key=lambda s: sizes[s.name])
+    driver_feeds_chain = any(
+        not r.is_barrier_op and r.nodes[0].inputs
+        and r.nodes[0].inputs[0] is driver
+        for r in fr.regions)
+    if driver_feeds_chain and not oversized:
+        reasons.append("fission: input transfer can overlap the first "
+                       "compute region")
+
+    use_fission = oversized or driver_feeds_chain
+    if fusable and use_fission:
+        strategy = Strategy.FUSED_FISSION
+    elif fusable:
+        strategy = Strategy.FUSED
+    elif use_fission:
+        strategy = Strategy.FISSION
+    else:
+        strategy = Strategy.SERIAL
+        reasons.append("serial: nothing to fuse or pipeline")
+    return StrategyChoice(strategy=strategy, reasons=tuple(reasons))
+
+
+def run_auto(plan: Plan, source_rows: dict[str, int],
+             executor: Executor | None = None) -> tuple[RunResult, StrategyChoice]:
+    """Choose a strategy and run the plan with it."""
+    executor = executor or Executor()
+    choice = choose_strategy(plan, source_rows, executor.device)
+    result = executor.run(plan, source_rows,
+                          ExecutionConfig(strategy=choice.strategy))
+    return result, choice

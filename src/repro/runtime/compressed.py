@@ -1,0 +1,88 @@
+"""SELECT-chain execution with compressed PCIe transfers.
+
+Composes the compression model (:mod:`repro.simgpu.compression`) with the
+fusion strategies so the ablation bench can pit the paper's optimizations
+against -- and combine them with -- the compression alternative its
+related-work section cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.opmodels import chain_for_region
+from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
+from ..plans.plan import Plan
+from ..simgpu.compression import CompressionScheme, NONE
+from ..simgpu.device import DeviceSpec
+from ..simgpu.engine import SimEngine, SimStream
+from ..simgpu.pcie import HostMemory
+from ..simgpu.timeline import Timeline
+from .select_chain import INT_ROW_BYTES, select_chain_plan
+
+
+@dataclass(frozen=True)
+class CompressedRunResult:
+    n_elements: int
+    timeline: Timeline
+    scheme_name: str
+
+    @property
+    def makespan(self) -> float:
+        return self.timeline.makespan
+
+    @property
+    def throughput(self) -> float:
+        return self.n_elements * INT_ROW_BYTES / self.makespan
+
+
+def run_compressed_select_chain(
+    n_elements: int,
+    num_selects: int = 2,
+    selectivity: float = 0.5,
+    scheme: CompressionScheme = NONE,
+    fused: bool = True,
+    device: DeviceSpec | None = None,
+    costs: StageCostParams = DEFAULT_STAGE_COSTS,
+    memory: HostMemory = HostMemory.PINNED,
+    data_stored_compressed: bool = True,
+) -> CompressedRunResult:
+    """One SELECT chain with the input transferred compressed.
+
+    ``data_stored_compressed=True`` models a warehouse whose columns are
+    kept compressed on the host (no pack cost); otherwise the host pays to
+    compress before uploading.
+    """
+    device = device or DeviceSpec()
+    plan = select_chain_plan(num_selects, selectivity)
+    selects = [n for n in plan.nodes if n.name.startswith("select")]
+
+    stream = SimStream(stream_id=0)
+    in_bytes = float(n_elements) * INT_ROW_BYTES
+
+    if not data_stored_compressed:
+        t = scheme.host_compress_time(in_bytes)
+        if t > 0:
+            stream.host(t, tag=f"compress.{scheme.name}")
+    stream.h2d(scheme.wire_bytes(in_bytes), memory, tag="input.compressed")
+    if scheme.ratio > 1.0:
+        stream.kernel(scheme.decompress_spec(n_elements, INT_ROW_BYTES, device))
+
+    if fused:
+        chain = chain_for_region(selects, costs)
+        for spec in chain.main_launch_specs(n_elements, device):
+            stream.kernel(spec, tag=spec.name)
+    else:
+        alive = n_elements
+        for sel in selects:
+            chain = chain_for_region([sel], costs)
+            for spec in chain.main_launch_specs(alive, device):
+                stream.kernel(spec, tag=spec.name)
+            alive = max(1, int(round(alive * sel.selectivity)))
+
+    out_bytes = in_bytes * (selectivity ** num_selects)
+    stream.d2h(out_bytes, memory, tag="output")
+
+    timeline = SimEngine(device).run([stream])
+    return CompressedRunResult(n_elements=n_elements, timeline=timeline,
+                               scheme_name=scheme.name)

@@ -1,0 +1,92 @@
+"""Concurrent-kernel execution study (paper Fig 12).
+
+Three ways of running two *independent* SELECT operators on the GPU:
+
+* ``no stream (old)`` -- each SELECT uses the full-resource launch
+  configuration; the two run back to back with a device synchronization
+  between them.
+* ``no stream (new)`` -- same serial execution, but each SELECT uses half
+  the threads and CTAs (the configuration concurrency requires).
+* ``stream`` -- the two half-resource SELECTs are issued to different
+  streams of the Stream Pool and run concurrently.
+
+The paper's finding: concurrency wins only while a single kernel cannot
+fill the device (small N); past ~8M elements a single full-resource kernel
+is better.  `n_elements` below is the *total* across both SELECTs,
+matching the figure's x-axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..plans.plan import Plan
+from ..ra.expr import Field
+from ..simgpu.compute import DEVICE_SYNC_S
+from ..simgpu.device import DeviceSpec
+from ..simgpu.engine import SimEngine, SimStream
+from ..simgpu.timeline import EventKind, Timeline
+from ..core.opmodels import chain_for_region
+from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
+
+
+def _select_specs(n: int, selectivity: float, device: DeviceSpec,
+                  costs: StageCostParams, resource_fraction: float):
+    plan = Plan()
+    src = plan.source("in", row_nbytes=4)
+    sel = plan.select(src, Field("value") < 1, selectivity=selectivity)
+    chain = chain_for_region([sel], costs)
+    return chain.main_launch_specs(n, device, resource_fraction=resource_fraction)
+
+
+@dataclass
+class ConcurrencyResult:
+    mode: str
+    n_total: int
+    timeline: Timeline
+
+    @property
+    def throughput(self) -> float:
+        t = self.timeline.makespan
+        return self.n_total * 4 / t if t > 0 else 0.0
+
+
+def run_two_selects(
+    n_total: int,
+    mode: str,
+    selectivity: float = 0.5,
+    device: DeviceSpec | None = None,
+    costs: StageCostParams = DEFAULT_STAGE_COSTS,
+) -> ConcurrencyResult:
+    """Run two independent SELECTs of ``n_total/2`` elements each.
+
+    ``mode`` is one of ``"old"``, ``"new"``, ``"stream"``.
+    """
+    device = device or DeviceSpec()
+    n_each = n_total // 2
+    engine = SimEngine(device)
+
+    if mode in ("old", "new"):
+        frac = 1.0 if mode == "old" else 0.5
+        stream = SimStream(stream_id=0)
+        for i in range(2):
+            for spec in _select_specs(n_each, selectivity, device, costs, frac):
+                stream.kernel(spec, tag=f"select{i}.{spec.name}")
+            # the unstreamed path synchronizes with the host after each op
+            stream.host(DEVICE_SYNC_S, tag=f"sync{i}")
+        timeline = engine.run([stream])
+    elif mode == "stream":
+        streams = []
+        for i in range(2):
+            s = SimStream(stream_id=i)
+            for spec in _select_specs(n_each, selectivity, device, costs, 0.5):
+                s.kernel(spec, tag=f"select{i}.{spec.name}")
+            streams.append(s)
+        timeline = engine.run(streams)
+        # one synchronization once both streams drain (waitAll)
+        end = timeline.end_time
+        timeline.add(end, end + DEVICE_SYNC_S, EventKind.HOST, "sync")
+    else:
+        raise ValueError(f"unknown mode {mode!r}; use old/new/stream")
+
+    return ConcurrencyResult(mode=mode, n_total=n_total, timeline=timeline)

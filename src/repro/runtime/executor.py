@@ -1,0 +1,467 @@
+"""The plan executor: runs a logical plan on the simulated platform under a
+chosen strategy and returns a timeline + derived metrics.
+
+Responsibilities:
+
+* lower the plan through the fusion pass (or the unfused baseline),
+* schedule transfers per strategy (round trips / resident intermediates /
+  fission pipelining),
+* chunk execution when the working set exceeds the 6 GB device memory
+  (the regime of Fig 14 / Fig 16),
+* account every simulated event in a :class:`repro.simgpu.timeline.Timeline`.
+
+The executor is *timing only*: functional results come from
+:mod:`repro.plans.interp`, which the tests cross-check against the fused
+lowering's semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.cost import FusionCostModel
+from ..core.fission import FissionConfig, Segment, run_fissioned
+from ..core.fusion import FusionResult, Region, fuse_plan
+from ..core.opmodels import chain_for_node, chain_for_region, out_row_nbytes
+from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
+from ..errors import DeviceOOMError, PlanError
+from ..plans.plan import OpType, Plan, PlanNode
+from ..simgpu.device import DeviceSpec
+from ..simgpu.engine import SimEngine, SimStream
+from ..simgpu.pcie import HostMemory
+from ..simgpu.timeline import EventKind, Timeline
+from .sizes import estimate_sizes
+from .strategies import ExecutionConfig, Strategy
+
+
+@dataclass
+class RunResult:
+    """Timeline plus derived metrics of one simulated execution."""
+
+    strategy: Strategy
+    timeline: Timeline
+    sizes: dict[str, int]
+    n_in: int
+    n_out: int
+    input_bytes: float
+    output_bytes: float
+    fusion: FusionResult | None = None
+    num_chunks: int = 1
+
+    @property
+    def makespan(self) -> float:
+        return self.timeline.makespan
+
+    @property
+    def throughput(self) -> float:
+        """Input bytes processed per second of end-to-end simulated time."""
+        return self.input_bytes / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def compute_time(self) -> float:
+        return self.timeline.total_time(EventKind.KERNEL)
+
+    @property
+    def io_time(self) -> float:
+        """Initial-input + final-output transfer time (serial sum)."""
+        return (self.timeline.total_time(tag_prefix="input")
+                + self.timeline.total_time(tag_prefix="output"))
+
+    @property
+    def roundtrip_time(self) -> float:
+        """Time moving intermediate results host<->device (serial sum)."""
+        return self.timeline.total_time(tag_prefix="roundtrip")
+
+    @property
+    def host_time(self) -> float:
+        return self.timeline.total_time(EventKind.HOST)
+
+    def kernel_times(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for ev in self.timeline.filter(EventKind.KERNEL):
+            out[ev.tag] = out.get(ev.tag, 0.0) + ev.duration
+        return out
+
+
+@dataclass
+class _LoweredRegion:
+    region: Region
+    chain: object  # KernelChain
+    n_in: int
+    n_out: int
+    in_bytes: float
+    out_bytes: float
+    primary_input: PlanNode
+
+
+class Executor:
+    """Runs plans on a simulated device under an :class:`ExecutionConfig`."""
+
+    def __init__(self, device: DeviceSpec | None = None,
+                 costs: StageCostParams = DEFAULT_STAGE_COSTS,
+                 cost_model: FusionCostModel | None = None):
+        self.device = device or DeviceSpec()
+        self.costs = costs
+        self.cost_model = cost_model
+
+    # ------------------------------------------------------------------
+    def run(self, plan: Plan, source_rows: dict[str, int] | None = None,
+            config: ExecutionConfig = ExecutionConfig()) -> RunResult:
+        plan.validate()
+        sizes = estimate_sizes(plan, source_rows or {})
+        fusion = fuse_plan(
+            plan,
+            cost_model=self.cost_model if config.strategy.uses_fusion else None,
+            enable=config.strategy.uses_fusion,
+        )
+        lowered = self._lower(plan, fusion, sizes)
+        driver = self._driver_source(plan, sizes)
+
+        n_in = sizes[driver.name]
+        input_bytes = float(n_in) * out_row_nbytes(driver)
+        sink_names = {n.name for n in plan.sinks()}
+        output_bytes = sum(
+            float(sizes[lr.region.output_node.name])
+            * out_row_nbytes(lr.region.output_node)
+            for lr in lowered if lr.region.output_node.name in sink_names
+        )
+        n_out = sum(sizes[n.name] for n in plan.sinks())
+
+        if config.strategy.uses_fission and config.include_transfers:
+            timeline = self._run_fission(plan, lowered, sizes, driver, config)
+        else:
+            timeline = self._run_serial(plan, lowered, sizes, driver, config)
+
+        return RunResult(
+            strategy=config.strategy, timeline=timeline, sizes=sizes,
+            n_in=n_in, n_out=n_out, input_bytes=input_bytes,
+            output_bytes=output_bytes, fusion=fusion,
+            num_chunks=getattr(self, "_last_num_chunks", 1),
+        )
+
+    # -- lowering ----------------------------------------------------------
+    def _lower(self, plan: Plan, fusion: FusionResult, sizes: dict[str, int]
+               ) -> list[_LoweredRegion]:
+        lowered: list[_LoweredRegion] = []
+        for region in fusion.regions:
+            first = region.nodes[0]
+            primary = first.inputs[0] if first.inputs else first
+            n_in = sizes[primary.name]
+            if region.is_barrier_op:
+                chain = chain_for_node(first, self.costs, n_in_hint=max(n_in, 2))
+            else:
+                chain = chain_for_region(region.nodes, self.costs)
+            out_node = region.output_node
+            n_out = sizes[out_node.name]
+            lowered.append(_LoweredRegion(
+                region=region, chain=chain, n_in=n_in, n_out=n_out,
+                in_bytes=float(n_in) * out_row_nbytes(primary),
+                out_bytes=float(n_out) * out_row_nbytes(out_node),
+                primary_input=primary,
+            ))
+        return lowered
+
+    @staticmethod
+    def _driver_source(plan: Plan, sizes: dict[str, int]) -> PlanNode:
+        sources = plan.sources()
+        if not sources:
+            raise PlanError("plan has no sources")
+        return max(sources, key=lambda s: sizes[s.name])
+
+    # -- serial / round-trip execution ------------------------------------------
+    def _run_serial(self, plan: Plan, lowered: list[_LoweredRegion],
+                    sizes: dict[str, int], driver: PlanNode,
+                    config: ExecutionConfig) -> Timeline:
+        engine = SimEngine(self.device)
+        num_chunks = 1
+        if config.include_transfers:
+            num_chunks = self._plan_chunks(plan, lowered, sizes, driver, config)
+        self._last_num_chunks = num_chunks
+
+        stream = SimStream(stream_id=0)
+        mem = config.memory
+        sink_names = {n.name for n in plan.sinks()}
+
+        # side (non-driver) sources are loaded once, up front
+        if config.include_transfers:
+            for src in plan.sources():
+                if src is driver:
+                    continue
+                nbytes = float(sizes[src.name]) * out_row_nbytes(src)
+                if nbytes > 0:
+                    stream.h2d(nbytes, mem, tag=f"input.{src.name}")
+
+        for chunk in range(num_chunks):
+            frac = self._chunk_fraction(chunk, num_chunks)
+            if config.include_transfers:
+                stream.h2d(float(sizes[driver.name]) * out_row_nbytes(driver) * frac,
+                           mem, tag=f"input.{driver.name}.c{chunk}")
+            for lr in lowered:
+                scales = self._scales_with_driver(lr, driver, plan)
+                runs_this_chunk = chunk == 0 or scales
+                chunk_frac = frac if scales else 1.0
+                if not runs_this_chunk:
+                    continue
+                if chunk == 0:  # build kernels run once, not per chunk
+                    side_sizes = {getattr(n, "name", str(n)): sizes[n.name]
+                                  for _, n in lr.chain.side_kernels}
+                    for spec in lr.chain.side_launch_specs(self.device, side_sizes):
+                        stream.kernel(spec, tag=spec.name)
+                n_region_in = max(1, int(round(lr.n_in * chunk_frac)))
+                for spec in lr.chain.main_launch_specs(n_region_in, self.device):
+                    stream.kernel(spec, tag=spec.name)
+                # round trip: stage each intermediate (non-sink) result out/in
+                if (config.strategy is Strategy.WITH_ROUND_TRIP
+                        and config.include_transfers
+                        and lr.region.output_node.name not in sink_names):
+                    nbytes = lr.out_bytes * chunk_frac
+                    if nbytes > 0:
+                        stream.d2h(nbytes, config.roundtrip_memory,
+                                   tag=f"roundtrip.out.{lr.region.name}")
+                        stream.h2d(nbytes, config.roundtrip_memory,
+                                   tag=f"roundtrip.in.{lr.region.name}")
+            if config.include_transfers:
+                for lr in lowered:
+                    if lr.region.output_node.name in sink_names and lr.out_bytes > 0:
+                        scales = self._scales_with_driver(lr, driver, plan)
+                        if chunk > 0 and not scales:
+                            continue
+                        chunk_frac = frac if scales else 1.0
+                        stream.d2h(lr.out_bytes * chunk_frac, mem,
+                                   tag=f"output.{lr.region.name}.c{chunk}")
+
+        return engine.run([stream])
+
+    def _chunk_fraction(self, chunk: int, num_chunks: int) -> float:
+        return 1.0 / num_chunks
+
+    @staticmethod
+    def _scales_with_driver(lr: _LoweredRegion, driver: PlanNode, plan: Plan) -> bool:
+        """Does this region's size scale when the driver input is chunked?
+
+        True when the region is (transitively) fed from the driver through
+        primary inputs.
+        """
+        node = lr.primary_input
+        seen = set()
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            if node is driver:
+                return True
+            node = node.inputs[0] if node.inputs else None
+        return True  # default: conservative -- scale with the driver
+
+    @staticmethod
+    def _co_driver_sources(prefix: list[_LoweredRegion], driver: PlanNode,
+                           sizes: dict[str, int]) -> list[PlanNode]:
+        """Sources that must stream with the driver: column arrays read
+        positionally by gather joins inside the pipelined prefix."""
+        out: list[PlanNode] = []
+        for lr in prefix:
+            for node in lr.region.nodes:
+                if (node.op is OpType.JOIN and node.params.get("gather")
+                        and len(node.inputs) > 1
+                        and node.inputs[1].op is OpType.SOURCE
+                        and sizes[node.inputs[1].name] == sizes[driver.name]
+                        and node.inputs[1] is not driver):
+                    out.append(node.inputs[1])
+        return out
+
+    def _plan_chunks(self, plan: Plan, lowered: list[_LoweredRegion],
+                     sizes: dict[str, int], driver: PlanNode,
+                     config: ExecutionConfig) -> int:
+        """How many chunks are needed for the working set to fit on device."""
+        budget = self.device.global_mem_bytes * config.memory_safety
+        side_bytes = sum(
+            float(sizes[s.name]) * out_row_nbytes(s)
+            for s in plan.sources() if s is not driver
+        )
+        budget -= side_bytes
+        if budget <= 0:
+            raise DeviceOOMError(int(side_bytes), self.device.global_mem_bytes,
+                                 self.device.global_mem_bytes)
+        driver_bytes = float(sizes[driver.name]) * out_row_nbytes(driver)
+        # working set: input + every region's live output
+        working = driver_bytes + sum(lr.out_bytes for lr in lowered)
+        if working <= budget:
+            return 1
+        for lr in lowered:
+            if lr.region.is_barrier_op:
+                raise DeviceOOMError(
+                    int(working), int(budget), self.device.global_mem_bytes)
+        import math
+        return int(math.ceil(working / budget))
+
+    # -- fission execution --------------------------------------------------------
+    def _run_fission(self, plan: Plan, lowered: list[_LoweredRegion],
+                     sizes: dict[str, int], driver: PlanNode,
+                     config: ExecutionConfig) -> Timeline:
+        self._last_num_chunks = 1
+        prefix, phase_a, rest = self._split_for_fission(lowered, driver)
+        if not prefix:
+            # nothing to pipeline -- degenerate to serial with pinned memory
+            serial_cfg = ExecutionConfig(
+                strategy=Strategy.SERIAL, memory=config.memory,
+                include_transfers=config.include_transfers)
+            return self._run_serial(plan, lowered, sizes, driver, serial_cfg)
+
+        timeline = Timeline()
+        engine = SimEngine(self.device)
+        mem_pinned = HostMemory.PINNED
+
+        # column arrays consumed positionally by gather joins in the prefix
+        # stream with the driver, segment by segment (Q1's six columns)
+        co_drivers = self._co_driver_sources(prefix, driver, sizes)
+
+        # phase A: load side sources, run driver-independent regions, and
+        # run the prefix's build kernels once
+        sink_names = {n.name for n in plan.sinks()}
+        pre = SimStream(stream_id=0)
+        for src in plan.sources():
+            if src is driver or src in co_drivers:
+                continue
+            nbytes = float(sizes[src.name]) * out_row_nbytes(src)
+            if nbytes > 0:
+                pre.h2d(nbytes, mem_pinned, tag=f"input.{src.name}")
+        for lr in phase_a:
+            self._emit_region(pre, lr, sizes, sink_names, mem_pinned)
+        for lr in prefix:
+            side_sizes = {getattr(n, "name", str(n)): sizes[n.name]
+                          for _, n in lr.chain.side_kernels}
+            for spec in lr.chain.side_launch_specs(self.device, side_sizes):
+                pre.kernel(spec, tag=spec.name)
+        if pre.commands:
+            timeline = engine.run([pre])
+
+        # phase B: pipelined segments over the driver input
+        whole_plan_is_prefix = not rest and len(plan.sinks()) == 1
+        prefix_sel = 1.0
+        for lr in prefix:
+            prefix_sel *= lr.region.selectivity
+        out_node = prefix[-1].region.output_node
+        out_row = out_row_nbytes(out_node)
+        n_driver = sizes[driver.name]
+
+        def kernel_builder(seg: Segment):
+            specs = []
+            seg_frac = seg.n_rows / max(n_driver, 1)
+            for lr in prefix:
+                n_seg_in = max(1, int(round(lr.n_in * seg_frac)))
+                specs.extend(lr.chain.main_launch_specs(n_seg_in, self.device))
+            return specs
+
+        fis_cfg = config.fission
+        if not whole_plan_is_prefix:
+            # results stay on device for the barrier stage: no per-segment
+            # upload and no host gather
+            fis_cfg = FissionConfig(
+                num_streams=fis_cfg.num_streams,
+                target_segment_bytes=fis_cfg.target_segment_bytes,
+                min_segments=fis_cfg.min_segments,
+                max_segments=fis_cfg.max_segments,
+                memory=fis_cfg.memory,
+                host_gather=False,
+            )
+
+        pipeline_in_row = (out_row_nbytes(driver)
+                           + sum(out_row_nbytes(s) for s in co_drivers))
+        pipe_tl = run_fissioned(
+            self.device,
+            n_rows=n_driver,
+            in_row_nbytes=pipeline_in_row,
+            out_row_nbytes=out_row if whole_plan_is_prefix else 0,
+            output_selectivity=prefix_sel if whole_plan_is_prefix else 0.0,
+            kernel_builder=kernel_builder,
+            config=fis_cfg,
+            costs=self.costs,
+        )
+        timeline.extend(pipe_tl, offset=timeline.end_time)
+
+        # phase C: the remaining (driver-dependent / barrier-bound) regions
+        if rest:
+            post = SimStream(stream_id=0)
+            for lr in rest:
+                self._emit_region(post, lr, sizes, sink_names, mem_pinned)
+            post_tl = SimEngine(self.device).run([post])
+            timeline.extend(post_tl, offset=timeline.end_time)
+
+        return timeline
+
+    def _emit_region(self, stream: SimStream, lr: _LoweredRegion,
+                     sizes: dict[str, int], sink_names: set[str],
+                     mem: HostMemory) -> None:
+        """Queue one region's kernels (and sink upload) onto a stream."""
+        side_sizes = {getattr(n, "name", str(n)): sizes[n.name]
+                      for _, n in lr.chain.side_kernels}
+        for spec in lr.chain.side_launch_specs(self.device, side_sizes):
+            stream.kernel(spec, tag=spec.name)
+        for spec in lr.chain.main_launch_specs(lr.n_in, self.device):
+            stream.kernel(spec, tag=spec.name)
+        if lr.region.output_node.name in sink_names and lr.out_bytes > 0:
+            stream.d2h(lr.out_bytes, mem, tag=f"output.{lr.region.name}")
+
+    def _split_for_fission(self, lowered: list[_LoweredRegion],
+                           driver: PlanNode
+                           ) -> tuple[list[_LoweredRegion], list[_LoweredRegion],
+                                      list[_LoweredRegion]]:
+        """Partition regions into (pipeline prefix, phase A, phase C).
+
+        The prefix is the maximal chain of non-barrier regions starting at
+        the first region whose primary input is the driver source, where
+        each region's side inputs are computable *before* the driver
+        arrives (driver-independent).  Phase A holds driver-independent
+        regions that must run before the pipeline (e.g. dimension-table
+        selects feeding the prefix's build kernels); phase C everything
+        else, in order.
+        """
+        # which regions (by node-name of output) depend on the driver
+        driver_dep: set[str] = set()
+        produced_by: dict[str, _LoweredRegion] = {}
+        for lr in lowered:
+            for node in lr.region.nodes:
+                produced_by[node.name] = lr
+        for lr in lowered:
+            dep = False
+            for node in lr.region.nodes:
+                for inp in node.inputs:
+                    if inp is driver or inp.name in driver_dep:
+                        dep = True
+            if dep:
+                driver_dep.update(n.name for n in lr.region.nodes)
+
+        def side_inputs_independent(lr: _LoweredRegion) -> bool:
+            for node in lr.region.nodes:
+                for inp in node.inputs[1:]:
+                    if inp is driver or inp.name in driver_dep:
+                        return False
+            return True
+
+        prefix: list[_LoweredRegion] = []
+        phase_a: list[_LoweredRegion] = []
+        rest: list[_LoweredRegion] = []
+        expect: PlanNode | None = None
+        started = False
+        done = False
+        for lr in lowered:
+            if done:
+                rest.append(lr)
+                continue
+            if not started:
+                if (lr.primary_input is driver and not lr.region.is_barrier_op
+                        and side_inputs_independent(lr)):
+                    started = True
+                    prefix.append(lr)
+                    expect = lr.region.output_node
+                elif lr.region.output_node.name in driver_dep:
+                    rest.append(lr)   # driver-dependent, can't run early
+                else:
+                    phase_a.append(lr)
+                continue
+            if (not lr.region.is_barrier_op and lr.primary_input is expect
+                    and side_inputs_independent(lr)):
+                prefix.append(lr)
+                expect = lr.region.output_node
+            else:
+                done = True
+                rest.append(lr)
+        return prefix, phase_a, rest

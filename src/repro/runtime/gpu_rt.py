@@ -1,0 +1,277 @@
+"""The simulated-device *runtime*: functional execution + memory management.
+
+Where :class:`repro.runtime.executor.Executor` times a plan from
+cardinality annotations, this module actually *runs* it: every region
+computes its real NumPy result, device memory is tracked byte-accurately
+against the 6 GB budget, and when an allocation does not fit the runtime
+spills a resident intermediate back to the host and re-uploads it on next
+use -- the mechanism that makes *with round trip* a forced baseline in the
+paper ("if the intermediate data is larger than the relatively small GPU
+memory ... the intermediate data will have to be transferred back to the
+CPU", SS III-A).
+
+Because fusion eliminates intermediates, running the same plan fused under
+memory pressure causes *fewer* spills -- benefit (a)/(b) of Fig 7, which
+`benchmarks/bench_ablation_memory_pressure.py` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.cost import FusionCostModel
+from ..core.fusion import FusionResult, Region, fuse_plan
+from ..core.opmodels import chain_for_node, chain_for_region
+from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
+from ..errors import DeviceOOMError, PlanError
+from ..plans.interp import _eval_node
+from ..plans.plan import OpType, Plan, PlanNode
+from ..ra.relation import Relation
+from ..simgpu.device import DeviceSpec
+from ..simgpu.engine import SimEngine, SimStream
+from ..simgpu.memory import DeviceMemory
+from ..simgpu.pcie import HostMemory
+from ..simgpu.timeline import EventKind, Timeline
+
+
+@dataclass
+class DeviceBuffer:
+    """A relation materialized on the simulated device (or spilled)."""
+
+    name: str
+    relation: Relation
+    nbytes: int
+    handle: int | None = None       # DeviceMemory handle when resident
+    refs_remaining: int = 0         # future consumers
+
+    @property
+    def resident(self) -> bool:
+        return self.handle is not None
+
+
+@dataclass
+class FunctionalRunResult:
+    """Functional answers + the simulated timeline that produced them."""
+
+    results: dict[str, Relation]
+    timeline: Timeline
+    fusion: FusionResult
+    spill_count: int
+    peak_device_bytes: int
+
+    @property
+    def makespan(self) -> float:
+        return self.timeline.makespan
+
+    @property
+    def roundtrip_time(self) -> float:
+        return self.timeline.total_time(tag_prefix="spill")
+
+
+class GpuRuntime:
+    """Executes plans functionally on the simulated device.
+
+    Parameters
+    ----------
+    device:
+        The simulated GPU (its ``global_mem_bytes`` bounds residency).
+    fuse:
+        Apply the fusion pass before execution.
+    memory_limit:
+        Override the device-memory budget (for memory-pressure studies).
+    """
+
+    def __init__(self, device: DeviceSpec | None = None, fuse: bool = True,
+                 costs: StageCostParams = DEFAULT_STAGE_COSTS,
+                 cost_model: FusionCostModel | None = None,
+                 memory_limit: int | None = None,
+                 host_memory: HostMemory = HostMemory.PINNED):
+        self.device = device or DeviceSpec()
+        self.fuse = fuse
+        self.costs = costs
+        self.cost_model = cost_model
+        self.memory = DeviceMemory(
+            capacity=memory_limit if memory_limit is not None
+            else self.device.global_mem_bytes)
+        self.host_memory = host_memory
+
+    # ------------------------------------------------------------------
+    def run(self, plan: Plan, sources: dict[str, Relation]
+            ) -> FunctionalRunResult:
+        plan.validate()
+        self.memory.reset()
+        fusion = fuse_plan(plan, cost_model=self.cost_model, enable=self.fuse)
+
+        stream = SimStream(stream_id=0)
+        buffers: dict[str, DeviceBuffer] = {}
+        node_results: dict[str, Relation] = {}
+        spills = 0
+
+        consumer_counts = self._consumer_counts(plan)
+
+        # upload sources
+        for src in plan.sources():
+            if src.name not in sources:
+                raise PlanError(f"no relation bound for source {src.name!r}")
+            rel = sources[src.name]
+            node_results[src.name] = rel
+            buf = DeviceBuffer(src.name, rel, rel.nbytes,
+                               refs_remaining=consumer_counts.get(src.name, 0))
+            spills += self._make_room(buf.nbytes, buffers, stream)
+            buf.handle = self.memory.alloc(buf.nbytes, src.name)
+            stream.h2d(buf.nbytes, self.host_memory, tag=f"input.{src.name}")
+            buffers[src.name] = buf
+
+        # execute regions in order
+        for region in fusion.regions:
+            self._ensure_inputs_resident(region, buffers, stream)
+            out_rel = self._evaluate_region(region, node_results, sources)
+            out_name = region.output_node.name
+            node_results[out_name] = out_rel
+
+            pinned = {inp.name for node in region.nodes for inp in node.inputs}
+            buf = DeviceBuffer(out_name, out_rel, out_rel.nbytes,
+                               refs_remaining=consumer_counts.get(out_name, 0))
+            try:
+                spills += self._make_room(buf.nbytes, buffers, stream, pinned)
+                if buf.nbytes > 0:
+                    buf.handle = self.memory.alloc(buf.nbytes, out_name)
+            except DeviceOOMError:
+                # the output cannot sit beside the region's (pinned) inputs:
+                # stream it to the host as it is produced -- the paper's
+                # forced round trip (SS III-A).  A consumer re-uploads it.
+                if buf.nbytes > self.memory.capacity:
+                    raise
+                if buf.nbytes > 0:
+                    stream.d2h(buf.nbytes, self.host_memory,
+                               tag=f"spill.out.{out_name}")
+                    spills += 1
+            buffers[out_name] = buf
+
+            self._emit_region_kernels(region, node_results, stream)
+            self._release_consumed(region, buffers)
+
+        # download sink results
+        results: dict[str, Relation] = {}
+        for sink in plan.sinks():
+            rel = node_results[sink.name]
+            results[sink.name] = rel
+            if rel.nbytes > 0:
+                stream.d2h(rel.nbytes, self.host_memory,
+                           tag=f"output.{sink.name}")
+
+        timeline = SimEngine(self.device).run([stream])
+        # count spill round trips from the command log (a spill is a d2h;
+        # re-upload is charged when the buffer is touched again)
+        spill_events = [e for e in timeline.events if e.tag.startswith("spill")]
+        return FunctionalRunResult(
+            results=results, timeline=timeline, fusion=fusion,
+            spill_count=len([e for e in spill_events
+                             if e.kind is EventKind.D2H]),
+            peak_device_bytes=self.memory.peak,
+        )
+
+    # -- memory management ------------------------------------------------
+    def _make_room(self, nbytes: int, buffers: dict[str, DeviceBuffer],
+                   stream: SimStream, pinned: set[str] | None = None) -> int:
+        """Evict resident buffers (largest-first) until `nbytes` fits.
+
+        Buffers named in `pinned` (the running region's inputs) are never
+        evicted.  Returns the number of spills performed.  Raises
+        DeviceOOMError if the allocation cannot fit even after evicting
+        everything evictable.
+        """
+        pinned = pinned or set()
+        if nbytes > self.memory.capacity:
+            raise DeviceOOMError(nbytes, self.memory.available,
+                                 self.memory.capacity)
+        spills = 0
+        while not self.memory.fits(nbytes):
+            evictable = [b for b in buffers.values()
+                         if b.resident and b.name not in pinned]
+            candidates = [b for b in evictable if b.refs_remaining > 0]
+            # prefer evicting what is still needed *latest*; here: largest
+            candidates.sort(key=lambda b: -b.nbytes)
+            victims = evictable
+            if not victims:
+                raise DeviceOOMError(nbytes, self.memory.available,
+                                     self.memory.capacity)
+            victim = (candidates or victims)[0]
+            self.memory.free(victim.handle)
+            victim.handle = None
+            if victim.refs_remaining > 0:
+                # still needed: a true round trip (device -> host now,
+                # host -> device on next use)
+                stream.d2h(victim.nbytes, self.host_memory,
+                           tag=f"spill.out.{victim.name}")
+                spills += 1
+        return spills
+
+    def _ensure_inputs_resident(self, region: Region,
+                                buffers: dict[str, DeviceBuffer],
+                                stream: SimStream) -> None:
+        for node in region.nodes:
+            for inp in node.inputs:
+                buf = buffers.get(inp.name)
+                if buf is not None and not buf.resident:
+                    self._make_room(buf.nbytes, buffers, stream)
+                    buf.handle = self.memory.alloc(buf.nbytes, buf.name)
+                    stream.h2d(buf.nbytes, self.host_memory,
+                               tag=f"spill.in.{buf.name}")
+
+    def _release_consumed(self, region: Region,
+                          buffers: dict[str, DeviceBuffer]) -> None:
+        consumed: dict[str, int] = {}
+        region_names = {n.name for n in region.nodes}
+        for node in region.nodes:
+            for inp in node.inputs:
+                if inp.name not in region_names:
+                    consumed[inp.name] = consumed.get(inp.name, 0) + 1
+        for name, times in consumed.items():
+            buf = buffers.get(name)
+            if buf is None:
+                continue
+            buf.refs_remaining -= times
+            if buf.refs_remaining <= 0 and buf.resident:
+                self.memory.free(buf.handle)
+                buf.handle = None
+
+    @staticmethod
+    def _consumer_counts(plan: Plan) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in plan.nodes:
+            for inp in node.inputs:
+                counts[inp.name] = counts.get(inp.name, 0) + 1
+        for sink in plan.sinks():
+            counts[sink.name] = counts.get(sink.name, 0)
+        return counts
+
+    # -- functional + timing per region ----------------------------------
+    @staticmethod
+    def _evaluate_region(region: Region, node_results: dict[str, Relation],
+                         sources: dict[str, Relation]) -> Relation:
+        out: Relation | None = None
+        for node in region.nodes:
+            out = _eval_node(node, node_results, sources)
+            node_results[node.name] = out
+        assert out is not None
+        return out
+
+    def _emit_region_kernels(self, region: Region,
+                             node_results: dict[str, Relation],
+                             stream: SimStream) -> None:
+        first = region.nodes[0]
+        primary = first.inputs[0] if first.inputs else first
+        n_in = node_results[primary.name].num_rows
+        if region.is_barrier_op:
+            chain = chain_for_node(first, self.costs, n_in_hint=max(n_in, 2))
+        else:
+            chain = chain_for_region(region.nodes, self.costs)
+        side_sizes = {
+            getattr(n, "name", str(n)): node_results[n.name].num_rows
+            for _, n in chain.side_kernels
+        }
+        for spec in chain.side_launch_specs(self.device, side_sizes):
+            stream.kernel(spec, tag=spec.name)
+        for spec in chain.main_launch_specs(max(n_in, 1), self.device):
+            stream.kernel(spec, tag=spec.name)

@@ -1,0 +1,116 @@
+"""Hybrid CPU+GPU execution (the paper's SS III-C future work).
+
+"If using an execution model translator such as Ocelot, it is possible to
+execute fused kernels on both the CPU and GPU to fully utilize the
+available computation power."
+
+This module implements that scheduler for SELECT chains: the input is
+split, the GPU processes its share through the (fused, fissioned)
+pipeline while the CPU runs the same fused filters on the rest, and the
+results are concatenated.  Because the GPU side is PCIe-bound, the CPU
+share is far from negligible -- offloading onto an otherwise idle host
+raises total throughput by roughly cpu_rate / gpu_rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpubase.select import cpu_select_time
+from ..simgpu.calibration import DEFAULT_CALIBRATION
+from ..simgpu.device import DeviceSpec
+from .select_chain import run_select_chain
+from .strategies import Strategy
+
+
+@dataclass(frozen=True)
+class HybridRunResult:
+    n_elements: int
+    cpu_fraction: float
+    gpu_time: float
+    cpu_time: float
+
+    @property
+    def makespan(self) -> float:
+        """CPU and GPU work concurrently; the slower side gates."""
+        return max(self.gpu_time, self.cpu_time)
+
+    @property
+    def throughput(self) -> float:
+        return self.n_elements * 4 / self.makespan if self.makespan else 0.0
+
+    @property
+    def balance(self) -> float:
+        """1.0 = perfectly balanced split."""
+        hi = max(self.gpu_time, self.cpu_time)
+        lo = min(self.gpu_time, self.cpu_time)
+        return lo / hi if hi > 0 else 1.0
+
+
+def _gpu_time(n: int, num_selects: int, selectivity: float,
+              device: DeviceSpec | None, strategy: Strategy) -> float:
+    if n <= 0:
+        return 0.0
+    return run_select_chain(n, num_selects, selectivity, strategy,
+                            device=device).makespan
+
+
+def _cpu_chain_time(n: int, num_selects: int, selectivity: float) -> float:
+    """CPU runs the *fused* filter chain: one pass, conjoined predicates.
+
+    Reads every element once; writes only the final survivors.
+    """
+    if n <= 0:
+        return 0.0
+    # a fused CPU filter behaves like one select whose write fraction is
+    # the compound selectivity
+    return cpu_select_time(n, selectivity=selectivity ** num_selects)
+
+
+def run_hybrid_select(
+    n_elements: int,
+    num_selects: int = 2,
+    selectivity: float = 0.5,
+    cpu_fraction: float | None = None,
+    device: DeviceSpec | None = None,
+    gpu_strategy: Strategy = Strategy.FUSED_FISSION,
+) -> HybridRunResult:
+    """Run a SELECT chain split across CPU and GPU.
+
+    ``cpu_fraction=None`` picks the load balance automatically (golden-
+    section search on the max of the two sides).
+    """
+    if cpu_fraction is None:
+        cpu_fraction = balance_split(n_elements, num_selects, selectivity,
+                                     device, gpu_strategy)
+    if not 0.0 <= cpu_fraction <= 1.0:
+        raise ValueError(f"cpu_fraction must be in [0, 1], got {cpu_fraction}")
+    n_cpu = int(round(n_elements * cpu_fraction))
+    n_gpu = n_elements - n_cpu
+    return HybridRunResult(
+        n_elements=n_elements,
+        cpu_fraction=cpu_fraction,
+        gpu_time=_gpu_time(n_gpu, num_selects, selectivity, device, gpu_strategy),
+        cpu_time=_cpu_chain_time(n_cpu, num_selects, selectivity),
+    )
+
+
+def balance_split(n_elements: int, num_selects: int = 2,
+                  selectivity: float = 0.5,
+                  device: DeviceSpec | None = None,
+                  gpu_strategy: Strategy = Strategy.FUSED_FISSION,
+                  iterations: int = 24) -> float:
+    """CPU fraction that balances the two sides (bisection on the
+    difference of side times, which is monotone in the split)."""
+    lo, hi = 0.0, 1.0
+    for _ in range(iterations):
+        mid = (lo + hi) / 2
+        n_cpu = int(round(n_elements * mid))
+        n_gpu = n_elements - n_cpu
+        cpu_t = _cpu_chain_time(n_cpu, num_selects, selectivity)
+        gpu_t = _gpu_time(n_gpu, num_selects, selectivity, device, gpu_strategy)
+        if cpu_t < gpu_t:
+            lo = mid      # CPU has headroom: give it more
+        else:
+            hi = mid
+    return (lo + hi) / 2

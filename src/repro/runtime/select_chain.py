@@ -1,0 +1,64 @@
+"""Builders for the paper's SELECT-chain microbenchmarks.
+
+The evaluation sections III-B and IV use chains of back-to-back SELECT
+operators over randomly generated 32-bit integers ("compressed row data").
+This module provides the canonical plan builder and convenience runners
+used by the Fig 4/8/9/10/11/14/16 benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..plans.plan import Plan, PlanNode
+from ..ra.expr import Field
+from ..simgpu.device import DeviceSpec
+from .executor import Executor, RunResult
+from .strategies import ExecutionConfig, Strategy
+
+#: the microbenchmarks filter 32-bit integers; threshold chosen per
+#: selectivity over a uniform [0, 2^31) distribution
+INT_ROW_BYTES = 4
+
+
+def select_chain_plan(num_selects: int, selectivity: float = 0.5,
+                      row_nbytes: int = INT_ROW_BYTES) -> Plan:
+    """A chain: source -> SELECT -> SELECT -> ... (num_selects times).
+
+    Each SELECT passes `selectivity` of its input (the paper's default is
+    50%, so two SELECTs keep 25% of the original data).
+    """
+    if num_selects < 1:
+        raise ValueError("need at least one SELECT")
+    plan = Plan(name=f"select_chain_{num_selects}")
+    node: PlanNode = plan.source("input", row_nbytes=row_nbytes)
+    threshold = int(selectivity * (2 ** 31))
+    for i in range(num_selects):
+        node = plan.select(node, Field("value") < threshold,
+                           selectivity=selectivity, name=f"select{i}")
+    return plan
+
+
+def run_select_chain(
+    n_elements: int,
+    num_selects: int = 2,
+    selectivity: float = 0.5,
+    strategy: Strategy = Strategy.SERIAL,
+    device: DeviceSpec | None = None,
+    include_transfers: bool = True,
+    config: ExecutionConfig | None = None,
+) -> RunResult:
+    """Run a SELECT chain at the given size/strategy; returns the RunResult."""
+    executor = Executor(device or DeviceSpec())
+    plan = select_chain_plan(num_selects, selectivity)
+    cfg = config or ExecutionConfig(
+        strategy=strategy, include_transfers=include_transfers)
+    return executor.run(plan, {"input": n_elements}, cfg)
+
+
+def gpu_select_throughput(n_elements: int, selectivity: float = 0.5,
+                          device: DeviceSpec | None = None) -> float:
+    """GPU-compute throughput (bytes/s) of one SELECT, PCIe excluded --
+    the quantity plotted in Fig 4(a)'s top curves."""
+    res = run_select_chain(n_elements, num_selects=1, selectivity=selectivity,
+                           strategy=Strategy.SERIAL, device=device,
+                           include_transfers=False)
+    return n_elements * INT_ROW_BYTES / res.makespan if res.makespan else 0.0

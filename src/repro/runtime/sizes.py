@@ -1,0 +1,41 @@
+"""Cardinality estimation / propagation through a plan.
+
+The simulator times kernels from element counts; for *virtual* workloads
+(timing-only runs at paper scale, e.g. 4 billion elements) the counts come
+from the selectivity annotations on the plan nodes.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from ..plans.plan import OpType, Plan, PlanNode
+
+
+def estimate_sizes(plan: Plan, source_rows: dict[str, int]) -> dict[str, int]:
+    """Estimated output rows for every node, keyed by node name."""
+    sizes: dict[str, int] = {}
+    for node in plan.topological():
+        sizes[node.name] = _node_size(node, sizes, source_rows)
+    return sizes
+
+
+def _node_size(node: PlanNode, sizes: dict[str, int],
+               source_rows: dict[str, int]) -> int:
+    if node.op is OpType.SOURCE:
+        if node.name in source_rows:
+            return int(source_rows[node.name])
+        if node.params.get("n_rows") is not None:
+            return int(node.params["n_rows"])
+        raise PlanError(f"no row count for source {node.name!r}")
+    left = sizes[node.inputs[0].name]
+    if node.op is OpType.UNION:
+        right = sizes[node.inputs[1].name]
+        return max(0, int(round((left + right) * node.selectivity)))
+    if node.op is OpType.AGGREGATE:
+        n_groups = node.params.get("n_groups")
+        if n_groups is not None:
+            return max(1, int(n_groups))
+        return max(1, int(round(left * node.selectivity)))
+    # PRODUCT encodes the expansion factor (right rows) as selectivity;
+    # everything else scales its primary input by selectivity.
+    return max(0, int(round(left * node.selectivity)))

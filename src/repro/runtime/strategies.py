@@ -1,0 +1,56 @@
+"""Execution strategies (the paper's evaluated methods).
+
+==================  ======================================================
+WITH_ROUND_TRIP     every operator's intermediate result is staged back to
+                    host memory and re-downloaded (forced when intermediates
+                    do not fit on the device; SS III-B)
+SERIAL              "without round trip": intermediates stay in GPU memory,
+                    operators run unfused, back to back
+FUSED               kernel fusion applied (SS III)
+FISSION             kernel fission applied: segmented, pipelined transfers
+                    (SS IV), unfused kernels
+FUSED_FISSION       both (SS IV-C)
+==================  ======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..core.fission import FissionConfig
+from ..simgpu.pcie import HostMemory
+
+
+class Strategy(enum.Enum):
+    WITH_ROUND_TRIP = "with_round_trip"
+    SERIAL = "serial"
+    FUSED = "fused"
+    FISSION = "fission"
+    FUSED_FISSION = "fused_fission"
+
+    @property
+    def uses_fusion(self) -> bool:
+        return self in (Strategy.FUSED, Strategy.FUSED_FISSION)
+
+    @property
+    def uses_fission(self) -> bool:
+        return self in (Strategy.FISSION, Strategy.FUSED_FISSION)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    strategy: Strategy = Strategy.SERIAL
+    #: host memory for the initial-input / final-output staging buffers
+    #: (persistent, so kept pinned)
+    memory: HostMemory = HostMemory.PINNED
+    #: host memory for intermediate round-trip spills (ad-hoc heap buffers,
+    #: hence pageable) -- this asymmetry gives round trips their outsized
+    #: share of Fig 9's breakdown
+    roundtrip_memory: HostMemory = HostMemory.PAGED
+    fission: FissionConfig = field(default_factory=FissionConfig)
+    #: when False, no PCIe transfers are simulated (GPU-compute-only runs,
+    #: as in Fig 8(b), Fig 10-12)
+    include_transfers: bool = True
+    #: device-memory safety margin for chunked serial execution
+    memory_safety: float = 0.9

@@ -1,0 +1,189 @@
+"""Cross-query workloads: fusing operators *across* queries (SS III-A).
+
+"In data warehousing applications, there are opportunities to apply kernel
+fusion across queries since RA operators from different queries can be
+fused."
+
+A :class:`QueryWorkload` holds several plans that read the same base
+tables.  Merging them into one combined plan makes the shared sources
+explicit; shared-scan groups (Fig 2(c)) then appear wherever different
+queries filter the same table, and the scan cost is paid once.  The
+scheduler compares three regimes:
+
+* **isolated** -- each query executed on its own (input re-uploaded and
+  re-scanned per query);
+* **shared-source** -- one upload, per-query kernels;
+* **cross-query fused** -- one upload, shared-scan kernels for the
+  SELECT groups + per-query remainders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.multifusion import (
+    SharedScanGroup,
+    chain_for_shared_scan,
+    find_shared_select_groups,
+    split_group_by_registers,
+)
+from ..core.opmodels import chain_for_region, out_row_nbytes
+from ..errors import PlanError
+from ..plans.plan import OpType, Plan, PlanNode
+from ..simgpu.device import DeviceSpec
+from ..simgpu.engine import SimEngine, SimStream
+from ..simgpu.pcie import HostMemory
+from ..simgpu.timeline import Timeline
+from .sizes import estimate_sizes
+
+
+@dataclass
+class QueryWorkload:
+    """Several single-chain queries over shared source tables."""
+
+    plans: list[Plan]
+
+    def __post_init__(self):
+        if not self.plans:
+            raise PlanError("workload needs at least one query")
+        for p in self.plans:
+            p.validate()
+
+    def merged_plan(self) -> Plan:
+        """One plan containing every query, with same-named sources merged."""
+        merged = Plan(name="workload")
+        sources: dict[str, PlanNode] = {}
+        for qi, plan in enumerate(self.plans):
+            mapping: dict[int, PlanNode] = {}
+            for node in plan.topological():
+                if node.op is OpType.SOURCE:
+                    if node.name not in sources:
+                        clone = PlanNode(
+                            op=node.op, name=node.name, inputs=[],
+                            params=dict(node.params),
+                            selectivity=node.selectivity,
+                            out_row_nbytes=node.out_row_nbytes)
+                        merged.nodes.append(clone)
+                        sources[node.name] = clone
+                    mapping[id(node)] = sources[node.name]
+                    continue
+                clone = PlanNode(
+                    op=node.op, name=f"q{qi}.{node.name}",
+                    inputs=[mapping[id(i)] for i in node.inputs],
+                    params=dict(node.params),
+                    selectivity=node.selectivity,
+                    out_row_nbytes=node.out_row_nbytes)
+                merged.nodes.append(clone)
+                mapping[id(node)] = clone
+        merged.validate()
+        return merged
+
+
+@dataclass
+class WorkloadRunResult:
+    mode: str
+    timeline: Timeline
+    input_bytes: float
+
+    @property
+    def makespan(self) -> float:
+        return self.timeline.makespan
+
+    @property
+    def throughput(self) -> float:
+        return self.input_bytes / self.makespan if self.makespan else 0.0
+
+
+class WorkloadScheduler:
+    """Times a workload under the three sharing regimes."""
+
+    def __init__(self, device: DeviceSpec | None = None,
+                 memory: HostMemory = HostMemory.PINNED):
+        self.device = device or DeviceSpec()
+        self.memory = memory
+
+    # -- helpers ----------------------------------------------------------
+    def _emit_query_kernels(self, stream: SimStream, plan: Plan,
+                            sizes: dict[str, int],
+                            skip: set[str] = frozenset()) -> None:
+        from ..core.opmodels import FUSABLE_OPS, chain_for_node
+        for node in plan.topological():
+            if node.op is OpType.SOURCE or node.name in skip:
+                continue
+            primary = node.inputs[0]
+            n_in = sizes[primary.name]
+            if node.op in FUSABLE_OPS:
+                chain = chain_for_region([node])
+            else:
+                chain = chain_for_node(node, n_in_hint=max(n_in, 2))
+            side_sizes = {getattr(x, "name", str(x)): sizes[x.name]
+                          for _, x in chain.side_kernels}
+            for spec in chain.side_launch_specs(self.device, side_sizes):
+                stream.kernel(spec, tag=spec.name)
+            for spec in chain.main_launch_specs(max(n_in, 1), self.device):
+                stream.kernel(spec, tag=spec.name)
+
+    def _upload(self, stream: SimStream, plan: Plan,
+                sizes: dict[str, int]) -> float:
+        total = 0.0
+        for src in plan.sources():
+            nbytes = float(sizes[src.name]) * out_row_nbytes(src)
+            total += nbytes
+            if nbytes > 0:
+                stream.h2d(nbytes, self.memory, tag=f"input.{src.name}")
+        return total
+
+    # -- regimes -------------------------------------------------------------
+    def run_isolated(self, workload: QueryWorkload,
+                     source_rows: dict[str, int]) -> WorkloadRunResult:
+        """Each query uploads and scans its own copy of the inputs."""
+        stream = SimStream(stream_id=0)
+        total = 0.0
+        for plan in workload.plans:
+            sizes = estimate_sizes(plan, source_rows)
+            total += self._upload(stream, plan, sizes)
+            self._emit_query_kernels(stream, plan, sizes)
+        tl = SimEngine(self.device).run([stream])
+        return WorkloadRunResult("isolated", tl, total)
+
+    def run_shared_source(self, workload: QueryWorkload,
+                          source_rows: dict[str, int]) -> WorkloadRunResult:
+        """One upload of the shared tables; per-query kernels unchanged."""
+        merged = workload.merged_plan()
+        sizes = estimate_sizes(merged, source_rows)
+        stream = SimStream(stream_id=0)
+        total = self._upload(stream, merged, sizes)
+        self._emit_query_kernels(stream, merged, sizes)
+        tl = SimEngine(self.device).run([stream])
+        return WorkloadRunResult("shared_source", tl, total)
+
+    def run_cross_query_fused(self, workload: QueryWorkload,
+                              source_rows: dict[str, int]) -> WorkloadRunResult:
+        """Shared upload + shared-scan kernels for SELECT groups."""
+        merged = workload.merged_plan()
+        sizes = estimate_sizes(merged, source_rows)
+        stream = SimStream(stream_id=0)
+        total = self._upload(stream, merged, sizes)
+
+        fused_names: set[str] = set()
+        for raw_group in find_shared_select_groups(merged):
+            for group in split_group_by_registers(raw_group):
+                if len(group.selects) < 2:
+                    continue  # singleton remainder: leave to the per-query path
+                chain = chain_for_shared_scan(group)
+                n_in = sizes[group.producer.name]
+                for spec in chain.main_launch_specs(max(n_in, 1), self.device):
+                    stream.kernel(spec, tag=spec.name)
+                fused_names.update(s.name for s in group.selects)
+
+        self._emit_query_kernels(stream, merged, sizes, skip=fused_names)
+        tl = SimEngine(self.device).run([stream])
+        return WorkloadRunResult("cross_query_fused", tl, total)
+
+    def compare(self, workload: QueryWorkload, source_rows: dict[str, int]
+                ) -> dict[str, WorkloadRunResult]:
+        return {
+            "isolated": self.run_isolated(workload, source_rows),
+            "shared_source": self.run_shared_source(workload, source_rows),
+            "cross_query_fused": self.run_cross_query_fused(workload, source_rows),
+        }

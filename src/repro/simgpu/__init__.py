@@ -1,0 +1,46 @@
+"""Simulated Fermi-class GPU platform (device, PCIe, memory, streams).
+
+This package is the substitute for the paper's physical testbed (Table II):
+an NVIDIA Tesla C2070 attached to a dual-Xeon host over PCIe 2.0.  See
+DESIGN.md SS2 for the substitution rationale and
+:mod:`repro.simgpu.calibration` for how constants were fit.
+"""
+
+from .calibration import Calibration, CpuCalibration, DEFAULT_CALIBRATION, GpuCalibration, PcieCalibration
+from .compression import BITPACK, DICT, NONE, RLE, SCHEMES, CompressionScheme
+from .compute import (
+    CONCURRENT_PENALTY,
+    DEFAULT_THREADS_PER_CTA,
+    KernelLaunchSpec,
+    default_grid,
+    kernel_duration,
+    sms_requested,
+)
+from .device import DeviceSpec, Occupancy, describe_environment
+from .engine import (
+    HostCommand,
+    KernelCommand,
+    SignalEventCommand,
+    SimEngine,
+    SimStream,
+    TransferCommand,
+    WaitEventCommand,
+)
+from .memory import DeviceMemory
+from .pcie import Direction, HostMemory, PcieModel
+from .stats import UtilizationReport, analyze, describe as describe_utilization
+from .trace import to_chrome_trace, write_chrome_trace
+from .timeline import EventKind, Timeline, TimelineEvent
+
+__all__ = [
+    "BITPACK", "DICT", "NONE", "RLE", "SCHEMES", "CompressionScheme",
+    "Calibration", "CpuCalibration", "DEFAULT_CALIBRATION", "GpuCalibration",
+    "PcieCalibration", "CONCURRENT_PENALTY", "DEFAULT_THREADS_PER_CTA",
+    "KernelLaunchSpec", "default_grid", "kernel_duration", "sms_requested",
+    "DeviceSpec", "Occupancy", "describe_environment", "HostCommand",
+    "KernelCommand", "SignalEventCommand", "SimEngine", "SimStream",
+    "TransferCommand", "WaitEventCommand", "DeviceMemory", "Direction",
+    "HostMemory", "PcieModel", "EventKind", "Timeline", "TimelineEvent",
+    "UtilizationReport", "analyze", "describe_utilization",
+    "to_chrome_trace", "write_chrome_trace",
+]

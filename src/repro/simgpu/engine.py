@@ -1,0 +1,276 @@
+"""Discrete-event simulation of a CUDA-stream capable device.
+
+Models the NVIDIA C2070 concurrency envelope the paper exploits (SS IV-B):
+
+* commands within one stream execute in order;
+* commands in different streams may overlap;
+* one H2D transfer, one D2H transfer (two copy engines) and kernels (SM
+  pool) can be in flight simultaneously;
+* concurrent kernels partition the SM pool and pay a small interference
+  penalty (Fig 12).
+
+Commands optionally carry a *thunk* -- a Python callable that performs the
+functional (NumPy) work when the command completes, so logical results
+materialize in simulated-time order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SchedulingError
+from .compute import CONCURRENT_PENALTY, KernelLaunchSpec, kernel_duration, sms_requested
+from .device import DeviceSpec
+from .pcie import Direction, HostMemory, PcieModel
+from .timeline import EventKind, Timeline
+
+Thunk = Callable[[], None]
+
+#: global enqueue counter: the engine dispatches ready commands in enqueue
+#: order (FIFO across streams), which is how the CUDA driver arbitrates
+#: same-engine work queued to different streams.
+_ENQUEUE_SEQ = itertools.count()
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Command:
+    tag: str = ""
+    thunk: Thunk | None = None
+    seq: int = -1  # stamped at enqueue time
+
+
+@dataclass
+class TransferCommand(Command):
+    nbytes: float = 0.0
+    direction: Direction = Direction.H2D
+    memory: HostMemory = HostMemory.PINNED
+
+
+@dataclass
+class KernelCommand(Command):
+    spec: KernelLaunchSpec | None = None
+
+
+@dataclass
+class HostCommand(Command):
+    duration: float = 0.0
+
+
+@dataclass
+class SignalEventCommand(Command):
+    event_id: int = 0
+
+
+@dataclass
+class WaitEventCommand(Command):
+    event_id: int = 0
+
+
+@dataclass
+class SimStream:
+    """An in-order command queue (one simulated CUDA stream)."""
+
+    stream_id: int
+    commands: list[Command] = field(default_factory=list)
+
+    def enqueue(self, cmd: Command) -> "SimStream":
+        cmd.seq = next(_ENQUEUE_SEQ)
+        self.commands.append(cmd)
+        return self
+
+    def h2d(self, nbytes: float, memory: HostMemory = HostMemory.PINNED,
+            tag: str = "h2d", thunk: Thunk | None = None) -> "SimStream":
+        return self.enqueue(TransferCommand(
+            tag=tag, thunk=thunk, nbytes=nbytes,
+            direction=Direction.H2D, memory=memory))
+
+    def d2h(self, nbytes: float, memory: HostMemory = HostMemory.PINNED,
+            tag: str = "d2h", thunk: Thunk | None = None) -> "SimStream":
+        return self.enqueue(TransferCommand(
+            tag=tag, thunk=thunk, nbytes=nbytes,
+            direction=Direction.D2H, memory=memory))
+
+    def kernel(self, spec: KernelLaunchSpec,
+               tag: str | None = None, thunk: Thunk | None = None) -> "SimStream":
+        return self.enqueue(KernelCommand(
+            tag=tag if tag is not None else spec.name, thunk=thunk, spec=spec))
+
+    def host(self, duration: float, tag: str = "host",
+             thunk: Thunk | None = None) -> "SimStream":
+        return self.enqueue(HostCommand(tag=tag, thunk=thunk, duration=duration))
+
+    def signal(self, event_id: int, tag: str = "signal") -> "SimStream":
+        return self.enqueue(SignalEventCommand(tag=tag, event_id=event_id))
+
+    def wait_event(self, event_id: int, tag: str = "wait") -> "SimStream":
+        return self.enqueue(WaitEventCommand(tag=tag, event_id=event_id))
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Running:
+    end: float
+    stream_idx: int
+    cmd: Command
+    granted_sms: int = 0
+
+
+class SimEngine:
+    """Runs a set of :class:`SimStream` queues to completion.
+
+    Returns a :class:`Timeline` of everything that happened.  The engine is
+    deterministic: ties are broken by stream id.
+    """
+
+    def __init__(self, device: DeviceSpec, pcie: PcieModel | None = None):
+        self.device = device
+        self.pcie = pcie or PcieModel(device.calib.pcie)
+        self._event_counter = itertools.count()
+
+    def new_event_id(self) -> int:
+        return next(self._event_counter)
+
+    # -- main loop ----------------------------------------------------------
+    def run(self, streams: list[SimStream], timeline: Timeline | None = None,
+            start_time: float = 0.0) -> Timeline:
+        tl = timeline if timeline is not None else Timeline()
+        now = start_time
+        cursors = [0] * len(streams)          # next command index per stream
+        blocked_until_done = [False] * len(streams)
+        running: list[tuple[float, int, _Running]] = []  # heap by end time
+        seq = itertools.count()
+        signaled: set[int] = set()
+
+        h2d_busy = False
+        d2h_busy = False
+        host_busy = False
+        free_sms = self.device.num_sms
+        kernels_in_flight = 0
+
+        def pending() -> bool:
+            return any(cursors[i] < len(s.commands) for i, s in enumerate(streams))
+
+        while pending() or running:
+            dispatched = True
+            while dispatched:
+                dispatched = False
+                # FIFO across streams: consider stream heads in enqueue order
+                heads = sorted(
+                    (i for i, s in enumerate(streams)
+                     if not blocked_until_done[i] and cursors[i] < len(s.commands)),
+                    key=lambda i: streams[i].commands[cursors[i]].seq,
+                )
+                for i in heads:
+                    stream = streams[i]
+                    cmd = stream.commands[cursors[i]]
+                    # -- zero-duration control commands ----------------------
+                    if isinstance(cmd, SignalEventCommand):
+                        signaled.add(cmd.event_id)
+                        cursors[i] += 1
+                        dispatched = True
+                        continue
+                    if isinstance(cmd, WaitEventCommand):
+                        if cmd.event_id in signaled:
+                            cursors[i] += 1
+                            dispatched = True
+                        continue
+                    # -- resource-bound commands -----------------------------
+                    if isinstance(cmd, TransferCommand):
+                        if cmd.direction is Direction.H2D and h2d_busy:
+                            continue
+                        if cmd.direction is Direction.D2H and d2h_busy:
+                            continue
+                        dur = self.pcie.transfer_time(
+                            cmd.nbytes, cmd.direction, cmd.memory)
+                        if cmd.direction is Direction.H2D:
+                            h2d_busy = True
+                        else:
+                            d2h_busy = True
+                        run = _Running(end=now + dur, stream_idx=i, cmd=cmd)
+                    elif isinstance(cmd, KernelCommand):
+                        if cmd.spec is None:
+                            raise SchedulingError(f"kernel command {cmd.tag} has no spec")
+                        if free_sms <= 0:
+                            continue
+                        want = sms_requested(self.device, cmd.spec)
+                        grant = min(want, free_sms)
+                        concurrent = kernels_in_flight > 0
+                        dur = kernel_duration(
+                            self.device, cmd.spec,
+                            granted_sms=grant, concurrent=concurrent)
+                        free_sms -= grant
+                        kernels_in_flight += 1
+                        run = _Running(end=now + dur, stream_idx=i,
+                                       cmd=cmd, granted_sms=grant)
+                    elif isinstance(cmd, HostCommand):
+                        if host_busy:
+                            continue
+                        host_busy = True
+                        run = _Running(end=now + cmd.duration, stream_idx=i, cmd=cmd)
+                    else:
+                        raise SchedulingError(f"unknown command type: {cmd!r}")
+
+                    blocked_until_done[i] = True
+                    heapq.heappush(running, (run.end, next(seq), run))
+                    run.start = now  # type: ignore[attr-defined]
+                    dispatched = True
+
+            if not running:
+                if pending():
+                    raise SchedulingError(
+                        "deadlock: streams pending but nothing can be dispatched "
+                        "(wait on an event that is never signaled?)")
+                break
+
+            # advance to next completion; complete everything ending then
+            end_time, _, run = heapq.heappop(running)
+            completions = [run]
+            while running and running[0][0] == end_time:
+                completions.append(heapq.heappop(running)[2])
+            now = end_time
+
+            for run in completions:
+                cmd = run.cmd
+                start = getattr(run, "start")
+                if isinstance(cmd, TransferCommand):
+                    kind = EventKind.H2D if cmd.direction is Direction.H2D else EventKind.D2H
+                    tl.add(start, now, kind, cmd.tag,
+                           stream=streams[run.stream_idx].stream_id,
+                           nbytes=cmd.nbytes)
+                    if cmd.direction is Direction.H2D:
+                        h2d_busy = False
+                    else:
+                        d2h_busy = False
+                elif isinstance(cmd, KernelCommand):
+                    tl.add(start, now, EventKind.KERNEL, cmd.tag,
+                           stream=streams[run.stream_idx].stream_id,
+                           nbytes=cmd.spec.total_traffic if cmd.spec else 0.0)
+                    free_sms += run.granted_sms
+                    kernels_in_flight -= 1
+                elif isinstance(cmd, HostCommand):
+                    tl.add(start, now, EventKind.HOST, cmd.tag,
+                           stream=streams[run.stream_idx].stream_id)
+                    host_busy = False
+                if cmd.thunk is not None:
+                    cmd.thunk()
+                blocked_until_done[run.stream_idx] = False
+                cursors[run.stream_idx] += 1
+
+        return tl
+
+
+__all__ = [
+    "Command", "TransferCommand", "KernelCommand", "HostCommand",
+    "SignalEventCommand", "WaitEventCommand", "SimStream", "SimEngine",
+    "CONCURRENT_PENALTY",
+]

@@ -1,0 +1,70 @@
+"""Device-memory allocator / tracker.
+
+Enforces the 6 GB device capacity that drives the paper's *with round trip*
+baseline: when intermediates do not fit next to the input, they must be
+staged back to the host (SS III-A, "Reduction in PCIe Traffic").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeviceOOMError
+
+
+@dataclass
+class Allocation:
+    name: str
+    nbytes: int
+    freed: bool = False
+
+
+@dataclass
+class DeviceMemory:
+    """Byte-accurate bump allocator with a capacity ceiling and peak stats."""
+
+    capacity: int
+    _allocs: dict[int, Allocation] = field(default_factory=dict)
+    _next_id: int = 0
+    in_use: int = 0
+    peak: int = 0
+    total_allocated: int = 0
+
+    def alloc(self, nbytes: int, name: str = "buf") -> int:
+        """Reserve `nbytes`; returns a handle.  Raises DeviceOOMError."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if self.in_use + nbytes > self.capacity:
+            raise DeviceOOMError(nbytes, self.available, self.capacity)
+        handle = self._next_id
+        self._next_id += 1
+        self._allocs[handle] = Allocation(name=name, nbytes=nbytes)
+        self.in_use += nbytes
+        self.total_allocated += nbytes
+        self.peak = max(self.peak, self.in_use)
+        return handle
+
+    def free(self, handle: int) -> None:
+        alloc = self._allocs.get(handle)
+        if alloc is None or alloc.freed:
+            raise KeyError(f"invalid or double free of handle {handle}")
+        alloc.freed = True
+        self.in_use -= alloc.nbytes
+
+    def fits(self, nbytes: int) -> bool:
+        return self.in_use + int(nbytes) <= self.capacity
+
+    @property
+    def available(self) -> int:
+        """Bytes not currently allocated."""
+        return self.capacity - self.in_use
+
+    def reset(self) -> None:
+        self._allocs.clear()
+        self.in_use = 0
+        self.peak = 0
+        self.total_allocated = 0
+
+    def live_allocations(self) -> list[Allocation]:
+        return [a for a in self._allocs.values() if not a.freed]

@@ -1,0 +1,75 @@
+"""PCIe 2.0 transfer-time model (paper Fig 4(b)).
+
+The model captures the four measured curves -- {pinned, paged} x {H2D, D2H}
+-- with three effects:
+
+1. a fixed per-transfer latency (driver + DMA setup),
+2. a bandwidth ramp for small transfers (half-saturation size), and
+3. for pinned memory, a mild degradation at very large sizes ("the lower OS
+   performance caused by large amount of pinned memory").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .calibration import PcieCalibration
+
+
+class Direction(enum.Enum):
+    H2D = "h2d"  # CPU writes GPU
+    D2H = "d2h"  # CPU reads GPU
+
+
+class HostMemory(enum.Enum):
+    PINNED = "pinned"
+    PAGED = "paged"
+
+
+@dataclass(frozen=True)
+class PcieModel:
+    calib: PcieCalibration
+
+    def _asymptotic_bw(self, direction: Direction, memory: HostMemory) -> float:
+        c = self.calib
+        table = {
+            (Direction.H2D, HostMemory.PINNED): c.pinned_h2d_bw,
+            (Direction.D2H, HostMemory.PINNED): c.pinned_d2h_bw,
+            (Direction.H2D, HostMemory.PAGED): c.paged_h2d_bw,
+            (Direction.D2H, HostMemory.PAGED): c.paged_d2h_bw,
+        }
+        return table[(direction, memory)]
+
+    def bandwidth(self, nbytes: float, direction: Direction, memory: HostMemory) -> float:
+        """Effective bandwidth (bytes/s) for a transfer of `nbytes`.
+
+        Excludes the fixed latency term; see :meth:`transfer_time` for the
+        full cost, and :meth:`effective_bandwidth` for the end-to-end value
+        the Fig 4(b) bench plots.
+        """
+        if nbytes <= 0:
+            return self._asymptotic_bw(direction, memory)
+        c = self.calib
+        bw = self._asymptotic_bw(direction, memory)
+        # small-transfer ramp
+        bw *= nbytes / (nbytes + c.half_saturation_bytes)
+        # large pinned-allocation degradation
+        if memory is HostMemory.PINNED and nbytes > c.pinned_degradation_onset_bytes:
+            over = nbytes - c.pinned_degradation_onset_bytes
+            frac = min(1.0, over / c.pinned_degradation_span_bytes)
+            bw *= 1.0 - c.pinned_degradation * frac
+        return bw
+
+    def transfer_time(self, nbytes: float, direction: Direction, memory: HostMemory) -> float:
+        """Wall-clock seconds to move `nbytes` across PCIe."""
+        if nbytes <= 0:
+            return 0.0
+        return self.calib.latency_s + nbytes / self.bandwidth(nbytes, direction, memory)
+
+    def effective_bandwidth(
+        self, nbytes: float, direction: Direction, memory: HostMemory
+    ) -> float:
+        """End-to-end bandwidth including latency (what bandwidthTest reports)."""
+        t = self.transfer_time(nbytes, direction, memory)
+        return nbytes / t if t > 0 else 0.0

@@ -1,0 +1,102 @@
+"""Timeline analysis: engine utilization and overlap accounting.
+
+Quantifies how well a schedule exploits the device's concurrency envelope
+-- the numbers behind statements like "the H2D engine is busy 99% of the
+pipeline" (Fig 13/15) and "round trips are 54% of the serial total"
+(Fig 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .timeline import EventKind, Timeline
+
+#: engines with dedicated hardware queues
+ENGINE_KINDS = (EventKind.H2D, EventKind.D2H, EventKind.KERNEL, EventKind.HOST)
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Per-engine busy fractions plus overlap distribution."""
+
+    makespan: float
+    busy: dict[str, float]            # engine -> busy seconds (union)
+    overlap_histogram: dict[int, float]  # #busy engines -> seconds
+
+    def busy_fraction(self, kind: EventKind) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.busy.get(kind.value, 0.0) / self.makespan
+
+    @property
+    def serial_fraction(self) -> float:
+        """Share of wall time with at most one engine active."""
+        if self.makespan <= 0:
+            return 0.0
+        return (self.overlap_histogram.get(0, 0.0)
+                + self.overlap_histogram.get(1, 0.0)) / self.makespan
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Share of wall time with two or more engines active."""
+        if self.makespan <= 0:
+            return 0.0
+        return sum(v for k, v in self.overlap_histogram.items()
+                   if k >= 2) / self.makespan
+
+    @property
+    def pipeline_efficiency(self) -> float:
+        """Sum of engine busy time / (makespan * engines used): 1.0 means
+        every used engine was busy the whole time."""
+        used = [b for b in self.busy.values() if b > 0]
+        if not used or self.makespan <= 0:
+            return 0.0
+        return sum(used) / (self.makespan * len(used))
+
+
+def analyze(timeline: Timeline) -> UtilizationReport:
+    """Build the utilization report for a timeline."""
+    if not timeline.events:
+        return UtilizationReport(0.0, {}, {})
+    t0 = min(e.start for e in timeline.events)
+    t1 = max(e.end for e in timeline.events)
+    makespan = t1 - t0
+
+    busy = {kind.value: timeline.busy_time(kind) for kind in ENGINE_KINDS
+            if timeline.filter(kind)}
+
+    # overlap histogram by sweeping event boundaries
+    boundaries: list[tuple[float, int]] = []
+    for ev in timeline.events:
+        if ev.kind not in ENGINE_KINDS:
+            continue
+        boundaries.append((ev.start, +1))
+        boundaries.append((ev.end, -1))
+    boundaries.sort()
+    histogram: dict[int, float] = {}
+    active = 0
+    prev = t0
+    for t, delta in boundaries:
+        if t > prev:
+            histogram[active] = histogram.get(active, 0.0) + (t - prev)
+            prev = t
+        active += delta
+    if t1 > prev:
+        histogram[active] = histogram.get(active, 0.0) + (t1 - prev)
+
+    return UtilizationReport(makespan=makespan, busy=busy,
+                             overlap_histogram=histogram)
+
+
+def describe(report: UtilizationReport) -> str:
+    lines = [f"makespan: {report.makespan*1e3:.2f} ms"]
+    for kind in ENGINE_KINDS:
+        frac = report.busy_fraction(kind)
+        if frac > 0:
+            lines.append(f"  {kind.value:7s} busy {frac*100:5.1f}%")
+    for k in sorted(report.overlap_histogram):
+        share = report.overlap_histogram[k] / report.makespan * 100
+        lines.append(f"  {k} engine(s) active: {share:5.1f}% of the time")
+    lines.append(f"  pipeline efficiency: {report.pipeline_efficiency*100:.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""A SQL front end for the plan layer.
+
+Parses the analytic-query subset data warehousing needs -- filters, joins,
+computed expressions, grouped aggregation, ordering -- into the logical
+plans the fusion/fission compiler consumes:
+
+>>> from repro.sql import sql_to_plan
+>>> plan = sql_to_plan('''
+...     SELECT returnflag, SUM(quantity) AS total
+...     FROM lineitem
+...     WHERE shipdate <= 2436 AND discount < 0.05
+...     GROUP BY returnflag
+...     ORDER BY returnflag
+... ''')
+
+The resulting plan runs through everything else in the package: the
+fusion pass, the executor/strategies, and the functional runtime.
+"""
+
+from .ast import Aggregate, Query, SelectItem
+from .lexer import SqlError, Token, tokenize
+from .parser import parse
+from .binder import sql_to_plan, to_plan
+
+__all__ = ["Aggregate", "Query", "SelectItem", "SqlError", "Token",
+           "tokenize", "parse", "sql_to_plan", "to_plan"]

@@ -1,0 +1,54 @@
+"""SQL query AST (the parser's output, the binder's input)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ra.expr import Expr, Predicate
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """SUM/COUNT/AVG/MIN/MAX over an expression (COUNT may be COUNT(*))."""
+
+    func: str                 # 'sum' | 'count' | 'mean' | 'min' | 'max'
+    argument: Expr | None     # None only for COUNT(*)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column: a plain/computed expression or an aggregate."""
+
+    alias: str
+    expr: Expr | None = None
+    agg: Aggregate | None = None
+
+    def __post_init__(self):
+        if (self.expr is None) == (self.agg is None):
+            raise ValueError("SelectItem needs exactly one of expr/agg")
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.agg is not None
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: str
+    using: str                # JOIN <table> USING (<col>)
+
+
+@dataclass
+class Query:
+    items: list[SelectItem]
+    table: str
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Predicate | None = None
+    group_by: list[str] = field(default_factory=list)
+    having: Predicate | None = None
+    order_by: list[tuple[str, bool]] = field(default_factory=list)  # (col, desc)
+    distinct: bool = False
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(item.is_aggregate for item in self.items)

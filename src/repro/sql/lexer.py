@@ -1,0 +1,83 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+
+class SqlError(ReproError):
+    """Raised on malformed SQL."""
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "ASC", "DESC",
+    "AND", "OR", "NOT", "JOIN", "USING", "AS", "BETWEEN", "DISTINCT",
+    "HAVING", "SUM", "COUNT", "AVG", "MIN", "MAX",
+}
+
+SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", "*", "+", "-", "/",
+           "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      # 'kw' | 'ident' | 'number' | 'string' | 'symbol' | 'eof'
+    value: str
+    pos: int
+
+    def __repr__(self):
+        return f"Token({self.kind}:{self.value!r}@{self.pos})"
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # string literal
+        if ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise SqlError(f"unterminated string at {i}")
+            tokens.append(Token("string", text[i + 1:j], i))
+            i = j + 1
+            continue
+        # number
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        # identifier / keyword
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "._"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("kw", word.upper(), i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        # symbols (longest match first)
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token("symbol", sym, i))
+                i += len(sym)
+                break
+        else:
+            raise SqlError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

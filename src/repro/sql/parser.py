@@ -1,0 +1,226 @@
+"""Recursive-descent SQL parser.
+
+Grammar (the analytic subset):
+
+    query      := SELECT items FROM ident joins? (WHERE pred)?
+                  (GROUP BY idents)? (ORDER BY order_items)?
+    items      := item (',' item)*
+    item       := (agg | expr) (AS ident)?
+    agg        := (SUM|AVG|MIN|MAX) '(' expr ')' | COUNT '(' '*' | expr ')'
+    joins      := (JOIN ident USING '(' ident ')')*
+    pred       := or_pred
+    or_pred    := and_pred (OR and_pred)*
+    and_pred   := unary_pred (AND unary_pred)*
+    unary_pred := NOT unary_pred | '(' pred ')' | comparison
+    comparison := expr (cmp expr | BETWEEN expr AND expr)
+    expr       := term (('+'|'-') term)*
+    term       := factor (('*'|'/') factor)*
+    factor     := number | string | ident | '(' expr ')' | '-' factor
+"""
+
+from __future__ import annotations
+
+from ..ra.expr import And, BinOp, Compare, Const, Expr, Field, Not, Or, Predicate
+from .ast import Aggregate, JoinClause, Query, SelectItem
+from .lexer import SqlError, Token, tokenize
+
+_CMP_MAP = {"=": "==", "!=": "!=", "<>": "!=", "<": "<", "<=": "<=",
+            ">": ">", ">=": ">="}
+_AGG_MAP = {"SUM": "sum", "COUNT": "count", "AVG": "mean",
+            "MIN": "min", "MAX": "max"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            got = self.peek()
+            want = value or kind
+            raise SqlError(f"expected {want!r}, got {got.value!r} at {got.pos}")
+        return tok
+
+    # -- grammar -----------------------------------------------------------------
+    def parse_query(self) -> Query:
+        self.expect("kw", "SELECT")
+        distinct = self.accept("kw", "DISTINCT") is not None
+        items = [self.parse_item()]
+        while self.accept("symbol", ","):
+            items.append(self.parse_item())
+        self.expect("kw", "FROM")
+        table = self.expect("ident").value
+
+        joins: list[JoinClause] = []
+        while self.accept("kw", "JOIN"):
+            jt = self.expect("ident").value
+            self.expect("kw", "USING")
+            self.expect("symbol", "(")
+            col = self.expect("ident").value
+            self.expect("symbol", ")")
+            joins.append(JoinClause(table=jt, using=col))
+
+        where = None
+        if self.accept("kw", "WHERE"):
+            where = self.parse_pred()
+
+        group_by: list[str] = []
+        if self.accept("kw", "GROUP"):
+            self.expect("kw", "BY")
+            group_by.append(self.expect("ident").value)
+            while self.accept("symbol", ","):
+                group_by.append(self.expect("ident").value)
+
+        having = None
+        if self.accept("kw", "HAVING"):
+            if not group_by:
+                raise SqlError("HAVING requires GROUP BY")
+            having = self.parse_pred()
+
+        order_by: list[tuple[str, bool]] = []
+        if self.accept("kw", "ORDER"):
+            self.expect("kw", "BY")
+            order_by.append(self.parse_order_item())
+            while self.accept("symbol", ","):
+                order_by.append(self.parse_order_item())
+
+        self.expect("eof")
+        return Query(items=items, table=table, joins=joins, where=where,
+                     group_by=group_by, having=having, order_by=order_by,
+                     distinct=distinct)
+
+    def parse_order_item(self) -> tuple[str, bool]:
+        col = self.expect("ident").value
+        desc = False
+        if self.accept("kw", "DESC"):
+            desc = True
+        else:
+            self.accept("kw", "ASC")
+        return (col, desc)
+
+    def parse_item(self) -> SelectItem:
+        tok = self.peek()
+        if tok.kind == "kw" and tok.value in _AGG_MAP:
+            self.next()
+            func = _AGG_MAP[tok.value]
+            self.expect("symbol", "(")
+            if func == "count" and self.accept("symbol", "*"):
+                arg = None
+            else:
+                arg = self.parse_expr()
+            self.expect("symbol", ")")
+            alias = self._alias(default=f"{func}_{self.pos}")
+            return SelectItem(alias=alias, agg=Aggregate(func, arg))
+        expr = self.parse_expr()
+        default = expr.name if isinstance(expr, Field) else f"expr_{self.pos}"
+        alias = self._alias(default=default)
+        return SelectItem(alias=alias, expr=expr)
+
+    def _alias(self, default: str) -> str:
+        if self.accept("kw", "AS"):
+            return self.expect("ident").value
+        return default
+
+    # predicates ----------------------------------------------------------------
+    def parse_pred(self) -> Predicate:
+        left = self.parse_and_pred()
+        while self.accept("kw", "OR"):
+            left = Or(left, self.parse_and_pred())
+        return left
+
+    def parse_and_pred(self) -> Predicate:
+        left = self.parse_unary_pred()
+        while self.accept("kw", "AND"):
+            left = And(left, self.parse_unary_pred())
+        return left
+
+    def parse_unary_pred(self) -> Predicate:
+        if self.accept("kw", "NOT"):
+            return Not(self.parse_unary_pred())
+        mark = self.pos
+        if self.accept("symbol", "("):
+            # could be a parenthesized predicate or expression; try predicate
+            try:
+                inner = self.parse_pred()
+                self.expect("symbol", ")")
+                return inner
+            except SqlError:
+                self.pos = mark  # fall back to comparison parsing
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Predicate:
+        left = self.parse_expr()
+        if self.accept("kw", "BETWEEN"):
+            lo = self.parse_expr()
+            self.expect("kw", "AND")
+            hi = self.parse_expr()
+            return And(Compare(">=", left, lo), Compare("<=", left, hi))
+        tok = self.peek()
+        if tok.kind == "symbol" and tok.value in _CMP_MAP:
+            self.next()
+            right = self.parse_expr()
+            return Compare(_CMP_MAP[tok.value], left, right)
+        raise SqlError(f"expected a comparison at {tok.pos}")
+
+    # expressions ------------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while True:
+            if self.accept("symbol", "+"):
+                left = BinOp("+", left, self.parse_term())
+            elif self.accept("symbol", "-"):
+                left = BinOp("-", left, self.parse_term())
+            else:
+                return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while True:
+            if self.accept("symbol", "*"):
+                left = BinOp("*", left, self.parse_factor())
+            elif self.accept("symbol", "/"):
+                left = BinOp("/", left, self.parse_factor())
+            else:
+                return left
+
+    def parse_factor(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "number":
+            self.next()
+            value = float(tok.value) if "." in tok.value else int(tok.value)
+            return Const(value)
+        if tok.kind == "string":
+            self.next()
+            return Const(tok.value)
+        if tok.kind == "ident":
+            self.next()
+            return Field(tok.value)
+        if self.accept("symbol", "("):
+            inner = self.parse_expr()
+            self.expect("symbol", ")")
+            return inner
+        if self.accept("symbol", "-"):
+            return BinOp("-", Const(0), self.parse_factor())
+        raise SqlError(f"unexpected token {tok.value!r} at {tok.pos}")
+
+
+def parse(sql: str) -> Query:
+    """Parse a SQL string into a :class:`Query`."""
+    return _Parser(tokenize(sql)).parse_query()

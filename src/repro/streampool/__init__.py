@@ -1,0 +1,5 @@
+"""The Stream Pool runtime library (paper SS IV-A, Table IV)."""
+
+from .pool import PooledStream, StreamPool
+
+__all__ = ["PooledStream", "StreamPool"]

@@ -1,0 +1,166 @@
+"""Stream Pool: a runtime manager over (simulated) CUDA streams.
+
+Reimplements the library of paper SS IV-A.  The paper's Table IV API is
+provided both under Pythonic names and the paper's camelCase aliases:
+
+====================  =========================================
+paper API             here
+====================  =========================================
+getAvailabeStream()   :meth:`StreamPool.get_available_stream`
+setStreamCommand()    :meth:`StreamPool.set_stream_command`
+startStreams()        :meth:`StreamPool.start_streams`
+waitAll()             :meth:`StreamPool.wait_all`
+selectWait()          :meth:`StreamPool.select_wait`
+terminate()           :meth:`StreamPool.terminate`
+====================  =========================================
+
+Because the device is simulated, "waiting" means running the discrete-event
+engine to completion and collecting the timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+from ..simgpu.compute import KernelLaunchSpec
+from ..simgpu.device import DeviceSpec
+from ..simgpu.engine import Command, SimEngine, SimStream, Thunk
+from ..simgpu.pcie import HostMemory
+from ..simgpu.timeline import Timeline
+
+
+@dataclass
+class PooledStream:
+    """Handle to one stream owned by the pool."""
+
+    pool: "StreamPool"
+    sim: SimStream
+    available: bool = True
+    tags: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def stream_id(self) -> int:
+        return self.sim.stream_id
+
+    # convenience command builders (delegate to the simulated stream)
+    def h2d(self, nbytes: float, memory: HostMemory = HostMemory.PINNED,
+            tag: str = "h2d", thunk: Thunk | None = None) -> "PooledStream":
+        self.pool._check_open()
+        self.sim.h2d(nbytes, memory, tag, thunk)
+        return self
+
+    def d2h(self, nbytes: float, memory: HostMemory = HostMemory.PINNED,
+            tag: str = "d2h", thunk: Thunk | None = None) -> "PooledStream":
+        self.pool._check_open()
+        self.sim.d2h(nbytes, memory, tag, thunk)
+        return self
+
+    def kernel(self, spec: KernelLaunchSpec, tag: str | None = None,
+               thunk: Thunk | None = None) -> "PooledStream":
+        self.pool._check_open()
+        self.sim.kernel(spec, tag, thunk)
+        return self
+
+    def host(self, duration: float, tag: str = "host",
+             thunk: Thunk | None = None) -> "PooledStream":
+        self.pool._check_open()
+        self.sim.host(duration, tag, thunk)
+        return self
+
+
+class StreamPool:
+    """Manages a fixed set of streams and hides low-level stream plumbing.
+
+    The C2070 can overlap two PCIe transfers with one kernel, so a pool of
+    at least three streams is needed to fully exploit the device (SS IV-B);
+    the default pool size is 3.
+    """
+
+    def __init__(self, device: DeviceSpec, num_streams: int = 3,
+                 engine: SimEngine | None = None):
+        if num_streams < 1:
+            raise SchedulingError("stream pool needs at least one stream")
+        self.device = device
+        self.engine = engine or SimEngine(device)
+        self._streams = [
+            PooledStream(pool=self, sim=SimStream(stream_id=i))
+            for i in range(num_streams)
+        ]
+        self._started = False
+        self._terminated = False
+        self.timeline = Timeline()
+
+    # -- Table IV API --------------------------------------------------------
+    def get_available_stream(self) -> PooledStream:
+        """Return a stream not currently claimed; round-robin when all busy."""
+        self._check_open()
+        for s in self._streams:
+            if s.available:
+                s.available = False
+                return s
+        # all claimed: hand out the one with the shortest queue (round robin
+        # by pending work), as the paper's pool reuses streams across cycles
+        return min(self._streams, key=lambda s: len(s.sim.commands))
+
+    def set_stream_command(self, stream: PooledStream, command: Command) -> None:
+        """Append a raw engine command to a specific stream."""
+        self._check_open()
+        if stream.pool is not self:
+            raise SchedulingError("stream belongs to a different pool")
+        stream.sim.enqueue(command)
+
+    def select_wait(self, waiter: PooledStream, signaler: PooledStream) -> None:
+        """Point-to-point sync: `waiter` blocks until `signaler` reaches
+        its current queue tail."""
+        self._check_open()
+        event_id = self.engine.new_event_id()
+        signaler.sim.signal(event_id, tag=f"signal:{event_id}")
+        waiter.sim.wait_event(event_id, tag=f"wait:{event_id}")
+
+    def start_streams(self) -> None:
+        """Mark execution started (commands become immutable)."""
+        self._check_open()
+        self._started = True
+
+    def wait_all(self) -> Timeline:
+        """Run every queued command to completion; returns the timeline."""
+        if self._terminated:
+            raise SchedulingError("pool has been terminated")
+        if not self._started:
+            self.start_streams()
+        self.timeline = self.engine.run([s.sim for s in self._streams])
+        for s in self._streams:
+            s.sim.commands.clear()
+            s.available = True
+        self._started = False
+        return self.timeline
+
+    def terminate(self) -> None:
+        """End execution immediately, dropping queued commands."""
+        self._terminated = True
+        for s in self._streams:
+            s.sim.commands.clear()
+
+    # -- paper-spelling aliases ----------------------------------------------
+    getAvailableStream = get_available_stream
+    getAvailabeStream = get_available_stream  # sic -- Table IV spelling
+    setStreamCommand = set_stream_command
+    selectWait = select_wait
+    startStreams = start_streams
+    waitAll = wait_all
+
+    # -- internals -------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._terminated:
+            raise SchedulingError("pool has been terminated")
+        if self._started:
+            raise SchedulingError("streams already started; wait_all first")
+
+    @property
+    def num_streams(self) -> int:
+        return len(self._streams)
+
+    @property
+    def streams(self) -> list[PooledStream]:
+        return list(self._streams)

@@ -1,0 +1,36 @@
+"""TPC-H substrate: schema, synthetic data generator, and queries Q1/Q21."""
+
+from .datagen import TpchConfig, TpchData, generate, generate_lineitem, generate_nation, generate_orders, generate_supplier
+from .q1 import (
+    Q1_CUTOFF,
+    Q1_SELECT_FRACTION,
+    Q1_VALUE_COLUMNS,
+    build_q1_plan,
+    q1_column_relations,
+    q1_reference,
+    q1_source_rows,
+)
+from .q21 import Q21_NATION, build_q21_plan, q21_reference, q21_source_rows
+from .q6 import build_q6_plan, q6_reference, q6_source_rows
+from .schema import (
+    BASE_ROWS,
+    DATE_EPOCH,
+    LINESTATUS_CODES,
+    NATION_CODES,
+    NATION_NAMES,
+    ORDERSTATUS_CODES,
+    RETURNFLAG_CODES,
+    date_to_int,
+    scaled_rows,
+)
+
+__all__ = [
+    "TpchConfig", "TpchData", "generate", "generate_lineitem",
+    "generate_nation", "generate_orders", "generate_supplier", "Q1_CUTOFF",
+    "Q1_SELECT_FRACTION", "Q1_VALUE_COLUMNS", "build_q1_plan",
+    "q1_column_relations", "q1_reference", "q1_source_rows", "Q21_NATION",
+    "build_q21_plan", "q21_reference", "q21_source_rows", "build_q6_plan",
+    "q6_reference", "q6_source_rows", "BASE_ROWS",
+    "DATE_EPOCH", "LINESTATUS_CODES", "NATION_CODES", "NATION_NAMES",
+    "ORDERSTATUS_CODES", "RETURNFLAG_CODES", "date_to_int", "scaled_rows",
+]

@@ -1,0 +1,144 @@
+"""Synthetic TPC-H data generator (dbgen substitute).
+
+Generates the lineitem / orders / supplier / nation tables at a given scale
+factor with value distributions matching the TPC-H specification closely
+enough for Q1/Q21 selectivities:
+
+* shipdate uniform over ~7 years, so ``shipdate <= 1998-09-02`` keeps ~98%;
+* receiptdate > commitdate for roughly half the lineitems (Q21's "late"
+  filter, tunable);
+* orderstatus 'F' for roughly half the orders;
+* discount 0-10%, tax 0-8%, quantity 1-50 (Q1 aggregates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ra.relation import Relation
+from .schema import (
+    LINESTATUS_CODES,
+    NATION_NAMES,
+    ORDERSTATUS_CODES,
+    RETURNFLAG_CODES,
+    date_to_int,
+    scaled_rows,
+)
+
+
+@dataclass(frozen=True)
+class TpchConfig:
+    scale_factor: float = 0.01
+    seed: int = 1992
+    #: fraction of lineitems with receiptdate > commitdate (Q21 filter)
+    late_fraction: float = 0.5
+    #: Zipf exponent for the orderkey/suppkey foreign keys; 0 = uniform.
+    #: Skew concentrates lineitems on few orders/suppliers, stressing the
+    #: duplicate-key paths of joins and the per-order aggregates.
+    skew: float = 0.0
+
+
+def _skewed_keys(rng: np.random.Generator, n: int, n_keys: int,
+                 skew: float) -> np.ndarray:
+    """Foreign keys in [1, n_keys], Zipf-distributed when skew > 0."""
+    if skew <= 0:
+        return rng.integers(1, n_keys + 1, n).astype(np.int32)
+    ranks = np.arange(1, n_keys + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    keys = rng.choice(np.arange(1, n_keys + 1, dtype=np.int32), size=n,
+                      p=weights)
+    # randomize which key is "hot" so skew does not correlate with key value
+    perm = rng.permutation(n_keys).astype(np.int32)
+    return perm[keys - 1] + 1
+
+
+def generate_nation() -> Relation:
+    n = len(NATION_NAMES)
+    return Relation({
+        "nationkey": np.arange(n, dtype=np.int32),
+        "name_code": np.arange(n, dtype=np.int32),
+    }, key="nationkey")
+
+
+def generate_supplier(config: TpchConfig) -> Relation:
+    rng = np.random.default_rng(config.seed + 1)
+    n = scaled_rows("supplier", config.scale_factor)
+    return Relation({
+        "suppkey": np.arange(1, n + 1, dtype=np.int32),
+        "nationkey": rng.integers(0, len(NATION_NAMES), n).astype(np.int32),
+    }, key="suppkey")
+
+
+def generate_orders(config: TpchConfig) -> Relation:
+    rng = np.random.default_rng(config.seed + 2)
+    n = scaled_rows("orders", config.scale_factor)
+    status = rng.choice(
+        [ORDERSTATUS_CODES["F"], ORDERSTATUS_CODES["O"], ORDERSTATUS_CODES["P"]],
+        size=n, p=[0.49, 0.49, 0.02],
+    ).astype(np.int8)
+    return Relation({
+        "orderkey": np.arange(1, n + 1, dtype=np.int32),
+        "custkey": rng.integers(1, max(2, n // 10), n).astype(np.int32),
+        "orderstatus": status,
+        "orderdate": rng.integers(0, date_to_int("1998-08-02"), n).astype(np.int32),
+    }, key="orderkey")
+
+
+def generate_lineitem(config: TpchConfig, n_orders: int | None = None,
+                      n_suppliers: int | None = None) -> Relation:
+    rng = np.random.default_rng(config.seed + 3)
+    n = scaled_rows("lineitem", config.scale_factor)
+    n_orders = n_orders or scaled_rows("orders", config.scale_factor)
+    n_suppliers = n_suppliers or scaled_rows("supplier", config.scale_factor)
+
+    shipdate = rng.integers(0, date_to_int("1998-12-01"), n).astype(np.int32)
+    commitdate = shipdate + rng.integers(1, 60, n).astype(np.int32)
+    late = rng.random(n) < config.late_fraction
+    receipt_delta = np.where(
+        late,
+        rng.integers(1, 30, n),      # received after commit date
+        -rng.integers(0, 30, n),     # on time
+    )
+    receiptdate = (commitdate + receipt_delta).astype(np.int32)
+
+    return Relation({
+        "orderkey": _skewed_keys(rng, n, n_orders, config.skew),
+        "suppkey": _skewed_keys(rng, n, n_suppliers, config.skew),
+        "linenumber": (np.arange(n) % 7 + 1).astype(np.int32),
+        "quantity": rng.integers(1, 51, n).astype(np.float32),
+        "extendedprice": (rng.random(n).astype(np.float32) * 90_000 + 1_000),
+        "discount": (rng.integers(0, 11, n) / 100).astype(np.float32),
+        "tax": (rng.integers(0, 9, n) / 100).astype(np.float32),
+        "returnflag": rng.choice(
+            [RETURNFLAG_CODES["A"], RETURNFLAG_CODES["N"], RETURNFLAG_CODES["R"]],
+            size=n, p=[0.25, 0.5, 0.25]).astype(np.int8),
+        "linestatus": rng.choice(
+            [LINESTATUS_CODES["F"], LINESTATUS_CODES["O"]],
+            size=n, p=[0.5, 0.5]).astype(np.int8),
+        "shipdate": shipdate,
+        "commitdate": commitdate,
+        "receiptdate": receiptdate,
+    }, key="orderkey")
+
+
+@dataclass
+class TpchData:
+    nation: Relation
+    supplier: Relation
+    orders: Relation
+    lineitem: Relation
+    config: TpchConfig
+
+
+def generate(config: TpchConfig = TpchConfig()) -> TpchData:
+    """Generate all four tables consistently (FK ranges line up)."""
+    nation = generate_nation()
+    supplier = generate_supplier(config)
+    orders = generate_orders(config)
+    lineitem = generate_lineitem(config, n_orders=orders.num_rows,
+                                 n_suppliers=supplier.num_rows)
+    return TpchData(nation=nation, supplier=supplier, orders=orders,
+                    lineitem=lineitem, config=config)

@@ -1,0 +1,72 @@
+"""TPC-H Q6 ("forecasting revenue change") -- an extension experiment.
+
+Q6 is not in the paper's evaluation, but it is the limiting case its
+Figure 2 patterns point at: three SELECTs (2(a)), arithmetic over the
+survivors (2(h)) and a global AGGREGATION (2(g)) -- *every* operator is
+elementwise-dependent on its producer, so the whole query fuses into a
+single kernel with no barrier anywhere.  The ablation bench uses it to
+show the upper bound of fusion's benefit on a real query shape.
+
+    SELECT sum(extendedprice * discount) FROM lineitem
+    WHERE shipdate >= '1994-01-01' AND shipdate < '1995-01-01'
+      AND discount BETWEEN 0.05 AND 0.07 AND quantity < 24
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..plans.plan import Plan
+from ..ra.arithmetic import AggSpec
+from ..ra.expr import Field
+from ..ra.relation import Relation
+from .schema import date_to_int
+
+Q6_DATE_LO = date_to_int("1994-01-01")
+Q6_DATE_HI = date_to_int("1995-01-01")
+Q6_DISC_LO = 0.05 - 1e-6
+Q6_DISC_HI = 0.07 + 1e-6
+Q6_QTY = 24
+
+#: selectivity annotations under the synthetic generator's distributions
+Q6_DATE_SEL = (Q6_DATE_HI - Q6_DATE_LO) / date_to_int("1998-12-01")
+Q6_DISC_SEL = 3 / 11          # discount is uniform over {0.00 .. 0.10}
+Q6_QTY_SEL = 23 / 50          # quantity uniform over 1..50
+
+
+def build_q6_plan() -> Plan:
+    """Q6 as a plan: three SELECTs -> ARITH -> global AGGREGATE."""
+    plan = Plan(name="tpch_q6")
+    node = plan.source("lineitem", row_nbytes=16)
+    node = plan.select(
+        node,
+        (Field("shipdate") >= Q6_DATE_LO) & (Field("shipdate") < Q6_DATE_HI),
+        selectivity=Q6_DATE_SEL, name="sel_date")
+    node = plan.select(
+        node,
+        (Field("discount") >= Q6_DISC_LO) & (Field("discount") <= Q6_DISC_HI),
+        selectivity=Q6_DISC_SEL, name="sel_discount")
+    node = plan.select(node, Field("quantity") < Q6_QTY,
+                       selectivity=Q6_QTY_SEL, name="sel_quantity")
+    node = plan.arith(
+        node, {"revenue_item": Field("extendedprice") * Field("discount")},
+        name="arith_revenue")
+    plan.aggregate(node, [], {"revenue": AggSpec("sum", "revenue_item")},
+                   n_groups=1, name="agg_revenue")
+    return plan
+
+
+def q6_source_rows(n_lineitems: int) -> dict[str, int]:
+    return {"lineitem": n_lineitems}
+
+
+def q6_reference(lineitem: Relation) -> float:
+    """Direct NumPy computation of the Q6 revenue."""
+    mask = ((lineitem["shipdate"] >= Q6_DATE_LO)
+            & (lineitem["shipdate"] < Q6_DATE_HI)
+            & (lineitem["discount"] >= Q6_DISC_LO)
+            & (lineitem["discount"] <= Q6_DISC_HI)
+            & (lineitem["quantity"] < Q6_QTY))
+    price = lineitem["extendedprice"][mask].astype(np.float64)
+    disc = lineitem["discount"][mask].astype(np.float64)
+    return float((price * disc).sum())

@@ -1,0 +1,80 @@
+"""TPC-H schema subset used by Q1 and Q21.
+
+Columns are stored as compact NumPy dtypes ("compressed row data" in the
+paper's terms): dates are int32 days since 1992-01-01, enumerated strings
+(flags, statuses, nation names) are small integer codes with decode tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: epoch for integer dates
+DATE_EPOCH = np.datetime64("1992-01-01")
+
+
+def date_to_int(date: str) -> int:
+    """Days since 1992-01-01 for an ISO date string."""
+    return int((np.datetime64(date) - DATE_EPOCH).astype(int))
+
+
+# enumerated column code tables -------------------------------------------------
+RETURNFLAG_CODES = {"A": 0, "N": 1, "R": 2}
+LINESTATUS_CODES = {"F": 0, "O": 1}
+ORDERSTATUS_CODES = {"F": 0, "O": 1, "P": 2}
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+NATION_CODES = {name: i for i, name in enumerate(NATION_NAMES)}
+
+#: base (scale factor 1) cardinalities
+BASE_ROWS = {
+    "lineitem": 6_001_215,
+    "orders": 1_500_000,
+    "supplier": 10_000,
+    "nation": 25,
+}
+
+LINEITEM_COLUMNS = [
+    ("orderkey", np.int32),
+    ("suppkey", np.int32),
+    ("linenumber", np.int32),
+    ("quantity", np.float32),
+    ("extendedprice", np.float32),
+    ("discount", np.float32),
+    ("tax", np.float32),
+    ("returnflag", np.int8),
+    ("linestatus", np.int8),
+    ("shipdate", np.int32),
+    ("commitdate", np.int32),
+    ("receiptdate", np.int32),
+]
+
+ORDERS_COLUMNS = [
+    ("orderkey", np.int32),
+    ("custkey", np.int32),
+    ("orderstatus", np.int8),
+    ("orderdate", np.int32),
+]
+
+SUPPLIER_COLUMNS = [
+    ("suppkey", np.int32),
+    ("nationkey", np.int32),
+]
+
+NATION_COLUMNS = [
+    ("nationkey", np.int32),
+    ("name_code", np.int32),
+]
+
+
+def scaled_rows(table: str, scale_factor: float) -> int:
+    """Row count for `table` at the given scale factor (nation is fixed)."""
+    if table not in BASE_ROWS:
+        raise KeyError(f"unknown table {table!r}; have {sorted(BASE_ROWS)}")
+    if table == "nation":
+        return BASE_ROWS["nation"]
+    return max(1, int(round(BASE_ROWS[table] * scale_factor)))

@@ -1,0 +1,57 @@
+"""Tests for the benchmark harness output helpers."""
+
+from repro.bench import PaperComparison, format_series, format_table, print_header
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(["n", "tput"], [[10, 1.5], [20, 2.25]])
+        lines = text.splitlines()
+        assert "n" in lines[0] and "tput" in lines[0]
+        assert "1.500" in lines[1]
+        assert "2.250" in lines[2]
+
+    def test_mixed_types(self):
+        text = format_table(["a"], [["x"], [3], [1.25]])
+        assert "x" in text and "3" in text and "1.250" in text
+
+
+class TestFormatSeries:
+    def test_points_rendered(self):
+        s = format_series("gpu", [1, 2], [3.0, 4.5], unit="GB/s")
+        assert "(1, 3.000)" in s
+        assert "(2, 4.500)" in s
+        assert "GB/s" in s
+
+
+class TestPaperComparison:
+    def test_delta_computed(self):
+        cmp = PaperComparison("fig-x")
+        cmp.add("speedup", paper=2.0, measured=3.0)
+        text = cmp.render()
+        assert "+50.0%" in text
+        assert "fig-x" in text
+
+    def test_negative_delta(self):
+        cmp = PaperComparison("fig-y")
+        cmp.add("gain", paper=4.0, measured=2.0)
+        assert "-50.0%" in cmp.render()
+
+    def test_zero_paper_value_no_crash(self):
+        cmp = PaperComparison("fig-z")
+        cmp.add("x", paper=0.0, measured=1.0)
+        assert "measured" in cmp.render()
+
+    def test_print_runs(self, capsys):
+        cmp = PaperComparison("fig-p")
+        cmp.add("m", 1.0, 1.0)
+        cmp.print()
+        assert "fig-p" in capsys.readouterr().out
+
+
+class TestHeader:
+    def test_header_prints_environment(self, capsys):
+        print_header("Figure 4(a)", "SELECT throughput")
+        out = capsys.readouterr().out
+        assert "Figure 4(a)" in out
+        assert "C2070" in out

@@ -1,0 +1,68 @@
+"""Tests for the mini-IR."""
+
+import pytest
+
+from repro.errors import CompilerError
+from repro.compilerlite.ir import Instr, Program
+
+
+class TestInstr:
+    def test_setp_requires_cmp(self):
+        with pytest.raises(CompilerError):
+            Instr("setp", dst="p0", srcs=("r0", 1))
+
+    def test_label_not_counted(self):
+        p = Program("k", [Instr("label", srcs=("L",)), Instr("ret")])
+        assert p.count() == 1
+
+    def test_render_forms(self):
+        assert Instr("ld", dst="r0", srcs=("in",)).render() == "ld.global r0, [in]"
+        assert Instr("st", srcs=("out", "r0")).render() == "st.global [out], r0"
+        assert Instr("mov", dst="r1", srcs=(5,)).render() == "mov r1, 5"
+        assert (Instr("setp", dst="p0", srcs=("r0", 5), cmp="lt").render()
+                == "setp.lt p0, r0, 5")
+        assert (Instr("bra", srcs=("L",), guard="!p0").render() == "@!p0 bra L")
+        assert Instr("label", srcs=("L",)).render() == "L:"
+        assert (Instr("and_pred", dst="p2", srcs=("p0", "p1")).render()
+                == "and.pred p2, p0, p1")
+
+    def test_unknown_op_render(self):
+        with pytest.raises(CompilerError):
+            Instr("frobnicate").render()
+
+    def test_with_guard(self):
+        i = Instr("st", srcs=("out", "r0"))
+        assert i.with_guard("p0").guard == "p0"
+        assert i.guard is None  # original immutable
+
+
+class TestProgram:
+    def _prog(self):
+        return Program("k", [
+            Instr("ld", dst="r0", srcs=("in",)),
+            Instr("setp", dst="p0", srcs=("r0", 7), cmp="lt"),
+            Instr("st", srcs=("out", "r0"), guard="p0"),
+        ])
+
+    def test_count(self):
+        assert self._prog().count() == 3
+
+    def test_render_contains_entry(self):
+        assert ".entry k" in self._prog().render()
+
+    def test_defs_and_uses(self):
+        p = self._prog()
+        assert p.defs_of("r0") == [0]
+        assert p.uses_of("r0") == [1, 2]
+        assert p.uses_of("p0") == [2]  # used as a guard
+
+    def test_store_is_not_a_def(self):
+        p = self._prog()
+        assert p.defs_of("out") == []
+
+    def test_copy_is_independent(self):
+        p = self._prog()
+        q = p.copy()
+        q.instrs.pop()
+        assert p.count() == 3
+        assert q.count() == 2

@@ -1,0 +1,80 @@
+"""Tests for IR liveness analysis / register pressure."""
+
+import pytest
+
+from repro.compilerlite import (
+    FilterStatement,
+    gen_arith_kernel,
+    gen_fused_naive,
+    gen_unfused,
+    optimize,
+)
+from repro.compilerlite.ir import Instr, Program
+from repro.compilerlite.liveness import analyze_liveness, register_pressure
+from repro.ra.expr import Const, Field
+
+
+class TestAnalysis:
+    def test_empty_program(self):
+        assert register_pressure(Program("k")) == 0
+
+    def test_single_chain(self):
+        p = Program("k", [
+            Instr("ld", dst="r0", srcs=("in",)),
+            Instr("st", srcs=("out", "r0")),
+        ])
+        assert register_pressure(p) == 1
+
+    def test_two_values_live_simultaneously(self):
+        p = Program("k", [
+            Instr("ld", dst="r0", srcs=("a",)),
+            Instr("ld", dst="r1", srcs=("b",)),
+            Instr("add", dst="r2", srcs=("r0", "r1")),
+            Instr("st", srcs=("out", "r2")),
+        ])
+        assert register_pressure(p) == 2
+
+    def test_guard_is_a_use(self):
+        p = Program("k", [
+            Instr("setp", dst="p0", srcs=("r9", 1), cmp="lt"),
+            Instr("ld", dst="r0", srcs=("in",)),
+            Instr("st", srcs=("out", "r0"), guard="p0"),
+        ])
+        rep = analyze_liveness(p)
+        assert rep.last_use["p0"] == 2
+        assert rep.max_live == 2  # p0 and r0 live across the ld
+
+    def test_dead_value_not_counted_after_last_use(self):
+        p = Program("k", [
+            Instr("ld", dst="r0", srcs=("a",)),
+            Instr("st", srcs=("x", "r0")),
+            Instr("ld", dst="r1", srcs=("b",)),
+            Instr("st", srcs=("y", "r1")),
+        ])
+        assert register_pressure(p) == 1  # r0 dies before r1 is born
+
+
+class TestFusionPressureClaim:
+    def test_fused_filters_have_higher_pressure(self):
+        """SS III-C at the IR level: the fused kernel keeps more live."""
+        stmts = [FilterStatement("lt", 100.0), FilterStatement("lt", 50.0)]
+        fused = optimize(gen_fused_naive(stmts))
+        unfused = [optimize(p) for p in gen_unfused(stmts)]
+        assert register_pressure(fused) >= max(
+            register_pressure(p) for p in unfused)
+
+    def test_fused_arith_pressure_exceeds_each_part(self):
+        disc = Field("price") * (Const(1.0) - Field("discount"))
+        charge = disc * (Const(1.0) + Field("tax"))
+        fused = optimize(gen_arith_kernel([("d", disc), ("c", charge)]))
+        single = optimize(gen_arith_kernel([("d", disc)]))
+        assert register_pressure(fused) >= register_pressure(single)
+
+    def test_pressure_grows_with_shared_values(self):
+        """Sharing via CSE trades instructions for live ranges -- the
+        values must stay in registers longer."""
+        shared = Field("a") + Field("b")
+        two = optimize(gen_arith_kernel([("x", shared * Const(2.0)),
+                                         ("y", shared * Const(3.0))]))
+        rep = analyze_liveness(two)
+        assert rep.max_live >= 2

@@ -1,0 +1,218 @@
+"""Tests for the O3 pipeline and the Table III reproduction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compilerlite import (
+    FilterStatement,
+    gen_filter_kernel,
+    gen_fused_naive,
+    gen_unfused,
+    optimize,
+    table3,
+    visible_output,
+)
+from repro.compilerlite.ir import Instr, Program
+from repro.compilerlite.optimizer import (
+    branch_to_predication,
+    constant_propagation,
+    copy_propagation,
+    dead_code_elimination,
+    predicate_combination,
+    store_load_forwarding,
+)
+
+
+class TestTable3:
+    """The paper's Table III: 5x2 / 3x2 unfused, 10 / 3 fused."""
+
+    def test_counts_match_paper(self):
+        t = table3()
+        assert t["unfused_o0"] == [5, 5]
+        assert t["unfused_o3"] == [3, 3]
+        assert t["fused_o0"] == 10
+        assert t["fused_o3"] == 3
+
+    def test_fused_o3_combines_thresholds(self):
+        stmts = [FilterStatement("lt", 100.0), FilterStatement("lt", 50.0)]
+        opt = optimize(gen_fused_naive(stmts))
+        setps = [i for i in opt.instrs if i.op == "setp"]
+        assert len(setps) == 1
+        assert setps[0].srcs[1] == 50.0  # min of the two thresholds
+
+    def test_gt_thresholds_combine_to_max(self):
+        stmts = [FilterStatement("gt", 10.0), FilterStatement("gt", 30.0)]
+        opt = optimize(gen_fused_naive(stmts))
+        setps = [i for i in opt.instrs if i.op == "setp"]
+        assert len(setps) == 1
+        assert setps[0].srcs[1] == 30.0
+
+    def test_mixed_directions_do_not_combine(self):
+        stmts = [FilterStatement("lt", 100.0), FilterStatement("gt", 50.0)]
+        opt = optimize(gen_fused_naive(stmts))
+        setps = [i for i in opt.instrs if i.op == "setp"]
+        assert len(setps) == 2  # a range check needs both compares
+
+    def test_three_fused_filters_still_three_instrs(self):
+        stmts = [FilterStatement("lt", t) for t in (100.0, 50.0, 75.0)]
+        assert optimize(gen_fused_naive(stmts)).count() == 3
+
+
+class TestIndividualPasses:
+    def test_store_load_forwarding(self):
+        p = Program("k", [
+            Instr("ld", dst="r0", srcs=("in",)),
+            Instr("st", srcs=("tmp0", "r0")),
+            Instr("ld", dst="r1", srcs=("tmp0",)),
+        ])
+        out = store_load_forwarding(p)
+        assert out.instrs[2].op == "mov"
+        assert out.instrs[2].srcs == ("r0",)
+
+    def test_forwarding_blocked_by_label(self):
+        p = Program("k", [
+            Instr("st", srcs=("tmp0", "r0")),
+            Instr("label", srcs=("L",)),
+            Instr("ld", dst="r1", srcs=("tmp0",)),
+        ])
+        out = store_load_forwarding(p)
+        assert out.instrs[2].op == "ld"  # merge point: cannot forward
+
+    def test_copy_propagation(self):
+        p = Program("k", [
+            Instr("ld", dst="r0", srcs=("in",)),
+            Instr("mov", dst="r1", srcs=("r0",)),
+            Instr("st", srcs=("out", "r1")),
+        ])
+        out = copy_propagation(p)
+        assert out.instrs[2].srcs == ("out", "r0")
+
+    def test_constant_propagation_into_setp(self):
+        p = Program("k", [
+            Instr("mov", dst="r1", srcs=(42,)),
+            Instr("setp", dst="p0", srcs=("r0", "r1"), cmp="lt"),
+        ])
+        out = constant_propagation(p)
+        assert out.instrs[1].srcs == ("r0", 42)
+
+    def test_constant_propagation_skips_store_location(self):
+        p = Program("k", [
+            Instr("mov", dst="out", srcs=(1,)),
+            Instr("st", srcs=("out", "r0")),
+        ])
+        out = constant_propagation(p)
+        assert out.instrs[1].srcs[0] == "out"  # location untouched
+
+    def test_dce_removes_unused_def(self):
+        p = Program("k", [
+            Instr("ld", dst="r0", srcs=("in",)),
+            Instr("mov", dst="r9", srcs=(1,)),
+            Instr("st", srcs=("out", "r0")),
+        ])
+        out = dead_code_elimination(p)
+        assert all(i.dst != "r9" for i in out.instrs)
+
+    def test_dce_removes_dead_temp_store(self):
+        p = Program("k", [
+            Instr("st", srcs=("tmp0", "r0")),
+            Instr("st", srcs=("out", "r0")),
+        ])
+        out = dead_code_elimination(p)
+        assert len(out.instrs) == 1
+        assert out.instrs[0].srcs[0] == "out"
+
+    def test_dce_keeps_loaded_temp_store(self):
+        p = Program("k", [
+            Instr("st", srcs=("tmp0", "r0")),
+            Instr("ld", dst="r1", srcs=("tmp0",)),
+            Instr("st", srcs=("out", "r1")),
+        ])
+        assert len(dead_code_elimination(p).instrs) == 3
+
+    def test_dce_removes_orphan_label(self):
+        p = Program("k", [Instr("label", srcs=("NOWHERE",)),
+                          Instr("st", srcs=("out", "r0"))])
+        assert len(dead_code_elimination(p).instrs) == 1
+
+    def test_branch_to_predication(self):
+        p = Program("k", [
+            Instr("bra", srcs=("L",), guard="!p0"),
+            Instr("st", srcs=("out", "r0")),
+            Instr("label", srcs=("L",)),
+        ])
+        out = branch_to_predication(p)
+        assert out.instrs[0].op == "st"
+        assert out.instrs[0].guard == "p0"
+
+    def test_branch_with_complex_body_untouched(self):
+        p = Program("k", [
+            Instr("bra", srcs=("L",), guard="!p0"),
+            Instr("bra", srcs=("M",)),  # not a simple store
+            Instr("label", srcs=("L",)),
+            Instr("label", srcs=("M",)),
+        ])
+        assert branch_to_predication(p).instrs[0].op == "bra"
+
+    def test_predicate_combination_requires_single_use(self):
+        p = Program("k", [
+            Instr("setp", dst="p0", srcs=("r0", 10), cmp="lt"),
+            Instr("bra", srcs=("L",), guard="!p0"),
+            Instr("st", srcs=("out", "r0"), guard="p0"),  # second use of p0
+            Instr("setp", dst="p1", srcs=("r0", 5), cmp="lt"),
+            Instr("label", srcs=("L",)),
+        ])
+        out = predicate_combination(p)
+        assert sum(1 for i in out.instrs if i.op == "setp") == 2
+
+
+class TestSemanticPreservation:
+    """Optimization must never change what the kernel stores to [out]."""
+
+    @given(st.floats(-1e6, 1e6), st.floats(-1e3, 1e3), st.floats(-1e3, 1e3),
+           st.sampled_from(["lt", "le", "gt", "ge"]))
+    @settings(max_examples=120, deadline=None)
+    def test_fused_optimization_preserves_output(self, value, t1, t2, cmp):
+        stmts = [FilterStatement(cmp, t1), FilterStatement(cmp, t2)]
+        prog = gen_fused_naive(stmts)
+        opt = optimize(prog)
+        mem = {"in": value}
+        assert visible_output(prog, mem) == visible_output(opt, mem)
+
+    @given(st.floats(-1e6, 1e6), st.floats(-1e3, 1e3),
+           st.sampled_from(["lt", "le", "gt", "ge", "eq", "ne"]))
+    @settings(max_examples=80, deadline=None)
+    def test_single_kernel_optimization_preserves_output(self, value, t, cmp):
+        prog = gen_filter_kernel(FilterStatement(cmp, t))
+        opt = optimize(prog)
+        mem = {"in": value}
+        assert visible_output(prog, mem) == visible_output(opt, mem)
+
+    @given(st.floats(-100, 100),
+           st.lists(st.floats(-50, 50), min_size=1, max_size=4))
+    @settings(max_examples=80, deadline=None)
+    def test_unfused_chain_equals_fused_chain(self, value, thresholds):
+        """The compiler-level fusion-correctness property: running the
+        unfused kernels back to back produces the same [out] as the fused
+        kernel."""
+        from repro.compilerlite import run_program
+        from repro.errors import CompilerError
+        stmts = [FilterStatement("lt", t) for t in thresholds]
+        mem = {"in": value}
+        unfused_out = None
+        try:
+            for prog in gen_unfused(stmts):
+                mem = run_program(prog, mem)
+            unfused_out = mem.get("out")
+        except CompilerError:
+            # a filter rejected the element: its output buffer stays empty,
+            # so downstream kernels have nothing to read -- filtered out
+            unfused_out = None
+        fused_mem = visible_output(gen_fused_naive(stmts), {"in": value})
+        assert fused_mem.get("out") == unfused_out
+
+    def test_optimization_never_increases_count(self):
+        for cmp in ("lt", "gt", "eq"):
+            for n in (1, 2, 3):
+                stmts = [FilterStatement(cmp, 10.0 * i) for i in range(1, n + 1)]
+                prog = gen_fused_naive(stmts)
+                assert optimize(prog).count() <= prog.count()

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ra.relation import Relation
+from repro.simgpu.device import DeviceSpec
+from repro.tpch.datagen import TpchConfig, generate
+
+
+@pytest.fixture(scope="session")
+def device() -> DeviceSpec:
+    return DeviceSpec()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture()
+def small_relation(rng) -> Relation:
+    n = 10_000
+    return Relation({
+        "key": rng.integers(0, 1000, n).astype(np.int32),
+        "value": rng.integers(0, 1000, n).astype(np.int32),
+    })
+
+
+@pytest.fixture(scope="session")
+def tpch_tiny():
+    """Small but non-trivial TPC-H dataset, generated once per session."""
+    return generate(TpchConfig(scale_factor=0.002, seed=7, late_fraction=0.5))
+
+
+@pytest.fixture(scope="session")
+def tpch_small():
+    return generate(TpchConfig(scale_factor=0.005, seed=11, late_fraction=0.4))

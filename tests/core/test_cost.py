@@ -1,0 +1,81 @@
+"""Tests for the fusion cost model (SS III-C register-pressure caveat)."""
+
+import pytest
+
+from repro.core.cost import FusionCostModel
+from repro.core.opmodels import chain_for_region
+from repro.plans.plan import Plan
+from repro.ra.expr import Field
+from repro.simgpu import DeviceSpec
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return FusionCostModel(DeviceSpec())
+
+
+def chain_nodes(n, fields_per_pred=1):
+    plan = Plan()
+    node = plan.source("in", row_nbytes=4)
+    nodes = []
+    for i in range(n):
+        pred = Field(f"x{i % fields_per_pred}") < i
+        node = plan.select(node, pred, name=f"s{i}")
+        nodes.append(node)
+    return nodes
+
+
+class TestEvaluate:
+    def test_two_selects_beneficial(self, cm):
+        nodes = chain_nodes(2)
+        d = cm.evaluate([nodes[0]], nodes[1])
+        assert d.fuse
+        assert d.benefit > 0
+        assert d.fused_time < d.unfused_time
+
+    def test_benefit_grows_with_chain(self, cm):
+        nodes = chain_nodes(4)
+        d2 = cm.evaluate([nodes[0]], nodes[1])
+        d3 = cm.evaluate(nodes[:2], nodes[2])
+        assert d3.benefit > 0 and d2.benefit > 0
+
+    def test_register_pressure_reported(self, cm):
+        nodes = chain_nodes(3)
+        d = cm.evaluate(nodes[:2], nodes[2])
+        chain = chain_for_region(nodes)
+        assert d.fused_regs == max(k.regs_per_thread for k in chain.kernels)
+
+    def test_long_chain_register_pressure_grows(self, cm):
+        nodes = chain_nodes(12)
+        d_short = cm.evaluate(nodes[:2], nodes[2])
+        d_long = cm.evaluate(nodes[:11], nodes[11])
+        assert d_long.fused_regs > d_short.fused_regs
+
+    def test_spilling_chain_eventually_rejected(self, cm):
+        """Fusing too many kernels raises register pressure past the Fermi
+        limit; spill traffic must eventually make fusion lose (the paper's
+        'fusing too many kernels may cause problems')."""
+        nodes = chain_nodes(40)
+        rejected = None
+        for k in range(1, 40):
+            d = cm.evaluate(nodes[:k], nodes[k])
+            if not d.fuse:
+                rejected = k
+                break
+        assert rejected is not None, "cost model never said no"
+
+    def test_region_time_monotone_in_n(self, cm):
+        nodes = chain_nodes(2)
+        assert cm.region_time(nodes, 10**6) < cm.region_time(nodes, 10**7)
+
+    def test_unfused_time_sums_operators(self, cm):
+        nodes = chain_nodes(2)
+        t_two = cm.unfused_time(nodes)
+        t_one = cm.unfused_time(nodes[:1])
+        assert t_two > t_one
+
+    def test_min_relative_benefit_threshold(self):
+        strict = FusionCostModel(DeviceSpec(), min_relative_benefit=0.99)
+        nodes = chain_nodes(2)
+        d = strict.evaluate([nodes[0]], nodes[1])
+        assert not d.fuse  # a 99% improvement bar is never met

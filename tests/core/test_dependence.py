@@ -1,0 +1,101 @@
+"""Tests for the dependence classification (paper SS III-C rules)."""
+
+import pytest
+
+from repro.core.dependence import DepClass, classify_edge, is_fusable_into_chain
+from repro.plans.plan import Plan
+from repro.ra.expr import Field
+
+
+@pytest.fixture
+def plan():
+    return Plan()
+
+
+def test_select_select_elementwise(plan):
+    src = plan.source("s")
+    a = plan.select(src, Field("x") < 1)
+    b = plan.select(a, Field("x") < 2)
+    assert classify_edge(a, b, 0) is DepClass.ELEMENTWISE
+    assert is_fusable_into_chain(a, b)
+
+
+def test_join_join_fusable(plan):
+    """Paper: 'JOIN-JOIN can be fused'."""
+    s1, s2, s3 = plan.source("a"), plan.source("b"), plan.source("c")
+    j1 = plan.join(s1, s2)
+    j2 = plan.join(j1, s3)
+    assert classify_edge(j1, j2, 0) is DepClass.ELEMENTWISE
+    assert is_fusable_into_chain(j1, j2)
+
+
+def test_sort_join_barrier(plan):
+    """Paper: 'SORT-JOIN cannot [be fused]'."""
+    s1, s2 = plan.source("a"), plan.source("b")
+    srt = plan.sort(s1)
+    j = plan.join(srt, s2)
+    assert classify_edge(srt, j, 0) is DepClass.BARRIER
+    assert not is_fusable_into_chain(srt, j)
+
+
+def test_sort_cannot_fuse_as_consumer(plan):
+    src = plan.source("s")
+    sel = plan.select(src, Field("x") < 1)
+    srt = plan.sort(sel)
+    assert classify_edge(sel, srt, 0) is DepClass.BARRIER
+
+
+def test_unique_barrier_both_ways(plan):
+    src = plan.source("s")
+    u = plan.unique(src)
+    sel = plan.select(u, Field("x") < 1)
+    assert classify_edge(u, sel, 0) is DepClass.BARRIER
+    sel2 = plan.select(src, Field("x") < 1)
+    u2 = plan.unique(sel2)
+    assert classify_edge(sel2, u2, 0) is DepClass.BARRIER
+
+
+def test_join_build_side_barrier(plan):
+    s1, s2 = plan.source("a"), plan.source("b")
+    sel = plan.select(s2, Field("x") < 1)
+    j = plan.join(s1, sel)
+    assert classify_edge(sel, j, 1) is DepClass.BARRIER
+    assert not is_fusable_into_chain(sel, j)  # sel is the *second* input
+
+
+def test_probe_side_of_semi_join_elementwise(plan):
+    s1, s2 = plan.source("a"), plan.source("b")
+    sel = plan.select(s1, Field("x") < 1)
+    sj = plan.semi_join(sel, s2)
+    assert classify_edge(sel, sj, 0) is DepClass.ELEMENTWISE
+
+
+def test_aggregate_fusable_as_consumer_only(plan):
+    src = plan.source("s")
+    sel = plan.select(src, Field("x") < 1)
+    agg = plan.aggregate(sel, [], {"n": None})
+    assert classify_edge(sel, agg, 0) is DepClass.ELEMENTWISE
+    # but AGGREGATE's own output is a barrier
+    sel2 = plan.select(agg, Field("n") > 1)
+    assert classify_edge(agg, sel2, 0) is DepClass.BARRIER
+
+
+def test_union_barrier(plan):
+    a, b = plan.source("a"), plan.source("b")
+    u = plan.union(a, b)
+    sel = plan.select(u, Field("x") < 1)
+    assert classify_edge(u, sel, 0) is DepClass.BARRIER
+
+
+def test_arith_elementwise(plan):
+    src = plan.source("s")
+    ar = plan.arith(src, {"y": Field("x") + 1})
+    sel = plan.select(ar, Field("y") < 1)
+    assert classify_edge(ar, sel, 0) is DepClass.ELEMENTWISE
+
+
+def test_is_fusable_requires_direct_edge(plan):
+    a, b = plan.source("a"), plan.source("b")
+    s1 = plan.select(a, Field("x") < 1)
+    s2 = plan.select(b, Field("x") < 1)
+    assert not is_fusable_into_chain(s1, s2)

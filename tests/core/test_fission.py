@@ -1,0 +1,121 @@
+"""Tests for the fission pass (segmenting + pipelined schedule)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fission import FissionConfig, plan_segments, run_fissioned
+from repro.simgpu import DeviceSpec, EventKind, KernelLaunchSpec
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return DeviceSpec()
+
+
+def builder_for(dev, insts_per_elem=80.0, row=4.0, sel=0.5):
+    def build(seg):
+        n = seg.n_rows
+        return [KernelLaunchSpec(
+            "seg_kernel", n, 112, 256, 20,
+            bytes_read=row * n, bytes_written=row * sel * n,
+            instructions=insts_per_elem * n)]
+    return build
+
+
+class TestPlanSegments:
+    def test_minimum_three_segments(self):
+        segs = plan_segments(10_000, 4)
+        assert len(segs) >= 3
+
+    def test_segments_cover_rows_exactly(self):
+        segs = plan_segments(1_000_003, 4)
+        assert sum(s.n_rows for s in segs) == 1_000_003
+        assert segs[0].start_row == 0
+        for a, b in zip(segs, segs[1:]):
+            assert b.start_row == a.start_row + a.n_rows
+
+    def test_target_segment_bytes_respected(self):
+        import math
+        cfg = FissionConfig(target_segment_bytes=1 << 20)
+        segs = plan_segments(10_000_000, 4, cfg)
+        assert len(segs) == math.ceil(10_000_000 * 4 / (1 << 20))
+
+    def test_max_segments_cap(self):
+        cfg = FissionConfig(target_segment_bytes=1, max_segments=10)
+        assert len(plan_segments(10_000, 4, cfg)) == 10
+
+    def test_tiny_input_fewer_segments_than_rows(self):
+        segs = plan_segments(2, 4)
+        assert sum(s.n_rows for s in segs) == 2
+        assert all(s.n_rows > 0 for s in segs)
+
+    @given(st.integers(1, 10**7), st.sampled_from([1, 4, 8, 48]))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_invariants(self, n, row):
+        segs = plan_segments(n, row)
+        assert sum(s.n_rows for s in segs) == n
+        assert all(s.n_rows > 0 for s in segs)
+        assert [s.index for s in segs] == sorted(set(s.index for s in segs))
+
+
+class TestRunFissioned:
+    def test_pipeline_beats_serial_sum(self, dev):
+        n = 200_000_000
+        tl = run_fissioned(dev, n, 4, 4, 0.5, builder_for(dev))
+        serial_sum = sum(e.duration for e in tl.events
+                         if e.kind is not EventKind.HOST)
+        device_end = max(e.end for e in tl.events
+                         if e.kind is not EventKind.HOST)
+        assert device_end < 0.8 * serial_sum
+
+    def test_pipeline_no_faster_than_bottleneck(self, dev):
+        n = 200_000_000
+        tl = run_fissioned(dev, n, 4, 4, 0.5, builder_for(dev))
+        h2d_total = tl.total_time(EventKind.H2D)
+        assert tl.makespan >= h2d_total  # can't beat the serialized engine
+
+    def test_host_gather_appended_last(self, dev):
+        tl = run_fissioned(dev, 10_000_000, 4, 4, 0.5, builder_for(dev))
+        host = tl.filter(EventKind.HOST)
+        assert len(host) == 1
+        assert host[0].tag == "cpu_gather"
+        assert host[0].end == tl.end_time
+
+    def test_host_gather_disabled(self, dev):
+        cfg = FissionConfig(host_gather=False)
+        tl = run_fissioned(dev, 10_000_000, 4, 4, 0.5, builder_for(dev), cfg)
+        assert tl.filter(EventKind.HOST) == []
+
+    def test_transfer_bytes_conserved(self, dev):
+        n = 50_000_000
+        tl = run_fissioned(dev, n, 4, 4, 0.5, builder_for(dev))
+        assert tl.bytes_moved(EventKind.H2D) == pytest.approx(4.0 * n)
+        assert tl.bytes_moved(EventKind.D2H) == pytest.approx(2.0 * n, rel=0.01)
+
+    def test_segments_round_robin_streams(self, dev):
+        cfg = FissionConfig(num_streams=3)
+        tl = run_fissioned(dev, 100_000_000, 4, 4, 0.5, builder_for(dev), cfg)
+        streams = {e.stream for e in tl.filter(EventKind.H2D)}
+        assert streams == {0, 1, 2}
+
+    def test_segment_thunks_called_once_each(self, dev):
+        seen = []
+        run_fissioned(dev, 10_000_000, 4, 4, 0.5, builder_for(dev),
+                      segment_thunk=lambda seg: seen.append(seg.index))
+        assert sorted(seen) == list(range(len(set(seen))))
+        assert len(seen) == len(set(seen))
+
+    def test_multi_kernel_segments(self, dev):
+        def build(seg):
+            n = seg.n_rows
+            return [
+                KernelLaunchSpec("a", n, 112, 256, 20, 4.0 * n, 2.0 * n, 80.0 * n),
+                KernelLaunchSpec("b", n // 2, 112, 256, 20, 2.0 * n, 1.0 * n, 40.0 * n),
+            ]
+        tl = run_fissioned(dev, 50_000_000, 4, 4, 0.25, build)
+        kernels = tl.filter(EventKind.KERNEL)
+        assert len(kernels) % 2 == 0
+        # within one stream+segment, 'b' follows 'a'
+        a0 = [e for e in kernels if e.tag == "a.seg0"][0]
+        b0 = [e for e in kernels if e.tag == "b.seg0"][0]
+        assert b0.start >= a0.end

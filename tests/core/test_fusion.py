@@ -1,0 +1,153 @@
+"""Tests for the fusion pass."""
+
+import pytest
+
+from repro.core.cost import FusionCostModel
+from repro.core.fusion import fuse_plan
+from repro.plans.plan import OpType, Plan
+from repro.ra.arithmetic import AggSpec
+from repro.ra.expr import Field
+from repro.simgpu import DeviceSpec
+
+
+def select_chain(n):
+    plan = Plan()
+    node = plan.source("in", row_nbytes=4)
+    for i in range(n):
+        node = plan.select(node, Field("x") < i + 1, name=f"s{i}")
+    return plan
+
+
+class TestChains:
+    def test_two_selects_fuse(self):
+        fr = fuse_plan(select_chain(2))
+        assert fr.num_fused_regions == 1
+        assert [len(r.nodes) for r in fr.regions] == [2]
+
+    def test_five_selects_fuse_into_one(self):
+        fr = fuse_plan(select_chain(5))
+        assert [len(r.nodes) for r in fr.regions] == [5]
+
+    def test_disabled_leaves_singletons(self):
+        fr = fuse_plan(select_chain(3), enable=False)
+        assert all(len(r.nodes) == 1 for r in fr.regions)
+        assert fr.num_fused_regions == 0
+
+    def test_kernels_saved_counter(self):
+        fr = fuse_plan(select_chain(3))
+        assert fr.num_kernels_saved == 4  # 2 extra ops x (compute+gather)
+
+    def test_region_selectivity(self):
+        plan = Plan()
+        node = plan.source("in")
+        node = plan.select(node, Field("x") < 1, selectivity=0.5)
+        node = plan.select(node, Field("x") < 2, selectivity=0.4)
+        fr = fuse_plan(plan)
+        assert fr.regions[0].selectivity == pytest.approx(0.2)
+
+    def test_describe_mentions_fused(self):
+        text = fuse_plan(select_chain(2)).describe()
+        assert "FUSED" in text
+
+    def test_region_of(self):
+        plan = select_chain(2)
+        fr = fuse_plan(plan)
+        node = plan.nodes[-1]
+        assert node in fr.region_of(node).nodes
+        with pytest.raises(KeyError):
+            fr.region_of(plan.nodes[0])  # sources have no region
+
+
+class TestBarriers:
+    def test_sort_splits_chain(self):
+        plan = Plan()
+        node = plan.source("in")
+        node = plan.select(node, Field("x") < 1, name="s0")
+        node = plan.sort(node, name="srt")
+        node = plan.select(node, Field("x") < 2, name="s1")
+        fr = fuse_plan(plan)
+        names = [r.name for r in fr.regions]
+        assert names == ["s0", "srt", "s1"]
+
+    def test_unique_not_fused(self):
+        plan = Plan()
+        node = plan.source("in")
+        node = plan.select(node, Field("x") < 1)
+        node = plan.unique(node)
+        fr = fuse_plan(plan)
+        assert fr.num_fused_regions == 0
+
+    def test_q1_shape_select_joins_fuse_across_sort(self):
+        """Fig 17(a): SELECT+JOINs fuse; SORT stands alone; ARITH+AGG fuse."""
+        plan = Plan()
+        node = plan.source("date", row_nbytes=4)
+        node = plan.select(node, Field("d") < 1, name="sel")
+        for i in range(6):
+            src = plan.source(f"col{i}", row_nbytes=4)
+            node = plan.join(node, src, gather=True, name=f"j{i}")
+        node = plan.sort(node, name="srt")
+        node = plan.arith(node, {"y": Field("x") * 2}, name="ar")
+        plan.aggregate(node, [], {"n": AggSpec("count")}, name="agg")
+        fr = fuse_plan(plan)
+        sizes = [len(r.nodes) for r in fr.regions]
+        assert sizes == [7, 1, 2]
+
+
+class TestMultipleConsumers:
+    def test_shared_intermediate_blocks_fusion(self):
+        plan = Plan()
+        src = plan.source("in")
+        a = plan.select(src, Field("x") < 1, name="a")
+        plan.select(a, Field("x") < 2, name="b")
+        plan.select(a, Field("x") < 3, name="c")
+        fr = fuse_plan(plan)
+        # 'a' is consumed twice: materialize it, don't fuse
+        assert all(len(r.nodes) == 1 for r in fr.regions)
+
+
+class TestSideInputOrdering:
+    def test_no_cycle_through_side_inputs(self):
+        """A chain op whose build side depends on the chain's own input
+        region must not create a cyclic region graph (the Q21 shape)."""
+        plan = Plan()
+        big = plan.source("big", row_nbytes=8)
+        a = plan.select(big, Field("x") < 1, name="a")
+        b = plan.project(a, ["x"], name="b")            # chain region
+        agg = plan.aggregate(a, [], {"n": AggSpec("count")}, name="agg")
+        flt = plan.select(agg, Field("n") > 1, name="flt")
+        plan.semi_join(b, flt, name="semi")
+        fr = fuse_plan(plan)
+        # regions must come out in a valid topological order
+        seen = set()
+        for region in fr.regions:
+            for node in region.nodes:
+                for inp in node.inputs:
+                    if inp.op is not OpType.SOURCE:
+                        assert inp.name in seen or inp in region.nodes, (
+                            f"{node.name} runs before its input {inp.name}")
+                seen.add(node.name)
+
+    def test_side_input_from_earlier_region_allows_fusion(self):
+        plan = Plan()
+        big = plan.source("big", row_nbytes=8)
+        dim = plan.source("dim", row_nbytes=8)
+        dsel = plan.select(dim, Field("k").eq(1), name="dsel")
+        sel = plan.select(big, Field("x") < 1, name="sel")
+        j = plan.join(sel, dsel, name="j")
+        fr = fuse_plan(plan)
+        fused = [r for r in fr.regions if r.fused]
+        assert len(fused) == 1
+        assert [n.name for n in fused[0].nodes] == ["sel", "j"]
+
+
+class TestCostModelIntegration:
+    def test_cost_model_approves_select_fusion(self):
+        cm = FusionCostModel(DeviceSpec())
+        fr = fuse_plan(select_chain(2), cost_model=cm)
+        assert fr.num_fused_regions == 1
+        assert fr.decisions and fr.decisions[0][1] is True
+
+    def test_decisions_recorded(self):
+        cm = FusionCostModel(DeviceSpec())
+        fr = fuse_plan(select_chain(4), cost_model=cm)
+        assert len(fr.decisions) == 3

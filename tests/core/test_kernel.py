@@ -1,0 +1,100 @@
+"""Tests for the kernel IR (stages, traffic propagation, register pressure)."""
+
+import pytest
+
+from repro.core.kernel import Kernel, KernelChain, StageKind, StageSpec
+from repro.simgpu import DeviceSpec
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return DeviceSpec()
+
+
+def filter_stage(sel=0.5, reads=4.0, regs=7, insts=80.0, name="f"):
+    return StageSpec(StageKind.FILTER, name, insts_per_input=insts,
+                     reads_bytes_per_input=reads, selectivity=sel, regs=regs)
+
+
+def buffer_stage(out_bytes=4.0):
+    return StageSpec(StageKind.BUFFER, "buffer", insts_per_input=6.0,
+                     writes_bytes_per_output=out_bytes, regs=3)
+
+
+class TestKernel:
+    def test_register_pressure_sums_stages(self):
+        k = Kernel("k", [filter_stage(regs=7), filter_stage(regs=9)], base_regs=6)
+        assert k.regs_per_thread == 6 + 7 + 9
+
+    def test_output_selectivity_multiplies(self):
+        k = Kernel("k", [filter_stage(sel=0.5), filter_stage(sel=0.4)])
+        assert k.output_selectivity == pytest.approx(0.2)
+
+    def test_traffic_propagates_through_selectivity(self):
+        k = Kernel("k", [filter_stage(sel=0.5, reads=4.0), buffer_stage(4.0)])
+        reads, writes, insts = k.traffic_and_insts(1000)
+        assert reads == pytest.approx(4.0 * 1000)
+        # buffer writes only the 500 survivors
+        assert writes == pytest.approx(4.0 * 500)
+        assert insts == pytest.approx(80.0 * 1000 + 6.0 * 500)
+
+    def test_chained_stage_sees_reduced_input(self):
+        k = Kernel("k", [filter_stage(sel=0.5, insts=10),
+                         filter_stage(sel=0.5, insts=10, reads=0.0)])
+        _, _, insts = k.traffic_and_insts(1000)
+        assert insts == pytest.approx(10 * 1000 + 10 * 500)
+
+    def test_launch_spec_fields(self, dev):
+        k = Kernel("k", [filter_stage()])
+        spec = k.launch_spec(10_000, dev)
+        assert spec.num_elements == 10_000
+        assert spec.regs_per_thread == k.regs_per_thread
+        assert spec.bytes_read == pytest.approx(4.0 * 10_000)
+
+    def test_duration_positive(self, dev):
+        k = Kernel("k", [filter_stage()])
+        assert k.duration(10_000, dev) > 0
+
+
+class TestKernelChain:
+    def _chain(self):
+        compute = Kernel("c", [filter_stage(sel=0.5), buffer_stage()])
+        gather = Kernel("g", [StageSpec(StageKind.GATHER, "g",
+                                        insts_per_input=8.0,
+                                        reads_bytes_per_input=2.0,
+                                        writes_bytes_per_output=2.0, regs=8)])
+        return KernelChain("sel", [compute, gather])
+
+    def test_main_launch_specs_scale_down_chain(self, dev):
+        chain = self._chain()
+        specs = chain.main_launch_specs(1000, dev)
+        assert len(specs) == 2
+        assert specs[0].num_elements == 1000
+        assert specs[1].num_elements == 500  # gather sees survivors
+
+    def test_chain_selectivity(self):
+        assert self._chain().output_selectivity == pytest.approx(0.5)
+
+    def test_total_duration_sums(self, dev):
+        chain = self._chain()
+        total = chain.total_duration(100_000, dev)
+        parts = sum(
+            __import__("repro.simgpu.compute", fromlist=["kernel_duration"])
+            .kernel_duration(dev, s) for s in chain.launch_specs(100_000, dev))
+        assert total == pytest.approx(parts)
+
+    def test_side_kernels_sized_from_dict(self, dev):
+        class FakeNode:
+            name = "dim"
+        build = Kernel("b", [filter_stage(sel=1.0)])
+        chain = KernelChain("j", [Kernel("c", [filter_stage()])],
+                            side_kernels=[(build, FakeNode())])
+        specs = chain.side_launch_specs(dev, {"dim": 777})
+        assert specs[0].num_elements == 777
+
+    def test_side_kernels_default_size_one(self, dev):
+        class FakeNode:
+            name = "dim"
+        build = Kernel("b", [filter_stage(sel=1.0)])
+        chain = KernelChain("j", [], side_kernels=[(build, FakeNode())])
+        assert chain.side_launch_specs(dev)[0].num_elements == 1

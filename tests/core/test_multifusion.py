@@ -1,0 +1,158 @@
+"""Tests for shared-scan (pattern (c)) fusion."""
+
+import numpy as np
+import pytest
+
+from repro.core.multifusion import (
+    SharedScanGroup,
+    chain_for_shared_scan,
+    find_shared_select_groups,
+    multi_select,
+)
+from repro.errors import FusionError
+from repro.plans.plan import Plan
+from repro.ra import Field, Relation, select
+from repro.simgpu import DeviceSpec
+
+
+def shared_plan(k=3):
+    plan = Plan()
+    src = plan.source("t", row_nbytes=4)
+    selects = [plan.select(src, Field("x") < 10 * (i + 1),
+                           selectivity=0.1 * (i + 1), name=f"q{i}")
+               for i in range(k)]
+    return plan, src, selects
+
+
+class TestDiscovery:
+    def test_finds_group(self):
+        plan, src, selects = shared_plan(3)
+        groups = find_shared_select_groups(plan)
+        assert len(groups) == 1
+        assert groups[0].producer is src
+        assert set(groups[0].selects) == set(selects)
+
+    def test_single_consumer_not_a_group(self):
+        plan, _, _ = shared_plan(1)
+        assert find_shared_select_groups(plan) == []
+
+    def test_non_select_consumers_ignored(self):
+        plan, src, _ = shared_plan(2)
+        plan.sort(src, name="also_consumes")
+        groups = find_shared_select_groups(plan)
+        assert len(groups) == 1
+        assert len(groups[0].selects) == 2
+
+
+class TestLowering:
+    def test_chain_shape(self):
+        plan, src, selects = shared_plan(3)
+        chain = chain_for_shared_scan(SharedScanGroup(src, tuple(selects)))
+        assert len(chain.kernels) == 2
+        # input read exactly once
+        reads, writes, _ = chain.kernels[0].traffic_and_insts(1000)
+        assert reads == pytest.approx(4 * 1000)
+        # outputs: sum of the three selectivities
+        assert writes == pytest.approx(4 * 1000 * (0.1 + 0.2 + 0.3))
+
+    def test_needs_two_selects(self):
+        plan, src, selects = shared_plan(1)
+        with pytest.raises(FusionError):
+            chain_for_shared_scan(SharedScanGroup(src, tuple(selects)))
+
+    def test_shared_scan_beats_separate_scans(self):
+        """The point of pattern (c): K selects, one input read."""
+        device = DeviceSpec()
+        plan, src, selects = shared_plan(3)
+        from repro.core.opmodels import chain_for_region
+        group_time = chain_for_shared_scan(
+            SharedScanGroup(src, tuple(selects))).total_duration(10**8, device)
+        separate = sum(chain_for_region([s]).total_duration(10**8, device)
+                       for s in selects)
+        assert group_time < separate
+
+    @staticmethod
+    def _ratio(k):
+        """separate/shared time for k equal-selectivity SELECTs."""
+        device = DeviceSpec()
+        from repro.core.opmodels import chain_for_region
+        plan = Plan()
+        src = plan.source("t", row_nbytes=4)
+        selects = [plan.select(src, Field("x") < 10, selectivity=0.2,
+                               name=f"q{i}") for i in range(k)]
+        shared = chain_for_shared_scan(
+            SharedScanGroup(src, tuple(selects))).total_duration(10**8, device)
+        separate = sum(chain_for_region([s]).total_duration(10**8, device)
+                       for s in selects)
+        return separate / shared
+
+    def test_savings_grow_with_group_size(self):
+        assert 1.0 < self._ratio(2) < self._ratio(3)
+
+    def test_register_pressure_caps_group_size(self):
+        """Very large groups hold too many output cursors live per thread;
+        occupancy/spill eventually erases the shared-scan win (the SS III-C
+        caveat applies to this rewrite too)."""
+        assert self._ratio(10) < self._ratio(3)
+
+
+class TestFunctional:
+    @pytest.fixture
+    def rel(self, rng):
+        return Relation({"x": rng.integers(0, 100, 50_000).astype(np.int32)})
+
+    def test_equals_separate_selects(self, rel):
+        preds = [Field("x") < 10, Field("x") < 50, Field("x") >= 90]
+        outs = multi_select(rel, preds)
+        for out, pred in zip(outs, preds):
+            assert out.to_tuples() == select(rel, pred).to_tuples()
+
+    def test_outputs_independent(self, rel):
+        preds = [Field("x") < 0, Field("x") >= 0]
+        empty, full = multi_select(rel, preds)
+        assert empty.num_rows == 0
+        assert full.num_rows == rel.num_rows
+
+    def test_needs_predicates(self, rel):
+        with pytest.raises(FusionError):
+            multi_select(rel, [])
+
+    def test_cta_count_irrelevant(self, rel):
+        preds = [Field("x") < 30, Field("x") < 70]
+        a = multi_select(rel, preds, num_ctas=1)
+        b = multi_select(rel, preds, num_ctas=500)
+        for ra, rb in zip(a, b):
+            assert ra.to_tuples() == rb.to_tuples()
+
+
+class TestGroupSplitting:
+    def _group(self, k):
+        plan = Plan()
+        src = plan.source("t", row_nbytes=4)
+        selects = [plan.select(src, Field("x") < 10, selectivity=0.2,
+                               name=f"q{i}") for i in range(k)]
+        return SharedScanGroup(src, tuple(selects))
+
+    def test_small_group_unsplit(self):
+        from repro.core.multifusion import split_group_by_registers
+        groups = split_group_by_registers(self._group(3))
+        assert len(groups) == 1
+
+    def test_oversized_group_split(self):
+        from repro.core.multifusion import split_group_by_registers
+        groups = split_group_by_registers(self._group(12))
+        assert len(groups) >= 2
+        assert sum(len(g.selects) for g in groups) == 12
+
+    def test_split_groups_within_budget(self):
+        from repro.core.multifusion import split_group_by_registers
+        for g in split_group_by_registers(self._group(12)):
+            if len(g.selects) >= 2:
+                chain = chain_for_shared_scan(g)
+                assert max(k.regs_per_thread for k in chain.kernels) <= 63
+
+    def test_split_preserves_producer(self):
+        from repro.core.multifusion import split_group_by_registers
+        group = self._group(10)
+        for g in split_group_by_registers(group):
+            assert g.producer is group.producer

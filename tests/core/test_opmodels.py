@@ -1,0 +1,222 @@
+"""Tests for the operator -> kernel lowering."""
+
+import math
+
+import pytest
+
+from repro.core.kernel import StageKind
+from repro.core.opmodels import (
+    DEFAULT_STAGE_COSTS,
+    FUSABLE_OPS,
+    chain_for_node,
+    chain_for_region,
+    compute_stage,
+    in_row_nbytes,
+    out_row_nbytes,
+)
+from repro.errors import FusionError
+from repro.plans.plan import OpType, Plan
+from repro.ra.arithmetic import AggSpec
+from repro.ra.expr import Field
+
+
+@pytest.fixture
+def plan():
+    return Plan()
+
+
+class TestRowBytes:
+    def test_source_explicit(self, plan):
+        assert out_row_nbytes(plan.source("s", row_nbytes=12)) == 12
+
+    def test_select_inherits(self, plan):
+        src = plan.source("s", row_nbytes=12)
+        sel = plan.select(src, Field("x") < 1)
+        assert out_row_nbytes(sel) == 12
+        assert in_row_nbytes(sel) == 12
+
+    def test_join_default_widens(self, plan):
+        left = plan.source("l", row_nbytes=8)
+        right = plan.source("r", row_nbytes=12)
+        j = plan.join(left, right)
+        assert out_row_nbytes(j) == 8 + 12 - 4  # shared 4-byte key
+
+    def test_explicit_override_wins(self, plan):
+        left = plan.source("l", row_nbytes=8)
+        right = plan.source("r", row_nbytes=12)
+        j = plan.join(left, right, out_row_nbytes=99)
+        assert out_row_nbytes(j) == 99
+
+    def test_aggregate_output_size(self, plan):
+        src = plan.source("s", row_nbytes=8)
+        agg = plan.aggregate(src, ["g"], {"a": AggSpec("sum", "x"),
+                                          "b": AggSpec("count")})
+        assert out_row_nbytes(agg) == 8 * 2 + 4 * 1
+
+
+class TestComputeStage:
+    def test_select_stage(self, plan):
+        src = plan.source("s", row_nbytes=4)
+        sel = plan.select(src, Field("x") < 1, selectivity=0.3)
+        st = compute_stage(sel, reads_input=True)
+        assert st.kind is StageKind.FILTER
+        assert st.selectivity == 0.3
+        assert st.reads_bytes_per_input == 4
+
+    def test_chained_filter_cheaper(self, plan):
+        src = plan.source("s", row_nbytes=4)
+        sel = plan.select(src, Field("x") < 1)
+        first = compute_stage(sel, reads_input=True)
+        chained = compute_stage(sel, reads_input=False)
+        assert chained.insts_per_input < first.insts_per_input
+        assert chained.reads_bytes_per_input == 0
+
+    def test_hash_join_reads_table(self, plan):
+        l, r = plan.source("l", row_nbytes=8), plan.source("r", row_nbytes=8)
+        j = plan.join(l, r)
+        st = compute_stage(j, reads_input=False)
+        assert st.kind is StageKind.JOIN_PROBE
+        assert st.reads_bytes_per_input == pytest.approx(
+            DEFAULT_STAGE_COSTS.join_probe_read_factor * 8)
+
+    def test_gather_join_cheaper_than_hash_join(self, plan):
+        l, r = plan.source("l", row_nbytes=8), plan.source("r", row_nbytes=8)
+        hj = plan.join(l, r)
+        gj = plan.join(l, r, gather=True)
+        hs = compute_stage(hj, reads_input=False)
+        gs = compute_stage(gj, reads_input=False)
+        assert gs.insts_per_input < hs.insts_per_input
+        assert gs.reads_bytes_per_input < hs.reads_bytes_per_input
+
+    def test_arith_scales_with_expression(self, plan):
+        src = plan.source("s", row_nbytes=8)
+        small = plan.arith(src, {"y": Field("x") + 1})
+        big = plan.arith(src, {"y": (Field("x") + 1) * (Field("x") - 2) + Field("z")})
+        assert (compute_stage(big, True).insts_per_input
+                > compute_stage(small, True).insts_per_input)
+
+    def test_product_expansion(self, plan):
+        l, r = plan.source("l"), plan.source("r")
+        pr = plan.product(l, r, right_rows=5)
+        st = compute_stage(pr, reads_input=True)
+        assert st.selectivity == 5.0
+
+    def test_sort_has_no_compute_stage(self, plan):
+        src = plan.source("s")
+        srt = plan.sort(src)
+        with pytest.raises(FusionError):
+            compute_stage(srt, reads_input=True)
+
+
+class TestChainForRegion:
+    def test_single_select_shape(self, plan):
+        src = plan.source("s", row_nbytes=4)
+        sel = plan.select(src, Field("x") < 1)
+        chain = chain_for_region([sel])
+        assert len(chain.kernels) == 2  # compute + gather
+        kinds = [s.kind for s in chain.kernels[0].stages]
+        assert kinds[0] is StageKind.PARTITION
+        assert kinds[-1] is StageKind.BUFFER
+        assert chain.kernels[1].stages[0].kind is StageKind.GATHER
+
+    def test_fused_chain_single_partition_buffer_gather(self, plan):
+        """The Fig 6 shape: N filters share one partition/buffer/gather."""
+        src = plan.source("s", row_nbytes=4)
+        n1 = plan.select(src, Field("x") < 1)
+        n2 = plan.select(n1, Field("x") < 2)
+        n3 = plan.select(n2, Field("x") < 3)
+        chain = chain_for_region([n1, n2, n3])
+        kinds = [s.kind for s in chain.kernels[0].stages]
+        assert kinds.count(StageKind.PARTITION) == 1
+        assert kinds.count(StageKind.FILTER) == 3
+        assert kinds.count(StageKind.BUFFER) == 1
+        assert len(chain.kernels) == 2
+
+    def test_only_first_stage_reads_input(self, plan):
+        src = plan.source("s", row_nbytes=4)
+        n1 = plan.select(src, Field("x") < 1)
+        n2 = plan.select(n1, Field("x") < 2)
+        chain = chain_for_region([n1, n2])
+        filters = [s for s in chain.kernels[0].stages if s.kind is StageKind.FILTER]
+        assert filters[0].reads_bytes_per_input > 0
+        assert filters[1].reads_bytes_per_input == 0
+
+    def test_terminal_aggregate_single_kernel(self, plan):
+        src = plan.source("s", row_nbytes=4)
+        sel = plan.select(src, Field("x") < 1)
+        agg = plan.aggregate(sel, [], {"n": AggSpec("count")})
+        chain = chain_for_region([sel, agg])
+        assert len(chain.kernels) == 1  # no gather: reduce writes directly
+
+    def test_join_contributes_side_kernel(self, plan):
+        l = plan.source("l", row_nbytes=8)
+        r = plan.source("r", row_nbytes=8)
+        j = plan.join(l, r)
+        chain = chain_for_region([j])
+        assert len(chain.side_kernels) == 1
+        build, feed = chain.side_kernels[0]
+        assert feed is r
+        assert build.stages[0].kind is StageKind.HASH_BUILD
+
+    def test_gather_join_no_side_kernel(self, plan):
+        l = plan.source("l", row_nbytes=8)
+        r = plan.source("r", row_nbytes=8)
+        j = plan.join(l, r, gather=True)
+        chain = chain_for_region([j])
+        assert chain.side_kernels == []
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(FusionError):
+            chain_for_region([])
+
+    def test_barrier_op_rejected(self, plan):
+        srt = plan.sort(plan.source("s"))
+        with pytest.raises(FusionError):
+            chain_for_region([srt])
+
+
+class TestBarrierChains:
+    def test_sort_passes_scale_with_log_n(self, plan):
+        src = plan.source("s", row_nbytes=8)
+        srt = plan.sort(src)
+        small = chain_for_node(srt, n_in_hint=1 << 10)
+        big = chain_for_node(srt, n_in_hint=1 << 20)
+        r_small = small.kernels[0].stages[0].reads_bytes_per_input
+        r_big = big.kernels[0].stages[0].reads_bytes_per_input
+        assert r_big / r_small == pytest.approx(2.0, rel=0.05)
+
+    def test_unique_has_sort_compact_gather(self, plan):
+        u = plan.unique(plan.source("s", row_nbytes=8))
+        chain = chain_for_node(u, n_in_hint=1000)
+        assert len(chain.kernels) == 3
+
+    def test_union_single_dedup_kernel(self, plan):
+        u = plan.union(plan.source("a"), plan.source("b"))
+        chain = chain_for_node(u)
+        assert len(chain.kernels) == 1
+
+    def test_fusable_op_delegates_to_region(self, plan):
+        sel = plan.select(plan.source("s"), Field("x") < 1)
+        chain = chain_for_node(sel)
+        assert len(chain.kernels) == 2
+
+    def test_all_fusable_ops_lower(self, plan):
+        """Every op in FUSABLE_OPS must produce a compute stage."""
+        l = plan.source("l", row_nbytes=8)
+        r = plan.source("r", row_nbytes=8)
+        nodes = {
+            OpType.SELECT: plan.select(l, Field("x") < 1),
+            OpType.PROJECT: plan.project(l, ["x"]),
+            OpType.ARITH: plan.arith(l, {"y": Field("x") + 1}),
+            OpType.JOIN: plan.join(l, r),
+            OpType.SEMI_JOIN: plan.semi_join(l, r),
+            OpType.ANTI_JOIN: plan.anti_join(l, r),
+            OpType.INTERSECTION: plan.intersection(l, r),
+            OpType.DIFFERENCE: plan.difference(l, r),
+            OpType.PRODUCT: plan.product(l, r),
+            OpType.AGGREGATE: plan.aggregate(l, [], {"n": AggSpec("count")}),
+        }
+        assert set(nodes) == set(FUSABLE_OPS)
+        for op, node in nodes.items():
+            stage = compute_stage(node, reads_input=True)
+            assert stage.insts_per_input > 0, op

@@ -1,0 +1,93 @@
+"""Tests for the end-to-end compilation pipeline."""
+
+import pytest
+
+from repro.core.passes import CompiledPlan, PipelineOptions, compile_plan
+from repro.plans import Plan
+from repro.ra import Field
+from repro.runtime import Strategy
+from repro.runtime.select_chain import select_chain_plan
+from repro.tpch import build_q1_plan, q1_source_rows
+
+
+class TestCompilePlan:
+    def test_select_chain_compiles(self):
+        cp = compile_plan(select_chain_plan(3), {"input": 100_000_000})
+        assert cp.fusion.num_fused_regions == 1
+        assert cp.strategy is Strategy.FUSED_FISSION
+        assert cp.num_kernels == 2
+
+    def test_describe(self):
+        cp = compile_plan(select_chain_plan(2), {"input": 10**6})
+        text = cp.describe()
+        assert "strategy" in text and "FUSED" in text
+
+    def test_register_pressure_reported(self):
+        cp = compile_plan(select_chain_plan(2), {"input": 10**6})
+        assert 10 < cp.max_register_pressure <= 63
+
+    def test_run_executes(self):
+        cp = compile_plan(select_chain_plan(2), {"input": 50_000_000})
+        result = cp.run()
+        assert result.strategy is cp.strategy
+        assert result.makespan > 0
+
+    def test_q1_pipeline(self):
+        cp = compile_plan(build_q1_plan(), q1_source_rows(1_000_000))
+        region_sizes = [len(r.nodes) for r in cp.fusion.regions]
+        assert region_sizes == [7, 1, 2]
+        assert cp.strategy is Strategy.FUSED_FISSION
+
+    def test_rewrites_applied(self):
+        plan = Plan()
+        node = plan.source("t", row_nbytes=4)
+        node = plan.select(node, Field("x") < 90, selectivity=0.9, name="weak")
+        node = plan.select(node, Field("x") < 10, selectivity=0.1, name="strong")
+        cp = compile_plan(plan, {"t": 10**6})
+        from repro.plans.plan import OpType
+        selects = [n for n in cp.plan.topological() if n.op is OpType.SELECT]
+        assert [n.selectivity for n in selects] == [0.1, 0.9]  # reordered
+
+    def test_options_disable_rewrite(self):
+        plan = Plan()
+        node = plan.source("t", row_nbytes=4)
+        node = plan.select(node, Field("x") < 90, selectivity=0.9, name="weak")
+        plan.select(node, Field("x") < 10, selectivity=0.1, name="strong")
+        cp = compile_plan(plan, {"t": 10**6},
+                          options=PipelineOptions(rewrite=False))
+        from repro.plans.plan import OpType
+        selects = [n for n in cp.plan.topological() if n.op is OpType.SELECT]
+        assert [n.selectivity for n in selects] == [0.9, 0.1]
+
+    def test_options_disable_fusion(self):
+        cp = compile_plan(select_chain_plan(3), {"input": 10**6},
+                          options=PipelineOptions(fuse=False,
+                                                  auto_strategy=False))
+        assert cp.fusion.num_fused_regions == 0
+        assert cp.strategy is Strategy.SERIAL
+
+    def test_fixed_strategy_when_auto_disabled(self):
+        cp = compile_plan(select_chain_plan(2), {"input": 10**6},
+                          options=PipelineOptions(auto_strategy=False))
+        assert cp.strategy is Strategy.FUSED
+
+    def test_cost_model_respected(self):
+        # 20 distinct-field selects: the cost model must split the chain
+        plan = Plan()
+        node = plan.source("t", row_nbytes=4)
+        for i in range(20):
+            node = plan.select(node, Field(f"c{i}") < i, name=f"s{i}")
+        cp_cm = compile_plan(plan, {"t": 10**7})
+        cp_nocm = compile_plan(plan, {"t": 10**7},
+                               options=PipelineOptions(use_cost_model=False))
+        assert len(cp_cm.fusion.regions) > len(cp_nocm.fusion.regions)
+        assert cp_nocm.max_register_pressure > 63  # spilling without a guard
+        assert cp_cm.max_register_pressure <= cp_nocm.max_register_pressure
+
+    def test_compiled_run_matches_manual(self):
+        from repro.runtime import ExecutionConfig, Executor
+        cp = compile_plan(select_chain_plan(2), {"input": 100_000_000})
+        ex = Executor(cp.device)
+        manual = ex.run(cp.plan, cp.source_rows,
+                        ExecutionConfig(strategy=cp.strategy))
+        assert cp.run(ex).makespan == pytest.approx(manual.makespan, rel=1e-9)

@@ -1,0 +1,79 @@
+"""Tests for the fused-kernel source renderer."""
+
+import pytest
+
+from repro.core.fusion import fuse_plan
+from repro.core.render import render_expr, render_fused_kernel, render_predicate
+from repro.errors import FusionError
+from repro.plans.plan import Plan
+from repro.ra import AggSpec, Const, Field
+from repro.tpch import build_q1_plan
+
+
+class TestExprRendering:
+    def test_field(self):
+        assert render_expr(Field("price")) == "price"
+
+    def test_const(self):
+        assert render_expr(Const(3)) == "3"
+
+    def test_binop(self):
+        e = (Const(1.0) - Field("discount")) * Field("price")
+        assert render_expr(e) == "((1.0 - discount) * price)"
+
+    def test_compare(self):
+        assert render_predicate(Field("d") < 7) == "(d < 7)"
+
+    def test_and_or_not(self):
+        p = (Field("a") < 1) & (Field("b") > 2)
+        assert render_predicate(p) == "((a < 1) && (b > 2))"
+        q = (Field("a") < 1) | (Field("b") > 2)
+        assert "||" in render_predicate(q)
+        assert render_predicate(~(Field("a") < 1)) == "(!(a < 1))"
+
+
+class TestKernelRendering:
+    def _chain(self):
+        plan = Plan()
+        node = plan.source("t", row_nbytes=4)
+        a = plan.select(node, Field("d") < 100, name="s0")
+        b = plan.select(a, Field("d") < 50, name="s1")
+        return [a, b]
+
+    def test_fused_select_chain_structure(self):
+        src = render_fused_kernel(self._chain())
+        assert "__global__" in src
+        assert src.count("partition(") == 1           # one partition stage
+        assert "(d < 100)" in src and "(d < 50)" in src
+        assert src.count("_gather") == 1              # one gather kernel
+
+    def test_terminal_aggregate_no_gather(self):
+        plan = Plan()
+        node = plan.source("t", row_nbytes=4)
+        s = plan.select(node, Field("d") < 10, name="s")
+        agg = plan.aggregate(s, [], {"n": AggSpec("count")}, name="agg")
+        src = render_fused_kernel([s, agg])
+        assert "atomic_reduce" in src
+        assert "_gather" not in src
+
+    def test_q1_fused_region_renders(self):
+        plan = build_q1_plan()
+        fr = fuse_plan(plan)
+        region = fr.regions[0]  # SELECT + 6 gather joins
+        src = render_fused_kernel(region.nodes)
+        assert src.count("join stage") == 6
+        assert "gather from aligned column" in src
+
+    def test_barrier_op_rejected(self):
+        plan = Plan()
+        srt = plan.sort(plan.source("t"))
+        with pytest.raises(FusionError):
+            render_fused_kernel([srt])
+
+    def test_empty_rejected(self):
+        with pytest.raises(FusionError):
+            render_fused_kernel([])
+
+    def test_custom_name(self):
+        src = render_fused_kernel(self._chain(), name="my_kernel")
+        assert "my_kernel_compute" in src

@@ -1,0 +1,63 @@
+"""Tests for the CPU SELECT baseline."""
+
+import pytest
+
+from repro.cpubase import cpu_select, cpu_select_throughput, cpu_select_time
+from repro.ra import Field, Relation, select
+from repro.runtime.select_chain import gpu_select_throughput
+
+
+class TestFunctional:
+    def test_identical_to_gpu_operator(self, small_relation):
+        pred = Field("key") < 300
+        assert cpu_select(small_relation, pred).same_tuples(
+            select(small_relation, pred))
+
+
+class TestTimeModel:
+    def test_monotone_in_n(self):
+        assert cpu_select_time(10**7) < cpu_select_time(10**8)
+
+    def test_monotone_in_selectivity(self):
+        ts = [cpu_select_time(10**8, selectivity=f)
+              for f in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert ts == sorted(ts)
+
+    def test_throughput_declines_with_selectivity(self):
+        t10 = cpu_select_throughput(10**8, selectivity=0.1)
+        t90 = cpu_select_throughput(10**8, selectivity=0.9)
+        assert t10 > 2 * t90
+
+    def test_startup_dominates_tiny_inputs(self):
+        t = cpu_select_time(1)
+        from repro.simgpu import DEFAULT_CALIBRATION
+        assert t == pytest.approx(DEFAULT_CALIBRATION.cpu.startup_s, rel=0.01)
+
+    def test_throughput_plausible_range(self):
+        # Fig 4(a) bottom curves: single-digit GB/s
+        for f in (0.1, 0.5, 0.9):
+            tput = cpu_select_throughput(2 * 10**8, selectivity=f)
+            assert 0.5e9 < tput < 12e9
+
+
+class TestGpuSpeedups:
+    """Fig 4(a): average GPU speedups of 2.88x / 8.80x / 8.35x.  We assert
+    the reproduced *shape*: smallest advantage at 10%, largest around 50%,
+    all within 2x of the paper's numbers."""
+
+    @pytest.mark.parametrize("sel,paper", [(0.1, 2.88), (0.5, 8.80), (0.9, 8.35)])
+    def test_speedup_within_band(self, sel, paper):
+        n = 200_000_000
+        speedup = (gpu_select_throughput(n, sel)
+                   / cpu_select_throughput(n, selectivity=sel))
+        assert paper / 2 < speedup < paper * 2
+
+    def test_speedup_smallest_at_low_selectivity(self):
+        n = 200_000_000
+        s = {f: gpu_select_throughput(n, f) / cpu_select_throughput(n, selectivity=f)
+             for f in (0.1, 0.5, 0.9)}
+        assert s[0.1] < s[0.5]
+        assert s[0.1] < s[0.9]
+        # paper: 8.80x at 50% vs 8.35x at 90% -- nearly equal; require the
+        # same near-tie (within 15%) rather than a strict ordering
+        assert abs(s[0.5] - s[0.9]) / s[0.5] < 0.15

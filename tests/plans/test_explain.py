@@ -1,0 +1,44 @@
+"""Tests for the EXPLAIN renderer."""
+
+from repro.plans.explain import explain
+from repro.runtime.select_chain import select_chain_plan
+from repro.tpch import build_q1_plan, q1_source_rows
+
+
+class TestExplain:
+    def test_contains_nodes(self):
+        text = explain(select_chain_plan(2))
+        assert "SELECT select0" in text
+        assert "SOURCE input" in text
+
+    def test_shows_predicates(self):
+        text = explain(select_chain_plan(1))
+        assert "value <" in text
+
+    def test_shows_sizes_when_given(self):
+        text = explain(select_chain_plan(2), source_rows={"input": 1000})
+        assert "rows~1,000" in text
+        assert "rows~250" in text  # 2 x 50% selectivity
+
+    def test_fusion_overlay(self):
+        text = explain(select_chain_plan(3))
+        assert "fused region" in text
+        assert "1 fused region(s)" in text
+
+    def test_barrier_labeled(self):
+        text = explain(build_q1_plan(), source_rows=q1_source_rows(1000))
+        assert "barrier" in text
+        assert "SORT" in text
+
+    def test_without_fusion_overlay(self):
+        text = explain(select_chain_plan(2), fused=False)
+        assert "fused region" not in text
+
+    def test_q1_tree_shows_join_cascade(self):
+        text = explain(build_q1_plan())
+        assert text.count("JOIN") == 6
+        assert "AGGREGATE" in text
+
+    def test_side_inputs_marked(self):
+        text = explain(build_q1_plan())
+        assert "+= " in text  # non-primary inputs drawn differently

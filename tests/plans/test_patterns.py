@@ -1,0 +1,125 @@
+"""Tests for the Figure-2 operator-pattern detection."""
+
+import pytest
+
+from repro.plans.patterns import find_patterns, pattern_census
+from repro.plans.plan import Plan
+from repro.ra.arithmetic import AggSpec
+from repro.ra.expr import Const, Field
+from repro.tpch import build_q1_plan, build_q21_plan
+
+
+def patterns_of(plan):
+    return {m.pattern for m in find_patterns(plan)}
+
+
+class TestIndividualPatterns:
+    def test_a_back_to_back_selects(self):
+        plan = Plan()
+        s = plan.source("t")
+        a = plan.select(s, Field("x") < 1)
+        plan.select(a, Field("x") < 2)
+        assert "a" in patterns_of(plan)
+
+    def test_b_join_cascade(self):
+        plan = Plan()
+        a, b, c = plan.source("a"), plan.source("b"), plan.source("c")
+        j1 = plan.join(a, b)
+        plan.join(j1, c)
+        assert "b" in patterns_of(plan)
+
+    def test_c_shared_input_selects(self):
+        plan = Plan()
+        s = plan.source("t")
+        plan.select(s, Field("x") < 1)
+        plan.select(s, Field("x") < 2)
+        assert "c" in patterns_of(plan)
+
+    def test_c_needs_two_selects(self):
+        plan = Plan()
+        s = plan.source("t")
+        plan.select(s, Field("x") < 1)
+        assert "c" not in patterns_of(plan)
+
+    def test_d_select_after_join(self):
+        plan = Plan()
+        a, b = plan.source("a"), plan.source("b")
+        j = plan.join(a, b)
+        plan.select(j, Field("x") < 1)
+        assert "d" in patterns_of(plan)
+
+    def test_e_arith_after_join(self):
+        plan = Plan()
+        a, b = plan.source("a"), plan.source("b")
+        j = plan.join(a, b)
+        plan.arith(j, {"y": Field("x") + 1})
+        assert "e" in patterns_of(plan)
+
+    def test_f_join_of_two_selects(self):
+        plan = Plan()
+        a, b = plan.source("a"), plan.source("b")
+        sa = plan.select(a, Field("x") < 1)
+        sb = plan.select(b, Field("x") < 2)
+        plan.join(sa, sb)
+        assert "f" in patterns_of(plan)
+
+    def test_g_aggregation_on_selected(self):
+        plan = Plan()
+        s = plan.source("t")
+        sel = plan.select(s, Field("x") < 1)
+        plan.aggregate(sel, [], {"n": AggSpec("count")})
+        assert "g" in patterns_of(plan)
+
+    def test_h_arith_project_discarding_sources(self):
+        """Fig 2(h): sum((1-discount)*price); PROJECT keeps the result and
+        discards the operands."""
+        plan = Plan()
+        s = plan.source("t")
+        ar = plan.arith(s, {"total": (Const(1.0) - Field("discount")) * Field("price")})
+        plan.project(ar, ["total"])
+        assert "h" in patterns_of(plan)
+
+    def test_h_not_matched_when_sources_kept(self):
+        plan = Plan()
+        s = plan.source("t")
+        ar = plan.arith(s, {"total": Field("price") * 2})
+        plan.project(ar, ["total", "price"])
+        assert "h" not in patterns_of(plan)
+
+    def test_empty_plan(self):
+        assert find_patterns(Plan()) == []
+
+
+class TestCensus:
+    def test_census_counts(self):
+        plan = Plan()
+        s = plan.source("t")
+        a = plan.select(s, Field("x") < 1)
+        b = plan.select(a, Field("x") < 2)
+        plan.select(b, Field("x") < 3)
+        census = pattern_census(plan)
+        assert census["a"] == 2
+        assert sum(census.values()) == 2
+
+    def test_census_keys_complete(self):
+        census = pattern_census(Plan())
+        assert sorted(census) == list("abcdefgh")
+
+    def test_q1_contains_expected_patterns(self):
+        census = pattern_census(build_q1_plan())
+        assert census["b"] >= 5   # the JOIN cascade
+        assert census["e"] == 0 or census["e"] >= 0  # structural sanity
+        assert sum(census.values()) > 0
+
+    def test_q21_contains_expected_patterns(self):
+        census = pattern_census(build_q21_plan())
+        assert census["g"] >= 0
+        assert sum(census.values()) > 0
+
+    def test_match_node_names(self):
+        plan = Plan()
+        s = plan.source("t")
+        a = plan.select(s, Field("x") < 1, name="first")
+        plan.select(a, Field("x") < 2, name="second")
+        m = [m for m in find_patterns(plan) if m.pattern == "a"][0]
+        assert m.node_names() == ("first", "second")

@@ -1,0 +1,152 @@
+"""Tests for the pre-fusion plan rewrites."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlanError
+from repro.plans import Plan, evaluate_sinks
+from repro.plans.plan import OpType
+from repro.plans.rewrite import merge_selects, optimize_plan, prune_projects, reorder_selects
+from repro.ra import Field, Relation
+
+
+def chain_plan(sels=(0.9, 0.2, 0.5)):
+    plan = Plan()
+    node = plan.source("t", row_nbytes=8)
+    for i, s in enumerate(sels):
+        node = plan.select(node, Field("k") < int(s * 100),
+                           selectivity=s, name=f"s{i}")
+    return plan
+
+
+@pytest.fixture
+def rel(rng):
+    return Relation({"k": rng.integers(0, 100, 20_000).astype(np.int32),
+                     "v": rng.integers(0, 100, 20_000).astype(np.int32)})
+
+
+def sink_result(plan, rel):
+    out = evaluate_sinks(plan, {"t": rel})
+    return list(out.values())[0]
+
+
+class TestReorderSelects:
+    def test_most_selective_first(self):
+        plan = reorder_selects(chain_plan((0.9, 0.2, 0.5)))
+        selects = [n for n in plan.topological() if n.op is OpType.SELECT]
+        assert [n.selectivity for n in selects] == [0.2, 0.5, 0.9]
+
+    def test_preserves_semantics(self, rel):
+        plan = chain_plan()
+        opt = reorder_selects(plan)
+        assert sink_result(opt, rel).same_tuples(sink_result(plan, rel))
+
+    def test_original_untouched(self):
+        plan = chain_plan((0.9, 0.2, 0.5))
+        reorder_selects(plan)
+        selects = [n for n in plan.topological() if n.op is OpType.SELECT]
+        assert [n.selectivity for n in selects] == [0.9, 0.2, 0.5]
+
+    def test_already_sorted_unchanged(self):
+        plan = chain_plan((0.1, 0.5, 0.9))
+        opt = reorder_selects(plan)
+        selects = [n for n in opt.topological() if n.op is OpType.SELECT]
+        assert [n.selectivity for n in selects] == [0.1, 0.5, 0.9]
+
+    def test_multi_consumer_breaks_chain(self):
+        plan = chain_plan((0.9, 0.2))
+        mid = [n for n in plan.nodes if n.name == "s0"][0]
+        plan.sort(mid, name="other_use")  # s0 now has 2 consumers
+        opt = reorder_selects(plan)
+        selects = [n for n in opt.topological() if n.op is OpType.SELECT]
+        # no reorder across the shared node
+        assert [n.selectivity for n in selects] == [0.9, 0.2]
+
+    def test_reduces_simulated_time(self):
+        from repro.runtime import Executor, ExecutionConfig, Strategy
+        ex = Executor()
+        cfg = ExecutionConfig(strategy=Strategy.SERIAL, include_transfers=False)
+        bad = chain_plan((0.9, 0.1))
+        good = reorder_selects(bad)
+        t_bad = ex.run(bad, {"t": 10**8}, cfg).makespan
+        t_good = ex.run(good, {"t": 10**8}, cfg).makespan
+        assert t_good < t_bad
+
+
+class TestMergeSelects:
+    def test_chain_collapses(self):
+        plan = merge_selects(chain_plan((0.5, 0.5, 0.5)))
+        selects = [n for n in plan.nodes if n.op is OpType.SELECT]
+        assert len(selects) == 1
+        assert selects[0].selectivity == pytest.approx(0.125)
+
+    def test_preserves_semantics(self, rel):
+        plan = chain_plan()
+        merged = merge_selects(plan)
+        assert sink_result(merged, rel).same_tuples(sink_result(plan, rel))
+        merged.validate()
+
+    def test_consumers_rewired(self, rel):
+        plan = chain_plan((0.5, 0.5))
+        tail = [n for n in plan.nodes if n.name == "s1"][0]
+        plan.sort(tail, name="downstream")
+        merged = merge_selects(plan)
+        merged.validate()
+        assert sink_result(merged, rel).same_tuples(sink_result(plan, rel))
+
+
+class TestPruneProjects:
+    def test_nested_projects_collapse(self, rel):
+        plan = Plan()
+        t = plan.source("t", row_nbytes=8)
+        p1 = plan.project(t, ["k", "v"], name="p1")
+        plan.project(p1, ["k"], name="p2")
+        pruned = prune_projects(plan)
+        projects = [n for n in pruned.nodes if n.op is OpType.PROJECT]
+        assert len(projects) == 1
+        assert sink_result(pruned, rel).same_tuples(sink_result(plan, rel))
+
+    def test_invalid_nesting_detected(self):
+        plan = Plan()
+        t = plan.source("t", row_nbytes=8)
+        p1 = plan.project(t, ["k"], name="p1")
+        plan.project(p1, ["v"], name="p2")  # v was dropped by p1
+        with pytest.raises(PlanError):
+            prune_projects(plan)
+
+    def test_shared_inner_project_kept(self, rel):
+        plan = Plan()
+        t = plan.source("t", row_nbytes=8)
+        p1 = plan.project(t, ["k", "v"], name="p1")
+        plan.project(p1, ["k"], name="p2")
+        plan.sort(p1, name="other")
+        pruned = prune_projects(plan)
+        assert len([n for n in pruned.nodes if n.op is OpType.PROJECT]) == 2
+
+
+class TestOptimizePipeline:
+    @given(st.lists(st.sampled_from([0.1, 0.3, 0.5, 0.7, 0.9]),
+                    min_size=2, max_size=5),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_semantics_preserved_property(self, sels, seed):
+        rng = np.random.default_rng(seed)
+        rel = Relation({"k": rng.integers(0, 100, 2000).astype(np.int32)})
+        plan = Plan()
+        node = plan.source("t", row_nbytes=4)
+        for i, s in enumerate(sels):
+            node = plan.select(node, Field("k") < int(s * 100),
+                               selectivity=s, name=f"s{i}")
+        opt = optimize_plan(plan)
+        opt.validate()
+        a = sink_result(plan, rel)
+        b = sink_result(opt, rel)
+        assert a.same_tuples(b)
+
+    def test_optimized_plan_still_fuses(self):
+        from repro.core.fusion import fuse_plan
+        opt = optimize_plan(chain_plan((0.9, 0.2, 0.5)))
+        fr = fuse_plan(opt)
+        assert fr.num_fused_regions == 1
+        assert len(fr.regions[0].nodes) == 3

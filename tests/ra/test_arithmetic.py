@@ -1,0 +1,134 @@
+"""Tests for ARITH and AGGREGATION."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RelationError
+from repro.ra import AggSpec, Const, Field, Relation, aggregate, arith
+
+
+@pytest.fixture
+def prices():
+    return Relation({
+        "group": np.array([0, 0, 1, 1, 1]),
+        "price": np.array([100.0, 200.0, 50.0, 150.0, 100.0]),
+        "discount": np.array([0.1, 0.0, 0.5, 0.0, 0.2]),
+    })
+
+
+class TestArith:
+    def test_disc_price(self, prices):
+        out = arith(prices, {
+            "disc_price": Field("price") * (Const(1.0) - Field("discount"))})
+        assert np.allclose(out["disc_price"], [90, 200, 25, 150, 80])
+
+    def test_keeps_inputs_by_default(self, prices):
+        out = arith(prices, {"x": Field("price") + 1})
+        assert set(prices.fields) <= set(out.fields)
+
+    def test_keep_subset(self, prices):
+        out = arith(prices, {"x": Field("price") + 1}, keep=["group"])
+        assert out.fields == ["group", "x"]
+
+    def test_keep_unknown_field(self, prices):
+        with pytest.raises(RelationError):
+            arith(prices, {"x": Field("price")}, keep=["zzz"])
+
+    def test_expression_over_unknown_field(self, prices):
+        with pytest.raises(RelationError):
+            arith(prices, {"x": Field("nope") + 1})
+
+    def test_multiple_outputs(self, prices):
+        out = arith(prices, {
+            "a": Field("price") * 2,
+            "b": Field("price") / 2,
+        })
+        assert np.allclose(out["a"], prices["price"] * 2)
+        assert np.allclose(out["b"], prices["price"] / 2)
+
+    def test_constant_output_broadcast(self, prices):
+        out = arith(prices, {"c": Const(7.0) * Const(2.0)})
+        assert np.allclose(out["c"], 14.0)
+        assert len(out["c"]) == prices.num_rows
+
+
+class TestAggSpec:
+    def test_unknown_func(self):
+        with pytest.raises(RelationError):
+            AggSpec("median", "x")
+
+    def test_sum_needs_field(self):
+        with pytest.raises(RelationError):
+            AggSpec("sum")
+
+    def test_count_needs_no_field(self):
+        assert AggSpec("count").field is None
+
+
+class TestAggregate:
+    def test_grouped_sums(self, prices):
+        out = aggregate(prices, ["group"], {
+            "total": AggSpec("sum", "price"),
+            "n": AggSpec("count"),
+        })
+        assert out.num_rows == 2
+        by_group = {int(g): (float(t), int(n))
+                    for g, t, n in zip(out["group"], out["total"], out["n"])}
+        assert by_group == {0: (300.0, 2), 1: (300.0, 3)}
+
+    def test_mean_min_max(self, prices):
+        out = aggregate(prices, ["group"], {
+            "avg": AggSpec("mean", "price"),
+            "lo": AggSpec("min", "price"),
+            "hi": AggSpec("max", "price"),
+        })
+        row = {int(g): (a, l, h)
+               for g, a, l, h in zip(out["group"], out["avg"], out["lo"], out["hi"])}
+        assert row[0] == (150.0, 100.0, 200.0)
+        assert row[1] == (100.0, 50.0, 150.0)
+
+    def test_global_aggregate_no_groups(self, prices):
+        out = aggregate(prices, [], {"total": AggSpec("sum", "price")})
+        assert out.num_rows == 1
+        assert float(out["total"][0]) == 600.0
+
+    def test_multi_field_group(self):
+        r = Relation({
+            "a": [0, 0, 1, 1],
+            "b": ["x", "y", "x", "x"],
+            "v": [1.0, 2.0, 3.0, 4.0],
+        })
+        out = aggregate(r, ["a", "b"], {"s": AggSpec("sum", "v")})
+        assert out.num_rows == 3
+        got = {(int(a), str(b)): float(s)
+               for a, b, s in zip(out["a"], out["b"], out["s"])}
+        assert got == {(0, "x"): 1.0, (0, "y"): 2.0, (1, "x"): 7.0}
+
+    def test_no_outputs_rejected(self, prices):
+        with pytest.raises(RelationError):
+            aggregate(prices, ["group"], {})
+
+    def test_unknown_group_field(self, prices):
+        with pytest.raises(RelationError):
+            aggregate(prices, ["nope"], {"n": AggSpec("count")})
+
+    def test_counts_sum_to_rows(self, rng):
+        r = Relation({"g": rng.integers(0, 7, 500), "v": rng.random(500)})
+        out = aggregate(r, ["g"], {"n": AggSpec("count")})
+        assert int(out["n"].sum()) == 500
+
+    def test_matches_numpy_reference(self, rng):
+        g = rng.integers(0, 13, 1000)
+        v = rng.random(1000)
+        out = aggregate(Relation({"g": g, "v": v}), ["g"],
+                        {"s": AggSpec("sum", "v"), "m": AggSpec("mean", "v")})
+        for gg, s, m in zip(out["g"], out["s"], out["m"]):
+            mask = g == gg
+            assert np.isclose(s, v[mask].sum())
+            assert np.isclose(m, v[mask].mean())
+
+    def test_group_keys_sorted(self, rng):
+        r = Relation({"g": rng.integers(0, 100, 300), "v": rng.random(300)})
+        out = aggregate(r, ["g"], {"n": AggSpec("count")})
+        keys = list(out["g"])
+        assert keys == sorted(keys)

@@ -1,0 +1,114 @@
+"""Tests for the expression / predicate ASTs."""
+
+import numpy as np
+import pytest
+
+from repro.ra.expr import (
+    And,
+    BinOp,
+    Compare,
+    Const,
+    Field,
+    Not,
+    Or,
+    TruePredicate,
+    conjoin,
+)
+
+COLS = {"a": np.array([1.0, 2.0, 3.0]), "b": np.array([3.0, 2.0, 1.0])}
+
+
+class TestExprEval:
+    def test_field(self):
+        assert list(Field("a").evaluate(COLS)) == [1.0, 2.0, 3.0]
+
+    def test_const(self):
+        assert Const(5).evaluate(COLS) == 5
+
+    def test_add(self):
+        assert list((Field("a") + Field("b")).evaluate(COLS)) == [4.0, 4.0, 4.0]
+
+    def test_sub_mul_div(self):
+        e = (Field("a") - 1) * 2
+        assert list(e.evaluate(COLS)) == [0.0, 2.0, 4.0]
+        assert list((Field("a") / 2).evaluate(COLS)) == [0.5, 1.0, 1.5]
+
+    def test_reflected_ops(self):
+        assert list((1 - Field("a")).evaluate(COLS)) == [0.0, -1.0, -2.0]
+        assert list((2 * Field("a")).evaluate(COLS)) == [2.0, 4.0, 6.0]
+        assert list((10 + Field("a")).evaluate(COLS)) == [11.0, 12.0, 13.0]
+
+    def test_nested_expression(self):
+        # the paper's Fig 2(h): (1 - discount) * price
+        cols = {"discount": np.array([0.1, 0.5]), "price": np.array([100.0, 200.0])}
+        e = (Const(1.0) - Field("discount")) * Field("price")
+        assert np.allclose(e.evaluate(cols), [90.0, 100.0])
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Field("a"), Const(2))
+
+    def test_fields_collected(self):
+        e = (Field("a") + Field("b")) * Field("a")
+        assert e.fields() == {"a", "b"}
+
+    def test_instruction_estimates(self):
+        assert Field("a").instruction_estimate() == 1
+        assert Const(1).instruction_estimate() == 0
+        assert (Field("a") + 1).instruction_estimate() == 2
+
+
+class TestPredicates:
+    def test_compare_ops(self):
+        assert list((Field("a") < 2).evaluate(COLS)) == [True, False, False]
+        assert list((Field("a") <= 2).evaluate(COLS)) == [True, True, False]
+        assert list((Field("a") > 2).evaluate(COLS)) == [False, False, True]
+        assert list((Field("a") >= 2).evaluate(COLS)) == [False, True, True]
+        assert list(Field("a").eq(2).evaluate(COLS)) == [False, True, False]
+        assert list(Field("a").ne(2).evaluate(COLS)) == [True, False, True]
+
+    def test_field_vs_field_compare(self):
+        assert list((Field("a") < Field("b")).evaluate(COLS)) == [True, False, False]
+
+    def test_and_or_not(self):
+        p = (Field("a") > 1) & (Field("b") > 1)
+        assert list(p.evaluate(COLS)) == [False, True, False]
+        q = (Field("a") < 2) | (Field("b") < 2)
+        assert list(q.evaluate(COLS)) == [True, False, True]
+        assert list((~(Field("a") < 2)).evaluate(COLS)) == [False, True, True]
+
+    def test_unknown_cmp_rejected(self):
+        with pytest.raises(ValueError):
+            Compare("<>", Field("a"), Const(1))
+
+    def test_true_predicate(self):
+        assert list(TruePredicate().evaluate(COLS)) == [True, True, True]
+        assert TruePredicate().fields() == set()
+        assert TruePredicate().instruction_estimate() == 0
+
+    def test_conjoin_empty(self):
+        assert isinstance(conjoin([]), TruePredicate)
+
+    def test_conjoin_single(self):
+        p = Field("a") < 2
+        assert conjoin([p]) is p
+
+    def test_conjoin_many(self):
+        p = conjoin([Field("a") < 3, Field("b") < 3, Field("a") > 0])
+        assert list(p.evaluate(COLS)) == [False, True, False]
+
+    def test_predicate_fields(self):
+        p = (Field("a") < 1) & (Field("b") > 1)
+        assert p.fields() == {"a", "b"}
+        assert Not(p).fields() == {"a", "b"}
+        assert Or(p, Field("a").eq(0)).fields() == {"a", "b"}
+
+    def test_predicate_instruction_estimate_grows(self):
+        p1 = Field("a") < 1
+        p2 = p1 & (Field("b") > 1)
+        assert p2.instruction_estimate() > p1.instruction_estimate()
+
+    def test_equality_and_hash(self):
+        assert (Field("a") < 1) == (Field("a") < 1)
+        assert hash(Field("a")) == hash(Field("a"))
+        assert Field("a") != Field("b")

@@ -1,0 +1,92 @@
+"""Tests for the staged (GPU-style) sort and unique."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RelationError
+from repro.ra import Relation, is_sorted
+from repro.ra.gpu_sort import expected_merge_passes, staged_sort, staged_unique
+from repro.ra.sort import sort as ref_sort, unique as ref_unique
+
+
+class TestStagedSort:
+    def test_matches_reference_sort(self, rng):
+        rel = Relation({"k": rng.integers(0, 1000, 5000).astype(np.int32),
+                        "v": rng.integers(0, 10, 5000).astype(np.int32)})
+        out, _ = staged_sort(rel)
+        assert out.to_tuples() == ref_sort(rel).to_tuples()
+
+    def test_multi_field(self, rng):
+        rel = Relation({"a": rng.integers(0, 5, 2000).astype(np.int32),
+                        "b": rng.integers(0, 5, 2000).astype(np.int32)})
+        out, _ = staged_sort(rel, by=["a", "b"])
+        assert out.to_tuples() == ref_sort(rel, by=["a", "b"]).to_tuples()
+
+    def test_stability(self):
+        rel = Relation({"k": [1, 1, 1, 0], "tag": ["a", "b", "c", "z"]})
+        out, _ = staged_sort(rel, by=["k"])
+        assert list(out["tag"]) == ["z", "a", "b", "c"]
+
+    def test_single_row(self):
+        rel = Relation({"k": [42]})
+        out, stats = staged_sort(rel)
+        assert out.to_tuples() == [(42,)]
+        assert stats.total_passes == 0
+
+    def test_unknown_field(self):
+        with pytest.raises(RelationError):
+            staged_sort(Relation({"k": [1]}), by=["zzz"])
+
+    def test_pass_count_matches_prediction(self, rng):
+        for n, ctas in [(1000, 16), (777, 8), (4096, 4), (50, 64)]:
+            rel = Relation({"k": rng.integers(0, 100, n).astype(np.int32)})
+            _, stats = staged_sort(rel, num_ctas=ctas)
+            assert stats.merge_passes == expected_merge_passes(n, ctas)
+            assert stats.local_sort_passes == 1
+
+    def test_pass_count_logarithmic(self):
+        # 4096 elements / 16 CTAs = 256-long runs; 256 -> 4096 is 4 doublings
+        assert expected_merge_passes(1 << 12, num_ctas=16) == 4
+        assert expected_merge_passes(16, num_ctas=16) == 4  # runs of 1 -> 16
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 5)),
+                    min_size=1, max_size=300),
+           st.integers(1, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_property_equals_lexsort(self, tuples, ctas):
+        rel = Relation.from_tuples(tuples)
+        out, _ = staged_sort(rel, by=["f0", "f1"], num_ctas=ctas)
+        assert out.to_tuples() == ref_sort(rel, by=["f0", "f1"]).to_tuples()
+        assert is_sorted(out, by=["f0", "f1"])
+
+
+class TestStagedUnique:
+    def test_set_equals_reference(self, rng):
+        rel = Relation({"k": rng.integers(0, 30, 2000).astype(np.int32),
+                        "v": rng.integers(0, 3, 2000).astype(np.int32)})
+        out, _ = staged_unique(rel)
+        assert out.to_tuple_set() == ref_unique(rel).to_tuple_set()
+        assert out.num_rows == ref_unique(rel).num_rows
+
+    def test_output_sorted(self, rng):
+        rel = Relation({"k": rng.integers(0, 30, 500).astype(np.int32)})
+        out, _ = staged_unique(rel)
+        assert is_sorted(out, by=["k"])
+
+    def test_all_duplicates(self):
+        rel = Relation({"k": [7] * 100})
+        out, _ = staged_unique(rel)
+        assert out.to_tuples() == [(7,)]
+
+    def test_all_distinct(self, rng):
+        vals = rng.permutation(200).astype(np.int32)
+        out, _ = staged_unique(Relation({"k": vals}))
+        assert out.num_rows == 200
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_python_set(self, values):
+        rel = Relation({"k": np.array(values, dtype=np.int32)})
+        out, _ = staged_unique(rel)
+        assert out.to_tuple_set() == {(v,) for v in values}

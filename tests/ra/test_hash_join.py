@@ -1,0 +1,86 @@
+"""Tests for the staged hash join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RelationError
+from repro.ra import Relation, join
+from repro.ra.hash_join import TABLE_LOAD_FACTOR, build_hash_table, staged_hash_join
+
+
+class TestBuild:
+    def test_table_size_matches_cost_model(self):
+        r = Relation({"k": np.arange(100, dtype=np.int32)})
+        t = build_hash_table(r)
+        assert t.n_slots == int(100 * TABLE_LOAD_FACTOR)
+
+    def test_all_rows_inserted(self):
+        r = Relation({"k": np.arange(50, dtype=np.int32)})
+        t = build_hash_table(r)
+        assert (t.rows >= 0).sum() == 50
+
+    def test_duplicate_keys_all_present(self):
+        r = Relation({"k": np.array([7, 7, 7], dtype=np.int32)})
+        t = build_hash_table(r)
+        assert (t.keys == 7).sum() == 3
+
+    def test_missing_key_raises(self):
+        with pytest.raises(RelationError):
+            build_hash_table(Relation({"k": [1]}), on="zzz")
+
+    def test_collisions_counted(self):
+        # identical keys guarantee probe collisions
+        r = Relation({"k": np.zeros(20, dtype=np.int32)})
+        t = build_hash_table(r)
+        assert t.build_probes > 0
+
+
+class TestProbeJoin:
+    def test_matches_reference_join(self, rng):
+        x = Relation({"k": rng.integers(0, 30, 400).astype(np.int32),
+                      "lv": np.arange(400, dtype=np.int32)})
+        y = Relation({"k": rng.integers(0, 30, 100).astype(np.int32),
+                      "rv": np.arange(100, dtype=np.int32)})
+        got = staged_hash_join(x, y)
+        ref = join(x, y)
+        assert got.same_tuples(ref)
+
+    def test_no_matches(self):
+        x = Relation({"k": np.array([1, 2], dtype=np.int32)})
+        y = Relation({"k": np.array([9], dtype=np.int32), "v": np.array([0])})
+        out = staged_hash_join(x, y)
+        assert out.num_rows == 0
+        assert out.fields == ["k", "v"]
+
+    def test_duplicates_cross_product(self):
+        x = Relation.from_tuples([(1, "a"), (1, "b")])
+        y = Relation.from_tuples([(1, "x"), (1, "y")])
+        out = staged_hash_join(x, y)
+        assert out.num_rows == 4
+
+    def test_named_key(self):
+        x = Relation({"id": np.array([5], dtype=np.int32),
+                      "nk": np.array([2], dtype=np.int32)})
+        y = Relation({"nk": np.array([2], dtype=np.int32),
+                      "name": np.array(["x"])})
+        out = staged_hash_join(x, y, on="nk")
+        assert out.to_tuples() == [(5, 2, "x")]
+
+    def test_cta_count_irrelevant(self, rng):
+        x = Relation({"k": rng.integers(0, 10, 200).astype(np.int32)})
+        y = Relation({"k": rng.integers(0, 10, 40).astype(np.int32),
+                      "v": np.arange(40, dtype=np.int32)})
+        a = staged_hash_join(x, y, num_ctas=1)
+        b = staged_hash_join(x, y, num_ctas=64)
+        assert a.same_tuples(b)
+
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=60),
+           st.lists(st.integers(0, 12), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_equals_sort_merge_join(self, lk, rk):
+        x = Relation({"k": np.array(lk, dtype=np.int32),
+                      "li": np.arange(len(lk), dtype=np.int32)})
+        y = Relation({"k": np.array(rk, dtype=np.int32),
+                      "ri": np.arange(len(rk), dtype=np.int32)})
+        assert staged_hash_join(x, y).same_tuples(join(x, y))

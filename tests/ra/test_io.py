@@ -1,0 +1,58 @@
+"""Tests for relation persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RelationError
+from repro.ra import Relation
+from repro.ra.io import load_relation, save_relation
+
+
+@pytest.fixture
+def rel(rng):
+    return Relation({
+        "k": rng.integers(0, 100, 500).astype(np.int32),
+        "price": rng.random(500),
+        "flag": rng.integers(0, 2, 500).astype(np.int8),
+    }, key="k")
+
+
+class TestRoundTrip:
+    def test_identical_after_reload(self, rel, tmp_path):
+        path = str(tmp_path / "rel.npz")
+        save_relation(rel, path)
+        loaded = load_relation(path)
+        assert loaded.fields == rel.fields
+        assert loaded.key == rel.key
+        for f in rel.fields:
+            assert np.array_equal(loaded[f], rel[f])
+            assert loaded[f].dtype == rel[f].dtype
+
+    def test_extension_appended(self, rel, tmp_path):
+        base = str(tmp_path / "rel")
+        save_relation(rel, base)          # numpy appends .npz
+        loaded = load_relation(base)      # loader finds it
+        assert loaded.num_rows == rel.num_rows
+
+    def test_non_default_key_preserved(self, tmp_path):
+        rel = Relation({"a": [1, 2], "b": [3, 4]}, key="b")
+        path = str(tmp_path / "r.npz")
+        save_relation(rel, path)
+        assert load_relation(path).key == "b"
+
+    def test_reserved_field_name_rejected(self, tmp_path):
+        rel = Relation({"__repro_key__": [1]})
+        with pytest.raises(RelationError):
+            save_relation(rel, str(tmp_path / "bad.npz"))
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez_compressed(str(path), x=np.arange(3))
+        with pytest.raises(RelationError):
+            load_relation(str(path))
+
+    def test_tpch_table_roundtrip(self, tpch_tiny, tmp_path):
+        path = str(tmp_path / "lineitem.npz")
+        save_relation(tpch_tiny.lineitem, path)
+        loaded = load_relation(path)
+        assert loaded.same_tuples(tpch_tiny.lineitem)

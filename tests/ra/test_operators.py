@@ -1,0 +1,200 @@
+"""Unit tests for the RA operators beyond the Table I examples."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RelationError
+from repro.ra import (
+    Field,
+    Relation,
+    anti_join,
+    difference,
+    intersection,
+    join,
+    product,
+    project,
+    select,
+    semi_join,
+    union,
+)
+
+
+def rel(*tuples, fields=None):
+    return Relation.from_tuples(list(tuples), fields=fields)
+
+
+class TestSelect:
+    def test_empty_result(self):
+        r = rel((1,), (2,))
+        assert select(r, Field("f0") > 10).num_rows == 0
+
+    def test_all_pass(self):
+        r = rel((1,), (2,))
+        assert select(r, Field("f0") >= 0).num_rows == 2
+
+    def test_compound_predicate(self):
+        r = Relation({"a": [1, 2, 3, 4], "b": [4, 3, 2, 1]})
+        out = select(r, (Field("a") > 1) & (Field("b") > 1))
+        assert out.to_tuples() == [(2, 3), (3, 2)]
+
+    def test_or_predicate(self):
+        r = Relation({"a": [1, 2, 3]})
+        out = select(r, (Field("a").eq(1)) | (Field("a").eq(3)))
+        assert out.to_tuples() == [(1,), (3,)]
+
+    def test_field_vs_field(self):
+        r = Relation({"a": [1, 5], "b": [2, 4]})
+        assert select(r, Field("a") > Field("b")).to_tuples() == [(5, 4)]
+
+    def test_preserves_order(self):
+        r = Relation({"a": [5, 1, 4, 2]})
+        assert select(r, Field("a") > 1).to_tuples() == [(5,), (4,), (2,)]
+
+
+class TestProject:
+    def test_reorders_fields(self):
+        r = Relation({"a": [1], "b": [2], "c": [3]})
+        out = project(r, ["c", "a"])
+        assert out.fields == ["c", "a"]
+        assert out.key == "c"
+
+    def test_by_index(self):
+        r = Relation({"a": [1], "b": [2]})
+        assert project(r, [1]).fields == ["b"]
+
+    def test_unknown_field(self):
+        with pytest.raises(RelationError):
+            project(Relation({"a": [1]}), ["zz"])
+
+    def test_empty_fields(self):
+        with pytest.raises(RelationError):
+            project(Relation({"a": [1]}), [])
+
+
+class TestJoin:
+    def test_duplicate_keys_cross_product(self):
+        x = rel((1, "a"), (1, "b"))
+        y = rel((1, "x"), (1, "y"))
+        out = join(x, y)
+        assert out.num_rows == 4
+        assert out.to_tuple_set() == {
+            (1, "a", "x"), (1, "a", "y"), (1, "b", "x"), (1, "b", "y")}
+
+    def test_no_matches(self):
+        assert join(rel((1, "a")), rel((2, "b"))).num_rows == 0
+
+    def test_empty_side(self):
+        x = rel((1, "a"))
+        y = Relation.empty_like(rel((9, "z")))
+        assert join(x, y).num_rows == 0
+
+    def test_field_clash_renamed(self):
+        x = Relation({"k": [1], "v": [10]})
+        y = Relation({"k": [1], "v": [20]})
+        out = join(x, y)
+        assert out.fields == ["k", "v", "v_r"]
+        assert out.to_tuples() == [(1, 10, 20)]
+
+    def test_join_on_named_field(self):
+        x = Relation({"id": [1, 2], "nk": [7, 8]})
+        y = Relation({"nk": [8], "name": ["x"]})
+        out = join(x, y, on="nk")
+        assert out.to_tuples() == [(2, 8, "x")]
+
+    def test_missing_key_raises(self):
+        with pytest.raises(RelationError):
+            join(Relation({"a": [1]}), Relation({"b": [1]}), on="zz")
+
+    def test_matches_numpy_reference(self, rng):
+        lk = rng.integers(0, 50, 300)
+        rk = rng.integers(0, 50, 200)
+        x = Relation({"k": lk, "lv": np.arange(300)})
+        y = Relation({"k": rk, "rv": np.arange(200)})
+        out = join(x, y)
+        expected = {(int(a), i, j)
+                    for i, a in enumerate(lk) for j, b in enumerate(rk) if a == b}
+        got = {(int(k), int(l), int(r))
+               for k, l, r in zip(out["k"], out["lv"], out["rv"])}
+        assert got == expected
+
+
+class TestSemiAntiJoin:
+    def test_semi_keeps_matching(self):
+        x = rel((1, "a"), (2, "b"), (3, "c"))
+        y = rel((2,), (3,))
+        assert semi_join(x, y).to_tuple_set() == {(2, "b"), (3, "c")}
+
+    def test_anti_keeps_non_matching(self):
+        x = rel((1, "a"), (2, "b"), (3, "c"))
+        y = rel((2,), (3,))
+        assert anti_join(x, y).to_tuple_set() == {(1, "a")}
+
+    def test_semi_anti_partition(self, rng):
+        x = Relation({"k": rng.integers(0, 20, 100)})
+        y = Relation({"k": rng.integers(0, 20, 10)})
+        assert semi_join(x, y).num_rows + anti_join(x, y).num_rows == 100
+
+    def test_semi_no_duplication(self):
+        x = rel((1, "a"))
+        y = rel((1,), (1,), (1,))
+        assert semi_join(x, y).num_rows == 1
+
+
+class TestSetOps:
+    def test_union_dedups_within_inputs(self):
+        x = rel((1, "a"), (1, "a"))
+        y = rel((2, "b"), (2, "b"))
+        assert union(x, y).num_rows == 2
+
+    def test_union_positional_schema_matching(self):
+        x = Relation({"a": [1]})
+        y = Relation({"b": [2]})
+        assert union(x, y).to_tuple_set() == {(1,), (2,)}
+
+    def test_union_arity_mismatch(self):
+        with pytest.raises(RelationError):
+            union(Relation({"a": [1]}), rel((1, 2)))
+
+    def test_intersection_dedups(self):
+        x = rel((1,), (1,))
+        y = rel((1,),)
+        assert intersection(x, y).num_rows == 1
+
+    def test_difference_with_empty(self):
+        x = rel((1,), (2,))
+        y = Relation.empty_like(x)
+        assert difference(x, y).to_tuple_set() == {(1,), (2,)}
+
+    def test_difference_of_self_is_empty(self):
+        x = rel((1,), (2,))
+        assert difference(x, x).num_rows == 0
+
+    def test_intersection_empty(self):
+        x = rel((1,),)
+        y = rel((2,),)
+        assert intersection(x, y).num_rows == 0
+
+    def test_whole_tuple_semantics(self):
+        # same key, different value: NOT equal tuples
+        x = rel((1, "a"))
+        y = rel((1, "b"))
+        assert intersection(x, y).num_rows == 0
+        assert difference(x, y).num_rows == 1
+
+
+class TestProduct:
+    def test_sizes(self):
+        x = rel((1,), (2,), (3,))
+        y = rel((10,), (20,))
+        assert product(x, y).num_rows == 6
+
+    def test_empty(self):
+        x = rel((1,),)
+        y = Relation.empty_like(rel((0,),))
+        assert product(x, y).num_rows == 0
+
+    def test_field_clash(self):
+        x = Relation({"a": [1]})
+        y = Relation({"a": [2]})
+        out = product(x, y)
+        assert out.fields == ["a", "a_r"]

@@ -1,0 +1,121 @@
+"""Property-based tests of relational-algebra laws (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ra import (
+    Field,
+    Relation,
+    anti_join,
+    conjoin,
+    difference,
+    intersection,
+    join,
+    select,
+    semi_join,
+    union,
+)
+
+# strategy: small relations of (int key, int value) tuples
+tuples_st = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 5)), min_size=1, max_size=40)
+
+
+def mk(tuples):
+    return Relation.from_tuples(tuples)
+
+
+@given(tuples_st, tuples_st)
+def test_union_commutative_as_sets(a, b):
+    x, y = mk(a), mk(b)
+    assert union(x, y).to_tuple_set() == union(y, x).to_tuple_set()
+
+
+@given(tuples_st, tuples_st)
+def test_intersection_commutative(a, b):
+    x, y = mk(a), mk(b)
+    assert intersection(x, y).to_tuple_set() == intersection(y, x).to_tuple_set()
+
+
+@given(tuples_st, tuples_st)
+def test_union_matches_python_sets(a, b):
+    assert union(mk(a), mk(b)).to_tuple_set() == set(a) | set(b)
+
+
+@given(tuples_st, tuples_st)
+def test_intersection_matches_python_sets(a, b):
+    assert intersection(mk(a), mk(b)).to_tuple_set() == set(a) & set(b)
+
+
+@given(tuples_st, tuples_st)
+def test_difference_matches_python_sets(a, b):
+    assert difference(mk(a), mk(b)).to_tuple_set() == set(a) - set(b)
+
+
+@given(tuples_st, tuples_st)
+def test_difference_subset_of_left(a, b):
+    assert difference(mk(a), mk(b)).to_tuple_set() <= set(a)
+
+
+@given(tuples_st, tuples_st)
+def test_inclusion_exclusion(a, b):
+    x, y = mk(a), mk(b)
+    u = len(union(x, y).to_tuple_set())
+    i = len(intersection(x, y).to_tuple_set())
+    assert u + i == len(set(a)) + len(set(b))
+
+
+@given(tuples_st)
+def test_union_idempotent(a):
+    x = mk(a)
+    assert union(x, x).to_tuple_set() == set(a)
+
+
+@given(tuples_st, tuples_st)
+def test_semi_plus_anti_is_identity_partition(a, b):
+    x, y = mk(a), mk(b)
+    s = semi_join(x, y)
+    t = anti_join(x, y)
+    assert s.num_rows + t.num_rows == x.num_rows
+    assert s.to_tuple_set() | t.to_tuple_set() == x.to_tuple_set()
+    keys = set(int(k) for k in y.key_column)
+    assert all(int(k) in keys for k in s.key_column)
+    assert all(int(k) not in keys for k in t.key_column)
+
+
+@given(tuples_st, tuples_st)
+@settings(max_examples=50)
+def test_join_key_set_is_intersection_of_keys(a, b):
+    x, y = mk(a), mk(b)
+    out = join(x, y)
+    expected = set(int(k) for k in x.key_column) & set(int(k) for k in y.key_column)
+    assert set(int(k) for k in out.key_column) == expected
+
+
+@given(tuples_st, st.integers(0, 15), st.integers(0, 15))
+def test_select_conjunction_equals_chained_select(a, t1, t2):
+    """The fusion correctness property at the logical level: filtering with
+    p1 AND p2 equals SELECT(p1) then SELECT(p2)."""
+    x = mk(a)
+    p1, p2 = Field("f0") < t1, Field("f0") < t2
+    fused = select(x, conjoin([p1, p2]))
+    chained = select(select(x, p1), p2)
+    assert fused.same_tuples(chained)
+
+
+@given(tuples_st, st.integers(0, 15))
+def test_select_partition(a, t):
+    x = mk(a)
+    lo = select(x, Field("f0") < t)
+    hi = select(x, Field("f0") >= t)
+    assert lo.num_rows + hi.num_rows == x.num_rows
+
+
+@given(tuples_st, tuples_st)
+@settings(max_examples=50)
+def test_join_row_count_from_key_histograms(a, b):
+    x, y = mk(a), mk(b)
+    xk = [int(k) for k in x.key_column]
+    yk = [int(k) for k in y.key_column]
+    expected = sum(xk.count(k) * yk.count(k) for k in set(xk))
+    assert join(x, y).num_rows == expected

@@ -1,0 +1,88 @@
+"""Tests for SORT / UNIQUE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RelationError
+from repro.ra import Relation, is_sorted, sort, unique
+
+
+class TestSort:
+    def test_sorts_by_key_by_default(self):
+        r = Relation({"k": [3, 1, 2], "v": ["c", "a", "b"]})
+        out = sort(r)
+        assert out.to_tuples() == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_sort_descending(self):
+        r = Relation({"k": [3, 1, 2]})
+        assert sort(r, descending=True).to_tuples() == [(3,), (2,), (1,)]
+
+    def test_multi_field_sort(self):
+        r = Relation({"a": [1, 0, 1, 0], "b": [0, 1, 1, 0]})
+        out = sort(r, by=["a", "b"])
+        assert out.to_tuples() == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_sort_is_stable(self):
+        r = Relation({"k": [1, 1, 1], "tag": ["first", "second", "third"]})
+        out = sort(r, by=["k"])
+        assert list(out["tag"]) == ["first", "second", "third"]
+
+    def test_unknown_field(self):
+        with pytest.raises(RelationError):
+            sort(Relation({"a": [1]}), by=["zz"])
+
+    def test_empty_by_list(self):
+        with pytest.raises(RelationError):
+            sort(Relation({"a": [1]}), by=[])
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=60))
+    def test_matches_numpy_sort(self, values):
+        r = Relation({"k": np.array(values)})
+        assert list(sort(r)["k"]) == sorted(values)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                    min_size=1, max_size=40))
+    def test_is_sorted_after_sort(self, tuples):
+        r = Relation.from_tuples(tuples)
+        assert is_sorted(sort(r, by=["f0", "f1"]), by=["f0", "f1"])
+
+
+class TestUnique:
+    def test_removes_duplicates(self):
+        r = Relation.from_tuples([(1, "a"), (1, "a"), (2, "b")])
+        assert unique(r).num_rows == 2
+
+    def test_keeps_first_occurrence_order(self):
+        r = Relation.from_tuples([(2, "b"), (1, "a"), (2, "b"), (1, "a")])
+        assert unique(r).to_tuples() == [(2, "b"), (1, "a")]
+
+    def test_distinct_key_same_value_kept(self):
+        r = Relation.from_tuples([(1, "a"), (2, "a")])
+        assert unique(r).num_rows == 2
+
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 3)),
+                    min_size=1, max_size=50))
+    def test_matches_python_set(self, tuples):
+        r = Relation.from_tuples(tuples)
+        out = unique(r)
+        assert out.to_tuple_set() == set(tuples)
+        assert out.num_rows == len(set(tuples))
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=40))
+    def test_idempotent(self, values):
+        r = Relation({"k": np.array(values)})
+        once = unique(r)
+        twice = unique(once)
+        assert once.to_tuples() == twice.to_tuples()
+
+
+class TestIsSorted:
+    def test_single_row(self):
+        assert is_sorted(Relation({"a": [5]}))
+
+    def test_detects_unsorted(self):
+        assert not is_sorted(Relation({"a": [2, 1]}))
+
+    def test_non_strict(self):
+        assert is_sorted(Relation({"a": [1, 1, 2]}))

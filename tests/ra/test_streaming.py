@@ -1,0 +1,99 @@
+"""Tests for functional segmented execution (fission's functional side)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RelationError
+from repro.ra import Field, Relation, conjoin, select
+from repro.ra.streaming import SegmentResult, host_gather, split_rows, streamed_select_chain
+
+
+@pytest.fixture
+def rel(rng):
+    return Relation({"k": rng.integers(0, 100, 30_000).astype(np.int32),
+                     "v": rng.integers(0, 100, 30_000).astype(np.int32)})
+
+PREDS = [Field("k") < 70, Field("v") < 50]
+
+
+class TestSplitRows:
+    def test_covers_exactly(self):
+        parts = split_rows(100, 30)
+        assert parts == [(0, 30), (30, 30), (60, 30), (90, 10)]
+
+    def test_single_segment(self):
+        assert split_rows(10, 100) == [(0, 10)]
+
+    def test_zero_rows(self):
+        assert split_rows(0, 10) == []
+
+    def test_invalid_segment_size(self):
+        with pytest.raises(RelationError):
+            split_rows(10, 0)
+
+    @given(st.integers(0, 10_000), st.integers(1, 3000))
+    def test_partition_property(self, n, seg):
+        parts = split_rows(n, seg)
+        assert sum(length for _, length in parts) == n
+        pos = 0
+        for start, length in parts:
+            assert start == pos and length > 0
+            pos += length
+
+
+class TestHostGather:
+    def test_restores_segment_order(self, rel):
+        a = SegmentResult(1, 10, rel.take(np.array([1])))
+        b = SegmentResult(0, 0, rel.take(np.array([0])))
+        out = host_gather([a, b])  # completion order != segment order
+        assert out.to_tuples() == rel.take(np.array([0, 1])).to_tuples()
+
+    def test_empty_rejected(self):
+        with pytest.raises(RelationError):
+            host_gather([])
+
+
+class TestStreamedChain:
+    def test_equals_unsegmented(self, rel):
+        ref = select(rel, conjoin(PREDS))
+        out = streamed_select_chain(rel, PREDS, segment_rows=7_000)
+        assert out.to_tuples() == ref.to_tuples()
+
+    def test_unfused_segments_equal_too(self, rel):
+        ref = select(rel, conjoin(PREDS))
+        out = streamed_select_chain(rel, PREDS, segment_rows=4_000, fused=False)
+        assert out.to_tuples() == ref.to_tuples()
+
+    def test_segment_size_irrelevant(self, rel):
+        outs = [streamed_select_chain(rel, PREDS, segment_rows=s).to_tuples()
+                for s in (1_000, 9_999, 30_000, 100_000)]
+        assert all(o == outs[0] for o in outs)
+
+    def test_needs_predicates(self, rel):
+        with pytest.raises(RelationError):
+            streamed_select_chain(rel, [], segment_rows=100)
+
+    @given(st.integers(1, 5000), st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_segmentation_commutes_property(self, seg, t1, t2):
+        """The property that makes SELECT fission-able: filtering commutes
+        with segmentation for any segment size and thresholds."""
+        rng = np.random.default_rng(7)
+        rel = Relation({"k": rng.integers(0, 100, 4000).astype(np.int32),
+                        "v": rng.integers(0, 100, 4000).astype(np.int32)})
+        preds = [Field("k") < t1, Field("v") < t2]
+        ref = select(rel, conjoin(preds))
+        out = streamed_select_chain(rel, preds, segment_rows=seg)
+        assert out.to_tuples() == ref.to_tuples()
+
+    def test_sort_does_not_commute_with_segmentation(self, rel):
+        """The reason SORT cannot fission: per-segment sorting + concat is
+        NOT a global sort."""
+        from repro.ra.sort import is_sorted, sort as ra_sort
+        seg_sorted_parts = []
+        for i, (start, length) in enumerate(split_rows(rel.num_rows, 5_000)):
+            chunk = rel.take(np.arange(start, start + length))
+            seg_sorted_parts.append(SegmentResult(i, start, ra_sort(chunk, by=["k"])))
+        stitched = host_gather(seg_sorted_parts)
+        assert not is_sorted(stitched, by=["k"])

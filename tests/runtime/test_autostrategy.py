@@ -1,0 +1,81 @@
+"""Tests for automatic strategy selection."""
+
+import pytest
+
+from repro.plans import Plan
+from repro.ra import AggSpec, Field
+from repro.runtime import Strategy
+from repro.runtime.autostrategy import choose_strategy, run_auto
+from repro.runtime.select_chain import select_chain_plan
+
+
+class TestChooseStrategy:
+    def test_select_chain_gets_fused_fission(self):
+        plan = select_chain_plan(2)
+        choice = choose_strategy(plan, {"input": 100_000_000})
+        assert choice.strategy is Strategy.FUSED_FISSION
+
+    def test_oversized_input_forces_fission(self):
+        plan = select_chain_plan(2)
+        choice = choose_strategy(plan, {"input": 4_000_000_000})
+        assert choice.strategy is Strategy.FUSED_FISSION
+        assert any("exceeds" in r for r in choice.reasons)
+
+    def test_barrier_only_plan_is_serial(self):
+        plan = Plan()
+        t = plan.source("t", row_nbytes=8)
+        plan.sort(t)
+        choice = choose_strategy(plan, {"t": 1_000_000})
+        assert choice.strategy is Strategy.SERIAL
+
+    def test_sort_then_chain_fuses_without_fission(self):
+        plan = Plan()
+        t = plan.source("t", row_nbytes=8)
+        n = plan.sort(t)
+        n = plan.select(n, Field("k") < 1, name="a")
+        n = plan.select(n, Field("k") < 2, name="b")
+        choice = choose_strategy(plan, {"t": 1_000_000})
+        # the chain fuses, but nothing elementwise touches the driver input
+        assert choice.strategy is Strategy.FUSED
+
+    def test_unfusable_pipelinable_gets_fission(self):
+        plan = Plan()
+        t = plan.source("t", row_nbytes=8)
+        n = plan.select(t, Field("k") < 1, name="a")
+        plan.sort(n)  # single select, nothing to fuse; select feeds driver
+        choice = choose_strategy(plan, {"t": 1_000_000})
+        assert choice.strategy is Strategy.FISSION
+
+    def test_reasons_populated(self):
+        choice = choose_strategy(select_chain_plan(2), {"input": 10**6})
+        assert choice.reasons
+        assert any("fusion" in r for r in choice.reasons)
+
+
+class TestRunAuto:
+    def test_runs_and_reports(self):
+        plan = select_chain_plan(2)
+        result, choice = run_auto(plan, {"input": 100_000_000})
+        assert result.strategy is choice.strategy
+        assert result.makespan > 0
+
+    def test_auto_not_worse_than_serial(self):
+        from repro.runtime import ExecutionConfig, Executor
+        plan = select_chain_plan(2)
+        rows = {"input": 200_000_000}
+        ex = Executor()
+        auto, _ = run_auto(plan, rows, ex)
+        serial = ex.run(plan, rows, ExecutionConfig(strategy=Strategy.SERIAL))
+        assert auto.makespan <= serial.makespan
+
+    def test_auto_matches_best_manual_on_q1(self):
+        from repro.runtime import ExecutionConfig, Executor
+        from repro.tpch import build_q1_plan, q1_source_rows
+        plan = build_q1_plan()
+        rows = q1_source_rows(2_000_000)
+        ex = Executor()
+        auto, choice = run_auto(plan, rows, ex)
+        assert choice.strategy is Strategy.FUSED_FISSION
+        manual = ex.run(plan, rows,
+                        ExecutionConfig(strategy=Strategy.FUSED_FISSION))
+        assert auto.makespan == pytest.approx(manual.makespan, rel=1e-6)

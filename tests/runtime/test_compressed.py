@@ -1,0 +1,73 @@
+"""Tests for compressed-transfer execution and the compression model."""
+
+import pytest
+
+from repro.runtime.compressed import run_compressed_select_chain
+from repro.simgpu import EventKind
+from repro.simgpu.compression import BITPACK, DICT, NONE, RLE, CompressionScheme
+
+N = 200_000_000
+
+
+class TestScheme:
+    def test_ratio_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionScheme("bad", ratio=0.5, decompress_insts_per_elem=1)
+
+    def test_wire_bytes(self):
+        assert RLE.wire_bytes(1000) == pytest.approx(1000 / 2.5)
+        assert NONE.wire_bytes(1000) == 1000
+
+    def test_none_has_no_host_cost(self):
+        assert NONE.host_compress_time(1e9) == 0.0
+
+    def test_decompress_spec_traffic(self, device):
+        spec = RLE.decompress_spec(1_000_000, 4, device)
+        assert spec.bytes_read == pytest.approx(4_000_000 / 2.5)
+        assert spec.bytes_written == 4_000_000
+
+
+class TestCompressedRuns:
+    def test_none_matches_plain_pipeline_shape(self):
+        r = run_compressed_select_chain(N, scheme=NONE, fused=True)
+        # no decompression kernel, 2 kernels for the fused chain
+        kernels = r.timeline.filter(EventKind.KERNEL)
+        assert len(kernels) == 2
+
+    def test_compression_reduces_transfer_time(self):
+        plain = run_compressed_select_chain(N, scheme=NONE, fused=True)
+        comp = run_compressed_select_chain(N, scheme=RLE, fused=True)
+        t_plain = sum(e.duration for e in plain.timeline.filter(EventKind.H2D))
+        t_comp = sum(e.duration for e in comp.timeline.filter(EventKind.H2D))
+        assert t_comp < t_plain / 2
+
+    def test_compression_charges_decompress_kernel(self):
+        comp = run_compressed_select_chain(N, scheme=RLE, fused=True)
+        tags = [e.tag for e in comp.timeline.filter(EventKind.KERNEL)]
+        assert any("decompress" in t for t in tags)
+
+    def test_compression_helps_end_to_end(self):
+        """The He et al. claim: for PCIe-bound queries compression pays off
+        despite the decompression kernel."""
+        plain = run_compressed_select_chain(N, scheme=NONE, fused=True)
+        for scheme in (RLE, DICT, BITPACK):
+            comp = run_compressed_select_chain(N, scheme=scheme, fused=True)
+            assert comp.throughput > plain.throughput, scheme.name
+
+    def test_fusion_and_compression_compose(self):
+        """The two techniques attack different parts of the time: fusion
+        the compute, compression the transfer; together they beat either."""
+        fusion_only = run_compressed_select_chain(N, scheme=NONE, fused=True)
+        comp_only = run_compressed_select_chain(N, scheme=RLE, fused=False)
+        both = run_compressed_select_chain(N, scheme=RLE, fused=True)
+        assert both.throughput > fusion_only.throughput
+        assert both.throughput > comp_only.throughput
+
+    def test_host_pack_cost_charged_when_not_stored_compressed(self):
+        free = run_compressed_select_chain(N, scheme=RLE,
+                                           data_stored_compressed=True)
+        paid = run_compressed_select_chain(N, scheme=RLE,
+                                           data_stored_compressed=False)
+        assert paid.makespan > free.makespan
+        assert any(e.tag.startswith("compress")
+                   for e in paid.timeline.filter(EventKind.HOST))

@@ -1,0 +1,72 @@
+"""Tests for the Fig 12 concurrent-kernel study."""
+
+import pytest
+
+from repro.runtime.concurrent import run_two_selects
+
+
+class TestModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_two_selects(1_000_000, "bogus")
+
+    def test_new_config_roughly_half_speed(self):
+        """'no stream (new)' uses half threads/CTAs -> ~half throughput."""
+        n = 100_000_000
+        old = run_two_selects(n, "old").throughput
+        new = run_two_selects(n, "new").throughput
+        assert 1.7 < old / new < 2.3
+
+    def test_stream_beats_new_everywhere(self):
+        for n in (2_000_000, 20_000_000, 200_000_000):
+            s = run_two_selects(n, "stream").throughput
+            new = run_two_selects(n, "new").throughput
+            assert s > new
+
+    def test_stream_beats_old_at_small_n(self):
+        s = run_two_selects(2_000_000, "stream").throughput
+        old = run_two_selects(2_000_000, "old").throughput
+        assert s > old
+
+    def test_old_beats_stream_at_large_n(self):
+        """Paper: 'stream is worse than (old) when number of elements
+        exceeds 8 million.'"""
+        s = run_two_selects(100_000_000, "stream").throughput
+        old = run_two_selects(100_000_000, "old").throughput
+        assert old > s
+
+    def test_crossover_in_plausible_range(self):
+        """The crossover should fall in the low tens of millions, as in
+        Fig 12 (paper: ~8M)."""
+        crossover = None
+        prev_better = None
+        for n in range(2_000_000, 40_000_000, 2_000_000):
+            better = (run_two_selects(n, "stream").throughput
+                      > run_two_selects(n, "old").throughput)
+            if prev_better is True and better is False:
+                crossover = n
+                break
+            prev_better = better
+        assert crossover is not None
+        assert 2_000_000 < crossover < 30_000_000
+
+    def test_stream_kernels_concurrent(self):
+        from repro.simgpu import EventKind
+        r = run_two_selects(50_000_000, "stream")
+        kernels = sorted(r.timeline.filter(EventKind.KERNEL),
+                         key=lambda e: e.start)
+        # the two streams' first kernels start together
+        assert kernels[0].start == kernels[1].start
+
+    def test_old_kernels_serialized(self):
+        from repro.simgpu import EventKind
+        r = run_two_selects(50_000_000, "old")
+        kernels = sorted(r.timeline.filter(EventKind.KERNEL),
+                         key=lambda e: e.start)
+        for a, b in zip(kernels, kernels[1:]):
+            assert b.start >= a.end
+
+    def test_throughput_definition(self):
+        r = run_two_selects(10_000_000, "old")
+        assert r.throughput == pytest.approx(
+            10_000_000 * 4 / r.timeline.makespan)

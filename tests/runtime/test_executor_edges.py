@@ -1,0 +1,117 @@
+"""Edge-case tests for the executor across strategy x size combinations."""
+
+import pytest
+
+from repro.core.fission import FissionConfig
+from repro.plans import Plan
+from repro.ra import AggSpec, Field
+from repro.runtime import ExecutionConfig, Executor, Strategy
+from repro.runtime.select_chain import run_select_chain
+from repro.simgpu import EventKind
+
+
+@pytest.fixture(scope="module")
+def ex():
+    return Executor()
+
+
+class TestRoundTripChunked:
+    def test_round_trip_with_chunking(self):
+        """WITH_ROUND_TRIP over > memory data: chunks AND round trips."""
+        r = run_select_chain(3_000_000_000, 2, 0.5, Strategy.WITH_ROUND_TRIP)
+        assert r.num_chunks > 1
+        assert r.roundtrip_time > 0
+        rt_events = [e for e in r.timeline.events
+                     if e.tag.startswith("roundtrip")]
+        # one d2h + one h2d per intermediate per chunk
+        assert len(rt_events) == 2 * r.num_chunks
+
+    def test_round_trip_slowest_everywhere(self):
+        for n in (10_000_000, 500_000_000, 2_000_000_000):
+            tputs = {s: run_select_chain(n, 2, 0.5, s).throughput
+                     for s in Strategy}
+            assert min(tputs, key=tputs.get) is Strategy.WITH_ROUND_TRIP
+
+
+class TestComputeOnlyConsistency:
+    def test_no_transfers_for_any_strategy(self):
+        for s in Strategy:
+            r = run_select_chain(50_000_000, 2, 0.5, s, include_transfers=False)
+            assert r.timeline.filter(EventKind.H2D) == [], s
+            assert r.timeline.filter(EventKind.D2H) == [], s
+
+    def test_round_trip_equals_serial_compute_only(self):
+        """Without transfers, WITH_ROUND_TRIP degenerates to SERIAL."""
+        a = run_select_chain(50_000_000, 2, 0.5, Strategy.WITH_ROUND_TRIP,
+                             include_transfers=False)
+        b = run_select_chain(50_000_000, 2, 0.5, Strategy.SERIAL,
+                             include_transfers=False)
+        assert a.makespan == pytest.approx(b.makespan, rel=1e-9)
+
+
+class TestSingleOperator:
+    def test_single_select_all_strategies(self):
+        for s in Strategy:
+            r = run_select_chain(100_000_000, 1, 0.5, s)
+            assert r.makespan > 0
+            assert r.n_out == 50_000_000
+
+    def test_single_select_no_round_trips(self):
+        """One operator has no intermediates, so WITH_ROUND_TRIP adds
+        nothing over SERIAL."""
+        a = run_select_chain(100_000_000, 1, 0.5, Strategy.WITH_ROUND_TRIP)
+        b = run_select_chain(100_000_000, 1, 0.5, Strategy.SERIAL)
+        assert a.roundtrip_time == 0
+        assert a.makespan == pytest.approx(b.makespan, rel=1e-9)
+
+
+class TestTinyInputs:
+    @pytest.mark.parametrize("n", [1, 100, 10_000])
+    def test_small_sizes_run(self, n):
+        for s in (Strategy.SERIAL, Strategy.FUSED, Strategy.FISSION):
+            r = run_select_chain(n, 2, 0.5, s)
+            assert r.makespan > 0
+
+    def test_zero_selectivity(self):
+        r = run_select_chain(10_000_000, 2, 0.0, Strategy.FUSED)
+        assert r.n_out == 0
+        assert r.output_bytes == 0
+
+    def test_full_selectivity(self):
+        r = run_select_chain(10_000_000, 2, 1.0, Strategy.FUSED)
+        assert r.n_out == 10_000_000
+
+
+class TestCustomFissionConfig:
+    def test_paged_fission_slower_than_pinned(self):
+        from repro.simgpu import HostMemory
+        n = 1_000_000_000
+        pinned = run_select_chain(n, 1, 0.5, Strategy.FISSION)
+        cfg = ExecutionConfig(
+            strategy=Strategy.FISSION,
+            fission=FissionConfig(memory=HostMemory.PAGED))
+        paged = run_select_chain(n, 1, 0.5, Strategy.FISSION, config=cfg)
+        assert paged.makespan > pinned.makespan
+
+    def test_many_small_segments_add_overhead(self):
+        n = 1_000_000_000
+        base = run_select_chain(n, 1, 0.5, Strategy.FISSION)
+        tiny = ExecutionConfig(
+            strategy=Strategy.FISSION,
+            fission=FissionConfig(target_segment_bytes=1 << 20))
+        small = run_select_chain(n, 1, 0.5, Strategy.FISSION, config=tiny)
+        assert small.makespan > base.makespan
+
+
+class TestMultiSinkPlans:
+    def test_two_sinks_both_uploaded(self, ex):
+        plan = Plan()
+        t = plan.source("t", row_nbytes=4)
+        a = plan.select(t, Field("x") < 1, selectivity=0.5, name="a")
+        plan.select(a, Field("x") < 2, selectivity=0.5, name="b")
+        plan.aggregate(a, [], {"n": AggSpec("count")}, name="agg")
+        # 'a' has two consumers: both 'b' and 'agg' outputs are sinks
+        r = ex.run(plan, {"t": 10_000_000},
+                   ExecutionConfig(strategy=Strategy.SERIAL))
+        outs = [e for e in r.timeline.events if e.tag.startswith("output")]
+        assert len(outs) == 2

@@ -1,0 +1,124 @@
+"""Executor tests for fission scheduling (prefix detection, co-drivers)."""
+
+import pytest
+
+from repro.plans.plan import Plan
+from repro.ra.arithmetic import AggSpec
+from repro.ra.expr import Field
+from repro.runtime import ExecutionConfig, Executor, Strategy
+from repro.runtime.select_chain import run_select_chain
+from repro.simgpu import EventKind
+from repro.tpch import build_q1_plan, build_q21_plan, q1_source_rows, q21_source_rows
+
+N = 500_000_000
+
+
+@pytest.fixture(scope="module")
+def ex():
+    return Executor()
+
+
+class TestPureChainFission:
+    def test_fission_overlaps_transfers(self, ex):
+        r = run_select_chain(N, 1, 0.5, Strategy.FISSION)
+        tl = r.timeline
+        h2d_busy = tl.busy_time(EventKind.H2D)
+        # pipeline: total time is close to the H2D bottleneck, far below the
+        # serialized sum of all events
+        serial_sum = sum(e.duration for e in tl.events)
+        assert tl.makespan < 0.85 * serial_sum
+        assert tl.makespan >= h2d_busy
+
+    def test_fission_gain_over_serial(self, ex):
+        """Fig 14: pipelined fission beats chunked serial by a healthy margin
+        for data exceeding GPU memory."""
+        big = 2_000_000_000
+        rs = run_select_chain(big, 1, 0.5, Strategy.SERIAL)
+        rf = run_select_chain(big, 1, 0.5, Strategy.FISSION)
+        gain = rf.throughput / rs.throughput - 1
+        assert 0.2 < gain < 0.6  # paper: +36.9%
+
+    def test_whole_chain_ends_with_host_gather(self, ex):
+        r = run_select_chain(N, 2, 0.5, Strategy.FISSION)
+        host = r.timeline.filter(EventKind.HOST)
+        assert len(host) == 1
+        assert host[0].tag == "cpu_gather"
+
+    def test_fig16_ordering(self, ex):
+        """Fig 16: fusion+fission >= fission > fusion > serial."""
+        big = 1_000_000_000
+        tput = {s: run_select_chain(big, 2, 0.5, s).throughput
+                for s in (Strategy.SERIAL, Strategy.FUSED,
+                          Strategy.FISSION, Strategy.FUSED_FISSION)}
+        assert tput[Strategy.FUSED_FISSION] >= tput[Strategy.FISSION] * 0.999
+        assert tput[Strategy.FISSION] > tput[Strategy.FUSED]
+        assert tput[Strategy.FUSED] > tput[Strategy.SERIAL]
+
+
+class TestQ1Fission:
+    def test_q1_co_driver_columns_stream_with_driver(self, ex):
+        """Q1's six value columns are consumed positionally by gather joins
+        inside the pipelined prefix: they must stream per segment, not be
+        preloaded."""
+        plan = build_q1_plan()
+        r = ex.run(plan, q1_source_rows(20_000_000),
+                   ExecutionConfig(strategy=Strategy.FUSED_FISSION))
+        pre_inputs = [e for e in r.timeline.events
+                      if e.tag.startswith("input.")]
+        assert pre_inputs == []  # every column flows through the pipeline
+        seg_h2d = [e for e in r.timeline.filter(EventKind.H2D)
+                   if e.tag.startswith("h2d.seg")]
+        assert len(seg_h2d) >= 3
+        total = sum(e.nbytes for e in seg_h2d)
+        assert total == pytest.approx(20_000_000 * 4 * 7, rel=0.01)
+
+    def test_q1_fission_hides_input(self, ex):
+        plan = build_q1_plan()
+        rows = q1_source_rows(6_000_000)
+        fused = ex.run(plan, rows, ExecutionConfig(strategy=Strategy.FUSED))
+        both = ex.run(plan, rows, ExecutionConfig(strategy=Strategy.FUSED_FISSION))
+        assert both.makespan < fused.makespan
+
+    def test_q1_sort_after_pipeline(self, ex):
+        plan = build_q1_plan()
+        r = ex.run(plan, q1_source_rows(6_000_000),
+                   ExecutionConfig(strategy=Strategy.FUSED_FISSION))
+        tl = r.timeline
+        sort_evs = [e for e in tl.events if "sort" in e.tag]
+        seg_evs = [e for e in tl.events if ".seg" in e.tag]
+        assert sort_evs and seg_evs
+        assert min(e.start for e in sort_evs) >= max(e.end for e in seg_evs)
+
+
+class TestQ21Fission:
+    def test_q21_runs_and_improves(self, ex):
+        plan = build_q21_plan()
+        rows = q21_source_rows(6_000_000, 1_500_000, 10_000)
+        serial = ex.run(plan, rows, ExecutionConfig(strategy=Strategy.SERIAL))
+        both = ex.run(plan, rows, ExecutionConfig(strategy=Strategy.FUSED_FISSION))
+        assert both.makespan < serial.makespan
+
+    def test_q21_driver_dependent_side_work_after_pipeline(self, ex):
+        """Parts of Q21 that need the whole lineitem (the per-order
+        aggregates) must run after the pipelined prefix."""
+        plan = build_q21_plan()
+        rows = q21_source_rows(2_000_000, 500_000, 5_000)
+        r = ex.run(plan, rows, ExecutionConfig(strategy=Strategy.FUSED_FISSION))
+        tags = [e.tag for e in r.timeline.events]
+        assert any("agg_supp_per_order" in t for t in tags)
+
+
+class TestDegenerate:
+    def test_no_pipelinable_prefix_falls_back_to_serial(self, ex):
+        plan = Plan()
+        n = plan.source("t", row_nbytes=8)
+        n = plan.sort(n)  # barrier right at the driver
+        plan.aggregate(n, [], {"c": AggSpec("count")})
+        r = ex.run(plan, {"t": 1_000_000},
+                   ExecutionConfig(strategy=Strategy.FISSION))
+        assert r.makespan > 0
+        assert any(e.tag.startswith("input.") for e in r.timeline.events)
+
+    def test_compute_only_fission_equals_serial_kernels(self, ex):
+        r = run_select_chain(N, 2, 0.5, Strategy.FISSION, include_transfers=False)
+        assert r.timeline.filter(EventKind.H2D) == []

@@ -1,0 +1,152 @@
+"""Executor tests on SELECT chains: strategy behavior and breakdowns.
+
+These are the structural assertions behind Figs 8-11; the benchmark suite
+prints the quantitative comparisons.
+"""
+
+import pytest
+
+from repro.errors import DeviceOOMError
+from repro.plans.plan import Plan
+from repro.ra.expr import Field
+from repro.runtime import ExecutionConfig, Executor, Strategy
+from repro.runtime.select_chain import run_select_chain, select_chain_plan
+from repro.simgpu import EventKind
+
+N = 100_000_000
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for strat in Strategy:
+        out[strat] = run_select_chain(N, 2, 0.5, strat)
+    return out
+
+
+class TestStrategyOrdering:
+    def test_fused_beats_serial_beats_round_trip(self, results):
+        assert (results[Strategy.FUSED].throughput
+                > results[Strategy.SERIAL].throughput
+                > results[Strategy.WITH_ROUND_TRIP].throughput)
+
+    def test_fission_beats_serial(self, results):
+        assert results[Strategy.FISSION].throughput > results[Strategy.SERIAL].throughput
+
+    def test_fused_fission_is_best(self, results):
+        best = max(r.throughput for r in results.values())
+        assert results[Strategy.FUSED_FISSION].throughput == pytest.approx(best, rel=0.02)
+
+
+class TestTransferAccounting:
+    def test_round_trip_time_only_in_wrt(self, results):
+        assert results[Strategy.WITH_ROUND_TRIP].roundtrip_time > 0
+        assert results[Strategy.SERIAL].roundtrip_time == 0
+        assert results[Strategy.FUSED].roundtrip_time == 0
+
+    def test_io_same_for_serial_and_fused(self, results):
+        """Fig 9: 'the input/output time is the same for all three methods
+        since they transfer the same amount of data.'"""
+        a = results[Strategy.SERIAL].io_time
+        b = results[Strategy.FUSED].io_time
+        c = results[Strategy.WITH_ROUND_TRIP].io_time
+        assert a == pytest.approx(b, rel=0.01)
+        assert a == pytest.approx(c, rel=0.01)
+
+    def test_round_trip_moves_intermediate_both_ways(self, results):
+        tl = results[Strategy.WITH_ROUND_TRIP].timeline
+        d2h = [e for e in tl.events if e.tag.startswith("roundtrip.out")]
+        h2d = [e for e in tl.events if e.tag.startswith("roundtrip.in")]
+        assert len(d2h) == len(h2d) == 1  # one intermediate (select0's output)
+        assert d2h[0].nbytes == h2d[0].nbytes == pytest.approx(N * 4 * 0.5)
+
+    def test_input_output_bytes(self, results):
+        r = results[Strategy.SERIAL]
+        assert r.input_bytes == N * 4
+        assert r.output_bytes == pytest.approx(N * 4 * 0.25)
+
+
+class TestComputeOnly:
+    def test_no_transfers_in_compute_only(self):
+        r = run_select_chain(N, 2, 0.5, Strategy.SERIAL, include_transfers=False)
+        assert r.timeline.filter(EventKind.H2D) == []
+        assert r.timeline.filter(EventKind.D2H) == []
+
+    def test_fused_compute_faster(self):
+        ru = run_select_chain(N, 2, 0.5, Strategy.SERIAL, include_transfers=False)
+        rf = run_select_chain(N, 2, 0.5, Strategy.FUSED, include_transfers=False)
+        assert rf.makespan < ru.makespan
+
+    def test_fused_has_two_kernels_unfused_four(self):
+        ru = run_select_chain(N, 2, 0.5, Strategy.SERIAL, include_transfers=False)
+        rf = run_select_chain(N, 2, 0.5, Strategy.FUSED, include_transfers=False)
+        assert len(ru.timeline.filter(EventKind.KERNEL)) == 4
+        assert len(rf.timeline.filter(EventKind.KERNEL)) == 2
+
+    def test_fusing_more_kernels_helps_more(self):
+        """Fig 11(a): 3-SELECT fusion speedup exceeds 2-SELECT."""
+        speed = {}
+        for k in (2, 3):
+            ru = run_select_chain(N, k, 0.5, Strategy.SERIAL, include_transfers=False)
+            rf = run_select_chain(N, k, 0.5, Strategy.FUSED, include_transfers=False)
+            speed[k] = ru.makespan / rf.makespan
+        assert speed[3] > speed[2] > 1.4
+
+    def test_benefit_grows_with_selectivity(self):
+        """Fig 11(b): fusion helps more when more data is selected."""
+        gain = {}
+        for f in (0.1, 0.9):
+            ru = run_select_chain(N, 2, f, Strategy.SERIAL, include_transfers=False)
+            rf = run_select_chain(N, 2, f, Strategy.FUSED, include_transfers=False)
+            gain[f] = ru.makespan / rf.makespan
+        assert gain[0.9] > gain[0.1]
+
+
+class TestChunking:
+    def test_small_input_single_chunk(self, results):
+        assert results[Strategy.SERIAL].num_chunks == 1
+
+    def test_oversized_input_chunks(self):
+        r = run_select_chain(3_000_000_000, 2, 0.5, Strategy.SERIAL)  # 12 GB
+        assert r.num_chunks > 1
+
+    def test_chunked_transfers_split(self):
+        r = run_select_chain(3_000_000_000, 1, 0.5, Strategy.SERIAL)
+        inputs = r.timeline.filter(EventKind.H2D)
+        assert len(inputs) == r.num_chunks
+        total = sum(e.nbytes for e in inputs)
+        assert total == pytest.approx(3_000_000_000 * 4)
+
+    def test_barrier_over_memory_raises(self):
+        plan = Plan()
+        n = plan.source("t", row_nbytes=4)
+        n = plan.sort(n)
+        ex = Executor()
+        with pytest.raises(DeviceOOMError):
+            ex.run(plan, {"t": 3_000_000_000},
+                   ExecutionConfig(strategy=Strategy.SERIAL))
+
+    def test_fission_handles_oversized_without_chunks(self):
+        r = run_select_chain(3_000_000_000, 1, 0.5, Strategy.FISSION)
+        assert r.num_chunks == 1
+        assert len(r.timeline.filter(EventKind.H2D)) > 3  # segmented
+
+
+class TestPlanBuilder:
+    def test_select_chain_plan_shape(self):
+        plan = select_chain_plan(3, 0.5)
+        plan.validate()
+        assert len([n for n in plan.nodes]) == 4  # source + 3 selects
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            select_chain_plan(0)
+
+    def test_selectivity_recorded(self):
+        plan = select_chain_plan(2, 0.3)
+        selects = [n for n in plan.nodes if n.name.startswith("select")]
+        assert all(n.selectivity == 0.3 for n in selects)
+
+    def test_throughput_metric(self, results):
+        r = results[Strategy.SERIAL]
+        assert r.throughput == pytest.approx(r.input_bytes / r.makespan)

@@ -1,0 +1,63 @@
+"""Tests for hybrid CPU+GPU execution."""
+
+import pytest
+
+from repro.runtime import Strategy
+from repro.runtime.hybrid import balance_split, run_hybrid_select
+from repro.runtime.select_chain import run_select_chain
+
+N = 400_000_000
+
+
+class TestHybrid:
+    def test_gpu_only_matches_select_chain(self):
+        r = run_hybrid_select(N, cpu_fraction=0.0)
+        gpu = run_select_chain(N, 2, 0.5, Strategy.FUSED_FISSION)
+        assert r.makespan == pytest.approx(gpu.makespan, rel=0.01)
+
+    def test_cpu_only(self):
+        r = run_hybrid_select(N, cpu_fraction=1.0)
+        assert r.gpu_time == 0.0
+        assert r.cpu_time > 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            run_hybrid_select(N, cpu_fraction=1.5)
+
+    def test_hybrid_beats_gpu_only(self):
+        """Offloading onto the otherwise-idle CPU must help (the Ocelot
+        future-work claim)."""
+        hybrid = run_hybrid_select(N)
+        gpu_only = run_hybrid_select(N, cpu_fraction=0.0)
+        assert hybrid.throughput > gpu_only.throughput
+
+    def test_hybrid_beats_cpu_only(self):
+        hybrid = run_hybrid_select(N)
+        cpu_only = run_hybrid_select(N, cpu_fraction=1.0)
+        assert hybrid.throughput > cpu_only.throughput
+
+    def test_auto_split_is_balanced(self):
+        r = run_hybrid_select(N)
+        assert r.balance > 0.95
+
+    def test_auto_split_beats_naive_splits(self):
+        auto = run_hybrid_select(N)
+        for frac in (0.1, 0.5, 0.9):
+            manual = run_hybrid_select(N, cpu_fraction=frac)
+            assert auto.makespan <= manual.makespan * 1.02
+
+    def test_balance_split_fraction_sane(self):
+        f = balance_split(N)
+        # the GPU (even PCIe-bound) is faster than the CPU: it gets most
+        assert 0.0 < f < 0.5
+
+    def test_split_shifts_with_selectivity(self):
+        """At high selectivity the CPU's scattered writes hurt it more, so
+        its share should not grow."""
+        f_low = balance_split(N, selectivity=0.1)
+        f_high = balance_split(N, selectivity=0.9)
+        assert f_high <= f_low + 0.02
+
+    def test_throughput_definition(self):
+        r = run_hybrid_select(N, cpu_fraction=0.3)
+        assert r.throughput == pytest.approx(N * 4 / r.makespan)

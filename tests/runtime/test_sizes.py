@@ -1,0 +1,87 @@
+"""Tests for cardinality propagation."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plans.plan import Plan
+from repro.ra.arithmetic import AggSpec
+from repro.ra.expr import Field
+from repro.runtime.sizes import estimate_sizes
+
+
+def test_source_rows_from_binding():
+    plan = Plan()
+    plan.source("t")
+    assert estimate_sizes(plan, {"t": 123})["t"] == 123
+
+
+def test_source_rows_from_params():
+    plan = Plan()
+    plan.source("t", n_rows=77)
+    assert estimate_sizes(plan, {})["t"] == 77
+
+
+def test_binding_overrides_params():
+    plan = Plan()
+    plan.source("t", n_rows=77)
+    assert estimate_sizes(plan, {"t": 10})["t"] == 10
+
+
+def test_missing_source_raises():
+    plan = Plan()
+    plan.source("t")
+    with pytest.raises(PlanError):
+        estimate_sizes(plan, {})
+
+
+def test_selectivity_chain():
+    plan = Plan()
+    n = plan.source("t")
+    n = plan.select(n, Field("x") < 1, selectivity=0.5, name="a")
+    n = plan.select(n, Field("x") < 2, selectivity=0.1, name="b")
+    sizes = estimate_sizes(plan, {"t": 1000})
+    assert sizes["a"] == 500
+    assert sizes["b"] == 50
+
+
+def test_union_adds():
+    plan = Plan()
+    a, b = plan.source("a"), plan.source("b")
+    plan.union(a, b, name="u")
+    assert estimate_sizes(plan, {"a": 100, "b": 30})["u"] == 130
+
+
+def test_product_multiplies_via_expansion():
+    plan = Plan()
+    a, b = plan.source("a"), plan.source("b")
+    plan.product(a, b, right_rows=4, name="p")
+    assert estimate_sizes(plan, {"a": 100, "b": 4})["p"] == 400
+
+
+def test_aggregate_fixed_groups():
+    plan = Plan()
+    n = plan.source("t")
+    plan.aggregate(n, ["g"], {"c": AggSpec("count")}, n_groups=6, name="agg")
+    assert estimate_sizes(plan, {"t": 10**6})["agg"] == 6
+
+
+def test_aggregate_group_rate():
+    plan = Plan()
+    n = plan.source("t")
+    plan.aggregate(n, ["g"], {"c": AggSpec("count")}, n_groups=None,
+                   group_rate=0.25, name="agg")
+    assert estimate_sizes(plan, {"t": 1000})["agg"] == 250
+
+
+def test_join_match_rate():
+    plan = Plan()
+    a, b = plan.source("a"), plan.source("b")
+    plan.join(a, b, match_rate=0.3, name="j")
+    assert estimate_sizes(plan, {"a": 1000, "b": 50})["j"] == 300
+
+
+def test_zero_rows_propagates():
+    plan = Plan()
+    n = plan.source("t")
+    plan.select(n, Field("x") < 1, selectivity=0.5, name="s")
+    assert estimate_sizes(plan, {"t": 0})["s"] == 0

@@ -1,0 +1,90 @@
+"""Tests for the cross-query workload scheduler."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plans import Plan
+from repro.plans.plan import OpType
+from repro.ra import AggSpec, Field
+from repro.runtime.workload import QueryWorkload, WorkloadScheduler
+
+
+def query(i, threshold, agg=False):
+    plan = Plan(name=f"query{i}")
+    t = plan.source("lineitem", row_nbytes=4)
+    node = plan.select(t, Field("x") < threshold, selectivity=0.2,
+                       name="filter")
+    if agg:
+        plan.aggregate(node, [], {"n": AggSpec("count")}, name="count")
+    return plan
+
+
+@pytest.fixture
+def workload():
+    return QueryWorkload(plans=[query(0, 10), query(1, 20), query(2, 30, agg=True)])
+
+
+ROWS = {"lineitem": 200_000_000}
+
+
+class TestMergedPlan:
+    def test_sources_deduplicated(self, workload):
+        merged = workload.merged_plan()
+        assert len(merged.sources()) == 1
+
+    def test_query_nodes_namespaced(self, workload):
+        merged = workload.merged_plan()
+        names = {n.name for n in merged.nodes if n.op is not OpType.SOURCE}
+        assert "q0.filter" in names and "q2.count" in names
+
+    def test_merged_validates(self, workload):
+        workload.merged_plan().validate()
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(PlanError):
+            QueryWorkload(plans=[])
+
+    def test_shared_scan_group_appears(self, workload):
+        from repro.core.multifusion import find_shared_select_groups
+        groups = find_shared_select_groups(workload.merged_plan())
+        assert len(groups) == 1
+        assert len(groups[0].selects) == 3
+
+
+class TestScheduler:
+    def test_isolated_uploads_per_query(self, workload):
+        sched = WorkloadScheduler()
+        r = sched.run_isolated(workload, ROWS)
+        assert r.input_bytes == pytest.approx(3 * 200_000_000 * 4)
+
+    def test_shared_source_uploads_once(self, workload):
+        sched = WorkloadScheduler()
+        r = sched.run_shared_source(workload, ROWS)
+        assert r.input_bytes == pytest.approx(200_000_000 * 4)
+
+    def test_sharing_improves(self, workload):
+        sched = WorkloadScheduler()
+        results = sched.compare(workload, ROWS)
+        assert (results["shared_source"].makespan
+                < results["isolated"].makespan)
+        assert (results["cross_query_fused"].makespan
+                < results["shared_source"].makespan)
+
+    def test_cross_query_fusion_kernel_count_drops(self, workload):
+        from repro.simgpu import EventKind
+        sched = WorkloadScheduler()
+        shared = sched.run_shared_source(workload, ROWS)
+        fused = sched.run_cross_query_fused(workload, ROWS)
+        assert (len(fused.timeline.filter(EventKind.KERNEL))
+                < len(shared.timeline.filter(EventKind.KERNEL)))
+
+    def test_single_query_workload_no_fusion_benefit(self):
+        w = QueryWorkload(plans=[query(0, 10)])
+        sched = WorkloadScheduler()
+        a = sched.run_shared_source(w, ROWS)
+        b = sched.run_cross_query_fused(w, ROWS)
+        assert a.makespan == pytest.approx(b.makespan, rel=0.01)
+
+    def test_throughput_definition(self, workload):
+        r = WorkloadScheduler().run_isolated(workload, ROWS)
+        assert r.throughput == pytest.approx(r.input_bytes / r.makespan)

@@ -1,0 +1,55 @@
+"""Tests of the calibration constants' derived quantities and invariants."""
+
+from repro.simgpu import DEFAULT_CALIBRATION, GpuCalibration
+
+
+class TestGpu:
+    def test_inst_rate(self):
+        g = DEFAULT_CALIBRATION.gpu
+        assert g.inst_rate == g.num_sms * g.cores_per_sm * g.clock_hz * g.ipc
+
+    def test_effective_bw_below_peak(self):
+        g = DEFAULT_CALIBRATION.gpu
+        assert g.mem_bw == g.mem_bw_peak * g.mem_bw_efficiency
+        assert g.mem_bw < g.mem_bw_peak
+
+    def test_max_resident_threads(self):
+        g = DEFAULT_CALIBRATION.gpu
+        assert g.max_resident_threads == 14 * 1536
+
+    def test_mem_saturates_before_inst(self):
+        g = DEFAULT_CALIBRATION.gpu
+        assert g.saturation_residency_mem < g.saturation_residency
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CALIBRATION.gpu.ipc = 2.0  # type: ignore[misc]
+
+    def test_custom_calibration(self):
+        g = GpuCalibration(num_sms=16)
+        assert g.max_resident_threads == 16 * 1536
+
+
+class TestPcie:
+    def test_pinned_faster_asymptotically(self):
+        p = DEFAULT_CALIBRATION.pcie
+        assert p.pinned_h2d_bw > p.paged_h2d_bw
+        assert p.pinned_d2h_bw > p.paged_d2h_bw
+
+    def test_all_below_theoretical(self):
+        p = DEFAULT_CALIBRATION.pcie
+        for bw in (p.pinned_h2d_bw, p.pinned_d2h_bw, p.paged_h2d_bw, p.paged_d2h_bw):
+            assert bw < 8e9
+
+
+class TestCpu:
+    def test_table2_values(self):
+        c = DEFAULT_CALIBRATION.cpu
+        assert c.num_threads == 16
+        assert c.host_mem_bytes == 48 * (1 << 30)
+
+    def test_write_slower_than_read(self):
+        c = DEFAULT_CALIBRATION.cpu
+        assert c.write_bw < c.read_bw

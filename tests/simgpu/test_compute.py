@@ -1,0 +1,115 @@
+"""Tests for the kernel timing model."""
+
+import pytest
+
+from repro.simgpu import DeviceSpec, KernelLaunchSpec, default_grid, kernel_duration, sms_requested
+from repro.simgpu.compute import CONCURRENT_PENALTY, SPILL_BYTES_PER_REG
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return DeviceSpec()
+
+
+def spec(n=1_000_000, ctas=112, threads=256, regs=20,
+         reads=4e6, writes=2e6, insts=25e6, name="k"):
+    return KernelLaunchSpec(name, n, ctas, threads, regs, reads, writes, insts)
+
+
+class TestDuration:
+    def test_empty_kernel_costs_launch(self, dev):
+        s = spec(n=0)
+        assert kernel_duration(dev, s) == dev.kernel_launch_s
+
+    def test_includes_launch_overhead(self, dev):
+        tiny = spec(n=1, reads=4, writes=2, insts=25)
+        assert kernel_duration(dev, tiny) >= dev.kernel_launch_s
+
+    def test_memory_bound_scaling(self, dev):
+        t1 = kernel_duration(dev, spec(reads=1e9, insts=1))
+        t2 = kernel_duration(dev, spec(reads=2e9, insts=1))
+        assert t2 / t1 == pytest.approx(2.0, rel=0.01)
+
+    def test_instruction_bound_scaling(self, dev):
+        t1 = kernel_duration(dev, spec(reads=1, insts=1e10))
+        t2 = kernel_duration(dev, spec(reads=1, insts=2e10))
+        assert t2 / t1 == pytest.approx(2.0, rel=0.01)
+
+    def test_roofline_max_not_sum(self, dev):
+        mem_only = kernel_duration(dev, spec(reads=1e9, insts=1))
+        inst_only = kernel_duration(dev, spec(reads=1, insts=25e6))
+        both = kernel_duration(dev, spec(reads=1e9, insts=25e6))
+        assert both <= mem_only + inst_only
+        assert both >= max(mem_only, inst_only) * 0.99
+
+    def test_concurrent_penalty(self, dev):
+        s = spec()
+        solo = kernel_duration(dev, s, concurrent=False)
+        shared = kernel_duration(dev, s, concurrent=True)
+        assert shared == pytest.approx(solo / CONCURRENT_PENALTY)
+
+    def test_fewer_sms_slower(self, dev):
+        s = spec(reads=1e9)
+        assert kernel_duration(dev, s, granted_sms=7) > kernel_duration(dev, s, granted_sms=14)
+
+
+class TestSpill:
+    def test_register_spill_adds_traffic(self, dev):
+        ok = spec(regs=63)
+        spilled = spec(regs=70)
+        t_ok = kernel_duration(dev, ok)
+        t_sp = kernel_duration(dev, spilled)
+        assert t_sp > t_ok
+        # the extra time corresponds to spill traffic
+        extra_bytes = 7 * SPILL_BYTES_PER_REG * spilled.num_elements
+        assert t_sp - t_ok == pytest.approx(extra_bytes / dev.mem_bw, rel=0.2)
+
+    def test_spill_grows_with_excess(self, dev):
+        t70 = kernel_duration(dev, spec(regs=70, reads=1e9))
+        t90 = kernel_duration(dev, spec(regs=90, reads=1e9))
+        assert t90 > t70
+
+
+class TestGrid:
+    def test_default_grid_caps_ctas(self, dev):
+        ctas, threads = default_grid(10**9, dev)
+        assert ctas == 8 * dev.num_sms
+        assert threads == 256
+
+    def test_small_n_fewer_ctas(self, dev):
+        ctas, _ = default_grid(512, dev)
+        assert ctas == 2
+
+    def test_resource_fraction_halves(self, dev):
+        ctas, threads = default_grid(10**9, dev, resource_fraction=0.5)
+        assert ctas == 4 * dev.num_sms
+        assert threads == 128
+
+    def test_half_resources_half_throughput_large_n(self, dev):
+        """Fig 12: the 'new' (half threads/CTAs) configuration runs at
+        roughly half speed for large inputs."""
+        n = 50_000_000
+        full_ctas, full_threads = default_grid(n, dev)
+        half_ctas, half_threads = default_grid(n, dev, resource_fraction=0.5)
+        # instruction-heavy kernel, as SELECT's filter is
+        full = kernel_duration(dev, KernelLaunchSpec(
+            "f", n, full_ctas, full_threads, 20, 4.0 * n, 2.0 * n, 80.0 * n))
+        half = kernel_duration(dev, KernelLaunchSpec(
+            "h", n, half_ctas, half_threads, 20, 4.0 * n, 2.0 * n, 80.0 * n))
+        assert half / full == pytest.approx(2.0, rel=0.15)
+
+
+class TestScaled:
+    def test_scaled_spec(self):
+        s = spec()
+        s2 = s.scaled(0.5)
+        assert s2.num_elements == s.num_elements // 2
+        assert s2.bytes_read == s.bytes_read / 2
+        assert s2.instructions == s.instructions / 2
+        assert s2.num_ctas == s.num_ctas  # grid unchanged
+
+    def test_total_traffic(self):
+        assert spec(reads=10, writes=5).total_traffic == 15
+
+    def test_sms_requested_bounded(self, dev):
+        assert 1 <= sms_requested(dev, spec()) <= dev.num_sms

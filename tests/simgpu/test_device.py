@@ -1,0 +1,104 @@
+"""Tests for the device model: occupancy, utilization, environment."""
+
+import pytest
+
+from repro.simgpu import DeviceSpec, describe_environment
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return DeviceSpec()
+
+
+class TestSpecs:
+    def test_c2070_parameters(self, dev):
+        # Table II: Tesla C2070, 6 GB
+        assert dev.global_mem_bytes == 6 * (1 << 30)
+        assert dev.num_sms == 14
+        assert dev.calib.gpu.cores_per_sm * dev.num_sms == 448
+
+    def test_effective_bandwidth_below_peak(self, dev):
+        assert dev.mem_bw < dev.calib.gpu.mem_bw_peak
+
+    def test_two_copy_engines(self, dev):
+        assert dev.num_copy_engines == 2
+
+
+class TestOccupancy:
+    def test_thread_limited(self, dev):
+        occ = dev.occupancy(threads_per_cta=1024, regs_per_thread=8)
+        assert occ.ctas_per_sm == 1
+        assert occ.limited_by == "threads"
+
+    def test_register_limited(self, dev):
+        occ = dev.occupancy(threads_per_cta=256, regs_per_thread=60)
+        # 32768 / (60*256) = 2.13 -> 2 CTAs
+        assert occ.ctas_per_sm == 2
+        assert occ.limited_by == "registers"
+
+    def test_slot_limited(self, dev):
+        occ = dev.occupancy(threads_per_cta=64, regs_per_thread=8)
+        assert occ.ctas_per_sm == dev.calib.gpu.max_ctas_per_sm
+        assert occ.limited_by == "cta_slots"
+
+    def test_shared_memory_limited(self, dev):
+        occ = dev.occupancy(threads_per_cta=64, regs_per_thread=8,
+                            shared_bytes_per_cta=24 * 1024)
+        assert occ.ctas_per_sm == 2
+        assert occ.limited_by == "shared_memory"
+
+    def test_regs_clamped_to_fermi_max(self, dev):
+        # beyond 63 regs/thread the compiler spills; occupancy uses the cap
+        occ_63 = dev.occupancy(256, 63)
+        occ_200 = dev.occupancy(256, 200)
+        assert occ_200.ctas_per_sm == occ_63.ctas_per_sm
+
+    def test_resident_threads(self, dev):
+        occ = dev.occupancy(256, 20)
+        assert occ.resident_threads == occ.ctas_per_sm * 256
+
+    def test_more_registers_never_increase_occupancy(self, dev):
+        prev = None
+        for regs in (8, 16, 24, 32, 48, 63):
+            occ = dev.occupancy(256, regs)
+            if prev is not None:
+                assert occ.ctas_per_sm <= prev
+            prev = occ.ctas_per_sm
+
+
+class TestUtilization:
+    def test_full_residency_is_peak(self, dev):
+        assert dev.utilization(dev.calib.gpu.max_resident_threads) == 1.0
+
+    def test_ramps_with_threads(self, dev):
+        u1 = dev.utilization(1000)
+        u2 = dev.utilization(4000)
+        assert u1 < u2 <= 1.0
+
+    def test_half_residency_half_inst_throughput(self, dev):
+        """The Fig 12 'no stream (new)' effect: ~half threads -> ~half
+        instruction throughput."""
+        full = dev.calib.gpu.saturation_residency * dev.calib.gpu.max_resident_threads
+        assert dev.utilization(int(full / 2), kind="inst") == pytest.approx(0.5, rel=0.01)
+
+    def test_memory_saturates_earlier_than_inst(self, dev):
+        threads = 7000
+        assert dev.utilization(threads, kind="mem") >= dev.utilization(threads, kind="inst")
+
+    def test_granted_sms_scale_peak(self, dev):
+        full = dev.utilization(10**6, granted_sms=14)
+        half = dev.utilization(10**6, granted_sms=7)
+        assert half == pytest.approx(full / 2)
+
+    def test_sms_needed(self, dev):
+        occ = dev.occupancy(256, 20)
+        assert dev.sms_needed(occ.ctas_per_sm * 3, occ) == 3
+        assert dev.sms_needed(10**6, occ) == dev.num_sms
+
+
+class TestDescribe:
+    def test_environment_mentions_hardware(self, dev):
+        text = describe_environment(dev)
+        assert "C2070" in text
+        assert "Xeon" in text
+        assert "PCIe" in text

@@ -1,0 +1,165 @@
+"""Tests for the discrete-event stream engine."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.simgpu import (
+    DeviceSpec,
+    EventKind,
+    KernelLaunchSpec,
+    SimEngine,
+    SimStream,
+)
+from repro.simgpu.pcie import Direction, HostMemory
+
+
+@pytest.fixture()
+def dev():
+    return DeviceSpec()
+
+
+@pytest.fixture()
+def engine(dev):
+    return SimEngine(dev)
+
+
+def kspec(name="k", n=10_000_000):
+    return KernelLaunchSpec(name, n, 112, 256, 20, 4.0 * n, 2.0 * n, 40.0 * n)
+
+
+class TestInOrderStreams:
+    def test_commands_serialize_within_stream(self, engine):
+        s = SimStream(0).h2d(1e8).kernel(kspec()).d2h(5e7)
+        tl = engine.run([s])
+        evs = sorted(tl.events, key=lambda e: e.start)
+        assert [e.kind for e in evs] == [EventKind.H2D, EventKind.KERNEL, EventKind.D2H]
+        for a, b in zip(evs, evs[1:]):
+            assert b.start >= a.end
+
+    def test_empty_stream(self, engine):
+        assert engine.run([SimStream(0)]).events == []
+
+    def test_host_command(self, engine):
+        s = SimStream(0).host(0.5, tag="gather")
+        tl = engine.run([s])
+        assert tl.total_time(EventKind.HOST) == 0.5
+
+
+class TestOverlap:
+    def test_h2d_overlaps_kernel_across_streams(self, engine):
+        """The C2070 concurrency envelope: transfer + compute in parallel."""
+        s0 = SimStream(0).kernel(kspec("k0"))
+        s1 = SimStream(1).h2d(2e8)
+        tl = engine.run([s0, s1])
+        k = tl.filter(EventKind.KERNEL)[0]
+        h = tl.filter(EventKind.H2D)[0]
+        assert k.start == h.start == 0.0  # truly concurrent
+
+    def test_h2d_and_d2h_use_separate_engines(self, engine):
+        s0 = SimStream(0).h2d(2e8)
+        s1 = SimStream(1).d2h(2e8)
+        tl = engine.run([s0, s1])
+        assert all(e.start == 0.0 for e in tl.events)
+
+    def test_same_direction_transfers_serialize(self, engine):
+        s0 = SimStream(0).h2d(2e8)
+        s1 = SimStream(1).h2d(2e8)
+        tl = engine.run([s0, s1])
+        evs = sorted(tl.filter(EventKind.H2D), key=lambda e: e.start)
+        assert evs[1].start >= evs[0].end
+
+    def test_three_way_overlap(self, engine):
+        """One kernel + one download + one upload simultaneously (>= 3
+        streams exploit both copy engines, paper SS IV-B)."""
+        s0 = SimStream(0).h2d(2e8)
+        s1 = SimStream(1).kernel(kspec())
+        s2 = SimStream(2).d2h(2e8)
+        tl = engine.run([s0, s1, s2])
+        assert all(e.start == 0.0 for e in tl.events)
+
+    def test_fifo_across_streams(self, engine):
+        """Same-engine commands dispatch in enqueue order, not stream order."""
+        s0, s1, s2 = SimStream(0), SimStream(1), SimStream(2)
+        # interleaved enqueue: seg0->s0, seg1->s1, seg2->s2, seg3->s0 ...
+        for i in range(6):
+            [s0, s1, s2][i % 3].h2d(1e7, tag=f"seg{i}")
+        tl = engine.run([s0, s1, s2])
+        order = [e.tag for e in sorted(tl.events, key=lambda e: e.start)]
+        assert order == [f"seg{i}" for i in range(6)]
+
+
+class TestComputeSharing:
+    def test_concurrent_kernels_split_sms(self, engine, dev):
+        n = 20_000_000
+        half = KernelLaunchSpec("h", n, 56, 128, 20, 4.0 * n, 2.0 * n, 80.0 * n)
+        solo_tl = engine.run([SimStream(0).kernel(half)])
+        solo = solo_tl.makespan
+        s0 = SimStream(0).kernel(half)
+        s1 = SimStream(1).kernel(half)
+        both = SimEngine(dev).run([s0, s1])
+        # the two half-size kernels co-run: total well below 2x solo
+        assert both.makespan < 1.5 * solo
+        ks = both.filter(EventKind.KERNEL)
+        assert ks[0].start == ks[1].start == 0.0
+
+    def test_full_kernels_serialize(self, engine, dev):
+        full = kspec(n=50_000_000)
+        s0 = SimStream(0).kernel(full)
+        s1 = SimStream(1).kernel(full)
+        tl = engine.run([s0, s1])
+        evs = sorted(tl.filter(EventKind.KERNEL), key=lambda e: e.start)
+        assert evs[1].start >= evs[0].end
+
+
+class TestEventsAndThunks:
+    def test_signal_wait_ordering(self, engine):
+        s0, s1 = SimStream(0), SimStream(1)
+        eid = engine.new_event_id()
+        s0.h2d(2e8, tag="producer").signal(eid)
+        s1.wait_event(eid).d2h(1e8, tag="consumer")
+        tl = engine.run([s0, s1])
+        prod = [e for e in tl.events if e.tag == "producer"][0]
+        cons = [e for e in tl.events if e.tag == "consumer"][0]
+        assert cons.start >= prod.end
+
+    def test_wait_for_never_signaled_deadlocks(self, engine):
+        s = SimStream(0).wait_event(12345)
+        with pytest.raises(SchedulingError, match="deadlock"):
+            engine.run([s])
+
+    def test_thunks_run_in_completion_order(self, engine):
+        calls = []
+        s = SimStream(0)
+        s.h2d(1e7, tag="a", thunk=lambda: calls.append("a"))
+        s.kernel(kspec(), thunk=lambda: calls.append("k"))
+        s.d2h(1e7, tag="b", thunk=lambda: calls.append("b"))
+        engine.run([s])
+        assert calls == ["a", "k", "b"]
+
+    def test_kernel_without_spec_rejected(self, engine):
+        from repro.simgpu.engine import KernelCommand
+        s = SimStream(0)
+        s.enqueue(KernelCommand(tag="broken"))
+        with pytest.raises(SchedulingError):
+            engine.run([s])
+
+
+class TestTimelineContents:
+    def test_bytes_recorded(self, engine):
+        tl = engine.run([SimStream(0).h2d(123.0)])
+        assert tl.events[0].nbytes == 123.0
+
+    def test_stream_ids_recorded(self, engine):
+        s0 = SimStream(0).h2d(1e6)
+        s5 = SimStream(5).d2h(1e6)
+        tl = engine.run([s0, s5])
+        assert {e.stream for e in tl.events} == {0, 5}
+
+    def test_start_time_offset(self, engine):
+        tl = engine.run([SimStream(0).h2d(1e6)], start_time=10.0)
+        assert tl.events[0].start == 10.0
+
+    def test_pinned_faster_than_paged(self, engine, dev):
+        tp = engine.run([SimStream(0).h2d(2e8, HostMemory.PINNED)]).makespan
+        tg = SimEngine(dev).run([SimStream(0).h2d(2e8, HostMemory.PAGED)]).makespan
+        assert tp < tg

@@ -1,0 +1,113 @@
+"""Property-based tests of the discrete-event engine's invariants.
+
+For random command mixes across random stream counts:
+
+* per-stream commands complete in order;
+* the H2D engine never runs two transfers at once (same for D2H);
+* full-device kernels never co-run;
+* every command produces exactly one timeline event;
+* the makespan is bounded below by each engine's busy time and above by
+  the serialized sum.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simgpu import DeviceSpec, EventKind, KernelLaunchSpec, SimEngine, SimStream
+
+DEVICE = DeviceSpec()
+
+# a command is ('h2d'|'d2h'|'kernel'|'host', size_scale 1..10)
+command_st = st.tuples(st.sampled_from(["h2d", "d2h", "kernel", "host"]),
+                       st.integers(1, 10))
+streams_st = st.lists(st.lists(command_st, min_size=0, max_size=6),
+                      min_size=1, max_size=4)
+
+
+def build_streams(spec_lists):
+    streams = []
+    total = 0
+    for sid, cmds in enumerate(spec_lists):
+        s = SimStream(stream_id=sid)
+        for kind, scale in cmds:
+            tag = f"s{sid}.c{total}"
+            total += 1
+            if kind == "h2d":
+                s.h2d(scale * 1e7, tag=tag)
+            elif kind == "d2h":
+                s.d2h(scale * 1e7, tag=tag)
+            elif kind == "host":
+                s.host(scale * 1e-4, tag=tag)
+            else:
+                n = scale * 10**6
+                s.kernel(KernelLaunchSpec(
+                    tag, n, 112, 256, 20, 4.0 * n, 2.0 * n, 40.0 * n), tag=tag)
+        streams.append(s)
+    return streams, total
+
+
+def events_of(spec_lists):
+    streams, total = build_streams(spec_lists)
+    tl = SimEngine(DEVICE).run(streams)
+    return tl, total
+
+
+@given(streams_st)
+@settings(max_examples=80, deadline=None)
+def test_every_command_produces_one_event(spec_lists):
+    tl, total = events_of(spec_lists)
+    assert len(tl.events) == total
+
+
+@given(streams_st)
+@settings(max_examples=80, deadline=None)
+def test_in_order_within_stream(spec_lists):
+    tl, _ = events_of(spec_lists)
+    by_stream: dict[int, list] = {}
+    for ev in tl.events:
+        by_stream.setdefault(ev.stream, []).append(ev)
+    for evs in by_stream.values():
+        evs.sort(key=lambda e: int(e.tag.split(".c")[1]))
+        for a, b in zip(evs, evs[1:]):
+            assert b.start >= a.end - 1e-12
+
+
+@given(streams_st)
+@settings(max_examples=80, deadline=None)
+def test_copy_engines_exclusive(spec_lists):
+    tl, _ = events_of(spec_lists)
+    for kind in (EventKind.H2D, EventKind.D2H):
+        evs = sorted(tl.filter(kind), key=lambda e: e.start)
+        for a, b in zip(evs, evs[1:]):
+            assert b.start >= a.end - 1e-12
+
+
+@given(streams_st)
+@settings(max_examples=80, deadline=None)
+def test_full_kernels_never_corun(spec_lists):
+    tl, _ = events_of(spec_lists)
+    evs = sorted(tl.filter(EventKind.KERNEL), key=lambda e: e.start)
+    for a, b in zip(evs, evs[1:]):
+        assert b.start >= a.end - 1e-12  # 112-CTA kernels take all SMs
+
+
+@given(streams_st)
+@settings(max_examples=80, deadline=None)
+def test_makespan_bounds(spec_lists):
+    tl, total = events_of(spec_lists)
+    if total == 0:
+        assert tl.makespan == 0.0
+        return
+    serial_sum = sum(e.duration for e in tl.events)
+    assert tl.makespan <= serial_sum + 1e-9
+    for kind in (EventKind.H2D, EventKind.D2H, EventKind.KERNEL, EventKind.HOST):
+        assert tl.makespan >= tl.busy_time(kind) - 1e-9
+
+
+@given(streams_st)
+@settings(max_examples=40, deadline=None)
+def test_deterministic(spec_lists):
+    a, _ = events_of(spec_lists)
+    b, _ = events_of(spec_lists)
+    key = lambda e: (e.start, e.tag)
+    assert sorted(map(key, a.events)) == sorted(map(key, b.events))

@@ -1,0 +1,90 @@
+"""Tests for the device-memory tracker."""
+
+import pytest
+
+from repro.errors import DeviceOOMError
+from repro.simgpu import DeviceMemory
+
+
+@pytest.fixture
+def mem():
+    return DeviceMemory(capacity=1000)
+
+
+class TestAlloc:
+    def test_basic(self, mem):
+        h = mem.alloc(100, "a")
+        assert mem.in_use == 100
+        assert mem.available == 900
+        assert h is not None
+
+    def test_oom(self, mem):
+        mem.alloc(900)
+        with pytest.raises(DeviceOOMError) as e:
+            mem.alloc(200)
+        assert e.value.requested == 200
+        assert e.value.free == 100
+
+    def test_exact_fit(self, mem):
+        mem.alloc(1000)
+        assert mem.available == 0
+
+    def test_negative_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.alloc(-1)
+
+    def test_fits(self, mem):
+        mem.alloc(800)
+        assert mem.fits(200)
+        assert not mem.fits(201)
+
+
+class TestFree:
+    def test_free_releases(self, mem):
+        h = mem.alloc(400)
+        mem.free(h)
+        assert mem.in_use == 0
+
+    def test_double_free_rejected(self, mem):
+        h = mem.alloc(10)
+        mem.free(h)
+        with pytest.raises(KeyError):
+            mem.free(h)
+
+    def test_invalid_handle(self, mem):
+        with pytest.raises(KeyError):
+            mem.free(999)
+
+    def test_alloc_after_free(self, mem):
+        h = mem.alloc(900)
+        mem.free(h)
+        mem.alloc(900)  # should not raise
+
+
+class TestStats:
+    def test_peak_tracks_high_water(self, mem):
+        a = mem.alloc(600)
+        mem.free(a)
+        mem.alloc(100)
+        assert mem.peak == 600
+        assert mem.in_use == 100
+
+    def test_total_allocated_accumulates(self, mem):
+        a = mem.alloc(100)
+        mem.free(a)
+        mem.alloc(200)
+        assert mem.total_allocated == 300
+
+    def test_live_allocations(self, mem):
+        a = mem.alloc(10, "x")
+        mem.alloc(20, "y")
+        mem.free(a)
+        live = mem.live_allocations()
+        assert [l.name for l in live] == ["y"]
+
+    def test_reset(self, mem):
+        mem.alloc(500)
+        mem.reset()
+        assert mem.in_use == 0
+        assert mem.peak == 0
+        assert mem.live_allocations() == []

@@ -1,0 +1,111 @@
+"""Model-coherence tests: the simulator must respond to its knobs.
+
+These guard against a calibration becoming decorative: doubling a
+bandwidth must actually halve the corresponding time, everywhere it is
+supposed to matter and nowhere else.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.runtime import ExecutionConfig, Executor, Strategy
+from repro.runtime.select_chain import select_chain_plan
+from repro.simgpu import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    DeviceSpec,
+    GpuCalibration,
+    KernelLaunchSpec,
+    PcieCalibration,
+    kernel_duration,
+)
+
+
+def device_with(gpu: GpuCalibration | None = None,
+                pcie: PcieCalibration | None = None) -> DeviceSpec:
+    calib = Calibration(
+        gpu=gpu or DEFAULT_CALIBRATION.gpu,
+        pcie=pcie or DEFAULT_CALIBRATION.pcie,
+        cpu=DEFAULT_CALIBRATION.cpu,
+    )
+    return DeviceSpec(calib=calib)
+
+
+def run(device, strategy=Strategy.SERIAL, n=200_000_000, transfers=True):
+    ex = Executor(device)
+    return ex.run(select_chain_plan(2), {"input": n},
+                  ExecutionConfig(strategy=strategy,
+                                  include_transfers=transfers))
+
+
+class TestBandwidthKnobs:
+    def test_memory_bandwidth_scales_mem_bound_kernels(self):
+        base = device_with()
+        fast = device_with(gpu=dataclasses.replace(
+            DEFAULT_CALIBRATION.gpu, mem_bw_efficiency=0.66))
+        n = 10_000_000
+        spec = KernelLaunchSpec("k", n, 112, 256, 20,
+                                bytes_read=40.0 * n, bytes_written=0.0,
+                                instructions=1.0 * n)
+        t_base = kernel_duration(base, spec)
+        t_fast = kernel_duration(fast, spec)
+        assert t_base / t_fast == pytest.approx(2.0, rel=0.02)
+
+    def test_memory_bandwidth_irrelevant_to_inst_bound_kernels(self):
+        base = device_with()
+        fast = device_with(gpu=dataclasses.replace(
+            DEFAULT_CALIBRATION.gpu, mem_bw_efficiency=0.66))
+        n = 10_000_000
+        spec = KernelLaunchSpec("k", n, 112, 256, 20,
+                                bytes_read=1.0, bytes_written=0.0,
+                                instructions=500.0 * n)
+        assert kernel_duration(base, spec) == pytest.approx(
+            kernel_duration(fast, spec), rel=1e-6)
+
+    def test_pcie_bandwidth_scales_io(self):
+        base = run(device_with())
+        fast_pcie = dataclasses.replace(
+            DEFAULT_CALIBRATION.pcie,
+            pinned_h2d_bw=DEFAULT_CALIBRATION.pcie.pinned_h2d_bw * 2,
+            pinned_d2h_bw=DEFAULT_CALIBRATION.pcie.pinned_d2h_bw * 2)
+        fast = run(device_with(pcie=fast_pcie))
+        assert fast.io_time == pytest.approx(base.io_time / 2, rel=0.02)
+        assert fast.compute_time == pytest.approx(base.compute_time, rel=1e-6)
+
+    def test_clock_scales_inst_bound_work(self):
+        base = device_with()
+        fast = device_with(gpu=dataclasses.replace(
+            DEFAULT_CALIBRATION.gpu, clock_hz=2.30e9))
+        n = 10_000_000
+        spec = KernelLaunchSpec("k", n, 112, 256, 20, 1.0, 0.0, 500.0 * n)
+        assert (kernel_duration(base, spec)
+                / kernel_duration(fast, spec)) == pytest.approx(2.0, rel=0.02)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_makespan_nondecreasing_in_n(self, strategy):
+        device = DeviceSpec()
+        times = [run(device, strategy, n).makespan
+                 for n in (10**7, 10**8, 5 * 10**8, 2 * 10**9)]
+        assert times == sorted(times)
+
+    def test_throughput_saturates(self):
+        device = DeviceSpec()
+        tputs = [run(device, Strategy.FUSED, n).throughput
+                 for n in (10**7, 10**8, 10**9)]
+        # throughput grows (overheads amortize) then levels off
+        assert tputs[1] > tputs[0] * 0.99
+        assert abs(tputs[2] - tputs[1]) / tputs[1] < 0.6
+
+    def test_bigger_device_memory_removes_chunking(self):
+        small = device_with()  # 6 GB
+        big_gpu = dataclasses.replace(DEFAULT_CALIBRATION.gpu,
+                                      global_mem_bytes=64 * (1 << 30))
+        big = device_with(gpu=big_gpu)
+        n = 3_000_000_000
+        r_small = run(small, Strategy.SERIAL, n)
+        r_big = run(big, Strategy.SERIAL, n)
+        assert r_small.num_chunks > 1
+        assert r_big.num_chunks == 1

@@ -1,0 +1,70 @@
+"""Tests for the PCIe transfer model (Fig 4(b) shapes)."""
+
+import pytest
+
+from repro.simgpu import DEFAULT_CALIBRATION, Direction, HostMemory, PcieModel
+
+
+@pytest.fixture(scope="module")
+def pcie():
+    return PcieModel(DEFAULT_CALIBRATION.pcie)
+
+ALL = [(d, m) for d in Direction for m in HostMemory]
+
+
+class TestBandwidth:
+    def test_pinned_beats_paged(self, pcie):
+        for d in Direction:
+            for size in (1e6, 1e8, 1e9):
+                assert (pcie.bandwidth(size, d, HostMemory.PINNED)
+                        > pcie.bandwidth(size, d, HostMemory.PAGED))
+
+    def test_small_transfers_see_lower_bandwidth(self, pcie):
+        for d, m in ALL:
+            assert pcie.bandwidth(1e5, d, m) < pcie.bandwidth(1e8, d, m)
+
+    def test_below_theoretical_8gbs(self, pcie):
+        # the paper: measured bandwidth is well below PCIe 2.0's 8 GB/s
+        for d, m in ALL:
+            assert pcie.bandwidth(4e8, d, m) < 8e9
+
+    def test_pinned_advantage_shrinks_at_large_sizes(self, pcie):
+        """Fig 4(b): 'when the data size becomes large, its advantage
+        reduces'."""
+        mid, big = 4e8, 2.4e9
+        adv_mid = (pcie.bandwidth(mid, Direction.H2D, HostMemory.PINNED)
+                   / pcie.bandwidth(mid, Direction.H2D, HostMemory.PAGED))
+        adv_big = (pcie.bandwidth(big, Direction.H2D, HostMemory.PINNED)
+                   / pcie.bandwidth(big, Direction.H2D, HostMemory.PAGED))
+        assert adv_big < adv_mid
+
+    def test_paged_unaffected_by_degradation(self, pcie):
+        b1 = pcie.bandwidth(1e9, Direction.D2H, HostMemory.PAGED)
+        b2 = pcie.bandwidth(3e9, Direction.D2H, HostMemory.PAGED)
+        assert b2 >= b1 * 0.99
+
+
+class TestTransferTime:
+    def test_zero_bytes_is_free(self, pcie):
+        assert pcie.transfer_time(0, Direction.H2D, HostMemory.PINNED) == 0.0
+
+    def test_includes_latency(self, pcie):
+        tiny = pcie.transfer_time(1, Direction.H2D, HostMemory.PINNED)
+        assert tiny >= pcie.calib.latency_s
+
+    def test_monotone_in_size(self, pcie):
+        prev = 0.0
+        for size in (1e4, 1e6, 1e8, 1e9, 4e9):
+            t = pcie.transfer_time(size, Direction.H2D, HostMemory.PINNED)
+            assert t > prev
+            prev = t
+
+    def test_effective_bandwidth_below_model_bandwidth(self, pcie):
+        for d, m in ALL:
+            assert (pcie.effective_bandwidth(1e7, d, m)
+                    <= pcie.bandwidth(1e7, d, m))
+
+    def test_gigabyte_transfer_time_plausible(self, pcie):
+        # ~1 GB over ~5 GB/s pinned: roughly 0.15-0.3 s
+        t = pcie.transfer_time(1e9, Direction.H2D, HostMemory.PINNED)
+        assert 0.1 < t < 0.5

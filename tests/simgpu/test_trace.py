@@ -1,0 +1,78 @@
+"""Tests for the Chrome-trace exporter."""
+
+import json
+
+import pytest
+
+from repro.runtime import Strategy
+from repro.runtime.select_chain import run_select_chain
+from repro.simgpu import EventKind, Timeline
+from repro.simgpu.trace import to_chrome_trace, write_chrome_trace
+
+
+@pytest.fixture
+def timeline():
+    tl = Timeline()
+    tl.add(0.0, 0.001, EventKind.H2D, "input", stream=0, nbytes=1000)
+    tl.add(0.001, 0.002, EventKind.KERNEL, "select.compute", stream=0)
+    tl.add(0.002, 0.003, EventKind.D2H, "output", stream=0, nbytes=500)
+    return tl
+
+
+class TestToChromeTrace:
+    def test_has_trace_events(self, timeline):
+        trace = to_chrome_trace(timeline)
+        assert "traceEvents" in trace
+        complete = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert len(complete) == 3
+
+    def test_timestamps_in_microseconds(self, timeline):
+        trace = to_chrome_trace(timeline)
+        ev = [e for e in trace["traceEvents"] if e.get("name") == "input"][0]
+        assert ev["ts"] == pytest.approx(0.0)
+        assert ev["dur"] == pytest.approx(1000.0)  # 1 ms
+
+    def test_rows_per_engine(self, timeline):
+        trace = to_chrome_trace(timeline)
+        complete = {e["name"]: e for e in trace["traceEvents"]
+                    if e.get("ph") == "X"}
+        assert complete["input"]["tid"] != complete["select.compute"]["tid"]
+
+    def test_metadata_rows_named(self, timeline):
+        trace = to_chrome_trace(timeline)
+        names = [e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "thread_name"]
+        assert "PCIe H2D copy engine" in names
+        assert "GPU compute" in names
+
+    def test_args_carry_bytes(self, timeline):
+        trace = to_chrome_trace(timeline)
+        ev = [e for e in trace["traceEvents"] if e.get("name") == "input"][0]
+        assert ev["args"]["nbytes"] == 1000
+
+    def test_empty_timeline(self):
+        trace = to_chrome_trace(Timeline())
+        assert all(e.get("ph") == "M" for e in trace["traceEvents"])
+
+
+class TestWriteTrace:
+    def test_round_trips_through_json(self, timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(timeline, str(path))
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == len(
+            to_chrome_trace(timeline)["traceEvents"])
+
+    def test_fission_trace_shows_overlap(self, tmp_path):
+        r = run_select_chain(500_000_000, 1, 0.5, Strategy.FISSION)
+        trace = to_chrome_trace(r.timeline)
+        h2d = [e for e in trace["traceEvents"]
+               if e.get("cat") == "h2d"]
+        kernels = [e for e in trace["traceEvents"]
+                   if e.get("cat") == "kernel"]
+        assert h2d and kernels
+        # some kernel runs while some h2d is in flight
+        overlap = any(
+            k["ts"] < h["ts"] + h["dur"] and h["ts"] < k["ts"] + k["dur"]
+            for k in kernels for h in h2d)
+        assert overlap

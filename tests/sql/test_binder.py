@@ -1,0 +1,193 @@
+"""Tests for SQL -> plan binding, end to end against the interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.plans import evaluate_sinks
+from repro.plans.plan import OpType
+from repro.ra import Relation
+from repro.sql import SqlError, sql_to_plan
+from repro.tpch.q1 import Q1_CUTOFF
+
+
+@pytest.fixture
+def data(rng):
+    n = 20_000
+    return {
+        "t": Relation({
+            "k": rng.integers(0, 50, n).astype(np.int32),
+            "v": rng.integers(0, 100, n).astype(np.int32),
+            "price": rng.random(n).astype(np.float64) * 100,
+            "discount": (rng.integers(0, 11, n) / 100.0),
+        }),
+        "dim": Relation({
+            "k": np.arange(50, dtype=np.int32),
+            "label": rng.integers(0, 5, 50).astype(np.int32),
+        }),
+    }
+
+
+def run(sql, data):
+    plan = sql_to_plan(sql)
+    plan.validate()
+    out = evaluate_sinks(plan, data)
+    return list(out.values())[0]
+
+
+class TestPlanShapes:
+    def test_filtered_scan(self):
+        plan = sql_to_plan("SELECT k FROM t WHERE k < 10")
+        ops = [n.op for n in plan.topological()]
+        assert OpType.SELECT in ops
+        assert OpType.SORT not in ops
+
+    def test_aggregate_query_shape(self):
+        plan = sql_to_plan(
+            "SELECT g, SUM(x) AS s FROM t GROUP BY g ORDER BY g")
+        ops = [n.op for n in plan.topological()]
+        for expected in (OpType.SELECT, OpType.AGGREGATE, OpType.SORT):
+            assert expected in ops or expected is OpType.SELECT  # no WHERE
+
+    def test_sql_plans_fuse(self):
+        from repro.core.fusion import fuse_plan
+        plan = sql_to_plan(
+            "SELECT k FROM t JOIN dim USING (k) WHERE k < 10")
+        fr = fuse_plan(plan)
+        # WHERE + JOIN + output project fuse into one region
+        assert fr.num_fused_regions == 1
+        assert len(fr.regions[0].nodes) >= 3
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(SqlError):
+            sql_to_plan("SELECT g FROM t GROUP BY g")
+
+    def test_non_grouped_plain_column_rejected(self):
+        with pytest.raises(SqlError):
+            sql_to_plan("SELECT v, SUM(k) AS s FROM t GROUP BY k")
+
+
+class TestEndToEnd:
+    def test_projection(self, data):
+        out = run("SELECT k, v FROM t WHERE k < 10", data)
+        ref = data["t"]
+        mask = ref["k"] < 10
+        assert out.num_rows == int(mask.sum())
+        assert out.fields == ["k", "v"]
+
+    def test_computed_column(self, data):
+        out = run("SELECT price * (1 - discount) AS net FROM t WHERE k < 5",
+                  data)
+        ref = data["t"]
+        mask = ref["k"] < 5
+        expected = ref["price"][mask] * (1 - ref["discount"][mask])
+        assert np.allclose(np.sort(out["net"]), np.sort(expected))
+
+    def test_renamed_column(self, data):
+        out = run("SELECT k AS key FROM t WHERE k < 3", data)
+        assert out.fields == ["key"]
+
+    def test_grouped_aggregation(self, data):
+        out = run("SELECT k, COUNT(*) AS n, SUM(v) AS sv FROM t "
+                  "WHERE v < 50 GROUP BY k ORDER BY k", data)
+        ref = data["t"]
+        mask = ref["v"] < 50
+        for krow, n, sv in zip(out["k"], out["n"], out["sv"]):
+            sel = mask & (ref["k"] == krow)
+            assert int(n) == int(sel.sum())
+            assert int(sv) == int(ref["v"][sel].sum())
+        assert list(out["k"]) == sorted(out["k"])
+
+    def test_aggregate_of_expression(self, data):
+        out = run("SELECT SUM(price * discount) AS rev FROM t", data)
+        expected = float((data["t"]["price"] * data["t"]["discount"]).sum())
+        assert float(out["rev"][0]) == pytest.approx(expected)
+
+    def test_join_using(self, data):
+        out = run("SELECT k, v, label FROM t JOIN dim USING (k) "
+                  "WHERE k < 10", data)
+        assert out.num_rows == int((data["t"]["k"] < 10).sum())
+        assert "label" in out.fields
+
+    def test_order_by_desc(self, data):
+        out = run("SELECT k, COUNT(*) AS n FROM t GROUP BY k "
+                  "ORDER BY n DESC", data)
+        ns = list(out["n"])
+        assert ns == sorted(ns, reverse=True)
+
+    def test_between(self, data):
+        out = run("SELECT k FROM t WHERE k BETWEEN 10 AND 20", data)
+        assert ((out["k"] >= 10) & (out["k"] <= 20)).all()
+
+
+class TestTpchInSql:
+    def test_q6_in_sql_matches_reference(self, tpch_small):
+        from repro.tpch.q6 import Q6_DATE_HI, Q6_DATE_LO, q6_reference
+        sql = (f"SELECT SUM(extendedprice * discount) AS revenue "
+               f"FROM lineitem "
+               f"WHERE shipdate >= {Q6_DATE_LO} AND shipdate < {Q6_DATE_HI} "
+               f"AND discount BETWEEN 0.049999 AND 0.070001 "
+               f"AND quantity < 24")
+        out = run(sql, {"lineitem": tpch_small.lineitem})
+        assert float(out["revenue"][0]) == pytest.approx(
+            q6_reference(tpch_small.lineitem), rel=1e-3)
+
+    def test_q1_lite_in_sql(self, tpch_small):
+        sql = (f"SELECT returnflag, linestatus, SUM(quantity) AS sum_qty, "
+               f"COUNT(*) AS n FROM lineitem WHERE shipdate <= {Q1_CUTOFF} "
+               f"GROUP BY returnflag, linestatus ORDER BY returnflag, linestatus")
+        out = run(sql, {"lineitem": tpch_small.lineitem})
+        assert out.num_rows == 6
+        from repro.tpch import q1_reference
+        ref = q1_reference(tpch_small.lineitem)
+        for i in range(out.num_rows):
+            key = (int(out["returnflag"][i]), int(out["linestatus"][i]))
+            assert int(out["n"][i]) == ref[key]["count_order"]
+            assert float(out["sum_qty"][i]) == pytest.approx(
+                ref[key]["sum_qty"], rel=1e-3)
+
+    def test_sql_plan_through_compiler(self, tpch_small):
+        """SQL -> plan -> full pipeline -> simulated execution."""
+        from repro.core.passes import compile_plan
+        sql = ("SELECT returnflag, SUM(quantity) AS q FROM lineitem "
+               "WHERE discount < 0.05 GROUP BY returnflag")
+        plan = sql_to_plan(sql)
+        cp = compile_plan(plan, {"lineitem": 6_000_000})
+        assert cp.fusion.num_fused_regions >= 1
+        result = cp.run()
+        assert result.makespan > 0
+
+
+class TestDistinctAndHaving:
+    def test_distinct_dedups(self, data):
+        out = run("SELECT DISTINCT k FROM t WHERE k < 10", data)
+        ks = [int(x) for x in out["k"]]
+        assert len(ks) == len(set(ks))
+        assert set(ks) == set(int(x) for x in data["t"]["k"] if x < 10)
+
+    def test_distinct_plan_uses_unique_barrier(self):
+        plan = sql_to_plan("SELECT DISTINCT k FROM t")
+        ops = [n.op for n in plan.topological()]
+        assert OpType.UNIQUE in ops
+
+    def test_having_filters_groups(self, data):
+        out = run("SELECT k, COUNT(*) AS n FROM t GROUP BY k "
+                  "HAVING n > 400", data)
+        assert (out["n"] > 400).all()
+        full = run("SELECT k, COUNT(*) AS n FROM t GROUP BY k", data)
+        expected = int((full["n"] > 400).sum())
+        assert out.num_rows == expected
+
+    def test_having_on_aggregate_expression(self, data):
+        out = run("SELECT k, SUM(v) AS sv FROM t GROUP BY k "
+                  "HAVING sv >= 20000", data)
+        assert (out["sv"] >= 20000).all()
+
+    def test_having_without_group_by_rejected(self):
+        with pytest.raises(SqlError):
+            sql_to_plan("SELECT SUM(v) AS s FROM t HAVING s > 1")
+
+    def test_having_with_order_by(self, data):
+        out = run("SELECT k, COUNT(*) AS n FROM t GROUP BY k "
+                  "HAVING n > 300 ORDER BY n DESC", data)
+        ns = list(out["n"])
+        assert ns == sorted(ns, reverse=True)

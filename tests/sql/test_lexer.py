@@ -1,0 +1,53 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql import SqlError, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql) if t.kind != "eof"]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where")[0] == ("kw", "SELECT")
+        assert kinds("select FROM Where")[1] == ("kw", "FROM")
+        assert kinds("select FROM Where")[2] == ("kw", "WHERE")
+
+    def test_identifiers(self):
+        assert kinds("lineitem l_shipdate")[0] == ("ident", "lineitem")
+
+    def test_numbers(self):
+        assert kinds("42")[0] == ("number", "42")
+        assert kinds("0.05")[0] == ("number", "0.05")
+        assert kinds(".5")[0] == ("number", ".5")
+
+    def test_strings(self):
+        assert kinds("'SAUDI ARABIA'")[0] == ("string", "SAUDI ARABIA")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_two_char_symbols_before_one_char(self):
+        assert kinds("a <= b")[1] == ("symbol", "<=")
+        assert kinds("a <> b")[1] == ("symbol", "<>")
+        assert kinds("a < b")[1] == ("symbol", "<")
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlError):
+            tokenize("a ; b")
+
+    def test_eof_token_appended(self):
+        toks = tokenize("x")
+        assert toks[-1].kind == "eof"
+
+    def test_positions_recorded(self):
+        toks = tokenize("ab cd")
+        assert toks[0].pos == 0
+        assert toks[1].pos == 3
+
+    def test_arithmetic_expression(self):
+        got = kinds("price * (1 - discount)")
+        assert ("symbol", "*") in got and ("symbol", "(") in got

@@ -1,0 +1,121 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.ra.expr import And, BinOp, Compare, Const, Field, Not, Or
+from repro.sql import SqlError, parse
+
+
+class TestSelectItems:
+    def test_plain_columns(self):
+        q = parse("SELECT a, b FROM t")
+        assert [i.alias for i in q.items] == ["a", "b"]
+        assert all(isinstance(i.expr, Field) for i in q.items)
+
+    def test_alias(self):
+        q = parse("SELECT a AS x FROM t")
+        assert q.items[0].alias == "x"
+
+    def test_computed_expression(self):
+        q = parse("SELECT price * (1 - discount) AS net FROM t")
+        expr = q.items[0].expr
+        assert isinstance(expr, BinOp) and expr.op == "*"
+
+    def test_aggregates(self):
+        q = parse("SELECT SUM(x) AS s, COUNT(*) AS n, AVG(y) AS a, "
+                  "MIN(x) AS lo, MAX(x) AS hi FROM t")
+        funcs = [i.agg.func for i in q.items]
+        assert funcs == ["sum", "count", "mean", "min", "max"]
+        assert q.items[1].agg.argument is None  # COUNT(*)
+
+    def test_aggregate_of_expression(self):
+        q = parse("SELECT SUM(price * discount) AS rev FROM t")
+        assert isinstance(q.items[0].agg.argument, BinOp)
+
+
+class TestClauses:
+    def test_from(self):
+        assert parse("SELECT a FROM lineitem").table == "lineitem"
+
+    def test_joins(self):
+        q = parse("SELECT a FROM t JOIN u USING (k) JOIN v USING (j)")
+        assert [(j.table, j.using) for j in q.joins] == [("u", "k"), ("v", "j")]
+
+    def test_where_comparison(self):
+        q = parse("SELECT a FROM t WHERE a < 10")
+        assert isinstance(q.where, Compare)
+        assert q.where.op == "<"
+
+    def test_where_and_or_not(self):
+        q = parse("SELECT a FROM t WHERE a < 1 AND b > 2 OR NOT c = 3")
+        assert isinstance(q.where, Or)
+        assert isinstance(q.where.left, And)
+        assert isinstance(q.where.right, Not)
+
+    def test_between(self):
+        q = parse("SELECT a FROM t WHERE d BETWEEN 1 AND 5")
+        assert isinstance(q.where, And)
+        assert q.where.left.op == ">="
+        assert q.where.right.op == "<="
+
+    def test_parenthesized_predicate(self):
+        q = parse("SELECT a FROM t WHERE (a < 1 OR b < 2) AND c < 3")
+        assert isinstance(q.where, And)
+        assert isinstance(q.where.left, Or)
+
+    def test_string_literal(self):
+        q = parse("SELECT a FROM t WHERE name = 'SAUDI ARABIA'")
+        assert q.where.right == Const("SAUDI ARABIA")
+
+    def test_group_by(self):
+        q = parse("SELECT g, SUM(x) AS s FROM t GROUP BY g")
+        assert q.group_by == ["g"]
+
+    def test_group_by_multiple(self):
+        q = parse("SELECT a, b, COUNT(*) AS n FROM t GROUP BY a, b")
+        assert q.group_by == ["a", "b"]
+
+    def test_order_by(self):
+        q = parse("SELECT a FROM t ORDER BY a DESC, b")
+        assert q.order_by == [("a", True), ("b", False)]
+
+    def test_order_by_asc_explicit(self):
+        q = parse("SELECT a FROM t ORDER BY a ASC")
+        assert q.order_by == [("a", False)]
+
+
+class TestExpressions:
+    def test_precedence(self):
+        q = parse("SELECT a + b * c AS x FROM t")
+        expr = q.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        q = parse("SELECT (a + b) * c AS x FROM t")
+        assert q.items[0].expr.op == "*"
+
+    def test_unary_minus(self):
+        q = parse("SELECT 0 - a AS x FROM t WHERE a < -5")
+        assert isinstance(q.where.right, BinOp)  # -5 -> (0 - 5)
+
+    def test_float_and_int_constants(self):
+        q = parse("SELECT a FROM t WHERE a < 0.05 AND b < 5")
+        assert q.where.left.right == Const(0.05)
+        assert q.where.right.right == Const(5)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT FROM t",
+        "SELECT a",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t GROUP a",
+        "SELECT a FROM t JOIN u",
+        "SELECT a FROM t trailing",
+        "SELECT a FROM t WHERE a",
+        "SELECT SUM( FROM t",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SqlError):
+            parse(bad)

@@ -1,0 +1,126 @@
+"""Tests for the Stream Pool runtime library (Table IV API)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.simgpu import DeviceSpec, EventKind, KernelLaunchSpec
+from repro.simgpu.engine import HostCommand
+from repro.streampool import StreamPool
+
+
+@pytest.fixture
+def pool():
+    return StreamPool(DeviceSpec(), num_streams=3)
+
+
+def kspec(name="k", n=10_000_000):
+    return KernelLaunchSpec(name, n, 112, 256, 20, 4.0 * n, 2.0 * n, 40.0 * n)
+
+
+class TestTable4Api:
+    def test_get_available_stream_claims(self, pool):
+        a = pool.get_available_stream()
+        b = pool.get_available_stream()
+        assert a is not b
+        assert not a.available
+
+    def test_round_robin_when_exhausted(self, pool):
+        claimed = [pool.get_available_stream() for _ in range(3)]
+        again = pool.get_available_stream()
+        assert again in claimed  # reuses the least-loaded stream
+
+    def test_set_stream_command(self, pool):
+        s = pool.get_available_stream()
+        pool.set_stream_command(s, HostCommand(tag="h", duration=0.1))
+        tl = pool.wait_all()
+        assert tl.total_time(EventKind.HOST) == pytest.approx(0.1)
+
+    def test_foreign_stream_rejected(self, pool):
+        other = StreamPool(DeviceSpec(), num_streams=1)
+        foreign = other.get_available_stream()
+        with pytest.raises(SchedulingError):
+            pool.set_stream_command(foreign, HostCommand(tag="x"))
+
+    def test_wait_all_resets_streams(self, pool):
+        s = pool.get_available_stream()
+        s.h2d(1e6)
+        pool.wait_all()
+        assert all(st.available for st in pool.streams)
+        assert all(not st.sim.commands for st in pool.streams)
+
+    def test_paper_spelling_aliases(self, pool):
+        assert pool.getAvailableStream is not None
+        assert pool.getAvailabeStream is not None  # Table IV's own typo
+        s = pool.getAvailabeStream()
+        s.h2d(1e6)
+        pool.startStreams()
+        tl = pool.waitAll()
+        assert len(tl.events) == 1
+
+    def test_terminate_drops_commands(self, pool):
+        s = pool.get_available_stream()
+        s.h2d(1e8)
+        pool.terminate()
+        with pytest.raises(SchedulingError):
+            pool.wait_all()
+
+    def test_commands_rejected_after_terminate(self, pool):
+        s = pool.get_available_stream()
+        pool.terminate()
+        with pytest.raises(SchedulingError):
+            s.h2d(1e6)
+
+    def test_commands_rejected_after_start(self, pool):
+        s = pool.get_available_stream()
+        s.h2d(1e6)
+        pool.start_streams()
+        with pytest.raises(SchedulingError):
+            s.h2d(1e6)
+
+    def test_needs_at_least_one_stream(self):
+        with pytest.raises(SchedulingError):
+            StreamPool(DeviceSpec(), num_streams=0)
+
+
+class TestSelectWait:
+    def test_point_to_point_sync(self, pool):
+        a = pool.get_available_stream()
+        b = pool.get_available_stream()
+        a.h2d(2e8, tag="upload")
+        pool.select_wait(waiter=b, signaler=a)
+        b.d2h(1e8, tag="download")
+        tl = pool.wait_all()
+        up = [e for e in tl.events if e.tag == "upload"][0]
+        down = [e for e in tl.events if e.tag == "download"][0]
+        assert down.start >= up.end
+
+    def test_without_select_wait_they_overlap(self, pool):
+        a = pool.get_available_stream()
+        b = pool.get_available_stream()
+        a.h2d(2e8, tag="upload")
+        b.d2h(1e8, tag="download")
+        tl = pool.wait_all()
+        down = [e for e in tl.events if e.tag == "download"][0]
+        assert down.start == 0.0
+
+
+class TestPipelining:
+    def test_three_streams_overlap_transfers_and_compute(self, pool):
+        """The Fig 13 pattern: per-segment h2d/kernel/d2h across 3 streams
+        finishes well before the serial sum."""
+        serial_time = 0.0
+        for i in range(6):
+            s = pool.streams[i % 3]
+            s.h2d(5e7, tag=f"h{i}")
+            s.kernel(kspec(f"k{i}", n=12_500_000))
+            s.d2h(2.5e7, tag=f"d{i}")
+        tl = pool.wait_all()
+        serial_sum = sum(e.duration for e in tl.events)
+        assert tl.makespan < 0.75 * serial_sum
+
+    def test_reuse_pool_for_second_batch(self, pool):
+        pool.get_available_stream().h2d(1e6)
+        t1 = pool.wait_all()
+        pool.get_available_stream().h2d(1e6)
+        t2 = pool.wait_all()
+        assert len(t1.events) == len(t2.events) == 1

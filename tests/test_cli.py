@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_prints_platform(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "C2070" in out
+
+
+class TestSelect:
+    def test_all_strategies_reported(self, capsys):
+        assert main(["select", "--elements", "50000000"]) == 0
+        out = capsys.readouterr().out
+        for token in ("with_round_trip", "serial", "fused", "fission",
+                      "fused_fission"):
+            assert token in out
+
+    def test_custom_parameters(self, capsys):
+        assert main(["select", "--elements", "10000000", "--num", "3",
+                     "--selectivity", "0.1"]) == 0
+        assert "3 x SELECT(10%)" in capsys.readouterr().out
+
+
+class TestQueries:
+    @pytest.mark.parametrize("q", ["q1", "q21", "q6"])
+    def test_simulated_run(self, q, capsys):
+        assert main([q, "--elements", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "auto ->" in out
+        assert "fusion result" in out
+
+    def test_functional_run(self, capsys):
+        assert main(["q6", "--functional", "--scale-factor", "0.002",
+                     "--elements", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "agg_revenue" in out
+
+
+class TestFuse:
+    def test_chain_description(self, capsys):
+        assert main(["fuse"]) == 0
+        assert "FUSED" in capsys.readouterr().out
+
+    def test_render(self, capsys):
+        assert main(["fuse", "--query", "q1", "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__" in out
+        assert "join stage" in out
+
+
+class TestTrace:
+    def test_writes_valid_json(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert main(["trace", "--elements", "100000000",
+                     "--output", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        assert trace["traceEvents"]
+
+
+class TestCompile:
+    def test_chain(self, capsys):
+        assert main(["compile", "--elements", "50000000"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out and "simulated" in out
+
+    def test_q1(self, capsys):
+        assert main(["compile", "--query", "q1", "--elements", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "fused_fission" in out
+
+
+class TestSql:
+    def test_query_runs(self, capsys):
+        assert main(["sql",
+                     "SELECT returnflag, COUNT(*) AS n FROM lineitem "
+                     "GROUP BY returnflag",
+                     "--scale-factor", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "returnflag" in out
+        assert "compiled plan" in out
+
+    def test_unknown_table(self, capsys):
+        assert main(["sql", "SELECT a FROM widgets",
+                     "--scale-factor", "0.002"]) == 1
+        assert "unknown table" in capsys.readouterr().out
+
+    def test_row_limit(self, capsys):
+        assert main(["sql",
+                     "SELECT orderkey FROM lineitem WHERE orderkey < 50",
+                     "--scale-factor", "0.002", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "rows total" in out
+
+
+class TestExplain:
+    def test_q1_tree(self, capsys):
+        assert main(["explain", "--query", "q1", "--elements", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "SORT" in out and "fused region" in out and "rows~" in out
+
+    def test_chain(self, capsys):
+        assert main(["explain", "--query", "chain",
+                     "--elements", "1000"]) == 0
+        assert "SELECT" in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy and package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CompilerError,
+    DeviceOOMError,
+    FusionError,
+    PlanError,
+    RelationError,
+    ReproError,
+    SchedulingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        DeviceOOMError(1, 0, 0), SchedulingError(), FusionError(),
+        PlanError(), RelationError(), CompilerError(),
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_oom_carries_sizes(self):
+        e = DeviceOOMError(requested=100, free=30, capacity=50)
+        assert e.requested == 100
+        assert e.free == 30
+        assert e.capacity == 50
+        assert "100" in str(e)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise FusionError("nope")
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackages_importable(self):
+        for name in ("ra", "plans", "core", "simgpu", "streampool",
+                     "runtime", "compilerlite", "tpch", "cpubase", "bench"):
+            assert hasattr(repro, name), name
+
+    def test_all_exports_resolve(self):
+        import importlib
+        for pkg_name in ("repro", "repro.ra", "repro.plans", "repro.core",
+                         "repro.simgpu", "repro.runtime", "repro.tpch",
+                         "repro.compilerlite", "repro.streampool",
+                         "repro.cpubase", "repro.bench"):
+            mod = importlib.import_module(pkg_name)
+            for symbol in getattr(mod, "__all__", []):
+                assert hasattr(mod, symbol), f"{pkg_name}.{symbol}"

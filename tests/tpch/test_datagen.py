@@ -1,0 +1,139 @@
+"""Tests for the synthetic TPC-H data generator."""
+
+import numpy as np
+import pytest
+
+from repro.tpch import TpchConfig, generate
+from repro.tpch.schema import date_to_int, scaled_rows
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(TpchConfig(scale_factor=0.01, seed=3, late_fraction=0.5))
+
+
+class TestShapes:
+    def test_row_counts_scale(self, data):
+        assert data.lineitem.num_rows == scaled_rows("lineitem", 0.01)
+        assert data.orders.num_rows == scaled_rows("orders", 0.01)
+        assert data.supplier.num_rows == scaled_rows("supplier", 0.01)
+        assert data.nation.num_rows == 25
+
+    def test_lineitem_columns(self, data):
+        expected = {"orderkey", "suppkey", "linenumber", "quantity",
+                    "extendedprice", "discount", "tax", "returnflag",
+                    "linestatus", "shipdate", "commitdate", "receiptdate"}
+        assert set(data.lineitem.fields) == expected
+
+    def test_compact_dtypes(self, data):
+        li = data.lineitem
+        assert li["returnflag"].dtype == np.int8
+        assert li["shipdate"].dtype == np.int32
+        assert li["quantity"].dtype == np.float32
+
+
+class TestForeignKeys:
+    def test_lineitem_orderkeys_in_orders(self, data):
+        assert np.isin(data.lineitem["orderkey"], data.orders["orderkey"]).all()
+
+    def test_lineitem_suppkeys_in_supplier(self, data):
+        assert np.isin(data.lineitem["suppkey"], data.supplier["suppkey"]).all()
+
+    def test_supplier_nationkeys_valid(self, data):
+        assert data.supplier["nationkey"].min() >= 0
+        assert data.supplier["nationkey"].max() < 25
+
+
+class TestDistributions:
+    def test_discount_range(self, data):
+        d = data.lineitem["discount"]
+        assert d.min() >= 0.0 and d.max() <= 0.10 + 1e-6
+
+    def test_tax_range(self, data):
+        t = data.lineitem["tax"]
+        assert t.min() >= 0.0 and t.max() <= 0.08 + 1e-6
+
+    def test_quantity_range(self, data):
+        q = data.lineitem["quantity"]
+        assert q.min() >= 1 and q.max() <= 50
+
+    def test_shipdate_range(self, data):
+        s = data.lineitem["shipdate"]
+        assert s.min() >= 0
+        assert s.max() < date_to_int("1998-12-01")
+
+    def test_late_fraction_controls_q21_filter(self):
+        for frac in (0.2, 0.7):
+            d = generate(TpchConfig(scale_factor=0.01, late_fraction=frac))
+            late = (d.lineitem["receiptdate"] > d.lineitem["commitdate"]).mean()
+            assert late == pytest.approx(frac, abs=0.05)
+
+    def test_q1_filter_selectivity_near_annotation(self, data):
+        from repro.tpch.q1 import Q1_CUTOFF, Q1_SELECT_FRACTION
+        actual = (data.lineitem["shipdate"] <= Q1_CUTOFF).mean()
+        assert actual == pytest.approx(Q1_SELECT_FRACTION, abs=0.03)
+
+    def test_orderstatus_f_about_half(self, data):
+        f = (data.orders["orderstatus"] == 0).mean()
+        assert f == pytest.approx(0.49, abs=0.05)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate(TpchConfig(scale_factor=0.005, seed=5))
+        b = generate(TpchConfig(scale_factor=0.005, seed=5))
+        assert np.array_equal(a.lineitem["extendedprice"],
+                              b.lineitem["extendedprice"])
+
+    def test_different_seed_different_data(self):
+        a = generate(TpchConfig(scale_factor=0.005, seed=5))
+        b = generate(TpchConfig(scale_factor=0.005, seed=6))
+        assert not np.array_equal(a.lineitem["extendedprice"],
+                                  b.lineitem["extendedprice"])
+
+
+class TestSkew:
+    def test_zero_skew_roughly_uniform(self):
+        d = generate(TpchConfig(scale_factor=0.01, skew=0.0, seed=2))
+        counts = np.bincount(d.lineitem["orderkey"])
+        top = np.sort(counts)[::-1]
+        assert top[0] < 10 * max(1, np.median(counts[counts > 0]))
+
+    def test_skew_concentrates_keys(self):
+        flat = generate(TpchConfig(scale_factor=0.01, skew=0.0, seed=2))
+        hot = generate(TpchConfig(scale_factor=0.01, skew=1.2, seed=2))
+
+        def top_share(rel):
+            counts = np.bincount(rel["orderkey"])
+            counts = np.sort(counts)[::-1]
+            return counts[:10].sum() / counts.sum()
+
+        assert top_share(hot.lineitem) > 3 * top_share(flat.lineitem)
+
+    def test_skewed_keys_stay_in_range(self):
+        d = generate(TpchConfig(scale_factor=0.01, skew=1.5))
+        assert d.lineitem["orderkey"].min() >= 1
+        assert d.lineitem["orderkey"].max() <= d.orders.num_rows
+        assert d.lineitem["suppkey"].min() >= 1
+        assert d.lineitem["suppkey"].max() <= d.supplier.num_rows
+
+    def test_q21_correct_under_skew(self):
+        from repro.plans import evaluate_sinks
+        from repro.tpch import build_q21_plan, q21_reference
+        d = generate(TpchConfig(scale_factor=0.002, skew=1.3, seed=9))
+        plan = build_q21_plan()
+        out = evaluate_sinks(plan, {
+            "lineitem": d.lineitem, "orders": d.orders,
+            "supplier": d.supplier, "nation": d.nation})
+        res = list(out.values())[0]
+        got = {int(k): int(v) for k, v in zip(res["suppkey"], res["numwait"])}
+        assert got == q21_reference(d.lineitem, d.orders, d.supplier, d.nation)
+
+    def test_q1_correct_under_skew(self):
+        from repro.plans import evaluate_sinks
+        from repro.tpch import build_q1_plan, q1_column_relations, q1_reference
+        d = generate(TpchConfig(scale_factor=0.002, skew=1.3, seed=9))
+        out = evaluate_sinks(build_q1_plan(), q1_column_relations(d.lineitem))
+        res = list(out.values())[0]
+        ref = q1_reference(d.lineitem)
+        assert res.num_rows == len(ref)

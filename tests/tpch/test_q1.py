@@ -1,0 +1,127 @@
+"""Tests for the TPC-H Q1 reproduction (Fig 17a / Fig 18a structure)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import fuse_plan
+from repro.plans import evaluate_sinks
+from repro.runtime import ExecutionConfig, Executor, Strategy
+from repro.tpch import (
+    Q1_VALUE_COLUMNS,
+    build_q1_plan,
+    q1_column_relations,
+    q1_reference,
+    q1_source_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def q1_result(tpch_tiny):
+    plan = build_q1_plan()
+    cols = q1_column_relations(tpch_tiny.lineitem)
+    out = evaluate_sinks(plan, cols)
+    return list(out.values())[0]
+
+
+class TestPlanStructure:
+    def test_validates(self):
+        build_q1_plan().validate()
+
+    def test_seven_columnar_sources(self):
+        plan = build_q1_plan()
+        assert len(plan.sources()) == 7
+
+    def test_fusion_shape_matches_paper(self):
+        """Fig 17(a): SELECT+6 JOINs fuse into one kernel; SORT is a
+        barrier; ARITH+AGGREGATE fuse."""
+        fr = fuse_plan(build_q1_plan())
+        sizes = [len(r.nodes) for r in fr.regions]
+        assert sizes == [7, 1, 2]
+        assert fr.regions[1].is_barrier_op
+
+    def test_gather_joins_used(self):
+        plan = build_q1_plan()
+        joins = [n for n in plan.nodes if n.name.startswith("join_")]
+        assert len(joins) == 6
+        assert all(n.params.get("gather") for n in joins)
+
+
+class TestFunctional:
+    def test_six_groups(self, q1_result):
+        assert q1_result.num_rows == 6  # 3 returnflags x 2 linestatuses
+
+    def test_matches_reference(self, q1_result, tpch_tiny):
+        ref = q1_reference(tpch_tiny.lineitem)
+        assert q1_result.num_rows == len(ref)
+        for i in range(q1_result.num_rows):
+            key = (int(q1_result["returnflag"][i]), int(q1_result["linestatus"][i]))
+            expected = ref[key]
+            for metric in ("sum_qty", "sum_base_price", "sum_disc_price",
+                           "sum_charge", "avg_qty", "avg_price", "avg_disc"):
+                assert np.isclose(np.float64(q1_result[metric][i]),
+                                  expected[metric], rtol=1e-3), (key, metric)
+            assert int(q1_result["count_order"][i]) == expected["count_order"]
+
+    def test_counts_cover_selected_rows(self, q1_result, tpch_tiny):
+        from repro.tpch.q1 import Q1_CUTOFF
+        selected = int((tpch_tiny.lineitem["shipdate"] <= Q1_CUTOFF).sum())
+        assert int(q1_result["count_order"].sum()) == selected
+
+
+class TestTiming:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        ex = Executor()
+        plan = build_q1_plan()
+        rows = q1_source_rows(6_000_000)
+        return {s: ex.run(plan, rows, ExecutionConfig(strategy=s))
+                for s in (Strategy.SERIAL, Strategy.FUSED, Strategy.FUSED_FISSION)}
+
+    def test_sort_dominates_baseline(self, runs):
+        """Fig 18(a): SORT takes ~71% of the unoptimized execution."""
+        r = runs[Strategy.SERIAL]
+        sort_t = sum(v for k, v in r.kernel_times().items() if "sort" in k)
+        share = sort_t / r.makespan
+        assert 0.6 < share < 0.85
+
+    def test_fusion_speeds_up(self, runs):
+        speedup = runs[Strategy.SERIAL].makespan / runs[Strategy.FUSED].makespan
+        assert 1.05 < speedup < 1.5  # paper: 1.25x
+
+    def test_fission_adds_on_top(self, runs):
+        assert (runs[Strategy.FUSED_FISSION].makespan
+                < runs[Strategy.FUSED].makespan)
+
+    def test_total_gain_band(self, runs):
+        gain = (runs[Strategy.SERIAL].makespan
+                / runs[Strategy.FUSED_FISSION].makespan - 1)
+        assert 0.10 < gain < 0.45  # paper: 26.5%
+
+    def test_fused_block_speedup(self):
+        """Paper: excluding SORT and PCIe, fusing 6 JOINs + 1 SELECT gives
+        3.18x on that block."""
+        ex = Executor()
+        plan = build_q1_plan()
+        rows = q1_source_rows(6_000_000)
+        cfg = dict(include_transfers=False)
+        rs = ex.run(plan, rows, ExecutionConfig(strategy=Strategy.SERIAL, **cfg))
+        rf = ex.run(plan, rows, ExecutionConfig(strategy=Strategy.FUSED, **cfg))
+
+        def block_time(r):
+            return sum(v for k, v in r.kernel_times().items()
+                       if ("sel" in k or "join" in k) and "sort" not in k)
+        ratio = block_time(rs) / block_time(rf)
+        assert 2.0 < ratio < 5.0
+
+
+class TestHelpers:
+    def test_column_relations_complete(self, tpch_tiny):
+        cols = q1_column_relations(tpch_tiny.lineitem)
+        assert set(cols) == {"l_shipdate"} | {f"l_{c}" for c in Q1_VALUE_COLUMNS}
+        n = tpch_tiny.lineitem.num_rows
+        assert all(r.num_rows == n for r in cols.values())
+
+    def test_source_rows_uniform(self):
+        rows = q1_source_rows(1000)
+        assert set(rows.values()) == {1000}
+        assert len(rows) == 7

@@ -1,0 +1,108 @@
+"""Tests for the TPC-H Q21 reproduction (Fig 17b / Fig 18b structure)."""
+
+import pytest
+
+from repro.core.fusion import fuse_plan
+from repro.plans import evaluate_sinks
+from repro.runtime import ExecutionConfig, Executor, Strategy
+from repro.tpch import (
+    TpchConfig,
+    build_q21_plan,
+    generate,
+    q21_reference,
+    q21_source_rows,
+)
+
+
+def run_q21(data):
+    plan = build_q21_plan()
+    out = evaluate_sinks(plan, {
+        "lineitem": data.lineitem, "orders": data.orders,
+        "supplier": data.supplier, "nation": data.nation,
+    })
+    res = list(out.values())[0]
+    return {int(k): int(v) for k, v in zip(res["suppkey"], res["numwait"])}
+
+
+class TestPlanStructure:
+    def test_validates(self):
+        build_q21_plan().validate()
+
+    def test_four_sources(self):
+        assert len(build_q21_plan().sources()) == 4
+
+    def test_fusion_produces_multi_op_region(self):
+        """Fig 18(b): some blocks fuse (the paper reports 1.22x on them),
+        while aggregates/sorts bound the fusable regions."""
+        fr = fuse_plan(build_q21_plan())
+        assert fr.num_fused_regions >= 1
+        assert any(len(r.nodes) >= 3 for r in fr.regions)
+        assert any(r.is_barrier_op for r in fr.regions)
+
+    def test_final_sort_is_last_region(self):
+        fr = fuse_plan(build_q21_plan())
+        assert fr.regions[-1].nodes[0].name == "sort_numwait"
+
+
+class TestFunctional:
+    def test_matches_reference(self, tpch_tiny):
+        got = run_q21(tpch_tiny)
+        assert got == q21_reference(tpch_tiny.lineitem, tpch_tiny.orders,
+                                    tpch_tiny.supplier, tpch_tiny.nation)
+
+    def test_matches_reference_other_dataset(self, tpch_small):
+        got = run_q21(tpch_small)
+        assert got == q21_reference(tpch_small.lineitem, tpch_small.orders,
+                                    tpch_small.supplier, tpch_small.nation)
+
+    @pytest.mark.parametrize("late", [0.1, 0.9])
+    def test_matches_reference_extreme_late_fractions(self, late):
+        data = generate(TpchConfig(scale_factor=0.002, seed=23, late_fraction=late))
+        got = run_q21(data)
+        assert got == q21_reference(data.lineitem, data.orders,
+                                    data.supplier, data.nation)
+
+    def test_sorted_by_numwait_descending(self, tpch_small):
+        plan = build_q21_plan()
+        out = evaluate_sinks(plan, {
+            "lineitem": tpch_small.lineitem, "orders": tpch_small.orders,
+            "supplier": tpch_small.supplier, "nation": tpch_small.nation,
+        })
+        res = list(out.values())[0]
+        waits = list(res["numwait"])
+        assert waits == sorted(waits, reverse=True)
+
+
+class TestTiming:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        ex = Executor()
+        plan = build_q21_plan()
+        rows = q21_source_rows(6_000_000, 1_500_000, 10_000)
+        return {s: ex.run(plan, rows, ExecutionConfig(strategy=s))
+                for s in (Strategy.SERIAL, Strategy.FUSED, Strategy.FUSED_FISSION)}
+
+    def test_optimizations_help(self, runs):
+        assert runs[Strategy.FUSED].makespan <= runs[Strategy.SERIAL].makespan
+        assert (runs[Strategy.FUSED_FISSION].makespan
+                < runs[Strategy.SERIAL].makespan)
+
+    def test_total_gain_band(self, runs):
+        """Paper: 13.2% total improvement on Q21."""
+        gain = (runs[Strategy.SERIAL].makespan
+                / runs[Strategy.FUSED_FISSION].makespan - 1)
+        assert 0.05 < gain < 0.35
+
+    def test_gain_smaller_than_q1(self, runs):
+        """Q21 fuses a smaller share of its work than Q1 (the paper's
+        explanation for 13.2% vs 26.5%)."""
+        from repro.tpch import build_q1_plan, q1_source_rows
+        ex = Executor()
+        q1 = build_q1_plan()
+        rows1 = q1_source_rows(6_000_000)
+        q1_serial = ex.run(q1, rows1, ExecutionConfig(strategy=Strategy.SERIAL))
+        q1_both = ex.run(q1, rows1, ExecutionConfig(strategy=Strategy.FUSED_FISSION))
+        q1_fusion_gain = q1_serial.makespan / q1_both.makespan - 1
+        q21_fusion_only_gain = (runs[Strategy.SERIAL].makespan
+                                / runs[Strategy.FUSED].makespan - 1)
+        assert q21_fusion_only_gain < q1_fusion_gain

@@ -1,0 +1,51 @@
+"""Tests for the TPC-H schema helpers."""
+
+import pytest
+
+from repro.tpch import schema
+
+
+class TestDates:
+    def test_epoch(self):
+        assert schema.date_to_int("1992-01-01") == 0
+
+    def test_q1_cutoff_before_end(self):
+        assert (schema.date_to_int("1998-09-02")
+                < schema.date_to_int("1998-12-01"))
+
+    def test_day_arithmetic(self):
+        assert schema.date_to_int("1992-01-31") == 30
+
+
+class TestCodes:
+    def test_nation_codes_bijective(self):
+        assert len(schema.NATION_CODES) == len(schema.NATION_NAMES) == 25
+        for name, code in schema.NATION_CODES.items():
+            assert schema.NATION_NAMES[code] == name
+
+    def test_saudi_arabia_present(self):
+        assert "SAUDI ARABIA" in schema.NATION_CODES
+
+    def test_status_codes(self):
+        assert set(schema.ORDERSTATUS_CODES) == {"F", "O", "P"}
+        assert set(schema.RETURNFLAG_CODES) == {"A", "N", "R"}
+        assert set(schema.LINESTATUS_CODES) == {"F", "O"}
+
+
+class TestScaledRows:
+    def test_sf1_lineitem(self):
+        assert schema.scaled_rows("lineitem", 1.0) == 6_001_215
+
+    def test_scaling(self):
+        assert schema.scaled_rows("orders", 0.1) == 150_000
+
+    def test_nation_fixed(self):
+        assert schema.scaled_rows("nation", 0.001) == 25
+        assert schema.scaled_rows("nation", 10.0) == 25
+
+    def test_minimum_one_row(self):
+        assert schema.scaled_rows("supplier", 1e-9) == 1
+
+    def test_unknown_table(self):
+        with pytest.raises(KeyError):
+            schema.scaled_rows("widgets", 1.0)
