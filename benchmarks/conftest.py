@@ -5,9 +5,47 @@ runs the simulation at the paper's parameters, prints the same series/rows
 the paper reports plus a paper-vs-measured comparison, and times the
 simulation itself through pytest-benchmark (the benchmark metric is
 simulator throughput, not simulated GPU time).
+
+Pass ``--validate`` to sanitize every simulated schedule against the
+device-model invariants (see ``docs/VALIDATION.md``) while the benchmarks
+run; any violation fails the scenario.
 """
 
 import pytest
+
+
+def pytest_addoption(parser):
+    try:
+        parser.addoption(
+            "--validate", action="store_true", default=False,
+            help="audit every simulated schedule with the timeline "
+                 "sanitizer (repro.validate) during benchmark runs")
+    except ValueError:
+        pass  # already registered by another conftest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitize_benchmark_schedules(request):
+    """When --validate is given, audit every engine run in the session."""
+    if not request.config.getoption("--validate", default=False):
+        yield
+        return
+
+    from repro.simgpu.engine import SimEngine
+    from repro.validate import validate_timeline
+
+    mp = pytest.MonkeyPatch()
+    engine_run = SimEngine.run
+
+    def checked_run(self, streams, timeline=None, start_time=0.0):
+        tl = engine_run(self, streams, timeline, start_time)
+        if not self.check:
+            validate_timeline(tl, self.device).raise_if_failed()
+        return tl
+
+    mp.setattr(SimEngine, "run", checked_run)
+    yield
+    mp.undo()
 
 
 @pytest.fixture(scope="session")
@@ -17,6 +55,7 @@ def device():
 
 
 @pytest.fixture(scope="session")
-def executor(device):
+def executor(device, request):
     from repro.runtime import Executor
-    return Executor(device)
+    return Executor(device,
+                    check=request.config.getoption("--validate", default=False))

@@ -54,7 +54,8 @@ def _cmd_select(args) -> int:
     print(f"\nSELECT chain: {args.num} x SELECT({args.selectivity:.0%}) over "
           f"{args.elements/1e6:.0f}M 32-bit ints")
     for strategy in Strategy:
-        r = run_select_chain(args.elements, args.num, args.selectivity, strategy)
+        r = run_select_chain(args.elements, args.num, args.selectivity, strategy,
+                             check=args.validate)
         print(f"  {strategy.value:16s} {r.throughput/1e9:7.2f} GB/s "
               f"({r.makespan*1e3:9.1f} ms, {r.num_chunks} chunk(s))")
     return 0
@@ -81,7 +82,7 @@ def _cmd_query(args) -> int:
     print(f"\npattern census: {pattern_census(plan)}")
     print(fuse_plan(plan).describe())
     print(f"\nsimulated at {args.elements/1e6:.0f}M lineitems:")
-    ex = Executor()
+    ex = Executor(check=args.validate)
     base = None
     for strategy in (Strategy.SERIAL, Strategy.FUSED, Strategy.FUSED_FISSION):
         r = ex.run(plan, rows, ExecutionConfig(strategy=strategy))
@@ -111,7 +112,8 @@ def _cmd_fuse(args) -> int:
 
 def _cmd_trace(args) -> int:
     strategy = Strategy(args.strategy)
-    r = run_select_chain(args.elements, 2, 0.5, strategy)
+    r = run_select_chain(args.elements, 2, 0.5, strategy,
+                         check=args.validate)
     write_chrome_trace(r.timeline, args.output)
     print(f"wrote {len(r.timeline.events)} events to {args.output} "
           f"(open in chrome://tracing)")
@@ -123,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Kernel fusion/fission for GPU data warehousing "
                     "(IPDPS-W 2012 reproduction)")
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="strict mode: sanitize every simulated schedule against the "
+             "device-model invariants (see docs/VALIDATION.md) and abort "
+             "on the first violation")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="print the simulated platform")

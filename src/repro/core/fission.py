@@ -96,7 +96,21 @@ def run_fissioned(
         for spec in kernel_builder(seg):
             stream.kernel(spec, tag=f"{spec.name}.seg{seg.index}")
         thunk = (lambda s=seg: segment_thunk(s)) if segment_thunk else None
-        stream.d2h(out_bytes, config.memory, tag=f"d2h.seg{seg.index}", thunk=thunk)
+        if out_bytes > 0:
+            stream.d2h(out_bytes, config.memory, tag=f"d2h.seg{seg.index}",
+                       thunk=thunk)
+        elif thunk is not None:
+            # results stay on device (out_row_nbytes=0): no transfer to
+            # occupy the D2H engine, so fire the thunk when the segment's
+            # last command completes instead
+            last = stream.sim.commands[-1]
+            if last.thunk is None:
+                last.thunk = thunk
+            else:
+                def chained(prev=last.thunk, t=thunk):
+                    prev()
+                    t()
+                last.thunk = chained
 
     timeline = pool.wait_all()
 

@@ -24,6 +24,26 @@ class SchedulingError(ReproError):
     """Raised for invalid stream / engine scheduling requests."""
 
 
+class ScheduleInvariantError(SchedulingError):
+    """Raised in strict (``check=True``) mode when a simulated schedule
+    violates a device-model invariant (see :mod:`repro.validate`).
+
+    Carries the structured :class:`repro.validate.Violation` list that the
+    sanitizer produced in ``violations``.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        shown = "; ".join(str(v) for v in self.violations[:5])
+        extra = len(self.violations) - 5
+        if extra > 0:
+            shown += f"; ... and {extra} more"
+        super().__init__(
+            f"schedule violates device-model invariants "
+            f"({len(self.violations)} violation(s)): {shown}"
+        )
+
+
 class FusionError(ReproError):
     """Raised when a fusion request violates fusibility rules."""
 

@@ -64,7 +64,9 @@ def run_compressed_select_chain(
         t = scheme.host_compress_time(in_bytes)
         if t > 0:
             stream.host(t, tag=f"compress.{scheme.name}")
-    stream.h2d(scheme.wire_bytes(in_bytes), memory, tag="input.compressed")
+    wire_bytes = scheme.wire_bytes(in_bytes)
+    if wire_bytes > 0:
+        stream.h2d(wire_bytes, memory, tag="input.compressed")
     if scheme.ratio > 1.0:
         stream.kernel(scheme.decompress_spec(n_elements, INT_ROW_BYTES, device))
 
@@ -81,7 +83,8 @@ def run_compressed_select_chain(
             alive = max(1, int(round(alive * sel.selectivity)))
 
     out_bytes = in_bytes * (selectivity ** num_selects)
-    stream.d2h(out_bytes, memory, tag="output")
+    if out_bytes > 0:
+        stream.d2h(out_bytes, memory, tag="output")
 
     timeline = SimEngine(device).run([stream])
     return CompressedRunResult(n_elements=n_elements, timeline=timeline,

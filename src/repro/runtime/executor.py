@@ -47,6 +47,10 @@ class RunResult:
     output_bytes: float
     fusion: FusionResult | None = None
     num_chunks: int = 1
+    #: executor-side estimates of total bytes each PCIe direction should
+    #: move; the schedule sanitizer checks the timeline against these
+    expected_h2d_bytes: float | None = None
+    expected_d2h_bytes: float | None = None
 
     @property
     def makespan(self) -> float:
@@ -99,10 +103,14 @@ class Executor:
 
     def __init__(self, device: DeviceSpec | None = None,
                  costs: StageCostParams = DEFAULT_STAGE_COSTS,
-                 cost_model: FusionCostModel | None = None):
+                 cost_model: FusionCostModel | None = None,
+                 check: bool = False):
         self.device = device or DeviceSpec()
         self.costs = costs
         self.cost_model = cost_model
+        #: strict mode: sanitize every schedule this executor produces and
+        #: raise ScheduleInvariantError at the first violation
+        self.check = check
 
     # ------------------------------------------------------------------
     def run(self, plan: Plan, source_rows: dict[str, int] | None = None,
@@ -127,17 +135,25 @@ class Executor:
         )
         n_out = sum(sizes[n.name] for n in plan.sinks())
 
+        self._last_expected: tuple[float, float] | None = None
         if config.strategy.uses_fission and config.include_transfers:
             timeline = self._run_fission(plan, lowered, sizes, driver, config)
         else:
             timeline = self._run_serial(plan, lowered, sizes, driver, config)
 
-        return RunResult(
+        expected = self._last_expected
+        result = RunResult(
             strategy=config.strategy, timeline=timeline, sizes=sizes,
             n_in=n_in, n_out=n_out, input_bytes=input_bytes,
             output_bytes=output_bytes, fusion=fusion,
             num_chunks=getattr(self, "_last_num_chunks", 1),
+            expected_h2d_bytes=expected[0] if expected else None,
+            expected_d2h_bytes=expected[1] if expected else None,
         )
+        if self.check:
+            from ..validate import validate_run
+            validate_run(result, self.device).raise_if_failed()
+        return result
 
     # -- lowering ----------------------------------------------------------
     def _lower(self, plan: Plan, fusion: FusionResult, sizes: dict[str, int]
@@ -172,7 +188,7 @@ class Executor:
     def _run_serial(self, plan: Plan, lowered: list[_LoweredRegion],
                     sizes: dict[str, int], driver: PlanNode,
                     config: ExecutionConfig) -> Timeline:
-        engine = SimEngine(self.device)
+        engine = SimEngine(self.device, check=self.check)
         num_chunks = 1
         if config.include_transfers:
             num_chunks = self._plan_chunks(plan, lowered, sizes, driver, config)
@@ -181,6 +197,8 @@ class Executor:
         stream = SimStream(stream_id=0)
         mem = config.memory
         sink_names = {n.name for n in plan.sinks()}
+        self._last_expected = self._expected_serial_bytes(
+            plan, lowered, sizes, sink_names, config)
 
         # side (non-driver) sources are loaded once, up front
         if config.include_transfers:
@@ -235,21 +253,44 @@ class Executor:
     def _chunk_fraction(self, chunk: int, num_chunks: int) -> float:
         return 1.0 / num_chunks
 
+    def _expected_serial_bytes(self, plan: Plan, lowered: list[_LoweredRegion],
+                               sizes: dict[str, int], sink_names: set[str],
+                               config: ExecutionConfig) -> tuple[float, float]:
+        """(H2D, D2H) bytes the serial schedule should move in total."""
+        if not config.include_transfers:
+            return (0.0, 0.0)
+        h2d = sum(float(sizes[s.name]) * out_row_nbytes(s)
+                  for s in plan.sources())
+        d2h = 0.0
+        for lr in lowered:
+            if lr.region.output_node.name in sink_names:
+                d2h += lr.out_bytes
+            elif (config.strategy is Strategy.WITH_ROUND_TRIP
+                  and lr.out_bytes > 0):
+                h2d += lr.out_bytes
+                d2h += lr.out_bytes
+        return (h2d, d2h)
+
     @staticmethod
     def _scales_with_driver(lr: _LoweredRegion, driver: PlanNode, plan: Plan) -> bool:
         """Does this region's size scale when the driver input is chunked?
 
-        True when the region is (transitively) fed from the driver through
-        primary inputs.
+        True when the region (transitively, through any input edge) consumes
+        the driver source; False for driver-independent regions -- e.g. a
+        side-table select -- which run exactly once regardless of chunking.
         """
-        node = lr.primary_input
-        seen = set()
-        while node is not None and id(node) not in seen:
+        stack = [lr.primary_input]
+        stack.extend(inp for node in lr.region.nodes for inp in node.inputs)
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
             seen.add(id(node))
             if node is driver:
                 return True
-            node = node.inputs[0] if node.inputs else None
-        return True  # default: conservative -- scale with the driver
+            stack.extend(node.inputs)
+        return False
 
     @staticmethod
     def _co_driver_sources(prefix: list[_LoweredRegion], driver: PlanNode,
@@ -278,8 +319,12 @@ class Executor:
         )
         budget -= side_bytes
         if budget <= 0:
-            raise DeviceOOMError(int(side_bytes), self.device.global_mem_bytes,
-                                 self.device.global_mem_bytes)
+            # side inputs alone exceed the chunking budget: report the
+            # budget actually available, not the raw capacity
+            raise DeviceOOMError(
+                int(side_bytes),
+                int(self.device.global_mem_bytes * config.memory_safety),
+                self.device.global_mem_bytes)
         driver_bytes = float(sizes[driver.name]) * out_row_nbytes(driver)
         # working set: input + every region's live output
         working = driver_bytes + sum(lr.out_bytes for lr in lowered)
@@ -306,7 +351,7 @@ class Executor:
             return self._run_serial(plan, lowered, sizes, driver, serial_cfg)
 
         timeline = Timeline()
-        engine = SimEngine(self.device)
+        engine = SimEngine(self.device, check=self.check)
         mem_pinned = HostMemory.PINNED
 
         # column arrays consumed positionally by gather joins in the prefix
@@ -373,6 +418,7 @@ class Executor:
             output_selectivity=prefix_sel if whole_plan_is_prefix else 0.0,
             kernel_builder=kernel_builder,
             config=fis_cfg,
+            engine=SimEngine(self.device, check=self.check),
             costs=self.costs,
         )
         timeline.extend(pipe_tl, offset=timeline.end_time)
@@ -382,9 +428,17 @@ class Executor:
             post = SimStream(stream_id=0)
             for lr in rest:
                 self._emit_region(post, lr, sizes, sink_names, mem_pinned)
-            post_tl = SimEngine(self.device).run([post])
+            post_tl = SimEngine(self.device, check=self.check).run([post])
             timeline.extend(post_tl, offset=timeline.end_time)
 
+        expected_h2d = sum(float(sizes[s.name]) * out_row_nbytes(s)
+                           for s in plan.sources())
+        expected_d2h = sum(
+            lr.out_bytes for lr in [*phase_a, *rest]
+            if lr.region.output_node.name in sink_names)
+        if whole_plan_is_prefix:
+            expected_d2h += float(n_driver) * prefix_sel * out_row
+        self._last_expected = (expected_h2d, expected_d2h)
         return timeline
 
     def _emit_region(self, stream: SimStream, lr: _LoweredRegion,

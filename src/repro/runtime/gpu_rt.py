@@ -119,7 +119,9 @@ class GpuRuntime:
                                refs_remaining=consumer_counts.get(src.name, 0))
             spills += self._make_room(buf.nbytes, buffers, stream)
             buf.handle = self.memory.alloc(buf.nbytes, src.name)
-            stream.h2d(buf.nbytes, self.host_memory, tag=f"input.{src.name}")
+            if buf.nbytes > 0:
+                stream.h2d(buf.nbytes, self.host_memory,
+                           tag=f"input.{src.name}")
             buffers[src.name] = buf
 
         # execute regions in order
@@ -216,8 +218,9 @@ class GpuRuntime:
                 if buf is not None and not buf.resident:
                     self._make_room(buf.nbytes, buffers, stream)
                     buf.handle = self.memory.alloc(buf.nbytes, buf.name)
-                    stream.h2d(buf.nbytes, self.host_memory,
-                               tag=f"spill.in.{buf.name}")
+                    if buf.nbytes > 0:
+                        stream.h2d(buf.nbytes, self.host_memory,
+                                   tag=f"spill.in.{buf.name}")
 
     def _release_consumed(self, region: Region,
                           buffers: dict[str, DeviceBuffer]) -> None:

@@ -45,9 +45,10 @@ def run_select_chain(
     device: DeviceSpec | None = None,
     include_transfers: bool = True,
     config: ExecutionConfig | None = None,
+    check: bool = False,
 ) -> RunResult:
     """Run a SELECT chain at the given size/strategy; returns the RunResult."""
-    executor = Executor(device or DeviceSpec())
+    executor = Executor(device or DeviceSpec(), check=check)
     plan = select_chain_plan(num_selects, selectivity)
     cfg = config or ExecutionConfig(
         strategy=strategy, include_transfers=include_transfers)

@@ -106,11 +106,15 @@ class SimStream:
              thunk: Thunk | None = None) -> "SimStream":
         return self.enqueue(HostCommand(tag=tag, thunk=thunk, duration=duration))
 
-    def signal(self, event_id: int, tag: str = "signal") -> "SimStream":
-        return self.enqueue(SignalEventCommand(tag=tag, event_id=event_id))
+    def signal(self, event_id: int, tag: str | None = None) -> "SimStream":
+        return self.enqueue(SignalEventCommand(
+            tag=tag if tag is not None else f"signal:{event_id}",
+            event_id=event_id))
 
-    def wait_event(self, event_id: int, tag: str = "wait") -> "SimStream":
-        return self.enqueue(WaitEventCommand(tag=tag, event_id=event_id))
+    def wait_event(self, event_id: int, tag: str | None = None) -> "SimStream":
+        return self.enqueue(WaitEventCommand(
+            tag=tag if tag is not None else f"wait:{event_id}",
+            event_id=event_id))
 
 
 # ---------------------------------------------------------------------------
@@ -132,9 +136,11 @@ class SimEngine:
     deterministic: ties are broken by stream id.
     """
 
-    def __init__(self, device: DeviceSpec, pcie: PcieModel | None = None):
+    def __init__(self, device: DeviceSpec, pcie: PcieModel | None = None,
+                 check: bool = False):
         self.device = device
         self.pcie = pcie or PcieModel(device.calib.pcie)
+        self.check = check
         self._event_counter = itertools.count()
 
     def new_event_id(self) -> int:
@@ -176,11 +182,15 @@ class SimEngine:
                     # -- zero-duration control commands ----------------------
                     if isinstance(cmd, SignalEventCommand):
                         signaled.add(cmd.event_id)
+                        tl.add(now, now, EventKind.SYNC, cmd.tag,
+                               stream=stream.stream_id)
                         cursors[i] += 1
                         dispatched = True
                         continue
                     if isinstance(cmd, WaitEventCommand):
                         if cmd.event_id in signaled:
+                            tl.add(now, now, EventKind.SYNC, cmd.tag,
+                                   stream=stream.stream_id)
                             cursors[i] += 1
                             dispatched = True
                         continue
@@ -254,7 +264,8 @@ class SimEngine:
                 elif isinstance(cmd, KernelCommand):
                     tl.add(start, now, EventKind.KERNEL, cmd.tag,
                            stream=streams[run.stream_idx].stream_id,
-                           nbytes=cmd.spec.total_traffic if cmd.spec else 0.0)
+                           nbytes=cmd.spec.total_traffic if cmd.spec else 0.0,
+                           sms=run.granted_sms)
                     free_sms += run.granted_sms
                     kernels_in_flight -= 1
                 elif isinstance(cmd, HostCommand):
@@ -266,6 +277,10 @@ class SimEngine:
                 blocked_until_done[run.stream_idx] = False
                 cursors[run.stream_idx] += 1
 
+        if self.check:
+            # imported lazily: repro.validate depends on this module's package
+            from ..validate import validate_timeline
+            validate_timeline(tl, self.device).raise_if_failed()
         return tl
 
 

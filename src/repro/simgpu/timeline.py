@@ -28,6 +28,9 @@ class TimelineEvent:
     tag: str
     stream: int = 0
     nbytes: float = 0.0
+    #: SMs granted to this event while it ran (KERNEL events only; 0 when
+    #: unknown, e.g. hand-built timelines)
+    sms: int = 0
 
     @property
     def duration(self) -> float:
@@ -65,10 +68,11 @@ class Timeline:
         tag: str,
         stream: int = 0,
         nbytes: float = 0.0,
+        sms: int = 0,
     ) -> TimelineEvent:
         if end < start:
             raise ValueError(f"event ends before it starts: {tag}")
-        ev = TimelineEvent(start, end, kind, tag, stream, nbytes)
+        ev = TimelineEvent(start, end, kind, tag, stream, nbytes, sms)
         self.events.append(ev)
         return ev
 
@@ -77,7 +81,7 @@ class Timeline:
             self.events.append(
                 TimelineEvent(
                     ev.start + offset, ev.end + offset, ev.kind, ev.tag,
-                    ev.stream, ev.nbytes,
+                    ev.stream, ev.nbytes, ev.sms,
                 )
             )
 

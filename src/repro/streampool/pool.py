@@ -89,6 +89,7 @@ class StreamPool:
         ]
         self._started = False
         self._terminated = False
+        self._rr_next = 0
         self.timeline = Timeline()
 
     # -- Table IV API --------------------------------------------------------
@@ -99,9 +100,14 @@ class StreamPool:
             if s.available:
                 s.available = False
                 return s
-        # all claimed: hand out the one with the shortest queue (round robin
-        # by pending work), as the paper's pool reuses streams across cycles
-        return min(self._streams, key=lambda s: len(s.sim.commands))
+        # all claimed: hand out the one with the shortest queue, breaking
+        # ties round-robin from a rotating start so repeated calls spread
+        # across streams (the paper's pool reuses streams across cycles)
+        n = len(self._streams)
+        order = [(self._rr_next + i) % n for i in range(n)]
+        best = min(order, key=lambda i: len(self._streams[i].sim.commands))
+        self._rr_next = (best + 1) % n
+        return self._streams[best]
 
     def set_stream_command(self, stream: PooledStream, command: Command) -> None:
         """Append a raw engine command to a specific stream."""

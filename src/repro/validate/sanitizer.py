@@ -1,0 +1,300 @@
+"""Schedule sanitizer: audits a :class:`~repro.simgpu.timeline.Timeline`
+against the simulated C2070's concurrency envelope (paper SS IV-B).
+
+The device model promises:
+
+* one H2D copy engine, one D2H copy engine, one host "engine" -- never two
+  overlapping events of the same kind on any of them;
+* concurrently overlapping kernels share the SM pool and their granted SMs
+  never exceed the device's SM count;
+* commands within one stream execute in order, so events of one stream
+  never overlap each other;
+* every satisfied ``WaitEvent`` was preceded by its ``SignalEvent``;
+* simulated time is sane: no negative durations, no events before t=0
+  (time travel, e.g. a bad ``Timeline.extend(offset=...)``), no NaN/inf;
+* transfers move actual data: zero-byte H2D/D2H events waste a copy
+  engine for PCIe latency and are flagged;
+* bytes are conserved: staged round trips move the same bytes out and
+  back, and (via :func:`validate_run`) the total transferred bytes match
+  the executor's size estimates.
+
+Violations are reported structurally so callers can assert on them;
+``raise_if_failed`` turns them into a
+:class:`~repro.errors.ScheduleInvariantError` for strict mode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ScheduleInvariantError
+from ..simgpu.device import DeviceSpec
+from ..simgpu.timeline import EventKind, Timeline, TimelineEvent
+
+#: overlaps shorter than this (simulated seconds) are ignored -- sub-
+#: nanosecond slop from float accumulation in ``Timeline.extend`` offsets
+TIME_EPS = 1e-9
+
+#: byte-conservation tolerance: relative slack (chunk fractions and
+#: per-segment selectivity sums accumulate float error) plus a one-byte
+#: absolute floor
+BYTE_REL_TOL = 1e-3
+BYTE_ABS_TOL = 1.0
+
+#: event kinds that model an exclusive engine (one in flight at a time)
+EXCLUSIVE_ENGINES = {
+    EventKind.H2D: "H2D copy engine",
+    EventKind.D2H: "D2H copy engine",
+    EventKind.HOST: "host CPU",
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach found in a timeline."""
+
+    rule: str
+    message: str
+    events: tuple[TimelineEvent, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Structured result of a sanitizer pass."""
+
+    violations: list[Violation] = field(default_factory=list)
+    num_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_rule(self) -> dict[str, list[Violation]]:
+        out: dict[str, list[Violation]] = {}
+        for v in self.violations:
+            out.setdefault(v.rule, []).append(v)
+        return out
+
+    def merge(self, other: "ValidationReport") -> "ValidationReport":
+        self.violations.extend(other.violations)
+        self.num_events = max(self.num_events, other.num_events)
+        return self
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            raise ScheduleInvariantError(self.violations)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"schedule OK ({self.num_events} events, 0 violations)"
+        lines = [f"schedule INVALID ({self.num_events} events, "
+                 f"{len(self.violations)} violation(s)):"]
+        for rule, vs in sorted(self.by_rule().items()):
+            lines.append(f"  {rule}: {len(vs)}")
+            for v in vs[:3]:
+                lines.append(f"    - {v.message}")
+            if len(vs) > 3:
+                lines.append(f"    - ... and {len(vs) - 3} more")
+        return "\n".join(lines)
+
+
+def _fmt(ev: TimelineEvent) -> str:
+    return (f"{ev.kind.value}:{ev.tag!r} [{ev.start:.6g}, {ev.end:.6g}) "
+            f"stream {ev.stream}")
+
+
+# ---------------------------------------------------------------------------
+# individual checks
+# ---------------------------------------------------------------------------
+
+def _check_event_sanity(events: list[TimelineEvent], out: list[Violation],
+                        eps: float) -> None:
+    for ev in events:
+        if not (math.isfinite(ev.start) and math.isfinite(ev.end)):
+            out.append(Violation(
+                "non-finite-time",
+                f"event has non-finite timestamps: {_fmt(ev)}", (ev,)))
+            continue
+        if ev.end < ev.start - eps:
+            out.append(Violation(
+                "negative-duration",
+                f"event ends before it starts: {_fmt(ev)}", (ev,)))
+        if ev.start < -eps:
+            out.append(Violation(
+                "time-travel",
+                f"event starts before t=0 (bad extend offset?): {_fmt(ev)}",
+                (ev,)))
+        if ev.nbytes < 0:
+            out.append(Violation(
+                "negative-bytes",
+                f"event moves negative bytes ({ev.nbytes}): {_fmt(ev)}",
+                (ev,)))
+        if ev.kind in (EventKind.H2D, EventKind.D2H) and ev.nbytes <= 0:
+            out.append(Violation(
+                "zero-byte-transfer",
+                f"zero-byte transfer occupies a copy engine for PCIe "
+                f"latency: {_fmt(ev)}", (ev,)))
+
+
+def _overlap_sweep(events: list[TimelineEvent], rule: str, what: str,
+                   out: list[Violation], eps: float) -> None:
+    """Flag any strict overlap between events of one exclusive resource."""
+    ordered = sorted(events, key=lambda e: (e.start, e.end))
+    prev: TimelineEvent | None = None
+    for ev in ordered:
+        if ev.duration <= eps:
+            continue  # instantaneous events cannot occupy an engine
+        if prev is not None and ev.start < prev.end - eps:
+            out.append(Violation(
+                rule,
+                f"two events overlap on {what}: "
+                f"{_fmt(prev)} vs {_fmt(ev)}", (prev, ev)))
+        if prev is None or ev.end > prev.end:
+            prev = ev
+
+
+def _check_exclusive_engines(timeline: Timeline, out: list[Violation],
+                             eps: float) -> None:
+    for kind, what in EXCLUSIVE_ENGINES.items():
+        _overlap_sweep(timeline.filter(kind), "engine-overlap", what, out, eps)
+
+
+def _check_stream_order(timeline: Timeline, out: list[Violation],
+                        eps: float) -> None:
+    by_stream: dict[int, list[TimelineEvent]] = {}
+    for ev in timeline.events:
+        by_stream.setdefault(ev.stream, []).append(ev)
+    for stream, evs in sorted(by_stream.items()):
+        _overlap_sweep(evs, "stream-overlap",
+                       f"in-order stream {stream}", out, eps)
+
+
+def _check_sm_capacity(timeline: Timeline, device: DeviceSpec,
+                       out: list[Violation], eps: float) -> None:
+    """Sum of granted SMs over concurrently running kernels <= SM pool."""
+    kernels = [e for e in timeline.filter(EventKind.KERNEL)
+               if e.sms > 0 and e.duration > eps]
+    # sweep line: at equal timestamps, releases happen before grants
+    points = ([(e.start, 1, e.sms, e) for e in kernels]
+              + [(e.end, 0, -e.sms, e) for e in kernels])
+    points.sort(key=lambda p: (p[0], p[1]))
+    in_use = 0
+    flagged: set[int] = set()
+    for t, _, delta, ev in points:
+        in_use += delta
+        if delta > 0 and in_use > device.num_sms and id(ev) not in flagged:
+            flagged.add(id(ev))
+            out.append(Violation(
+                "sm-capacity",
+                f"concurrent kernels hold {in_use} SMs at t={t:.6g} "
+                f"(device has {device.num_sms}): {_fmt(ev)}", (ev,)))
+
+
+def _sync_event_id(tag: str) -> int | None:
+    """Parse the event id out of a ``signal:<id>`` / ``wait:<id>`` tag."""
+    _, _, suffix = tag.rpartition(":")
+    try:
+        return int(suffix)
+    except ValueError:
+        return None
+
+
+def _check_sync_matching(timeline: Timeline, out: list[Violation],
+                         eps: float) -> None:
+    syncs = timeline.filter(EventKind.SYNC)
+    signal_at: dict[int, float] = {}
+    for ev in syncs:
+        if ev.tag.startswith("signal"):
+            eid = _sync_event_id(ev.tag)
+            if eid is not None:
+                signal_at[eid] = min(signal_at.get(eid, ev.end), ev.end)
+    for ev in syncs:
+        if not ev.tag.startswith("wait"):
+            continue
+        eid = _sync_event_id(ev.tag)
+        if eid is None:
+            continue
+        if eid not in signal_at:
+            out.append(Violation(
+                "orphan-wait",
+                f"wait on event {eid} has no matching signal: {_fmt(ev)}",
+                (ev,)))
+        elif signal_at[eid] > ev.start + eps:
+            out.append(Violation(
+                "wait-before-signal",
+                f"wait on event {eid} completed at t={ev.start:.6g} before "
+                f"its signal at t={signal_at[eid]:.6g}: {_fmt(ev)}", (ev,)))
+
+
+def _check_roundtrip_conservation(timeline: Timeline, out: list[Violation]
+                                  ) -> None:
+    """Round-tripped intermediates must re-upload what they staged out."""
+    staged_out = sum(e.nbytes for e in timeline.filter(EventKind.D2H)
+                     if e.tag.startswith("roundtrip."))
+    staged_in = sum(e.nbytes for e in timeline.filter(EventKind.H2D)
+                    if e.tag.startswith("roundtrip."))
+    if not _bytes_close(staged_out, staged_in):
+        out.append(Violation(
+            "byte-conservation",
+            f"round-trip bytes differ: {staged_out:.0f} B staged out vs "
+            f"{staged_in:.0f} B re-uploaded"))
+
+
+def _bytes_close(a: float, b: float, rel: float = BYTE_REL_TOL,
+                 abs_tol: float = BYTE_ABS_TOL) -> bool:
+    return abs(a - b) <= abs_tol + rel * max(abs(a), abs(b))
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+def validate_timeline(timeline: Timeline, device: DeviceSpec | None = None,
+                      time_eps: float = TIME_EPS) -> ValidationReport:
+    """Audit `timeline` against the device model's invariants.
+
+    `device` enables the SM-capacity check; without it, only device-
+    independent invariants are verified.  Returns a
+    :class:`ValidationReport`; call ``.raise_if_failed()`` for strict
+    behavior.
+    """
+    violations: list[Violation] = []
+    _check_event_sanity(timeline.events, violations, time_eps)
+    _check_exclusive_engines(timeline, violations, time_eps)
+    _check_stream_order(timeline, violations, time_eps)
+    if device is not None:
+        _check_sm_capacity(timeline, device, violations, time_eps)
+    _check_sync_matching(timeline, violations, time_eps)
+    _check_roundtrip_conservation(timeline, violations)
+    return ValidationReport(violations=violations,
+                            num_events=len(timeline.events))
+
+
+def validate_run(result: Any, device: DeviceSpec | None = None,
+                 time_eps: float = TIME_EPS) -> ValidationReport:
+    """Audit an executor :class:`~repro.runtime.executor.RunResult`.
+
+    Runs :func:`validate_timeline` on the result's timeline, then checks
+    byte conservation: the total bytes the timeline actually moved in each
+    PCIe direction must match the executor's size estimates
+    (``expected_h2d_bytes`` / ``expected_d2h_bytes``) within tolerance.
+    `result` is duck-typed so this module stays import-light.
+    """
+    report = validate_timeline(result.timeline, device, time_eps)
+    for direction, kind in (("expected_h2d_bytes", EventKind.H2D),
+                            ("expected_d2h_bytes", EventKind.D2H)):
+        expected = getattr(result, direction, None)
+        if expected is None:
+            continue
+        actual = result.timeline.bytes_moved(kind)
+        if not _bytes_close(actual, expected):
+            report.violations.append(Violation(
+                "byte-conservation",
+                f"{kind.value} moved {actual:.0f} B but the executor "
+                f"estimated {expected:.0f} B"))
+    return report

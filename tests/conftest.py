@@ -7,12 +7,47 @@ import pytest
 
 from repro.ra.relation import Relation
 from repro.simgpu.device import DeviceSpec
+from repro.simgpu.engine import SimEngine
 from repro.tpch.datagen import TpchConfig, generate
+from repro.validate import validate_run, validate_timeline
 
 
 @pytest.fixture(scope="session")
 def device() -> DeviceSpec:
     return DeviceSpec()
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_schedules(monkeypatch):
+    """Audit every simulated schedule the suite produces.
+
+    Wraps :meth:`SimEngine.run` and :meth:`Executor.run` so each timeline
+    is checked against the device-model invariants (engine exclusivity,
+    SM capacity, stream order, sync matching, byte conservation); any
+    violation fails the test with a ScheduleInvariantError.
+    """
+    from repro.runtime.executor import Executor
+    from repro.runtime.strategies import ExecutionConfig
+
+    engine_run = SimEngine.run
+    executor_run = Executor.run
+
+    def checked_engine_run(self, streams, timeline=None, start_time=0.0):
+        tl = engine_run(self, streams, timeline, start_time)
+        if not self.check:  # strict engines already validated
+            validate_timeline(tl, self.device).raise_if_failed()
+        return tl
+
+    def checked_executor_run(self, plan, source_rows=None,
+                             config=ExecutionConfig()):
+        result = executor_run(self, plan, source_rows, config)
+        if not self.check:
+            validate_run(result, self.device).raise_if_failed()
+        return result
+
+    monkeypatch.setattr(SimEngine, "run", checked_engine_run)
+    monkeypatch.setattr(Executor, "run", checked_executor_run)
+    yield
 
 
 @pytest.fixture()

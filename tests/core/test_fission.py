@@ -105,6 +105,26 @@ class TestRunFissioned:
         assert sorted(seen) == list(range(len(set(seen))))
         assert len(seen) == len(set(seen))
 
+    def test_zero_output_rows_skip_d2h(self, dev):
+        """out_row_nbytes=0 (results stay on device): no zero-byte D2H
+        commands should occupy the copy engine."""
+        tl = run_fissioned(dev, 10_000_000, 4, 0, 0.5, builder_for(dev))
+        assert tl.filter(EventKind.D2H) == []
+        assert tl.bytes_moved(EventKind.D2H) == 0
+
+    def test_zero_output_thunks_still_fire(self, dev):
+        """With d2h skipped, per-segment thunks move to the last command."""
+        seen = []
+        tl = run_fissioned(dev, 10_000_000, 4, 0, 0.5, builder_for(dev),
+                           segment_thunk=lambda seg: seen.append(seg.index))
+        n_seg = len({e.tag for e in tl.filter(EventKind.H2D)})
+        assert sorted(seen) == list(range(n_seg))
+
+    def test_zero_output_schedule_is_sane(self, dev):
+        from repro.validate import validate_timeline
+        tl = run_fissioned(dev, 10_000_000, 4, 0, 0.5, builder_for(dev))
+        assert validate_timeline(tl, dev).ok
+
     def test_multi_kernel_segments(self, dev):
         def build(seg):
             n = seg.n_rows

@@ -103,6 +103,69 @@ class TestCustomFissionConfig:
         assert small.makespan > base.makespan
 
 
+class TestChunkedSideTables:
+    """Chunking must only repeat work that scales with the driver input."""
+
+    @staticmethod
+    def _star_plan() -> Plan:
+        plan = Plan()
+        fact = plan.source("fact", row_nbytes=4)
+        dim = plan.source("dim", row_nbytes=4)
+        plan.select(fact, Field("v") < 1, selectivity=0.5, name="bigsel")
+        plan.select(dim, Field("v") < 1, selectivity=0.5, name="dimsel")
+        return plan
+
+    def test_driver_independent_region_runs_once(self, ex):
+        plan = self._star_plan()
+        cfg = ExecutionConfig(strategy=Strategy.SERIAL)
+        small = ex.run(plan, {"fact": 10_000_000, "dim": 1_000_000}, cfg)
+        assert small.num_chunks == 1
+        big = ex.run(plan, {"fact": 2_000_000_000, "dim": 1_000_000}, cfg)
+        assert big.num_chunks > 1
+
+        def kernels(r, prefix):
+            return [e for e in r.timeline.filter(EventKind.KERNEL)
+                    if e.tag.startswith(prefix)]
+
+        # the fact-scan region repeats per chunk ...
+        assert len(kernels(big, "bigsel")) == \
+            big.num_chunks * len(kernels(small, "bigsel"))
+        # ... but the dim-only region must execute exactly once
+        assert len(kernels(big, "dimsel")) == len(kernels(small, "dimsel"))
+        outs = [e for e in big.timeline.events
+                if e.tag.startswith("output.dimsel")]
+        assert len(outs) == 1
+
+    def test_side_table_uploaded_once(self, ex):
+        plan = self._star_plan()
+        r = ex.run(plan, {"fact": 2_000_000_000, "dim": 1_000_000},
+                   ExecutionConfig(strategy=Strategy.SERIAL))
+        dim_uploads = [e for e in r.timeline.filter(EventKind.H2D)
+                       if e.tag == "input.dim"]
+        assert len(dim_uploads) == 1
+        fact_uploads = [e for e in r.timeline.filter(EventKind.H2D)
+                        if e.tag.startswith("input.fact")]
+        assert len(fact_uploads) == r.num_chunks
+
+
+class TestOomReporting:
+    def test_oversized_side_inputs_report_actual_budget(self, ex):
+        """When side tables alone bust the chunking budget, the error must
+        report the budget actually available, not the raw capacity."""
+        from repro.errors import DeviceOOMError
+        plan = TestChunkedSideTables._star_plan()
+        # dim: 6.4 GB of side input; fact larger still, so it stays driver
+        with pytest.raises(DeviceOOMError) as exc:
+            ex.run(plan, {"fact": 3_000_000_000, "dim": 1_600_000_000},
+                   ExecutionConfig(strategy=Strategy.SERIAL))
+        err = exc.value
+        cfg = ExecutionConfig()
+        assert err.requested == int(1_600_000_000 * 4)
+        assert err.free == int(ex.device.global_mem_bytes
+                               * cfg.memory_safety)
+        assert err.free < err.capacity == ex.device.global_mem_bytes
+
+
 class TestMultiSinkPlans:
     def test_two_sinks_both_uploaded(self, ex):
         plan = Plan()

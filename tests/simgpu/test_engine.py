@@ -127,6 +127,31 @@ class TestEventsAndThunks:
         with pytest.raises(SchedulingError, match="deadlock"):
             engine.run([s])
 
+    def test_deadlock_among_many_streams(self, engine):
+        """Progress elsewhere must not mask one stream's stuck wait."""
+        s0 = SimStream(0).h2d(1e7).wait_event(999)
+        s1 = SimStream(1).kernel(kspec())
+        with pytest.raises(SchedulingError, match="deadlock"):
+            engine.run([s0, s1])
+
+    def test_sync_events_recorded(self, engine):
+        """Signals and satisfied waits appear on the timeline as
+        zero-duration SYNC events (so the sanitizer can audit them)."""
+        s0, s1 = SimStream(0), SimStream(1)
+        eid = engine.new_event_id()
+        s0.h2d(2e8, tag="producer").signal(eid)
+        s1.wait_event(eid).d2h(1e8, tag="consumer")
+        tl = engine.run([s0, s1])
+        syncs = sorted(tl.filter(EventKind.SYNC), key=lambda e: e.start)
+        assert [e.tag for e in syncs] == [f"signal:{eid}", f"wait:{eid}"]
+        assert all(e.duration == 0.0 for e in syncs)
+        assert syncs[0].stream == 0 and syncs[1].stream == 1
+        assert syncs[1].start >= syncs[0].end
+
+    def test_no_sync_events_without_sync_commands(self, engine):
+        tl = engine.run([SimStream(0).h2d(1e7).d2h(1e7)])
+        assert tl.filter(EventKind.SYNC) == []
+
     def test_thunks_run_in_completion_order(self, engine):
         calls = []
         s = SimStream(0)

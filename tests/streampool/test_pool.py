@@ -124,3 +124,81 @@ class TestPipelining:
         pool.get_available_stream().h2d(1e6)
         t2 = pool.wait_all()
         assert len(t1.events) == len(t2.events) == 1
+
+
+class TestExhaustedFallback:
+    def test_ties_rotate_across_streams(self, pool):
+        """All claimed and equally loaded: repeated calls spread round-robin
+        instead of piling everything onto stream 0."""
+        for _ in range(3):
+            pool.get_available_stream()
+        fallbacks = [pool.get_available_stream() for _ in range(3)]
+        assert len({s.stream_id for s in fallbacks}) == 3
+
+    def test_prefers_shortest_queue(self, pool):
+        claimed = [pool.get_available_stream() for _ in range(3)]
+        claimed[0].h2d(1e6)
+        claimed[1].h2d(1e6)
+        assert pool.get_available_stream() is claimed[2]
+
+    def test_rotation_survives_wait_all_cycles(self, pool):
+        for _ in range(3):
+            pool.get_available_stream()
+        first = pool.get_available_stream()
+        first.h2d(1e6)
+        pool.wait_all()
+        for _ in range(3):
+            pool.get_available_stream()
+        second = pool.get_available_stream()
+        assert second.stream_id != first.stream_id
+
+
+class TestMultiCycle:
+    def test_select_wait_across_cycles(self, pool):
+        """Event ids must stay unique when the pool runs several batches."""
+        for tag in ("first", "second"):
+            a = pool.get_available_stream()
+            b = pool.get_available_stream()
+            a.h2d(2e8, tag=f"up.{tag}")
+            pool.select_wait(waiter=b, signaler=a)
+            b.d2h(1e8, tag=f"down.{tag}")
+            tl = pool.wait_all()
+            up = [e for e in tl.events if e.tag == f"up.{tag}"][0]
+            down = [e for e in tl.events if e.tag == f"down.{tag}"][0]
+            assert down.start >= up.end
+
+    def test_sync_events_fresh_each_cycle(self, pool):
+        from repro.validate import validate_timeline
+        for _ in range(3):
+            a = pool.get_available_stream()
+            b = pool.get_available_stream()
+            a.h2d(1e7)
+            pool.select_wait(waiter=b, signaler=a)
+            b.d2h(1e7)
+            tl = pool.wait_all()
+            assert len(tl.filter(EventKind.SYNC)) == 2
+            assert validate_timeline(tl, pool.device).ok
+
+
+class TestTerminate:
+    def test_terminate_is_idempotent(self, pool):
+        pool.terminate()
+        pool.terminate()
+        with pytest.raises(SchedulingError):
+            pool.get_available_stream()
+
+    def test_terminate_mid_cycle_drops_later_batches(self, pool):
+        pool.get_available_stream().h2d(1e6)
+        pool.wait_all()
+        pool.get_available_stream().h2d(1e6)
+        pool.terminate()
+        assert all(not s.sim.commands for s in pool.streams)
+        with pytest.raises(SchedulingError):
+            pool.wait_all()
+
+    def test_select_wait_rejected_after_terminate(self, pool):
+        a = pool.get_available_stream()
+        b = pool.get_available_stream()
+        pool.terminate()
+        with pytest.raises(SchedulingError):
+            pool.select_wait(waiter=b, signaler=a)

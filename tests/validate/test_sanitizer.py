@@ -1,0 +1,240 @@
+"""Unit tests for the schedule sanitizer (repro.validate)."""
+
+import pytest
+
+from repro.errors import ScheduleInvariantError, SchedulingError
+from repro.simgpu import DeviceSpec, EventKind, KernelLaunchSpec, SimEngine, SimStream
+from repro.simgpu.timeline import Timeline, TimelineEvent
+from repro.validate import ValidationReport, Violation, validate_timeline
+
+
+@pytest.fixture()
+def dev():
+    return DeviceSpec()
+
+
+def kspec(name="k", n=10_000_000):
+    return KernelLaunchSpec(name, n, 112, 256, 20, 4.0 * n, 2.0 * n, 40.0 * n)
+
+
+def rules_of(report: ValidationReport) -> set:
+    return {v.rule for v in report.violations}
+
+
+class TestCleanTimelines:
+    def test_empty_timeline_ok(self, dev):
+        assert validate_timeline(Timeline(), dev).ok
+
+    def test_engine_run_is_clean(self, dev):
+        s0 = SimStream(0).h2d(2e8).kernel(kspec()).d2h(1e8)
+        s1 = SimStream(1).h2d(1e8).kernel(kspec("k1"))
+        tl = SimEngine(dev).run([s0, s1])
+        report = validate_timeline(tl, dev)
+        assert report.ok, report.summary()
+        assert report.num_events == len(tl.events)
+
+    def test_pipelined_pool_is_clean(self, dev):
+        from repro.streampool import StreamPool
+        pool = StreamPool(dev, num_streams=3)
+        for i in range(6):
+            s = pool.streams[i % 3]
+            s.h2d(5e7, tag=f"h{i}")
+            s.kernel(kspec(f"k{i}", n=12_500_000))
+            s.d2h(2.5e7, tag=f"d{i}")
+        tl = pool.wait_all()
+        assert validate_timeline(tl, dev).ok
+
+    def test_summary_mentions_ok(self, dev):
+        assert "OK" in validate_timeline(Timeline(), dev).summary()
+
+
+class TestEngineExclusivity:
+    def test_overlapping_h2d_flagged(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.H2D, "a", stream=0, nbytes=10)
+        tl.add(0.5, 1.5, EventKind.H2D, "b", stream=1, nbytes=10)
+        report = validate_timeline(tl, dev)
+        assert "engine-overlap" in rules_of(report)
+        (v,) = report.by_rule()["engine-overlap"]
+        assert {e.tag for e in v.events} == {"a", "b"}
+
+    def test_overlapping_d2h_flagged(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.D2H, "a", stream=0, nbytes=10)
+        tl.add(0.9, 2.0, EventKind.D2H, "b", stream=1, nbytes=10)
+        assert "engine-overlap" in rules_of(validate_timeline(tl, dev))
+
+    def test_overlapping_host_flagged(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.HOST, "a", stream=0)
+        tl.add(0.5, 1.5, EventKind.HOST, "b", stream=1)
+        assert "engine-overlap" in rules_of(validate_timeline(tl, dev))
+
+    def test_h2d_and_d2h_may_overlap(self, dev):
+        """Two copy engines: opposite directions are concurrent."""
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.H2D, "up", stream=0, nbytes=10)
+        tl.add(0.0, 1.0, EventKind.D2H, "down", stream=1, nbytes=10)
+        assert validate_timeline(tl, dev).ok
+
+    def test_back_to_back_not_flagged(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.H2D, "a", stream=0, nbytes=10)
+        tl.add(1.0, 2.0, EventKind.H2D, "b", stream=1, nbytes=10)
+        assert validate_timeline(tl, dev).ok
+
+
+class TestSmCapacity:
+    def test_oversubscribed_sms_flagged(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.KERNEL, "a", stream=0, nbytes=1, sms=8)
+        tl.add(0.5, 1.5, EventKind.KERNEL, "b", stream=1, nbytes=1,
+               sms=dev.num_sms - 7)
+        report = validate_timeline(tl, dev)
+        assert "sm-capacity" in rules_of(report)
+
+    def test_partitioned_sms_ok(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.KERNEL, "a", stream=0, nbytes=1, sms=7)
+        tl.add(0.0, 1.0, EventKind.KERNEL, "b", stream=1, nbytes=1,
+               sms=dev.num_sms - 7)
+        assert validate_timeline(tl, dev).ok
+
+    def test_release_before_grant_at_same_instant(self, dev):
+        """A kernel starting exactly when another ends reuses its SMs."""
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.KERNEL, "a", stream=0, nbytes=1,
+               sms=dev.num_sms)
+        tl.add(1.0, 2.0, EventKind.KERNEL, "b", stream=1, nbytes=1,
+               sms=dev.num_sms)
+        assert validate_timeline(tl, dev).ok
+
+    def test_engine_kernel_events_carry_sm_grants(self, dev):
+        tl = SimEngine(dev).run([SimStream(0).kernel(kspec())])
+        (k,) = tl.filter(EventKind.KERNEL)
+        assert 0 < k.sms <= dev.num_sms
+
+
+class TestStreamOrder:
+    def test_same_stream_overlap_flagged(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.KERNEL, "a", stream=2, nbytes=1)
+        tl.add(0.5, 1.5, EventKind.H2D, "b", stream=2, nbytes=10)
+        assert "stream-overlap" in rules_of(validate_timeline(tl, dev))
+
+    def test_different_streams_may_overlap(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.KERNEL, "a", stream=0, nbytes=1)
+        tl.add(0.5, 1.5, EventKind.H2D, "b", stream=1, nbytes=10)
+        assert validate_timeline(tl, dev).ok
+
+
+class TestSyncMatching:
+    def test_orphan_wait_flagged(self, dev):
+        tl = Timeline()
+        tl.add(1.0, 1.0, EventKind.SYNC, "wait:7", stream=0)
+        report = validate_timeline(tl, dev)
+        assert "orphan-wait" in rules_of(report)
+
+    def test_wait_before_signal_flagged(self, dev):
+        tl = Timeline()
+        tl.add(1.0, 1.0, EventKind.SYNC, "wait:3", stream=0)
+        tl.add(2.0, 2.0, EventKind.SYNC, "signal:3", stream=1)
+        assert "wait-before-signal" in rules_of(validate_timeline(tl, dev))
+
+    def test_matched_pair_ok(self, dev):
+        tl = Timeline()
+        tl.add(1.0, 1.0, EventKind.SYNC, "signal:3", stream=1)
+        tl.add(1.0, 1.0, EventKind.SYNC, "wait:3", stream=0)
+        assert validate_timeline(tl, dev).ok
+
+    def test_select_wait_run_is_clean(self, dev):
+        engine = SimEngine(dev)
+        s0, s1 = SimStream(0), SimStream(1)
+        eid = engine.new_event_id()
+        s0.h2d(2e8, tag="producer").signal(eid)
+        s1.wait_event(eid).d2h(1e8, tag="consumer")
+        tl = engine.run([s0, s1])
+        assert validate_timeline(tl, dev).ok
+        assert len(tl.filter(EventKind.SYNC)) == 2
+
+
+class TestTimeSanity:
+    def test_negative_duration_flagged(self, dev):
+        tl = Timeline()
+        tl.events.append(TimelineEvent(2.0, 1.0, EventKind.KERNEL, "bad"))
+        assert "negative-duration" in rules_of(validate_timeline(tl, dev))
+
+    def test_time_travel_after_bad_extend_offset(self, dev):
+        inner = Timeline()
+        inner.add(0.0, 1.0, EventKind.KERNEL, "k", stream=0)
+        tl = Timeline()
+        tl.extend(inner, offset=-5.0)
+        assert "time-travel" in rules_of(validate_timeline(tl, dev))
+
+    def test_non_finite_time_flagged(self, dev):
+        tl = Timeline()
+        tl.events.append(
+            TimelineEvent(0.0, float("nan"), EventKind.HOST, "nan"))
+        assert "non-finite-time" in rules_of(validate_timeline(tl, dev))
+
+    def test_negative_bytes_flagged(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.H2D, "neg", stream=0, nbytes=-4.0)
+        assert "negative-bytes" in rules_of(validate_timeline(tl, dev))
+
+
+class TestByteRules:
+    def test_zero_byte_transfer_flagged(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 0.5, EventKind.D2H, "empty", stream=0, nbytes=0.0)
+        assert "zero-byte-transfer" in rules_of(validate_timeline(tl, dev))
+
+    def test_zero_byte_host_event_ok(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 0.5, EventKind.HOST, "gather", stream=0, nbytes=0.0)
+        assert validate_timeline(tl, dev).ok
+
+    def test_lopsided_roundtrip_flagged(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.D2H, "roundtrip.out.r0", nbytes=100.0)
+        tl.add(1.0, 2.0, EventKind.H2D, "roundtrip.in.r0", nbytes=50.0)
+        assert "byte-conservation" in rules_of(validate_timeline(tl, dev))
+
+    def test_balanced_roundtrip_ok(self, dev):
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.D2H, "roundtrip.out.r0", nbytes=100.0)
+        tl.add(1.0, 2.0, EventKind.H2D, "roundtrip.in.r0", nbytes=100.0)
+        assert validate_timeline(tl, dev).ok
+
+
+class TestReportApi:
+    def _corrupt(self, dev) -> ValidationReport:
+        tl = Timeline()
+        tl.add(0.0, 1.0, EventKind.H2D, "a", stream=0, nbytes=10)
+        tl.add(0.5, 1.5, EventKind.H2D, "b", stream=0, nbytes=10)
+        return validate_timeline(tl, dev)
+
+    def test_raise_if_failed(self, dev):
+        report = self._corrupt(dev)
+        with pytest.raises(ScheduleInvariantError) as exc:
+            report.raise_if_failed()
+        assert exc.value.violations == report.violations
+        # strict-mode errors integrate with existing scheduling handlers
+        assert isinstance(exc.value, SchedulingError)
+
+    def test_summary_lists_rules_and_counts(self, dev):
+        report = self._corrupt(dev)
+        text = report.summary()
+        assert "INVALID" in text
+        assert "engine-overlap" in text
+
+    def test_violation_str(self, dev):
+        v = self._corrupt(dev).violations[0]
+        assert v.rule in str(v) and isinstance(v, Violation)
+
+    def test_merge_combines_reports(self, dev):
+        a = self._corrupt(dev)
+        n = len(a.violations)
+        a.merge(self._corrupt(dev))
+        assert len(a.violations) == 2 * n
