@@ -19,6 +19,7 @@ import sys
 
 from .core.fusion import fuse_plan
 from .core.render import render_fused_kernel
+from .faults import parse_chaos
 from .plans import evaluate_sinks, pattern_census
 from .runtime import ExecutionConfig, Executor, Strategy
 from .runtime.autostrategy import run_auto
@@ -55,9 +56,15 @@ def _cmd_select(args) -> int:
           f"{args.elements/1e6:.0f}M 32-bit ints")
     for strategy in Strategy:
         r = run_select_chain(args.elements, args.num, args.selectivity, strategy,
-                             check=args.validate)
+                             check=args.validate, faults=args.chaos)
+        chaos = ""
+        if args.chaos is not None:
+            chaos = (f"  [chaos: {r.faults_injected} fault(s), "
+                     f"{r.retries} retried"
+                     + (f", degraded to {r.degraded_to}" if r.degraded_to
+                        else "") + "]")
         print(f"  {strategy.value:16s} {r.throughput/1e9:7.2f} GB/s "
-              f"({r.makespan*1e3:9.1f} ms, {r.num_chunks} chunk(s))")
+              f"({r.makespan*1e3:9.1f} ms, {r.num_chunks} chunk(s)){chaos}")
     return 0
 
 
@@ -82,13 +89,19 @@ def _cmd_query(args) -> int:
     print(f"\npattern census: {pattern_census(plan)}")
     print(fuse_plan(plan).describe())
     print(f"\nsimulated at {args.elements/1e6:.0f}M lineitems:")
-    ex = Executor(check=args.validate)
+    ex = Executor(check=args.validate, faults=args.chaos)
     base = None
     for strategy in (Strategy.SERIAL, Strategy.FUSED, Strategy.FUSED_FISSION):
         r = ex.run(plan, rows, ExecutionConfig(strategy=strategy))
         base = base or r.makespan
+        chaos = ""
+        if args.chaos is not None:
+            chaos = (f"  [chaos: {r.faults_injected} fault(s), "
+                     f"{r.retries} retried"
+                     + (f", degraded to {r.degraded_to}" if r.degraded_to
+                        else "") + "]")
         print(f"  {strategy.value:16s} {r.makespan*1e3:9.1f} ms "
-              f"({r.makespan/base:5.3f} of baseline)")
+              f"({r.makespan/base:5.3f} of baseline){chaos}")
     auto, choice = run_auto(plan, rows, ex)
     print(f"  auto -> {choice.strategy.value} "
           f"({auto.makespan*1e3:.1f} ms)")
@@ -113,7 +126,7 @@ def _cmd_fuse(args) -> int:
 def _cmd_trace(args) -> int:
     strategy = Strategy(args.strategy)
     r = run_select_chain(args.elements, 2, 0.5, strategy,
-                         check=args.validate)
+                         check=args.validate, faults=args.chaos)
     write_chrome_trace(r.timeline, args.output)
     print(f"wrote {len(r.timeline.events)} events to {args.output} "
           f"(open in chrome://tracing)")
@@ -130,6 +143,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="strict mode: sanitize every simulated schedule against the "
              "device-model invariants (see docs/VALIDATION.md) and abort "
              "on the first violation")
+    parser.add_argument(
+        "--chaos", metavar="SEED[:RATE]", type=parse_chaos, default=None,
+        help="deterministic fault injection on the simulated platform "
+             "(see docs/FAULTS.md): seeds transient transfer/launch "
+             "failures, stream stalls and spurious OOM at the given rate "
+             "(default 0.02); the runtime retries and degrades, and the "
+             "run reports what was injected")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="print the simulated platform")

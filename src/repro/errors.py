@@ -44,6 +44,43 @@ class ScheduleInvariantError(SchedulingError):
         )
 
 
+class FaultError(ReproError):
+    """Base for injected-platform-fault failures that exhausted recovery.
+
+    Raised by the simulated engine when a command keeps failing after the
+    retry budget (see :mod:`repro.faults`).  Carries the fault ``site``
+    (the command tag) and how many ``attempts`` were made.
+    """
+
+    what = "command"
+
+    def __init__(self, site: str, attempts: int):
+        self.site = site
+        self.attempts = int(attempts)
+        super().__init__(
+            f"{self.what} at {site!r} still failing after "
+            f"{attempts} attempt(s); retry budget exhausted"
+        )
+
+
+class TransferFaultError(FaultError):
+    """A PCIe transfer kept failing past its retry budget."""
+
+    what = "transfer"
+
+
+class KernelLaunchFaultError(FaultError):
+    """A kernel launch kept failing past its retry budget."""
+
+    what = "kernel launch"
+
+
+class StreamStallError(FaultError):
+    """A stream command kept stalling past the timeout on every re-issue."""
+
+    what = "stalled stream command"
+
+
 class FusionError(ReproError):
     """Raised when a fusion request violates fusibility rules."""
 

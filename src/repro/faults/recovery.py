@@ -1,0 +1,56 @@
+"""Degradation ladders: which execution modes to fall back through when the
+device keeps reporting OOM.
+
+The paper's strategies assume the device cooperates; a production engine
+must keep answering when it does not.  The ladder realizes the fallback
+order *fission -> resident -> chunked -> cpubase*:
+
+* **fission** -- pipelined segments over pooled streams (fastest, most
+  exposed to transfer faults and stream stalls);
+* **resident** -- intermediates stay in device memory, serial stream;
+* **chunked** -- every intermediate is eagerly staged back to the host so
+  the device footprint stays minimal (the paper's forced round trip);
+* **cpubase** -- the NumPy interpreter on the host; always succeeds and is
+  functionally identical, just slow.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeviceOOMError
+
+#: canonical fallback order, most capable first
+DEGRADATION_ORDER = ("fission", "resident", "chunked", "cpubase")
+
+#: per-starting-mode ladders (a mode degrades only rightward; compressed
+#: transfers are an orthogonal entry point that falls back to resident)
+LADDERS: dict[str, tuple[str, ...]] = {
+    "fission": ("fission", "resident", "chunked", "cpubase"),
+    "resident": ("resident", "chunked", "cpubase"),
+    "compressed": ("compressed", "resident", "chunked", "cpubase"),
+    "chunked": ("chunked", "cpubase"),
+    "cpubase": ("cpubase",),
+}
+
+
+def ladder_for(mode: str) -> tuple[str, ...]:
+    try:
+        return LADDERS[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution mode {mode!r}; expected one of {sorted(LADDERS)}")
+
+
+def spurious_oom(injector, site: str, capacity: int) -> None:
+    """Raise an injected :class:`DeviceOOMError` at `site` when the plan
+    says so -- but only on a *repeated* hit: the first draw models a
+    transient allocator hiccup that a single retry absorbs.
+    """
+    if injector is None:
+        return
+    if injector.oom(site):
+        injector.note_retry(site)
+        if injector.oom(site):
+            err = DeviceOOMError(capacity, 0, capacity)
+            err.injected = True
+            err.site = site
+            raise err

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..core.opmodels import chain_for_region
 from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
+from ..faults import FaultInjector, FaultPlan, as_injector
 from ..plans.plan import Plan
 from ..simgpu.compression import CompressionScheme, NONE
 from ..simgpu.device import DeviceSpec
@@ -46,12 +47,15 @@ def run_compressed_select_chain(
     costs: StageCostParams = DEFAULT_STAGE_COSTS,
     memory: HostMemory = HostMemory.PINNED,
     data_stored_compressed: bool = True,
+    faults: "FaultPlan | FaultInjector | None" = None,
 ) -> CompressedRunResult:
     """One SELECT chain with the input transferred compressed.
 
     ``data_stored_compressed=True`` models a warehouse whose columns are
     kept compressed on the host (no pack cost); otherwise the host pays to
-    compress before uploading.
+    compress before uploading.  ``faults`` enables deterministic fault
+    injection on the simulated engine (see :mod:`repro.faults`); a
+    :class:`~repro.errors.FaultError` propagates when retries run out.
     """
     device = device or DeviceSpec()
     plan = select_chain_plan(num_selects, selectivity)
@@ -86,6 +90,6 @@ def run_compressed_select_chain(
     if out_bytes > 0:
         stream.d2h(out_bytes, memory, tag="output")
 
-    timeline = SimEngine(device).run([stream])
+    timeline = SimEngine(device, faults=as_injector(faults)).run([stream])
     return CompressedRunResult(n_elements=n_elements, timeline=timeline,
                                scheme_name=scheme.name)

@@ -17,14 +17,16 @@ lowering's semantics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.cost import FusionCostModel
 from ..core.fission import FissionConfig, Segment, run_fissioned
 from ..core.fusion import FusionResult, Region, fuse_plan
 from ..core.opmodels import chain_for_node, chain_for_region, out_row_nbytes
 from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
-from ..errors import DeviceOOMError, PlanError
+from ..cpubase.select import cpu_select_time
+from ..errors import DeviceOOMError, FaultError, PlanError
+from ..faults import FaultInjector, FaultPlan, as_injector, spurious_oom
 from ..plans.plan import OpType, Plan, PlanNode
 from ..simgpu.device import DeviceSpec
 from ..simgpu.engine import SimEngine, SimStream
@@ -51,6 +53,13 @@ class RunResult:
     #: move; the schedule sanitizer checks the timeline against these
     expected_h2d_bytes: float | None = None
     expected_d2h_bytes: float | None = None
+    #: recovery bookkeeping (populated when fault injection is enabled,
+    #: see :mod:`repro.faults`): the strategy actually executed when
+    #: repeated faults forced a fallback, and injector counters
+    degraded_to: str | None = None
+    faults_injected: int = 0
+    retries: int = 0
+    reissues: int = 0
 
     @property
     def makespan(self) -> float:
@@ -104,18 +113,79 @@ class Executor:
     def __init__(self, device: DeviceSpec | None = None,
                  costs: StageCostParams = DEFAULT_STAGE_COSTS,
                  cost_model: FusionCostModel | None = None,
-                 check: bool = False):
+                 check: bool = False,
+                 faults: "FaultPlan | FaultInjector | None" = None,
+                 degrade: bool | None = None):
         self.device = device or DeviceSpec()
         self.costs = costs
         self.cost_model = cost_model
         #: strict mode: sanitize every schedule this executor produces and
         #: raise ScheduleInvariantError at the first violation
         self.check = check
+        #: fault-injection plan/injector honored by every simulated engine
+        #: this executor drives (see :mod:`repro.faults`)
+        self.faults = faults
+        #: fall back through cheaper strategies when faults keep winning;
+        #: None means "degrade iff faults are enabled"
+        self.degrade = degrade
+        self._injector: FaultInjector | None = None
 
     # ------------------------------------------------------------------
     def run(self, plan: Plan, source_rows: dict[str, int] | None = None,
             config: ExecutionConfig = ExecutionConfig()) -> RunResult:
         plan.validate()
+        injector = as_injector(self.faults)
+        degrade = self.degrade if self.degrade is not None else injector is not None
+        steps = (self._strategy_ladder(config.strategy) if degrade
+                 else [config.strategy])
+        last_err: Exception | None = None
+        for step in steps:
+            try:
+                result = self._run_once(plan, source_rows, config, step,
+                                        injector)
+            except (DeviceOOMError, FaultError) as err:
+                last_err = err
+                continue
+            if step is not config.strategy:
+                result.degraded_to = step if isinstance(step, str) else step.value
+            if injector is not None:
+                result.faults_injected = injector.faults_injected
+                result.retries = injector.retries
+                result.reissues = injector.reissues
+            if self.check:
+                from ..validate import validate_run
+                validate_run(result, self.device).raise_if_failed()
+            return result
+        assert last_err is not None
+        raise last_err
+
+    @staticmethod
+    def _strategy_ladder(strategy: Strategy) -> list:
+        """Fallback chain under repeated faults: pipelined strategies retreat
+        to serial resident execution, then to forced round trips (minimal
+        device footprint), then to the host baseline, which cannot fault."""
+        ladder: list = [strategy]
+        if strategy.uses_fission:
+            ladder.append(Strategy.FUSED if strategy.uses_fusion
+                          else Strategy.SERIAL)
+        if strategy is not Strategy.WITH_ROUND_TRIP:
+            ladder.append(Strategy.WITH_ROUND_TRIP)
+        ladder.append("cpubase")
+        return ladder
+
+    def _run_once(self, plan: Plan, source_rows: dict[str, int] | None,
+                  config: ExecutionConfig, step,
+                  injector: FaultInjector | None) -> RunResult:
+        if step == "cpubase":
+            return self._run_cpubase(plan, source_rows, config)
+        config = config if step is config.strategy else replace(
+            config, strategy=step)
+        if injector is not None:
+            # a spurious allocator failure here models the device refusing
+            # the strategy's working set outright
+            spurious_oom(injector, f"exec.{config.strategy.value}",
+                         self.device.global_mem_bytes)
+        self._injector = injector
         sizes = estimate_sizes(plan, source_rows or {})
         fusion = fuse_plan(
             plan,
@@ -150,10 +220,34 @@ class Executor:
             expected_h2d_bytes=expected[0] if expected else None,
             expected_d2h_bytes=expected[1] if expected else None,
         )
-        if self.check:
-            from ..validate import validate_run
-            validate_run(result, self.device).raise_if_failed()
         return result
+
+    def _run_cpubase(self, plan: Plan, source_rows: dict[str, int] | None,
+                     config: ExecutionConfig) -> RunResult:
+        """Host-interpreter fallback timeline: every operator runs on the
+        CPU (one pass per node, timed by the CPU calibration), so there is
+        no device command left for fault injection to break."""
+        sizes = estimate_sizes(plan, source_rows or {})
+        driver = self._driver_source(plan, sizes)
+        duration = 0.0
+        for node in plan.nodes:
+            if node.op is OpType.SOURCE:
+                continue
+            prim = node.inputs[0] if node.inputs else node
+            duration += cpu_select_time(sizes[prim.name], out_row_nbytes(prim))
+        timeline = Timeline()
+        timeline.add(0.0, duration, EventKind.HOST, "cpubase")
+
+        n_in = sizes[driver.name]
+        output_bytes = sum(float(sizes[n.name]) * out_row_nbytes(n)
+                           for n in plan.sinks())
+        self._last_num_chunks = 1
+        return RunResult(
+            strategy=config.strategy, timeline=timeline, sizes=sizes,
+            n_in=n_in, n_out=sum(sizes[n.name] for n in plan.sinks()),
+            input_bytes=float(n_in) * out_row_nbytes(driver),
+            output_bytes=output_bytes, fusion=None, num_chunks=1,
+        )
 
     # -- lowering ----------------------------------------------------------
     def _lower(self, plan: Plan, fusion: FusionResult, sizes: dict[str, int]
@@ -188,7 +282,8 @@ class Executor:
     def _run_serial(self, plan: Plan, lowered: list[_LoweredRegion],
                     sizes: dict[str, int], driver: PlanNode,
                     config: ExecutionConfig) -> Timeline:
-        engine = SimEngine(self.device, check=self.check)
+        engine = SimEngine(self.device, check=self.check,
+                           faults=self._injector)
         num_chunks = 1
         if config.include_transfers:
             num_chunks = self._plan_chunks(plan, lowered, sizes, driver, config)
@@ -351,7 +446,8 @@ class Executor:
             return self._run_serial(plan, lowered, sizes, driver, serial_cfg)
 
         timeline = Timeline()
-        engine = SimEngine(self.device, check=self.check)
+        engine = SimEngine(self.device, check=self.check,
+                           faults=self._injector)
         mem_pinned = HostMemory.PINNED
 
         # column arrays consumed positionally by gather joins in the prefix
@@ -418,7 +514,8 @@ class Executor:
             output_selectivity=prefix_sel if whole_plan_is_prefix else 0.0,
             kernel_builder=kernel_builder,
             config=fis_cfg,
-            engine=SimEngine(self.device, check=self.check),
+            engine=SimEngine(self.device, check=self.check,
+                             faults=self._injector),
             costs=self.costs,
         )
         timeline.extend(pipe_tl, offset=timeline.end_time)
@@ -428,7 +525,8 @@ class Executor:
             post = SimStream(stream_id=0)
             for lr in rest:
                 self._emit_region(post, lr, sizes, sink_names, mem_pinned)
-            post_tl = SimEngine(self.device, check=self.check).run([post])
+            post_tl = SimEngine(self.device, check=self.check,
+                                faults=self._injector).run([post])
             timeline.extend(post_tl, offset=timeline.end_time)
 
         expected_h2d = sum(float(sizes[s.name]) * out_row_nbytes(s)

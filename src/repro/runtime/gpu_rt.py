@@ -19,19 +19,45 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.cost import FusionCostModel
+from ..core.fission import FissionConfig, plan_segments
 from ..core.fusion import FusionResult, Region, fuse_plan
 from ..core.opmodels import chain_for_node, chain_for_region
 from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
-from ..errors import DeviceOOMError, PlanError
-from ..plans.interp import _eval_node
+from ..cpubase.select import cpu_select_time
+from ..errors import DeviceOOMError, FaultError, PlanError
+from ..faults import (FaultInjector, FaultPlan, as_injector, ladder_for,
+                      spurious_oom)
+from ..plans.interp import _eval_node, evaluate
 from ..plans.plan import OpType, Plan, PlanNode
 from ..ra.relation import Relation
+from ..simgpu.compression import NONE, CompressionScheme
 from ..simgpu.device import DeviceSpec
 from ..simgpu.engine import SimEngine, SimStream
 from ..simgpu.memory import DeviceMemory
 from ..simgpu.pcie import HostMemory
 from ..simgpu.timeline import EventKind, Timeline
+from ..streampool.pool import StreamPool
+
+#: operators whose rows are independent of one another given their side
+#: inputs, so a chain of them can stream segment-by-segment (fission)
+STREAMABLE_OPS = frozenset({
+    OpType.SELECT, OpType.PROJECT, OpType.ARITH,
+    OpType.SEMI_JOIN, OpType.ANTI_JOIN,
+})
+
+
+def _concat_relations(parts: list[Relation]) -> Relation:
+    """Row-wise concatenation preserving field order and key (used to
+    re-assemble fission segment outputs in segment order)."""
+    first = parts[0]
+    if len(parts) == 1:
+        return first
+    cols = {f: np.concatenate([p.column(f) for p in parts])
+            for f in first.fields}
+    return Relation(cols, key=first.key)
 
 
 @dataclass
@@ -58,6 +84,14 @@ class FunctionalRunResult:
     fusion: FusionResult
     spill_count: int
     peak_device_bytes: int
+    #: execution mode that actually produced the answers, and -- when the
+    #: fault-degradation ladder had to step down -- where it landed
+    mode: str = "resident"
+    degraded_to: str | None = None
+    #: injector counters (zero when fault injection is off)
+    faults_injected: int = 0
+    retries: int = 0
+    reissues: int = 0
 
     @property
     def makespan(self) -> float:
@@ -79,13 +113,33 @@ class GpuRuntime:
         Apply the fusion pass before execution.
     memory_limit:
         Override the device-memory budget (for memory-pressure studies).
+    mode:
+        Execution mode: ``resident`` (default; intermediates stay on
+        device), ``fission`` (segmented pipeline over pooled streams),
+        ``compressed`` (sources upload compressed + decompress kernel),
+        ``chunked`` (every intermediate eagerly staged to the host) or
+        ``cpubase`` (host interpreter).  All modes produce identical
+        tuples; only the simulated schedule differs.
+    faults:
+        A :class:`~repro.faults.FaultPlan` (or shared injector) the
+        simulated engine honors; see docs/FAULTS.md.
+    degrade:
+        Fall back down the mode ladder (see
+        :data:`repro.faults.LADDERS`) when repeated OOM / exhausted
+        retries defeat the current mode.  ``None`` = degrade iff fault
+        injection is enabled.
     """
 
     def __init__(self, device: DeviceSpec | None = None, fuse: bool = True,
                  costs: StageCostParams = DEFAULT_STAGE_COSTS,
                  cost_model: FusionCostModel | None = None,
                  memory_limit: int | None = None,
-                 host_memory: HostMemory = HostMemory.PINNED):
+                 host_memory: HostMemory = HostMemory.PINNED,
+                 mode: str = "resident",
+                 faults: "FaultPlan | FaultInjector | None" = None,
+                 degrade: bool | None = None,
+                 compression: CompressionScheme = NONE,
+                 fission: FissionConfig = FissionConfig()):
         self.device = device or DeviceSpec()
         self.fuse = fuse
         self.costs = costs
@@ -94,11 +148,59 @@ class GpuRuntime:
             capacity=memory_limit if memory_limit is not None
             else self.device.global_mem_bytes)
         self.host_memory = host_memory
+        ladder_for(mode)  # validates the name
+        self.mode = mode
+        self.faults = faults
+        self.degrade = degrade
+        self.compression = compression
+        self.fission = fission
 
     # ------------------------------------------------------------------
     def run(self, plan: Plan, sources: dict[str, Relation]
             ) -> FunctionalRunResult:
         plan.validate()
+        injector = as_injector(self.faults)
+        degrade = self.degrade if self.degrade is not None else injector is not None
+        modes = ladder_for(self.mode) if degrade else (self.mode,)
+        last_err: Exception | None = None
+        for mode in modes:
+            try:
+                result = self._run_mode(mode, plan, sources, injector)
+            except (DeviceOOMError, FaultError) as err:
+                last_err = err
+                continue
+            result.mode = mode
+            if mode != self.mode:
+                result.degraded_to = mode
+            if injector is not None:
+                result.faults_injected = injector.faults_injected
+                result.retries = injector.retries
+                result.reissues = injector.reissues
+            return result
+        assert last_err is not None
+        raise last_err
+
+    def _run_mode(self, mode: str, plan: Plan, sources: dict[str, Relation],
+                  injector: FaultInjector | None) -> FunctionalRunResult:
+        if mode == "resident":
+            return self._run_resident(plan, sources, injector)
+        if mode == "chunked":
+            return self._run_resident(plan, sources, injector,
+                                      eager_spill=True)
+        if mode == "compressed":
+            return self._run_resident(plan, sources, injector,
+                                      compressed=True)
+        if mode == "fission":
+            return self._run_fission(plan, sources, injector)
+        if mode == "cpubase":
+            return self._run_cpubase(plan, sources, injector)
+        raise ValueError(f"unknown execution mode {mode!r}")
+
+    # -- resident / chunked / compressed -------------------------------
+    def _run_resident(self, plan: Plan, sources: dict[str, Relation],
+                      injector: FaultInjector | None = None,
+                      eager_spill: bool = False,
+                      compressed: bool = False) -> FunctionalRunResult:
         self.memory.reset()
         fusion = fuse_plan(plan, cost_model=self.cost_model, enable=self.fuse)
 
@@ -117,12 +219,25 @@ class GpuRuntime:
             node_results[src.name] = rel
             buf = DeviceBuffer(src.name, rel, rel.nbytes,
                                refs_remaining=consumer_counts.get(src.name, 0))
+            if injector is not None:
+                spurious_oom(injector, f"alloc.{src.name}",
+                             self.memory.capacity)
             spills += self._make_room(buf.nbytes, buffers, stream)
             buf.handle = self.memory.alloc(buf.nbytes, src.name)
             if buf.nbytes > 0:
-                stream.h2d(buf.nbytes, self.host_memory,
-                           tag=f"input.{src.name}")
+                if compressed and self.compression.ratio > 1.0:
+                    stream.h2d(self.compression.wire_bytes(buf.nbytes),
+                               self.host_memory, tag=f"input.{src.name}")
+                    rows = max(1, rel.num_rows)
+                    stream.kernel(
+                        self.compression.decompress_spec(
+                            rows, max(1, buf.nbytes // rows), self.device),
+                        tag=f"decompress.{src.name}")
+                else:
+                    stream.h2d(buf.nbytes, self.host_memory,
+                               tag=f"input.{src.name}")
             buffers[src.name] = buf
+        sink_names = {n.name for n in plan.sinks()}
 
         # execute regions in order
         for region in fusion.regions:
@@ -135,6 +250,11 @@ class GpuRuntime:
             buf = DeviceBuffer(out_name, out_rel, out_rel.nbytes,
                                refs_remaining=consumer_counts.get(out_name, 0))
             try:
+                if injector is not None:
+                    # an injected allocator hiccup on the output lands in
+                    # the spill path below, same as a genuine OOM
+                    spurious_oom(injector, f"alloc.{out_name}",
+                                 self.memory.capacity)
                 spills += self._make_room(buf.nbytes, buffers, stream, pinned)
                 if buf.nbytes > 0:
                     buf.handle = self.memory.alloc(buf.nbytes, out_name)
@@ -151,6 +271,17 @@ class GpuRuntime:
             buffers[out_name] = buf
 
             self._emit_region_kernels(region, node_results, stream)
+            if (eager_spill and buf.resident
+                    and out_name not in sink_names):
+                # chunked mode: intermediates never stay resident -- stage
+                # each one straight back to the host so the device footprint
+                # is one region's inputs + output at a time
+                self.memory.free(buf.handle)
+                buf.handle = None
+                if buf.nbytes > 0:
+                    stream.d2h(buf.nbytes, self.host_memory,
+                               tag=f"spill.out.{out_name}")
+                    spills += 1
             self._release_consumed(region, buffers)
 
         # download sink results
@@ -162,7 +293,7 @@ class GpuRuntime:
                 stream.d2h(rel.nbytes, self.host_memory,
                            tag=f"output.{sink.name}")
 
-        timeline = SimEngine(self.device).run([stream])
+        timeline = SimEngine(self.device, faults=injector).run([stream])
         # count spill round trips from the command log (a spill is a d2h;
         # re-upload is charged when the buffer is touched again)
         spill_events = [e for e in timeline.events if e.tag.startswith("spill")]
@@ -171,6 +302,165 @@ class GpuRuntime:
             spill_count=len([e for e in spill_events
                              if e.kind is EventKind.D2H]),
             peak_device_bytes=self.memory.peak,
+        )
+
+    # -- fission (segmented functional pipeline) ------------------------
+    def _streamable_chain(self, plan: Plan
+                          ) -> tuple[list[PlanNode] | None, PlanNode | None]:
+        """The whole plan as one streamable chain, or ``(None, None)``.
+
+        A plan streams when it is a single chain *source -> ops -> sink*
+        of :data:`STREAMABLE_OPS` whose side inputs (semi/anti-join build
+        sides) are plain sources: those operators treat every row
+        independently, so evaluating the chain segment-by-segment and
+        concatenating preserves the exact tuples.
+        """
+        sinks = plan.sinks()
+        if len(sinks) != 1:
+            return None, None
+        chain: list[PlanNode] = []
+        node = sinks[0]
+        while node.op is not OpType.SOURCE:
+            if node.op not in STREAMABLE_OPS or not node.inputs:
+                return None, None
+            if any(s.op is not OpType.SOURCE for s in node.inputs[1:]):
+                return None, None
+            chain.append(node)
+            node = node.inputs[0]
+        driver = node
+        chain.reverse()
+        if not chain:
+            return None, None
+        on_chain = ({n.name for n in chain} | {driver.name}
+                    | {s.name for n in chain for s in n.inputs[1:]})
+        if any(n.name not in on_chain for n in plan.nodes):
+            return None, None
+        return chain, driver
+
+    def _run_fission(self, plan: Plan, sources: dict[str, Relation],
+                     injector: FaultInjector | None) -> FunctionalRunResult:
+        chain, driver = self._streamable_chain(plan)
+        if chain is None:
+            # barriers / wide joins cannot stream: resident execution is
+            # the in-place fallback for non-streamable shapes
+            return self._run_resident(plan, sources, injector)
+        if driver.name not in sources:
+            raise PlanError(f"no relation bound for source {driver.name!r}")
+        driver_rel = sources[driver.name]
+        n_rows = driver_rel.num_rows
+        if n_rows == 0:
+            return self._run_resident(plan, sources, injector)
+
+        self.memory.reset()
+        fusion = fuse_plan(plan, cost_model=self.cost_model, enable=self.fuse)
+        sink = plan.sinks()[0]
+        side_srcs: list[PlanNode] = []
+        for node in chain:
+            for s in node.inputs[1:]:
+                if s.name not in {x.name for x in side_srcs}:
+                    if s.name not in sources:
+                        raise PlanError(
+                            f"no relation bound for source {s.name!r}")
+                    side_srcs.append(s)
+
+        engine = SimEngine(self.device, faults=injector)
+        pool = StreamPool(self.device, num_streams=self.fission.num_streams,
+                          engine=engine)
+        row_nbytes = max(1, driver_rel.nbytes // n_rows)
+        segments = plan_segments(n_rows, row_nbytes, self.fission)
+
+        # build-side uploads and build kernels run once, before the pipeline
+        groups = [chain] if self.fuse else [[n] for n in chain]
+        kchains = [chain_for_region(g, self.costs) for g in groups]
+        pre = pool.streams[0]
+        for s in side_srcs:
+            rel = sources[s.name]
+            if rel.nbytes > 0:
+                pre.h2d(rel.nbytes, self.host_memory, tag=f"input.{s.name}")
+        for kc in kchains:
+            side_sizes = {getattr(n, "name", str(n)): sources[n.name].num_rows
+                          for _, n in kc.side_kernels}
+            for spec in kc.side_launch_specs(self.device, side_sizes):
+                pre.kernel(spec, tag=spec.name)
+
+        # each segment: slice -> evaluate -> H2D + kernels + D2H on a pooled
+        # stream; the real result is recorded by the completion thunk, so
+        # answers only exist if the schedule actually finished
+        seg_results: dict[int, Relation] = {}
+        for seg in segments:
+            idx = np.arange(seg.start_row, seg.start_row + seg.n_rows)
+            seg_in = driver_rel.take(idx)
+            seg_nodes: dict[str, Relation] = {driver.name: seg_in}
+            for s in side_srcs:
+                seg_nodes[s.name] = sources[s.name]
+            rows_in: dict[str, int] = {}
+            out = seg_in
+            for node in chain:
+                rows_in[node.name] = seg_nodes[node.inputs[0].name].num_rows
+                out = _eval_node(node, seg_nodes, sources)
+                seg_nodes[node.name] = out
+
+            ps = pool.streams[seg.index % pool.num_streams]
+            if seg_in.nbytes > 0:
+                ps.h2d(seg_in.nbytes, self.host_memory,
+                       tag=f"input.{driver.name}.seg{seg.index}")
+            for kc, grp in zip(kchains, groups):
+                for spec in kc.main_launch_specs(
+                        max(rows_in[grp[0].name], 1), self.device):
+                    ps.kernel(spec, tag=f"{spec.name}.seg{seg.index}")
+            if out.nbytes > 0:
+                ps.d2h(out.nbytes, self.host_memory,
+                       tag=f"output.{sink.name}.seg{seg.index}")
+            last = ps.sim.commands[-1]
+            prev = last.thunk
+
+            def record(i=seg.index, r=out, prev=prev):
+                if prev is not None:
+                    prev()
+                seg_results[i] = r
+
+            last.thunk = record
+
+        timeline = pool.wait_all()
+        assert all(s.index in seg_results for s in segments)
+        out_rel = _concat_relations([seg_results[s.index] for s in segments])
+
+        # the host re-gathers out-of-order segment results (paper SS IV-C)
+        gather = out_rel.nbytes / self.costs.host_gather_bw
+        if gather > 0:
+            t0 = timeline.end_time
+            timeline.add(t0, t0 + gather, EventKind.HOST, "cpu_gather",
+                         nbytes=out_rel.nbytes)
+        return FunctionalRunResult(
+            results={sink.name: out_rel}, timeline=timeline, fusion=fusion,
+            spill_count=0, peak_device_bytes=self.memory.peak,
+        )
+
+    # -- cpubase (host interpreter) --------------------------------------
+    def _run_cpubase(self, plan: Plan, sources: dict[str, Relation],
+                     injector: FaultInjector | None) -> FunctionalRunResult:
+        """Host fallback: the NumPy interpreter computes every node; the
+        timeline is a single HOST event timed by the CPU calibration.  No
+        device commands remain, so nothing is left to fault (slowdowns may
+        still stretch the host event)."""
+        self.memory.reset()
+        fusion = fuse_plan(plan, cost_model=self.cost_model, enable=False)
+        node_results = evaluate(plan, sources)
+        duration = 0.0
+        for node in plan.nodes:
+            if node.op is OpType.SOURCE:
+                continue
+            prim = node.inputs[0] if node.inputs else node
+            rel = node_results[prim.name]
+            row = rel.row_nbytes if rel.num_rows else 4
+            duration += cpu_select_time(rel.num_rows, max(1, row))
+        stream = SimStream(stream_id=0)
+        stream.host(duration, tag="cpubase")
+        timeline = SimEngine(self.device, faults=injector).run([stream])
+        results = {s.name: node_results[s.name] for s in plan.sinks()}
+        return FunctionalRunResult(
+            results=results, timeline=timeline, fusion=fusion,
+            spill_count=0, peak_device_bytes=0,
         )
 
     # -- memory management ------------------------------------------------

@@ -46,9 +46,10 @@ def run_select_chain(
     include_transfers: bool = True,
     config: ExecutionConfig | None = None,
     check: bool = False,
+    faults=None,
 ) -> RunResult:
     """Run a SELECT chain at the given size/strategy; returns the RunResult."""
-    executor = Executor(device or DeviceSpec(), check=check)
+    executor = Executor(device or DeviceSpec(), check=check, faults=faults)
     plan = select_chain_plan(num_selects, selectivity)
     cfg = config or ExecutionConfig(
         strategy=strategy, include_transfers=include_transfers)

@@ -12,6 +12,18 @@ Models the NVIDIA C2070 concurrency envelope the paper exploits (SS IV-B):
 Commands optionally carry a *thunk* -- a Python callable that performs the
 functional (NumPy) work when the command completes, so logical results
 materialize in simulated-time order.
+
+Fault injection (docs/FAULTS.md): when constructed with a
+:class:`~repro.faults.injector.FaultInjector`, the engine consults it at
+dispatch time.  A transient transfer/launch failure occupies its engine for
+the detection latency, is logged as a ``fault.``-prefixed event, and the
+command is retried in place after an exponential backoff; a stall past the
+timeout is abandoned (``fault.stall.`` event) and the command re-issued,
+its completion logged on a fresh replacement stream id.  Thunks only run on
+success, so functional results are never produced twice.  When retries are
+exhausted a typed :class:`~repro.errors.FaultError` escapes and the streams
+are pruned to exactly the commands that have not completed, so callers can
+surface or re-run the remaining work.
 """
 
 from __future__ import annotations
@@ -19,13 +31,22 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
-from ..errors import SchedulingError
+from ..errors import (
+    FaultError,
+    KernelLaunchFaultError,
+    SchedulingError,
+    StreamStallError,
+    TransferFaultError,
+)
 from .compute import CONCURRENT_PENALTY, KernelLaunchSpec, kernel_duration, sms_requested
 from .device import DeviceSpec
 from .pcie import Direction, HostMemory, PcieModel
 from .timeline import EventKind, Timeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..faults.injector import FaultInjector
 
 Thunk = Callable[[], None]
 
@@ -127,35 +148,122 @@ class _Running:
     stream_idx: int
     cmd: Command
     granted_sms: int = 0
+    #: this attempt was decided to fail (transient fault or stall timeout)
+    failed: bool = False
+    #: the failure is a stall abandonment (re-issue on a fresh stream)
+    stalled: bool = False
 
 
 class SimEngine:
     """Runs a set of :class:`SimStream` queues to completion.
 
     Returns a :class:`Timeline` of everything that happened.  The engine is
-    deterministic: ties are broken by stream id.
+    deterministic: ties are broken by stream id.  An optional
+    :class:`~repro.faults.injector.FaultInjector` makes commands fail,
+    stall, or slow down on purpose; the engine then repairs the schedule
+    with bounded retries (see module docstring).
     """
 
     def __init__(self, device: DeviceSpec, pcie: PcieModel | None = None,
-                 check: bool = False):
+                 check: bool = False, faults: "FaultInjector | None" = None):
         self.device = device
         self.pcie = pcie or PcieModel(device.calib.pcie)
         self.check = check
+        self.faults = faults
         self._event_counter = itertools.count()
 
     def new_event_id(self) -> int:
         return next(self._event_counter)
 
+    # -- fault hooks --------------------------------------------------------
+    def _fault_adjust(self, cmd: Command, dur: float
+                      ) -> tuple[float, bool, bool]:
+        """Apply injected faults to a dispatching command.
+
+        Returns ``(attempt_duration, failed, stalled)``.  At most one fault
+        fires per attempt: hard failures are probed first, then stalls
+        (transfers/kernels) or slowdowns (host work).
+        """
+        fi = self.faults
+        if fi is None:
+            return dur, False, False
+        retry = fi.plan.retry
+        site = cmd.tag
+        if isinstance(cmd, TransferCommand):
+            if fi.transfer_fault(site, h2d=cmd.direction is Direction.H2D):
+                detect = max(self.pcie.calib.latency_s,
+                             dur * retry.transfer_fail_fraction)
+                return detect, True, False
+            factor = fi.stall(site)
+            if factor is not None:
+                stalled_dur = dur * factor
+                if stalled_dur > retry.stall_timeout_s:
+                    return retry.stall_timeout_s, True, True
+                return stalled_dur, False, False
+            factor = fi.host_slowdown(site)
+            if factor is not None:
+                # loaded host: the staging path (paged bounce buffer /
+                # pinned setup) stretches -- see PcieModel.transfer_time
+                return self.pcie.transfer_time(
+                    cmd.nbytes, cmd.direction, cmd.memory,
+                    host_slowdown=factor), False, False
+        elif isinstance(cmd, KernelCommand):
+            if fi.kernel_fault(site):
+                return retry.kernel_fail_latency_s, True, False
+            factor = fi.stall(site)
+            if factor is not None:
+                stalled_dur = dur * factor
+                if stalled_dur > retry.stall_timeout_s:
+                    return retry.stall_timeout_s, True, True
+                return stalled_dur, False, False
+        elif isinstance(cmd, HostCommand):
+            factor = fi.host_slowdown(site)
+            if factor is not None:
+                return dur * factor, False, False
+        return dur, False, False
+
+    @staticmethod
+    def _fault_error(cmd: Command, attempts: int) -> FaultError:
+        if isinstance(cmd, TransferCommand):
+            return TransferFaultError(cmd.tag, attempts)
+        if isinstance(cmd, KernelCommand):
+            return KernelLaunchFaultError(cmd.tag, attempts)
+        return FaultError(cmd.tag, attempts)
+
     # -- main loop ----------------------------------------------------------
     def run(self, streams: list[SimStream], timeline: Timeline | None = None,
             start_time: float = 0.0) -> Timeline:
+        cursors = [0] * len(streams)          # next command index per stream
+        try:
+            return self._run(streams, cursors, timeline, start_time)
+        except FaultError:
+            # leave each queue holding exactly the commands that did not
+            # complete, so callers (e.g. StreamPool) can surface or re-run
+            # the remaining work instead of losing it
+            for i, s in enumerate(streams):
+                del s.commands[:cursors[i]]
+            raise
+
+    def _run(self, streams: list[SimStream], cursors: list[int],
+             timeline: Timeline | None = None,
+             start_time: float = 0.0) -> Timeline:
         tl = timeline if timeline is not None else Timeline()
         now = start_time
-        cursors = [0] * len(streams)          # next command index per stream
         blocked_until_done = [False] * len(streams)
+        #: earliest simulated time each stream may dispatch again (backoff)
+        ready_at = [start_time] * len(streams)
         running: list[tuple[float, int, _Running]] = []  # heap by end time
         seq = itertools.count()
         signaled: set[int] = set()
+
+        #: failed attempts per command (id-keyed; commands are unique objects)
+        attempts: dict[int, int] = {}
+        #: commands abandoned by a stall, mapped to their replacement
+        #: (fresh) stream id for the re-issued completion event
+        reissued_stream: dict[int, int] = {}
+        replacement_ids = itertools.count(
+            max((s.stream_id for s in streams), default=0) + 1)
+        retry = self.faults.plan.retry if self.faults is not None else None
 
         h2d_busy = False
         d2h_busy = False
@@ -173,7 +281,8 @@ class SimEngine:
                 # FIFO across streams: consider stream heads in enqueue order
                 heads = sorted(
                     (i for i, s in enumerate(streams)
-                     if not blocked_until_done[i] and cursors[i] < len(s.commands)),
+                     if not blocked_until_done[i] and cursors[i] < len(s.commands)
+                     and ready_at[i] <= now),
                     key=lambda i: streams[i].commands[cursors[i]].seq,
                 )
                 for i in heads:
@@ -202,11 +311,13 @@ class SimEngine:
                             continue
                         dur = self.pcie.transfer_time(
                             cmd.nbytes, cmd.direction, cmd.memory)
+                        dur, failed, stalled = self._fault_adjust(cmd, dur)
                         if cmd.direction is Direction.H2D:
                             h2d_busy = True
                         else:
                             d2h_busy = True
-                        run = _Running(end=now + dur, stream_idx=i, cmd=cmd)
+                        run = _Running(end=now + dur, stream_idx=i, cmd=cmd,
+                                       failed=failed, stalled=stalled)
                     elif isinstance(cmd, KernelCommand):
                         if cmd.spec is None:
                             raise SchedulingError(f"kernel command {cmd.tag} has no spec")
@@ -218,15 +329,20 @@ class SimEngine:
                         dur = kernel_duration(
                             self.device, cmd.spec,
                             granted_sms=grant, concurrent=concurrent)
+                        dur, failed, stalled = self._fault_adjust(cmd, dur)
                         free_sms -= grant
                         kernels_in_flight += 1
                         run = _Running(end=now + dur, stream_idx=i,
-                                       cmd=cmd, granted_sms=grant)
+                                       cmd=cmd, granted_sms=grant,
+                                       failed=failed, stalled=stalled)
                     elif isinstance(cmd, HostCommand):
                         if host_busy:
                             continue
+                        dur, failed, stalled = self._fault_adjust(
+                            cmd, cmd.duration)
                         host_busy = True
-                        run = _Running(end=now + cmd.duration, stream_idx=i, cmd=cmd)
+                        run = _Running(end=now + dur, stream_idx=i, cmd=cmd,
+                                       failed=failed, stalled=stalled)
                     else:
                         raise SchedulingError(f"unknown command type: {cmd!r}")
 
@@ -236,6 +352,13 @@ class SimEngine:
                     dispatched = True
 
             if not running:
+                # streams may be idle only because of retry backoff: jump
+                # simulated time to the earliest ready stream and re-dispatch
+                future = [ready_at[i] for i, s in enumerate(streams)
+                          if cursors[i] < len(s.commands) and ready_at[i] > now]
+                if future:
+                    now = min(future)
+                    continue
                 if pending():
                     raise SchedulingError(
                         "deadlock: streams pending but nothing can be dispatched "
@@ -252,29 +375,53 @@ class SimEngine:
             for run in completions:
                 cmd = run.cmd
                 start = getattr(run, "start")
+                # a command re-issued after a stall completes on its fresh
+                # replacement stream; everything else on its own stream
+                event_stream = reissued_stream.get(
+                    id(cmd), streams[run.stream_idx].stream_id)
+                tag = cmd.tag
+                if run.failed:
+                    tag = ("fault.stall." if run.stalled else "fault.") + tag
                 if isinstance(cmd, TransferCommand):
                     kind = EventKind.H2D if cmd.direction is Direction.H2D else EventKind.D2H
-                    tl.add(start, now, kind, cmd.tag,
-                           stream=streams[run.stream_idx].stream_id,
+                    tl.add(start, now, kind, tag, stream=event_stream,
                            nbytes=cmd.nbytes)
                     if cmd.direction is Direction.H2D:
                         h2d_busy = False
                     else:
                         d2h_busy = False
                 elif isinstance(cmd, KernelCommand):
-                    tl.add(start, now, EventKind.KERNEL, cmd.tag,
-                           stream=streams[run.stream_idx].stream_id,
+                    tl.add(start, now, EventKind.KERNEL, tag,
+                           stream=event_stream,
                            nbytes=cmd.spec.total_traffic if cmd.spec else 0.0,
                            sms=run.granted_sms)
                     free_sms += run.granted_sms
                     kernels_in_flight -= 1
                 elif isinstance(cmd, HostCommand):
-                    tl.add(start, now, EventKind.HOST, cmd.tag,
-                           stream=streams[run.stream_idx].stream_id)
+                    tl.add(start, now, EventKind.HOST, tag,
+                           stream=event_stream)
                     host_busy = False
+                blocked_until_done[run.stream_idx] = False
+                if run.failed:
+                    # retry in place: cursor stays, thunk does not run
+                    n_failed = attempts[id(cmd)] = attempts.get(id(cmd), 0) + 1
+                    assert retry is not None
+                    if n_failed > retry.max_retries:
+                        if run.stalled:
+                            raise StreamStallError(cmd.tag, n_failed)
+                        raise self._fault_error(cmd, n_failed)
+                    self.faults.note_retry(cmd.tag)
+                    if run.stalled:
+                        # abandoned past the timeout: re-issue immediately,
+                        # completion will be logged on a fresh stream
+                        reissued_stream[id(cmd)] = next(replacement_ids)
+                        self.faults.note_reissue(cmd.tag)
+                    else:
+                        ready_at[run.stream_idx] = now + retry.backoff(n_failed)
+                    continue
+                reissued_stream.pop(id(cmd), None)
                 if cmd.thunk is not None:
                     cmd.thunk()
-                blocked_until_done[run.stream_idx] = False
                 cursors[run.stream_idx] += 1
 
         if self.check:

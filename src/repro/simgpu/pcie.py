@@ -61,11 +61,25 @@ class PcieModel:
             bw *= 1.0 - c.pinned_degradation * frac
         return bw
 
-    def transfer_time(self, nbytes: float, direction: Direction, memory: HostMemory) -> float:
-        """Wall-clock seconds to move `nbytes` across PCIe."""
+    def transfer_time(self, nbytes: float, direction: Direction, memory: HostMemory,
+                      host_slowdown: float = 1.0) -> float:
+        """Wall-clock seconds to move `nbytes` across PCIe.
+
+        ``host_slowdown`` models a loaded host slowing the staging path
+        (fault injection, see :mod:`repro.faults`): paged transfers bounce
+        through a host buffer whose memcpy stretches by that factor, while
+        pinned transfers DMA directly and only pay it on the setup latency.
+        """
         if nbytes <= 0:
             return 0.0
-        return self.calib.latency_s + nbytes / self.bandwidth(nbytes, direction, memory)
+        t = self.calib.latency_s + nbytes / self.bandwidth(nbytes, direction, memory)
+        if host_slowdown > 1.0:
+            if memory is HostMemory.PAGED:
+                t += (host_slowdown - 1.0) * nbytes / self.bandwidth(
+                    nbytes, direction, memory)
+            else:
+                t += (host_slowdown - 1.0) * self.calib.latency_s
+        return t
 
     def effective_bandwidth(
         self, nbytes: float, direction: Direction, memory: HostMemory

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import SchedulingError
+from ..errors import FaultError, SchedulingError
 from ..simgpu.compute import KernelLaunchSpec
 from ..simgpu.device import DeviceSpec
 from ..simgpu.engine import Command, SimEngine, SimStream, Thunk
@@ -130,23 +130,50 @@ class StreamPool:
         self._started = True
 
     def wait_all(self) -> Timeline:
-        """Run every queued command to completion; returns the timeline."""
+        """Run every queued command to completion; returns the timeline.
+
+        If a command keeps failing past its retry budget (injected faults,
+        see :mod:`repro.faults`), the :class:`~repro.errors.FaultError`
+        propagates with ``pending`` mapping stream id -> commands still
+        queued.  The engine has already pruned everything that completed,
+        so those commands stay enqueued: callers may re-open the pool and
+        call :meth:`wait_all` again to retry exactly the unfinished work,
+        or :meth:`terminate` to collect it.
+        """
         if self._terminated:
             raise SchedulingError("pool has been terminated")
         if not self._started:
             self.start_streams()
-        self.timeline = self.engine.run([s.sim for s in self._streams])
+        timeline = Timeline()
+        try:
+            self.timeline = self.engine.run(
+                [s.sim for s in self._streams], timeline)
+        except FaultError as err:
+            # surface partial progress and the stalled streams' backlog
+            # instead of silently dropping either
+            self.timeline = timeline
+            err.pending = {
+                s.stream_id: list(s.sim.commands)
+                for s in self._streams if s.sim.commands
+            }
+            self._started = False
+            raise
         for s in self._streams:
             s.sim.commands.clear()
             s.available = True
         self._started = False
         return self.timeline
 
-    def terminate(self) -> None:
-        """End execution immediately, dropping queued commands."""
+    def terminate(self) -> list[Command]:
+        """End execution immediately.  Any commands still queued (e.g. left
+        behind by a stalled stream after a failed :meth:`wait_all`) are
+        drained and returned to the caller rather than silently dropped."""
         self._terminated = True
+        drained: list[Command] = []
         for s in self._streams:
+            drained.extend(s.sim.commands)
             s.sim.commands.clear()
+        return drained
 
     # -- paper-spelling aliases ----------------------------------------------
     getAvailableStream = get_available_stream

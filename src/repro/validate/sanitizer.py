@@ -283,7 +283,10 @@ def validate_run(result: Any, device: DeviceSpec | None = None,
     byte conservation: the total bytes the timeline actually moved in each
     PCIe direction must match the executor's size estimates
     (``expected_h2d_bytes`` / ``expected_d2h_bytes``) within tolerance.
-    `result` is duck-typed so this module stays import-light.
+    Failed attempts that fault injection forced to be re-tried are tagged
+    ``fault.*`` by the engine and excluded -- only the transfer that finally
+    delivered the data counts toward conservation.  `result` is duck-typed
+    so this module stays import-light.
     """
     report = validate_timeline(result.timeline, device, time_eps)
     for direction, kind in (("expected_h2d_bytes", EventKind.H2D),
@@ -291,7 +294,8 @@ def validate_run(result: Any, device: DeviceSpec | None = None,
         expected = getattr(result, direction, None)
         if expected is None:
             continue
-        actual = result.timeline.bytes_moved(kind)
+        actual = sum(e.nbytes for e in result.timeline.filter(kind)
+                     if not e.tag.startswith("fault."))
         if not _bytes_close(actual, expected):
             report.violations.append(Violation(
                 "byte-conservation",

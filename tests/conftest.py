@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import hashlib
+import os
+
 import numpy as np
 import pytest
 
+from repro.faults import FaultInjector, FaultPlan
 from repro.ra.relation import Relation
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.engine import SimEngine
@@ -15,6 +19,57 @@ from repro.validate import validate_run, validate_timeline
 @pytest.fixture(scope="session")
 def device() -> DeviceSpec:
     return DeviceSpec()
+
+
+def _chaos_plan_from_env() -> FaultPlan | None:
+    """FaultPlan from REPRO_CHAOS_RATE / REPRO_CHAOS_SEED, or None.
+
+    Environment-driven (rather than a pytest option) so the chaos CI job
+    can flip on low-rate injection for the *whole* suite without touching
+    every invocation: ``REPRO_CHAOS_RATE=0.002 pytest``.
+    """
+    rate = os.environ.get("REPRO_CHAOS_RATE")
+    if not rate:
+        return None
+    seed = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+    return FaultPlan.chaos(seed, rate=float(rate))
+
+
+@pytest.fixture
+def chaos() -> FaultPlan:
+    """A seeded FaultPlan for tests that opt into fault injection.
+
+    Honors REPRO_CHAOS_RATE / REPRO_CHAOS_SEED when set; defaults to the
+    standard low-rate chaos plan otherwise.
+    """
+    return _chaos_plan_from_env() or FaultPlan.chaos(0, rate=0.02)
+
+
+@pytest.fixture(autouse=True)
+def _env_chaos(request, monkeypatch):
+    """Suite-wide chaos mode: when REPRO_CHAOS_RATE is set, every engine
+    that was constructed *without* explicit faults gets a deterministic
+    low-rate injector (seeded per-test so different tests probe different
+    sites).  Tests asserting exact simulated timings opt out with
+    ``@pytest.mark.no_chaos``."""
+    plan = _chaos_plan_from_env()
+    if plan is None or request.node.get_closest_marker("no_chaos"):
+        yield
+        return
+    per_test = int.from_bytes(
+        hashlib.blake2b(request.node.nodeid.encode(), digest_size=4).digest(),
+        "big")
+    test_plan = FaultPlan(seed=plan.seed + per_test, rates=plan.rates,
+                          budget=plan.budget, retry=plan.retry)
+    orig_init = SimEngine.__init__
+
+    def chaos_init(self, device, pcie=None, check=False, faults=None):
+        if faults is None:
+            faults = FaultInjector(test_plan)
+        orig_init(self, device, pcie=pcie, check=check, faults=faults)
+
+    monkeypatch.setattr(SimEngine, "__init__", chaos_init)
+    yield
 
 
 @pytest.fixture(autouse=True)

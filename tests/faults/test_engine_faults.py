@@ -1,0 +1,238 @@
+"""Engine-level fault behavior: retries, backoff, stall re-issue, typed
+errors, and sanitizer compatibility of repaired schedules.
+
+Every test pins its own injection plan, so suite-wide chaos injection on
+top would double-fault the schedules under test.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import (
+    KernelLaunchFaultError,
+    StreamStallError,
+    TransferFaultError,
+)
+from repro.faults import FaultInjector, FaultKind, FaultPlan, RetryPolicy
+from repro.simgpu import DeviceSpec, EventKind, KernelLaunchSpec
+from repro.simgpu.engine import SimEngine, SimStream
+from repro.simgpu.pcie import Direction, HostMemory, PcieModel
+from repro.validate import validate_run, validate_timeline
+
+pytestmark = pytest.mark.no_chaos  # each test pins its own injection plan
+
+NB = 8_000_000.0
+
+
+def engine(plan):
+    device = DeviceSpec()
+    return device, SimEngine(device, faults=FaultInjector(plan))
+
+
+def kspec(name="k", n=10_000_000):
+    return KernelLaunchSpec(name, n, 112, 256, 20, 4.0 * n, 2.0 * n, 40.0 * n)
+
+
+def forced(kind, budget=1, retry=None, **kw):
+    return FaultPlan(seed=0, rates={kind: 1.0}, budget=budget,
+                     retry=retry or RetryPolicy(), **kw)
+
+
+class TestTransientRetry:
+    def test_failed_transfer_logged_and_retried(self):
+        device, eng = engine(forced(FaultKind.H2D_FAIL))
+        ran = []
+        s = SimStream(0)
+        s.h2d(NB, tag="input.x", thunk=lambda: ran.append(1))
+        tl = eng.run([s])
+        tags = [e.tag for e in tl.filter(EventKind.H2D)]
+        assert tags == ["fault.input.x", "input.x"]
+        # the failed attempt still occupied the engine and reports its bytes
+        fault, ok = tl.filter(EventKind.H2D)
+        assert fault.nbytes == NB
+        assert ran == [1]  # thunk fires exactly once, on the success
+
+    def test_retry_waits_out_backoff(self):
+        retry = RetryPolicy(backoff_base_s=5e-3)
+        device, eng = engine(forced(FaultKind.H2D_FAIL, retry=retry))
+        s = SimStream(0)
+        s.h2d(NB, tag="input.x")
+        tl = eng.run([s])
+        fault, ok = tl.filter(EventKind.H2D)
+        assert ok.start == pytest.approx(fault.end + retry.backoff(1))
+
+    def test_failure_detection_is_cheaper_than_full_transfer(self):
+        device = DeviceSpec()
+        clean = SimEngine(device).run([SimStream(0).h2d(NB, tag="input.x")])
+        _, eng = engine(forced(FaultKind.H2D_FAIL))
+        faulted = eng.run([SimStream(0).h2d(NB, tag="input.x")])
+        fault = faulted.filter(EventKind.H2D)[0]
+        full = clean.filter(EventKind.H2D)[0]
+        assert fault.duration == pytest.approx(full.duration * 0.5)
+
+    def test_kernel_launch_failure_retried(self):
+        _, eng = engine(forced(FaultKind.KERNEL_FAIL))
+        s = SimStream(0)
+        s.kernel(kspec("scan"))
+        tl = eng.run([s])
+        tags = [e.tag for e in tl.filter(EventKind.KERNEL)]
+        assert tags == ["fault.scan", "scan"]
+        assert tl.filter(EventKind.KERNEL)[0].duration == pytest.approx(
+            RetryPolicy().kernel_fail_latency_s)
+
+    def test_injector_counts_retries(self):
+        _, eng = engine(forced(FaultKind.D2H_FAIL))
+        eng.run([SimStream(0).d2h(NB, tag="output.y")])
+        assert eng.faults.retries == 1
+        assert eng.faults.faults_injected == 1
+        assert eng.faults.by_kind() == {FaultKind.D2H_FAIL: 1}
+
+
+class TestTypedErrors:
+    def test_transfer_error_after_exhausted_retries(self):
+        retry = RetryPolicy(max_retries=2)
+        _, eng = engine(forced(FaultKind.H2D_FAIL, budget=64, retry=retry))
+        a = SimStream(0)
+        a.h2d(NB, tag="input.x")
+        a.kernel(kspec("stage.x"))
+        b = SimStream(1)
+        b.host(0.001, tag="side.work")
+        with pytest.raises(TransferFaultError) as exc:
+            eng.run([a, b])
+        assert exc.value.site == "input.x"
+        assert exc.value.attempts == 3  # initial try + 2 retries
+        # queues pruned to exactly the unfinished work
+        assert [c.tag for c in a.commands] == ["input.x", "stage.x"]
+        assert b.commands == []  # the independent host work completed
+
+    def test_kernel_error_type(self):
+        retry = RetryPolicy(max_retries=1)
+        _, eng = engine(forced(FaultKind.KERNEL_FAIL, budget=64, retry=retry))
+        with pytest.raises(KernelLaunchFaultError):
+            eng.run([SimStream(0).kernel(kspec())])
+
+    def test_stall_error_type(self):
+        retry = RetryPolicy(max_retries=1, stall_timeout_s=1e-3)
+        plan = forced(FaultKind.STREAM_STALL, budget=64, retry=retry,
+                      stall_factor=1e6)
+        _, eng = engine(plan)
+        with pytest.raises(StreamStallError) as exc:
+            eng.run([SimStream(0).h2d(NB, tag="input.x")])
+        assert exc.value.attempts == 2
+
+    def test_thunks_never_run_on_failure(self):
+        retry = RetryPolicy(max_retries=1)
+        _, eng = engine(forced(FaultKind.H2D_FAIL, budget=64, retry=retry))
+        ran = []
+        s = SimStream(0).h2d(NB, tag="input.x", thunk=lambda: ran.append(1))
+        with pytest.raises(TransferFaultError):
+            eng.run([s])
+        assert ran == []
+
+
+class TestStalls:
+    def test_stall_past_timeout_reissued_on_fresh_stream(self):
+        retry = RetryPolicy(stall_timeout_s=1e-3)
+        plan = forced(FaultKind.STREAM_STALL, retry=retry, stall_factor=1e6)
+        _, eng = engine(plan)
+        s = SimStream(0)
+        s.h2d(NB, tag="input.x")
+        tl = eng.run([s])
+        abandoned, ok = tl.filter(EventKind.H2D)
+        assert abandoned.tag == "fault.stall.input.x"
+        assert abandoned.duration == pytest.approx(retry.stall_timeout_s)
+        assert abandoned.stream == 0
+        assert ok.tag == "input.x"
+        assert ok.stream == 1  # fresh replacement stream id
+        assert eng.faults.reissues == 1
+
+    def test_stall_below_timeout_just_runs_slow(self):
+        device = DeviceSpec()
+        clean = SimEngine(device).run([SimStream(0).h2d(NB, tag="input.x")])
+        plan = forced(FaultKind.STREAM_STALL, stall_factor=2.0,
+                      retry=RetryPolicy(stall_timeout_s=1e9))
+        _, eng = engine(plan)
+        slow = eng.run([SimStream(0).h2d(NB, tag="input.x")])
+        (c,) = clean.filter(EventKind.H2D)
+        (f,) = slow.filter(EventKind.H2D)
+        assert f.tag == "input.x"  # no failure, just latency
+        assert f.duration == pytest.approx(2.0 * c.duration)
+
+
+class TestHostSlowdown:
+    def test_host_command_stretched(self):
+        plan = forced(FaultKind.HOST_SLOWDOWN, host_slowdown_factor=8.0)
+        _, eng = engine(plan)
+        tl = eng.run([SimStream(0).host(0.01, tag="cpu_gather")])
+        (ev,) = tl.filter(EventKind.HOST)
+        assert ev.duration == pytest.approx(0.08)
+
+    def test_paged_transfer_pays_bandwidth_penalty(self):
+        device = DeviceSpec()
+        pcie = PcieModel(device.calib.pcie)
+        base = pcie.transfer_time(NB, Direction.H2D, HostMemory.PAGED)
+        slow = pcie.transfer_time(NB, Direction.H2D, HostMemory.PAGED,
+                                  host_slowdown=4.0)
+        assert slow > base
+        # the whole staging (bandwidth) term scales with the slowdown
+        assert slow - base == pytest.approx(
+            3.0 * NB / pcie.bandwidth(NB, Direction.H2D, HostMemory.PAGED))
+
+    def test_pinned_transfer_only_pays_setup_latency(self):
+        device = DeviceSpec()
+        pcie = PcieModel(device.calib.pcie)
+        base = pcie.transfer_time(NB, Direction.H2D, HostMemory.PINNED)
+        slow = pcie.transfer_time(NB, Direction.H2D, HostMemory.PINNED,
+                                  host_slowdown=4.0)
+        # pinned pages cannot be swapped: only the fixed setup cost grows
+        assert slow == pytest.approx(base + 3.0 * pcie.calib.latency_s)
+
+
+class TestSanitizerCompatibility:
+    def test_repaired_timeline_validates(self):
+        device = DeviceSpec()
+        plan = FaultPlan(seed=5, rates={FaultKind.H2D_FAIL: 1.0,
+                                        FaultKind.KERNEL_FAIL: 1.0}, budget=2)
+        eng = SimEngine(device, faults=FaultInjector(plan))
+        s = SimStream(0)
+        s.h2d(NB, tag="input.x")
+        s.kernel(kspec("stage"))
+        s.d2h(NB / 2, tag="output.x")
+        tl = eng.run([s])
+        validate_timeline(tl, device).raise_if_failed()
+
+    def test_stall_reissue_timeline_validates(self):
+        device = DeviceSpec()
+        retry = RetryPolicy(stall_timeout_s=1e-3)
+        plan = FaultPlan(seed=0, rates={FaultKind.STREAM_STALL: 1.0},
+                         budget=1, stall_factor=1e6, retry=retry)
+        eng = SimEngine(device, faults=FaultInjector(plan))
+        tl = eng.run([SimStream(0).h2d(NB, tag="input.x")])
+        validate_timeline(tl, device).raise_if_failed()
+
+    def test_byte_conservation_ignores_failed_attempts(self):
+        """A failed transfer reports its nbytes on the fault event; only
+        the attempt that delivered the data counts toward conservation."""
+        _, eng = engine(forced(FaultKind.H2D_FAIL))
+        tl = eng.run([SimStream(0).h2d(NB, tag="input.x")])
+        fake = SimpleNamespace(timeline=tl, expected_h2d_bytes=NB)
+        validate_run(fake).raise_if_failed()
+
+
+class TestNoOpInjection:
+    def test_off_plan_matches_clean_run(self):
+        device = DeviceSpec()
+
+        def schedule():
+            s = SimStream(0)
+            s.h2d(NB, tag="input.x")
+            s.kernel(kspec())
+            s.d2h(NB, tag="output.x")
+            return [s]
+
+        clean = SimEngine(device).run(schedule())
+        offed = SimEngine(device,
+                          faults=FaultInjector(FaultPlan.off())).run(schedule())
+        assert [(e.start, e.end, e.tag) for e in clean.events] == \
+            [(e.start, e.end, e.tag) for e in offed.events]

@@ -1,0 +1,126 @@
+"""Unit tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultKind, FaultPlan, as_injector
+
+
+def hot(kind, rate=1.0, seed=0, budget=64, **kw):
+    return FaultInjector(FaultPlan(seed=seed, rates={kind: rate},
+                                   budget=budget, **kw))
+
+
+class TestDeterminism:
+    def test_same_plan_same_decisions(self):
+        plan = FaultPlan.chaos(seed=42, rate=0.3)
+        sites = [f"input.{i}" for i in range(50)]
+        a = [FaultInjector(plan).fire(FaultKind.H2D_FAIL, s) for s in sites]
+        b = [FaultInjector(plan).fire(FaultKind.H2D_FAIL, s) for s in sites]
+        assert a == b
+        assert any(a) and not all(a)  # rate 0.3 over 50 sites: mixed outcomes
+
+    def test_decisions_independent_of_probe_order(self):
+        """A site's decision depends only on (seed, kind, site, probe) --
+        not on how many unrelated sites were probed before it."""
+        plan = FaultPlan.chaos(seed=7, rate=0.3, budget=1000)
+        a = FaultInjector(plan)
+        for i in range(100):
+            a.fire(FaultKind.KERNEL_FAIL, f"noise.{i}")
+        b = FaultInjector(plan)
+        assert (a.fire(FaultKind.H2D_FAIL, "input.x")
+                == b.fire(FaultKind.H2D_FAIL, "input.x"))
+
+    def test_different_seeds_diverge(self):
+        sites = [f"s{i}" for i in range(64)]
+        a = FaultInjector(FaultPlan.chaos(seed=1, rate=0.5))
+        b = FaultInjector(FaultPlan.chaos(seed=2, rate=0.5))
+        assert ([a.fire(FaultKind.H2D_FAIL, s) for s in sites]
+                != [b.fire(FaultKind.H2D_FAIL, s) for s in sites])
+
+    def test_repeated_probes_get_fresh_draws(self):
+        """Retrying the same site re-rolls: with rate 0.5 the same site
+        cannot fire identically on 32 consecutive probes."""
+        fi = hot(FaultKind.H2D_FAIL, rate=0.5, budget=1000)
+        draws = [fi.fire(FaultKind.H2D_FAIL, "input.x") for _ in range(32)]
+        assert any(draws) and not all(draws)
+
+    def test_uniform_in_unit_interval(self):
+        fi = hot(FaultKind.H2D_FAIL)
+        us = [fi._uniform(FaultKind.H2D_FAIL, f"s{i}", 0) for i in range(200)]
+        assert all(0.0 <= u < 1.0 for u in us)
+        assert 0.3 < sum(us) / len(us) < 0.7  # roughly centered
+
+
+class TestBudget:
+    def test_budget_bounds_total_injections(self):
+        fi = hot(FaultKind.KERNEL_FAIL, rate=1.0, budget=5)
+        fired = sum(fi.fire(FaultKind.KERNEL_FAIL, f"k{i}") for i in range(50))
+        assert fired == 5
+        assert fi.budget_left == 0
+        # exhausted: the injector is inert from here on
+        assert not fi.fire(FaultKind.KERNEL_FAIL, "one.more")
+
+    def test_zero_rate_never_fires_or_spends(self):
+        fi = hot(FaultKind.H2D_FAIL, rate=0.0, budget=5)
+        assert not any(fi.fire(FaultKind.H2D_FAIL, f"s{i}") for i in range(20))
+        assert fi.budget_left == 5
+
+
+class TestConvenienceProbes:
+    def test_transfer_fault_direction_kinds(self):
+        fi = hot(FaultKind.H2D_FAIL)
+        assert fi.transfer_fault("up", h2d=True)
+        assert not fi.transfer_fault("down", h2d=False)
+
+    def test_stall_returns_factor(self):
+        fi = hot(FaultKind.STREAM_STALL, stall_factor=30.0)
+        assert fi.stall("k") == 30.0
+        fi2 = hot(FaultKind.H2D_FAIL)
+        assert fi2.stall("k") is None
+
+    def test_host_slowdown_returns_factor(self):
+        fi = hot(FaultKind.HOST_SLOWDOWN, host_slowdown_factor=4.0)
+        assert fi.host_slowdown("gather") == 4.0
+
+    def test_oom(self):
+        assert hot(FaultKind.DEVICE_OOM).oom("alloc.x")
+
+
+class TestStats:
+    def test_snapshot_and_by_kind(self):
+        fi = FaultInjector(FaultPlan(
+            seed=0, rates={FaultKind.H2D_FAIL: 1.0, FaultKind.KERNEL_FAIL: 1.0}))
+        fi.fire(FaultKind.H2D_FAIL, "a")
+        fi.fire(FaultKind.KERNEL_FAIL, "b")
+        fi.fire(FaultKind.KERNEL_FAIL, "c")
+        fi.note_retry("a")
+        fi.note_reissue("b")
+        assert fi.by_kind() == {FaultKind.H2D_FAIL: 1, FaultKind.KERNEL_FAIL: 2}
+        snap = fi.snapshot()
+        assert snap["faults_injected"] == 3
+        assert snap["retries"] == 1
+        assert snap["reissues"] == 1
+        assert snap["faults.h2d_fail"] == 1
+        assert snap["faults.kernel_fail"] == 2
+
+    def test_injected_records_sites(self):
+        fi = hot(FaultKind.D2H_FAIL)
+        fi.fire(FaultKind.D2H_FAIL, "output.q")
+        (rec,) = fi.injected
+        assert (rec.kind, rec.site, rec.probe) == (FaultKind.D2H_FAIL,
+                                                   "output.q", 0)
+
+
+class TestAsInjector:
+    def test_none_passes_through(self):
+        assert as_injector(None) is None
+
+    def test_plan_wrapped(self):
+        plan = FaultPlan.chaos(seed=1)
+        fi = as_injector(plan)
+        assert isinstance(fi, FaultInjector)
+        assert fi.plan is plan
+
+    def test_injector_passes_through_sharing_budget(self):
+        fi = hot(FaultKind.H2D_FAIL, budget=2)
+        assert as_injector(fi) is fi

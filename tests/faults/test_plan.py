@@ -1,0 +1,76 @@
+"""Unit tests for the declarative fault model (FaultPlan / RetryPolicy)."""
+
+import pytest
+
+from repro.faults import ALL_KINDS, FaultKind, FaultPlan, RetryPolicy, parse_chaos
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        p = RetryPolicy(backoff_base_s=1e-4, backoff_multiplier=2.0)
+        assert p.backoff(1) == pytest.approx(1e-4)
+        assert p.backoff(2) == pytest.approx(2e-4)
+        assert p.backoff(3) == pytest.approx(4e-4)
+
+    def test_backoff_clamps_attempt_zero(self):
+        p = RetryPolicy(backoff_base_s=1e-4)
+        assert p.backoff(0) == pytest.approx(1e-4)
+
+
+class TestFaultPlan:
+    def test_default_is_disabled(self):
+        assert not FaultPlan().enabled
+
+    def test_off_is_disabled(self):
+        assert not FaultPlan.off().enabled
+
+    def test_chaos_covers_all_kinds(self):
+        plan = FaultPlan.chaos(seed=3, rate=0.1)
+        assert plan.enabled
+        for kind in ALL_KINDS:
+            assert plan.rate_for(kind, "anything") == 0.1
+
+    def test_zero_budget_disables(self):
+        plan = FaultPlan.chaos(seed=3, rate=0.1, budget=0)
+        assert not plan.enabled
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(rates={FaultKind.H2D_FAIL: 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(rates={FaultKind.H2D_FAIL: -0.1})
+        with pytest.raises(ValueError):
+            FaultPlan(budget=-1)
+
+    def test_site_rate_overrides_kind_rate(self):
+        plan = FaultPlan(rates={FaultKind.H2D_FAIL: 0.01},
+                         site_rates={"input.lineitem": 0.5})
+        assert plan.rate_for(FaultKind.H2D_FAIL, "input.orders") == 0.01
+        assert plan.rate_for(FaultKind.H2D_FAIL, "input.lineitem") == 0.5
+        # prefix match: segment sites inherit the override
+        assert plan.rate_for(FaultKind.H2D_FAIL, "input.lineitem.seg3") == 0.5
+
+    def test_longest_prefix_wins(self):
+        plan = FaultPlan(site_rates={"input": 0.1, "input.a": 0.9})
+        assert plan.rate_for(FaultKind.H2D_FAIL, "input.a") == 0.9
+        assert plan.rate_for(FaultKind.H2D_FAIL, "input.b") == 0.1
+
+    def test_site_rates_alone_enable(self):
+        assert FaultPlan(site_rates={"x": 1.0}).enabled
+
+
+class TestParseChaos:
+    def test_seed_only(self):
+        plan = parse_chaos("7")
+        assert plan.seed == 7
+        assert plan.rate_for(FaultKind.KERNEL_FAIL, "k") == pytest.approx(0.02)
+
+    def test_seed_and_rate(self):
+        plan = parse_chaos("12:0.3")
+        assert plan.seed == 12
+        assert plan.rate_for(FaultKind.D2H_FAIL, "d") == pytest.approx(0.3)
+
+    @pytest.mark.parametrize("bad", ["x", "1:y", "1:2.0", "1:-0.5", ""])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_chaos(bad)

@@ -10,6 +10,7 @@ import pytest
 from repro.plans import evaluate_sinks, optimize_plan
 from repro.plans.fuzz import random_plan_case
 from repro.runtime import GpuRuntime
+from repro.simgpu.compression import BITPACK, DICT, RLE
 
 SEEDS = list(range(60))
 
@@ -68,6 +69,7 @@ def test_rewrites_preserve_semantics(seed):
             f"seed={seed} plan={case.description}")
 
 
+@pytest.mark.no_chaos  # compares timings across two separately faulted runs
 @pytest.mark.parametrize("seed", SEEDS[:20])
 def test_fused_timing_never_worse_than_unfused(seed):
     """Fusion is only applied where the lowering saves work; on these
@@ -77,6 +79,57 @@ def test_fused_timing_never_worse_than_unfused(seed):
     unfused = GpuRuntime(fuse=False).run(case.plan, case.sources)
     assert fused.makespan <= unfused.makespan * 1.05, (
         f"seed={seed} plan={case.description}")
+
+
+@pytest.mark.parametrize("seed", SEEDS[:30])
+def test_fission_runtime_matches_interpreter(seed):
+    """The segmented pipeline (kernel fission over pooled streams) must be
+    invisible to the answer, including on plans it cannot stream (where it
+    falls back to resident execution)."""
+    case = random_plan_case(seed)
+    ref = evaluate_sinks(case.plan, case.sources)
+    res = GpuRuntime(mode="fission").run(case.plan, case.sources)
+    for name, rel in ref.items():
+        assert res.results[name].same_tuples(rel), (
+            f"seed={seed} plan={case.description}")
+
+
+@pytest.mark.parametrize("seed", SEEDS[:30])
+def test_chunked_runtime_matches_interpreter(seed):
+    """Eagerly staging every intermediate to the host (the forced round
+    trip) changes the schedule, never the tuples."""
+    case = random_plan_case(seed)
+    ref = evaluate_sinks(case.plan, case.sources)
+    res = GpuRuntime(mode="chunked").run(case.plan, case.sources)
+    for name, rel in ref.items():
+        assert res.results[name].same_tuples(rel), (
+            f"seed={seed} plan={case.description}")
+
+
+@pytest.mark.parametrize("scheme", [RLE, DICT, BITPACK], ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", SEEDS[:15])
+def test_compressed_transfers_match_interpreter(seed, scheme):
+    case = random_plan_case(seed)
+    ref = evaluate_sinks(case.plan, case.sources)
+    res = GpuRuntime(mode="compressed", compression=scheme).run(
+        case.plan, case.sources)
+    for name, rel in ref.items():
+        assert res.results[name].same_tuples(rel), (
+            f"seed={seed} plan={case.description} scheme={scheme.name}")
+
+
+def test_compressed_mode_moves_fewer_wire_bytes():
+    from repro.simgpu import EventKind
+    case = random_plan_case(1)
+    raw = GpuRuntime(mode="resident").run(case.plan, case.sources)
+    comp = GpuRuntime(mode="compressed", compression=RLE).run(
+        case.plan, case.sources)
+    bytes_up = lambda r: sum(e.nbytes for e in r.timeline.filter(EventKind.H2D)
+                             if e.tag.startswith("input."))
+    assert bytes_up(comp) < bytes_up(raw)
+    # and pays for it with decompress kernels
+    assert any(e.tag.startswith("decompress.")
+               for e in comp.timeline.events)
 
 
 def test_generator_is_deterministic():

@@ -46,6 +46,7 @@ class TestCompressedRuns:
         tags = [e.tag for e in comp.timeline.filter(EventKind.KERNEL)]
         assert any("decompress" in t for t in tags)
 
+    @pytest.mark.no_chaos  # compares timings across separately faulted runs
     def test_compression_helps_end_to_end(self):
         """The He et al. claim: for PCIe-bound queries compression pays off
         despite the decompression kernel."""

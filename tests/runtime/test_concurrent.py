@@ -10,6 +10,7 @@ class TestModes:
         with pytest.raises(ValueError):
             run_two_selects(1_000_000, "bogus")
 
+    @pytest.mark.no_chaos  # asserts a calibrated timing band
     def test_new_config_roughly_half_speed(self):
         """'no stream (new)' uses half threads/CTAs -> ~half throughput."""
         n = 100_000_000
@@ -28,6 +29,7 @@ class TestModes:
         old = run_two_selects(2_000_000, "old").throughput
         assert s > old
 
+    @pytest.mark.no_chaos  # compares timings across separately faulted runs
     def test_old_beats_stream_at_large_n(self):
         """Paper: 'stream is worse than (old) when number of elements
         exceeds 8 million.'"""

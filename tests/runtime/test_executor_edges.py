@@ -26,6 +26,7 @@ class TestRoundTripChunked:
         # one d2h + one h2d per intermediate per chunk
         assert len(rt_events) == 2 * r.num_chunks
 
+    @pytest.mark.no_chaos  # compares timings across separately faulted runs
     def test_round_trip_slowest_everywhere(self):
         for n in (10_000_000, 500_000_000, 2_000_000_000):
             tputs = {s: run_select_chain(n, 2, 0.5, s).throughput

@@ -29,6 +29,7 @@ class TestPureChainFission:
         assert tl.makespan < 0.85 * serial_sum
         assert tl.makespan >= h2d_busy
 
+    @pytest.mark.no_chaos  # asserts a tight timing margin
     def test_fission_gain_over_serial(self, ex):
         """Fig 14: pipelined fission beats chunked serial by a healthy margin
         for data exceeding GPU memory."""
@@ -44,6 +45,7 @@ class TestPureChainFission:
         assert len(host) == 1
         assert host[0].tag == "cpu_gather"
 
+    @pytest.mark.no_chaos  # asserts a calibrated timing band
     def test_fig16_ordering(self, ex):
         """Fig 16: fusion+fission >= fission > fusion > serial."""
         big = 1_000_000_000

@@ -68,6 +68,7 @@ class TestOverlap:
         evs = sorted(tl.filter(EventKind.H2D), key=lambda e: e.start)
         assert evs[1].start >= evs[0].end
 
+    @pytest.mark.no_chaos  # asserts exact three-way engine overlap
     def test_three_way_overlap(self, engine):
         """One kernel + one download + one upload simultaneously (>= 3
         streams exploit both copy engines, paper SS IV-B)."""
@@ -77,6 +78,7 @@ class TestOverlap:
         tl = engine.run([s0, s1, s2])
         assert all(e.start == 0.0 for e in tl.events)
 
+    @pytest.mark.no_chaos  # asserts exact dispatch order
     def test_fifo_across_streams(self, engine):
         """Same-engine commands dispatch in enqueue order, not stream order."""
         s0, s1, s2 = SimStream(0), SimStream(1), SimStream(2)

@@ -67,6 +67,7 @@ class TestOnRealSchedules:
         assert (fission.busy_fraction(EventKind.H2D)
                 > serial.busy_fraction(EventKind.H2D))
 
+    @pytest.mark.no_chaos  # asserts near-saturated engine utilization
     def test_fission_h2d_nearly_saturated(self):
         r = analyze(run_select_chain(2_000_000_000, 1, 0.5,
                                      Strategy.FISSION).timeline)

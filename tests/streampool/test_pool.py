@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SchedulingError
 from repro.simgpu import DeviceSpec, EventKind, KernelLaunchSpec
-from repro.simgpu.engine import HostCommand
+from repro.simgpu.engine import HostCommand, SimEngine
 from repro.streampool import StreamPool
 
 
@@ -105,6 +105,7 @@ class TestSelectWait:
 
 
 class TestPipelining:
+    @pytest.mark.no_chaos  # asserts a tight timing margin
     def test_three_streams_overlap_transfers_and_compute(self, pool):
         """The Fig 13 pattern: per-segment h2d/kernel/d2h across 3 streams
         finishes well before the serial sum."""
@@ -202,3 +203,78 @@ class TestTerminate:
         pool.terminate()
         with pytest.raises(SchedulingError):
             pool.select_wait(waiter=b, signaler=a)
+
+
+class TestFaultedPool:
+    """Regressions for the stalled-stream path: wait_all must surface the
+    unfinished backlog and terminate must drain it, never drop it."""
+
+    @staticmethod
+    def _faulted_pool(plan):
+        from repro.faults import FaultInjector
+        device = DeviceSpec()
+        return StreamPool(device, num_streams=2,
+                          engine=SimEngine(device, faults=FaultInjector(plan)))
+
+    def test_wait_all_surfaces_pending_commands(self):
+        from repro.errors import TransferFaultError
+        from repro.faults import FaultKind, FaultPlan, RetryPolicy
+        plan = FaultPlan(seed=0, site_rates={"input.a": 1.0}, budget=64,
+                         retry=RetryPolicy(max_retries=1))
+        pool = self._faulted_pool(plan)
+        a = pool.get_available_stream()
+        b = pool.get_available_stream()
+        a.h2d(1e7, tag="input.a")
+        a.kernel(kspec("stage.a"))
+        b.host(1e-4, tag="side.work")
+        with pytest.raises(TransferFaultError) as exc:
+            pool.wait_all()
+        err = exc.value
+        assert err.site == "input.a"
+        # the stalled stream's backlog is surfaced, keyed by stream id ...
+        assert [c.tag for c in err.pending[a.stream_id]] == \
+            ["input.a", "stage.a"]
+        # ... the independent stream finished and owes nothing ...
+        assert b.stream_id not in err.pending
+        # ... and partial progress (the failed attempts + side work) is kept
+        assert any(e.tag == "side.work" for e in pool.timeline.events)
+        assert any(e.tag.startswith("fault.") for e in pool.timeline.events)
+
+    def test_wait_all_can_retry_exactly_the_unfinished_work(self):
+        from repro.errors import TransferFaultError
+        from repro.faults import FaultKind, FaultPlan, RetryPolicy
+        # one fault in the budget: the first wait_all fails, the second
+        # completes the leftover commands fault-free
+        plan = FaultPlan(seed=0, rates={FaultKind.H2D_FAIL: 1.0}, budget=1,
+                         retry=RetryPolicy(max_retries=0))
+        pool = self._faulted_pool(plan)
+        s = pool.get_available_stream()
+        s.h2d(1e7, tag="input.a")
+        s.d2h(1e7, tag="output.a")
+        with pytest.raises(TransferFaultError):
+            pool.wait_all()
+        assert [c.tag for c in s.sim.commands] == ["input.a", "output.a"]
+        tl = pool.wait_all()
+        assert [e.tag for e in tl.events] == ["input.a", "output.a"]
+        assert all(not st.sim.commands for st in pool.streams)
+
+    def test_terminate_returns_drained_backlog(self):
+        from repro.errors import TransferFaultError
+        from repro.faults import FaultPlan, RetryPolicy
+        plan = FaultPlan(seed=0, site_rates={"input.a": 1.0}, budget=64,
+                         retry=RetryPolicy(max_retries=0))
+        pool = self._faulted_pool(plan)
+        s = pool.get_available_stream()
+        s.h2d(1e7, tag="input.a")
+        s.kernel(kspec("stage.a"))
+        with pytest.raises(TransferFaultError):
+            pool.wait_all()
+        drained = pool.terminate()
+        assert [c.tag for c in drained] == ["input.a", "stage.a"]
+        assert all(not st.sim.commands for st in pool.streams)
+
+    def test_terminate_on_clean_pool_returns_queued_commands(self):
+        pool = StreamPool(DeviceSpec(), num_streams=2)
+        pool.get_available_stream().h2d(1e6, tag="queued")
+        drained = pool.terminate()
+        assert [c.tag for c in drained] == ["queued"]

@@ -1,0 +1,56 @@
+"""Golden checksums for the synthetic TPC-H generator.
+
+The fault-injection determinism contract (docs/FAULTS.md) only holds if
+the *data* is reproducible too: the default-config tables must hash to the
+same bytes on every run and every machine with this NumPy generation.  A
+change here means every calibrated TPC-H number in the suite silently
+shifted -- bump the goldens only with a deliberate generator change.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.tpch.datagen import TpchConfig, generate
+
+GOLDEN = {
+    "nation": (25, "edd715cfa9450f95b8317871e4d16f52"),
+    "supplier": (100, "44abbe6d3f991d8e89475c783a991332"),
+    "orders": (15000, "3701e8e8dd9b8abde68d7a7f0b24e6c7"),
+    "lineitem": (60012, "8652536d84dcc934a32a75af55844fe9"),
+}
+
+
+def _digest(rel) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for f in rel.fields:
+        col = rel.column(f)
+        h.update(f.encode())
+        h.update(str(col.dtype).encode())
+        h.update(col.tobytes())
+    return h.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(TpchConfig())
+
+
+@pytest.mark.parametrize("table", sorted(GOLDEN))
+def test_default_config_tables_match_goldens(data, table):
+    rel = getattr(data, table)
+    rows, digest = GOLDEN[table]
+    assert rel.num_rows == rows
+    assert _digest(rel) == digest
+
+
+def test_regeneration_is_bit_identical(data):
+    again = generate(TpchConfig())
+    for table in GOLDEN:
+        assert _digest(getattr(again, table)) == _digest(getattr(data, table))
+
+
+def test_seed_changes_every_table(data):
+    other = generate(TpchConfig(seed=2024))
+    for table in ("supplier", "orders", "lineitem"):  # nation is static
+        assert _digest(getattr(other, table)) != _digest(getattr(data, table))
