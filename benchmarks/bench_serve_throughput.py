@@ -1,0 +1,87 @@
+"""Serving benchmark: offered load vs. goodput and tail latency.
+
+A fixed seeded arrival trace is served twice at each offered load --
+isolated per-query dispatch vs. memory-aware shared-scan batching
+(docs/SERVING.md) -- so the batching win is measured query-for-query on
+identical work.  Deadlines are set loose and the queue deep, so neither
+policy sheds: both complete the whole trace and goodput differences come
+purely from how fast each drains the backlog (shared uploads + overlapped
+per-query remainders vs. one upload per query).
+
+Emits ``BENCH_serve.json`` (always; ``--json PATH`` redirects it), the
+seed point of the serving perf trajectory.
+"""
+
+from repro.bench import emit_json, format_table, json_output_path, print_header
+from repro.serve import ArrivalProcess, QueryServer, ServeConfig, TenantSpec
+
+#: loose-SLO population: nothing sheds, so both policies serve the whole
+#: trace and the comparison isolates scheduling efficiency
+TENANTS = (
+    TenantSpec("interactive", mix=(("q6", 0.6), ("sql_scan", 0.4)),
+               weight=0.7, priority=0, deadline_s=120.0, elements=2_000_000),
+    TenantSpec("reporting", mix=(("q1", 0.6), ("q21", 0.4)),
+               weight=0.3, priority=1, deadline_s=120.0, elements=4_000_000),
+)
+
+QPS_SWEEP = (60, 120, 240)
+DURATION_S = 1.0
+SEED = 11
+
+
+def _serve(trace, mode):
+    cfg = ServeConfig(mode=mode, queue_capacity=4096)
+    return QueryServer(config=cfg).run(trace=list(trace)).metrics
+
+
+def _measure():
+    points = []
+    for qps in QPS_SWEEP:
+        trace = ArrivalProcess(qps=qps, duration_s=DURATION_S,
+                               tenants=TENANTS, seed=SEED).trace()
+        by_mode = {mode: _serve(trace, mode)
+                   for mode in ("isolated", "batched")}
+        points.append((qps, len(trace), by_mode))
+    return points
+
+
+def test_serve_throughput(benchmark, device):
+    points = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header("Serving: offered load vs goodput",
+                 "isolated per-query dispatch vs shared-scan batching",
+                 device)
+    rows = []
+    payload = {"qps_sweep": list(QPS_SWEEP), "duration_s": DURATION_S,
+               "seed": SEED, "points": []}
+    for qps, n_offered, by_mode in points:
+        iso, bat = by_mode["isolated"], by_mode["batched"]
+        rows.append([
+            qps, n_offered,
+            iso.goodput_qps, bat.goodput_qps,
+            iso.latency.percentile(99) * 1e3,
+            bat.latency.percentile(99) * 1e3,
+            bat.mean_batch_size,
+        ])
+        payload["points"].append({
+            "offered_qps": qps,
+            "offered_queries": n_offered,
+            "isolated": iso.summary(),
+            "batched": bat.summary(),
+        })
+    print(format_table(
+        ["offered qps", "queries", "iso good q/s", "bat good q/s",
+         "iso p99 ms", "bat p99 ms", "batch size"], rows, width=13))
+
+    out = emit_json("serve", payload,
+                    path=json_output_path("serve") or "BENCH_serve.json")
+    print(f"wrote {out}")
+
+    for qps, _, by_mode in points:
+        iso, bat = by_mode["isolated"], by_mode["batched"]
+        # same completed set, so higher goodput == faster drain; the batched
+        # schedule must strictly win at every offered load
+        assert bat.completed_ok == iso.completed_ok
+        assert bat.goodput_qps > iso.goodput_qps, f"qps={qps}"
+    # batching leverage grows as queues deepen
+    assert points[-1][2]["batched"].mean_batch_size > 1.5

@@ -22,6 +22,28 @@ def pytest_addoption(parser):
                  "sanitizer (repro.validate) during benchmark runs")
     except ValueError:
         pass  # already registered by another conftest
+    try:
+        parser.addoption(
+            "--json", metavar="PATH", default=None,
+            help="machine-readable output: benchmarks that support it "
+                 "write BENCH_<experiment>.json reports under PATH (a "
+                 "directory) or to PATH itself (a file)")
+    except ValueError:
+        pass
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_json_target(request):
+    """Publish the --json target to the harness (repro.bench.emit_json)."""
+    target = request.config.getoption("--json", default=None)
+    if not target:
+        yield
+        return
+    mp = pytest.MonkeyPatch()
+    from repro.bench import JSON_ENV
+    mp.setenv(JSON_ENV, target)
+    yield
+    mp.undo()
 
 
 @pytest.fixture(scope="session", autouse=True)

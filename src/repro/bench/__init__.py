@@ -1,5 +1,17 @@
-"""Benchmark harness helpers: paper-vs-measured tables and series output."""
+"""Benchmark harness helpers: paper-vs-measured tables, series output, and
+the machine-readable ``--json`` report mode."""
 
-from .harness import PaperComparison, format_series, format_table, print_header
+from .harness import (
+    JSON_ENV,
+    PaperComparison,
+    emit_json,
+    format_series,
+    format_table,
+    json_output_path,
+    print_header,
+)
 
-__all__ = ["PaperComparison", "format_series", "format_table", "print_header"]
+__all__ = [
+    "JSON_ENV", "PaperComparison", "emit_json", "format_series",
+    "format_table", "json_output_path", "print_header",
+]

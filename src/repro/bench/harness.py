@@ -8,9 +8,51 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 
 from ..simgpu.device import DeviceSpec, describe_environment
+
+#: environment variable holding the machine-readable output target; set by
+#: the benchmark suite's ``--json PATH`` option (benchmarks/conftest.py)
+JSON_ENV = "REPRO_BENCH_JSON"
+
+
+def json_output_path(experiment: str, path: str | None = None) -> str | None:
+    """Resolve where `experiment`'s JSON report should go.
+
+    Precedence: explicit `path` argument, then the ``--json PATH`` /
+    ``REPRO_BENCH_JSON`` target.  A target that is a directory (or ends
+    with a path separator) receives one ``BENCH_<experiment>.json`` per
+    experiment; otherwise the target is the file itself.  None disables
+    JSON output.
+    """
+    target = path if path is not None else os.environ.get(JSON_ENV)
+    if not target:
+        return None
+    if os.path.isdir(target) or target.endswith(os.sep):
+        return os.path.join(target, f"BENCH_{experiment}.json")
+    return target
+
+
+def emit_json(experiment: str, payload: dict,
+              path: str | None = None) -> str | None:
+    """Write a benchmark's machine-readable report; returns the path.
+
+    The document is ``{"experiment": ..., "payload": ...}`` with sorted
+    keys and a trailing newline, so same-seed runs produce byte-identical
+    files (the perf-trajectory tooling diffs them).  No-op (returns None)
+    when no output target is configured.
+    """
+    out = json_output_path(experiment, path)
+    if out is None:
+        return None
+    doc = {"experiment": experiment, "payload": payload}
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return out
 
 
 def print_header(experiment: str, description: str,

@@ -10,6 +10,8 @@ q1 / q21 / q6
 fuse        show what the fusion pass does to a query plan (+ rendered
             fused-kernel source with --render)
 trace       write a Chrome trace of a strategy run for visual inspection
+serve       run the query-serving simulation (docs/SERVING.md): seeded
+            arrivals, admission control, memory-aware batching, SLO report
 """
 
 from __future__ import annotations
@@ -133,6 +135,54 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from .serve import ArrivalProcess, QueryServer, ServeConfig
+    from .simgpu.trace import write_chrome_trace
+
+    arrivals = ArrivalProcess(qps=args.qps, duration_s=args.duration,
+                              seed=args.seed)
+    trace = arrivals.trace()
+    modes = (["batched", "isolated"] if args.mode == "both" else [args.mode])
+    results = {}
+    for mode in modes:
+        cfg = ServeConfig(
+            mode=mode, queue_capacity=args.queue_depth,
+            max_batch=args.max_batch, max_streams=args.max_streams,
+            check=args.validate, faults=args.chaos)
+        # each mode serves the identical offered trace
+        results[mode] = QueryServer(config=cfg).run(trace=list(trace))
+        print(f"\n=== mode: {mode} "
+              f"(qps {args.qps:g}, {args.duration:g} s offered, "
+              f"seed {args.seed})" + (" [chaos]" if args.chaos else "")
+              + " ===")
+        print(results[mode].metrics.render())
+    if len(results) == 2:
+        b, i = results["batched"].metrics, results["isolated"].metrics
+        print(f"\nbatched vs isolated: goodput {b.goodput_qps:.2f} vs "
+              f"{i.goodput_qps:.2f} q/s, p99 {b.latency.percentile(99)*1e3:.1f}"
+              f" vs {i.latency.percentile(99)*1e3:.1f} ms")
+    if args.summary:
+        payload = {
+            mode: {"config": {"qps": args.qps, "duration": args.duration,
+                              "seed": args.seed, "mode": mode,
+                              "chaos": bool(args.chaos)},
+                   "metrics": res.metrics.summary()}
+            for mode, res in results.items()
+        }
+        with open(args.summary, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"\nwrote metrics summary to {args.summary}")
+    if args.trace_output:
+        res = results[modes[0]]
+        write_chrome_trace(res.merged_timeline(), args.trace_output,
+                           process_name=f"serve.{modes[0]}")
+        print(f"wrote serve trace to {args.trace_output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -178,6 +228,32 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=[s.value for s in Strategy])
     p_tr.add_argument("--elements", type=int, default=500_000_000)
     p_tr.add_argument("--output", default="trace.json")
+
+    p_srv = sub.add_parser(
+        "serve", help="query-serving simulation with admission control, "
+                      "batching, and SLO tracking (docs/SERVING.md)")
+    p_srv.add_argument("--qps", type=float, default=200.0,
+                       help="offered load (Poisson arrivals per second)")
+    p_srv.add_argument("--duration", type=float, default=5.0,
+                       help="offered-load window, simulated seconds")
+    p_srv.add_argument("--seed", type=int, default=0,
+                       help="arrival-trace seed")
+    p_srv.add_argument("--mode", choices=["batched", "isolated", "both"],
+                       default="batched",
+                       help="batched shared-scan dispatch, isolated "
+                            "per-query dispatch, or a comparison of both "
+                            "over the same trace")
+    p_srv.add_argument("--queue-depth", type=int, default=64,
+                       help="admission queue capacity")
+    p_srv.add_argument("--max-batch", type=int, default=8,
+                       help="max queries per dispatched batch")
+    p_srv.add_argument("--max-streams", type=int, default=4,
+                       help="Stream-Pool worker streams per batch")
+    p_srv.add_argument("--summary", metavar="PATH", default=None,
+                       help="write the metrics summary as JSON "
+                            "(byte-identical across same-seed runs)")
+    p_srv.add_argument("--trace-output", metavar="PATH", default=None,
+                       help="write a Chrome trace of the serve run")
 
     p_c = sub.add_parser("compile", help="run the full compilation pipeline")
     p_c.add_argument("--query", choices=[*_QUERIES, "chain"], default="chain")
@@ -259,6 +335,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_compile(args)
     if args.command == "sql":
         return _cmd_sql(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "explain":
         from .plans.explain import explain
         if args.query in _QUERIES:

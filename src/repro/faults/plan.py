@@ -120,6 +120,20 @@ class FaultPlan:
         """A plan that never injects (useful as an explicit no-op)."""
         return cls(seed=0, rates={}, budget=0)
 
+    def reseeded(self, offset: int) -> "FaultPlan":
+        """This plan under a derived seed (``seed + offset``).
+
+        The serving layer gives batch ``k`` the plan ``reseeded(k)`` so each
+        batch draws independent fault decisions, yet a whole serve run stays
+        a pure function of the root seed regardless of batch composition.
+        """
+        return FaultPlan(
+            seed=self.seed + offset, rates=self.rates,
+            site_rates=self.site_rates, budget=self.budget,
+            stall_factor=self.stall_factor,
+            host_slowdown_factor=self.host_slowdown_factor,
+            retry=self.retry)
+
     # ------------------------------------------------------------------
     def rate_for(self, kind: FaultKind, site: str) -> float:
         """Effective injection probability of `kind` at `site`."""

@@ -14,7 +14,11 @@ scheduler compares three regimes:
   re-scanned per query);
 * **shared-source** -- one upload, per-query kernels;
 * **cross-query fused** -- one upload, shared-scan kernels for the
-  SELECT groups + per-query remainders.
+  SELECT groups + per-query remainders;
+* **batched streams** -- the serving-path variant of cross-query fusion:
+  one upload + shared-scan kernels on a lead stream, then each query's
+  remaining kernels issued to its own Stream-Pool stream so independent
+  remainders overlap on the SM pool (used by :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from ..core.multifusion import (
 )
 from ..core.opmodels import chain_for_region, out_row_nbytes
 from ..errors import PlanError
+from ..faults import as_injector
 from ..plans.plan import OpType, Plan, PlanNode
 from ..simgpu.device import DeviceSpec
 from ..simgpu.engine import SimEngine, SimStream
@@ -95,20 +100,41 @@ class WorkloadRunResult:
 
 
 class WorkloadScheduler:
-    """Times a workload under the three sharing regimes."""
+    """Times a workload under the three sharing regimes.
+
+    ``check=True`` sanitizes every timeline the scheduler produces;
+    ``faults`` (a :class:`~repro.faults.FaultPlan` or injector) makes every
+    engine it drives consult the injector, so serving-path batches degrade
+    or raise typed :class:`~repro.errors.FaultError` like the Executor does.
+    A :class:`FaultPlan` yields a fresh injector per regime run, keeping
+    each run independently deterministic.
+    """
 
     def __init__(self, device: DeviceSpec | None = None,
-                 memory: HostMemory = HostMemory.PINNED):
+                 memory: HostMemory = HostMemory.PINNED,
+                 check: bool = False, faults=None):
         self.device = device or DeviceSpec()
         self.memory = memory
+        self.check = check
+        self.faults = faults
+
+    def _engine(self) -> SimEngine:
+        return SimEngine(self.device, check=self.check,
+                         faults=as_injector(self.faults))
 
     # -- helpers ----------------------------------------------------------
-    def _emit_query_kernels(self, stream: SimStream, plan: Plan,
+    def _emit_query_kernels(self, stream, plan: Plan,
                             sizes: dict[str, int],
-                            skip: set[str] = frozenset()) -> None:
+                            skip: set[str] = frozenset(),
+                            only_prefix: str | None = None) -> None:
+        """Queue every non-fused kernel of `plan` onto `stream` (a
+        :class:`SimStream` or pooled stream).  `only_prefix` restricts the
+        emission to nodes of one query in a merged workload plan."""
         from ..core.opmodels import FUSABLE_OPS, chain_for_node
         for node in plan.topological():
             if node.op is OpType.SOURCE or node.name in skip:
+                continue
+            if only_prefix is not None and not node.name.startswith(only_prefix):
                 continue
             primary = node.inputs[0]
             n_in = sizes[primary.name]
@@ -123,7 +149,7 @@ class WorkloadScheduler:
             for spec in chain.main_launch_specs(max(n_in, 1), self.device):
                 stream.kernel(spec, tag=spec.name)
 
-    def _upload(self, stream: SimStream, plan: Plan,
+    def _upload(self, stream, plan: Plan,
                 sizes: dict[str, int]) -> float:
         total = 0.0
         for src in plan.sources():
@@ -143,7 +169,7 @@ class WorkloadScheduler:
             sizes = estimate_sizes(plan, source_rows)
             total += self._upload(stream, plan, sizes)
             self._emit_query_kernels(stream, plan, sizes)
-        tl = SimEngine(self.device).run([stream])
+        tl = self._engine().run([stream])
         return WorkloadRunResult("isolated", tl, total)
 
     def run_shared_source(self, workload: QueryWorkload,
@@ -154,17 +180,13 @@ class WorkloadScheduler:
         stream = SimStream(stream_id=0)
         total = self._upload(stream, merged, sizes)
         self._emit_query_kernels(stream, merged, sizes)
-        tl = SimEngine(self.device).run([stream])
+        tl = self._engine().run([stream])
         return WorkloadRunResult("shared_source", tl, total)
 
-    def run_cross_query_fused(self, workload: QueryWorkload,
-                              source_rows: dict[str, int]) -> WorkloadRunResult:
-        """Shared upload + shared-scan kernels for SELECT groups."""
-        merged = workload.merged_plan()
-        sizes = estimate_sizes(merged, source_rows)
-        stream = SimStream(stream_id=0)
-        total = self._upload(stream, merged, sizes)
-
+    def _emit_shared_scans(self, stream, merged: Plan,
+                           sizes: dict[str, int]) -> set[str]:
+        """Queue the shared-scan kernels for every multi-query SELECT group;
+        returns the names of the SELECT nodes they cover."""
         fused_names: set[str] = set()
         for raw_group in find_shared_select_groups(merged):
             for group in split_group_by_registers(raw_group):
@@ -175,10 +197,63 @@ class WorkloadScheduler:
                 for spec in chain.main_launch_specs(max(n_in, 1), self.device):
                     stream.kernel(spec, tag=spec.name)
                 fused_names.update(s.name for s in group.selects)
+        return fused_names
 
+    def run_cross_query_fused(self, workload: QueryWorkload,
+                              source_rows: dict[str, int]) -> WorkloadRunResult:
+        """Shared upload + shared-scan kernels for SELECT groups."""
+        merged = workload.merged_plan()
+        sizes = estimate_sizes(merged, source_rows)
+        stream = SimStream(stream_id=0)
+        total = self._upload(stream, merged, sizes)
+        fused_names = self._emit_shared_scans(stream, merged, sizes)
         self._emit_query_kernels(stream, merged, sizes, skip=fused_names)
-        tl = SimEngine(self.device).run([stream])
+        tl = self._engine().run([stream])
         return WorkloadRunResult("cross_query_fused", tl, total)
+
+    def run_batched_streams(self, workload: QueryWorkload,
+                            source_rows: dict[str, int],
+                            pool=None, max_streams: int = 4
+                            ) -> WorkloadRunResult:
+        """The serving path's batch dispatch (see :mod:`repro.serve`).
+
+        One lead stream uploads the shared tables and runs the shared-scan
+        kernels; each query's remaining kernels then run on a Stream-Pool
+        stream of their own, gated on the lead stream via ``selectWait``,
+        so independent per-query remainders overlap on the SM pool.
+
+        An injected fault past the retry budget escapes as a typed
+        :class:`~repro.errors.FaultError`; the caller (the serve-layer
+        dispatcher) recovers by :meth:`~repro.streampool.StreamPool.reset`
+        and a degraded re-dispatch.
+        """
+        from ..streampool import StreamPool
+
+        merged = workload.merged_plan()
+        sizes = estimate_sizes(merged, source_rows)
+        n_workers = max(1, min(max_streams, len(workload.plans)))
+        if pool is None:
+            pool = StreamPool(self.device, num_streams=1 + n_workers,
+                              engine=self._engine())
+        else:
+            # serving reuses one pool across batches; refresh the engine so
+            # each batch gets its own deterministic injector state
+            pool.engine = self._engine()
+
+        lead = pool.get_available_stream()
+        total = self._upload(lead, merged, sizes)
+        fused_names = self._emit_shared_scans(lead, merged, sizes)
+
+        workers = [pool.get_available_stream() for _ in range(n_workers)]
+        for w in workers:
+            if w is not lead:
+                pool.select_wait(w, lead)
+        for qi in range(len(workload.plans)):
+            stream = workers[qi % n_workers]
+            self._emit_query_kernels(stream, merged, sizes, skip=fused_names,
+                                     only_prefix=f"q{qi}.")
+        tl = pool.wait_all()
+        return WorkloadRunResult("batched_streams", tl, total)
 
     def compare(self, workload: QueryWorkload, source_rows: dict[str, int]
                 ) -> dict[str, WorkloadRunResult]:

@@ -1,0 +1,43 @@
+"""Query-serving subsystem: admission control, memory-aware batch
+scheduling, and latency SLOs on the simulated GPU.
+
+This layer sits *above* the offline fusion/fission machinery and turns it
+into an online system (docs/SERVING.md): a seeded open/closed-loop client
+model offers TPC-H and SQL-frontend queries (:mod:`repro.serve.arrivals`);
+an admission controller with a bounded priority queue sheds load under
+backpressure (:mod:`repro.serve.admission`); a memory-aware batch scheduler
+groups co-resident queries by shared base table (:mod:`repro.serve.scheduler`)
+and dispatches them through the cross-query shared-scan path
+(:meth:`repro.runtime.workload.WorkloadScheduler.run_batched_streams`);
+and the server loop tracks p50/p95/p99 latency, goodput, and shed rate
+against per-tenant SLOs (:mod:`repro.serve.metrics`,
+:mod:`repro.serve.server`).
+
+Everything is simulated-time and seeded: the same ``(trace seed, chaos
+seed, config)`` produces a byte-identical metrics summary.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .arrivals import (
+    DEFAULT_TENANTS,
+    QUERY_KINDS,
+    ArrivalProcess,
+    QueryRequest,
+    TenantSpec,
+    catalog_plan,
+    catalog_rows,
+)
+from .metrics import LatencyStats, ServeMetrics
+from .queue import BoundedPriorityQueue
+from .scheduler import BatchScheduler, batch_key, request_footprint
+from .server import QueryServer, ServeConfig, ServeResult
+
+__all__ = [
+    "AdmissionController", "AdmissionDecision",
+    "ArrivalProcess", "QueryRequest", "TenantSpec",
+    "DEFAULT_TENANTS", "QUERY_KINDS", "catalog_plan", "catalog_rows",
+    "LatencyStats", "ServeMetrics",
+    "BoundedPriorityQueue",
+    "BatchScheduler", "batch_key", "request_footprint",
+    "QueryServer", "ServeConfig", "ServeResult",
+]

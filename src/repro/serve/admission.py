@@ -1,0 +1,64 @@
+"""Admission control: bounded queueing, backpressure, load shedding.
+
+Two refusal mechanisms guard the queue:
+
+* **capacity** -- the bounded queue is full: the request is shed
+  immediately (the client sees backpressure rather than unbounded wait);
+* **predicted deadline miss** -- an EWMA of observed per-query service
+  time estimates the wait a new arrival faces behind the current backlog;
+  a request whose SLO the estimate already blows is shed at the door
+  instead of wasting queue space and device time.
+
+The estimator is fed by the server after every dispatched batch, so
+admission gets stricter exactly when the device falls behind.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .arrivals import QueryRequest
+from .queue import BoundedPriorityQueue
+
+
+class AdmissionDecision(enum.Enum):
+    ADMITTED = "admitted"
+    SHED_QUEUE_FULL = "shed_queue_full"
+    SHED_BACKPRESSURE = "shed_backpressure"
+
+
+@dataclass
+class AdmissionController:
+    """Guards a :class:`BoundedPriorityQueue` with shedding policies."""
+
+    queue: BoundedPriorityQueue
+    #: EWMA smoothing for the per-query service-time estimate
+    ewma_alpha: float = 0.2
+    #: safety margin on the predicted wait before shedding (>1 sheds later)
+    slack: float = 1.0
+    #: current per-query service-time estimate (0 until first feedback)
+    service_est_s: float = 0.0
+
+    def offer(self, req: QueryRequest, now: float) -> AdmissionDecision:
+        """Admit or shed one arriving request."""
+        if self.queue.full:
+            return AdmissionDecision.SHED_QUEUE_FULL
+        predicted_wait = self.service_est_s * len(self.queue)
+        if (self.service_est_s > 0.0
+                and now + predicted_wait * self.slack > req.deadline_s):
+            return AdmissionDecision.SHED_BACKPRESSURE
+        if not self.queue.push(req):  # pragma: no cover - guarded above
+            return AdmissionDecision.SHED_QUEUE_FULL
+        return AdmissionDecision.ADMITTED
+
+    def note_service(self, batch_size: int, makespan_s: float) -> None:
+        """Feed back one dispatched batch's observed per-query service time."""
+        if batch_size <= 0 or makespan_s < 0:
+            return
+        per_query = makespan_s / batch_size
+        if self.service_est_s == 0.0:
+            self.service_est_s = per_query
+        else:
+            self.service_est_s = (self.ewma_alpha * per_query
+                                  + (1 - self.ewma_alpha) * self.service_est_s)

@@ -1,0 +1,250 @@
+"""The serving loop: a discrete-event simulation over simulated time.
+
+One device serves one dispatch at a time (the batch itself may fan out
+over streams internally).  The loop interleaves, in simulated-time order:
+
+1. **ingest** -- arrivals up to "now" go through admission (bounded queue,
+   backpressure shedding);
+2. **expire** -- queued queries whose deadline already passed are shed
+   rather than wasting device time;
+3. **dispatch** -- the batch scheduler forms a memory-fitting same-table
+   group; ``batched`` mode sends it down the cross-query shared-scan path
+   on the Stream Pool, ``isolated`` mode runs the head query alone;
+4. **complete** -- every query in the batch finishes at dispatch +
+   makespan; latencies, SLO hits, and closed-loop follow-ups are recorded.
+
+Fault-aware serving: with a chaos plan configured, batch ``k`` runs under
+the plan reseeded with ``k``.  A fault that survives the engine's retry
+budget poisons only its batch: the Stream Pool is reset and the batch
+re-dispatched query-by-query through the Executor's PR-2 degradation
+ladder (whose last rung, the host baseline, cannot fault), so the server
+never dies -- the batch just runs degraded and the metrics say so.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import FaultError
+from ..faults import FaultPlan
+from ..runtime.executor import Executor
+from ..runtime.workload import QueryWorkload, WorkloadScheduler
+from ..simgpu.device import DeviceSpec
+from ..simgpu.timeline import Timeline
+from ..streampool import StreamPool
+from .admission import AdmissionController, AdmissionDecision
+from .arrivals import ArrivalProcess, QueryRequest
+from .metrics import ServeMetrics
+from .queue import BoundedPriorityQueue
+from .scheduler import BatchScheduler
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one serve run (all deterministic)."""
+
+    #: "batched" (shared-scan groups on the Stream Pool) or "isolated"
+    #: (one query per dispatch, own upload)
+    mode: str = "batched"
+    queue_capacity: int = 64
+    max_batch: int = 8
+    #: Stream-Pool worker streams per batch dispatch
+    max_streams: int = 4
+    #: fraction of device memory the batch working set may claim
+    memory_safety: float = 0.8
+    #: margin on predicted wait before backpressure shedding (see
+    #: :class:`~repro.serve.admission.AdmissionController`)
+    backpressure_slack: float = 1.0
+    #: strict mode: sanitize every batch timeline (docs/VALIDATION.md)
+    check: bool = False
+    #: chaos plan; batch ``k`` runs under ``faults.reseeded(k)``
+    faults: FaultPlan | None = None
+
+    def __post_init__(self):
+        if self.mode not in ("batched", "isolated"):
+            raise ValueError(f"unknown serve mode {self.mode!r}")
+
+
+@dataclass
+class RequestRecord:
+    """Final disposition of one offered query."""
+
+    request: QueryRequest
+    #: completed | missed_deadline | shed_queue_full | shed_backpressure |
+    #: shed_expired
+    status: str
+    completion_s: float | None = None
+
+    @property
+    def latency_s(self) -> float | None:
+        if self.completion_s is None:
+            return None
+        return self.completion_s - self.request.arrival_s
+
+
+@dataclass
+class ServeResult:
+    config: ServeConfig
+    metrics: ServeMetrics
+    records: list[RequestRecord]
+    #: (dispatch time, batch timeline) per dispatch, for tracing
+    segments: list[tuple[float, Timeline]] = field(default_factory=list)
+
+    def merged_timeline(self) -> Timeline:
+        """All batch timelines on one clock (for the trace exporter)."""
+        merged = Timeline()
+        for t0, tl in self.segments:
+            merged.extend(tl, offset=t0)
+        return merged
+
+
+class QueryServer:
+    """Serves an arrival trace on the simulated device."""
+
+    def __init__(self, device: DeviceSpec | None = None,
+                 config: ServeConfig = ServeConfig()):
+        self.device = device or DeviceSpec()
+        self.config = config
+        self._wsched = WorkloadScheduler(self.device, check=config.check)
+        self._pool: StreamPool | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, trace: list[QueryRequest] | None = None,
+            arrivals: ArrivalProcess | None = None) -> ServeResult:
+        """Serve `trace` (or `arrivals`' trace) to completion.
+
+        Passing an explicit `trace` fixes the offered load exactly, so two
+        runs differing only in scheduling policy are comparable
+        query-for-query; `arrivals` additionally enables closed-loop
+        feedback for tenants that model it.
+        """
+        if trace is None:
+            if arrivals is None:
+                raise ValueError("need a trace or an ArrivalProcess")
+            trace = arrivals.trace()
+        cfg = self.config
+        #: min-heap of not-yet-arrived requests (closed-loop feedback
+        #: inserts into the future)
+        pending: list[tuple[float, int, QueryRequest]] = [
+            (r.arrival_s, r.req_id, r) for r in trace]
+        heapq.heapify(pending)
+
+        queue = BoundedPriorityQueue(cfg.queue_capacity)
+        admission = AdmissionController(queue, slack=cfg.backpressure_slack)
+        scheduler = BatchScheduler(
+            self.device, max_batch=cfg.max_batch,
+            memory_safety=cfg.memory_safety, batching=cfg.mode == "batched")
+        metrics = ServeMetrics()
+        records: list[RequestRecord] = []
+        segments: list[tuple[float, Timeline]] = []
+
+        def respond(req: QueryRequest, t: float) -> None:
+            """Closed-loop feedback: any response (result or shed) lets the
+            client think and issue its next query."""
+            if arrivals is None:
+                return
+            nxt = arrivals.on_completion(req, t)
+            if nxt is not None:
+                heapq.heappush(pending, (nxt.arrival_s, nxt.req_id, nxt))
+
+        now = 0.0
+        batch_idx = 0
+        while pending or len(queue):
+            if not len(queue):
+                now = max(now, pending[0][0])
+            while pending and pending[0][0] <= now:
+                req = heapq.heappop(pending)[2]
+                metrics.offered += 1
+                decision = admission.offer(req, req.arrival_s)
+                if decision is AdmissionDecision.ADMITTED:
+                    metrics.admitted += 1
+                elif decision is AdmissionDecision.SHED_QUEUE_FULL:
+                    metrics.shed_queue_full += 1
+                    records.append(RequestRecord(req, "shed_queue_full"))
+                    respond(req, req.arrival_s)
+                else:
+                    metrics.shed_backpressure += 1
+                    records.append(RequestRecord(req, "shed_backpressure"))
+                    respond(req, req.arrival_s)
+            for req in queue.drop_expired(now):
+                metrics.shed_expired += 1
+                records.append(RequestRecord(req, "shed_expired"))
+                respond(req, now)
+            batch = scheduler.next_batch(queue, now)
+            if not batch:
+                continue
+
+            makespan, timeline, degraded, faults_seen = self._dispatch(
+                batch, batch_idx)
+            segments.append((now, timeline))
+            metrics.batches += 1
+            metrics.batch_sizes.append(len(batch))
+            metrics.busy_s += makespan
+            metrics.degraded_batches += int(degraded)
+            metrics.faults_observed += faults_seen
+            admission.note_service(len(batch), makespan)
+
+            t_end = now + makespan
+            for req in batch:
+                ok = t_end <= req.deadline_s
+                metrics.record_completion(req.tenant, t_end - req.arrival_s, ok)
+                records.append(RequestRecord(
+                    req, "completed" if ok else "missed_deadline", t_end))
+                respond(req, t_end)
+            now = t_end
+            batch_idx += 1
+
+        metrics.served_s = now
+        metrics.check_finite()
+        return ServeResult(config=cfg, metrics=metrics, records=records,
+                           segments=segments)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, batch: list[QueryRequest], batch_idx: int
+                  ) -> tuple[float, Timeline, bool, int]:
+        """Run one batch; returns (makespan, timeline, degraded, faults)."""
+        cfg = self.config
+        fault_plan = (cfg.faults.reseeded(batch_idx)
+                      if cfg.faults is not None else None)
+        self._wsched.faults = fault_plan
+        workload = QueryWorkload(plans=[r.plan() for r in batch])
+        rows: dict[str, int] = {}
+        for req in batch:
+            for name, n in req.source_rows().items():
+                rows[name] = max(rows.get(name, 0), n)
+        try:
+            if cfg.mode == "batched":
+                if self._pool is None:
+                    self._pool = StreamPool(
+                        self.device, num_streams=1 + cfg.max_streams,
+                        engine=self._wsched._engine())
+                else:
+                    self._pool.reset()
+                result = self._wsched.run_batched_streams(
+                    workload, rows, pool=self._pool,
+                    max_streams=cfg.max_streams)
+            else:
+                result = self._wsched.run_isolated(workload, rows)
+        except FaultError:
+            if self._pool is not None:
+                self._pool.reset()
+            return self._dispatch_degraded(batch, fault_plan)
+        faults_seen = sum(
+            1 for ev in result.timeline.events if ev.tag.startswith("fault."))
+        return result.makespan, result.timeline, False, faults_seen
+
+    def _dispatch_degraded(self, batch: list[QueryRequest],
+                           fault_plan: FaultPlan | None
+                           ) -> tuple[float, Timeline, bool, int]:
+        """Re-dispatch a fault-poisoned batch query-by-query through the
+        Executor's degradation ladder (terminal rung cannot fault)."""
+        timeline = Timeline()
+        faults_seen = 0
+        for req in batch:
+            ex = Executor(self.device, check=self.config.check,
+                          faults=fault_plan, degrade=True)
+            r = ex.run(req.plan(), req.source_rows())
+            timeline.extend(r.timeline, offset=timeline.end_time)
+            faults_seen += r.faults_injected
+        return timeline.end_time, timeline, True, faults_seen

@@ -1,9 +1,17 @@
 """Export a simulated timeline as a Chrome trace (``chrome://tracing`` /
 Perfetto JSON).
 
-Each engine (H2D copy, D2H copy, compute SMs, host) becomes a trace row;
-events carry their tag and byte counts, so the Fig 13/15 overlap structure
-can be inspected visually.
+Rows: each exclusive engine (H2D copy, D2H copy, host, sync) is one trace
+row, and kernels get **one row per simulated stream** -- so concurrent
+kernels issued to different :class:`~repro.simgpu.engine.SimStream`\\ s (or
+re-issued on a fresh replacement stream after a stall) render as parallel
+lanes instead of collapsing onto a single "GPU compute" track.
+
+Fault events (``fault.*`` tags, see docs/FAULTS.md) are exported with a
+``fault`` category and ``args.repair`` saying how the runtime recovered
+(``retry`` in place vs ``reissue`` on a fresh stream), so chaos runs are
+inspectable: filter the ``fault`` category in Perfetto to see every
+injected failure and where its repair landed.
 """
 
 from __future__ import annotations
@@ -12,40 +20,65 @@ import json
 
 from .timeline import EventKind, Timeline
 
-#: trace "thread" ids per engine row
-_ROWS = {
+#: trace "thread" ids for the exclusive-engine rows
+_ENGINE_ROWS = {
     EventKind.H2D: (1, "PCIe H2D copy engine"),
     EventKind.D2H: (2, "PCIe D2H copy engine"),
-    EventKind.KERNEL: (3, "GPU compute"),
     EventKind.HOST: (4, "host CPU"),
     EventKind.SYNC: (5, "sync"),
 }
 
+#: kernel lanes: tid = base + stream id, one row per stream
+_KERNEL_TID_BASE = 100
+
+
+def _row(ev) -> tuple[int, str]:
+    """(tid, row name) an event renders on."""
+    if ev.kind is EventKind.KERNEL:
+        return (_KERNEL_TID_BASE + ev.stream,
+                f"GPU compute (stream {ev.stream})")
+    return _ENGINE_ROWS[ev.kind]
+
 
 def to_chrome_trace(timeline: Timeline, process_name: str = "simgpu") -> dict:
     """The trace as a JSON-serializable dict (``traceEvents`` format)."""
-    events: list[dict] = []
-    for kind, (tid, name) in _ROWS.items():
-        events.append({
-            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
-            "args": {"name": name},
-        })
-    events.append({
-        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
-        "args": {"name": process_name},
-    })
-    for ev in sorted(timeline.events, key=lambda e: e.start):
-        tid = _ROWS[ev.kind][0]
-        events.append({
+    complete: list[dict] = []
+    rows: dict[int, str] = {}
+    for ev in sorted(timeline.events, key=lambda e: (e.start, e.end, e.tag)):
+        tid, row_name = _row(ev)
+        rows[tid] = row_name
+        is_fault = ev.tag.startswith("fault.")
+        args: dict = {"stream": ev.stream, "nbytes": ev.nbytes}
+        if is_fault:
+            args["fault"] = True
+            args["repair"] = ("reissue" if ev.tag.startswith("fault.stall.")
+                              else "retry")
+        complete.append({
             "name": ev.tag,
-            "cat": ev.kind.value,
+            "cat": ev.kind.value + (",fault" if is_fault else ""),
             "ph": "X",                      # complete event
             "pid": 1,
             "tid": tid,
             "ts": ev.start * 1e6,           # microseconds
             "dur": max(ev.duration * 1e6, 0.001),
-            "args": {"stream": ev.stream, "nbytes": ev.nbytes},
+            "args": args,
         })
+
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for tid in sorted(rows):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": rows[tid]},
+        })
+        # keep lanes in engine/stream order regardless of first-event time
+        events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"sort_index": tid},
+        })
+    events.extend(complete)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -164,6 +164,27 @@ class StreamPool:
         self._started = False
         return self.timeline
 
+    def reset(self) -> list[Command]:
+        """Return the pool to a fresh, open state for reuse.
+
+        Drains and returns any commands still queued (e.g. the backlog a
+        failed :meth:`wait_all` left behind), marks every stream available,
+        and clears the started/terminated flags.  The serving layer
+        (:mod:`repro.serve`) calls this between batches and after a
+        :class:`~repro.errors.FaultError` so one poisoned batch never
+        condemns the pool for the rest of the run.
+        """
+        drained: list[Command] = []
+        for s in self._streams:
+            drained.extend(s.sim.commands)
+            s.sim.commands.clear()
+            s.available = True
+            s.tags.clear()
+        self._started = False
+        self._terminated = False
+        self._rr_next = 0
+        return drained
+
     def terminate(self) -> list[Command]:
         """End execution immediately.  Any commands still queued (e.g. left
         behind by a stalled stream after a failed :meth:`wait_all`) are

@@ -55,3 +55,47 @@ class TestHeader:
         out = capsys.readouterr().out
         assert "Figure 4(a)" in out
         assert "C2070" in out
+
+
+class TestJsonOutput:
+    def test_disabled_without_target(self, monkeypatch):
+        from repro.bench import JSON_ENV, emit_json, json_output_path
+        monkeypatch.delenv(JSON_ENV, raising=False)
+        assert json_output_path("x") is None
+        assert emit_json("x", {"a": 1}) is None
+
+    def test_explicit_file_path(self, tmp_path):
+        from repro.bench import emit_json
+        target = tmp_path / "out.json"
+        out = emit_json("serve", {"a": 1}, path=str(target))
+        assert out == str(target)
+        import json
+        doc = json.loads(target.read_text())
+        assert doc["experiment"] == "serve"
+        assert doc["payload"] == {"a": 1}
+
+    def test_directory_target_names_per_experiment(self, tmp_path):
+        from repro.bench import json_output_path
+        assert json_output_path("serve", str(tmp_path)) == str(
+            tmp_path / "BENCH_serve.json")
+
+    def test_env_target(self, tmp_path, monkeypatch):
+        from repro.bench import JSON_ENV, emit_json
+        monkeypatch.setenv(JSON_ENV, str(tmp_path))
+        out = emit_json("fusion", {"b": 2})
+        assert out == str(tmp_path / "BENCH_fusion.json")
+
+    def test_argument_beats_env(self, tmp_path, monkeypatch):
+        from repro.bench import JSON_ENV, json_output_path
+        monkeypatch.setenv(JSON_ENV, str(tmp_path / "env.json"))
+        assert json_output_path("x", str(tmp_path / "arg.json")) == str(
+            tmp_path / "arg.json")
+
+    def test_byte_identical_reruns(self, tmp_path):
+        from repro.bench import emit_json
+        payload = {"z": 1.25, "a": [1, 2]}
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        emit_json("e", payload, path=str(a))
+        emit_json("e", payload, path=str(b))
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes().endswith(b"\n")

@@ -74,3 +74,30 @@ class TestParseChaos:
     def test_rejects_malformed(self, bad):
         with pytest.raises(ValueError):
             parse_chaos(bad)
+
+
+class TestReseeded:
+    def test_shifts_seed_only(self):
+        plan = FaultPlan.chaos(10, rate=0.3, budget=7)
+        r = plan.reseeded(5)
+        assert r.seed == 15
+        assert r.rates == plan.rates
+        assert r.budget == plan.budget
+        assert r.retry == plan.retry
+        assert r.site_rates == plan.site_rates
+        assert r.stall_factor == plan.stall_factor
+
+    def test_zero_offset_is_identity(self):
+        plan = FaultPlan.chaos(4)
+        assert plan.reseeded(0) == plan
+
+    def test_reseeded_plans_draw_independently(self):
+        from repro.faults import FaultInjector
+
+        base = FaultPlan.chaos(0, rate=0.5)
+        decisions = {
+            off: [FaultInjector(base.reseeded(off)).kernel_fault(f"site{i}")
+                  for i in range(64)]
+            for off in (0, 1)
+        }
+        assert decisions[0] != decisions[1]

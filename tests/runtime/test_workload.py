@@ -1,11 +1,14 @@
 """Tests for the cross-query workload scheduler."""
 
+import numpy as np
 import pytest
 
 from repro.errors import PlanError
-from repro.plans import Plan
+from repro.faults import FaultPlan
+from repro.plans import Plan, evaluate_sinks
 from repro.plans.plan import OpType
 from repro.ra import AggSpec, Field
+from repro.ra.relation import Relation
 from repro.runtime.workload import QueryWorkload, WorkloadScheduler
 
 
@@ -88,3 +91,62 @@ class TestScheduler:
     def test_throughput_definition(self, workload):
         r = WorkloadScheduler().run_isolated(workload, ROWS)
         assert r.throughput == pytest.approx(r.input_bytes / r.makespan)
+
+
+REGIMES = ("run_isolated", "run_shared_source", "run_cross_query_fused",
+           "run_batched_streams")
+
+
+class TestRegimeComparison:
+    """The sharing regimes only reschedule work -- they must agree on the
+    answer, and sharing more must never cost simulated time."""
+
+    def test_results_identical_across_regimes(self, workload):
+        # Every regime executes the same logical plans (per-query for
+        # isolated, merged for the sharing regimes); the functional
+        # interpreter is the reference both reduce to.
+        rel = Relation({"x": np.arange(1000) % 50})
+        merged_out = evaluate_sinks(workload.merged_plan(), {"lineitem": rel})
+        for qi, plan in enumerate(workload.plans):
+            for name, got in evaluate_sinks(plan, {"lineitem": rel}).items():
+                want = merged_out[f"q{qi}.{name}"]
+                assert list(got.columns) == list(want.columns)
+                for col in got.columns:
+                    np.testing.assert_array_equal(
+                        got.columns[col], want.columns[col])
+
+    @pytest.mark.no_chaos
+    def test_makespan_monotone_non_increasing(self, workload):
+        sched = WorkloadScheduler()
+        iso = sched.run_isolated(workload, ROWS)
+        shared = sched.run_shared_source(workload, ROWS)
+        fused = sched.run_cross_query_fused(workload, ROWS)
+        batched = sched.run_batched_streams(workload, ROWS)
+        assert iso.makespan >= shared.makespan >= fused.makespan
+        # the serving-path dispatch overlaps per-query remainders on top of
+        # the shared scan, so it can only improve on the serial merged plan
+        assert batched.makespan <= shared.makespan
+
+    def test_batched_streams_uploads_once(self, workload):
+        r = WorkloadScheduler().run_batched_streams(workload, ROWS)
+        assert r.input_bytes == pytest.approx(200_000_000 * 4)
+
+    @pytest.mark.no_chaos
+    def test_chaos_regimes_recover_and_stay_deterministic(self, workload,
+                                                          chaos):
+        clean = WorkloadScheduler()
+        faulted = WorkloadScheduler(faults=chaos)
+        for regime in REGIMES:
+            base = getattr(clean, regime)(workload, ROWS)
+            r1 = getattr(faulted, regime)(workload, ROWS)
+            r2 = getattr(faulted, regime)(workload, ROWS)
+            # a FaultPlan hands each run a fresh injector: same decisions
+            assert r1.makespan == r2.makespan, regime
+            # retries/stalls/backoff only ever add simulated time
+            assert r1.makespan >= base.makespan, regime
+
+    @pytest.mark.no_chaos
+    def test_chaos_faults_marked_in_timeline(self, workload):
+        sched = WorkloadScheduler(faults=FaultPlan.chaos(5, rate=0.3))
+        r = sched.run_shared_source(workload, ROWS)
+        assert any(ev.tag.startswith("fault.") for ev in r.timeline.events)

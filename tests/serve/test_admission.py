@@ -1,0 +1,75 @@
+"""Tests for the admission controller."""
+
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    AdmissionDecision,
+    BoundedPriorityQueue,
+    QueryRequest,
+)
+
+
+def req(req_id, deadline=1.0, arrival=0.0):
+    return QueryRequest(req_id=req_id, tenant="t", kind="q6",
+                        arrival_s=arrival, priority=1,
+                        deadline_s=deadline, elements=1000)
+
+
+class TestAdmission:
+    def test_admits_into_empty_queue(self):
+        q = BoundedPriorityQueue(4)
+        ac = AdmissionController(q)
+        assert ac.offer(req(0), 0.0) is AdmissionDecision.ADMITTED
+        assert len(q) == 1
+
+    def test_sheds_when_queue_full(self):
+        q = BoundedPriorityQueue(1)
+        ac = AdmissionController(q)
+        ac.offer(req(0), 0.0)
+        assert ac.offer(req(1), 0.0) is AdmissionDecision.SHED_QUEUE_FULL
+        assert len(q) == 1
+
+    def test_no_backpressure_before_first_feedback(self):
+        # without a service estimate the controller cannot predict waits
+        q = BoundedPriorityQueue(64)
+        ac = AdmissionController(q)
+        for i in range(10):
+            assert ac.offer(req(i, deadline=1e-9), 0.0) is \
+                AdmissionDecision.ADMITTED
+
+    def test_backpressure_sheds_predicted_misses(self):
+        q = BoundedPriorityQueue(64)
+        ac = AdmissionController(q)
+        for i in range(5):
+            ac.offer(req(i, deadline=10.0), 0.0)
+        ac.note_service(1, 1.0)  # 1 s per query -> 5 s predicted wait
+        assert ac.offer(req(5, deadline=2.0), 0.0) is \
+            AdmissionDecision.SHED_BACKPRESSURE
+        assert ac.offer(req(6, deadline=9.0), 0.0) is \
+            AdmissionDecision.ADMITTED
+
+    def test_slack_scales_the_prediction(self):
+        def shed_count(slack):
+            q = BoundedPriorityQueue(64)
+            ac = AdmissionController(q, slack=slack)
+            for i in range(5):
+                ac.offer(req(i, deadline=10.0), 0.0)
+            ac.note_service(1, 1.0)
+            return ac.offer(req(9, deadline=6.0), 0.0)
+
+        assert shed_count(1.0) is AdmissionDecision.ADMITTED  # 5 s < 6 s
+        assert shed_count(2.0) is AdmissionDecision.SHED_BACKPRESSURE
+
+    def test_ewma_update(self):
+        ac = AdmissionController(BoundedPriorityQueue(4), ewma_alpha=0.5)
+        ac.note_service(2, 4.0)  # 2 s/query seeds the estimate
+        assert ac.service_est_s == pytest.approx(2.0)
+        ac.note_service(1, 4.0)  # 4 s/query observation
+        assert ac.service_est_s == pytest.approx(3.0)
+
+    def test_degenerate_feedback_ignored(self):
+        ac = AdmissionController(BoundedPriorityQueue(4))
+        ac.note_service(0, 1.0)
+        ac.note_service(3, -1.0)
+        assert ac.service_est_s == 0.0

@@ -1,0 +1,114 @@
+"""Tests for SLO accounting."""
+
+import json
+import math
+
+import pytest
+
+from repro.serve import LatencyStats, ServeMetrics
+
+
+class TestLatencyStats:
+    def test_nearest_rank_percentiles(self):
+        s = LatencyStats()
+        for v in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]:
+            s.record(v)
+        assert s.percentile(50) == pytest.approx(0.5)
+        assert s.percentile(95) == pytest.approx(1.0)
+        assert s.percentile(99) == pytest.approx(1.0)
+        assert s.percentile(10) == pytest.approx(0.1)
+
+    def test_single_sample(self):
+        s = LatencyStats()
+        s.record(0.25)
+        assert s.percentile(50) == s.percentile(99) == 0.25
+        assert s.mean == s.max == 0.25
+
+    def test_empty_series(self):
+        s = LatencyStats()
+        assert s.percentile(99) == 0.0
+        assert s.mean == 0.0 and s.max == 0.0
+        assert len(s) == 0
+
+    def test_bad_samples_rejected(self):
+        s = LatencyStats()
+        with pytest.raises(ValueError):
+            s.record(-0.1)
+        with pytest.raises(ValueError):
+            s.record(float("nan"))
+
+    def test_bad_percentile_rejected(self):
+        s = LatencyStats(samples=[0.1])
+        with pytest.raises(ValueError):
+            s.percentile(0)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+
+
+class TestServeMetrics:
+    def _loaded(self):
+        m = ServeMetrics()
+        m.offered = 10
+        m.admitted = 8
+        m.shed_queue_full = 1
+        m.shed_backpressure = 1
+        for i in range(8):
+            m.record_completion("interactive" if i % 2 else "reporting",
+                                0.1 * (i + 1), within_deadline=i < 6)
+        m.batches = 4
+        m.batch_sizes = [2, 2, 2, 2]
+        m.busy_s = 1.5
+        m.served_s = 2.0
+        return m
+
+    def test_counters_consistent(self):
+        m = self._loaded()
+        assert m.completed == 8
+        assert m.completed_ok == 6
+        assert m.missed_deadline == 2
+        assert m.shed == 2
+        assert m.shed_rate == pytest.approx(0.2)
+
+    def test_derived_rates(self):
+        m = self._loaded()
+        assert m.goodput_qps == pytest.approx(3.0)
+        assert m.utilization == pytest.approx(0.75)
+        assert m.mean_batch_size == pytest.approx(2.0)
+
+    def test_empty_run_is_all_zeros(self):
+        m = ServeMetrics()
+        assert m.goodput_qps == 0.0
+        assert m.utilization == 0.0
+        assert m.shed_rate == 0.0
+        m.check_finite()  # an idle run must not divide by zero
+
+    def test_summary_deterministic_and_json_stable(self):
+        a = json.dumps(self._loaded().summary(), sort_keys=True)
+        b = json.dumps(self._loaded().summary(), sort_keys=True)
+        assert a == b
+
+    def test_summary_has_per_tenant_rows(self):
+        s = self._loaded().summary()
+        assert s["tenant.interactive.completed"] == 4
+        assert s["tenant.reporting.completed"] == 4
+        assert s["tenant.interactive.p99_ms"] > 0
+
+    def test_check_finite_catches_nan(self):
+        m = self._loaded()
+        m.served_s = float("nan")
+        with pytest.raises(ValueError, match="not finite"):
+            m.check_finite()
+
+    def test_render_mentions_key_metrics(self):
+        text = self._loaded().render()
+        assert "goodput" in text
+        assert "p50/p95/p99" in text
+        assert "tenant interactive" in text
+
+    def test_summary_floats_are_rounded(self):
+        m = self._loaded()
+        m.served_s = 1 / 3
+        s = m.summary()
+        assert s["served_s"] == round(1 / 3, 9)
+        assert all(math.isfinite(v) for v in s.values()
+                   if isinstance(v, float))

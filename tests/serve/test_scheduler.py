@@ -1,0 +1,108 @@
+"""Tests for memory-aware batch formation."""
+
+import pytest
+
+from repro.serve import (
+    BatchScheduler,
+    BoundedPriorityQueue,
+    QueryRequest,
+    batch_key,
+    request_footprint,
+)
+from repro.simgpu import DeviceSpec
+
+
+def req(req_id, kind="q6", elements=1_000_000, priority=1, deadline=10.0):
+    return QueryRequest(req_id=req_id, tenant="t", kind=kind, arrival_s=0.0,
+                        priority=priority, deadline_s=deadline,
+                        elements=elements)
+
+
+def fill(*reqs, capacity=64):
+    q = BoundedPriorityQueue(capacity)
+    for r in reqs:
+        assert q.push(r)
+    return q
+
+
+class TestBatchKey:
+    def test_same_table_same_scale_share_a_key(self):
+        # q6 and both SQL shapes read lineitem at 16 B/row
+        assert batch_key(req(0, "q6")) == batch_key(req(1, "sql_scan"))
+        assert batch_key(req(0, "q6")) == batch_key(req(1, "sql_agg"))
+
+    def test_row_width_splits_the_key(self):
+        # Q21 declares lineitem at 48 B/row; merging it with Q6's 16 B/row
+        # view would share one source node between incompatible widths
+        assert batch_key(req(0, "q21")) != batch_key(req(1, "q6"))
+
+    def test_cardinality_splits_the_key(self):
+        assert batch_key(req(0, elements=1_000_000)) != \
+            batch_key(req(1, elements=2_000_000))
+
+    def test_q1_driver_is_a_lineitem_column(self):
+        table, width, rows = batch_key(req(0, "q1"))
+        assert width == 4
+        assert rows == 1_000_000
+
+    def test_footprint_positive_and_scales_with_width(self):
+        assert request_footprint(req(0, "q6")) > 0
+        assert (request_footprint(req(0, "q21"))
+                > request_footprint(req(1, "q6")))
+
+
+class TestBatchScheduler:
+    def test_groups_same_key_requests(self, device):
+        sched = BatchScheduler(device)
+        q = fill(req(0), req(1, "sql_scan"), req(2, "sql_agg"))
+        batch = sched.next_batch(q, 0.0)
+        assert {r.req_id for r in batch} == {0, 1, 2}
+        assert len(q) == 0
+
+    def test_mixed_keys_stay_separate(self, device):
+        sched = BatchScheduler(device)
+        q = fill(req(0, "q6", priority=0), req(1, "q21"), req(2, "q6"))
+        first = sched.next_batch(q, 0.0)
+        assert {r.req_id for r in first} == {0, 2}
+        second = sched.next_batch(q, 0.0)
+        assert [r.req_id for r in second] == [1]
+
+    def test_max_batch_respected(self, device):
+        sched = BatchScheduler(device, max_batch=2)
+        q = fill(*[req(i) for i in range(5)])
+        assert len(sched.next_batch(q, 0.0)) == 2
+        assert len(q) == 3
+
+    def test_batching_off_gives_singletons(self, device):
+        sched = BatchScheduler(device, batching=False)
+        q = fill(req(0), req(1))
+        assert [r.req_id for r in sched.next_batch(q, 0.0)] == [0]
+        assert len(q) == 1
+
+    def test_empty_queue_gives_empty_batch(self, device):
+        sched = BatchScheduler(device)
+        assert sched.next_batch(BoundedPriorityQueue(4), 0.0) == []
+
+    def test_memory_budget_caps_the_batch(self, device):
+        # budget just over one query's footprint: the head fits, no
+        # co-scheduled query's intermediates do
+        foot = request_footprint(req(0))
+        safety = foot * 1.05 / device.global_mem_bytes
+        sched = BatchScheduler(device, memory_safety=safety)
+        q = fill(*[req(i) for i in range(4)])
+        assert len(sched.next_batch(q, 0.0)) == 1
+        assert len(q) == 3
+
+    def test_budget_skips_but_keeps_candidates_queued(self, device):
+        foot = request_footprint(req(0))
+        safety = foot * 1.05 / device.global_mem_bytes
+        sched = BatchScheduler(device, memory_safety=safety)
+        q = fill(req(0), req(1))
+        sched.next_batch(q, 0.0)
+        assert q.pop().req_id == 1  # skipped, not lost
+
+    def test_head_always_dispatches_even_over_budget(self, device):
+        # a query too big for the budget must still run (alone), not wedge
+        sched = BatchScheduler(device, memory_safety=1e-12)
+        q = fill(req(0), req(1))
+        assert [r.req_id for r in sched.next_batch(q, 0.0)] == [0]

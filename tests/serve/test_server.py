@@ -1,0 +1,189 @@
+"""End-to-end tests for the serving loop."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.serve import (
+    ArrivalProcess,
+    QueryServer,
+    ServeConfig,
+    TenantSpec,
+)
+from repro.simgpu import EventKind
+from repro.validate import validate_timeline
+
+#: loose SLOs + deep queue: nothing sheds, both policies complete the whole
+#: trace, so policy comparisons are query-for-query
+LOOSE_TENANTS = (
+    TenantSpec("interactive", mix=(("q6", 0.6), ("sql_scan", 0.4)),
+               weight=0.7, priority=0, deadline_s=60.0, elements=1_000_000),
+    TenantSpec("reporting", mix=(("q1", 0.6), ("q21", 0.4)),
+               weight=0.3, priority=1, deadline_s=60.0, elements=2_000_000),
+)
+
+#: tight SLOs + tiny queue: overload, so every shedding path fires
+TIGHT_TENANTS = (
+    TenantSpec("interactive", mix=(("q6", 1.0),),
+               weight=1.0, priority=0, deadline_s=0.05, elements=1_000_000),
+)
+
+
+def loose_trace(qps=80, duration=1.0, seed=5):
+    return ArrivalProcess(qps=qps, duration_s=duration,
+                          tenants=LOOSE_TENANTS, seed=seed).trace()
+
+
+def serve(trace, device, **cfg):
+    cfg.setdefault("queue_capacity", 4096)
+    server = QueryServer(device, ServeConfig(**cfg))
+    return server.run(trace=list(trace))
+
+
+class TestAccounting:
+    def test_every_offered_query_gets_one_record(self, device):
+        res = serve(loose_trace(), device)
+        m = res.metrics
+        assert m.offered == len(loose_trace())
+        assert len(res.records) == m.offered
+        by_status = {}
+        for r in res.records:
+            by_status[r.status] = by_status.get(r.status, 0) + 1
+        assert by_status.get("completed", 0) == m.completed_ok
+        assert by_status.get("missed_deadline", 0) == m.missed_deadline
+        assert by_status.get("shed_queue_full", 0) == m.shed_queue_full
+
+    def test_no_shed_in_loose_regime(self, device):
+        m = serve(loose_trace(), device).metrics
+        assert m.shed == 0
+        assert m.completed == m.offered
+        assert m.completed_ok == m.offered  # 60 s SLO is never missed
+
+    def test_latencies_cover_queueing(self, device):
+        res = serve(loose_trace(), device)
+        for r in res.records:
+            assert r.latency_s is not None
+            assert r.latency_s > 0
+            assert r.completion_s >= r.request.arrival_s
+
+    def test_metrics_are_finite(self, device):
+        serve(loose_trace(), device).metrics.check_finite()
+
+
+class TestBatchedBeatsIsolated:
+    def test_strictly_higher_goodput_on_fixed_trace(self, device):
+        # the acceptance criterion: same offered work, shared-scan batching
+        # drains it strictly faster than per-query dispatch
+        trace = loose_trace()
+        bat = serve(trace, device, mode="batched").metrics
+        iso = serve(trace, device, mode="isolated").metrics
+        assert bat.completed_ok == iso.completed_ok == len(trace)
+        assert bat.goodput_qps > iso.goodput_qps
+        assert bat.served_s < iso.served_s
+        assert bat.mean_batch_size > 1.0
+        assert iso.mean_batch_size == pytest.approx(1.0)
+
+    def test_batching_reduces_uploads(self, device):
+        trace = loose_trace()
+        bat = serve(trace, device, mode="batched")
+        iso = serve(trace, device, mode="isolated")
+        n_h2d = lambda res: sum(
+            len(tl.filter(EventKind.H2D)) for _, tl in res.segments)
+        assert n_h2d(bat) < n_h2d(iso)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_summaries(self, device):
+        a = serve(loose_trace(seed=9), device).metrics.summary()
+        b = serve(loose_trace(seed=9), device).metrics.summary()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_chaos_runs_equally_deterministic(self, device):
+        plan = FaultPlan.chaos(7, rate=0.02)
+        a = serve(loose_trace(), device, faults=plan).metrics.summary()
+        b = serve(loose_trace(), device, faults=plan).metrics.summary()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestShedding:
+    def test_overload_sheds_and_survives(self, device):
+        trace = ArrivalProcess(qps=400, duration_s=0.5,
+                               tenants=TIGHT_TENANTS, seed=1).trace()
+        m = serve(trace, device, queue_capacity=4, max_batch=2).metrics
+        assert m.shed > 0
+        assert m.offered == m.completed + m.shed
+        m.check_finite()
+
+    def test_backpressure_path_fires_under_overload(self, device):
+        trace = ArrivalProcess(qps=400, duration_s=0.5,
+                               tenants=TIGHT_TENANTS, seed=1).trace()
+        m = serve(trace, device, queue_capacity=64, max_batch=1).metrics
+        assert m.shed_backpressure > 0
+
+
+class TestFaultAwareServing:
+    def test_chaos_batch_degrades_not_the_server(self, device):
+        # a rate high enough to exhaust the retry budget in some batch:
+        # that batch re-dispatches down the degradation ladder, every
+        # query still completes, and the run stays finite
+        trace = loose_trace(qps=40, duration=0.5)
+        plan = FaultPlan.chaos(3, rate=0.55)
+        m = serve(trace, device, faults=plan, check=True).metrics
+        assert m.degraded_batches > 0
+        assert m.completed == len(trace)
+        m.check_finite()
+
+    def test_low_rate_chaos_observed_in_timelines(self, device):
+        trace = loose_trace(qps=40, duration=0.5)
+        m = serve(trace, device, faults=FaultPlan.chaos(7, rate=0.1),
+                  check=True).metrics
+        assert m.faults_observed > 0
+        assert m.completed == len(trace)
+
+    def test_chaos_only_costs_time(self, device):
+        trace = loose_trace()
+        clean = serve(trace, device).metrics
+        chaotic = serve(trace, device,
+                        faults=FaultPlan.chaos(7, rate=0.05)).metrics
+        assert chaotic.completed_ok == clean.completed_ok
+        assert chaotic.served_s >= clean.served_s
+
+
+class TestTimelines:
+    def test_every_batch_timeline_sanitizes(self, device):
+        res = serve(loose_trace(), device, check=True)
+        for _, tl in res.segments:
+            validate_timeline(tl, device).raise_if_failed()
+
+    def test_merged_timeline_spans_the_run(self, device):
+        res = serve(loose_trace(), device)
+        merged = res.merged_timeline()
+        assert len(merged.events) == sum(
+            len(tl.events) for _, tl in res.segments)
+        assert merged.end_time == pytest.approx(
+            max(t0 + tl.end_time for t0, tl in res.segments))
+
+
+class TestClosedLoop:
+    def test_closed_loop_clients_reissue(self, device):
+        tenants = (TenantSpec("loop", mix=(("q6", 1.0),), deadline_s=60.0,
+                              elements=500_000, closed_loop_clients=2,
+                              think_s=0.01),)
+        proc = ArrivalProcess(qps=1, duration_s=0.5, tenants=tenants, seed=0)
+        res = QueryServer(device, ServeConfig(queue_capacity=4096)).run(
+            arrivals=proc)
+        # each client keeps issuing after completions, so far more than the
+        # two first arrivals get served
+        assert res.metrics.completed > 2
+        res.metrics.check_finite()
+
+
+class TestConfig:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(mode="turbo")
+
+    def test_trace_or_arrivals_required(self, device):
+        with pytest.raises(ValueError):
+            QueryServer(device, ServeConfig()).run()

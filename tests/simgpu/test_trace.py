@@ -43,7 +43,49 @@ class TestToChromeTrace:
         names = [e["args"]["name"] for e in trace["traceEvents"]
                  if e.get("ph") == "M" and e["name"] == "thread_name"]
         assert "PCIe H2D copy engine" in names
-        assert "GPU compute" in names
+        assert "GPU compute (stream 0)" in names
+
+    def test_kernel_lane_per_stream(self):
+        tl = Timeline()
+        tl.add(0.0, 0.001, EventKind.KERNEL, "k0", stream=0)
+        tl.add(0.0, 0.001, EventKind.KERNEL, "k1", stream=1)
+        tl.add(0.001, 0.002, EventKind.KERNEL, "k2", stream=7)
+        trace = to_chrome_trace(tl)
+        complete = {e["name"]: e for e in trace["traceEvents"]
+                    if e.get("ph") == "X"}
+        tids = {complete[k]["tid"] for k in ("k0", "k1", "k2")}
+        assert len(tids) == 3
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert {"GPU compute (stream 0)", "GPU compute (stream 1)",
+                "GPU compute (stream 7)"} <= names
+
+    def test_fault_events_categorized(self):
+        tl = Timeline()
+        tl.add(0.0, 0.001, EventKind.H2D, "fault.input.lineitem", nbytes=10)
+        tl.add(0.001, 0.002, EventKind.KERNEL, "fault.stall.select.filter",
+               stream=3)
+        tl.add(0.002, 0.003, EventKind.H2D, "input.lineitem", nbytes=10)
+        trace = to_chrome_trace(tl)
+        complete = {e["name"]: e for e in trace["traceEvents"]
+                    if e.get("ph") == "X"}
+        retried = complete["fault.input.lineitem"]
+        assert "fault" in retried["cat"]
+        assert retried["args"]["fault"] is True
+        assert retried["args"]["repair"] == "retry"
+        stalled = complete["fault.stall.select.filter"]
+        assert stalled["args"]["repair"] == "reissue"
+        clean = complete["input.lineitem"]
+        assert "fault" not in clean["cat"]
+        assert "fault" not in clean["args"]
+
+    def test_lanes_keep_sort_order(self, timeline):
+        trace = to_chrome_trace(timeline)
+        sort_rows = [e for e in trace["traceEvents"]
+                     if e.get("ph") == "M" and e["name"] == "thread_sort_index"]
+        assert sort_rows
+        for e in sort_rows:
+            assert e["args"]["sort_index"] == e["tid"]
 
     def test_args_carry_bytes(self, timeline):
         trace = to_chrome_trace(timeline)

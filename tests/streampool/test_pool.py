@@ -278,3 +278,48 @@ class TestFaultedPool:
         pool.get_available_stream().h2d(1e6, tag="queued")
         drained = pool.terminate()
         assert [c.tag for c in drained] == ["queued"]
+
+
+class TestReset:
+    def test_reset_drains_queued_commands(self, pool):
+        s = pool.get_available_stream()
+        s.h2d(1e6, tag="pending")
+        drained = pool.reset()
+        assert [c.tag for c in drained] == ["pending"]
+        assert all(not st.sim.commands for st in pool.streams)
+
+    def test_reset_reopens_after_terminate(self, pool):
+        pool.terminate()
+        pool.reset()
+        s = pool.get_available_stream()
+        s.h2d(1e6)
+        tl = pool.wait_all()
+        assert len(tl.events) == 1
+
+    def test_reset_frees_claimed_streams(self, pool):
+        for _ in range(3):
+            pool.get_available_stream()
+        pool.reset()
+        assert all(st.available for st in pool.streams)
+
+    def test_reset_recovers_from_fault_backlog(self):
+        from repro.errors import FaultError
+        from repro.faults import FaultInjector, FaultKind, FaultPlan, RetryPolicy
+
+        plan = FaultPlan(rates={FaultKind.H2D_FAIL: 1.0},
+                         retry=RetryPolicy(max_retries=1))
+        device = DeviceSpec()
+        pool = StreamPool(device, num_streams=2,
+                          engine=SimEngine(device, faults=FaultInjector(plan)))
+        s = pool.get_available_stream()
+        s.h2d(1e6, tag="doomed")
+        with pytest.raises(FaultError):
+            pool.wait_all()
+        drained = pool.reset()
+        assert drained  # the unfinished work comes back out
+        # a clean engine serves the next batch on the same pool
+        pool.engine = SimEngine(device)
+        s = pool.get_available_stream()
+        s.h2d(1e6, tag="retry")
+        tl = pool.wait_all()
+        assert [e.tag for e in tl.events] == ["retry"]

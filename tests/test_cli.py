@@ -119,3 +119,43 @@ class TestExplain:
         assert main(["explain", "--query", "chain",
                      "--elements", "1000"]) == 0
         assert "SELECT" in capsys.readouterr().out
+
+
+class TestServe:
+    ARGS = ["serve", "--qps", "40", "--duration", "0.5", "--seed", "3"]
+
+    def test_batched_run_renders_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "mode: batched" in out
+        assert "goodput" in out
+        assert "p50/p95/p99" in out
+
+    def test_both_modes_compared(self, capsys):
+        assert main(self.ARGS + ["--mode", "both"]) == 0
+        out = capsys.readouterr().out
+        assert "mode: batched" in out
+        assert "mode: isolated" in out
+        assert "batched vs isolated" in out
+
+    def test_summary_json_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.ARGS + ["--summary", str(a)]) == 0
+        assert main(self.ARGS + ["--summary", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        doc = json.loads(a.read_text())
+        assert doc["batched"]["metrics"]["offered"] > 0
+        assert doc["batched"]["config"]["seed"] == 3
+
+    def test_chaos_validated_run(self, tmp_path, capsys):
+        # global flags precede the subcommand (the CI smoke invocation)
+        assert main(["--validate", "--chaos", "7:0.02"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "[chaos]" in out
+        assert "faults observed" in out
+
+    def test_trace_output(self, tmp_path, capsys):
+        path = tmp_path / "serve_trace.json"
+        assert main(self.ARGS + ["--trace-output", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        assert trace["traceEvents"]
