@@ -1,0 +1,33 @@
+"""Static analysis of plans, fusion results, stream programs, and IR.
+
+Runs *before* simulation and reports structured
+:class:`~repro.analyze.diagnostics.Diagnostic` findings with stable
+codes (see ``docs/ANALYSIS.md`` for the catalog):
+
+* ``PLN0xx`` -- plan lints (structure, column flow, cardinality)
+* ``FUS1xx`` -- fusion legality (barriers, single-consumer, cycles,
+  register budget)
+* ``STR2xx`` -- stream-program races and deadlocks
+* ``IRL3xx`` -- compilerlite IR lints
+
+Entry points: :class:`Analyzer` for programmatic use, ``repro analyze``
+on the CLI, and the opt-in ``analyze=True`` pre-flight on
+:class:`~repro.runtime.executor.Executor` and
+:class:`~repro.serve.server.QueryServer`.
+"""
+
+from .baseline import Baseline, Suppression, baseline_from_findings, write_baseline
+from .diagnostics import AnalysisReport, Diagnostic, Severity, SourceLocation
+from .framework import Analyzer
+from .fusion_check import FusionCheckPass
+from .ir_lints import IrLintPass
+from .plan_lints import PlanLintPass
+from .stream_check import StreamCheckPass
+from . import corpus
+
+__all__ = [
+    "Analyzer", "AnalysisReport", "Diagnostic", "Severity",
+    "SourceLocation", "Baseline", "Suppression", "baseline_from_findings",
+    "write_baseline", "PlanLintPass", "FusionCheckPass", "StreamCheckPass",
+    "IrLintPass", "corpus",
+]

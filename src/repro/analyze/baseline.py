@@ -1,0 +1,114 @@
+"""Baseline / suppression files for the analyzer.
+
+A baseline is a plain-text file with one suppression per line:
+
+.. code-block:: text
+
+    # comments and blank lines are ignored
+    PLN009 fuzz_*:node:op3_sel      # exact code, glob on the location
+    STR2*  serve-batch:stream:*     # code globs work too
+
+Each line is ``CODE  LOCATION-GLOB``: a diagnostic is suppressed when
+its code matches the (fnmatch-style) code pattern *and* its rendered
+location (``unit:kind:name[index]``) matches the location glob.  Known
+findings go in the baseline so ``repro analyze --strict`` (and the CI
+job) only fails on *new* ones; ``--write-baseline`` regenerates the
+file from the current findings.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .diagnostics import AnalysisReport, Diagnostic
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baseline line: a code pattern and a location glob."""
+
+    code: str
+    location: str = "*"
+
+    def matches(self, diag: Diagnostic) -> bool:
+        return (fnmatch.fnmatchcase(diag.code, self.code)
+                and fnmatch.fnmatchcase(str(diag.location), self.location))
+
+    def render(self) -> str:
+        return f"{self.code} {self.location}"
+
+
+@dataclass
+class Baseline:
+    """A set of suppressions loaded from (or destined for) a file."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, text: str) -> "Baseline":
+        sups: list[Suppression] = []
+        for raw in text.splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) == 1:
+                sups.append(Suppression(code=parts[0]))
+            else:
+                sups.append(Suppression(code=parts[0],
+                                        location=parts[1]))
+        return cls(suppressions=sups)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as f:
+            return cls.parse(f.read())
+
+    def matches(self, diag: Diagnostic) -> bool:
+        return any(s.matches(diag) for s in self.suppressions)
+
+    def apply(self, report: AnalysisReport) -> AnalysisReport:
+        """Move baseline-matched diagnostics into ``report.suppressed``."""
+        kept: list[Diagnostic] = []
+        for diag in report.diagnostics:
+            if self.matches(diag):
+                report.suppressed.append(diag)
+            else:
+                kept.append(diag)
+        report.diagnostics = kept
+        return report
+
+    def render(self) -> str:
+        lines = ["# repro analyze baseline -- suppressed findings",
+                 "# format: CODE LOCATION-GLOB (fnmatch patterns)"]
+        lines.extend(s.render() for s in self.suppressions)
+        return "\n".join(lines) + "\n"
+
+
+def _glob_escape(text: str) -> str:
+    """Escape fnmatch metacharacters so a rendered location round-trips
+    (``s3[1]`` would otherwise parse ``[1]`` as a character class)."""
+    return (text.replace("[", "[[]")
+            .replace("*", "[*]").replace("?", "[?]"))
+
+
+def baseline_from_findings(diags: Iterable[Diagnostic]) -> Baseline:
+    """A baseline that suppresses exactly the given findings."""
+    seen: set[tuple[str, str]] = set()
+    sups: list[Suppression] = []
+    for d in diags:
+        key = (d.code, str(d.location))
+        if key not in seen:
+            seen.add(key)
+            sups.append(Suppression(code=d.code,
+                                    location=_glob_escape(str(d.location))))
+    return Baseline(suppressions=sups)
+
+
+def write_baseline(path: str, diags: Iterable[Diagnostic]) -> Baseline:
+    base = baseline_from_findings(diags)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(base.render())
+    return base

@@ -1,0 +1,232 @@
+"""The analyzer's built-in corpus: every artifact `repro analyze` scans.
+
+One exemplar plan per Figure-2 pattern (a-h, all with declared source
+schemas so the column-flow lints actually fire), the TPC-H plans, a
+seeded fuzz-plan sweep, their fused forms, a batched-streams program
+from the serving path, and the compilerlite Table-III kernels.  The CI
+lint gate runs ``repro analyze --strict`` over exactly this corpus, so
+everything here must stay free of error-severity findings.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..compilerlite import (
+    FilterStatement,
+    gen_arith_kernel,
+    gen_fused_naive,
+    gen_unfused,
+    optimize,
+)
+from ..compilerlite.ir import Program
+from ..core.fusion import fuse_plan
+from ..plans.fuzz import random_plan_case
+from ..plans.plan import Plan
+from ..ra.arithmetic import AggSpec
+from ..ra.expr import Const, Field
+from ..simgpu.device import DeviceSpec
+
+#: fields of the synthetic lineitem-like table the pattern plans scan
+_FIELDS = ["k", "v", "w", "price", "discount"]
+
+
+def _base(plan: Plan, name: str = "t"):
+    return plan.source(name, row_nbytes=20, fields=_FIELDS)
+
+
+def pattern_a_plan() -> Plan:
+    """(a) back-to-back SELECTs (date-range style filters)."""
+    plan = Plan(name="pattern_a")
+    src = _base(plan)
+    s1 = plan.select(src, Field("v") >= 10, selectivity=0.8, name="lo")
+    plan.select(s1, Field("v") < 40, selectivity=0.6, name="hi")
+    return plan
+
+
+def pattern_b_plan() -> Plan:
+    """(b) a cascade of JOINs building a wide table."""
+    plan = Plan(name="pattern_b")
+    fact = _base(plan, "fact")
+    d1 = plan.source("dim1", row_nbytes=8, fields=["k", "d1"])
+    d2 = plan.source("dim2", row_nbytes=8, fields=["k", "d2"])
+    j1 = plan.join(fact, d1, on="k", match_rate=1.0, name="j1")
+    plan.join(j1, d2, on="k", match_rate=1.0, name="j2")
+    return plan
+
+
+def pattern_c_plan() -> Plan:
+    """(c) several SELECTs filtering the same input (shared scan)."""
+    plan = Plan(name="pattern_c")
+    src = _base(plan)
+    plan.select(src, Field("v") < 10, selectivity=0.2, name="q0")
+    plan.select(src, Field("v") < 25, selectivity=0.5, name="q1")
+    plan.select(src, Field("w") >= 5, selectivity=0.9, name="q2")
+    return plan
+
+
+def pattern_d_plan() -> Plan:
+    """(d) SELECT over fields produced by a JOIN."""
+    plan = Plan(name="pattern_d")
+    fact = _base(plan, "fact")
+    dim = plan.source("dim", row_nbytes=8, fields=["k", "flag"])
+    j = plan.join(fact, dim, on="k", match_rate=1.0, name="j")
+    plan.select(j, Field("flag").eq(1), selectivity=0.5, name="post")
+    return plan
+
+
+def pattern_e_plan() -> Plan:
+    """(e) ARITH over fields produced by a JOIN."""
+    plan = Plan(name="pattern_e")
+    fact = _base(plan, "fact")
+    dim = plan.source("dim", row_nbytes=8, fields=["k", "rate"])
+    j = plan.join(fact, dim, on="k", match_rate=1.0, name="j")
+    plan.arith(j, {"amount": Field("price") * Field("rate")},
+               keep=["k"], name="amount")
+    return plan
+
+
+def pattern_f_plan() -> Plan:
+    """(f) JOIN of two SELECT-ed tables."""
+    plan = Plan(name="pattern_f")
+    left = _base(plan, "left")
+    right = plan.source("right", row_nbytes=8, fields=["k", "r"])
+    ls = plan.select(left, Field("v") < 30, selectivity=0.5, name="lsel")
+    rs = plan.select(right, Field("r") >= 1, selectivity=0.5, name="rsel")
+    plan.join(ls, rs, on="k", match_rate=0.5, name="j")
+    return plan
+
+
+def pattern_g_plan() -> Plan:
+    """(g) AGGREGATION over SELECT-ed data."""
+    plan = Plan(name="pattern_g")
+    src = _base(plan)
+    sel = plan.select(src, Field("v") < 25, selectivity=0.5, name="sel")
+    plan.aggregate(sel, ["k"], {
+        "n": AggSpec("count"),
+        "total": AggSpec("sum", "price"),
+    }, n_groups=16, name="agg")
+    return plan
+
+
+def pattern_h_plan() -> Plan:
+    """(h) ARITH followed by PROJECT discarding the source fields."""
+    plan = Plan(name="pattern_h")
+    src = _base(plan)
+    a = plan.arith(src, {
+        "disc_price": Field("price") * (Const(1) - Field("discount")),
+    }, keep=["k", "price", "discount"], name="disc")
+    plan.project(a, ["k", "disc_price"], name="slim")
+    return plan
+
+
+def select_chain_plan(n: int = 4) -> Plan:
+    """An n-deep SELECT chain -- the register-budget stress shape."""
+    plan = Plan(name=f"select_chain_{n}")
+    node = _base(plan)
+    for i in range(n):
+        node = plan.select(node, Field("v") < 50 - i, selectivity=0.9,
+                           name=f"s{i}")
+    return plan
+
+
+def pattern_plans() -> list[tuple[str, Plan]]:
+    """One labeled exemplar per Figure-2 pattern, plus the chain."""
+    return [
+        ("pattern_a", pattern_a_plan()),
+        ("pattern_b", pattern_b_plan()),
+        ("pattern_c", pattern_c_plan()),
+        ("pattern_d", pattern_d_plan()),
+        ("pattern_e", pattern_e_plan()),
+        ("pattern_f", pattern_f_plan()),
+        ("pattern_g", pattern_g_plan()),
+        ("pattern_h", pattern_h_plan()),
+        ("select_chain", select_chain_plan()),
+    ]
+
+
+def tpch_plans() -> list[tuple[str, Plan]]:
+    from ..tpch.q1 import build_q1_plan
+    from ..tpch.q6 import build_q6_plan
+    from ..tpch.q21 import build_q21_plan
+    return [
+        ("tpch_q1", build_q1_plan()),
+        ("tpch_q6", build_q6_plan()),
+        ("tpch_q21", build_q21_plan()),
+    ]
+
+
+def fuzz_plans(n_seeds: int = 50) -> list[tuple[str, Plan]]:
+    """Plans from the differential-testing fuzzer, seeds 0..n-1."""
+    return [(f"fuzz_{seed}", random_plan_case(seed).plan)
+            for seed in range(n_seeds)]
+
+
+def ir_programs() -> list[tuple[str, Program]]:
+    """The Table-III kernels, unoptimized and through the O3 pipeline."""
+    stmts = [FilterStatement("lt", 100.0), FilterStatement("lt", 50.0)]
+    targets: list[tuple[str, Program]] = []
+    for prog in gen_unfused(stmts):
+        targets.append((f"o0_{prog.name}", prog))
+        targets.append((f"o3_{prog.name}", optimize(prog)))
+    fused = gen_fused_naive(stmts)
+    targets.append(("o0_fused", fused))
+    targets.append(("o3_fused", optimize(fused)))
+    arith = gen_arith_kernel([
+        ("disc_price", Field("price") * (Const(1.0) - Field("discount"))),
+        ("charge",
+         Field("price") * (Const(1.0) - Field("discount"))
+         * (Const(1.0) + Field("tax"))),
+    ], name="q1_arith")
+    targets.append(("o0_q1_arith", arith))
+    targets.append(("o3_q1_arith", optimize(arith)))
+    return targets
+
+
+def batched_stream_pool(device: DeviceSpec | None = None):
+    """A serving-path batched-streams program (enqueued, not run): the
+    three-query shared-scan workload the race detector inspects."""
+    from ..runtime.workload import QueryWorkload, WorkloadScheduler
+
+    def one_query(qname: str, cutoff: int) -> Plan:
+        plan = Plan(name=qname)
+        src = _base(plan, "lineitem")
+        sel = plan.select(src, Field("v") < cutoff, selectivity=0.5,
+                          name="sel")
+        plan.aggregate(sel, ["k"], {"n": AggSpec("count")},
+                       n_groups=8, name="agg")
+        return plan
+
+    workload = QueryWorkload(plans=[
+        one_query("q_a", 10), one_query("q_b", 20), one_query("q_c", 30),
+    ])
+    sched = WorkloadScheduler(device or DeviceSpec())
+    pool, _ = sched.enqueue_batched_streams(workload, {"lineitem": 100_000})
+    return pool
+
+
+def default_corpus(n_fuzz_seeds: int = 50,
+                   device: DeviceSpec | None = None,
+                   include_streams: bool = True
+                   ) -> list[tuple[str, Any]]:
+    """Everything ``repro analyze`` scans, as (label, target) pairs.
+
+    Plans appear twice: raw (plan lints) and fused (fusion legality).
+    """
+    targets: list[tuple[str, Any]] = []
+    plans = pattern_plans() + tpch_plans() + fuzz_plans(n_fuzz_seeds)
+    for label, plan in plans:
+        targets.append((label, plan))
+    for label, plan in plans:
+        targets.append((f"{label}:fused", fuse_plan(plan)))
+    if include_streams:
+        targets.append(("batched_streams", batched_stream_pool(device)))
+    for label, prog in ir_programs():
+        targets.append((f"ir:{label}", prog))
+    return targets
+
+
+__all__ = [
+    "pattern_plans", "tpch_plans", "fuzz_plans", "ir_programs",
+    "batched_stream_pool", "default_corpus", "select_chain_plan",
+]

@@ -1,0 +1,158 @@
+"""Structured diagnostics for the static analyzer.
+
+Every finding is a :class:`Diagnostic` with a stable code (``PLN0xx`` /
+``FUS1xx`` / ``STR2xx`` / ``IRL3xx``), a :class:`Severity`, a human
+message, and a :class:`SourceLocation` naming the plan node, fusion
+region, stream command, or IR instruction involved.  Stability of codes
+and locations is load-bearing: the baseline/suppression format
+(:mod:`repro.analyze.baseline`) matches on them, and CI fails on any
+*new* error-severity finding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels (higher is worse)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where a diagnostic points.
+
+    ``unit`` is the analyzed artifact's name (plan name, program name,
+    stream-pool label); ``kind`` says what the location names (``node``,
+    ``region``, ``stream``, ``instr``, ``buffer``, ``plan``); ``name``
+    is the node/region/buffer name and ``index`` an optional command or
+    instruction index within the unit.
+    """
+
+    unit: str
+    kind: str
+    name: str = ""
+    index: int | None = None
+
+    def __str__(self) -> str:
+        parts = [self.unit, self.kind]
+        if self.name:
+            parts.append(self.name)
+        where = ":".join(parts)
+        if self.index is not None:
+            where += f"[{self.index}]"
+        return where
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: SourceLocation
+    pass_name: str = ""
+
+    def __str__(self) -> str:
+        return (f"{self.code} {self.severity} at {self.location}: "
+                f"{self.message}")
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (the CLI's ``--json`` output)."""
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "location": str(self.location),
+            "message": self.message,
+            "pass": self.pass_name,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one :class:`~repro.analyze.Analyzer` invocation found."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    passes_run: list[str] = field(default_factory=list)
+    #: findings matched (and silenced) by the baseline file
+    suppressed: list[Diagnostic] = field(default_factory=list)
+
+    def extend(self, diags: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def merge(self, other: "AnalysisReport") -> "AnalysisReport":
+        self.diagnostics.extend(other.diagnostics)
+        self.suppressed.extend(other.suppressed)
+        for name in other.passes_run:
+            if name not in self.passes_run:
+                self.passes_run.append(name)
+        return self
+
+    # -- queries ---------------------------------------------------------
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics survived suppression."""
+        return not self.errors
+
+    def codes(self) -> list[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def has_code(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    def raise_if_errors(self) -> "AnalysisReport":
+        """Raise :class:`~repro.errors.AnalysisError` when errors exist."""
+        if self.errors:
+            raise AnalysisError(self.errors)
+        return self
+
+    # -- rendering -------------------------------------------------------
+    def summary(self) -> dict[str, object]:
+        """Flat deterministic mapping (trace metadata, CLI ``--json``)."""
+        counts: dict[str, int] = {}
+        for d in self.diagnostics:
+            counts[d.code] = counts.get(d.code, 0) + 1
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.by_severity(Severity.INFO)),
+            "suppressed": len(self.suppressed),
+            "passes": sorted(self.passes_run),
+            "codes": {code: counts[code] for code in sorted(counts)},
+        }
+
+    def render(self) -> str:
+        lines = []
+        order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+        for d in sorted(self.diagnostics,
+                        key=lambda d: (order[d.severity], d.code,
+                                       str(d.location))):
+            lines.append(str(d))
+        s = self.summary()
+        lines.append(
+            f"analysis: {s['errors']} error(s), {s['warnings']} warning(s), "
+            f"{s['infos']} info(s), {s['suppressed']} suppressed "
+            f"[{', '.join(self.passes_run)}]")
+        return "\n".join(lines)

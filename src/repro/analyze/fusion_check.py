@@ -1,0 +1,254 @@
+"""Fusion-legality verifier (FUS1xx).
+
+Independently re-derives the paper's SS III-C legality conditions from
+:mod:`repro.core.dependence` and checks them against a
+:class:`~repro.core.fusion.FusionResult` -- the output of the fusion
+pass, *not* its internal bookkeeping -- so a bug in the greedy pass (or a
+hand-mutated result) is caught before anything is lowered or simulated.
+
+========  ========  ====================================================
+code      severity  meaning
+========  ========  ====================================================
+FUS101    error     barrier / non-fusable op inside a fused region
+FUS102    error     region chain link is not an elementwise dependence
+FUS103    error     fused producer has consumers outside the region
+FUS104    error     inter-region dependence cycle (via side inputs)
+FUS105    error     region list not topologically ordered
+FUS106    warning   fused region exceeds the register budget
+FUS107    error     plan node missing from / duplicated across regions
+========  ========  ====================================================
+
+The register check (FUS106) measures pressure two ways and takes the
+worst: the stage cost model's per-kernel demand
+(:func:`~repro.core.opmodels.chain_for_region`), and -- for SELECT-only
+regions whose predicates are simple threshold compares -- liveness over
+actually generated code (:mod:`repro.compilerlite.liveness` on the
+naively fused kernel), the same cross-check the paper's Table III makes
+by hand.
+"""
+
+from __future__ import annotations
+
+from ..compilerlite.codegen import FilterStatement, gen_fused_naive
+from ..compilerlite.liveness import register_pressure
+from ..core.dependence import DepClass, classify_edge
+from ..core.fusion import FusionResult, Region
+from ..core.opmodels import FUSABLE_OPS, chain_for_region
+from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
+from ..errors import ReproError
+from ..plans.plan import OpType
+from ..ra.expr import Compare, Const, Field
+from ..simgpu.device import DeviceSpec
+from .diagnostics import Diagnostic, Severity, SourceLocation
+
+#: expression compare symbol -> IR setp compare op
+_CMP_SYMBOLS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+                "==": "eq", "!=": "ne"}
+
+
+class FusionCheckPass:
+    """All FUS1xx checks over one :class:`FusionResult`."""
+
+    name = "fusion-check"
+    codes = ("FUS101", "FUS102", "FUS103", "FUS104", "FUS105",
+             "FUS106", "FUS107")
+
+    def __init__(self, device: DeviceSpec | None = None,
+                 costs: StageCostParams = DEFAULT_STAGE_COSTS):
+        self.device = device or DeviceSpec()
+        self.costs = costs
+
+    def run(self, fusion: FusionResult) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        unit = fusion.plan.name
+        legal_regions = [r for r in fusion.regions
+                         if not self._region_checks(fusion, r, unit, diags)]
+        self._coverage(fusion, unit, diags)
+        self._region_graph_checks(fusion, unit, diags)
+        for region in legal_regions:
+            if region.nodes and all(n.op in FUSABLE_OPS
+                                    for n in region.nodes):
+                self._register_budget(region, unit, diags)
+        return diags
+
+    # -- per-region legality ---------------------------------------------
+    def _region_checks(self, fusion: FusionResult, region: Region,
+                       unit: str, diags: list[Diagnostic]) -> bool:
+        """Check one region; True when a structural defect was found."""
+        bad = False
+
+        def err(code: str, message: str) -> None:
+            diags.append(Diagnostic(
+                code=code, severity=Severity.ERROR, message=message,
+                location=SourceLocation(unit, "region", region.name),
+                pass_name=self.name))
+
+        if region.fused:
+            for node in region.nodes:
+                if node.op not in FUSABLE_OPS:
+                    err("FUS101",
+                        f"region {region.name!r} fuses {node.name!r} "
+                        f"({node.op.value}), a barrier operator that can "
+                        f"never share a kernel")
+                    bad = True
+
+        for prev, node in zip(region.nodes, region.nodes[1:]):
+            if not node.inputs or node.inputs[0] is not prev:
+                err("FUS102",
+                    f"region {region.name!r}: {node.name!r} does not "
+                    f"consume its region predecessor {prev.name!r} as its "
+                    f"primary input")
+                bad = True
+                continue
+            dep = classify_edge(prev, node, 0)
+            if dep is not DepClass.ELEMENTWISE:
+                err("FUS102",
+                    f"region {region.name!r}: dependence "
+                    f"{prev.name!r} -> {node.name!r} is {dep.value}, "
+                    f"not elementwise; fusing it changes results")
+                bad = True
+            consumers = fusion.plan.consumers(prev)
+            extra = [c.name for c in consumers if c is not node]
+            if extra:
+                err("FUS103",
+                    f"region {region.name!r}: fused producer {prev.name!r} "
+                    f"also feeds {extra} outside the region; its "
+                    f"intermediate must be materialized")
+                bad = True
+        return bad
+
+    # -- coverage --------------------------------------------------------
+    def _coverage(self, fusion: FusionResult, unit: str,
+                  diags: list[Diagnostic]) -> None:
+        seen: dict[int, str] = {}
+        for region in fusion.regions:
+            for node in region.nodes:
+                if id(node) in seen:
+                    diags.append(Diagnostic(
+                        code="FUS107", severity=Severity.ERROR,
+                        message=(f"node {node.name!r} appears in regions "
+                                 f"{seen[id(node)]!r} and {region.name!r}"),
+                        location=SourceLocation(unit, "node", node.name),
+                        pass_name=self.name))
+                seen[id(node)] = region.name
+        for node in fusion.plan.nodes:
+            if node.op is OpType.SOURCE:
+                continue
+            if id(node) not in seen:
+                diags.append(Diagnostic(
+                    code="FUS107", severity=Severity.ERROR,
+                    message=(f"plan node {node.name!r} ({node.op.value}) "
+                             f"is not covered by any region"),
+                    location=SourceLocation(unit, "node", node.name),
+                    pass_name=self.name))
+
+    # -- inter-region graph ----------------------------------------------
+    def _region_graph_checks(self, fusion: FusionResult, unit: str,
+                             diags: list[Diagnostic]) -> None:
+        region_of: dict[int, int] = {}
+        for ri, region in enumerate(fusion.regions):
+            for node in region.nodes:
+                region_of.setdefault(id(node), ri)
+
+        deps: dict[int, set[int]] = {ri: set()
+                                     for ri in range(len(fusion.regions))}
+        for ri, region in enumerate(fusion.regions):
+            for node in region.nodes:
+                for inp in node.inputs:
+                    si = region_of.get(id(inp))
+                    if si is not None and si != ri:
+                        deps[ri].add(si)
+
+        # FUS105: execution order must respect dependences
+        for ri, region in enumerate(fusion.regions):
+            late = [si for si in deps[ri] if si > ri]
+            for si in sorted(late):
+                diags.append(Diagnostic(
+                    code="FUS105", severity=Severity.ERROR,
+                    message=(f"region {region.name!r} (position {ri}) "
+                             f"depends on region "
+                             f"{fusion.regions[si].name!r} scheduled "
+                             f"later (position {si})"),
+                    location=SourceLocation(unit, "region", region.name),
+                    pass_name=self.name))
+
+        # FUS104: cycle detection over the region dependence graph
+        color: dict[int, int] = {}  # 0 unvisited / 1 on stack / 2 done
+
+        def find_cycle(ri: int, path: list[int]) -> list[int] | None:
+            color[ri] = 1
+            path.append(ri)
+            for si in sorted(deps[ri]):
+                if color.get(si, 0) == 1:
+                    return path[path.index(si):]
+                if color.get(si, 0) == 0:
+                    found = find_cycle(si, path)
+                    if found is not None:
+                        return found
+            path.pop()
+            color[ri] = 2
+            return None
+
+        for ri in range(len(fusion.regions)):
+            if color.get(ri, 0) == 0:
+                cycle = find_cycle(ri, [])
+                if cycle is not None:
+                    names = " -> ".join(
+                        fusion.regions[i].name for i in cycle)
+                    diags.append(Diagnostic(
+                        code="FUS104", severity=Severity.ERROR,
+                        message=(f"inter-region dependence cycle: "
+                                 f"{names} -> {fusion.regions[cycle[0]].name}"
+                                 f" (a side input depends on the region "
+                                 f"consuming it)"),
+                        location=SourceLocation(
+                            unit, "region", fusion.regions[cycle[0]].name),
+                        pass_name=self.name))
+                    break
+
+    # -- register pressure -----------------------------------------------
+    def _register_budget(self, region: Region, unit: str,
+                         diags: list[Diagnostic]) -> None:
+        budget = self.device.calib.gpu.max_regs_per_thread
+        try:
+            chain = chain_for_region(region.nodes, self.costs)
+        except ReproError:
+            return  # structurally broken regions are reported elsewhere
+        model_regs = max(k.regs_per_thread for k in chain.kernels)
+        ir_regs = self._liveness_pressure(region)
+        regs = max(model_regs, ir_regs)
+        if regs > budget:
+            via = (" (liveness over generated code)"
+                   if ir_regs > model_regs else "")
+            diags.append(Diagnostic(
+                code="FUS106", severity=Severity.WARNING,
+                message=(f"region {region.name!r} needs ~{regs} registers "
+                         f"per thread{via}, over the device budget of "
+                         f"{budget}; expect occupancy loss or spills"),
+                location=SourceLocation(unit, "region", region.name),
+                pass_name=self.name))
+
+    def _liveness_pressure(self, region: Region) -> int:
+        """IR-level pressure for SELECT-only threshold-filter regions.
+
+        Returns 0 when the region is not expressible as the paper's
+        Table III filter chain (the stage model alone judges it then).
+        """
+        stmts: list[FilterStatement] = []
+        for node in region.nodes:
+            if node.op is not OpType.SELECT:
+                return 0
+            pred = node.params.get("predicate")
+            if (not isinstance(pred, Compare)
+                    or not isinstance(pred.left, Field)
+                    or not isinstance(pred.right, Const)
+                    or not isinstance(pred.right.value, (int, float))
+                    or pred.op not in _CMP_SYMBOLS):
+                return 0
+            stmts.append(FilterStatement(
+                cmp=_CMP_SYMBOLS[pred.op],
+                threshold=float(pred.right.value)))
+        if not stmts:
+            return 0
+        prog = gen_fused_naive(stmts, name=region.name)
+        return self.costs.skeleton_base_regs + register_pressure(prog)

@@ -1,0 +1,95 @@
+"""IR lints (IRL3xx) for :mod:`repro.compilerlite` programs.
+
+The mini-PTX programs are straight-line with forward branches, so a
+single forward scan is exact: a register must be defined textually
+before its first use, and a definition nobody reads before the next
+redefinition (or the end) is dead.
+
+========  ========  ====================================================
+code      severity  meaning
+========  ========  ====================================================
+IRL301    error     register used before any definition
+IRL302    warning   dead store (defined register never read)
+IRL303    error     guard predicate register never defined
+IRL304    error     branch to an undefined label
+========  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+from ..compilerlite.ir import Instr, Program
+from .diagnostics import Diagnostic, Severity, SourceLocation
+
+
+def _register_srcs(instr: Instr) -> list[str]:
+    """Source operands that are registers (not memory locations,
+    labels, or immediates) -- mirrors the liveness pass's operand
+    model (:mod:`repro.compilerlite.liveness`)."""
+    if instr.op in ("bra", "label"):
+        return []
+    srcs = list(instr.srcs)
+    if instr.op in ("ld", "st"):
+        srcs = srcs[1:]  # srcs[0] is the memory location
+    return [s for s in srcs if isinstance(s, str)]
+
+
+class IrLintPass:
+    """All IRL3xx checks over one :class:`Program`."""
+
+    name = "ir-lints"
+    codes = ("IRL301", "IRL302", "IRL303", "IRL304")
+
+    def run(self, prog: Program) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        unit = prog.name
+
+        def add(code: str, severity: Severity, k: int, message: str) -> None:
+            diags.append(Diagnostic(
+                code=code, severity=severity, message=message,
+                location=SourceLocation(unit, "instr",
+                                        prog.instrs[k].op, index=k),
+                pass_name=self.name))
+
+        labels = {i.srcs[0] for i in prog.instrs if i.op == "label"}
+        defined: set[str] = set()
+        for k, instr in enumerate(prog.instrs):
+            for reg in _register_srcs(instr):
+                if reg not in defined:
+                    add("IRL301", Severity.ERROR, k,
+                        f"register {reg!r} used by "
+                        f"{instr.render().strip()!r} before any definition")
+            if instr.guard is not None:
+                guard_reg = instr.guard.lstrip("!")
+                if guard_reg not in defined:
+                    add("IRL303", Severity.ERROR, k,
+                        f"guard @{instr.guard} on "
+                        f"{instr.render().strip()!r} references predicate "
+                        f"{guard_reg!r}, which is never defined before it")
+            if instr.op == "bra" and instr.srcs[0] not in labels:
+                add("IRL304", Severity.ERROR, k,
+                    f"branch to undefined label {instr.srcs[0]!r}")
+            if instr.dst is not None and instr.op != "st":
+                defined.add(instr.dst)
+
+        self._dead_stores(prog, add)
+        return diags
+
+    def _dead_stores(self, prog: Program, add) -> None:
+        for k, instr in enumerate(prog.instrs):
+            if instr.dst is None or instr.op == "st":
+                continue
+            reg = instr.dst
+            for later in prog.instrs[k + 1:]:
+                if (reg in _register_srcs(later)
+                        or (later.guard is not None
+                            and later.guard.lstrip("!") == reg)):
+                    break  # used before any redefinition
+                if later.dst == reg and later.op != "st":
+                    add("IRL302", Severity.WARNING, k,
+                        f"dead store: {instr.render().strip()!r} defines "
+                        f"{reg!r}, which is redefined before any use")
+                    break
+            else:
+                add("IRL302", Severity.WARNING, k,
+                    f"dead store: {instr.render().strip()!r} defines "
+                    f"{reg!r}, which is never used")

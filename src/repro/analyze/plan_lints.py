@@ -1,0 +1,221 @@
+"""Plan lints (PLN0xx): structural and column-flow checks on logical plans.
+
+Structural problems (PLN001--PLN004) reuse the exact messages of
+:meth:`repro.plans.plan.Plan.structural_issues`, so ``plan.validate()``
+and ``repro analyze`` report identical text for the same defect.
+
+Column-flow checks (PLN006--PLN008) run a schema lattice over the DAG:
+a node's schema is the set of column names it can produce, or ``None``
+when unknown (sources without a declared ``fields`` list).  Checks only
+fire where the upstream schema is *known* -- plans built over opaque
+columnar sources (e.g. TPC-H Q1's positional column arrays) are never
+punished for what the analyzer cannot see.
+
+========  ========  ====================================================
+code      severity  meaning
+========  ========  ====================================================
+PLN001    error     operator arity violation
+PLN002    error     duplicate node name
+PLN003    error     dependency cycle
+PLN004    error     input node not part of the plan (dangling edge)
+PLN005    warning   source feeds nothing (dead source)
+PLN006    error     PROJECT keeps a field its input cannot produce
+PLN007    error     join key missing from a join input's schema
+PLN008    error     predicate/expression/sort/group field unknown
+PLN009    warning   implausible cardinality parameter
+========  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+from ..plans.plan import OpType, Plan, PlanNode
+from ..ra.arithmetic import AggSpec
+from ..ra.expr import Predicate
+from .diagnostics import Diagnostic, Severity, SourceLocation
+
+#: structural-issue kind -> diagnostic code
+_STRUCTURAL_CODES = {
+    "arity": "PLN001",
+    "duplicate": "PLN002",
+    "cycle": "PLN003",
+    "dangling": "PLN004",
+}
+
+#: ops whose selectivity is a probability (must stay within [0, 1])
+_FRACTIONAL_OPS = frozenset({
+    OpType.SELECT, OpType.SEMI_JOIN, OpType.ANTI_JOIN, OpType.UNIQUE,
+    OpType.INTERSECTION, OpType.DIFFERENCE,
+})
+
+Schema = frozenset[str] | None
+
+
+class PlanLintPass:
+    """All PLN0xx checks over one :class:`~repro.plans.plan.Plan`."""
+
+    name = "plan-lints"
+    codes = ("PLN001", "PLN002", "PLN003", "PLN004", "PLN005",
+             "PLN006", "PLN007", "PLN008", "PLN009")
+
+    def run(self, plan: Plan) -> list[Diagnostic]:
+        diags = self._structural(plan)
+        # a cycle or arity violation makes the flow analysis meaningless
+        # (topological order is undefined / inputs are missing)
+        if any(d.code in ("PLN001", "PLN003") for d in diags):
+            return diags
+        schemas = self._schema_flow(plan, diags)
+        self._dead_nodes(plan, diags)
+        self._cardinality(plan, diags)
+        del schemas
+        return diags
+
+    # -- structural ------------------------------------------------------
+    def _structural(self, plan: Plan) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        for issue in plan.structural_issues():
+            loc = SourceLocation(
+                unit=plan.name, kind="node",
+                name=issue.node.name if issue.node is not None else "")
+            diags.append(Diagnostic(
+                code=_STRUCTURAL_CODES[issue.kind], severity=Severity.ERROR,
+                message=issue.message, location=loc, pass_name=self.name))
+        return diags
+
+    # -- column flow -----------------------------------------------------
+    def _schema_flow(self, plan: Plan, diags: list[Diagnostic]
+                     ) -> dict[int, Schema]:
+        schemas: dict[int, Schema] = {}
+        for node in plan.topological():
+            schemas[id(node)] = self._visit(plan, node, schemas, diags)
+        return schemas
+
+    def _visit(self, plan: Plan, node: PlanNode,
+               schemas: dict[int, Schema],
+               diags: list[Diagnostic]) -> Schema:
+        def err(code: str, message: str) -> None:
+            diags.append(Diagnostic(
+                code=code, severity=Severity.ERROR, message=message,
+                location=SourceLocation(plan.name, "node", node.name),
+                pass_name=self.name))
+
+        def check_fields(code: str, fields: set[str], schema: Schema,
+                         what: str, side: str = "input") -> None:
+            if schema is None:
+                return
+            missing = sorted(fields - schema)
+            if missing:
+                err(code,
+                    f"node {node.name!r} ({node.op.value}): {what} "
+                    f"reference(s) {missing} not produced by its {side} "
+                    f"(schema: {sorted(schema)})")
+
+        ins: list[Schema] = [schemas.get(id(i)) for i in node.inputs]
+        left: Schema = ins[0] if ins else None
+        right: Schema = ins[1] if len(ins) > 1 else None
+
+        if node.op is OpType.SOURCE:
+            declared = node.params.get("fields")
+            return frozenset(declared) if declared else None
+
+        if node.op is OpType.SELECT:
+            pred = node.params.get("predicate")
+            if isinstance(pred, Predicate):
+                check_fields("PLN008", set(pred.fields()), left, "predicate")
+            return left
+
+        if node.op is OpType.PROJECT:
+            fields = list(node.params.get("fields", []))
+            check_fields("PLN006", set(fields), left, "projected field")
+            return frozenset(fields)
+
+        if node.op is OpType.ARITH:
+            outputs = node.params.get("outputs", {})
+            keep = node.params.get("keep")
+            used: set[str] = set()
+            for expr in outputs.values():
+                used |= set(expr.fields())
+            check_fields("PLN008", used, left, "expression field")
+            if keep is not None:
+                check_fields("PLN008", set(keep), left, "kept field")
+                return frozenset(keep) | frozenset(outputs)
+            if left is None:
+                return None
+            return left | frozenset(outputs)
+
+        if node.op is OpType.JOIN:
+            on = node.params.get("on")
+            if on is not None:
+                check_fields("PLN007", {on}, left, "join key", "probe side")
+                check_fields("PLN007", {on}, right, "join key", "build side")
+            if left is None or right is None:
+                return None
+            return left | right
+
+        if node.op in (OpType.SEMI_JOIN, OpType.ANTI_JOIN):
+            on = node.params.get("on")
+            if on is not None:
+                check_fields("PLN007", {on}, left, "join key", "probe side")
+                check_fields("PLN007", {on}, right, "join key", "build side")
+            return left
+
+        if node.op in (OpType.INTERSECTION, OpType.DIFFERENCE):
+            return left
+
+        if node.op is OpType.UNION:
+            return left if left is not None else right
+
+        if node.op is OpType.SORT:
+            by = node.params.get("by") or []
+            check_fields("PLN008", set(by), left, "sort key")
+            return left
+
+        if node.op is OpType.UNIQUE:
+            return left
+
+        if node.op is OpType.AGGREGATE:
+            group_by = list(node.params.get("group_by", []))
+            aggs = node.params.get("aggs", {})
+            check_fields("PLN008", set(group_by), left, "group-by field")
+            agg_fields = {spec.field for spec in aggs.values()
+                          if isinstance(spec, AggSpec)
+                          and spec.field is not None}
+            check_fields("PLN008", agg_fields, left, "aggregated field")
+            return frozenset(group_by) | frozenset(aggs)
+
+        return None
+
+    # -- dead nodes ------------------------------------------------------
+    def _dead_nodes(self, plan: Plan, diags: list[Diagnostic]) -> None:
+        for src in plan.sources():
+            if not plan.consumers(src):
+                diags.append(Diagnostic(
+                    code="PLN005", severity=Severity.WARNING,
+                    message=(f"source {src.name!r} has no consumers "
+                             f"(dead source)"),
+                    location=SourceLocation(plan.name, "node", src.name),
+                    pass_name=self.name))
+
+    # -- cardinality sanity ----------------------------------------------
+    def _cardinality(self, plan: Plan, diags: list[Diagnostic]) -> None:
+        def warn(node: PlanNode, message: str) -> None:
+            diags.append(Diagnostic(
+                code="PLN009", severity=Severity.WARNING, message=message,
+                location=SourceLocation(plan.name, "node", node.name),
+                pass_name=self.name))
+
+        for node in plan.nodes:
+            if node.op in _FRACTIONAL_OPS and node.selectivity > 1.0:
+                warn(node,
+                     f"node {node.name!r} ({node.op.value}) has selectivity "
+                     f"{node.selectivity:g} > 1: a filtering operator "
+                     f"cannot grow its input")
+            if node.op is not OpType.SOURCE and node.selectivity == 0.0:
+                warn(node,
+                     f"node {node.name!r} ({node.op.value}) has selectivity "
+                     f"0: everything downstream is empty")
+            if node.op is OpType.AGGREGATE:
+                n_groups = node.params.get("n_groups")
+                if n_groups is not None and n_groups <= 0:
+                    warn(node,
+                         f"node {node.name!r}: n_groups={n_groups} "
+                         f"must be positive (or None to scale with input)")

@@ -1,0 +1,279 @@
+"""Stream-program race detector (STR2xx).
+
+Builds a happens-before relation over a set of
+:class:`~repro.simgpu.engine.SimStream` command queues:
+
+* program order within each stream (commands run in order), and
+* every ``signal(e) -> wait(e)`` pair created by
+  :meth:`~repro.streampool.pool.StreamPool.select_wait`.
+
+Buffer accesses come from the commands' declarative ``reads`` /
+``writes`` annotations; commands without annotations fall back to tag
+inference (``input.X`` H2D transfers write buffer ``X``; ``output.X``
+D2H transfers read it), so legacy programs still get upload/download
+checks.  Two conflicting accesses (at least one write) that are not
+ordered by happens-before are flagged -- the static analogue of a CUDA
+race that the simulator's deterministic scheduler would happily hide.
+
+========  ========  ====================================================
+code      severity  meaning
+========  ========  ====================================================
+STR201    error     unordered write-write on one buffer
+STR202    error     unordered read-write on one buffer
+STR203    error     read with no write ordered before it (use before
+                    upload)
+STR204    error     D2H download of a buffer never written at all
+STR205    error     wait on an event never signaled, or only signaled
+                    after the wait (deadlock)
+STR206    warning   buffer uploaded (H2D) but never read
+STR207    info      kernel-written buffer never read or downloaded
+                    (left resident)
+========  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simgpu.engine import (
+    Command,
+    SignalEventCommand,
+    SimStream,
+    TransferCommand,
+    WaitEventCommand,
+)
+from ..simgpu.pcie import Direction
+from .diagnostics import Diagnostic, Severity, SourceLocation
+
+
+@dataclass(frozen=True)
+class _Access:
+    node: int          # happens-before node id
+    stream_id: int
+    index: int         # command index within the stream
+    tag: str
+    buffer: str
+    is_write: bool
+    is_h2d: bool
+    is_d2h: bool
+
+
+def _command_accesses(cmd: Command) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """(reads, writes) of a command, inferring from tags when bare."""
+    if cmd.reads or cmd.writes:
+        return tuple(cmd.reads), tuple(cmd.writes)
+    if isinstance(cmd, TransferCommand):
+        if cmd.direction is Direction.H2D and cmd.tag.startswith("input."):
+            return (), (cmd.tag[len("input."):],)
+        if cmd.direction is Direction.D2H and cmd.tag.startswith("output."):
+            return (cmd.tag[len("output."):],), ()
+    return (), ()
+
+
+class StreamCheckPass:
+    """All STR2xx checks over a list of stream command queues."""
+
+    name = "stream-check"
+    codes = ("STR201", "STR202", "STR203", "STR204", "STR205",
+             "STR206", "STR207")
+
+    def run(self, streams: list[SimStream],
+            unit: str = "streams") -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        n_nodes = sum(len(s.commands) for s in streams)
+        if n_nodes == 0:
+            return diags
+
+        # -- happens-before graph ---------------------------------------
+        node_of: dict[tuple[int, int], int] = {}
+        succs: list[list[int]] = [[] for _ in range(n_nodes)]
+        nid = 0
+        for si, stream in enumerate(streams):
+            for ci in range(len(stream.commands)):
+                node_of[(si, ci)] = nid
+                if ci > 0:
+                    succs[nid - 1].append(nid)
+                nid += 1
+
+        signals: dict[int, list[int]] = {}
+        waits: dict[int, list[int]] = {}
+        for si, stream in enumerate(streams):
+            for ci, cmd in enumerate(stream.commands):
+                if isinstance(cmd, SignalEventCommand):
+                    signals.setdefault(cmd.event_id, []).append(
+                        node_of[(si, ci)])
+                elif isinstance(cmd, WaitEventCommand):
+                    waits.setdefault(cmd.event_id, []).append(
+                        node_of[(si, ci)])
+        for event_id, signal_nodes in signals.items():
+            for s in signal_nodes:
+                for w in waits.get(event_id, []):
+                    succs[s].append(w)
+
+        # ancestor bitsets: reach[v] has bit u set iff u happens-before v
+        # (or u == v).  Propagated in reverse-postorder; the graph is a
+        # DAG by construction (program order + cross-stream sync edges
+        # could only cycle through a wait-before-signal pair, handled as
+        # a deadlock below, and the bitset pass stays conservative).
+        order = self._toposort(n_nodes, succs)
+        reach = [0] * n_nodes
+        for v in order:
+            reach[v] |= 1 << v
+            for w in succs[v]:
+                reach[w] |= reach[v]
+
+        def ordered(a: int, b: int) -> bool:
+            return bool(reach[b] >> a & 1) or bool(reach[a] >> b & 1)
+
+        def before(a: int, b: int) -> bool:
+            return a != b and bool(reach[b] >> a & 1)
+
+        # -- STR205: deadlocked waits -----------------------------------
+        for event_id, wait_nodes in waits.items():
+            signal_nodes = signals.get(event_id, [])
+            for si, stream in enumerate(streams):
+                for ci, cmd in enumerate(stream.commands):
+                    if (not isinstance(cmd, WaitEventCommand)
+                            or cmd.event_id != event_id):
+                        continue
+                    w = node_of[(si, ci)]
+                    if not signal_nodes:
+                        msg = (f"wait {cmd.tag!r} waits on event "
+                               f"{event_id}, which nothing signals: "
+                               f"the engine will deadlock")
+                    elif all(before(w, s) for s in signal_nodes):
+                        msg = (f"wait {cmd.tag!r} waits on event "
+                               f"{event_id}, but every signal is ordered "
+                               f"after the wait: deadlock")
+                    else:
+                        continue
+                    diags.append(Diagnostic(
+                        code="STR205", severity=Severity.ERROR,
+                        message=msg,
+                        location=SourceLocation(
+                            unit, "stream", f"s{stream.stream_id}",
+                            index=ci),
+                        pass_name=self.name))
+
+        # -- collect buffer accesses ------------------------------------
+        accesses: list[_Access] = []
+        for si, stream in enumerate(streams):
+            for ci, cmd in enumerate(stream.commands):
+                reads, writes = _command_accesses(cmd)
+                is_h2d = (isinstance(cmd, TransferCommand)
+                          and cmd.direction is Direction.H2D)
+                is_d2h = (isinstance(cmd, TransferCommand)
+                          and cmd.direction is Direction.D2H)
+                for buf in reads:
+                    accesses.append(_Access(
+                        node_of[(si, ci)], stream.stream_id, ci, cmd.tag,
+                        buf, False, is_h2d, is_d2h))
+                for buf in writes:
+                    accesses.append(_Access(
+                        node_of[(si, ci)], stream.stream_id, ci, cmd.tag,
+                        buf, True, is_h2d, is_d2h))
+
+        by_buffer: dict[str, list[_Access]] = {}
+        for acc in accesses:
+            by_buffer.setdefault(acc.buffer, []).append(acc)
+
+        def loc(acc: _Access) -> SourceLocation:
+            return SourceLocation(unit, "stream", f"s{acc.stream_id}",
+                                  index=acc.index)
+
+        for buf in sorted(by_buffer):
+            accs = by_buffer[buf]
+            writers = [a for a in accs if a.is_write]
+            readers = [a for a in accs if not a.is_write]
+
+            # STR201 / STR202: unordered conflicting pairs
+            for i, a in enumerate(writers):
+                for b in writers[i + 1:]:
+                    if not ordered(a.node, b.node):
+                        diags.append(Diagnostic(
+                            code="STR201", severity=Severity.ERROR,
+                            message=(f"unordered write-write on buffer "
+                                     f"{buf!r}: {a.tag!r} (stream "
+                                     f"{a.stream_id}) vs {b.tag!r} "
+                                     f"(stream {b.stream_id})"),
+                            location=loc(a), pass_name=self.name))
+            for r in readers:
+                for w in writers:
+                    if not ordered(r.node, w.node):
+                        diags.append(Diagnostic(
+                            code="STR202", severity=Severity.ERROR,
+                            message=(f"unordered read-write on buffer "
+                                     f"{buf!r}: {r.tag!r} (stream "
+                                     f"{r.stream_id}) reads while "
+                                     f"{w.tag!r} (stream {w.stream_id}) "
+                                     f"writes; add a select_wait edge"),
+                            location=loc(r), pass_name=self.name))
+
+            # STR203 / STR204: reads with no write ordered before them
+            for r in readers:
+                if any(before(w.node, r.node) for w in writers):
+                    continue
+                if not writers:
+                    if r.is_d2h:
+                        diags.append(Diagnostic(
+                            code="STR204", severity=Severity.ERROR,
+                            message=(f"download {r.tag!r} reads buffer "
+                                     f"{buf!r}, which nothing in the "
+                                     f"program ever writes"),
+                            location=loc(r), pass_name=self.name))
+                        continue
+                    diags.append(Diagnostic(
+                        code="STR203", severity=Severity.ERROR,
+                        message=(f"{r.tag!r} reads buffer {buf!r} before "
+                                 f"any upload or kernel writes it"),
+                        location=loc(r), pass_name=self.name))
+                elif all(not ordered(w.node, r.node) for w in writers):
+                    # already reported as STR202 races above
+                    continue
+                else:
+                    diags.append(Diagnostic(
+                        code="STR203", severity=Severity.ERROR,
+                        message=(f"{r.tag!r} reads buffer {buf!r}, but "
+                                 f"every write is ordered after the "
+                                 f"read (use before upload)"),
+                        location=loc(r), pass_name=self.name))
+
+            # STR206 / STR207: write-only buffers
+            if not readers and writers:
+                first = writers[0]
+                if all(w.is_h2d for w in writers):
+                    diags.append(Diagnostic(
+                        code="STR206", severity=Severity.WARNING,
+                        message=(f"buffer {buf!r} is uploaded by "
+                                 f"{first.tag!r} but nothing reads it"),
+                        location=loc(first), pass_name=self.name))
+                else:
+                    diags.append(Diagnostic(
+                        code="STR207", severity=Severity.INFO,
+                        message=(f"buffer {buf!r} is written by "
+                                 f"{first.tag!r} but never read or "
+                                 f"downloaded (left resident on device)"),
+                        location=loc(first), pass_name=self.name))
+        return diags
+
+    @staticmethod
+    def _toposort(n: int, succs: list[list[int]]) -> list[int]:
+        """Topological order; cyclic leftovers are appended in index
+        order so the bitset propagation stays well-defined."""
+        indeg = [0] * n
+        for v in range(n):
+            for w in succs[v]:
+                indeg[w] += 1
+        ready = [v for v in range(n) if indeg[v] == 0]
+        order: list[int] = []
+        while ready:
+            v = ready.pop()
+            order.append(v)
+            for w in succs[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    ready.append(w)
+        if len(order) < n:
+            seen = set(order)
+            order.extend(v for v in range(n) if v not in seen)
+        return order

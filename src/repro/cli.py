@@ -12,6 +12,10 @@ fuse        show what the fusion pass does to a query plan (+ rendered
 trace       write a Chrome trace of a strategy run for visual inspection
 serve       run the query-serving simulation (docs/SERVING.md): seeded
             arrivals, admission control, memory-aware batching, SLO report
+analyze     static analysis (docs/ANALYSIS.md) over the built-in corpus:
+            plan lints, fusion-legality verification, stream-program race
+            detection, IR lints; --strict fails on error findings (the CI
+            lint gate)
 """
 
 from __future__ import annotations
@@ -126,12 +130,57 @@ def _cmd_fuse(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    from .analyze import Analyzer
+
     strategy = Strategy(args.strategy)
     r = run_select_chain(args.elements, 2, 0.5, strategy,
                          check=args.validate, faults=args.chaos)
-    write_chrome_trace(r.timeline, args.output)
+    # attach the static pre-flight's verdict on the traced plan as trace
+    # metadata, so the exported JSON records what the analyzer said
+    an = Analyzer()
+    report = an.run(select_chain_plan(2))
+    if r.fusion is not None:
+        report.merge(an.run(r.fusion))
+    write_chrome_trace(r.timeline, args.output, analysis=report.summary())
     print(f"wrote {len(r.timeline.events)} events to {args.output} "
           f"(open in chrome://tracing)")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from .analyze import AnalysisReport, Analyzer, Baseline, write_baseline
+    from .analyze import corpus as _corpus
+
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    an = Analyzer(DeviceSpec(), baseline=baseline)
+    merged = AnalysisReport()
+    targets = _corpus.default_corpus(n_fuzz_seeds=args.fuzz_seeds)
+    for label, target in targets:
+        merged.merge(an.run(target, unit=label))
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline,
+                       merged.diagnostics + merged.suppressed)
+        print(f"wrote baseline ({len(merged.diagnostics)} finding(s)) "
+              f"to {args.write_baseline}")
+        return 0
+    if args.json:
+        payload = {
+            "targets": len(targets),
+            "summary": merged.summary(),
+            "diagnostics": [d.to_dict() for d in merged.diagnostics],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"analyzed {len(targets)} target(s) "
+              f"({args.fuzz_seeds} fuzz seed(s))")
+        print(merged.render())
+    if args.strict and not merged.ok:
+        print(f"strict: {len(merged.errors)} error-severity finding(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -150,7 +199,7 @@ def _cmd_serve(args) -> int:
         cfg = ServeConfig(
             mode=mode, queue_capacity=args.queue_depth,
             max_batch=args.max_batch, max_streams=args.max_streams,
-            check=args.validate, faults=args.chaos)
+            check=args.validate, analyze=args.analyze, faults=args.chaos)
         # each mode serves the identical offered trace
         results[mode] = QueryServer(config=cfg).run(trace=list(trace))
         print(f"\n=== mode: {mode} "
@@ -254,6 +303,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "(byte-identical across same-seed runs)")
     p_srv.add_argument("--trace-output", metavar="PATH", default=None,
                        help="write a Chrome trace of the serve run")
+    p_srv.add_argument("--analyze", action="store_true",
+                       help="static pre-flight on every batch "
+                            "(docs/ANALYSIS.md): plan lints + stream-program "
+                            "race check; error findings abort dispatch")
+
+    p_an = sub.add_parser(
+        "analyze", help="static analysis over the built-in corpus "
+                        "(docs/ANALYSIS.md): pattern plans, TPC-H plans, "
+                        "fuzz plans, fused regions, stream programs, IR")
+    p_an.add_argument("--strict", action="store_true",
+                      help="exit 1 on any error-severity finding "
+                           "(the CI lint gate)")
+    p_an.add_argument("--fuzz-seeds", type=int, default=50,
+                      help="how many seeded fuzz plans to include")
+    p_an.add_argument("--baseline", metavar="PATH", default=None,
+                      help="suppression file of known findings "
+                           "(CODE LOCATION-GLOB per line)")
+    p_an.add_argument("--write-baseline", metavar="PATH", default=None,
+                      help="write current findings as a baseline and exit")
+    p_an.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
 
     p_c = sub.add_parser("compile", help="run the full compilation pipeline")
     p_c.add_argument("--query", choices=[*_QUERIES, "chain"], default="chain")
@@ -337,6 +407,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sql(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "explain":
         from .plans.explain import explain
         if args.query in _QUERIES:

@@ -81,6 +81,28 @@ class StreamStallError(FaultError):
     what = "stalled stream command"
 
 
+class AnalysisError(ReproError):
+    """Raised when static analysis (:mod:`repro.analyze`) finds
+    error-severity diagnostics and the caller asked for strict behavior
+    (``report.raise_if_errors()``; the ``analyze=True`` pre-flight of the
+    executor and serving layers).
+
+    Carries the structured :class:`repro.analyze.Diagnostic` list in
+    ``diagnostics``.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        shown = "; ".join(str(d) for d in self.diagnostics[:5])
+        extra = len(self.diagnostics) - 5
+        if extra > 0:
+            shown += f"; ... and {extra} more"
+        super().__init__(
+            f"static analysis found {len(self.diagnostics)} error-severity "
+            f"finding(s): {shown}"
+        )
+
+
 class FusionError(ReproError):
     """Raised when a fusion request violates fusibility rules."""
 

@@ -7,7 +7,10 @@ Renders a logical plan as an indented tree, optionally overlaying
 * per-node output-row bytes,
 
 so a user can see at a glance what will fuse, what forms a barrier, and
-where the data volume collapses.
+where the data volume collapses.  Every edge is annotated with its
+dependence class (``dep=elementwise`` / ``dep=barrier``) as derived by
+:func:`repro.core.dependence.classify_edge` -- the same classification
+the fusion pass (and the ``repro analyze`` fusion verifier) uses.
 """
 
 from __future__ import annotations
@@ -62,12 +65,19 @@ def explain(plan: Plan, source_rows: dict[str, int] | None = None,
 
     lines: list[str] = [f"plan {plan.name!r}"]
 
-    def visit(node: PlanNode, depth: int, slot: str) -> None:
+    from ..core.dependence import classify_edge  # lazy: avoids an import cycle
+
+    def visit(node: PlanNode, depth: int, slot: str,
+              dep: str | None = None) -> None:
         indent = "  " * depth + slot
-        lines.append(indent + _node_label(node, sizes, region_names))
+        label = _node_label(node, sizes, region_names)
+        if dep is not None:
+            label += f"  dep={dep}"
+        lines.append(indent + label)
         for i, inp in enumerate(node.inputs):
             child_slot = "<- " if i == 0 else "+= "
-            visit(inp, depth + 1, child_slot)
+            visit(inp, depth + 1, child_slot,
+                  dep=classify_edge(inp, node, i).value)
 
     for sink in plan.sinks():
         visit(sink, 1, "")

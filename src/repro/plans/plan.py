@@ -89,11 +89,17 @@ class Plan:
     def _name(self, op: OpType, name: str | None) -> str:
         return name or f"{op.value}_{next(self._counter)}"
 
-    def source(self, name: str, row_nbytes: int = 4, n_rows: int | None = None
-               ) -> PlanNode:
+    def source(self, name: str, row_nbytes: int = 4, n_rows: int | None = None,
+               fields: list[str] | None = None) -> PlanNode:
+        """`fields`, when given, declares the source's column schema; the
+        static analyzer's column-flow lints only fire downstream of a
+        declared schema (undeclared sources are treated as unknown)."""
+        params: dict[str, Any] = {"n_rows": n_rows}
+        if fields is not None:
+            params["fields"] = list(fields)
         return self._add(PlanNode(
             OpType.SOURCE, name, [],
-            params={"n_rows": n_rows}, out_row_nbytes=row_nbytes))
+            params=params, out_row_nbytes=row_nbytes))
 
     def select(self, input_node: PlanNode, predicate: Predicate,
                selectivity: float = 0.5, name: str | None = None) -> PlanNode:
@@ -199,14 +205,17 @@ class Plan:
         seen: set[int] = set()
         order: list[PlanNode] = []
 
-        def visit(node: PlanNode, stack: tuple[int, ...]) -> None:
+        def visit(node: PlanNode, stack: tuple[PlanNode, ...]) -> None:
             nid = id(node)
-            if nid in stack:
-                raise PlanError(f"cycle through {node.name}")
+            if any(nid == id(s) for s in stack):
+                start = next(i for i, s in enumerate(stack) if id(s) == nid)
+                path = " -> ".join(n.name for n in stack[start:])
+                raise PlanError(
+                    f"cycle through {node.name}: {path} -> {node.name}")
             if nid in seen:
                 return
             for inp in node.inputs:
-                visit(inp, stack + (nid,))
+                visit(inp, stack + (node,))
             seen.add(nid)
             order.append(node)
 
@@ -214,22 +223,65 @@ class Plan:
             visit(node, ())
         return iter(order)
 
-    def validate(self) -> None:
-        """Raise PlanError on structural problems."""
-        arity = {
-            OpType.SOURCE: 0, OpType.SELECT: 1, OpType.PROJECT: 1,
-            OpType.SORT: 1, OpType.UNIQUE: 1, OpType.ARITH: 1,
-            OpType.AGGREGATE: 1, OpType.JOIN: 2, OpType.SEMI_JOIN: 2,
-            OpType.ANTI_JOIN: 2, OpType.PRODUCT: 2, OpType.UNION: 2,
-            OpType.INTERSECTION: 2, OpType.DIFFERENCE: 2,
-        }
-        names = set()
+    def structural_issues(self) -> list[StructuralIssue]:
+        """Every structural problem in the plan, as structured records.
+
+        Each issue carries a ``kind`` (``arity`` / ``duplicate`` /
+        ``dangling`` / ``cycle``), the offending node (when one exists)
+        and a message naming the node and input index involved.  This is
+        what :meth:`validate` raises from, and what the PLN plan lints of
+        :mod:`repro.analyze` report verbatim, so error text is identical
+        on both paths.
+        """
+        issues: list[StructuralIssue] = []
+        names: dict[str, PlanNode] = {}
         for node in self.nodes:
-            if len(node.inputs) != arity[node.op]:
-                raise PlanError(
-                    f"{node.name}: {node.op.value} needs {arity[node.op]} inputs, "
-                    f"has {len(node.inputs)}")
+            expected = OP_ARITY[node.op]
+            if len(node.inputs) != expected:
+                issues.append(StructuralIssue(
+                    "arity", node,
+                    f"node {node.name!r}: {node.op.value} needs {expected} "
+                    f"inputs, has {len(node.inputs)}"))
+            for i, inp in enumerate(node.inputs):
+                if inp not in self.nodes:
+                    issues.append(StructuralIssue(
+                        "dangling", node,
+                        f"node {node.name!r}: input #{i} ({inp.name!r}) is "
+                        f"not part of plan {self.name!r}"))
             if node.name in names:
-                raise PlanError(f"duplicate node name {node.name!r}")
-            names.add(node.name)
-        list(self.topological())  # raises on cycles
+                issues.append(StructuralIssue(
+                    "duplicate", node,
+                    f"duplicate node name {node.name!r} "
+                    f"(ops {names[node.name].op.value} and {node.op.value})"))
+            names.setdefault(node.name, node)
+        try:
+            list(self.topological())
+        except PlanError as err:
+            issues.append(StructuralIssue("cycle", None, str(err)))
+        return issues
+
+    def validate(self) -> None:
+        """Raise PlanError on structural problems, naming the offending
+        node (and input index, where one is involved)."""
+        issues = self.structural_issues()
+        if issues:
+            raise PlanError(issues[0].message)
+
+
+#: expected input count per operator
+OP_ARITY = {
+    OpType.SOURCE: 0, OpType.SELECT: 1, OpType.PROJECT: 1,
+    OpType.SORT: 1, OpType.UNIQUE: 1, OpType.ARITH: 1,
+    OpType.AGGREGATE: 1, OpType.JOIN: 2, OpType.SEMI_JOIN: 2,
+    OpType.ANTI_JOIN: 2, OpType.PRODUCT: 2, OpType.UNION: 2,
+    OpType.INTERSECTION: 2, OpType.DIFFERENCE: 2,
+}
+
+
+@dataclass(frozen=True)
+class StructuralIssue:
+    """One structural problem found by :meth:`Plan.structural_issues`."""
+
+    kind: str                 # arity | duplicate | dangling | cycle
+    node: PlanNode | None
+    message: str

@@ -60,6 +60,9 @@ class RunResult:
     faults_injected: int = 0
     retries: int = 0
     reissues: int = 0
+    #: merged :meth:`~repro.analyze.diagnostics.AnalysisReport.summary`
+    #: of the static pre-flight (populated when ``analyze=True``)
+    analysis: dict | None = None
 
     @property
     def makespan(self) -> float:
@@ -115,13 +118,19 @@ class Executor:
                  cost_model: FusionCostModel | None = None,
                  check: bool = False,
                  faults: "FaultPlan | FaultInjector | None" = None,
-                 degrade: bool | None = None):
+                 degrade: bool | None = None,
+                 analyze: bool = False):
         self.device = device or DeviceSpec()
         self.costs = costs
         self.cost_model = cost_model
         #: strict mode: sanitize every schedule this executor produces and
         #: raise ScheduleInvariantError at the first violation
         self.check = check
+        #: static pre-flight (see :mod:`repro.analyze`): lint the plan,
+        #: verify fusion legality, and race-check the serial stream program
+        #: before dispatch; error findings raise AnalysisError
+        self.analyze = analyze
+        self._analysis_reports: list = []
         #: fault-injection plan/injector honored by every simulated engine
         #: this executor drives (see :mod:`repro.faults`)
         self.faults = faults
@@ -131,9 +140,17 @@ class Executor:
         self._injector: FaultInjector | None = None
 
     # ------------------------------------------------------------------
+    def _analyzer(self):
+        from ..analyze import Analyzer
+        return Analyzer(self.device, self.costs)
+
     def run(self, plan: Plan, source_rows: dict[str, int] | None = None,
             config: ExecutionConfig = ExecutionConfig()) -> RunResult:
         plan.validate()
+        self._analysis_reports = []
+        if self.analyze:
+            self._analysis_reports.append(
+                self._analyzer().run(plan, strict=True))
         injector = as_injector(self.faults)
         degrade = self.degrade if self.degrade is not None else injector is not None
         steps = (self._strategy_ladder(config.strategy) if degrade
@@ -155,6 +172,12 @@ class Executor:
             if self.check:
                 from ..validate import validate_run
                 validate_run(result, self.device).raise_if_failed()
+            if self.analyze and self._analysis_reports:
+                from ..analyze import AnalysisReport
+                merged = AnalysisReport()
+                for rep in self._analysis_reports:
+                    merged.merge(rep)
+                result.analysis = merged.summary()
             return result
         assert last_err is not None
         raise last_err
@@ -192,6 +215,9 @@ class Executor:
             cost_model=self.cost_model if config.strategy.uses_fusion else None,
             enable=config.strategy.uses_fusion,
         )
+        if self.analyze:
+            self._analysis_reports.append(
+                self._analyzer().run(fusion, strict=True))
         lowered = self._lower(plan, fusion, sizes)
         driver = self._driver_source(plan, sizes)
 
@@ -302,27 +328,38 @@ class Executor:
                     continue
                 nbytes = float(sizes[src.name]) * out_row_nbytes(src)
                 if nbytes > 0:
-                    stream.h2d(nbytes, mem, tag=f"input.{src.name}")
+                    stream.h2d(nbytes, mem, tag=f"input.{src.name}",
+                               writes=(src.name,))
 
         for chunk in range(num_chunks):
             frac = self._chunk_fraction(chunk, num_chunks)
             if config.include_transfers:
                 stream.h2d(float(sizes[driver.name]) * out_row_nbytes(driver) * frac,
-                           mem, tag=f"input.{driver.name}.c{chunk}")
+                           mem, tag=f"input.{driver.name}.c{chunk}",
+                           writes=(driver.name,))
             for lr in lowered:
                 scales = self._scales_with_driver(lr, driver, plan)
                 runs_this_chunk = chunk == 0 or scales
                 chunk_frac = frac if scales else 1.0
                 if not runs_this_chunk:
                     continue
+                side_reads = self._region_side_inputs(lr)
+                out_name = lr.region.output_node.name
                 if chunk == 0:  # build kernels run once, not per chunk
                     side_sizes = {getattr(n, "name", str(n)): sizes[n.name]
                                   for _, n in lr.chain.side_kernels}
                     for spec in lr.chain.side_launch_specs(self.device, side_sizes):
-                        stream.kernel(spec, tag=spec.name)
+                        stream.kernel(spec, tag=spec.name, reads=side_reads,
+                                      writes=(f"{lr.region.name}.build",))
+                main_reads = (lr.primary_input.name,)
+                if lr.chain.side_kernels:
+                    main_reads += (f"{lr.region.name}.build",)
+                else:
+                    main_reads += side_reads  # e.g. gather joins: no build
                 n_region_in = max(1, int(round(lr.n_in * chunk_frac)))
                 for spec in lr.chain.main_launch_specs(n_region_in, self.device):
-                    stream.kernel(spec, tag=spec.name)
+                    stream.kernel(spec, tag=spec.name, reads=main_reads,
+                                  writes=(out_name,))
                 # round trip: stage each intermediate (non-sink) result out/in
                 if (config.strategy is Strategy.WITH_ROUND_TRIP
                         and config.include_transfers
@@ -330,9 +367,11 @@ class Executor:
                     nbytes = lr.out_bytes * chunk_frac
                     if nbytes > 0:
                         stream.d2h(nbytes, config.roundtrip_memory,
-                                   tag=f"roundtrip.out.{lr.region.name}")
+                                   tag=f"roundtrip.out.{lr.region.name}",
+                                   reads=(out_name,))
                         stream.h2d(nbytes, config.roundtrip_memory,
-                                   tag=f"roundtrip.in.{lr.region.name}")
+                                   tag=f"roundtrip.in.{lr.region.name}",
+                                   writes=(out_name,))
             if config.include_transfers:
                 for lr in lowered:
                     if lr.region.output_node.name in sink_names and lr.out_bytes > 0:
@@ -341,9 +380,27 @@ class Executor:
                             continue
                         chunk_frac = frac if scales else 1.0
                         stream.d2h(lr.out_bytes * chunk_frac, mem,
-                                   tag=f"output.{lr.region.name}.c{chunk}")
+                                   tag=f"output.{lr.region.name}.c{chunk}",
+                                   reads=(lr.region.output_node.name,))
 
+        if self.analyze and config.include_transfers:
+            # transfers off means sources are never "written", which would
+            # false-positive the use-before-upload check -- skip then
+            self._analysis_reports.append(
+                self._analyzer().run([stream], unit=f"serial.{plan.name}",
+                                     strict=True))
         return engine.run([stream])
+
+    @staticmethod
+    def _region_side_inputs(lr: _LoweredRegion) -> tuple[str, ...]:
+        """Plan-level buffers a region consumes besides its primary input."""
+        in_region = {id(n) for n in lr.region.nodes}
+        out: list[str] = []
+        for node in lr.region.nodes:
+            for inp in node.inputs[1:]:
+                if id(inp) not in in_region and inp.name not in out:
+                    out.append(inp.name)
+        return tuple(out)
 
     def _chunk_fraction(self, chunk: int, num_chunks: int) -> float:
         return 1.0 / num_chunks

@@ -112,11 +112,15 @@ class WorkloadScheduler:
 
     def __init__(self, device: DeviceSpec | None = None,
                  memory: HostMemory = HostMemory.PINNED,
-                 check: bool = False, faults=None):
+                 check: bool = False, faults=None,
+                 analyze: bool = False):
         self.device = device or DeviceSpec()
         self.memory = memory
         self.check = check
         self.faults = faults
+        #: static pre-flight: race-check each batched stream program before
+        #: it runs; error findings raise :class:`~repro.errors.AnalysisError`
+        self.analyze = analyze
 
     def _engine(self) -> SimEngine:
         return SimEngine(self.device, check=self.check,
@@ -144,10 +148,16 @@ class WorkloadScheduler:
                 chain = chain_for_node(node, n_in_hint=max(n_in, 2))
             side_sizes = {getattr(x, "name", str(x)): sizes[x.name]
                           for _, x in chain.side_kernels}
+            reads = tuple(i.name for i in node.inputs)
+            if chain.side_kernels:
+                reads += (f"{node.name}.build",)
             for spec in chain.side_launch_specs(self.device, side_sizes):
-                stream.kernel(spec, tag=spec.name)
+                stream.kernel(spec, tag=spec.name,
+                              reads=tuple(i.name for i in node.inputs[1:]),
+                              writes=(f"{node.name}.build",))
             for spec in chain.main_launch_specs(max(n_in, 1), self.device):
-                stream.kernel(spec, tag=spec.name)
+                stream.kernel(spec, tag=spec.name, reads=reads,
+                              writes=(node.name,))
 
     def _upload(self, stream, plan: Plan,
                 sizes: dict[str, int]) -> float:
@@ -156,7 +166,8 @@ class WorkloadScheduler:
             nbytes = float(sizes[src.name]) * out_row_nbytes(src)
             total += nbytes
             if nbytes > 0:
-                stream.h2d(nbytes, self.memory, tag=f"input.{src.name}")
+                stream.h2d(nbytes, self.memory, tag=f"input.{src.name}",
+                           writes=(src.name,))
         return total
 
     # -- regimes -------------------------------------------------------------
@@ -194,9 +205,12 @@ class WorkloadScheduler:
                     continue  # singleton remainder: leave to the per-query path
                 chain = chain_for_shared_scan(group)
                 n_in = sizes[group.producer.name]
+                select_names = tuple(s.name for s in group.selects)
                 for spec in chain.main_launch_specs(max(n_in, 1), self.device):
-                    stream.kernel(spec, tag=spec.name)
-                fused_names.update(s.name for s in group.selects)
+                    stream.kernel(spec, tag=spec.name,
+                                  reads=(group.producer.name,),
+                                  writes=select_names)
+                fused_names.update(select_names)
         return fused_names
 
     def run_cross_query_fused(self, workload: QueryWorkload,
@@ -227,6 +241,26 @@ class WorkloadScheduler:
         dispatcher) recovers by :meth:`~repro.streampool.StreamPool.reset`
         and a degraded re-dispatch.
         """
+        pool, total = self.enqueue_batched_streams(
+            workload, source_rows, pool=pool, max_streams=max_streams)
+        if self.analyze:
+            # static pre-flight: race-check the stream program before it
+            # runs (lazy import keeps runtime -> analyze one-directional)
+            from ..analyze import Analyzer
+            Analyzer(self.device).run(
+                pool, unit="batched_streams", strict=True)
+        tl = pool.wait_all()
+        return WorkloadRunResult("batched_streams", tl, total)
+
+    def enqueue_batched_streams(self, workload: QueryWorkload,
+                                source_rows: dict[str, int],
+                                pool=None, max_streams: int = 4):
+        """Build (but do not run) the batched-streams program.
+
+        Returns ``(pool, uploaded_bytes)`` with every command enqueued:
+        what :meth:`run_batched_streams` hands to the engine, and what the
+        static analyzer's stream race detector inspects.
+        """
         from ..streampool import StreamPool
 
         merged = workload.merged_plan()
@@ -252,8 +286,7 @@ class WorkloadScheduler:
             stream = workers[qi % n_workers]
             self._emit_query_kernels(stream, merged, sizes, skip=fused_names,
                                      only_prefix=f"q{qi}.")
-        tl = pool.wait_all()
-        return WorkloadRunResult("batched_streams", tl, total)
+        return pool, total
 
     def compare(self, workload: QueryWorkload, source_rows: dict[str, int]
                 ) -> dict[str, WorkloadRunResult]:

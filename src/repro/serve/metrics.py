@@ -74,6 +74,9 @@ class ServeMetrics:
     degraded_batches: int = 0
     #: fault events observed across all batch timelines (``fault.*`` tags)
     faults_observed: int = 0
+    #: warning-severity findings from the static pre-flight
+    #: (``ServeConfig.analyze``); error findings abort dispatch instead
+    analysis_warnings: int = 0
     #: total simulated time the run served (last completion)
     served_s: float = 0.0
     #: device busy time summed over batch makespans
@@ -142,6 +145,7 @@ class ServeMetrics:
             "batches": self.batches,
             "degraded_batches": self.degraded_batches,
             "faults_observed": self.faults_observed,
+            "analysis_warnings": self.analysis_warnings,
             "mean_batch_size": round(self.mean_batch_size, 6),
             "served_s": round(self.served_s, 9),
             "busy_s": round(self.busy_s, 9),

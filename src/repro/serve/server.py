@@ -58,6 +58,11 @@ class ServeConfig:
     backpressure_slack: float = 1.0
     #: strict mode: sanitize every batch timeline (docs/VALIDATION.md)
     check: bool = False
+    #: static pre-flight (docs/ANALYSIS.md): lint every batch's plans and
+    #: race-check the batched stream program before dispatch; error
+    #: findings raise :class:`~repro.errors.AnalysisError` (aborting the
+    #: dispatch), warnings are counted in the metrics
+    analyze: bool = False
     #: chaos plan; batch ``k`` runs under ``faults.reseeded(k)``
     faults: FaultPlan | None = None
 
@@ -106,7 +111,8 @@ class QueryServer:
                  config: ServeConfig = ServeConfig()):
         self.device = device or DeviceSpec()
         self.config = config
-        self._wsched = WorkloadScheduler(self.device, check=config.check)
+        self._wsched = WorkloadScheduler(self.device, check=config.check,
+                                         analyze=config.analyze)
         self._pool: StreamPool | None = None
 
     # ------------------------------------------------------------------
@@ -175,14 +181,15 @@ class QueryServer:
             if not batch:
                 continue
 
-            makespan, timeline, degraded, faults_seen = self._dispatch(
-                batch, batch_idx)
+            makespan, timeline, degraded, faults_seen, warnings = \
+                self._dispatch(batch, batch_idx)
             segments.append((now, timeline))
             metrics.batches += 1
             metrics.batch_sizes.append(len(batch))
             metrics.busy_s += makespan
             metrics.degraded_batches += int(degraded)
             metrics.faults_observed += faults_seen
+            metrics.analysis_warnings += warnings
             admission.note_service(len(batch), makespan)
 
             t_end = now + makespan
@@ -202,13 +209,24 @@ class QueryServer:
 
     # ------------------------------------------------------------------
     def _dispatch(self, batch: list[QueryRequest], batch_idx: int
-                  ) -> tuple[float, Timeline, bool, int]:
-        """Run one batch; returns (makespan, timeline, degraded, faults)."""
+                  ) -> tuple[float, Timeline, bool, int, int]:
+        """Run one batch; returns (makespan, timeline, degraded, faults,
+        analysis warnings)."""
         cfg = self.config
         fault_plan = (cfg.faults.reseeded(batch_idx)
                       if cfg.faults is not None else None)
         self._wsched.faults = fault_plan
-        workload = QueryWorkload(plans=[r.plan() for r in batch])
+        plans = [r.plan() for r in batch]
+        warnings = 0
+        if cfg.analyze:
+            # plan lints before dispatch: error findings abort the batch
+            # (the batched path additionally race-checks its stream program
+            # inside run_batched_streams)
+            from ..analyze import Analyzer
+            report = Analyzer(self.device).run_all(plans)
+            report.raise_if_errors()
+            warnings = len(report.warnings)
+        workload = QueryWorkload(plans=plans)
         rows: dict[str, int] = {}
         for req in batch:
             for name, n in req.source_rows().items():
@@ -229,14 +247,15 @@ class QueryServer:
         except FaultError:
             if self._pool is not None:
                 self._pool.reset()
-            return self._dispatch_degraded(batch, fault_plan)
+            return self._dispatch_degraded(batch, fault_plan, warnings)
         faults_seen = sum(
             1 for ev in result.timeline.events if ev.tag.startswith("fault."))
-        return result.makespan, result.timeline, False, faults_seen
+        return result.makespan, result.timeline, False, faults_seen, warnings
 
     def _dispatch_degraded(self, batch: list[QueryRequest],
-                           fault_plan: FaultPlan | None
-                           ) -> tuple[float, Timeline, bool, int]:
+                           fault_plan: FaultPlan | None,
+                           warnings: int = 0
+                           ) -> tuple[float, Timeline, bool, int, int]:
         """Re-dispatch a fault-poisoned batch query-by-query through the
         Executor's degradation ladder (terminal rung cannot fault)."""
         timeline = Timeline()
@@ -247,4 +266,4 @@ class QueryServer:
             r = ex.run(req.plan(), req.source_rows())
             timeline.extend(r.timeline, offset=timeline.end_time)
             faults_seen += r.faults_injected
-        return timeline.end_time, timeline, True, faults_seen
+        return timeline.end_time, timeline, True, faults_seen, warnings

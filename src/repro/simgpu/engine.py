@@ -65,6 +65,12 @@ class Command:
     tag: str = ""
     thunk: Thunk | None = None
     seq: int = -1  # stamped at enqueue time
+    #: logical buffer names this command reads / writes.  Purely
+    #: declarative -- the engine ignores them; the static race detector
+    #: (:mod:`repro.analyze`) uses them to find unordered conflicting
+    #: accesses before anything runs.
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
 
 
 @dataclass
@@ -107,25 +113,38 @@ class SimStream:
         return self
 
     def h2d(self, nbytes: float, memory: HostMemory = HostMemory.PINNED,
-            tag: str = "h2d", thunk: Thunk | None = None) -> "SimStream":
+            tag: str = "h2d", thunk: Thunk | None = None,
+            reads: tuple[str, ...] = (), writes: tuple[str, ...] = ()
+            ) -> "SimStream":
         return self.enqueue(TransferCommand(
             tag=tag, thunk=thunk, nbytes=nbytes,
-            direction=Direction.H2D, memory=memory))
+            direction=Direction.H2D, memory=memory,
+            reads=reads, writes=writes))
 
     def d2h(self, nbytes: float, memory: HostMemory = HostMemory.PINNED,
-            tag: str = "d2h", thunk: Thunk | None = None) -> "SimStream":
+            tag: str = "d2h", thunk: Thunk | None = None,
+            reads: tuple[str, ...] = (), writes: tuple[str, ...] = ()
+            ) -> "SimStream":
         return self.enqueue(TransferCommand(
             tag=tag, thunk=thunk, nbytes=nbytes,
-            direction=Direction.D2H, memory=memory))
+            direction=Direction.D2H, memory=memory,
+            reads=reads, writes=writes))
 
     def kernel(self, spec: KernelLaunchSpec,
-               tag: str | None = None, thunk: Thunk | None = None) -> "SimStream":
+               tag: str | None = None, thunk: Thunk | None = None,
+               reads: tuple[str, ...] = (), writes: tuple[str, ...] = ()
+               ) -> "SimStream":
         return self.enqueue(KernelCommand(
-            tag=tag if tag is not None else spec.name, thunk=thunk, spec=spec))
+            tag=tag if tag is not None else spec.name, thunk=thunk, spec=spec,
+            reads=reads, writes=writes))
 
     def host(self, duration: float, tag: str = "host",
-             thunk: Thunk | None = None) -> "SimStream":
-        return self.enqueue(HostCommand(tag=tag, thunk=thunk, duration=duration))
+             thunk: Thunk | None = None,
+             reads: tuple[str, ...] = (), writes: tuple[str, ...] = ()
+             ) -> "SimStream":
+        return self.enqueue(HostCommand(
+            tag=tag, thunk=thunk, duration=duration,
+            reads=reads, writes=writes))
 
     def signal(self, event_id: int, tag: str | None = None) -> "SimStream":
         return self.enqueue(SignalEventCommand(

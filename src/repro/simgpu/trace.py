@@ -40,8 +40,16 @@ def _row(ev) -> tuple[int, str]:
     return _ENGINE_ROWS[ev.kind]
 
 
-def to_chrome_trace(timeline: Timeline, process_name: str = "simgpu") -> dict:
-    """The trace as a JSON-serializable dict (``traceEvents`` format)."""
+def to_chrome_trace(timeline: Timeline, process_name: str = "simgpu",
+                    analysis: dict | None = None) -> dict:
+    """The trace as a JSON-serializable dict (``traceEvents`` format).
+
+    `analysis`, when given, is attached verbatim as a top-level
+    ``analysis`` metadata section -- the executor's static pre-flight
+    summary (:meth:`repro.analyze.diagnostics.AnalysisReport.summary`),
+    so a trace records what the analyzer said about the schedule it
+    shows.  Perfetto ignores unknown top-level keys.
+    """
     complete: list[dict] = []
     rows: dict[int, str] = {}
     for ev in sorted(timeline.events, key=lambda e: (e.start, e.end, e.tag)):
@@ -79,11 +87,15 @@ def to_chrome_trace(timeline: Timeline, process_name: str = "simgpu") -> dict:
             "args": {"sort_index": tid},
         })
     events.extend(complete)
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    trace: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if analysis is not None:
+        trace["analysis"] = analysis
+    return trace
 
 
 def write_chrome_trace(timeline: Timeline, path: str,
-                       process_name: str = "simgpu") -> None:
+                       process_name: str = "simgpu",
+                       analysis: dict | None = None) -> None:
     """Write the trace JSON to `path` (open in chrome://tracing)."""
     with open(path, "w") as f:
-        json.dump(to_chrome_trace(timeline, process_name), f)
+        json.dump(to_chrome_trace(timeline, process_name, analysis=analysis), f)

@@ -45,27 +45,35 @@ class PooledStream:
 
     # convenience command builders (delegate to the simulated stream)
     def h2d(self, nbytes: float, memory: HostMemory = HostMemory.PINNED,
-            tag: str = "h2d", thunk: Thunk | None = None) -> "PooledStream":
+            tag: str = "h2d", thunk: Thunk | None = None,
+            reads: tuple[str, ...] = (), writes: tuple[str, ...] = ()
+            ) -> "PooledStream":
         self.pool._check_open()
-        self.sim.h2d(nbytes, memory, tag, thunk)
+        self.sim.h2d(nbytes, memory, tag, thunk, reads=reads, writes=writes)
         return self
 
     def d2h(self, nbytes: float, memory: HostMemory = HostMemory.PINNED,
-            tag: str = "d2h", thunk: Thunk | None = None) -> "PooledStream":
+            tag: str = "d2h", thunk: Thunk | None = None,
+            reads: tuple[str, ...] = (), writes: tuple[str, ...] = ()
+            ) -> "PooledStream":
         self.pool._check_open()
-        self.sim.d2h(nbytes, memory, tag, thunk)
+        self.sim.d2h(nbytes, memory, tag, thunk, reads=reads, writes=writes)
         return self
 
     def kernel(self, spec: KernelLaunchSpec, tag: str | None = None,
-               thunk: Thunk | None = None) -> "PooledStream":
+               thunk: Thunk | None = None,
+               reads: tuple[str, ...] = (), writes: tuple[str, ...] = ()
+               ) -> "PooledStream":
         self.pool._check_open()
-        self.sim.kernel(spec, tag, thunk)
+        self.sim.kernel(spec, tag, thunk, reads=reads, writes=writes)
         return self
 
     def host(self, duration: float, tag: str = "host",
-             thunk: Thunk | None = None) -> "PooledStream":
+             thunk: Thunk | None = None,
+             reads: tuple[str, ...] = (), writes: tuple[str, ...] = ()
+             ) -> "PooledStream":
         self.pool._check_open()
-        self.sim.host(duration, tag, thunk)
+        self.sim.host(duration, tag, thunk, reads=reads, writes=writes)
         return self
 
 

@@ -1,0 +1,106 @@
+"""Baseline / suppression files: parsing, glob matching, application to
+reports, and the write/load round trip."""
+
+from repro.analyze import (
+    Analyzer,
+    Baseline,
+    Suppression,
+    baseline_from_findings,
+    write_baseline,
+)
+from repro.plans.plan import Plan
+from repro.ra.expr import Field
+
+
+def warned_plan():
+    """A plan producing exactly one PLN009 warning."""
+    plan = Plan(name="warned")
+    src = plan.source("t", fields=["k", "v"])
+    plan.select(src, Field("v") < 1, selectivity=1.5, name="sel")
+    return plan
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        base = Baseline.parse(
+            "# header comment\n"
+            "\n"
+            "PLN009 warned:node:sel   # trailing comment\n"
+            "STR2*\n")
+        assert base.suppressions == [
+            Suppression("PLN009", "warned:node:sel"),
+            Suppression("STR2*", "*"),
+        ]
+
+    def test_render_parse_round_trip(self):
+        base = Baseline([Suppression("FUS106", "q21:region:*"),
+                         Suppression("PLN005")])
+        assert Baseline.parse(base.render()) == base
+
+
+class TestMatching:
+    def test_code_glob(self):
+        plan = warned_plan()
+        report = Analyzer().run(plan)
+        (diag,) = report.diagnostics
+        assert Suppression("PLN*").matches(diag)
+        assert not Suppression("FUS*").matches(diag)
+
+    def test_location_glob(self):
+        plan = warned_plan()
+        (diag,) = Analyzer().run(plan).diagnostics
+        assert Suppression("PLN009", "warned:*").matches(diag)
+        assert not Suppression("PLN009", "other:*").matches(diag)
+
+
+class TestApplication:
+    def test_matched_findings_move_to_suppressed(self):
+        base = Baseline.parse("PLN009 warned:*\n")
+        report = Analyzer(baseline=base).run(warned_plan())
+        assert not report.diagnostics
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].code == "PLN009"
+        assert report.summary()["suppressed"] == 1
+
+    def test_suppressed_errors_do_not_fail_strict(self):
+        plan = Plan(name="bad")
+        src = plan.source("t", fields=["k"])
+        plan.project(src, ["nope"], name="proj")
+        base = Baseline.parse("PLN006 bad:*\n")
+        report = Analyzer(baseline=base).run(plan, strict=True)  # no raise
+        assert report.ok
+
+    def test_unmatched_findings_stay(self):
+        base = Baseline.parse("FUS106 *\n")
+        report = Analyzer(baseline=base).run(warned_plan())
+        assert len(report.diagnostics) == 1
+        assert not report.suppressed
+
+
+class TestRoundTrip:
+    def test_write_then_load_suppresses_same_findings(self, tmp_path):
+        report = Analyzer().run(warned_plan())
+        path = str(tmp_path / "baseline.txt")
+        write_baseline(path, report.diagnostics)
+        loaded = Baseline.load(path)
+        fresh = Analyzer(baseline=loaded).run(warned_plan())
+        assert not fresh.diagnostics
+        assert len(fresh.suppressed) == 1
+
+    def test_baseline_from_findings_dedups(self):
+        report = Analyzer().run(warned_plan())
+        diags = report.diagnostics * 3
+        base = baseline_from_findings(diags)
+        assert len(base.suppressions) == 1
+
+    def test_indexed_locations_round_trip(self):
+        # stream diagnostics render as unit:stream:sN[index]; the [index]
+        # must be escaped or fnmatch reads it as a character class
+        from repro.simgpu.engine import SimStream
+        s = SimStream(stream_id=0)
+        s.host(1e-6, tag="k", reads=("ghost",))  # STR203 at s0[0]
+        report = Analyzer().run([s], unit="u")
+        (diag,) = report.diagnostics
+        assert "[0]" in str(diag.location)
+        base = baseline_from_findings([diag])
+        assert base.matches(diag)

@@ -1,0 +1,38 @@
+"""The acceptance criterion: the analyzer finds zero error-severity
+issues across the built-in corpus -- pattern plans, TPC-H, the seeded
+fuzz corpus, their fused forms, the batched stream program, and every
+generated IR kernel."""
+
+from repro.analyze import Analyzer
+from repro.analyze.corpus import default_corpus, fuzz_plans, tpch_plans
+
+
+def test_default_corpus_has_no_errors():
+    an = Analyzer()
+    merged = an.run_all(
+        target for _, target in default_corpus(n_fuzz_seeds=50))
+    assert merged.ok, merged.render()
+    assert not merged.errors
+
+
+def test_corpus_covers_every_pass_family():
+    labels = [label for label, _ in default_corpus(n_fuzz_seeds=2)]
+    assert any(l.startswith("pattern_") for l in labels)
+    assert any(l.startswith("tpch_") for l in labels)
+    assert any(l.startswith("fuzz_") for l in labels)
+    assert any(l.endswith(":fused") for l in labels)
+    assert any(l.startswith("ir:") for l in labels)
+    assert "batched_streams" in labels
+
+
+def test_fuzz_corpus_is_deterministic():
+    first = [p.name for _, p in fuzz_plans(n_seeds=5)]
+    second = [p.name for _, p in fuzz_plans(n_seeds=5)]
+    assert first == second
+
+
+def test_tpch_plans_validate():
+    for label, plan in tpch_plans():
+        plan.validate()
+        report = Analyzer().run(plan)
+        assert report.ok, f"{label}: {report.render()}"

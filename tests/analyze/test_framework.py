@@ -1,0 +1,71 @@
+"""Analyzer dispatch and report plumbing."""
+
+import pytest
+
+from repro.analyze import Analyzer, AnalysisReport, Severity
+from repro.analyze.corpus import batched_stream_pool, select_chain_plan
+from repro.compilerlite.codegen import FilterStatement, gen_fused_naive
+from repro.core.fusion import fuse_plan
+from repro.errors import AnalysisError
+from repro.simgpu.engine import SimStream
+
+
+class TestDispatch:
+    def test_plan_runs_plan_lints(self):
+        report = Analyzer().run(select_chain_plan(2))
+        assert report.passes_run == ["plan-lints"]
+
+    def test_fusion_result_runs_fusion_check(self):
+        report = Analyzer().run(fuse_plan(select_chain_plan(2)))
+        assert report.passes_run == ["fusion-check"]
+
+    def test_program_runs_ir_lints(self):
+        prog = gen_fused_naive([FilterStatement("lt", 1.0)])
+        report = Analyzer().run(prog)
+        assert report.passes_run == ["ir-lints"]
+
+    def test_single_stream_runs_stream_check(self):
+        report = Analyzer().run(SimStream(stream_id=0))
+        assert report.passes_run == ["stream-check"]
+
+    def test_stream_list_and_pool_duck_typing(self):
+        pool = batched_stream_pool()
+        via_pool = Analyzer().run(pool, unit="u")
+        via_list = Analyzer().run(list(pool.streams), unit="u")
+        assert via_pool.passes_run == ["stream-check"]
+        assert [d.code for d in via_pool.diagnostics] == \
+            [d.code for d in via_list.diagnostics]
+
+    def test_garbage_raises_type_error(self):
+        with pytest.raises(TypeError) as err:
+            Analyzer().run(42)
+        assert "cannot analyze int" in str(err.value)
+
+
+class TestReports:
+    def test_run_all_merges(self):
+        report = Analyzer().run_all(
+            [select_chain_plan(2), fuse_plan(select_chain_plan(2))])
+        assert report.passes_run == ["plan-lints", "fusion-check"]
+
+    def test_summary_shape(self):
+        summary = Analyzer().run(select_chain_plan(2)).summary()
+        assert set(summary) >= {"errors", "warnings", "infos",
+                                "suppressed", "passes", "codes"}
+        assert summary["errors"] == 0
+
+    def test_strict_raise_carries_diagnostics(self):
+        fusion = fuse_plan(select_chain_plan(3))
+        mutated_regions = fusion.regions[:-1]
+        from repro.core.fusion import FusionResult
+        mutated = FusionResult(plan=fusion.plan, regions=mutated_regions,
+                               decisions=[])
+        with pytest.raises(AnalysisError) as err:
+            Analyzer().run(mutated, strict=True)
+        assert all(d.severity is Severity.ERROR
+                   for d in err.value.diagnostics)
+
+    def test_empty_report_is_ok(self):
+        report = AnalysisReport()
+        assert report.ok
+        assert report.summary()["errors"] == 0

@@ -1,0 +1,168 @@
+"""Fusion-legality verifier (FUS1xx): clean fusion results pass, and each
+planted defect -- including the barrier-spliced-into-a-region mutation --
+trips its exact code."""
+
+import pytest
+
+from repro.analyze import Analyzer
+from repro.core.fusion import FusionResult, Region, fuse_plan
+from repro.errors import AnalysisError
+from repro.plans.plan import Plan
+from repro.ra.arithmetic import AggSpec
+from repro.ra.expr import Field
+from repro.analyze.corpus import pattern_plans, select_chain_plan
+
+
+def check(fusion):
+    return Analyzer().run(fusion)
+
+
+def chain_plan(n=3):
+    plan = Plan(name="chain")
+    node = plan.source("t", fields=["k", "v"])
+    for i in range(n):
+        node = plan.select(node, Field("v") < 50 - i, name=f"s{i}")
+    plan.aggregate(node, ["k"], {"n": AggSpec("count")}, name="agg")
+    return plan
+
+
+class TestCleanResults:
+    def test_fused_chain_is_legal(self):
+        report = check(fuse_plan(chain_plan()))
+        assert report.ok
+        assert not report.diagnostics
+
+    def test_all_builtin_patterns_are_legal(self):
+        for label, plan in pattern_plans():
+            report = check(fuse_plan(plan))
+            assert report.ok, f"{label}: {report.render()}"
+
+    def test_unfused_result_is_legal(self):
+        report = check(fuse_plan(chain_plan(), enable=False))
+        assert report.ok
+
+
+class TestPlantedDefects:
+    def test_fus101_barrier_spliced_into_region(self):
+        # the ISSUE's named planted defect: splice a SORT into the middle
+        # of a fused region and the verifier must flag the exact node
+        plan = Plan(name="spliced")
+        src = plan.source("t", fields=["k", "v"])
+        s0 = plan.select(src, Field("v") < 50, name="s0")
+        srt = plan.sort(s0, by=["k"], name="srt")
+        s1 = plan.select(srt, Field("v") < 40, name="s1")
+        fusion = FusionResult(plan=plan, regions=[Region([s0, srt, s1])],
+                              decisions=[])
+        report = check(fusion)
+        assert report.has_code("FUS101")
+        diag = next(d for d in report.errors if d.code == "FUS101")
+        assert "'srt'" in diag.message and "sort" in diag.message
+
+    def test_fus102_chain_break(self):
+        plan = Plan(name="broken")
+        src = plan.source("t", fields=["k", "v"])
+        s0 = plan.select(src, Field("v") < 50, name="s0")
+        s1 = plan.select(src, Field("v") < 40, name="s1")  # also reads src
+        fusion = FusionResult(plan=plan, regions=[Region([s0, s1])],
+                              decisions=[])
+        report = check(fusion)
+        assert report.has_code("FUS102")
+
+    def test_fus102_barrier_dependence(self):
+        plan = Plan(name="aggdep")
+        src = plan.source("t", fields=["k", "v"])
+        agg = plan.aggregate(src, ["k"], {"n": AggSpec("count")}, name="agg")
+        s0 = plan.select(agg, Field("n") < 5, name="s0")
+        # AGGREGATE is in FUSABLE_OPS, but an AGGREGATE -> SELECT edge is
+        # a barrier dependence: fusing across it changes results
+        fusion = FusionResult(plan=plan, regions=[Region([agg, s0])],
+                              decisions=[])
+        report = check(fusion)
+        assert report.has_code("FUS102")
+        diag = next(d for d in report.errors if d.code == "FUS102")
+        assert "barrier" in diag.message
+
+    def test_fus103_multi_consumer_producer(self):
+        plan = Plan(name="fanout")
+        src = plan.source("t", fields=["k", "v"])
+        s0 = plan.select(src, Field("v") < 50, name="s0")
+        s1 = plan.select(s0, Field("v") < 40, name="s1")
+        other = plan.select(s0, Field("v") < 30, name="other")
+        fusion = FusionResult(
+            plan=plan,
+            regions=[Region([s0, s1]), Region([other])],
+            decisions=[])
+        report = check(fusion)
+        assert report.has_code("FUS103")
+        diag = next(d for d in report.errors if d.code == "FUS103")
+        assert "other" in diag.message
+
+    def test_fus105_regions_out_of_order(self):
+        plan = Plan(name="ordered")
+        src = plan.source("t", fields=["k", "v"])
+        s0 = plan.select(src, Field("v") < 50, name="s0")
+        srt = plan.sort(s0, by=["k"], name="srt")
+        plan.select(srt, Field("v") < 40, name="s1")
+        fusion = fuse_plan(plan)
+        assert len(fusion.regions) >= 2
+        mutated = FusionResult(plan=plan,
+                               regions=list(reversed(fusion.regions)),
+                               decisions=list(fusion.decisions))
+        report = check(mutated)
+        assert report.has_code("FUS105")
+
+    def test_fus104_inter_region_cycle(self):
+        plan = Plan(name="cyc")
+        src = plan.source("t", fields=["k", "v"])
+        a = plan.select(src, Field("v") < 50, name="a")
+        b = plan.select(a, Field("v") < 40, name="b")
+        c = plan.join(b, a, on="k", name="c")
+        # region [a, c] side-reads region [b], which reads a back: cycle
+        fusion = FusionResult(plan=plan,
+                              regions=[Region([a, c]), Region([b])],
+                              decisions=[])
+        report = check(fusion)
+        assert report.has_code("FUS104")
+
+    def test_fus107_node_dropped_from_coverage(self):
+        plan = chain_plan(2)
+        fusion = fuse_plan(plan)
+        mutated = FusionResult(plan=plan, regions=fusion.regions[:-1],
+                               decisions=[])
+        report = check(mutated)
+        assert report.has_code("FUS107")
+        diag = next(d for d in report.errors if d.code == "FUS107")
+        assert "not covered" in diag.message
+
+    def test_fus107_node_duplicated_across_regions(self):
+        plan = chain_plan(1)
+        fusion = fuse_plan(plan)
+        dup = fusion.regions[0]
+        mutated = FusionResult(plan=plan, regions=[*fusion.regions, dup],
+                               decisions=[])
+        report = check(mutated)
+        assert report.has_code("FUS107")
+
+    def test_strict_raises_with_code_in_message(self):
+        plan = chain_plan(2)
+        fusion = fuse_plan(plan)
+        mutated = FusionResult(plan=plan, regions=fusion.regions[:-1],
+                               decisions=[])
+        with pytest.raises(AnalysisError) as err:
+            Analyzer().run(mutated, strict=True)
+        assert "FUS107" in str(err.value)
+
+
+class TestRegisterBudget:
+    def test_fus106_deep_select_chain_blows_budget(self):
+        # 10 fused threshold filters model ~81 regs > the C2070's 63
+        fusion = fuse_plan(select_chain_plan(10))
+        report = check(fusion)
+        assert report.has_code("FUS106")
+        diag = next(d for d in report.diagnostics if d.code == "FUS106")
+        assert "register" in diag.message
+        assert report.ok  # warning, not error
+
+    def test_shallow_chain_stays_under_budget(self):
+        report = check(fuse_plan(select_chain_plan(3)))
+        assert not report.has_code("FUS106")

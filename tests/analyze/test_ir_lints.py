@@ -1,0 +1,109 @@
+"""IR lints (IRL3xx) over hand-built mini-PTX programs, plus the
+guarantee that every generated Table III kernel is lint-clean."""
+
+from repro.analyze import Analyzer, Severity
+from repro.compilerlite import optimize
+from repro.compilerlite.codegen import (
+    FilterStatement,
+    gen_fused_naive,
+    gen_unfused,
+)
+from repro.compilerlite.ir import Instr, Program
+
+
+def check(prog):
+    return Analyzer().run(prog)
+
+
+STMTS = [FilterStatement("lt", 10.0), FilterStatement("gt", 2.0)]
+
+
+class TestGeneratedKernelsAreClean:
+    def test_unfused_chain(self):
+        for prog in gen_unfused(STMTS):
+            report = check(prog)
+            assert report.ok and not report.diagnostics, report.render()
+
+    def test_fused_naive_and_optimized(self):
+        prog = gen_fused_naive(STMTS)
+        assert not check(prog).diagnostics
+        assert not check(optimize(prog)).diagnostics
+
+
+class TestPlantedDefects:
+    def test_irl301_use_before_def(self):
+        prog = Program("bad", [
+            Instr("st", srcs=("out", "r1")),     # r1 never defined
+            Instr("ret"),
+        ])
+        report = check(prog)
+        assert report.has_code("IRL301")
+        diag = next(d for d in report.errors if d.code == "IRL301")
+        assert "'r1'" in diag.message
+
+    def test_irl301_ld_address_is_not_a_use(self):
+        # srcs[0] of ld is a memory location, not a register
+        prog = Program("ok", [
+            Instr("ld", dst="r1", srcs=("in",)),
+            Instr("st", srcs=("out", "r1")),
+            Instr("ret"),
+        ])
+        assert not check(prog).has_code("IRL301")
+
+    def test_irl302_redefined_before_use(self):
+        prog = Program("dead", [
+            Instr("mov", dst="r1", srcs=(0.0,)),
+            Instr("mov", dst="r1", srcs=(1.0,)),  # first def was dead
+            Instr("st", srcs=("out", "r1")),
+            Instr("ret"),
+        ])
+        report = check(prog)
+        diag = next(d for d in report.diagnostics if d.code == "IRL302")
+        assert diag.severity is Severity.WARNING
+        assert "redefined" in diag.message
+        assert report.ok  # warning only
+
+    def test_irl302_never_used(self):
+        prog = Program("dead2", [
+            Instr("mov", dst="r1", srcs=(0.0,)),
+            Instr("ret"),
+        ])
+        report = check(prog)
+        diag = next(d for d in report.diagnostics if d.code == "IRL302")
+        assert "never used" in diag.message
+
+    def test_guard_counts_as_a_use(self):
+        prog = Program("guarded", [
+            Instr("ld", dst="r1", srcs=("in",)),
+            Instr("setp", dst="p0", srcs=("r1", 10.0), cmp="lt"),
+            Instr("st", srcs=("out", "r1"), guard="p0"),
+            Instr("ret"),
+        ])
+        assert not check(prog).has_code("IRL302")
+
+    def test_irl303_undefined_guard(self):
+        prog = Program("noguard", [
+            Instr("ld", dst="r1", srcs=("in",)),
+            Instr("st", srcs=("out", "r1"), guard="!p9"),
+            Instr("ret"),
+        ])
+        report = check(prog)
+        assert report.has_code("IRL303")
+        diag = next(d for d in report.errors if d.code == "IRL303")
+        assert "'p9'" in diag.message
+
+    def test_irl304_branch_to_nowhere(self):
+        prog = Program("lost", [
+            Instr("bra", srcs=("L_exit",)),
+            Instr("ret"),
+        ])
+        report = check(prog)
+        assert report.has_code("IRL304")
+
+    def test_branch_to_real_label_is_fine(self):
+        prog = Program("found", [
+            Instr("bra", srcs=("L_exit",)),
+            Instr("label", srcs=("L_exit",)),
+            Instr("ret"),
+        ])
+        assert not check(prog).has_code("IRL304")

@@ -1,0 +1,91 @@
+"""Opt-in analyzer pre-flight wiring: Executor, WorkloadScheduler, and
+the serving loop all gate dispatch on the static checks."""
+
+import pytest
+
+from repro.analyze.corpus import select_chain_plan
+from repro.errors import AnalysisError
+from repro.plans.plan import Plan
+from repro.tpch.q1 import build_q1_plan, q1_source_rows
+from repro.ra.arithmetic import AggSpec
+from repro.ra.expr import Field
+from repro.runtime.executor import ExecutionConfig, Executor, Strategy
+from repro.runtime.workload import QueryWorkload, WorkloadScheduler
+from repro.serve import ArrivalProcess, QueryServer, ServeConfig, TenantSpec
+
+ROWS = {"t": 50_000, "lineitem": 100_000}
+
+
+def bad_plan():
+    plan = Plan(name="bad")
+    src = plan.source("t", fields=["k", "v"])
+    plan.project(src, ["nope"], name="proj")
+    return plan
+
+
+class TestExecutorPreflight:
+    def test_clean_plan_attaches_analysis_summary(self, device):
+        ex = Executor(device, analyze=True)
+        result = ex.run(select_chain_plan(3), ROWS)
+        assert result.analysis is not None
+        assert result.analysis["errors"] == 0
+        assert "plan-lints" in result.analysis["passes"]
+        assert "fusion-check" in result.analysis["passes"]
+        assert "stream-check" in result.analysis["passes"]
+
+    def test_analyze_off_attaches_nothing(self, device):
+        result = Executor(device).run(select_chain_plan(3), ROWS)
+        assert result.analysis is None
+
+    def test_bad_plan_aborts_dispatch(self, device):
+        ex = Executor(device, analyze=True)
+        with pytest.raises(AnalysisError) as err:
+            ex.run(bad_plan(), ROWS)
+        assert "PLN006" in str(err.value)
+
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_every_strategy_passes_preflight(self, device, strategy):
+        ex = Executor(device, analyze=True)
+        result = ex.run(build_q1_plan(), q1_source_rows(200_000),
+                        ExecutionConfig(strategy=strategy))
+        assert result.analysis is not None
+        assert result.analysis["errors"] == 0
+
+    def test_preflight_result_matches_unanalyzed_run(self, device):
+        plan = select_chain_plan(3)
+        base = Executor(device).run(plan, ROWS)
+        checked = Executor(device, analyze=True).run(plan, ROWS)
+        assert checked.makespan == pytest.approx(base.makespan)
+
+
+class TestWorkloadPreflight:
+    def test_batched_streams_race_check_passes(self, device):
+        plans = []
+        for i in range(3):
+            plan = Plan(name=f"q{i}")
+            src = plan.source("lineitem", fields=["k", "v"])
+            sel = plan.select(src, Field("v") < 40 + i, name="sel")
+            plan.aggregate(sel, ["k"], {"n": AggSpec("count")}, name="agg")
+            plans.append(plan)
+        sched = WorkloadScheduler(device, analyze=True)
+        result = sched.run_batched_streams(QueryWorkload(plans=plans),
+                                           {"lineitem": 100_000})
+        assert result.makespan > 0
+
+
+class TestServePreflight:
+    def _trace(self):
+        tenants = (TenantSpec("t0", mix=(("q6", 1.0),), weight=1.0,
+                              priority=0, deadline_s=60.0,
+                              elements=200_000),)
+        return ArrivalProcess(qps=40, duration_s=0.3, tenants=tenants,
+                              seed=3).trace()
+
+    @pytest.mark.parametrize("mode", ["batched", "isolated"])
+    def test_serving_with_analyze_completes(self, device, mode):
+        server = QueryServer(device, ServeConfig(
+            mode=mode, analyze=True, queue_capacity=4096))
+        res = server.run(trace=self._trace())
+        assert res.metrics.completed == res.metrics.offered
+        assert res.metrics.analysis_warnings == 0
+        assert "analysis_warnings" in res.metrics.summary()

@@ -1,0 +1,144 @@
+"""Stream-program race detector (STR2xx): clean programs pass, and the
+ISSUE's planted desync defects -- a stripped ``select_wait`` edge and a
+use-before-upload -- raise their exact codes."""
+
+from repro.analyze import Analyzer, Severity
+from repro.analyze.corpus import batched_stream_pool
+from repro.simgpu.engine import SimStream, WaitEventCommand
+
+
+def streams(n=2):
+    return [SimStream(stream_id=i) for i in range(n)]
+
+
+def check(ss, unit="test"):
+    return Analyzer().run(ss, unit=unit)
+
+
+class TestCleanPrograms:
+    def test_single_stream_pipeline(self):
+        (s,) = streams(1)
+        s.h2d(1024, writes=("t",))
+        s.host(1e-6, tag="work", reads=("t",), writes=("out",))
+        s.d2h(1024, reads=("out",))
+        report = check([s])
+        assert report.ok
+        assert not report.diagnostics
+
+    def test_signal_wait_orders_cross_stream_access(self):
+        a, b = streams(2)
+        a.h2d(1024, tag="input.t", writes=("t",))
+        a.signal(7)
+        b.wait_event(7)
+        b.host(1e-6, tag="scan", reads=("t",), writes=("out",))
+        b.d2h(1024, reads=("out",))
+        report = check([a, b])
+        assert report.ok
+        assert not report.diagnostics
+
+    def test_batched_pool_program_is_race_free(self):
+        pool = batched_stream_pool()
+        report = check(pool, unit="pool")
+        assert report.ok
+        # only left-resident infos (the serving path never downloads)
+        assert all(d.code == "STR207" for d in report.diagnostics)
+
+
+class TestPlantedDefects:
+    def test_str202_stripped_select_wait_edge(self):
+        # the ISSUE's named defect: build the real batched-streams program,
+        # then delete its wait edges -- workers now race the lead upload
+        pool = batched_stream_pool()
+        sim_streams = [s.sim for s in pool.streams]
+        for s in sim_streams:
+            s.commands = [c for c in s.commands
+                          if not isinstance(c, WaitEventCommand)]
+        report = check(sim_streams, unit="desynced")
+        assert report.has_code("STR202")
+        assert not report.ok
+        diag = next(d for d in report.errors if d.code == "STR202")
+        assert "select_wait" in diag.message
+
+    def test_str203_use_before_upload(self):
+        (s,) = streams(1)
+        s.host(1e-6, tag="scan", reads=("t",), writes=("out",))
+        s.h2d(1024, tag="late", writes=("t",))  # upload after the read
+        s.d2h(1024, reads=("out",))
+        report = check([s])
+        assert report.has_code("STR203")
+        diag = next(d for d in report.errors if d.code == "STR203")
+        assert "use before upload" in diag.message
+
+    def test_str203_never_written(self):
+        (s,) = streams(1)
+        s.host(1e-6, tag="scan", reads=("ghost",), writes=("out",))
+        s.d2h(1024, reads=("out",))
+        report = check([s])
+        diag = next(d for d in report.errors if d.code == "STR203")
+        assert "before any upload" in diag.message
+
+    def test_str201_unordered_write_write(self):
+        a, b = streams(2)
+        a.h2d(1024, tag="up.a", writes=("t",))
+        b.h2d(1024, tag="up.b", writes=("t",))
+        report = check([a, b])
+        assert report.has_code("STR201")
+
+    def test_str202_unordered_read_write(self):
+        a, b = streams(2)
+        a.h2d(1024, tag="up", writes=("t",))
+        a.signal(1)
+        b.wait_event(1)
+        b.host(1e-6, tag="reader", reads=("t",))
+        a.host(1e-6, tag="rewriter", writes=("t",))  # unordered vs reader
+        report = check([a, b])
+        assert report.has_code("STR202")
+
+    def test_str204_download_of_nothing(self):
+        (s,) = streams(1)
+        s.d2h(1024, tag="dl", reads=("never",))
+        report = check([s])
+        assert report.has_code("STR204")
+
+    def test_str205_wait_without_signal(self):
+        (s,) = streams(1)
+        s.wait_event(42)
+        report = check([s])
+        assert report.has_code("STR205")
+        diag = next(d for d in report.errors if d.code == "STR205")
+        assert "deadlock" in diag.message
+
+    def test_str205_signal_after_wait(self):
+        a, b = streams(2)
+        a.wait_event(5)
+        a.signal(6)
+        b.wait_event(6)
+        b.signal(5)  # only reachable after a's wait: circular
+        report = check([a, b])
+        assert report.has_code("STR205")
+
+
+class TestAdvisories:
+    def test_str206_upload_never_read(self):
+        (s,) = streams(1)
+        s.h2d(1024, tag="up", writes=("t",))
+        report = check([s])
+        diag = next(d for d in report.diagnostics if d.code == "STR206")
+        assert diag.severity is Severity.WARNING
+        assert report.ok
+
+    def test_str207_left_resident(self):
+        (s,) = streams(1)
+        s.h2d(1024, writes=("t",))
+        s.host(1e-6, tag="k", reads=("t",), writes=("out",))
+        report = check([s])
+        diag = next(d for d in report.diagnostics if d.code == "STR207")
+        assert diag.severity is Severity.INFO
+
+    def test_tag_inference_for_legacy_programs(self):
+        (s,) = streams(1)
+        s.h2d(1024, tag="input.t")           # no annotations at all
+        s.d2h(1024, tag="output.ghost")
+        report = check([s])
+        assert report.has_code("STR204")     # ghost never written
+        assert report.has_code("STR206")     # t uploaded, never read

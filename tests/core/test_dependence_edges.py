@@ -1,0 +1,95 @@
+"""Edge cases of :func:`repro.core.dependence.classify_edge` the original
+dependence tests left uncovered: build-side inputs of every binary set
+operator, AGGREGATE as a producer, and SOURCE edges."""
+
+import pytest
+
+from repro.core.dependence import DepClass, classify_edge, is_fusable_into_chain
+from repro.plans.plan import Plan
+from repro.ra.arithmetic import AggSpec
+from repro.ra.expr import Field
+
+
+def two_sided(op_name):
+    plan = Plan(name="p")
+    left = plan.source("l", fields=["k", "v"])
+    right = plan.source("r", fields=["k", "v"])
+    node = getattr(plan, op_name)(left, right, name="op")
+    return left, right, node
+
+
+class TestBuildSideInputs:
+    @pytest.mark.parametrize("op_name", [
+        "join", "semi_join", "anti_join", "intersection", "difference"])
+    def test_build_side_is_barrier(self, op_name):
+        left, right, node = two_sided(op_name)
+        assert classify_edge(right, node, 1) is DepClass.BARRIER
+
+    @pytest.mark.parametrize("op_name", [
+        "join", "semi_join", "anti_join", "intersection", "difference"])
+    def test_probe_side_is_elementwise(self, op_name):
+        left, right, node = two_sided(op_name)
+        assert classify_edge(left, node, 0) is DepClass.ELEMENTWISE
+
+    def test_product_build_side(self):
+        plan = Plan(name="p")
+        left = plan.source("l", fields=["k"])
+        right = plan.source("r", fields=["k"])
+        node = plan.product(left, right, name="x")
+        assert classify_edge(right, node, 1) is DepClass.BARRIER
+        assert classify_edge(left, node, 0) is DepClass.ELEMENTWISE
+
+    def test_union_is_barrier_on_both_sides(self):
+        plan = Plan(name="p")
+        left = plan.source("l", fields=["k"])
+        right = plan.source("r", fields=["k"])
+        node = plan.union(left, right, name="u")
+        assert classify_edge(left, node, 0) is DepClass.BARRIER
+        assert classify_edge(right, node, 1) is DepClass.BARRIER
+
+    def test_build_side_never_extends_a_chain(self):
+        left, right, node = two_sided("semi_join")
+        assert not is_fusable_into_chain(right, node)
+        assert is_fusable_into_chain(left, node)
+
+
+class TestAggregateAsProducer:
+    def test_aggregate_output_is_barrier(self):
+        plan = Plan(name="p")
+        src = plan.source("t", fields=["k", "v"])
+        agg = plan.aggregate(src, ["k"], {"n": AggSpec("count")}, name="agg")
+        sel = plan.select(agg, Field("n") < 5, name="sel")
+        assert classify_edge(agg, sel, 0) is DepClass.BARRIER
+        assert not is_fusable_into_chain(agg, sel)
+
+    def test_aggregate_as_consumer_is_elementwise(self):
+        # an aggregation consumes its input element-by-element (atomics),
+        # so SELECT -> AGGREGATE fuses; only its *output* is a barrier
+        plan = Plan(name="p")
+        src = plan.source("t", fields=["k", "v"])
+        sel = plan.select(src, Field("v") < 5, name="sel")
+        agg = plan.aggregate(sel, ["k"], {"n": AggSpec("count")}, name="agg")
+        assert classify_edge(sel, agg, 0) is DepClass.ELEMENTWISE
+        assert is_fusable_into_chain(sel, agg)
+
+
+class TestSourceEdges:
+    def test_source_into_select_is_elementwise(self):
+        plan = Plan(name="p")
+        src = plan.source("t", fields=["v"])
+        sel = plan.select(src, Field("v") < 5, name="sel")
+        assert classify_edge(src, sel, 0) is DepClass.ELEMENTWISE
+
+    def test_source_into_sort_is_barrier(self):
+        plan = Plan(name="p")
+        src = plan.source("t", fields=["v"])
+        srt = plan.sort(src, by=["v"], name="srt")
+        assert classify_edge(src, srt, 0) is DepClass.BARRIER
+
+    def test_source_as_join_build_side_is_barrier(self):
+        plan = Plan(name="p")
+        probe = plan.source("probe", fields=["k"])
+        build = plan.source("build", fields=["k"])
+        j = plan.join(probe, build, on="k", name="j")
+        assert classify_edge(build, j, 1) is DepClass.BARRIER
+        assert classify_edge(probe, j, 0) is DepClass.ELEMENTWISE

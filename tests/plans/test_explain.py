@@ -42,3 +42,28 @@ class TestExplain:
     def test_side_inputs_marked(self):
         text = explain(build_q1_plan())
         assert "+= " in text  # non-primary inputs drawn differently
+
+
+class TestDepAnnotations:
+    def test_every_edge_is_classified(self):
+        text = explain(select_chain_plan(2))
+        # every non-sink line carries a dep= tag
+        edge_lines = [ln for ln in text.splitlines()
+                      if "<- " in ln or "+= " in ln]
+        assert edge_lines
+        assert all("dep=" in ln for ln in edge_lines)
+
+    def test_chain_edges_are_elementwise(self):
+        text = explain(select_chain_plan(2))
+        assert "dep=elementwise" in text
+
+    def test_join_build_side_is_barrier(self):
+        text = explain(build_q1_plan())
+        build_lines = [ln for ln in text.splitlines() if "+= " in ln]
+        assert build_lines
+        assert all("dep=barrier" in ln for ln in build_lines)
+
+    def test_sink_line_has_no_dep(self):
+        text = explain(select_chain_plan(1))
+        sink_line = text.splitlines()[1]  # first line under the header
+        assert "dep=" not in sink_line

@@ -96,6 +96,14 @@ class TestToChromeTrace:
         trace = to_chrome_trace(Timeline())
         assert all(e.get("ph") == "M" for e in trace["traceEvents"])
 
+    def test_analysis_metadata_attached(self, timeline):
+        summary = {"errors": 0, "warnings": 1, "passes": ["plan-lints"]}
+        trace = to_chrome_trace(timeline, analysis=summary)
+        assert trace["analysis"] == summary
+
+    def test_analysis_omitted_by_default(self, timeline):
+        assert "analysis" not in to_chrome_trace(timeline)
+
 
 class TestWriteTrace:
     def test_round_trips_through_json(self, timeline, tmp_path):

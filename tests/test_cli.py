@@ -159,3 +159,41 @@ class TestServe:
         assert main(self.ARGS + ["--trace-output", str(path)]) == 0
         trace = json.loads(path.read_text())
         assert trace["traceEvents"]
+
+    def test_analyze_preflight(self, capsys):
+        assert main(self.ARGS + ["--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+
+
+class TestAnalyze:
+    ARGS = ["analyze", "--fuzz-seeds", "3"]
+
+    def test_strict_corpus_is_clean(self, capsys):
+        assert main(self.ARGS + ["--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_reports_target_count(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "target(s)" in out
+
+    def test_json_output(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["errors"] == 0
+        assert doc["targets"] > 0
+        assert isinstance(doc["diagnostics"], list)
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "baseline.txt"
+        assert main(self.ARGS + ["--write-baseline", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        # with every current finding baselined, nothing is reported
+        assert main(self.ARGS + ["--baseline", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["warnings"] == 0
+        assert doc["summary"]["infos"] == 0  # indexed locations too
+        assert doc["summary"]["suppressed"] > 0
