@@ -1,0 +1,95 @@
+"""Cluster scaling: makespan vs device count for TPC-H Q1 and Q21.
+
+The same distributed plans the cluster CI smoke runs, swept over 1/2/4/8
+devices behind one shared host (docs/CLUSTER.md).  Per-device staging
+bandwidth is ``min(link_bw, host_bw / devices)``, so the curves are
+link-limited (near-linear) up to the host-memory crossover at ~4 devices
+and bend past it -- the shape the shared-host contention model predicts.
+
+Emits ``BENCH_cluster.json`` (``--json PATH`` redirects it):
+per-query makespans at each device count plus the plain single-device
+Executor reference.  The 4-device makespan must be strictly below the
+1-device cluster makespan for both queries -- the subsystem's acceptance
+criterion.
+"""
+
+from repro.bench import emit_json, format_table, json_output_path, print_header
+from repro.cluster import ClusterConfig, ClusterExecutor, single_device_makespan
+from repro.tpch import (
+    build_q1_plan,
+    build_q21_plan,
+    q1_source_rows,
+    q21_source_rows,
+)
+
+DEVICE_SWEEP = (1, 2, 4, 8)
+N_LINEITEM = 6_000_000
+SCHEME = "hash"
+SEED = 0
+
+
+def _cases():
+    n = N_LINEITEM
+    return [
+        ("q1", build_q1_plan(), q1_source_rows(n)),
+        ("q21", build_q21_plan(),
+         q21_source_rows(n, n // 4, max(1, n // 600))),
+    ]
+
+
+def _measure():
+    points = []
+    for name, plan, rows in _cases():
+        by_devices = {}
+        for devices in DEVICE_SWEEP:
+            cx = ClusterExecutor(config=ClusterConfig(
+                num_devices=devices, scheme=SCHEME, seed=SEED))
+            result = cx.run(plan, rows)
+            by_devices[devices] = result
+        single = single_device_makespan(plan, rows)
+        points.append((name, single, by_devices))
+    return points
+
+
+def test_cluster_scaling(benchmark, device):
+    points = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header("Cluster: makespan vs device count",
+                 f"TPC-H Q1/Q21 at {N_LINEITEM/1e6:.0f}M lineitems, "
+                 f"{SCHEME} partitioning", device)
+    rows = []
+    payload = {"device_sweep": list(DEVICE_SWEEP),
+               "n_lineitem": N_LINEITEM, "scheme": SCHEME, "seed": SEED,
+               "queries": {}}
+    for name, single, by_devices in points:
+        row = [name, round(single * 1e3, 3)]
+        entry = {"single_device_makespan_s": round(single, 9),
+                 "suffix_mode": by_devices[1].dist.suffix_mode,
+                 "by_devices": {}}
+        for devices in DEVICE_SWEEP:
+            result = by_devices[devices]
+            row.append(round(result.makespan * 1e3, 3))
+            entry["by_devices"][str(devices)] = {
+                "makespan_s": round(result.makespan, 9),
+                "speedup_vs_1": round(
+                    by_devices[1].makespan / result.makespan, 6),
+                "exchange_out_bytes": round(result.exchange_out_bytes, 3),
+                "merge_bytes": round(result.merge_bytes, 3),
+            }
+        payload["queries"][name] = entry
+        rows.append(row)
+    print(format_table(
+        ["query", "1-dev exec ms"]
+        + [f"{d} dev ms" for d in DEVICE_SWEEP], rows, width=13))
+
+    out = emit_json("cluster", payload,
+                    path=json_output_path("cluster") or "BENCH_cluster.json")
+    print(f"wrote {out}")
+
+    for name, single, by_devices in points:
+        # the acceptance criterion: 4 devices strictly beat 1, for both
+        # queries, and the cluster never loses to the plain Executor
+        assert by_devices[4].makespan < by_devices[1].makespan, name
+        assert by_devices[4].makespan < single, name
+        # scaling is monotone up to the host-memory crossover
+        assert by_devices[2].makespan < by_devices[1].makespan, name

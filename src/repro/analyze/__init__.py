@@ -9,6 +9,7 @@ codes (see ``docs/ANALYSIS.md`` for the catalog):
   register budget)
 * ``STR2xx`` -- stream-program races and deadlocks
 * ``IRL3xx`` -- compilerlite IR lints
+* ``CLU4xx`` -- cluster distribution lints on sharded plans
 
 Entry points: :class:`Analyzer` for programmatic use, ``repro analyze``
 on the CLI, and the opt-in ``analyze=True`` pre-flight on
@@ -17,6 +18,7 @@ on the CLI, and the opt-in ``analyze=True`` pre-flight on
 """
 
 from .baseline import Baseline, Suppression, baseline_from_findings, write_baseline
+from .cluster_lints import ClusterLintPass
 from .diagnostics import AnalysisReport, Diagnostic, Severity, SourceLocation
 from .framework import Analyzer
 from .fusion_check import FusionCheckPass
@@ -29,5 +31,5 @@ __all__ = [
     "Analyzer", "AnalysisReport", "Diagnostic", "Severity",
     "SourceLocation", "Baseline", "Suppression", "baseline_from_findings",
     "write_baseline", "PlanLintPass", "FusionCheckPass", "StreamCheckPass",
-    "IrLintPass", "corpus",
+    "IrLintPass", "ClusterLintPass", "corpus",
 ]

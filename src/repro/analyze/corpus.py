@@ -156,6 +156,23 @@ def tpch_plans() -> list[tuple[str, Plan]]:
     ]
 
 
+def cluster_plans(num_shards: int = 4) -> list[tuple[str, Any]]:
+    """The TPC-H plans distributed over a 4-shard cluster (CLU4xx
+    targets) -- the exact shapes the cluster CI smoke executes, at a row
+    scale where Q1 takes the exchange path."""
+    from ..plans.distribute import distribute_plan
+    from ..tpch.q1 import build_q1_plan, q1_source_rows
+    from ..tpch.q21 import build_q21_plan, q21_source_rows
+    n = 2_000_000
+    return [
+        (f"tpch_q1@x{num_shards}", distribute_plan(
+            build_q1_plan(), q1_source_rows(n), num_shards)),
+        (f"tpch_q21@x{num_shards}", distribute_plan(
+            build_q21_plan(),
+            q21_source_rows(n, n // 4, max(1, n // 600)), num_shards)),
+    ]
+
+
 def fuzz_plans(n_seeds: int = 50) -> list[tuple[str, Plan]]:
     """Plans from the differential-testing fuzzer, seeds 0..n-1."""
     return [(f"fuzz_{seed}", random_plan_case(seed).plan)
@@ -219,6 +236,7 @@ def default_corpus(n_fuzz_seeds: int = 50,
         targets.append((label, plan))
     for label, plan in plans:
         targets.append((f"{label}:fused", fuse_plan(plan)))
+    targets.extend(cluster_plans())
     if include_streams:
         targets.append(("batched_streams", batched_stream_pool(device)))
     for label, prog in ir_programs():
@@ -227,6 +245,7 @@ def default_corpus(n_fuzz_seeds: int = 50,
 
 
 __all__ = [
-    "pattern_plans", "tpch_plans", "fuzz_plans", "ir_programs",
-    "batched_stream_pool", "default_corpus", "select_chain_plan",
+    "pattern_plans", "tpch_plans", "cluster_plans", "fuzz_plans",
+    "ir_programs", "batched_stream_pool", "default_corpus",
+    "select_chain_plan",
 ]

@@ -7,6 +7,8 @@
 * :class:`~repro.simgpu.engine.SimStream` (one, or a list) or a
   :class:`~repro.streampool.pool.StreamPool` -> race detection (STR2xx)
 * :class:`~repro.compilerlite.ir.Program` -> IR lints (IRL3xx)
+* :class:`~repro.plans.distribute.DistributedPlan` -> cluster lints
+  (CLU4xx), after plan lints on the underlying plan
 
 A configured :class:`~repro.analyze.baseline.Baseline` filters known
 findings out of every report.  ``strict=True`` raises
@@ -21,10 +23,12 @@ from typing import Any, Iterable
 from ..core.fusion import FusionResult
 from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
 from ..compilerlite.ir import Program
+from ..plans.distribute import DistributedPlan
 from ..plans.plan import Plan
 from ..simgpu.device import DeviceSpec
 from ..simgpu.engine import SimStream
 from .baseline import Baseline
+from .cluster_lints import ClusterLintPass
 from .diagnostics import AnalysisReport, Diagnostic
 from .fusion_check import FusionCheckPass
 from .ir_lints import IrLintPass
@@ -32,7 +36,8 @@ from .plan_lints import PlanLintPass
 from .stream_check import StreamCheckPass
 
 #: analyzable target types, for error messages
-_TARGET_KINDS = "Plan, FusionResult, SimStream(s), StreamPool, or Program"
+_TARGET_KINDS = ("Plan, DistributedPlan, FusionResult, SimStream(s), "
+                 "StreamPool, or Program")
 
 
 class Analyzer:
@@ -48,6 +53,7 @@ class Analyzer:
         self.fusion_check = FusionCheckPass(self.device, costs)
         self.stream_check = StreamCheckPass()
         self.ir_lints = IrLintPass()
+        self.cluster_lints = ClusterLintPass()
 
     # -- dispatch --------------------------------------------------------
     def run(self, target: Any, unit: str | None = None,
@@ -56,7 +62,12 @@ class Analyzer:
         diagnostics (ignored for targets that carry their own name)."""
         report = AnalysisReport()
         diags: list[Diagnostic]
-        if isinstance(target, Plan):
+        if isinstance(target, DistributedPlan):
+            diags = self.plan_lints.run(target.plan)
+            diags += self.cluster_lints.run(target)
+            report.passes_run.append(self.plan_lints.name)
+            report.passes_run.append(self.cluster_lints.name)
+        elif isinstance(target, Plan):
             diags = self.plan_lints.run(target)
             report.passes_run.append(self.plan_lints.name)
         elif isinstance(target, FusionResult):

@@ -12,10 +12,14 @@ fuse        show what the fusion pass does to a query plan (+ rendered
 trace       write a Chrome trace of a strategy run for visual inspection
 serve       run the query-serving simulation (docs/SERVING.md): seeded
             arrivals, admission control, memory-aware batching, SLO report
+            (--devices N serves over N contended device lanes)
+cluster     run a TPC-H query sharded over N simulated devices
+            (docs/CLUSTER.md): deterministic partitioning, exchange/merge,
+            shared-host PCIe contention, device-loss recovery
 analyze     static analysis (docs/ANALYSIS.md) over the built-in corpus:
             plan lints, fusion-legality verification, stream-program race
-            detection, IR lints; --strict fails on error findings (the CI
-            lint gate)
+            detection, IR lints, cluster lints; --strict fails on error
+            findings (the CI lint gate)
 """
 
 from __future__ import annotations
@@ -199,7 +203,8 @@ def _cmd_serve(args) -> int:
         cfg = ServeConfig(
             mode=mode, queue_capacity=args.queue_depth,
             max_batch=args.max_batch, max_streams=args.max_streams,
-            check=args.validate, analyze=args.analyze, faults=args.chaos)
+            check=args.validate, analyze=args.analyze, faults=args.chaos,
+            devices=args.devices)
         # each mode serves the identical offered trace
         results[mode] = QueryServer(config=cfg).run(trace=list(trace))
         print(f"\n=== mode: {mode} "
@@ -229,6 +234,71 @@ def _cmd_serve(args) -> int:
         write_chrome_trace(res.merged_timeline(), args.trace_output,
                            process_name=f"serve.{modes[0]}")
         print(f"wrote serve trace to {args.trace_output}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    import json
+
+    from .cluster import ClusterConfig, ClusterExecutor, single_device_makespan
+    from .faults import FaultPlan
+    from .simgpu.trace import write_cluster_trace
+
+    build, rows_fn = _QUERIES[args.query]
+    plan = build()
+    rows = rows_fn(args.elements)
+
+    faults = args.chaos
+    if args.kill_device is not None:
+        # a deterministic device loss at the given slot, before phase 1
+        faults = FaultPlan(
+            seed=args.chaos.seed if args.chaos is not None else 0,
+            site_rates={f"device.{args.kill_device}": 1.0}, budget=1)
+    cfg = ClusterConfig(
+        num_devices=args.devices, scheme=args.partition, seed=args.seed,
+        check=args.validate, faults=faults)
+    cx = ClusterExecutor(config=cfg)
+    result = cx.run(plan, rows)
+
+    dist = result.dist
+    print(f"{dist.name}: {args.devices} device(s), {args.partition} "
+          f"partitioning, suffix mode {dist.suffix_mode}")
+    print(f"  partition key: "
+          f"{'/'.join(dist.partition_key or ()) or 'positional (rowid)'}")
+    single = single_device_makespan(plan, rows)
+    print(f"  cluster makespan {result.makespan*1e3:9.3f} ms  "
+          f"(single device {single*1e3:9.3f} ms, "
+          f"speedup {single/result.makespan:5.2f}x)")
+    if result.lost_devices:
+        print(f"  chaos: lost device(s) {list(result.lost_devices)}, "
+              f"{result.recovered_shards} shard(s) re-executed on survivors")
+
+    if args.functional:
+        data = generate(TpchConfig(scale_factor=args.scale_factor))
+        if args.query == "q1":
+            sources = q1_column_relations(data.lineitem)
+        else:
+            sources = {"lineitem": data.lineitem, "orders": data.orders,
+                       "supplier": data.supplier, "nation": data.nation}
+        got = cx.functional(plan, sources)
+        want = evaluate_sinks(plan, sources)
+        for name in sorted(want):
+            same = got[name].same_tuples(want[name])
+            print(f"  functional {name}: {got[name].num_rows} rows, "
+                  f"byte-identical to single device: {same}")
+            if not same:
+                return 1
+
+    if args.summary:
+        with open(args.summary, "w") as f:
+            json.dump(result.summary(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote cluster summary to {args.summary}")
+    if args.trace_output:
+        write_cluster_trace(result.trace_lanes(), args.trace_output)
+        n_events = sum(len(tl.events) for _, tl in result.trace_lanes())
+        print(f"wrote {n_events} events over "
+              f"{len(result.trace_lanes())} lanes to {args.trace_output}")
     return 0
 
 
@@ -307,6 +377,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="static pre-flight on every batch "
                             "(docs/ANALYSIS.md): plan lints + stream-program "
                             "race check; error findings abort dispatch")
+    p_srv.add_argument("--devices", type=int, default=1,
+                       help="device lanes sharing the host (batches are "
+                            "routed to the lane with the least outstanding "
+                            "bytes; see docs/CLUSTER.md)")
+
+    p_cl = sub.add_parser(
+        "cluster", help="run a TPC-H query sharded over N simulated "
+                        "devices (docs/CLUSTER.md)")
+    p_cl.add_argument("--devices", type=int, default=4,
+                      help="simulated devices behind one shared host")
+    p_cl.add_argument("--query", choices=["q1", "q21"], default="q1")
+    p_cl.add_argument("--partition", choices=["hash", "range", "rr"],
+                      default="hash", help="driver-table sharding scheme")
+    p_cl.add_argument("--elements", type=int, default=6_000_000,
+                      help="simulated lineitem cardinality")
+    p_cl.add_argument("--seed", type=int, default=0,
+                      help="partitioner seed")
+    p_cl.add_argument("--kill-device", type=int, metavar="IDX", default=None,
+                      help="deterministically lose device IDX before the "
+                           "local phase (its shards re-execute on the "
+                           "least-loaded survivor)")
+    p_cl.add_argument("--functional", action="store_true",
+                      help="also run the sharded query on generated data "
+                           "and check byte-identity against the "
+                           "single-device interpreter")
+    p_cl.add_argument("--scale-factor", type=float, default=0.01)
+    p_cl.add_argument("--summary", metavar="PATH", default=None,
+                      help="write the cluster summary as JSON "
+                           "(byte-identical across same-seed runs)")
+    p_cl.add_argument("--trace-output", metavar="PATH", default=None,
+                      help="write a Chrome trace with one lane group per "
+                           "device plus the cluster host")
 
     p_an = sub.add_parser(
         "analyze", help="static analysis over the built-in corpus "
@@ -407,6 +509,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sql(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
     if args.command == "explain":

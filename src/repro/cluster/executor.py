@@ -1,0 +1,522 @@
+"""The ClusterExecutor: N simulated devices, one query.
+
+Timing path (``run``): the plan is distributed
+(:func:`repro.plans.distribute.distribute_plan`), each shard's local
+subplan runs through the existing single-device
+:class:`~repro.runtime.executor.Executor` (so fusion, fission, chunking,
+the degradation ladder, and fault injection all apply unchanged) on a
+:func:`~repro.cluster.host.contended_device` whose staging bandwidth is
+divided among the devices sharing the host.  Global barriers separate the
+phases::
+
+    [local phase: shard k on device k]  --barrier-->
+    [exchange: frontier d2h'd by phase 1, host shuffle, re-h2d by phase 2]
+    [suffix phase: repartitioned shard on each device]  --barrier-->
+    [host merge]
+
+The exchange is *not* double-counted: the device->host leg is the local
+plan's own ``output.*`` downloads and the host->device leg is the suffix
+plan's own ``input.*`` uploads; only the host-side shuffle between them is
+an extra event.  This gives the conservation law the validator checks:
+local output bytes == host shuffle bytes == suffix input bytes.
+
+Fault path: before each phase every device is probed at site
+``device.<k>`` (and ``device.<k>.suffix``) for
+:attr:`~repro.faults.FaultKind.DEVICE_LOSS`.  A lost device's shards are
+re-executed on the least-loaded surviving device -- the top rung of the
+cluster degradation ladder (:data:`repro.faults.CLUSTER_DEGRADATION_ORDER`)
+-- and the lost device is excluded from later phases.  Results are
+unaffected: the functional path below is loss-agnostic by construction.
+
+Functional path (``functional``): real relations are partitioned with the
+same deterministic partitioner, the local subplan is interpreted per
+shard, the frontier is exchanged/merged under the byte-identity rules of
+:mod:`repro.cluster.exchange`, and the suffix is interpreted per
+destination (exchange) or on the host (host mode).  The result is
+byte-identical to :func:`repro.plans.interp.evaluate_sinks` on the
+unsharded inputs -- asserted by the cluster test suite for TPC-H Q1/Q21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
+from ..cpubase.select import cpu_select_time
+from ..core.opmodels import out_row_nbytes
+from ..faults import FaultInjector, FaultPlan, as_injector
+from ..plans.distribute import DistributedPlan, distribute_plan
+from ..plans.interp import evaluate
+from ..plans.plan import OpType, Plan
+from ..ra.relation import Relation
+from ..runtime.executor import Executor, RunResult
+from ..runtime.sizes import estimate_sizes
+from ..runtime.strategies import ExecutionConfig, Strategy
+from ..simgpu.device import DeviceSpec
+from ..simgpu.timeline import EventKind, Timeline
+from . import exchange as xchg
+from .host import ClusterSpec, contended_device
+from .partition import (Partitioner, even_counts, parse_scheme,
+                        range_boundaries)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs of one cluster run (all deterministic)."""
+
+    num_devices: int = 4
+    scheme: str = "hash"                 # hash | range | rr
+    seed: int = 0
+    #: per-shard single-device strategy (fusion + fission by default --
+    #: the paper's best single-device pipeline, now one per device)
+    strategy: Strategy = Strategy.FUSED_FISSION
+    check: bool = False
+    #: chaos plan shared across devices (one budget for the whole run);
+    #: devices are additionally probed for DEVICE_LOSS at ``device.<k>``
+    faults: FaultPlan | None = None
+    #: devices assumed concurrently active on the host's PCIe complex;
+    #: None -> num_devices (worst case)
+    pcie_sharers: int | None = None
+
+
+@dataclass(frozen=True)
+class ShardRun:
+    """Bookkeeping for one Executor run inside the cluster schedule."""
+
+    shard: int
+    device: int
+    phase: str                           # "local" | "suffix"
+    start: float
+    makespan: float
+    h2d_bytes: float
+    d2h_bytes: float
+    output_bytes: float
+    degraded_to: str | None
+    #: True when this shard ran on a survivor because its home device
+    #: was lost (cluster-ladder re-execution)
+    recovered: bool = False
+
+
+@dataclass
+class ClusterRunResult:
+    """Timing result of one cluster execution."""
+
+    config: ClusterConfig
+    dist: DistributedPlan
+    device_timelines: dict[int, Timeline]
+    host_timeline: Timeline
+    makespan: float
+    shard_runs: list[ShardRun]
+    lost_devices: tuple[int, ...]
+    exchange_out_bytes: float
+    exchange_in_bytes: float
+    merge_bytes: float
+    faults_injected: int = 0
+    retries: int = 0
+    reissues: int = 0
+    notes: tuple[str, ...] = ()
+
+    @property
+    def recovered_shards(self) -> int:
+        return sum(1 for r in self.shard_runs if r.recovered)
+
+    def merged_timeline(self) -> Timeline:
+        """Every device lane plus the host lane on one clock."""
+        merged = Timeline()
+        for tl in self.device_timelines.values():
+            merged.extend(tl)
+        merged.extend(self.host_timeline)
+        return merged
+
+    def trace_lanes(self) -> list[tuple[str, Timeline]]:
+        """Lanes for :func:`repro.simgpu.trace.write_cluster_trace`: one
+        per device, then the cluster host."""
+        lanes = [(f"device {dev_id}", self.device_timelines[dev_id])
+                 for dev_id in sorted(self.device_timelines)]
+        lanes.append(("cluster host", self.host_timeline))
+        return lanes
+
+    def summary(self) -> dict:
+        """Flat, deterministically-rounded metrics (CI byte-compares the
+        sorted-key JSON dump of this across reruns)."""
+        out: dict[str, object] = {
+            "cluster.devices": self.config.num_devices,
+            "cluster.scheme": self.config.scheme,
+            "cluster.seed": self.config.seed,
+            "cluster.strategy": self.config.strategy.value,
+            "cluster.partition_key": "/".join(self.dist.partition_key or ())
+                                     or "positional",
+            "cluster.suffix_mode": self.dist.suffix_mode,
+            "cluster.makespan_s": round(self.makespan, 9),
+            "cluster.lost_devices": list(self.lost_devices),
+            "cluster.recovered_shards": self.recovered_shards,
+            "exchange.out_bytes": round(self.exchange_out_bytes, 3),
+            "exchange.in_bytes": round(self.exchange_in_bytes, 3),
+            "merge.bytes": round(self.merge_bytes, 3),
+            "faults.injected": self.faults_injected,
+            "faults.retries": self.retries,
+            "faults.reissues": self.reissues,
+        }
+        for dev_id in sorted(self.device_timelines):
+            tl = self.device_timelines[dev_id]
+            runs = [r for r in self.shard_runs if r.device == dev_id]
+            out[f"device.{dev_id}.end_s"] = round(tl.end_time, 9)
+            out[f"device.{dev_id}.busy_s"] = round(
+                tl.busy_time(EventKind.KERNEL), 9)
+            out[f"device.{dev_id}.shards"] = len(
+                {r.shard for r in runs if r.phase == "local"})
+            out[f"device.{dev_id}.h2d_bytes"] = round(
+                sum(r.h2d_bytes for r in runs), 3)
+            out[f"device.{dev_id}.d2h_bytes"] = round(
+                sum(r.d2h_bytes for r in runs), 3)
+            out[f"device.{dev_id}.lost"] = int(dev_id in self.lost_devices)
+        return out
+
+
+def _phase_bytes(timeline: Timeline) -> tuple[float, float, float]:
+    """(h2d, d2h, output-d2h) bytes of one Executor timeline, excluding
+    injected-fault events and intermediate round trips."""
+    h2d = d2h = out = 0.0
+    for ev in timeline.events:
+        if ev.tag.startswith("fault."):
+            continue
+        if ev.kind is EventKind.H2D and not ev.tag.startswith("roundtrip"):
+            h2d += ev.nbytes
+        elif ev.kind is EventKind.D2H and not ev.tag.startswith("roundtrip"):
+            d2h += ev.nbytes
+            if ev.tag.startswith(("output", "d2h.seg")):
+                out += ev.nbytes
+    return h2d, d2h, out
+
+
+class ClusterExecutor:
+    """Runs distributed plans over N simulated devices (see module doc)."""
+
+    def __init__(self, base_device: DeviceSpec | None = None,
+                 costs: StageCostParams = DEFAULT_STAGE_COSTS,
+                 config: ClusterConfig = ClusterConfig()):
+        self.base_device = base_device or DeviceSpec()
+        self.costs = costs
+        self.config = config
+        self.spec = ClusterSpec(
+            num_devices=config.num_devices, base=self.base_device,
+            pcie_sharers=config.pcie_sharers)
+        self.device = contended_device(self.base_device, self.spec.sharers)
+
+    # ------------------------------------------------------------------
+    def distribute(self, plan: Plan,
+                   source_rows: dict[str, int]) -> DistributedPlan:
+        return distribute_plan(
+            plan, source_rows, self.config.num_devices,
+            scheme=self.config.scheme, seed=self.config.seed)
+
+    def _as_dist(self, plan, source_rows) -> DistributedPlan:
+        if isinstance(plan, DistributedPlan):
+            return plan
+        return self.distribute(plan, source_rows)
+
+    # ------------------------------------------------------------------
+    # timing path
+    # ------------------------------------------------------------------
+    def run(self, plan: "Plan | DistributedPlan",
+            source_rows: dict[str, int]) -> ClusterRunResult:
+        cfg = self.config
+        dist = self._as_dist(plan, source_rows)
+        n = cfg.num_devices
+        injector = as_injector(cfg.faults)
+        notes: list[str] = list(dist.notes)
+
+        # -- device-loss probes (phase 1) -------------------------------
+        lost: set[int] = set()
+        if injector is not None:
+            for dev_id in range(n):
+                if injector.device_loss(f"device.{dev_id}"):
+                    lost.add(dev_id)
+        if len(lost) == n:
+            # a cluster with zero devices cannot answer; the lowest slot
+            # survives (mirrors the retry-absorbs-first-hit OOM rule)
+            lost.discard(0)
+            notes.append("all devices probed lost; device 0 retained")
+        alive = [d for d in range(n) if d not in lost]
+
+        timelines: dict[int, Timeline] = {d: Timeline() for d in range(n)}
+        host_tl = Timeline()
+        clock: dict[int, float] = {d: 0.0 for d in range(n)}
+        shard_runs: list[ShardRun] = []
+        detect_s = (cfg.faults.retry.backoff(1)
+                    if cfg.faults is not None else 0.0)
+        for dev_id in sorted(lost):
+            timelines[dev_id].add(0.0, detect_s, EventKind.HOST,
+                                  f"fault.device_loss.device.{dev_id}")
+
+        # -- phase 1: shard-local plans ---------------------------------
+        local = dist.local_plan()
+        has_local = any(nd.op is not OpType.SOURCE for nd in local.nodes)
+        owner: dict[int, int] = {}
+        assigned = {d: 0 for d in alive}
+        for shard in range(n):
+            if shard in lost:
+                dev_id = min(alive, key=lambda d: (assigned[d], d))
+            else:
+                dev_id = shard
+            owner[shard] = dev_id
+            assigned[dev_id] += 1
+
+        local_out_total = 0.0
+        if has_local:
+            for shard in range(n):
+                dev_id = owner[shard]
+                rows = self._shard_rows(dist, local, shard)
+                res = self._run_executor(local, rows, injector)
+                t0 = clock[dev_id]
+                timelines[dev_id].extend(res.timeline, offset=t0)
+                h2d, d2h, out = _phase_bytes(res.timeline)
+                local_out_total += out
+                clock[dev_id] = t0 + res.timeline.end_time
+                shard_runs.append(ShardRun(
+                    shard=shard, device=dev_id, phase="local", start=t0,
+                    makespan=res.timeline.end_time, h2d_bytes=h2d,
+                    d2h_bytes=d2h, output_bytes=out,
+                    degraded_to=res.degraded_to,
+                    recovered=shard in lost))
+        t_barrier = max([clock[d] for d in alive] + [detect_s])
+
+        # -- phase 2/3: exchange / host suffix / merge ------------------
+        exchange_out = exchange_in = merge_bytes = 0.0
+        sizes = estimate_sizes(dist.plan, source_rows)
+        if dist.suffix_mode == "exchange":
+            ex = dist.exchange
+            exchange_out = local_out_total
+            # device-loss probes between the phases ("mid-run" losses)
+            if injector is not None:
+                for dev_id in list(alive):
+                    if (len(alive) > 1 and injector.device_loss(
+                            f"device.{dev_id}.suffix")):
+                        lost.add(dev_id)
+                        alive.remove(dev_id)
+                        timelines[dev_id].add(
+                            t_barrier, t_barrier + detect_s, EventKind.HOST,
+                            f"fault.device_loss.device.{dev_id}.suffix")
+            shuffle_s = exchange_out / self.costs.host_gather_bw
+            host_tl.add(t_barrier, t_barrier + shuffle_s, EventKind.HOST,
+                        "cluster.exchange", nbytes=exchange_out)
+            t2 = t_barrier + shuffle_s
+            suffix = dist.suffix_plan()
+            dest_rows = even_counts(ex.est_rows, len(alive))
+            ends = []
+            for slot, dev_id in enumerate(alive):
+                res = self._run_executor(
+                    suffix, {ex.buffer: dest_rows[slot]}, injector)
+                timelines[dev_id].extend(res.timeline, offset=t2)
+                h2d, d2h, out = _phase_bytes(res.timeline)
+                exchange_in += h2d
+                merge_bytes += out
+                ends.append(t2 + res.timeline.end_time)
+                shard_runs.append(ShardRun(
+                    shard=slot, device=dev_id, phase="suffix", start=t2,
+                    makespan=res.timeline.end_time, h2d_bytes=h2d,
+                    d2h_bytes=d2h, output_bytes=out,
+                    degraded_to=res.degraded_to))
+            t3 = max(ends) if ends else t2
+            merge_s = merge_bytes / self.costs.host_gather_bw
+            host_tl.add(t3, t3 + merge_s, EventKind.HOST, "cluster.merge",
+                        nbytes=merge_bytes)
+        elif dist.suffix_mode == "host":
+            # gather the frontier, then interpret the suffix on the host
+            # (priced like the cpubase rung: one CPU pass per node)
+            gather_bytes = local_out_total
+            suffix_s = gather_bytes / self.costs.host_gather_bw
+            for node in dist.plan.nodes:
+                if (node.name in dist.local_names
+                        or node.op is OpType.SOURCE):
+                    continue
+                prim = node.inputs[0] if node.inputs else node
+                suffix_s += cpu_select_time(
+                    sizes[prim.name], out_row_nbytes(prim))
+            merge_bytes = sum(
+                float(sizes[s.name]) * out_row_nbytes(s)
+                for s in dist.plan.sinks()
+                if s.name not in dist.local_names)
+            host_tl.add(t_barrier, t_barrier + suffix_s, EventKind.HOST,
+                        "cluster.merge", nbytes=gather_bytes)
+        else:  # fully local: the host only merges per-shard sink outputs
+            merge_bytes = local_out_total
+            merge_s = merge_bytes / self.costs.host_gather_bw
+            host_tl.add(t_barrier, t_barrier + merge_s, EventKind.HOST,
+                        "cluster.merge", nbytes=merge_bytes)
+
+        makespan = max([tl.end_time for tl in timelines.values()]
+                       + [host_tl.end_time])
+        result = ClusterRunResult(
+            config=cfg, dist=dist, device_timelines=timelines,
+            host_timeline=host_tl, makespan=makespan, shard_runs=shard_runs,
+            lost_devices=tuple(sorted(lost)),
+            exchange_out_bytes=exchange_out, exchange_in_bytes=exchange_in,
+            merge_bytes=merge_bytes, notes=tuple(notes))
+        if injector is not None:
+            result.faults_injected = injector.faults_injected
+            result.retries = injector.retries
+            result.reissues = injector.reissues
+        if cfg.check:
+            from ..validate.cluster import validate_cluster
+            validate_cluster(result, self.device).raise_if_failed()
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_executor(self, plan: Plan, rows: dict[str, int],
+                      injector: FaultInjector | None) -> RunResult:
+        ex = Executor(self.device, costs=self.costs, check=self.config.check,
+                      faults=injector,
+                      degrade=True if injector is not None else None)
+        return ex.run(plan, rows,
+                      ExecutionConfig(strategy=self.config.strategy))
+
+    def _shard_rows(self, dist: DistributedPlan, local: Plan,
+                    shard: int) -> dict[str, int]:
+        """Virtual row counts of shard `shard`'s slice of each source."""
+        rows: dict[str, int] = {}
+        needed = {s.name for s in local.sources()}
+        for src in dist.sources:
+            if src.name not in needed:
+                continue
+            if src.kind == "replicated":
+                rows[src.name] = src.rows
+            else:
+                rows[src.name] = even_counts(
+                    src.rows, dist.num_shards)[shard]
+        return rows
+
+    # ------------------------------------------------------------------
+    # functional path
+    # ------------------------------------------------------------------
+    def functional(self, plan: "Plan | DistributedPlan",
+                   sources: dict[str, Relation]) -> dict[str, Relation]:
+        """Distributed evaluation over real relations; byte-identical to
+        ``evaluate_sinks(plan, sources)`` (single device) by construction.
+
+        Loss-agnostic: the data path always uses all ``num_shards`` shards
+        and destinations; device losses only reroute *where* a shard's
+        timing runs, never what it computes.
+        """
+        dist = self._as_dist(
+            plan, {name: rel.num_rows for name, rel in sources.items()})
+        n = dist.num_shards
+        part = Partitioner(n, parse_scheme(dist.scheme), dist.seed)
+        if not self._partitionable(dist, sources):
+            # partition key missing from the real schema (statically
+            # inferred keys are best-effort): fall back to restoring the
+            # sources from a positional split -- still exercises the
+            # partitioner, trivially byte-identical
+            from ..plans.interp import evaluate_sinks
+            restored = {}
+            for name, rel in sources.items():
+                shards, idx = part.split(rel)
+                restored[name] = Partitioner.restore(shards, idx)
+            return evaluate_sinks(dist.plan, restored)
+
+        parts: dict[str, list[Relation]] = {}
+        positional = {s.name for s in dist.sources
+                      if s.kind == "partitioned" and s.key is None}
+        if positional:
+            aligned, _ = part.split_aligned(
+                {name: sources[name] for name in positional})
+            parts.update(aligned)
+        boundaries = None
+        if dist.scheme == "range" and dist.partition_key is not None:
+            driver_rel = sources[dist.driver]
+            boundaries = range_boundaries(
+                driver_rel.column(dist.partition_key[0]), n)
+        for src in dist.sources:
+            if src.kind == "partitioned" and src.key is not None:
+                shards, _ = part.split(sources[src.name], key=src.key[0],
+                                       boundaries=boundaries)
+                parts[src.name] = shards
+            elif src.kind == "replicated":
+                parts[src.name] = [sources[src.name]] * n
+
+        local = dist.local_plan()
+        local_sources = {s.name for s in local.sources()}
+        shard_results: list[dict[str, Relation]] = []
+        for shard in range(n):
+            bound = {name: parts[name][shard] for name in local_sources}
+            shard_results.append(evaluate(local, bound))
+
+        outputs: dict[str, Relation] = {}
+        for name in dist.local_sinks():
+            outputs[name] = self._merge_local(dist, name, [
+                r[name] for r in shard_results])
+        if dist.suffix_mode == "none":
+            return outputs
+
+        suffix = dist.suffix_plan()
+        if dist.suffix_mode == "exchange":
+            ex = dist.exchange
+            dest_parts = xchg.repartition(
+                [r[ex.buffer] for r in shard_results], ex.key, n, dist.seed)
+            per_dest = [evaluate(suffix, {ex.buffer: dp})
+                        for dp in dest_parts]
+            for sink in suffix.sinks():
+                group_by = sink.params.get("group_by") or []
+                outputs[sink.name] = xchg.merge_group_sorted(
+                    [r[sink.name] for r in per_dest], group_by)
+            return outputs
+
+        # host mode
+        bound: dict[str, Relation] = {}
+        for name in dist.frontier:
+            parts_f = [r[name] for r in shard_results]
+            bound[name] = (parts_f[0]
+                           if self._is_replicated(dist, name)
+                           else xchg.merge_concat(parts_f))
+        for name in dist.suffix_sources:
+            bound[name] = sources[name]
+        res = evaluate(suffix, bound)
+        for sink in suffix.sinks():
+            outputs[sink.name] = res[sink.name]
+        return outputs
+
+    # ------------------------------------------------------------------
+    def _partitionable(self, dist: DistributedPlan,
+                       sources: dict[str, Relation]) -> bool:
+        for src in dist.sources:
+            if src.kind == "partitioned" and src.key is not None:
+                rel = sources.get(src.name)
+                if rel is None or any(k not in rel.fields for k in src.key):
+                    return False
+        return True
+
+    def _is_replicated(self, dist: DistributedPlan, name: str) -> bool:
+        """Is a local node's value identical on every shard?  True when
+        every source it depends on is replicated."""
+        node = dist.node(name)
+        stack, seen = [node], set()
+        while stack:
+            cur = stack.pop()
+            if cur.name in seen:
+                continue
+            seen.add(cur.name)
+            if cur.op is OpType.SOURCE:
+                if dist.source_dist(cur.name).kind != "replicated":
+                    return False
+            stack.extend(cur.inputs)
+        return True
+
+    def _merge_local(self, dist: DistributedPlan, name: str,
+                     parts: list[Relation]) -> Relation:
+        if self._is_replicated(dist, name):
+            return parts[0]
+        node = dist.node(name)
+        if node.op is OpType.AGGREGATE:
+            return xchg.merge_group_sorted(
+                parts, node.params.get("group_by") or [])
+        return xchg.merge_concat(parts)
+
+
+def single_device_makespan(plan: Plan, source_rows: dict[str, int],
+                           strategy: Strategy = Strategy.FUSED_FISSION,
+                           device: DeviceSpec | None = None) -> float:
+    """Reference: the plain single-device Executor on the uncontended
+    base device (what `BENCH_cluster.json` reports alongside)."""
+    ex = Executor(device or DeviceSpec())
+    res = ex.run(plan, source_rows, ExecutionConfig(strategy=strategy))
+    return res.makespan

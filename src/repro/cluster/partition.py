@@ -1,0 +1,198 @@
+"""Deterministic table partitioner for the simulated cluster.
+
+Shards a TPC-H relation across ``num_shards`` devices under one of three
+schemes (hash / range / round-robin), with two co-partitioning modes:
+
+* **keyed** -- every relation carrying the partition key is split by the
+  same pure function of the key *value*, so equal keys land on the same
+  shard regardless of which table they sit in (joins on the key stay
+  shard-local);
+* **positional** -- row-aligned relations (the Q1 column tables, all keyed
+  by the implicit ``rowid``) are split by the same index sets, preserving
+  row order inside every shard.
+
+Round-robin is positional by construction, so a *keyed* co-partition under
+``rr`` silently falls back to the hash assigner (documented in
+docs/CLUSTER.md; the ``rr`` scheme still shapes the positional splits and
+the virtual shard counts).
+
+Everything is a pure function of ``(scheme, num_shards, seed, input)`` --
+no global RNG -- so shard contents and the skew metrics are byte-stable
+across runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ra.relation import Relation
+
+
+class PartitionScheme(enum.Enum):
+    HASH = "hash"
+    RANGE = "range"
+    ROUND_ROBIN = "rr"
+
+
+#: Fibonacci multiplicative-hash constant (64-bit golden ratio)
+_HASH_MULT = 0x9E3779B97F4A7C15
+
+
+def parse_scheme(name: str) -> PartitionScheme:
+    for scheme in PartitionScheme:
+        if scheme.value == name:
+            return scheme
+    raise ValueError(
+        f"unknown partition scheme {name!r}; expected one of "
+        f"{[s.value for s in PartitionScheme]}")
+
+
+def hash_shard(keys: np.ndarray, num_shards: int, seed: int = 0) -> np.ndarray:
+    """Shard id per key: seeded multiplicative hash of the key *value*.
+
+    A pure function of ``(key, num_shards, seed)`` -- the co-partitioning
+    guarantee: the same key maps to the same shard from any table.
+    """
+    with np.errstate(over="ignore"):
+        k = np.asarray(keys).astype(np.uint64)
+        mixed = (k + np.uint64(seed) + np.uint64(1)) * np.uint64(_HASH_MULT)
+        mixed ^= mixed >> np.uint64(31)
+        return (mixed % np.uint64(num_shards)).astype(np.int64)
+
+
+def range_boundaries(keys: np.ndarray, num_shards: int) -> np.ndarray:
+    """``num_shards - 1`` split points putting ~equal key *ranks* per shard.
+
+    Boundaries come from the sorted key sample, so two tables range-split
+    with the same boundaries are co-partitioned on that key.
+    """
+    ordered = np.sort(np.asarray(keys))
+    if ordered.size == 0:
+        return np.zeros(max(0, num_shards - 1), dtype=np.int64)
+    cuts = [ordered[min(ordered.size - 1, (ordered.size * i) // num_shards)]
+            for i in range(1, num_shards)]
+    return np.asarray(cuts)
+
+
+def range_shard(keys: np.ndarray, boundaries: np.ndarray) -> np.ndarray:
+    """Shard id per key given precomputed boundaries (searchsorted)."""
+    return np.searchsorted(boundaries, np.asarray(keys), side="left").astype(np.int64)
+
+
+def even_counts(n_rows: int, num_shards: int) -> list[int]:
+    """Balanced virtual shard sizes (first ``n % N`` shards get the +1)."""
+    base, extra = divmod(int(n_rows), num_shards)
+    return [base + (1 if i < extra else 0) for i in range(num_shards)]
+
+
+def skew(counts) -> float:
+    """Max/mean shard-size ratio (1.0 = perfectly balanced, 0.0 = empty)."""
+    counts = list(counts)
+    total = sum(counts)
+    if not counts or total == 0:
+        return 0.0
+    return max(counts) / (total / len(counts))
+
+
+@dataclass(frozen=True)
+class Partitioner:
+    """Shards relations deterministically; see the module docstring."""
+
+    num_shards: int
+    scheme: PartitionScheme = PartitionScheme.HASH
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+
+    # -- shard-id assignment ------------------------------------------------
+    def positional_ids(self, n_rows: int) -> np.ndarray:
+        """Shard id per row position (key-free schemes / rowid alignment)."""
+        n = int(n_rows)
+        if self.scheme is PartitionScheme.ROUND_ROBIN:
+            return (np.arange(n, dtype=np.int64) + self.seed) % self.num_shards
+        if self.scheme is PartitionScheme.HASH:
+            return hash_shard(np.arange(n, dtype=np.int64), self.num_shards,
+                              self.seed)
+        # RANGE: contiguous row blocks
+        counts = even_counts(n, self.num_shards)
+        return np.repeat(np.arange(self.num_shards, dtype=np.int64), counts)
+
+    def key_ids(self, keys: np.ndarray,
+                boundaries: np.ndarray | None = None) -> np.ndarray:
+        """Shard id per row from the key *values* (co-partition safe).
+
+        ``rr`` has no value-based form, so keyed splits under ``rr`` use the
+        hash assigner (same seed) -- co-partitioning still holds.
+        """
+        if self.scheme is PartitionScheme.RANGE:
+            if boundaries is None:
+                boundaries = range_boundaries(keys, self.num_shards)
+            return range_shard(keys, boundaries)
+        return hash_shard(keys, self.num_shards, self.seed)
+
+    # -- splitting ----------------------------------------------------------
+    def indices(self, ids: np.ndarray) -> list[np.ndarray]:
+        """Order-preserving row-index sets, one per shard."""
+        return [np.flatnonzero(ids == s) for s in range(self.num_shards)]
+
+    def split(self, rel: Relation, key: str | None = None,
+              boundaries: np.ndarray | None = None
+              ) -> tuple[list[Relation], list[np.ndarray]]:
+        """Split one relation; returns (shards, per-shard row indices)."""
+        if key is None:
+            ids = self.positional_ids(rel.num_rows)
+        else:
+            ids = self.key_ids(rel.column(key), boundaries)
+        idx = self.indices(ids)
+        return [rel.take(i) for i in idx], idx
+
+    def split_aligned(self, rels: dict[str, Relation]
+                      ) -> tuple[dict[str, list[Relation]], list[np.ndarray]]:
+        """Positionally co-partition row-aligned relations (same length):
+        one shared index split applied to every relation."""
+        lengths = {r.num_rows for r in rels.values()}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"positional co-partition needs equal lengths, got {lengths}")
+        n = lengths.pop() if lengths else 0
+        idx = self.indices(self.positional_ids(n))
+        return ({name: [rel.take(i) for i in idx]
+                 for name, rel in rels.items()}, idx)
+
+    # -- reassembly ---------------------------------------------------------
+    @staticmethod
+    def restore(shards: list[Relation], indices: list[np.ndarray]) -> Relation:
+        """Invert a split: concat shards and undo the row permutation,
+        reproducing the original relation byte-for-byte."""
+        merged = concat(shards)
+        order = np.concatenate([np.asarray(i, dtype=np.int64) for i in indices]
+                               ) if indices else np.zeros(0, dtype=np.int64)
+        inverse = np.empty(order.size, dtype=np.int64)
+        inverse[order] = np.arange(order.size, dtype=np.int64)
+        return merged.take(inverse)
+
+
+def concat(shards: list[Relation]) -> Relation:
+    """Concatenate shard relations in shard order (schemas must match).
+
+    Zero-row shards are dropped when any shard has rows: an empty
+    aggregate output synthesizes default (wider) dtypes, and letting it
+    into ``np.concatenate`` would promote the merged columns.
+    """
+    shards = [s for s in shards if s is not None]
+    nonempty = [s for s in shards if s.num_rows > 0]
+    if nonempty:
+        shards = nonempty
+    if not shards:
+        raise ValueError("nothing to concatenate")
+    first = shards[0]
+    if len(shards) == 1:
+        return first
+    cols = {f: np.concatenate([s.column(f) for s in shards])
+            for f in first.fields}
+    return Relation(cols, key=first.key)

@@ -81,6 +81,23 @@ class StreamStallError(FaultError):
     what = "stalled stream command"
 
 
+class DeviceLostError(FaultError):
+    """A simulated device dropped out of the cluster mid-run.
+
+    Unlike the transient faults above, a device loss is not retryable in
+    place: the :class:`repro.cluster.ClusterExecutor` recovers by
+    re-executing the lost device's shards on a surviving device (the top
+    rung of the cluster degradation ladder, docs/CLUSTER.md).  Carries the
+    ``device_id`` that was lost in addition to the fault ``site``.
+    """
+
+    what = "device"
+
+    def __init__(self, site: str, attempts: int = 1, device_id: int = -1):
+        self.device_id = int(device_id)
+        super().__init__(site, attempts)
+
+
 class AnalysisError(ReproError):
     """Raised when static analysis (:mod:`repro.analyze`) finds
     error-severity diagnostics and the caller asked for strict behavior

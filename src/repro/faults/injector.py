@@ -81,6 +81,10 @@ class FaultInjector:
     def oom(self, site: str) -> bool:
         return self.fire(FaultKind.DEVICE_OOM, site)
 
+    def device_loss(self, site: str) -> bool:
+        """Does the device probed at `site` (``device.<k>...``) drop out?"""
+        return self.fire(FaultKind.DEVICE_LOSS, site)
+
     # -- recovery bookkeeping ----------------------------------------------
     def note_retry(self, site: str) -> None:
         self.retries += 1

@@ -38,6 +38,10 @@ class FaultKind(enum.Enum):
     #: host staging (pageable-copy / gather) runs ``host_slowdown_factor``
     #: times slower (OS paging pressure; no failure, just latency)
     HOST_SLOWDOWN = "host_slowdown"
+    #: a whole simulated device drops out of the cluster (XID-style fatal
+    #: error); not retryable in place -- the cluster layer re-executes the
+    #: lost device's shards on a surviving device (docs/CLUSTER.md)
+    DEVICE_LOSS = "device_loss"
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,13 @@ from ..errors import DeviceOOMError
 #: canonical fallback order, most capable first
 DEGRADATION_ORDER = ("fission", "resident", "chunked", "cpubase")
 
+#: the cluster layer's ladder sits one rung above the per-device order: a
+#: device lost mid-run (:class:`repro.errors.DeviceLostError`) has its
+#: shards **re-executed on a surviving device**, and only then does the
+#: per-device ladder above apply on whatever device ends up running the
+#: shard (docs/CLUSTER.md)
+CLUSTER_DEGRADATION_ORDER = ("reexecute_on_survivor",) + DEGRADATION_ORDER
+
 #: per-starting-mode ladders (a mode degrades only rightward; compressed
 #: transfers are an orthogonal entry point that falls back to resident)
 LADDERS: dict[str, tuple[str, ...]] = {

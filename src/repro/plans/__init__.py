@@ -1,5 +1,6 @@
 """Logical query plans, functional interpretation, and pattern detection."""
 
+from .distribute import DistributedPlan, ExchangeSpec, SourceDist, distribute_plan
 from .explain import explain
 from .interp import evaluate, evaluate_sinks
 from .patterns import PatternMatch, find_patterns, pattern_census
@@ -10,4 +11,5 @@ __all__ = [
     "explain", "evaluate", "evaluate_sinks", "PatternMatch", "find_patterns",
     "pattern_census", "FUSION_BARRIER_OPS", "OpType", "Plan", "PlanNode",
     "merge_selects", "optimize_plan", "prune_projects", "reorder_selects",
+    "DistributedPlan", "ExchangeSpec", "SourceDist", "distribute_plan",
 ]

@@ -1,0 +1,500 @@
+"""Plan-level distribution rewrite: one logical plan -> N shard-local plans
+plus a host/exchange suffix.
+
+The rewrite decides, statically and deterministically, how each source is
+laid out across the cluster and which operators can run *shard-local*
+(every shard computes its slice independently) versus *global* (needs data
+from every shard).  The result is a :class:`DistributedPlan`: the original
+plan annotated with a source distribution, the local/global split, the
+**frontier** (the buffers that cross from the shard-local phase into the
+global phase), and how the suffix past the frontier runs:
+
+* ``none``     -- the whole plan is shard-local; the host only merges the
+  per-shard sink outputs;
+* ``exchange`` -- the single frontier buffer is repartitioned device ->
+  host -> device on the suffix's group-by key, and the suffix itself runs
+  shard-local on the re-partitioned data (TPC-H Q1: the wide
+  select+gather intermediate is exchanged on ``(returnflag, linestatus)``
+  so sort/arith/aggregate run per device);
+* ``host``     -- the frontier is gathered to the host and the suffix is
+  evaluated there (TPC-H Q21: only the tiny final count-aggregate + sort
+  remain global).
+
+Layout kinds per source:
+
+* **partitioned** by a key tuple -- equal keys land on the same shard
+  (hash/range of the key value), so key-matching joins stay local;
+* **partitioned** positionally (``key=None``) -- row-aligned with the
+  driver table and split by the same row-index sets (the Q1 column
+  relations, all keyed by the implicit ``rowid``);
+* **replicated** -- small tables copied whole to every shard (build sides
+  of broadcast joins: Q21's supplier/nation).
+
+Everything here is pure plan analysis -- no data moves; the cluster
+executor (:mod:`repro.cluster`) interprets the result for both the timing
+and the functional paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlanError
+from .plan import OpType, Plan, PlanNode
+
+#: sources no bigger than this fraction of the driver are replicated
+REPLICATE_FRACTION = 0.125
+#: below this many estimated frontier bytes an exchange is not worth its
+#: staging round trip and the suffix runs on the host instead
+EXCHANGE_MIN_BYTES = 1 << 20
+
+_JOIN_OPS = (OpType.JOIN, OpType.SEMI_JOIN, OpType.ANTI_JOIN)
+
+#: a distribution is one of
+#:   ("replicated",)          -- identical everywhere
+#:   ("partitioned", key)     -- key: tuple[str, ...] | None (positional)
+#:   None                     -- global (not shard-local)
+Dist = "tuple | None"
+
+
+@dataclass(frozen=True)
+class SourceDist:
+    """How one source table is laid out across the shards."""
+
+    name: str
+    kind: str                        # "partitioned" | "replicated" | "global"
+    key: tuple[str, ...] | None      # partition key; None = positional
+    rows: int
+
+
+@dataclass(frozen=True)
+class ExchangeSpec:
+    """The shuffle the ``exchange`` suffix mode performs."""
+
+    buffer: str                      # frontier node being repartitioned
+    key: tuple[str, ...]             # repartition key (suffix group-by)
+    row_nbytes: int
+    est_rows: int
+
+    @property
+    def est_bytes(self) -> int:
+        return self.est_rows * self.row_nbytes
+
+
+@dataclass(frozen=True)
+class DistributedPlan:
+    """A plan plus its cluster distribution decisions (see module doc)."""
+
+    plan: Plan
+    num_shards: int
+    scheme: str                      # "hash" | "range" | "rr"
+    seed: int
+    driver: str
+    partition_key: tuple[str, ...] | None
+    sources: tuple[SourceDist, ...]
+    local_names: frozenset[str]
+    frontier: tuple[str, ...]        # non-source locals feeding globals
+    suffix_sources: tuple[str, ...]  # sources read directly by the suffix
+    suffix_mode: str                 # "none" | "exchange" | "host"
+    exchange: ExchangeSpec | None
+    driver_shard_rows: tuple[int, ...]
+    notes: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"{self.plan.name}@x{self.num_shards}"
+
+    def node(self, name: str) -> PlanNode:
+        for n in self.plan.nodes:
+            if n.name == name:
+                return n
+        raise PlanError(f"no node {name!r} in plan {self.plan.name!r}")
+
+    def source_dist(self, name: str) -> SourceDist:
+        for s in self.sources:
+            if s.name == name:
+                return s
+        raise PlanError(f"no source {name!r} in plan {self.plan.name!r}")
+
+    @property
+    def global_names(self) -> frozenset[str]:
+        return frozenset(n.name for n in self.plan.nodes
+                         if n.name not in self.local_names)
+
+    def local_sinks(self) -> tuple[str, ...]:
+        """Shard-local nodes that are sinks of the *full* plan (their
+        per-shard outputs are merged directly on the host)."""
+        return tuple(n.name for n in self.plan.sinks()
+                     if n.name in self.local_names
+                     and n.op is not OpType.SOURCE)
+
+    # -- subplan extraction --------------------------------------------
+    def local_plan(self) -> Plan:
+        """The shard-local subplan every shard runs (frontier nodes and
+        local sinks are its sinks)."""
+        byname = {n.name: n for n in self.plan.nodes}
+        needed: set[str] = set(self.frontier) | set(self.local_sinks())
+        stack = list(needed)
+        while stack:
+            node = byname[stack.pop()]
+            for inp in node.inputs:
+                if inp.name not in needed:
+                    needed.add(inp.name)
+                    stack.append(inp.name)
+        sub = Plan(name=f"{self.plan.name}.local")
+        mapped: dict[str, PlanNode] = {}
+        for node in self.plan.topological():
+            if node.name not in needed:
+                continue
+            mapped[node.name] = sub._add(PlanNode(
+                node.op, node.name,
+                [mapped[i.name] for i in node.inputs],
+                params=dict(node.params), selectivity=node.selectivity,
+                out_row_nbytes=node.out_row_nbytes))
+        return sub
+
+    def suffix_plan(self) -> Plan:
+        """The global subplan past the frontier.  Frontier buffers and
+        suffix-read sources become its SOURCE nodes (same names, so the
+        interpreter binds merged frontier relations directly)."""
+        from ..core.opmodels import out_row_nbytes
+        sub = Plan(name=f"{self.plan.name}.suffix")
+        mapped: dict[str, PlanNode] = {}
+        for name in self.frontier:
+            node = self.node(name)
+            mapped[name] = sub.source(name, row_nbytes=out_row_nbytes(node))
+        for name in self.suffix_sources:
+            node = self.node(name)
+            mapped[name] = sub.source(
+                name, row_nbytes=out_row_nbytes(node),
+                n_rows=node.params.get("n_rows"))
+        for node in self.plan.topological():
+            if node.name in self.local_names or node.op is OpType.SOURCE:
+                continue
+            mapped[node.name] = sub._add(PlanNode(
+                node.op, node.name,
+                [mapped[i.name] for i in node.inputs],
+                params=dict(node.params), selectivity=node.selectivity,
+                out_row_nbytes=node.out_row_nbytes))
+        return sub
+
+
+# ---------------------------------------------------------------------------
+# classification
+# ---------------------------------------------------------------------------
+
+def _source_rows(node: PlanNode, source_rows: dict[str, int]) -> int:
+    if node.name in source_rows:
+        return int(source_rows[node.name])
+    if node.params.get("n_rows") is not None:
+        return int(node.params["n_rows"])
+    raise PlanError(f"no row count for source {node.name!r}")
+
+
+def _reaches_through_unary(plan: Plan, src: PlanNode, node: PlanNode) -> bool:
+    """Is `node` derived from `src` through row-preserving unary ops only?"""
+    cur = node
+    while cur.op in (OpType.SELECT, OpType.PROJECT, OpType.ARITH):
+        cur = cur.inputs[0]
+    return cur is src
+
+
+def _joined_on(plan: Plan, src: PlanNode, key: tuple[str, ...]) -> bool:
+    """Does some key-join probe a unary-derived view of `src` on `key`?"""
+    if len(key) != 1:
+        return False
+    for node in plan.nodes:
+        if node.op in _JOIN_OPS and node.params.get("on") == key[0]:
+            if any(_reaches_through_unary(plan, src, inp)
+                   for inp in node.inputs):
+                return True
+    return False
+
+
+def _node_dist(node: PlanNode, ins: list, sort_local: bool = False):
+    """Distribution of a non-source node given its inputs' distributions."""
+    if any(d is None for d in ins):
+        return None
+    if all(d == ("replicated",) for d in ins):
+        return ("replicated",)
+    op = node.op
+    if op in (OpType.SELECT, OpType.PROJECT, OpType.ARITH):
+        return ins[0]
+    if op in _JOIN_OPS:
+        left, right = ins
+        if left[0] != "partitioned":
+            return None                      # replicated probe of a shard
+        if right == ("replicated",):
+            return left                      # broadcast build side
+        lk, rk = left[1], right[1]
+        if node.params.get("gather") and lk is None and rk is None:
+            return ("partitioned", None)     # row-aligned column gather
+        on = node.params.get("on")
+        if on is not None and lk is not None and lk == rk and set(lk) == {on}:
+            return ("partitioned", lk)       # co-partitioned key join
+        return None
+    if op is OpType.PRODUCT:
+        left, right = ins
+        if left[0] == "partitioned" and right == ("replicated",):
+            return left
+        return None
+    if op is OpType.UNION:
+        left, right = ins
+        if left[0] == "partitioned" and left == right and left[1] is not None:
+            return left
+        return None                          # replicated arm would duplicate
+    if op in (OpType.INTERSECTION, OpType.DIFFERENCE):
+        left, right = ins
+        if left[0] != "partitioned":
+            return None
+        if right == ("replicated",):
+            return left
+        # equal tuples share the key, hence the shard
+        if left == right and left[1] is not None:
+            return left
+        return None
+    if op is OpType.AGGREGATE:
+        d = ins[0]
+        if d[0] != "partitioned" or d[1] is None:
+            return None
+        group_by = node.params.get("group_by") or []
+        return d if set(d[1]) <= set(group_by) else None
+    if op is OpType.UNIQUE:
+        d = ins[0]
+        # duplicates share the key, hence the shard (positional splits
+        # scatter duplicates, so those stay global)
+        if d[0] == "partitioned" and d[1] is not None:
+            return d
+        return None
+    if op is OpType.SORT:
+        d = ins[0]
+        if sort_local and d[0] == "partitioned" and d[1] is not None:
+            by = node.params.get("by") or []
+            if set(d[1]) <= set(by):
+                return d                     # whole key-groups per shard
+        return None
+    return None
+
+
+def _classify(plan: Plan, driver: PlanNode, key: tuple[str, ...] | None,
+              source_rows: dict[str, int], replicate_fraction: float):
+    """Per-node distribution map for one candidate partition key."""
+    driver_rows = _source_rows(driver, source_rows)
+    dist: dict[str, object] = {}
+    for src in plan.sources():
+        rows = _source_rows(src, source_rows)
+        if src is driver:
+            dist[src.name] = ("partitioned", key)
+        elif rows <= replicate_fraction * driver_rows:
+            dist[src.name] = ("replicated",)
+        elif key is None and rows == driver_rows:
+            dist[src.name] = ("partitioned", None)
+        elif key is not None and _joined_on(plan, src, key):
+            dist[src.name] = ("partitioned", key)
+        else:
+            dist[src.name] = None
+    forced_global: set[str] = set()
+    while True:
+        for node in plan.topological():
+            if node.op is OpType.SOURCE:
+                continue
+            if node.name in forced_global:
+                dist[node.name] = None
+            else:
+                dist[node.name] = _node_dist(
+                    node, [dist[i.name] for i in node.inputs])
+        # a non-source local feeding both local and global consumers would
+        # not be a sink of the local subplan; demote it (and, via the
+        # re-classification above, its local consumers) to global
+        newly = set()
+        for node in plan.nodes:
+            if node.op is OpType.SOURCE or dist[node.name] is None:
+                continue
+            cons = plan.consumers(node)
+            if (cons and any(dist[c.name] is None for c in cons)
+                    and any(dist[c.name] is not None for c in cons)):
+                newly.add(node.name)
+        if not newly:
+            return dist
+        forced_global |= newly
+
+
+def _candidate_keys(plan: Plan) -> list[tuple[str, ...] | None]:
+    """Partition-key candidates: single join keys and single-column
+    group-bys, deduped in first-appearance order; positional last."""
+    cands: list[tuple[str, ...] | None] = []
+    for node in plan.topological():
+        if (node.op in _JOIN_OPS and node.params.get("on")
+                and not node.params.get("gather")):
+            cands.append((node.params["on"],))
+        if node.op is OpType.AGGREGATE:
+            group_by = node.params.get("group_by") or []
+            if len(group_by) == 1:
+                cands.append(tuple(group_by))
+    seen: set = set()
+    uniq = [c for c in cands if not (c in seen or seen.add(c))]
+    uniq.append(None)
+    return uniq
+
+
+def _even_counts(n_rows: int, num_shards: int) -> tuple[int, ...]:
+    base, extra = divmod(int(n_rows), num_shards)
+    return tuple(base + (1 if i < extra else 0) for i in range(num_shards))
+
+
+# ---------------------------------------------------------------------------
+# the rewrite
+# ---------------------------------------------------------------------------
+
+def distribute_plan(plan: Plan, source_rows: dict[str, int], num_shards: int,
+                    scheme: str = "hash", seed: int = 0,
+                    replicate_fraction: float = REPLICATE_FRACTION,
+                    exchange_min_bytes: int = EXCHANGE_MIN_BYTES
+                    ) -> DistributedPlan:
+    """Distribute `plan` over `num_shards` shards (see module docstring).
+
+    Deterministic: the chosen driver, partition key, local/global split
+    and suffix mode are pure functions of the plan shape, the row counts,
+    and the arguments.
+    """
+    plan.validate()
+    if num_shards < 1:
+        raise PlanError(f"num_shards must be >= 1, got {num_shards}")
+    if scheme not in ("hash", "range", "rr"):
+        raise PlanError(f"unknown partition scheme {scheme!r}")
+    from ..core.opmodels import out_row_nbytes
+    from ..runtime.sizes import estimate_sizes
+
+    sources = plan.sources()
+    if not sources:
+        raise PlanError(f"plan {plan.name!r} has no sources")
+    driver = max(sources,
+                 key=lambda s: _source_rows(s, source_rows) * out_row_nbytes(s))
+
+    best_key: tuple[str, ...] | None = None
+    best_dist: dict | None = None
+    best_score = -1
+    for key in _candidate_keys(plan):
+        dist = _classify(plan, driver, key, source_rows, replicate_fraction)
+        score = sum(1 for n in plan.nodes
+                    if n.op is not OpType.SOURCE and dist[n.name] is not None)
+        if score > best_score:
+            best_key, best_dist, best_score = key, dist, score
+    dist = best_dist or {}
+
+    local_names = frozenset(n for n, d in dist.items() if d is not None)
+    notes: list[str] = []
+    source_dists = []
+    for src in sources:
+        d = dist[src.name]
+        if d is None:
+            kind, skey = "global", None
+            notes.append(f"source {src.name} read whole by the suffix")
+        elif d == ("replicated",):
+            kind, skey = "replicated", None
+        else:
+            kind, skey = "partitioned", d[1]
+        source_dists.append(SourceDist(
+            src.name, kind, skey, _source_rows(src, source_rows)))
+
+    frontier: list[str] = []
+    suffix_sources: list[str] = []
+    for node in plan.topological():
+        if dist[node.name] is None:
+            if node.op is OpType.SOURCE:
+                suffix_sources.append(node.name)
+            continue
+        cons = plan.consumers(node)
+        if not any(dist[c.name] is None for c in cons):
+            continue
+        if node.op is OpType.SOURCE:
+            # the host owns every source; the suffix reads it directly
+            # rather than gathering shard slices back
+            suffix_sources.append(node.name)
+        else:
+            frontier.append(node.name)
+
+    has_global = any(dist[n.name] is None for n in plan.nodes)
+    exchange: ExchangeSpec | None = None
+    if not has_global:
+        suffix_mode = "none"
+    else:
+        suffix_mode = "host"
+        if len(frontier) == 1 and not suffix_sources:
+            fname = frontier[0]
+            fnode = next(n for n in plan.nodes if n.name == fname)
+            exchange = _try_exchange(plan, dist, fnode, source_rows,
+                                     out_row_nbytes, estimate_sizes,
+                                     exchange_min_bytes)
+            if exchange is not None:
+                suffix_mode = "exchange"
+                notes.append(
+                    f"exchange {fname} on {'/'.join(exchange.key)} "
+                    f"(~{exchange.est_bytes >> 20} MiB)")
+
+    return DistributedPlan(
+        plan=plan, num_shards=num_shards, scheme=scheme, seed=seed,
+        driver=driver.name, partition_key=best_key,
+        sources=tuple(source_dists), local_names=local_names,
+        frontier=tuple(frontier), suffix_sources=tuple(suffix_sources),
+        suffix_mode=suffix_mode, exchange=exchange,
+        driver_shard_rows=_even_counts(
+            _source_rows(driver, source_rows), num_shards),
+        notes=tuple(notes))
+
+
+def _try_exchange(plan: Plan, dist: dict, fnode: PlanNode,
+                  source_rows: dict[str, int], out_row_nbytes, estimate_sizes,
+                  exchange_min_bytes: int) -> ExchangeSpec | None:
+    """Can the suffix past `fnode` run shard-local after repartitioning
+    `fnode`'s buffer on the suffix's group-by key?
+
+    Requirements (each guards byte-identity of the merged result, see
+    docs/CLUSTER.md):
+
+    * repartition key = group-by of the first suffix aggregate, so whole
+      groups land on one destination;
+    * every suffix node classifies shard-local under that partitioning
+      (sorts may stay local when the partition key is a prefix-set of the
+      sort key -- groups are then per-shard units);
+    * every suffix sink is an AGGREGATE whose group-by contains the key,
+      so the host merge is a disjoint-group sorted concat (exact);
+    * the buffer is big enough to pay for the staging round trip.
+    """
+    suffix_nodes = [n for n in plan.topological()
+                    if dist[n.name] is None and n.op is not OpType.SOURCE]
+    key: tuple[str, ...] | None = None
+    for node in suffix_nodes:
+        if node.op is OpType.AGGREGATE:
+            group_by = node.params.get("group_by") or []
+            if group_by:
+                key = tuple(group_by)
+            break
+    if key is None:
+        return None
+    sim: dict[str, object] = {fnode.name: ("partitioned", key)}
+    for node in suffix_nodes:
+        ins = []
+        for inp in node.inputs:
+            if inp.name not in sim:
+                return None              # a second external input
+            ins.append(sim[inp.name])
+        d = _node_dist(node, ins, sort_local=True)
+        if d is None:
+            return None
+        sim[node.name] = d
+    for node in plan.sinks():
+        if dist[node.name] is not None:
+            continue
+        if node.op is not OpType.AGGREGATE:
+            return None
+        if not set(key) <= set(node.params.get("group_by") or []):
+            return None
+    est = estimate_sizes(plan, source_rows)
+    row_bytes = out_row_nbytes(fnode)
+    est_rows = int(est.get(fnode.name, 0))
+    if est_rows * row_bytes < exchange_min_bytes:
+        return None
+    return ExchangeSpec(buffer=fnode.name, key=key, row_nbytes=row_bytes,
+                        est_rows=est_rows)

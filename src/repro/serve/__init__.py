@@ -27,7 +27,7 @@ from .arrivals import (
     catalog_plan,
     catalog_rows,
 )
-from .metrics import LatencyStats, ServeMetrics
+from .metrics import DeviceLaneStats, LatencyStats, ServeMetrics
 from .queue import BoundedPriorityQueue
 from .scheduler import BatchScheduler, batch_key, request_footprint
 from .server import QueryServer, ServeConfig, ServeResult
@@ -36,7 +36,7 @@ __all__ = [
     "AdmissionController", "AdmissionDecision",
     "ArrivalProcess", "QueryRequest", "TenantSpec",
     "DEFAULT_TENANTS", "QUERY_KINDS", "catalog_plan", "catalog_rows",
-    "LatencyStats", "ServeMetrics",
+    "DeviceLaneStats", "LatencyStats", "ServeMetrics",
     "BoundedPriorityQueue",
     "BatchScheduler", "batch_key", "request_footprint",
     "QueryServer", "ServeConfig", "ServeResult",

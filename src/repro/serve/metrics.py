@@ -53,6 +53,18 @@ class LatencyStats:
 
 
 @dataclass
+class DeviceLaneStats:
+    """Per-device counters of a multi-device serve run."""
+
+    batches: int = 0
+    queries: int = 0
+    busy_s: float = 0.0
+    #: estimated working-set bytes dispatched to this device (the routing
+    #: signal: new batches go to the lane with the least outstanding)
+    dispatched_bytes: float = 0.0
+
+
+@dataclass
 class ServeMetrics:
     """Counters and latency series for one serve run."""
 
@@ -84,6 +96,8 @@ class ServeMetrics:
     latency: LatencyStats = field(default_factory=LatencyStats)
     per_tenant: dict[str, LatencyStats] = field(default_factory=dict)
     batch_sizes: list[int] = field(default_factory=list)
+    #: per-device lanes; empty for single-device runs
+    per_device: dict[int, DeviceLaneStats] = field(default_factory=dict)
 
     # -- recording ---------------------------------------------------------
     def record_completion(self, tenant: str, latency_s: float,
@@ -165,6 +179,15 @@ class ServeMetrics:
                 stats.percentile(50) * 1e3, 6)
             out[f"tenant.{tenant}.p99_ms"] = round(
                 stats.percentile(99) * 1e3, 6)
+        for dev in sorted(self.per_device):
+            lane = self.per_device[dev]
+            out[f"device.{dev}.batches"] = lane.batches
+            out[f"device.{dev}.queries"] = lane.queries
+            out[f"device.{dev}.busy_s"] = round(lane.busy_s, 9)
+            out[f"device.{dev}.dispatched_bytes"] = round(
+                lane.dispatched_bytes, 3)
+            out[f"device.{dev}.utilization"] = round(
+                lane.busy_s / self.served_s if self.served_s > 0 else 0.0, 6)
         return out
 
     def render(self) -> str:

@@ -19,6 +19,16 @@ budget poisons only its batch: the Stream Pool is reset and the batch
 re-dispatched query-by-query through the Executor's PR-2 degradation
 ladder (whose last rung, the host baseline, cannot fault), so the server
 never dies -- the batch just runs degraded and the metrics say so.
+
+Multi-device serving (``devices > 1``): the admission queue and batch
+scheduler stay shared, but each formed batch is routed to the device lane
+with the **least outstanding dispatched bytes** (ties to the lowest
+device id).  Lanes run on :func:`~repro.cluster.host.contended_device`
+specs -- same shared-host staging model as the cluster executor -- each
+with its own WorkloadScheduler and Stream Pool, and completions are drained
+from a time-ordered in-flight heap, so lanes genuinely overlap in
+simulated time.  Per-lane counters land in ``ServeMetrics.per_device``
+(``device.<i>.*`` summary keys).
 """
 
 from __future__ import annotations
@@ -35,7 +45,7 @@ from ..simgpu.timeline import Timeline
 from ..streampool import StreamPool
 from .admission import AdmissionController, AdmissionDecision
 from .arrivals import ArrivalProcess, QueryRequest
-from .metrics import ServeMetrics
+from .metrics import DeviceLaneStats, ServeMetrics
 from .queue import BoundedPriorityQueue
 from .scheduler import BatchScheduler
 
@@ -65,10 +75,14 @@ class ServeConfig:
     analyze: bool = False
     #: chaos plan; batch ``k`` runs under ``faults.reseeded(k)``
     faults: FaultPlan | None = None
+    #: device lanes sharing one host (1 = the classic serial server)
+    devices: int = 1
 
     def __post_init__(self):
         if self.mode not in ("batched", "isolated"):
             raise ValueError(f"unknown serve mode {self.mode!r}")
+        if self.devices < 1:
+            raise ValueError(f"devices must be >= 1, got {self.devices}")
 
 
 @dataclass
@@ -95,6 +109,9 @@ class ServeResult:
     records: list[RequestRecord]
     #: (dispatch time, batch timeline) per dispatch, for tracing
     segments: list[tuple[float, Timeline]] = field(default_factory=list)
+    #: device lane of each segment (parallel to ``segments``; all zeros
+    #: for single-device runs)
+    segment_devices: list[int] = field(default_factory=list)
 
     def merged_timeline(self) -> Timeline:
         """All batch timelines on one clock (for the trace exporter)."""
@@ -102,6 +119,16 @@ class ServeResult:
         for t0, tl in self.segments:
             merged.extend(tl, offset=t0)
         return merged
+
+    def device_timelines(self) -> dict[int, Timeline]:
+        """Per-lane merged timelines on the shared clock (one trace lane
+        group per device, like the cluster executor's)."""
+        devs = self.segment_devices or [0] * len(self.segments)
+        out: dict[int, Timeline] = {
+            d: Timeline() for d in range(self.config.devices)}
+        for dev, (t0, tl) in zip(devs, self.segments):
+            out[dev].extend(tl, offset=t0)
+        return out
 
 
 class QueryServer:
@@ -111,9 +138,16 @@ class QueryServer:
                  config: ServeConfig = ServeConfig()):
         self.device = device or DeviceSpec()
         self.config = config
-        self._wsched = WorkloadScheduler(self.device, check=config.check,
-                                         analyze=config.analyze)
-        self._pool: StreamPool | None = None
+        if config.devices > 1:
+            from ..cluster.host import contended_device
+            self.lane_device = contended_device(self.device, config.devices)
+        else:
+            self.lane_device = self.device
+        self._wscheds = [
+            WorkloadScheduler(self.lane_device, check=config.check,
+                              analyze=config.analyze)
+            for _ in range(config.devices)]
+        self._pools: list[StreamPool | None] = [None] * config.devices
 
     # ------------------------------------------------------------------
     def run(self, trace: list[QueryRequest] | None = None,
@@ -130,6 +164,8 @@ class QueryServer:
                 raise ValueError("need a trace or an ArrivalProcess")
             trace = arrivals.trace()
         cfg = self.config
+        if cfg.devices > 1:
+            return self._run_multi(trace, arrivals)
         #: min-heap of not-yet-arrived requests (closed-loop feedback
         #: inserts into the future)
         pending: list[tuple[float, int, QueryRequest]] = [
@@ -205,17 +241,153 @@ class QueryServer:
         metrics.served_s = now
         metrics.check_finite()
         return ServeResult(config=cfg, metrics=metrics, records=records,
-                           segments=segments)
+                           segments=segments,
+                           segment_devices=[0] * len(segments))
 
     # ------------------------------------------------------------------
-    def _dispatch(self, batch: list[QueryRequest], batch_idx: int
-                  ) -> tuple[float, Timeline, bool, int, int]:
-        """Run one batch; returns (makespan, timeline, degraded, faults,
-        analysis warnings)."""
+    def _run_multi(self, trace: list[QueryRequest],
+                   arrivals: ArrivalProcess | None) -> ServeResult:
+        """The ``devices > 1`` loop: shared admission and batching,
+        least-outstanding-bytes routing, overlapping lane completions."""
+        from .scheduler import request_footprint
+
+        cfg = self.config
+        pending: list[tuple[float, int, QueryRequest]] = [
+            (r.arrival_s, r.req_id, r) for r in trace]
+        heapq.heapify(pending)
+        queue = BoundedPriorityQueue(cfg.queue_capacity)
+        admission = AdmissionController(queue, slack=cfg.backpressure_slack)
+        scheduler = BatchScheduler(
+            self.lane_device, max_batch=cfg.max_batch,
+            memory_safety=cfg.memory_safety, batching=cfg.mode == "batched")
+        metrics = ServeMetrics()
+        for dev in range(cfg.devices):
+            metrics.per_device[dev] = DeviceLaneStats()
+        records: list[RequestRecord] = []
+        segments: list[tuple[float, Timeline]] = []
+        segment_devices: list[int] = []
+
+        def respond(req: QueryRequest, t: float) -> None:
+            if arrivals is None:
+                return
+            nxt = arrivals.on_completion(req, t)
+            if nxt is not None:
+                heapq.heappush(pending, (nxt.arrival_s, nxt.req_id, nxt))
+
+        #: lane bookkeeping: when each device frees up, and how many
+        #: estimated batch bytes it still has in flight (routing signal)
+        busy_until = {dev: 0.0 for dev in range(cfg.devices)}
+        outstanding = {dev: 0.0 for dev in range(cfg.devices)}
+        #: min-heap of running batches: (t_end, seq, dev, batch, bytes)
+        inflight: list[tuple[float, int, int, list[QueryRequest], float]] = []
+
+        now = 0.0
+        batch_idx = 0
+        seq = 0
+        last_end = 0.0
+        while pending or len(queue) or inflight:
+            while pending and pending[0][0] <= now:
+                req = heapq.heappop(pending)[2]
+                metrics.offered += 1
+                decision = admission.offer(req, req.arrival_s)
+                if decision is AdmissionDecision.ADMITTED:
+                    metrics.admitted += 1
+                elif decision is AdmissionDecision.SHED_QUEUE_FULL:
+                    metrics.shed_queue_full += 1
+                    records.append(RequestRecord(req, "shed_queue_full"))
+                    respond(req, req.arrival_s)
+                else:
+                    metrics.shed_backpressure += 1
+                    records.append(RequestRecord(req, "shed_backpressure"))
+                    respond(req, req.arrival_s)
+            while inflight and inflight[0][0] <= now:
+                t_end, _, dev, batch, nbytes = heapq.heappop(inflight)
+                outstanding[dev] -= nbytes
+                last_end = max(last_end, t_end)
+                for req in batch:
+                    ok = t_end <= req.deadline_s
+                    metrics.record_completion(
+                        req.tenant, t_end - req.arrival_s, ok)
+                    records.append(RequestRecord(
+                        req, "completed" if ok else "missed_deadline",
+                        t_end))
+                    respond(req, t_end)
+            for req in queue.drop_expired(now):
+                metrics.shed_expired += 1
+                records.append(RequestRecord(req, "shed_expired"))
+                respond(req, now)
+
+            progressed = False
+            idle = [dev for dev in range(cfg.devices)
+                    if busy_until[dev] <= now]
+            while idle and len(queue):
+                batch = scheduler.next_batch(queue, now)
+                if not batch:
+                    break
+                # least outstanding bytes wins the batch; ties go to the
+                # lowest device id
+                dev = min(idle, key=lambda d: (outstanding[d], d))
+                idle.remove(dev)
+                makespan, timeline, degraded, faults_seen, warnings = \
+                    self._dispatch(batch, batch_idx, lane=dev)
+                segments.append((now, timeline))
+                segment_devices.append(dev)
+                nbytes = sum(request_footprint(r) for r in batch)
+                metrics.batches += 1
+                metrics.batch_sizes.append(len(batch))
+                metrics.busy_s += makespan
+                metrics.degraded_batches += int(degraded)
+                metrics.faults_observed += faults_seen
+                metrics.analysis_warnings += warnings
+                lane = metrics.per_device[dev]
+                lane.batches += 1
+                lane.queries += len(batch)
+                lane.busy_s += makespan
+                lane.dispatched_bytes += nbytes
+                # the estimator sees per-query service time as before;
+                # with N lanes the backlog drains N-wide, so the wait a
+                # queued query faces shrinks accordingly
+                admission.note_service(
+                    len(batch) * cfg.devices, makespan)
+                t_end = now + makespan
+                busy_until[dev] = t_end
+                outstanding[dev] += nbytes
+                heapq.heappush(inflight, (t_end, seq, dev, batch, nbytes))
+                seq += 1
+                batch_idx += 1
+                progressed = True
+            if progressed:
+                continue
+
+            horizons = []
+            if pending:
+                horizons.append(pending[0][0])
+            if inflight:
+                horizons.append(inflight[0][0])
+            if len(queue):
+                # queued work but every lane busy: wait for the first
+                # completion (inflight must be non-empty here)
+                horizons = [h for h in horizons if h > now] or horizons
+            if not horizons:
+                break  # pragma: no cover - loop guard implies an event
+            now = max(now, min(horizons))
+
+        metrics.served_s = last_end if metrics.completed else now
+        metrics.check_finite()
+        return ServeResult(config=cfg, metrics=metrics, records=records,
+                           segments=segments,
+                           segment_devices=segment_devices)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, batch: list[QueryRequest], batch_idx: int,
+                  lane: int = 0) -> tuple[float, Timeline, bool, int, int]:
+        """Run one batch on device lane `lane`; returns (makespan,
+        timeline, degraded, faults, analysis warnings)."""
         cfg = self.config
         fault_plan = (cfg.faults.reseeded(batch_idx)
                       if cfg.faults is not None else None)
-        self._wsched.faults = fault_plan
+        wsched = self._wscheds[lane]
+        wsched.faults = fault_plan
         plans = [r.plan() for r in batch]
         warnings = 0
         if cfg.analyze:
@@ -223,7 +395,7 @@ class QueryServer:
             # (the batched path additionally race-checks its stream program
             # inside run_batched_streams)
             from ..analyze import Analyzer
-            report = Analyzer(self.device).run_all(plans)
+            report = Analyzer(self.lane_device).run_all(plans)
             report.raise_if_errors()
             warnings = len(report.warnings)
         workload = QueryWorkload(plans=plans)
@@ -233,20 +405,20 @@ class QueryServer:
                 rows[name] = max(rows.get(name, 0), n)
         try:
             if cfg.mode == "batched":
-                if self._pool is None:
-                    self._pool = StreamPool(
-                        self.device, num_streams=1 + cfg.max_streams,
-                        engine=self._wsched._engine())
+                if self._pools[lane] is None:
+                    self._pools[lane] = StreamPool(
+                        self.lane_device, num_streams=1 + cfg.max_streams,
+                        engine=wsched._engine())
                 else:
-                    self._pool.reset()
-                result = self._wsched.run_batched_streams(
-                    workload, rows, pool=self._pool,
+                    self._pools[lane].reset()
+                result = wsched.run_batched_streams(
+                    workload, rows, pool=self._pools[lane],
                     max_streams=cfg.max_streams)
             else:
-                result = self._wsched.run_isolated(workload, rows)
+                result = wsched.run_isolated(workload, rows)
         except FaultError:
-            if self._pool is not None:
-                self._pool.reset()
+            if self._pools[lane] is not None:
+                self._pools[lane].reset()
             return self._dispatch_degraded(batch, fault_plan, warnings)
         faults_seen = sum(
             1 for ev in result.timeline.events if ev.tag.startswith("fault."))
@@ -261,7 +433,7 @@ class QueryServer:
         timeline = Timeline()
         faults_seen = 0
         for req in batch:
-            ex = Executor(self.device, check=self.config.check,
+            ex = Executor(self.lane_device, check=self.config.check,
                           faults=fault_plan, degrade=True)
             r = ex.run(req.plan(), req.source_rows())
             timeline.extend(r.timeline, offset=timeline.end_time)

@@ -29,7 +29,8 @@ from .engine import (
 from .memory import DeviceMemory
 from .pcie import Direction, HostMemory, PcieModel
 from .stats import UtilizationReport, analyze, describe as describe_utilization
-from .trace import to_chrome_trace, write_chrome_trace
+from .trace import (cluster_chrome_trace, to_chrome_trace,
+                    write_chrome_trace, write_cluster_trace)
 from .timeline import EventKind, Timeline, TimelineEvent
 
 __all__ = [
@@ -43,4 +44,5 @@ __all__ = [
     "HostMemory", "PcieModel", "EventKind", "Timeline", "TimelineEvent",
     "UtilizationReport", "analyze", "describe_utilization",
     "to_chrome_trace", "write_chrome_trace",
+    "cluster_chrome_trace", "write_cluster_trace",
 ]

@@ -15,10 +15,16 @@ class Occupancy:
     ctas_per_sm: int
     resident_threads: int
     limited_by: str
+    #: the SM's resident-thread ceiling (from the device that resolved this);
+    #: 0 when unknown, which pins the fraction to 0.0
+    max_threads_per_sm: int = 0
 
     @property
     def occupancy_fraction(self) -> float:
-        return self.resident_threads and 1.0  # overridden below
+        """Resident threads as a fraction of the SM's thread ceiling."""
+        if self.max_threads_per_sm <= 0:
+            return 0.0
+        return min(1.0, self.resident_threads / self.max_threads_per_sm)
 
 
 @dataclass(frozen=True)
@@ -97,6 +103,7 @@ class DeviceSpec:
             ctas_per_sm=ctas,
             resident_threads=ctas * threads_per_cta,
             limited_by=limiter,
+            max_threads_per_sm=g.max_threads_per_sm,
         )
 
     # -- utilization -------------------------------------------------------

@@ -40,16 +40,9 @@ def _row(ev) -> tuple[int, str]:
     return _ENGINE_ROWS[ev.kind]
 
 
-def to_chrome_trace(timeline: Timeline, process_name: str = "simgpu",
-                    analysis: dict | None = None) -> dict:
-    """The trace as a JSON-serializable dict (``traceEvents`` format).
-
-    `analysis`, when given, is attached verbatim as a top-level
-    ``analysis`` metadata section -- the executor's static pre-flight
-    summary (:meth:`repro.analyze.diagnostics.AnalysisReport.summary`),
-    so a trace records what the analyzer said about the schedule it
-    shows.  Perfetto ignores unknown top-level keys.
-    """
+def _trace_events(timeline: Timeline, process_name: str,
+                  pid: int) -> list[dict]:
+    """All trace events of one timeline as one process (lane group)."""
     complete: list[dict] = []
     rows: dict[int, str] = {}
     for ev in sorted(timeline.events, key=lambda e: (e.start, e.end, e.tag)):
@@ -65,7 +58,7 @@ def to_chrome_trace(timeline: Timeline, process_name: str = "simgpu",
             "name": ev.tag,
             "cat": ev.kind.value + (",fault" if is_fault else ""),
             "ph": "X",                      # complete event
-            "pid": 1,
+            "pid": pid,
             "tid": tid,
             "ts": ev.start * 1e6,           # microseconds
             "dur": max(ev.duration * 1e6, 0.001),
@@ -73,20 +66,56 @@ def to_chrome_trace(timeline: Timeline, process_name: str = "simgpu",
         })
 
     events: list[dict] = [{
-        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
         "args": {"name": process_name},
+    }, {
+        # keep processes in the order the caller supplied them
+        "name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"sort_index": pid},
     }]
     for tid in sorted(rows):
         events.append({
-            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
             "args": {"name": rows[tid]},
         })
         # keep lanes in engine/stream order regardless of first-event time
         events.append({
-            "name": "thread_sort_index", "ph": "M", "pid": 1, "tid": tid,
+            "name": "thread_sort_index", "ph": "M", "pid": pid, "tid": tid,
             "args": {"sort_index": tid},
         })
     events.extend(complete)
+    return events
+
+
+def to_chrome_trace(timeline: Timeline, process_name: str = "simgpu",
+                    analysis: dict | None = None, pid: int = 1) -> dict:
+    """The trace as a JSON-serializable dict (``traceEvents`` format).
+
+    `analysis`, when given, is attached verbatim as a top-level
+    ``analysis`` metadata section -- the executor's static pre-flight
+    summary (:meth:`repro.analyze.diagnostics.AnalysisReport.summary`),
+    so a trace records what the analyzer said about the schedule it
+    shows.  Perfetto ignores unknown top-level keys.
+    """
+    trace: dict = {"traceEvents": _trace_events(timeline, process_name, pid),
+                   "displayTimeUnit": "ms"}
+    if analysis is not None:
+        trace["analysis"] = analysis
+    return trace
+
+
+def cluster_chrome_trace(timelines: list[tuple[str, Timeline]],
+                         analysis: dict | None = None) -> dict:
+    """One trace from several (name, timeline) lanes on a shared clock.
+
+    Each timeline becomes its own trace *process* (lane group) -- one per
+    simulated device plus one for the cluster host -- so an N-device run
+    renders as N+1 stacked engine/stream groups in Perfetto.  Callers
+    pass lanes in display order (host first or last, their choice).
+    """
+    events: list[dict] = []
+    for pid, (name, timeline) in enumerate(timelines, start=1):
+        events.extend(_trace_events(timeline, name, pid))
     trace: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
     if analysis is not None:
         trace["analysis"] = analysis
@@ -99,3 +128,10 @@ def write_chrome_trace(timeline: Timeline, path: str,
     """Write the trace JSON to `path` (open in chrome://tracing)."""
     with open(path, "w") as f:
         json.dump(to_chrome_trace(timeline, process_name, analysis=analysis), f)
+
+
+def write_cluster_trace(timelines: list[tuple[str, Timeline]], path: str,
+                        analysis: dict | None = None) -> None:
+    """Write a multi-lane cluster trace JSON to `path`."""
+    with open(path, "w") as f:
+        json.dump(cluster_chrome_trace(timelines, analysis=analysis), f)

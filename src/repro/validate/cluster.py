@@ -1,0 +1,170 @@
+"""Cluster-level schedule validation (docs/CLUSTER.md).
+
+Extends the single-device sanitizer to a
+:class:`~repro.cluster.executor.ClusterRunResult`:
+
+* every device lane and the host lane must individually satisfy the
+  single-device invariants (:func:`repro.validate.sanitizer
+  .validate_timeline`) -- devices have private engines, so lanes are
+  audited separately, never merged;
+* **cross-device transfer conservation**: in exchange mode the bytes the
+  local phase downloaded as frontier output must match the bytes the host
+  shuffled, which must match the bytes the suffix phase re-uploaded
+  (device -> host -> device, nothing created or lost in the shuffle);
+* the host lane must carry the events the executor claims (one
+  ``cluster.exchange`` per exchange, exactly one ``cluster.merge``), with
+  matching byte counts;
+* every lost device must carry its ``fault.device_loss.*`` marker and no
+  local-phase work, and every shard must have run exactly once;
+* the reported makespan must equal the latest lane end.
+
+Tolerance: per-shard row counts come from ``estimate_sizes`` on the
+shard's slice, so selectivity chains round independently per shard --
+conservation is checked to a relative slack plus an absolute floor of a
+couple of rows per shard.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..simgpu.device import DeviceSpec
+from .sanitizer import TIME_EPS, ValidationReport, Violation
+
+#: absolute conservation slack, in *rows* per shard (each shard's
+#: estimate chain rounds independently)
+ROW_SLACK_PER_SHARD = 2.0
+#: cross-device conservation is looser than one timeline's bookkeeping:
+#: shards see different selectivities than the unsharded estimate
+CLUSTER_BYTE_REL_TOL = 1e-2
+
+
+def _bytes_close(a: float, b: float, abs_tol: float,
+                 rel: float = CLUSTER_BYTE_REL_TOL) -> bool:
+    return abs(a - b) <= abs_tol + rel * max(abs(a), abs(b))
+
+
+def _conservation_abs_tol(result: Any) -> float:
+    row_nbytes = 1.0
+    ex = result.dist.exchange
+    if ex is not None:
+        row_nbytes = max(row_nbytes, float(ex.row_nbytes))
+    return ROW_SLACK_PER_SHARD * row_nbytes * result.config.num_devices
+
+
+def _check_lanes(result: Any, device: DeviceSpec | None,
+                 report: ValidationReport, time_eps: float) -> None:
+    from .sanitizer import validate_timeline
+    for dev_id in sorted(result.device_timelines):
+        sub = validate_timeline(result.device_timelines[dev_id], device,
+                                time_eps)
+        for v in sub.violations:
+            report.violations.append(Violation(
+                v.rule, f"device {dev_id}: {v.message}", v.events))
+        report.num_events += sub.num_events
+    sub = validate_timeline(result.host_timeline, None, time_eps)
+    for v in sub.violations:
+        report.violations.append(Violation(
+            v.rule, f"host: {v.message}", v.events))
+    report.num_events += sub.num_events
+
+
+def _check_exchange_conservation(result: Any,
+                                 report: ValidationReport) -> None:
+    if result.dist.suffix_mode != "exchange":
+        return
+    abs_tol = _conservation_abs_tol(result)
+    out_b, in_b = result.exchange_out_bytes, result.exchange_in_bytes
+    if not _bytes_close(out_b, in_b, abs_tol):
+        report.violations.append(Violation(
+            "exchange-conservation",
+            f"local phase staged out {out_b:.0f} B but the suffix phase "
+            f"re-uploaded {in_b:.0f} B (tol {abs_tol:.0f} B)"))
+    shuffled = sum(e.nbytes for e in result.host_timeline.events
+                   if e.tag == "cluster.exchange")
+    if not _bytes_close(out_b, shuffled, abs_tol):
+        report.violations.append(Violation(
+            "exchange-conservation",
+            f"host shuffled {shuffled:.0f} B but local outputs total "
+            f"{out_b:.0f} B"))
+
+
+def _check_host_lane(result: Any, report: ValidationReport) -> None:
+    tags = [e.tag for e in result.host_timeline.events]
+    n_exchange = tags.count("cluster.exchange")
+    want_exchange = 1 if result.dist.suffix_mode == "exchange" else 0
+    if n_exchange != want_exchange:
+        report.violations.append(Violation(
+            "host-lane",
+            f"expected {want_exchange} cluster.exchange event(s), "
+            f"found {n_exchange}"))
+    n_merge = tags.count("cluster.merge")
+    if n_merge != 1:
+        report.violations.append(Violation(
+            "host-lane",
+            f"expected exactly one cluster.merge event, found {n_merge}"))
+
+
+def _check_losses_and_coverage(result: Any,
+                               report: ValidationReport) -> None:
+    num = result.config.num_devices
+    for dev_id in result.lost_devices:
+        tl = result.device_timelines[dev_id]
+        markers = [e for e in tl.events
+                   if e.tag.startswith("fault.device_loss.")]
+        if not markers:
+            report.violations.append(Violation(
+                "device-loss",
+                f"device {dev_id} reported lost but carries no "
+                f"fault.device_loss marker"))
+    early_lost = {
+        d for d in result.lost_devices
+        if any(e.tag == f"fault.device_loss.device.{d}"
+               for e in result.device_timelines[d].events)}
+    for run in result.shard_runs:
+        if run.phase == "local" and run.device in early_lost:
+            report.violations.append(Violation(
+                "device-loss",
+                f"shard {run.shard} ran locally on device {run.device}, "
+                f"which was lost before the local phase"))
+    local = [r for r in result.shard_runs if r.phase == "local"]
+    if local:
+        seen = sorted(r.shard for r in local)
+        if seen != list(range(num)):
+            report.violations.append(Violation(
+                "shard-coverage",
+                f"local phase ran shards {seen}, expected exactly "
+                f"0..{num - 1} once each"))
+
+
+def _check_makespan(result: Any, report: ValidationReport,
+                    time_eps: float) -> None:
+    ends = [tl.end_time for tl in result.device_timelines.values()]
+    ends.append(result.host_timeline.end_time)
+    want = max(ends)
+    if abs(result.makespan - want) > time_eps:
+        report.violations.append(Violation(
+            "makespan",
+            f"reported makespan {result.makespan:.6g} != latest lane end "
+            f"{want:.6g}"))
+
+
+def validate_cluster(result: Any, device: DeviceSpec | None = None,
+                     time_eps: float = TIME_EPS) -> ValidationReport:
+    """Audit a :class:`~repro.cluster.executor.ClusterRunResult`.
+
+    `device` should be the *contended* per-slot DeviceSpec (what each lane
+    actually ran on); it enables the SM-capacity check per lane.  `result`
+    is duck-typed so this module does not import the cluster package.
+    """
+    report = ValidationReport()
+    _check_lanes(result, device, report, time_eps)
+    _check_exchange_conservation(result, report)
+    _check_host_lane(result, report)
+    _check_losses_and_coverage(result, report)
+    _check_makespan(result, report, time_eps)
+    return report
+
+
+__all__ = ["validate_cluster", "CLUSTER_BYTE_REL_TOL",
+           "ROW_SLACK_PER_SHARD"]

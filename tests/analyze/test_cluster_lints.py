@@ -1,0 +1,130 @@
+"""CLU4xx cluster lints: the rewrite's own output is clean, each code
+fires on the hand-assembled distribution it guards against, and CLU
+findings ride the baseline/suppression machinery like every other
+family."""
+
+import dataclasses
+
+import pytest
+
+from repro.analyze import (
+    Analyzer,
+    Baseline,
+    ClusterLintPass,
+    Severity,
+    baseline_from_findings,
+    write_baseline,
+)
+from repro.plans.distribute import distribute_plan
+from repro.tpch import (
+    build_q1_plan,
+    build_q21_plan,
+    q1_source_rows,
+    q21_source_rows,
+)
+
+N = 2_000_000
+
+
+@pytest.fixture(scope="module")
+def q1d():
+    return distribute_plan(build_q1_plan(), q1_source_rows(N), 4)
+
+
+@pytest.fixture(scope="module")
+def q21d():
+    rows = q21_source_rows(N, N // 4, max(1, N // 600))
+    return distribute_plan(build_q21_plan(), rows, 4)
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+def force_supplier(dist, **changes):
+    srcs = tuple(dataclasses.replace(s, **changes)
+                 if s.name == "supplier" else s for s in dist.sources)
+    return dataclasses.replace(dist, sources=srcs)
+
+
+class TestCleanDistributions:
+    def test_rewrite_output_is_lint_clean(self, q1d, q21d):
+        assert codes(Analyzer().run(q1d)) == []
+        assert codes(Analyzer().run(q21d)) == []
+
+    def test_dispatch_runs_plan_lints_too(self, q21d):
+        report = Analyzer().run(q21d)
+        assert "cluster-lints" in report.summary()["passes"]
+        assert "plan-lints" in report.summary()["passes"]
+
+
+class TestCodesFire:
+    def test_clu401_non_co_partitioned_build(self, q21d):
+        # supplier declared partitioned on suppkey: every join that
+        # builds from it now drops cross-shard matches
+        bad = force_supplier(q21d, kind="partitioned", key=("suppkey",))
+        report = Analyzer().run(bad)
+        assert "CLU401" in codes(report)
+        assert all(d.severity is Severity.ERROR for d in report.diagnostics
+                   if d.code == "CLU401")
+        assert not report.ok
+
+    def test_clu402_skewed_shards(self, q21d):
+        skewed = dataclasses.replace(
+            q21d, driver_shard_rows=(1_700_000, 100_000, 100_000, 100_000))
+        report = Analyzer().run(skewed)
+        assert codes(report) == ["CLU402"]
+        assert report.ok  # warning, not error
+
+    def test_clu403_redundant_exchange(self, q1d):
+        redundant = dataclasses.replace(
+            q1d, partition_key=("returnflag", "linestatus"))
+        assert codes(Analyzer().run(redundant)) == ["CLU403"]
+
+    def test_clu404_oversized_replica(self, q21d):
+        big = force_supplier(q21d, rows=10**9)
+        assert codes(Analyzer().run(big)) == ["CLU404"]
+
+    def test_clu405_single_shard(self):
+        rows = q21_source_rows(N, N // 4, max(1, N // 600))
+        one = distribute_plan(build_q21_plan(), rows, 1)
+        report = Analyzer().run(one)
+        assert codes(report) == ["CLU405"]
+        (diag,) = report.diagnostics
+        assert diag.severity is Severity.INFO
+
+
+class TestBaselineRoundTrip:
+    def test_clu_findings_suppress_and_reload(self, q21d, tmp_path):
+        bad = force_supplier(q21d, kind="partitioned", key=("suppkey",))
+        report = Analyzer().run(bad)
+        assert not report.ok
+        path = str(tmp_path / "baseline.txt")
+        write_baseline(path, report.diagnostics)
+        suppressed = Analyzer(baseline=Baseline.load(path)).run(bad)
+        assert suppressed.ok
+        assert not suppressed.diagnostics
+        assert len(suppressed.suppressed) == len(report.diagnostics)
+
+    def test_baseline_from_findings_matches_clu(self, q21d):
+        bad = force_supplier(q21d, rows=10**9)
+        (diag,) = Analyzer().run(bad).diagnostics
+        assert baseline_from_findings([diag]).matches(diag)
+
+    def test_strict_raises_on_clu_errors(self, q21d):
+        from repro.errors import AnalysisError
+        bad = force_supplier(q21d, kind="partitioned", key=("suppkey",))
+        with pytest.raises(AnalysisError):
+            Analyzer().run(bad, strict=True)
+
+
+class TestPassMetadata:
+    def test_registered_codes(self):
+        assert ClusterLintPass.codes == (
+            "CLU401", "CLU402", "CLU403", "CLU404", "CLU405")
+
+    def test_locations_use_distributed_name(self, q21d):
+        skewed = dataclasses.replace(
+            q21d, driver_shard_rows=(1_700_000, 100_000, 100_000, 100_000))
+        (diag,) = Analyzer().run(skewed).diagnostics
+        assert str(diag.location).startswith(q21d.name)

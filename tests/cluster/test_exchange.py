@@ -1,0 +1,98 @@
+"""The exchange operator's byte-identity invariants: whole key-groups per
+destination, original row order restored through the shuffle, and the
+group-sorted merge reproducing the single-device aggregate order."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    Partitioner,
+    PartitionScheme,
+    merge_concat,
+    merge_group_sorted,
+    repartition,
+)
+from repro.ra import Relation
+from repro.ra.rows import pack_rows
+
+
+def buffer_rel(keys, with_rowid=True):
+    keys = np.asarray(keys, dtype=np.int64)
+    cols = {"g": keys, "x": keys * 3 + 1}
+    if with_rowid:
+        cols["rowid"] = np.arange(keys.size, dtype=np.int64)
+    return Relation(cols, key="g")
+
+
+keys_st = st.lists(st.integers(min_value=0, max_value=50),
+                   min_size=1, max_size=200)
+
+
+class TestRepartition:
+    @settings(max_examples=40, deadline=None)
+    @given(keys=keys_st, num_dest=st.integers(min_value=1, max_value=6),
+           seed=st.integers(min_value=0, max_value=100))
+    def test_whole_key_groups_per_destination(self, keys, num_dest, seed):
+        parts = repartition([buffer_rel(keys)], ("g",), num_dest, seed)
+        owner = {}
+        for dest, part in enumerate(parts):
+            for key in part.column("g").tolist():
+                assert owner.setdefault(key, dest) == dest
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=keys_st, num_dest=st.integers(min_value=1, max_value=6))
+    def test_conserves_rows_exactly(self, keys, num_dest):
+        rel = buffer_rel(keys)
+        parts = repartition([rel], ("g",), num_dest)
+        assert sum(p.num_rows for p in parts) == rel.num_rows
+        merged = merge_concat(parts)
+        for f in rel.fields:
+            assert np.array_equal(merged.column(f), rel.column(f)), f
+
+    def test_destination_rows_keep_original_order(self):
+        # shard inputs arrive interleaved; rowid restoration must put
+        # each destination's rows back in global order before splitting
+        rel = buffer_rel([5, 1, 5, 1, 5, 1])
+        shards, idx = Partitioner(2, PartitionScheme.HASH).split(rel, "g")
+        parts = repartition(shards, ("g",), 3)
+        for part in parts:
+            rowids = part.column("rowid")
+            assert np.array_equal(rowids, np.sort(rowids))
+
+
+class TestMerge:
+    def test_merge_concat_restores_row_order(self):
+        rel = buffer_rel(np.arange(40) % 7)
+        shards, idx = Partitioner(4, PartitionScheme.HASH).split(rel, "g")
+        merged = merge_concat(shards)
+        for f in rel.fields:
+            assert np.array_equal(merged.column(f), rel.column(f)), f
+
+    def test_merge_concat_without_order_field_keeps_shard_order(self):
+        a = buffer_rel([1, 1], with_rowid=False)
+        b = buffer_rel([2], with_rowid=False)
+        merged = merge_concat([a, b])
+        assert merged.column("g").tolist() == [1, 1, 2]
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=keys_st)
+    def test_group_sorted_merge_matches_unique_order(self, keys):
+        """Disjoint per-destination groups concat back into exactly the
+        packed-key-sorted order np.unique gives a single-device
+        aggregation."""
+        per_group = {}
+        for k in keys:
+            per_group.setdefault(k, 0)
+            per_group[k] += 1
+        agg = Relation({"g": np.asarray(sorted(per_group), dtype=np.int64),
+                        "n": np.asarray([per_group[k]
+                                         for k in sorted(per_group)],
+                                        dtype=np.int64)})
+        # split the aggregate's groups across destinations by hash
+        parts = repartition([Relation({
+            "g": agg.column("g"), "n": agg.column("n")})], ("g",), 3)
+        merged = merge_group_sorted(list(parts), ["g"])
+        packed = pack_rows(merged, ["g"])
+        assert np.array_equal(packed, np.sort(packed))
+        for f in agg.fields:
+            assert np.array_equal(merged.column(f), agg.column(f)), f

@@ -1,0 +1,189 @@
+"""ClusterExecutor end-to-end: the functional path must be byte-identical
+to the single-device interpreter on TPC-H Q1 and Q21 under every
+partition scheme, the timing path must actually scale (4 devices strictly
+beat 1 on both queries), summaries must be byte-stable across reruns, and
+device loss must recover without changing anything."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterExecutor,
+    single_device_makespan,
+)
+from repro.faults import FaultPlan
+from repro.plans import evaluate_sinks
+from repro.tpch import (
+    TpchConfig,
+    build_q1_plan,
+    build_q21_plan,
+    generate,
+    q1_column_relations,
+    q1_source_rows,
+    q21_source_rows,
+)
+
+N = 2_000_000
+SCHEMES = ("hash", "range", "rr")
+
+
+def q1_rows():
+    return q1_source_rows(N)
+
+
+def q21_rows():
+    return q21_source_rows(N, N // 4, max(1, N // 600))
+
+
+@pytest.fixture(scope="module")
+def tpch_data():
+    return generate(TpchConfig(scale_factor=0.01))
+
+
+@pytest.fixture(scope="module")
+def q1_sources(tpch_data):
+    return q1_column_relations(tpch_data.lineitem)
+
+
+@pytest.fixture(scope="module")
+def q21_sources(tpch_data):
+    return {"lineitem": tpch_data.lineitem, "orders": tpch_data.orders,
+            "supplier": tpch_data.supplier, "nation": tpch_data.nation}
+
+
+def assert_bytes_identical(got, want):
+    assert set(got) == set(want)
+    for name in want:
+        g, w = got[name], want[name]
+        assert g.fields == w.fields, name
+        for f in w.fields:
+            a, b = g.column(f), w.column(f)
+            assert a.dtype == b.dtype, (name, f)
+            assert np.array_equal(a, b), (name, f)
+
+
+def kill_device(idx, phase=""):
+    site = f"device.{idx}{phase}"
+    return FaultPlan(seed=0, site_rates={site: 1.0}, budget=1)
+
+
+class TestFunctionalByteIdentity:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_q1(self, q1_sources, scheme):
+        plan = build_q1_plan()
+        want = evaluate_sinks(plan, q1_sources)
+        cx = ClusterExecutor(config=ClusterConfig(
+            num_devices=4, scheme=scheme))
+        assert_bytes_identical(cx.functional(plan, q1_sources), want)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_q21(self, q21_sources, scheme):
+        plan = build_q21_plan()
+        want = evaluate_sinks(plan, q21_sources)
+        cx = ClusterExecutor(config=ClusterConfig(
+            num_devices=4, scheme=scheme))
+        assert_bytes_identical(cx.functional(plan, q21_sources), want)
+
+    @pytest.mark.parametrize("devices", [1, 2, 3, 8])
+    def test_q21_any_cluster_size(self, q21_sources, devices):
+        plan = build_q21_plan()
+        want = evaluate_sinks(plan, q21_sources)
+        cx = ClusterExecutor(config=ClusterConfig(num_devices=devices))
+        assert_bytes_identical(cx.functional(plan, q21_sources), want)
+
+    def test_q1_under_device_loss(self, q1_sources):
+        """The data path is loss-agnostic: a chaos plan that kills a
+        device must not change a byte of the merged result."""
+        plan = build_q1_plan()
+        want = evaluate_sinks(plan, q1_sources)
+        cx = ClusterExecutor(config=ClusterConfig(
+            num_devices=4, faults=kill_device(1), check=True))
+        got = cx.functional(plan, q1_sources)
+        assert_bytes_identical(got, want)
+        res = cx.run(plan, q1_rows())
+        assert res.lost_devices == (1,)
+        assert res.recovered_shards >= 1
+
+    def test_q21_under_device_loss(self, q21_sources):
+        plan = build_q21_plan()
+        want = evaluate_sinks(plan, q21_sources)
+        cx = ClusterExecutor(config=ClusterConfig(
+            num_devices=4, faults=kill_device(2), check=True))
+        assert_bytes_identical(cx.functional(plan, q21_sources), want)
+        res = cx.run(plan, q21_rows())
+        assert res.lost_devices == (2,)
+        assert res.recovered_shards >= 1
+
+
+class TestScaling:
+    @pytest.mark.parametrize("make_plan,make_rows", [
+        (build_q1_plan, q1_rows), (build_q21_plan, q21_rows)],
+        ids=["q1", "q21"])
+    def test_four_devices_strictly_beat_one(self, make_plan, make_rows):
+        """The subsystem's acceptance criterion."""
+        plan, rows = make_plan(), make_rows()
+        makespans = {}
+        for devices in (1, 4):
+            cx = ClusterExecutor(config=ClusterConfig(num_devices=devices,
+                                                      check=True))
+            makespans[devices] = cx.run(plan, rows).makespan
+        assert makespans[4] < makespans[1]
+        assert makespans[4] < single_device_makespan(plan, rows)
+
+    def test_contention_bends_the_curve(self):
+        """Q21 is transfer-bound: past the host-memory crossover more
+        devices stop helping (8 is worse than 4)."""
+        plan, rows = build_q21_plan(), q21_rows()
+        m = {d: ClusterExecutor(config=ClusterConfig(
+            num_devices=d)).run(plan, rows).makespan for d in (4, 8)}
+        assert m[8] > m[4]
+
+
+class TestRunResult:
+    @pytest.mark.parametrize("make_plan,make_rows,mode", [
+        (build_q1_plan, q1_rows, "exchange"),
+        (build_q21_plan, q21_rows, "host")], ids=["q1", "q21"])
+    def test_validates_and_reports(self, make_plan, make_rows, mode):
+        cx = ClusterExecutor(config=ClusterConfig(num_devices=4,
+                                                  check=True))
+        res = cx.run(make_plan(), make_rows())
+        assert res.dist.suffix_mode == mode
+        assert res.makespan > 0
+        assert len(res.device_timelines) == 4
+        assert res.lost_devices == ()
+        if mode == "exchange":
+            assert res.exchange_out_bytes > 0
+            rel = abs(res.exchange_out_bytes - res.exchange_in_bytes)
+            assert rel <= 0.02 * res.exchange_out_bytes
+
+    def test_summary_is_byte_stable(self):
+        def run_summary():
+            cx = ClusterExecutor(config=ClusterConfig(num_devices=4,
+                                                      seed=7))
+            return json.dumps(cx.run(build_q1_plan(), q1_rows()).summary(),
+                              sort_keys=True)
+        assert run_summary() == run_summary()
+
+    def test_trace_lanes_one_per_device_plus_host(self):
+        cx = ClusterExecutor(config=ClusterConfig(num_devices=3))
+        res = cx.run(build_q1_plan(), q1_rows())
+        lanes = res.trace_lanes()
+        assert [name for name, _ in lanes] == [
+            "device 0", "device 1", "device 2", "cluster host"]
+        assert all(tl.events for _, tl in lanes)
+
+    def test_all_devices_lost_keeps_device_zero(self):
+        faults = FaultPlan(seed=0, budget=8, site_rates={
+            f"device.{d}": 1.0 for d in range(4)})
+        cx = ClusterExecutor(config=ClusterConfig(
+            num_devices=4, faults=faults, check=True))
+        res = cx.run(build_q1_plan(), q1_rows())
+        assert 0 not in res.lost_devices
+        assert res.lost_devices == (1, 2, 3)
+        # every shard still ran, all on the survivor
+        local = [r for r in res.shard_runs if r.phase == "local"]
+        assert sorted(r.shard for r in local) == [0, 1, 2, 3]
+        assert {r.device for r in local} == {0}

@@ -1,0 +1,76 @@
+"""The shared-host PCIe contention model: per-device staging bandwidth
+is min(link_bw, host_bw / sharers), latency and knees stay per-link."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, contended_calibration, contended_device
+from repro.simgpu import DeviceSpec
+
+
+@pytest.fixture(scope="module")
+def base():
+    return DeviceSpec()
+
+
+def pcie_bws(calib):
+    p = calib.pcie
+    return (p.pinned_h2d_bw, p.pinned_d2h_bw,
+            p.paged_h2d_bw, p.paged_d2h_bw)
+
+
+class TestContention:
+    def test_single_sharer_is_identity(self, base):
+        assert contended_calibration(base.calib, 1) is base.calib
+        assert contended_device(base, 1) is base
+
+    def test_cap_is_host_quotient(self, base):
+        sharers = 8
+        host_bw = base.calib.cpu.read_bw
+        got = contended_calibration(base.calib, sharers)
+        for orig, capped in zip(pcie_bws(base.calib), pcie_bws(got)):
+            assert capped == min(orig, host_bw / sharers)
+
+    def test_few_devices_stay_link_limited(self, base):
+        # 2 sharers: 25/2 = 12.5 GB/s host share > every link rate,
+        # so the links stay the bottleneck and nothing changes
+        got = contended_calibration(base.calib, 2)
+        assert pcie_bws(got) == pcie_bws(base.calib)
+
+    def test_many_devices_become_host_limited(self, base):
+        got = contended_calibration(base.calib, 8)
+        host_share = base.calib.cpu.read_bw / 8
+        assert all(bw <= host_share for bw in pcie_bws(got))
+        assert pcie_bws(got) != pcie_bws(base.calib)
+
+    def test_bandwidth_monotone_in_sharers(self, base):
+        prev = pcie_bws(base.calib)
+        for sharers in (2, 4, 8, 16):
+            cur = pcie_bws(contended_calibration(base.calib, sharers))
+            assert all(c <= p for c, p in zip(cur, prev))
+            prev = cur
+
+    def test_explicit_host_bw_overrides_calibration(self, base):
+        got = contended_calibration(base.calib, 2, host_staging_bw=4e9)
+        assert all(bw <= 2e9 for bw in pcie_bws(got))
+
+    def test_link_properties_untouched(self, base):
+        got = contended_calibration(base.calib, 8)
+        assert got.pcie.latency_s == base.calib.pcie.latency_s
+        assert got.gpu == base.calib.gpu
+        assert got.cpu == base.calib.cpu
+
+
+class TestClusterSpec:
+    def test_defaults(self):
+        spec = ClusterSpec()
+        assert spec.num_devices == 4
+        assert spec.sharers == 4
+        assert len(spec.devices()) == 4
+
+    def test_sharers_clamped_to_devices(self):
+        assert ClusterSpec(num_devices=2, pcie_sharers=8).sharers == 2
+        assert ClusterSpec(num_devices=4, pcie_sharers=0).sharers == 1
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_devices=0)

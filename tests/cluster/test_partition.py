@@ -1,0 +1,184 @@
+"""Partitioner property tests: every scheme's split must be an exact
+cover (each row on exactly one shard), restore() must invert it
+byte-for-byte, keyed splits must co-partition across tables, and shard
+assignments must be pure functions of (scheme, num_shards, seed)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    Partitioner,
+    PartitionScheme,
+    concat,
+    even_counts,
+    hash_shard,
+    parse_scheme,
+    range_boundaries,
+    range_shard,
+    skew,
+)
+from repro.ra import Relation
+
+SCHEMES = list(PartitionScheme)
+
+
+def rel_of(keys, values=None):
+    keys = np.asarray(keys, dtype=np.int64)
+    cols = {"k": keys,
+            "v": np.asarray(values, dtype=np.int64)
+            if values is not None
+            else np.arange(keys.size, dtype=np.int64)}
+    return Relation(cols, key="k")
+
+
+keys_st = st.lists(st.integers(min_value=0, max_value=10**6),
+                   min_size=0, max_size=200)
+shards_st = st.integers(min_value=1, max_value=8)
+seeds_st = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestExactCover:
+    @settings(max_examples=40, deadline=None)
+    @given(keys=keys_st, num_shards=shards_st, seed=seeds_st,
+           scheme=st.sampled_from(SCHEMES))
+    def test_positional_indices_partition_rows(self, keys, num_shards,
+                                               seed, scheme):
+        part = Partitioner(num_shards, scheme, seed)
+        idx = part.indices(part.positional_ids(len(keys)))
+        assert len(idx) == num_shards
+        merged = np.concatenate(idx) if idx else np.zeros(0, dtype=np.int64)
+        assert sorted(merged.tolist()) == list(range(len(keys)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=keys_st, num_shards=shards_st, seed=seeds_st,
+           scheme=st.sampled_from(SCHEMES))
+    def test_keyed_split_is_exact_cover(self, keys, num_shards, seed,
+                                        scheme):
+        rel = rel_of(keys)
+        part = Partitioner(num_shards, scheme, seed)
+        shards, idx = part.split(rel, key="k")
+        assert sum(s.num_rows for s in shards) == rel.num_rows
+        merged = (np.concatenate(idx) if idx
+                  else np.zeros(0, dtype=np.int64))
+        assert sorted(merged.tolist()) == list(range(rel.num_rows))
+
+
+class TestRestore:
+    @settings(max_examples=40, deadline=None)
+    @given(keys=st.lists(st.integers(min_value=0, max_value=10**6),
+                         min_size=1, max_size=200),
+           num_shards=shards_st, seed=seeds_st,
+           scheme=st.sampled_from(SCHEMES))
+    def test_restore_inverts_keyed_split(self, keys, num_shards, seed,
+                                         scheme):
+        rel = rel_of(keys)
+        part = Partitioner(num_shards, scheme, seed)
+        shards, idx = part.split(rel, key="k")
+        back = Partitioner.restore(shards, idx)
+        for f in rel.fields:
+            assert np.array_equal(back.column(f), rel.column(f)), f
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=300),
+           num_shards=shards_st, seed=seeds_st,
+           scheme=st.sampled_from(SCHEMES))
+    def test_restore_inverts_positional_split(self, n, num_shards, seed,
+                                              scheme):
+        rel = rel_of(np.arange(n) * 7 % 13, values=np.arange(n) ** 2)
+        part = Partitioner(num_shards, scheme, seed)
+        shards, idx = part.split(rel)
+        back = Partitioner.restore(shards, idx)
+        for f in rel.fields:
+            assert np.array_equal(back.column(f), rel.column(f)), f
+
+
+class TestCoPartitioning:
+    @settings(max_examples=40, deadline=None)
+    @given(keys=st.lists(st.integers(min_value=0, max_value=1000),
+                         min_size=1, max_size=200),
+           num_shards=shards_st, seed=seeds_st,
+           scheme=st.sampled_from(SCHEMES))
+    def test_equal_keys_share_a_shard_across_tables(self, keys, num_shards,
+                                                    seed, scheme):
+        """The co-partitioning guarantee: the same key value lands on the
+        same shard no matter which table (or row position) it sits in."""
+        part = Partitioner(num_shards, scheme, seed)
+        left = rel_of(keys)
+        right = rel_of(list(reversed(keys)) + [keys[0]])
+        boundaries = None
+        if scheme is PartitionScheme.RANGE:
+            boundaries = range_boundaries(left.column("k"), num_shards)
+        owner = {}
+        for rel in (left, right):
+            ids = part.key_ids(rel.column("k"), boundaries)
+            for key, shard in zip(rel.column("k").tolist(), ids.tolist()):
+                assert owner.setdefault(key, shard) == shard
+
+    def test_rr_keyed_split_falls_back_to_hash(self):
+        part = Partitioner(4, PartitionScheme.ROUND_ROBIN, seed=3)
+        keys = np.arange(100, dtype=np.int64)
+        assert np.array_equal(part.key_ids(keys), hash_shard(keys, 4, 3))
+
+
+class TestDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(keys=keys_st, num_shards=shards_st, seed=seeds_st,
+           scheme=st.sampled_from(SCHEMES))
+    def test_split_and_skew_are_pure_functions_of_seed(self, keys,
+                                                       num_shards, seed,
+                                                       scheme):
+        rel = rel_of(keys)
+        a = Partitioner(num_shards, scheme, seed)
+        b = Partitioner(num_shards, scheme, seed)
+        sa, ia = a.split(rel, key="k")
+        sb, ib = b.split(rel, key="k")
+        counts_a = [s.num_rows for s in sa]
+        assert counts_a == [s.num_rows for s in sb]
+        for x, y in zip(ia, ib):
+            assert np.array_equal(x, y)
+        assert skew(counts_a) == skew([s.num_rows for s in sb])
+
+    def test_different_seeds_move_keys(self):
+        keys = np.arange(1000, dtype=np.int64)
+        a = hash_shard(keys, 4, seed=0)
+        b = hash_shard(keys, 4, seed=1)
+        assert not np.array_equal(a, b)
+
+
+class TestHelpers:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=10**6),
+           num_shards=shards_st)
+    def test_even_counts_balanced_cover(self, n, num_shards):
+        counts = even_counts(n, num_shards)
+        assert sum(counts) == n
+        assert max(counts) - min(counts) <= 1
+
+    def test_range_shard_monotone(self):
+        keys = np.asarray([1, 5, 9, 42, 100])
+        bounds = range_boundaries(keys, 3)
+        ids = range_shard(keys, bounds)
+        assert np.array_equal(ids, np.sort(ids))
+        assert ids.max() < 3
+
+    def test_skew_values(self):
+        assert skew([10, 10, 10, 10]) == 1.0
+        assert skew([30, 10, 10, 10]) == pytest.approx(2.0)
+        assert skew([]) == 0.0
+        assert skew([0, 0]) == 0.0
+
+    def test_parse_scheme(self):
+        assert parse_scheme("hash") is PartitionScheme.HASH
+        assert parse_scheme("range") is PartitionScheme.RANGE
+        assert parse_scheme("rr") is PartitionScheme.ROUND_ROBIN
+        with pytest.raises(ValueError):
+            parse_scheme("modulo")
+
+    def test_num_shards_validated(self):
+        with pytest.raises(ValueError):
+            Partitioner(0)
+
+    def test_concat_requires_shards(self):
+        with pytest.raises(ValueError):
+            concat([])

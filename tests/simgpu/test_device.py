@@ -65,6 +65,28 @@ class TestOccupancy:
                 assert occ.ctas_per_sm <= prev
             prev = occ.ctas_per_sm
 
+    def test_occupancy_fraction_is_residency_ratio(self, dev):
+        # regression: the fraction used to be a placeholder constant;
+        # it must equal resident threads over the SM thread ceiling
+        occ = dev.occupancy(256, 20)
+        ceiling = dev.calib.gpu.max_threads_per_sm
+        assert occ.max_threads_per_sm == ceiling
+        assert occ.occupancy_fraction == pytest.approx(
+            occ.resident_threads / ceiling)
+        assert 0.0 < occ.occupancy_fraction <= 1.0
+
+    def test_occupancy_fraction_full_residency_is_one(self, dev):
+        # 512 threads x 3 CTAs = 1536 = the Fermi per-SM ceiling
+        occ = dev.occupancy(threads_per_cta=512, regs_per_thread=8)
+        assert occ.resident_threads == dev.calib.gpu.max_threads_per_sm
+        assert occ.occupancy_fraction == 1.0
+
+    def test_occupancy_fraction_unknown_ceiling_is_zero(self):
+        from repro.simgpu.device import Occupancy
+        occ = Occupancy(ctas_per_sm=2, resident_threads=512,
+                        limited_by="threads")
+        assert occ.occupancy_fraction == 0.0
+
 
 class TestUtilization:
     def test_full_residency_is_peak(self, dev):

@@ -126,3 +126,42 @@ class TestWriteTrace:
             k["ts"] < h["ts"] + h["dur"] and h["ts"] < k["ts"] + k["dur"]
             for k in kernels for h in h2d)
         assert overlap
+
+
+class TestClusterTrace:
+    def lanes(self):
+        a, b = Timeline(), Timeline()
+        a.add(0.0, 0.001, EventKind.KERNEL, "shard.compute", stream=0)
+        b.add(0.001, 0.002, EventKind.HOST, "cluster.merge", nbytes=64)
+        return [("device 0", a), ("cluster host", b)]
+
+    def test_one_pid_per_lane(self):
+        from repro.simgpu import cluster_chrome_trace
+        trace = cluster_chrome_trace(self.lanes())
+        names = {e["pid"]: e["args"]["name"]
+                 for e in trace["traceEvents"]
+                 if e.get("name") == "process_name"}
+        assert names == {1: "device 0", 2: "cluster host"}
+        complete = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert {e["pid"] for e in complete} == {1, 2}
+
+    def test_lane_events_keep_their_timestamps(self):
+        from repro.simgpu import cluster_chrome_trace
+        trace = cluster_chrome_trace(self.lanes())
+        merge = [e for e in trace["traceEvents"]
+                 if e.get("ph") == "X" and e["name"] == "cluster.merge"]
+        assert merge[0]["ts"] == pytest.approx(1000.0)
+
+    def test_write_cluster_trace_round_trips(self, tmp_path):
+        from repro.simgpu import cluster_chrome_trace, write_cluster_trace
+        path = tmp_path / "cluster.json"
+        write_cluster_trace(self.lanes(), str(path))
+        loaded = json.loads(path.read_text())
+        want = cluster_chrome_trace(self.lanes())
+        assert len(loaded["traceEvents"]) == len(want["traceEvents"])
+
+    def test_analysis_metadata_attached(self):
+        from repro.simgpu import cluster_chrome_trace
+        summary = {"errors": 0, "passes": ["cluster-lints"]}
+        trace = cluster_chrome_trace(self.lanes(), analysis=summary)
+        assert trace["analysis"] == summary

@@ -197,3 +197,64 @@ class TestAnalyze:
         assert doc["summary"]["warnings"] == 0
         assert doc["summary"]["infos"] == 0  # indexed locations too
         assert doc["summary"]["suppressed"] > 0
+
+
+class TestCluster:
+    ARGS = ["cluster", "--devices", "4", "--query", "q1",
+            "--elements", "2000000", "--seed", "9"]
+
+    def test_reports_speedup_over_single_device(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "@x4" in out
+        assert "suffix mode exchange" in out
+        assert "speedup" in out
+
+    def test_q21_host_suffix(self, capsys):
+        assert main(["cluster", "--devices", "4", "--query", "q21",
+                     "--elements", "2000000"]) == 0
+        out = capsys.readouterr().out
+        assert "suffix mode host" in out
+        assert "partition key: orderkey" in out
+
+    def test_validated_summary_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["--validate"] + self.ARGS + ["--summary", str(a)]) == 0
+        assert main(["--validate"] + self.ARGS + ["--summary", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        doc = json.loads(a.read_text())
+        assert doc["cluster.devices"] == 4
+        assert doc["cluster.lost_devices"] == []
+        assert doc["exchange.out_bytes"] > 0
+
+    def test_kill_device_recovers(self, tmp_path, capsys):
+        assert main(["--validate"] + self.ARGS
+                    + ["--kill-device", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "lost device(s) [2]" in out
+        assert "re-executed on survivors" in out
+
+    def test_functional_byte_identity(self, capsys):
+        assert main(["cluster", "--devices", "2", "--query", "q21",
+                     "--functional", "--scale-factor", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical to single device: True" in out
+
+    def test_trace_output_has_device_lanes(self, tmp_path, capsys):
+        path = tmp_path / "cluster_trace.json"
+        assert main(self.ARGS + ["--trace-output", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("name") == "process_name"}
+        assert names == {"device 0", "device 1", "device 2", "device 3",
+                         "cluster host"}
+
+    def test_partition_scheme_flag(self, capsys):
+        assert main(self.ARGS + ["--partition", "range"]) == 0
+        assert "range partitioning" in capsys.readouterr().out
+
+    def test_serve_accepts_devices(self, capsys):
+        assert main(["serve", "--qps", "40", "--duration", "0.5",
+                     "--seed", "3", "--devices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out

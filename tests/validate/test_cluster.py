@@ -1,0 +1,111 @@
+"""Cluster-level sanitizer: clean runs pass, and each tampered invariant
+(conservation, host-lane events, loss markers, shard coverage, makespan)
+is caught by its rule."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterExecutor
+from repro.faults import FaultPlan
+from repro.simgpu.timeline import Timeline
+from repro.tpch import (
+    build_q1_plan,
+    build_q21_plan,
+    q1_source_rows,
+    q21_source_rows,
+)
+from repro.validate import validate_cluster
+
+N = 2_000_000
+
+
+def run_q1(**cfg):
+    cx = ClusterExecutor(config=ClusterConfig(num_devices=4, **cfg))
+    return cx, cx.run(build_q1_plan(), q1_source_rows(N))
+
+
+def run_q21(**cfg):
+    cx = ClusterExecutor(config=ClusterConfig(num_devices=4, **cfg))
+    rows = q21_source_rows(N, N // 4, max(1, N // 600))
+    return cx, cx.run(build_q21_plan(), rows)
+
+
+def rules(report):
+    return {v.rule for v in report.violations}
+
+
+class TestCleanRuns:
+    def test_q1_exchange_mode_passes(self):
+        cx, res = run_q1()
+        report = validate_cluster(res, cx.device)
+        assert report.ok, report.summary()
+        assert report.num_events > 0
+
+    def test_q21_host_mode_passes(self):
+        cx, res = run_q21()
+        assert validate_cluster(res, cx.device).ok
+
+    def test_device_loss_run_passes(self):
+        faults = FaultPlan(seed=0, site_rates={"device.2": 1.0}, budget=1)
+        cx, res = run_q21(faults=faults)
+        assert res.lost_devices == (2,)
+        assert validate_cluster(res, cx.device).ok
+
+
+class TestTampering:
+    def test_broken_conservation_flagged(self):
+        cx, res = run_q1()
+        res.exchange_in_bytes *= 2
+        assert "exchange-conservation" in rules(validate_cluster(res))
+
+    def test_host_shuffle_mismatch_flagged(self):
+        cx, res = run_q1()
+        res.exchange_out_bytes *= 3
+        report = validate_cluster(res)
+        assert "exchange-conservation" in rules(report)
+
+    def test_missing_merge_event_flagged(self):
+        cx, res = run_q21()
+        res.host_timeline = Timeline()
+        assert "host-lane" in rules(validate_cluster(res))
+
+    def test_unmarked_device_loss_flagged(self):
+        cx, res = run_q21()
+        res.lost_devices = (3,)  # claims a loss no timeline recorded
+        assert "device-loss" in rules(validate_cluster(res))
+
+    def test_missing_shard_flagged(self):
+        cx, res = run_q21()
+        res.shard_runs = [r for r in res.shard_runs
+                          if not (r.phase == "local" and r.shard == 1)]
+        assert "shard-coverage" in rules(validate_cluster(res))
+
+    def test_duplicated_shard_flagged(self):
+        cx, res = run_q21()
+        extra = [r for r in res.shard_runs if r.phase == "local"][0]
+        res.shard_runs.append(dataclasses.replace(extra))
+        assert "shard-coverage" in rules(validate_cluster(res))
+
+    def test_wrong_makespan_flagged(self):
+        cx, res = run_q21()
+        res.makespan *= 0.5
+        assert "makespan" in rules(validate_cluster(res))
+
+    def test_lane_violations_prefixed_with_lane(self):
+        cx, res = run_q21()
+        tl = res.device_timelines[0]
+        ev = tl.events[0]
+        ev2 = dataclasses.replace(ev, start=ev.end, end=ev.start)
+        tl.events[0] = ev2
+        report = validate_cluster(res)
+        assert not report.ok
+        assert any(v.message.startswith("device 0:")
+                   for v in report.violations)
+
+
+class TestExecutorIntegration:
+    def test_check_flag_runs_the_validator(self):
+        # check=True raises on violation; a clean run returns normally
+        cx, res = run_q1(check=True)
+        assert res.makespan > 0
