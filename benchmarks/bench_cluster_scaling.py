@@ -2,15 +2,25 @@
 
 The same distributed plans the cluster CI smoke runs, swept over 1/2/4/8
 devices behind one shared host (docs/CLUSTER.md).  Per-device staging
-bandwidth is ``min(link_bw, host_bw / devices)``, so the curves are
-link-limited (near-linear) up to the host-memory crossover at ~4 devices
-and bend past it -- the shape the shared-host contention model predicts.
+bandwidth is capped at ``host_bw / devices``, the exchange pre-aggregates
+decomposable suffixes below the frontier cut and streams partial-state
+chunks while the local phase still runs, and per-device merge buffers
+combine up a pairwise tree -- so the curves stay monotone through 8
+devices instead of regressing at the host-memory crossover.
 
 Emits ``BENCH_cluster.json`` (``--json PATH`` redirects it):
 per-query makespans at each device count plus the plain single-device
-Executor reference.  The 4-device makespan must be strictly below the
-1-device cluster makespan for both queries -- the subsystem's acceptance
-criterion.
+Executor reference.  ``speedup_vs_1`` is reported against
+``single_device_makespan_s`` (the 1-device cluster is asserted equal to
+it, so the ratio is also the vs-cluster-of-one speedup).
+
+Assertions (the subsystem's acceptance criteria):
+
+* the 1-device cluster matches the plain Executor exactly;
+* both queries scale monotonically 1 -> 2 -> 4 -> 8, strictly at 8;
+* Q1 reaches >= 6.5x at 8 devices;
+* per-device outbound exchange volume *decreases* as devices are added
+  (partial states, not raw frontier rows, cross the wire).
 """
 
 from repro.bench import emit_json, format_table, json_output_path, print_header
@@ -26,6 +36,9 @@ DEVICE_SWEEP = (1, 2, 4, 8)
 N_LINEITEM = 6_000_000
 SCHEME = "hash"
 SEED = 0
+
+#: Q1's acceptance floor at 8 devices, vs the plain single-device Executor
+Q1_SPEEDUP_FLOOR_AT_8 = 6.5
 
 
 def _cases():
@@ -65,15 +78,18 @@ def test_cluster_scaling(benchmark, device):
         row = [name, round(single * 1e3, 3)]
         entry = {"single_device_makespan_s": round(single, 9),
                  "suffix_mode": by_devices[1].dist.suffix_mode,
+                 "preagg": int(by_devices[8].dist.preagg is not None),
+                 "merge_strategy": by_devices[8].dist.merge,
                  "by_devices": {}}
         for devices in DEVICE_SWEEP:
             result = by_devices[devices]
             row.append(round(result.makespan * 1e3, 3))
             entry["by_devices"][str(devices)] = {
                 "makespan_s": round(result.makespan, 9),
-                "speedup_vs_1": round(
-                    by_devices[1].makespan / result.makespan, 6),
-                "exchange_out_bytes": round(result.exchange_out_bytes, 3),
+                "speedup_vs_1": round(single / result.makespan, 6),
+                "exchange_out_bytes": round(
+                    result.exchange_out_per_device, 3),
+                "exchange_total_bytes": round(result.exchange_out_bytes, 3),
                 "merge_bytes": round(result.merge_bytes, 3),
             }
         payload["queries"][name] = entry
@@ -87,9 +103,18 @@ def test_cluster_scaling(benchmark, device):
     print(f"wrote {out}")
 
     for name, single, by_devices in points:
-        # the acceptance criterion: 4 devices strictly beat 1, for both
-        # queries, and the cluster never loses to the plain Executor
-        assert by_devices[4].makespan < by_devices[1].makespan, name
-        assert by_devices[4].makespan < single, name
-        # scaling is monotone up to the host-memory crossover
-        assert by_devices[2].makespan < by_devices[1].makespan, name
+        # the 1-device cluster bypasses partitioning/exchange entirely
+        assert by_devices[1].makespan == single, name
+        # monotone scaling through the host-memory crossover, strict at 8
+        m = {d: by_devices[d].makespan for d in DEVICE_SWEEP}
+        assert m[2] <= m[1] and m[4] <= m[2] and m[8] <= m[4], name
+        assert m[8] < m[4], name
+        assert m[4] < single, name
+    q1 = {d: r for d, r in points[0][2].items()}
+    assert points[0][0] == "q1"
+    assert points[0][1] / q1[8].makespan >= Q1_SPEEDUP_FLOOR_AT_8
+    # partial aggregate states cross the exchange, so per-device outbound
+    # volume shrinks as the cluster widens
+    per_dev = {d: q1[d].exchange_out_per_device for d in (2, 4, 8)}
+    assert per_dev[8] <= per_dev[4] <= per_dev[2]
+    assert per_dev[8] < per_dev[2]

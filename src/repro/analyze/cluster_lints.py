@@ -20,13 +20,19 @@ CLU404    warning   replicated source larger than a driver shard
                     (partitioning it would move fewer bytes)
 CLU405    info      single-shard cluster (distribution overhead, no
                     parallelism)
+CLU406    warning   suffix aggregate decomposes but the distribution
+                    skips pre-aggregation: raw frontier rows cross the
+                    exchange where partial states would
+CLU407    warning   pre-aggregated distribution merges flat on a wide
+                    cluster: a pairwise tree merge keeps the host off
+                    the serial gather path
 ========  ========  ====================================================
 """
 
 from __future__ import annotations
 
 from ..core.opmodels import out_row_nbytes
-from ..plans.distribute import DistributedPlan
+from ..plans.distribute import DistributedPlan, find_preagg
 from ..plans.plan import OpType, PlanNode
 from .diagnostics import Diagnostic, Severity, SourceLocation
 
@@ -45,7 +51,12 @@ class ClusterLintPass:
     :class:`~repro.plans.distribute.DistributedPlan`."""
 
     name = "cluster-lints"
-    codes = ("CLU401", "CLU402", "CLU403", "CLU404", "CLU405")
+    codes = ("CLU401", "CLU402", "CLU403", "CLU404", "CLU405",
+             "CLU406", "CLU407")
+
+    #: CLU407 only pays off once the serial flat gather spans this many
+    #: per-device buffers
+    TREE_MERGE_MIN_SHARDS = 4
 
     def run(self, dist: DistributedPlan) -> list[Diagnostic]:
         diags: list[Diagnostic] = []
@@ -54,6 +65,8 @@ class ClusterLintPass:
         self._redundant_exchange(dist, diags)
         self._oversized_replicas(dist, diags)
         self._single_shard(dist, diags)
+        self._missed_preagg(dist, diags)
+        self._flat_merge(dist, diags)
         return diags
 
     # -- helpers ---------------------------------------------------------
@@ -194,3 +207,36 @@ class ClusterLintPass:
                 dist, "CLU405", Severity.INFO,
                 f"cluster of one shard: {dist.name!r} pays distribution "
                 f"overhead with no parallelism", dist.plan.name))
+
+    # -- CLU406: missed pre-aggregation ----------------------------------
+    def _missed_preagg(self, dist: DistributedPlan,
+                       diags: list[Diagnostic]) -> None:
+        if dist.preagg is not None or dist.num_shards == 1:
+            return
+        spec = find_preagg(dist)
+        if spec is None:
+            return
+        moved = (dist.exchange.est_bytes if dist.exchange is not None
+                 else None)
+        moved_txt = f" ({moved} B of raw rows cross" if moved else " (rows cross"
+        diags.append(self._diag(
+            dist, "CLU406", Severity.WARNING,
+            f"suffix aggregate {spec.agg!r} decomposes "
+            f"({'exact' if spec.exact else 'timing-only'}; "
+            f"~{spec.est_groups} groups x {spec.state_row_nbytes} B "
+            f"states) but the distribution ships the raw frontier"
+            f"{moved_txt} the exchange where partial states would)",
+            spec.agg))
+
+    # -- CLU407: flat merge on a wide pre-aggregated cluster -------------
+    def _flat_merge(self, dist: DistributedPlan,
+                    diags: list[Diagnostic]) -> None:
+        if (dist.preagg is None or dist.merge != "flat"
+                or dist.num_shards < self.TREE_MERGE_MIN_SHARDS):
+            return
+        diags.append(self._diag(
+            dist, "CLU407", Severity.WARNING,
+            f"pre-aggregated distribution over {dist.num_shards} shards "
+            f"merges flat: the host serially gathers every per-device "
+            f"state buffer; a pairwise tree merge touches only the root",
+            dist.preagg.agg))

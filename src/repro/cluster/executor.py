@@ -5,47 +5,74 @@ Timing path (``run``): the plan is distributed
 subplan runs through the existing single-device
 :class:`~repro.runtime.executor.Executor` (so fusion, fission, chunking,
 the degradation ladder, and fault injection all apply unchanged) on a
-:func:`~repro.cluster.host.contended_device` whose staging bandwidth is
-divided among the devices sharing the host.  Global barriers separate the
-phases::
+:func:`~repro.cluster.host.contended_device` whose staging throughput is
+capped at its share of host DRAM bandwidth.  When the distribution
+carries a :class:`~repro.plans.distribute.PreAggSpec`, the local phase
+runs the *lowered* plan (suffix chain + partial aggregate below the cut),
+so what crosses the exchange is blocks of partial aggregate states, not
+raw frontier rows -- per-device exchange volume then *shrinks* as devices
+are added (``ceil(shard_rows / PREAGG_FLUSH_ROWS)`` state blocks each).
 
-    [local phase: shard k on device k]  --barrier-->
-    [exchange: frontier d2h'd by phase 1, host shuffle, re-h2d by phase 2]
-    [suffix phase: repartitioned shard on each device]  --barrier-->
-    [host merge]
+The exchange itself is **pipelined**, not barrier-then-shuffle: each
+shard's outbound buffer is cut into chunks (flush blocks under pre-agg,
+:data:`~repro.cluster.exchange.EXCHANGE_CHUNK_ROWS`-row chunks of the raw
+frontier otherwise) that become available *during* the shard's local run,
+and the host lane stages them greedily in availability order (events
+``cluster.exchange.s<shard>.c<k>``).  Transfers therefore overlap shard
+compute; a destination's suffix starts as soon as its last inbound chunk
+lands and its device is free -- not at a global barrier.  Destination
+sizing routes key-group ids through the same hash the functional
+repartition uses, so simulated destination sizes track the real
+per-destination group counts.
 
-The exchange is *not* double-counted: the device->host leg is the local
-plan's own ``output.*`` downloads and the host->device leg is the suffix
-plan's own ``input.*`` uploads; only the host-side shuffle between them is
-an extra event.  This gives the conservation law the validator checks:
-local output bytes == host shuffle bytes == suffix input bytes.
+The final merge is **hierarchical** when ``dist.merge == "tree"``:
+device-level pairwise merge rounds (host-lane coordination events
+``cluster.merge.round<r>``; pairs move in parallel, so a round costs its
+largest sender) and the host ingests only the root -- one
+``cluster.merge`` event -- instead of serially gathering every
+per-device buffer.  Conservation still holds by construction: the bytes
+the host stages per chunk are exactly the bytes the flush/chunk model
+says each shard sends, and each destination's suffix re-uploads its
+routed share of them.
+
+``num_devices == 1`` bypasses all of this: no partitioning, no exchange,
+no host merge -- the run is the plain single-device Executor on the
+original plan, byte- and time-identical to :func:`single_device_makespan`
+(so ``speedup_vs_1`` measures scaling, not partitioning overhead).
 
 Fault path: before each phase every device is probed at site
 ``device.<k>`` (and ``device.<k>.suffix``) for
 :attr:`~repro.faults.FaultKind.DEVICE_LOSS`.  A lost device's shards are
 re-executed on the least-loaded surviving device -- the top rung of the
 cluster degradation ladder (:data:`repro.faults.CLUSTER_DEGRADATION_ORDER`)
--- and the lost device is excluded from later phases.  Results are
-unaffected: the functional path below is loss-agnostic by construction.
+-- and marked ``recovered``.  Destinations are fixed when the exchange
+starts, so a device lost at the suffix probe has its *slot* recovered on
+a survivor too.  Results are unaffected: the functional path below is
+loss-agnostic by construction.
 
 Functional path (``functional``): real relations are partitioned with the
 same deterministic partitioner, the local subplan is interpreted per
 shard, the frontier is exchanged/merged under the byte-identity rules of
-:mod:`repro.cluster.exchange`, and the suffix is interpreted per
-destination (exchange) or on the host (host mode).  The result is
-byte-identical to :func:`repro.plans.interp.evaluate_sinks` on the
-unsharded inputs -- asserted by the cluster test suite for TPC-H Q1/Q21.
+:mod:`repro.cluster.exchange` (chunk-streamed, and through the partial /
+tree-combine split whenever it is bit-exact), and the suffix is
+interpreted per destination (exchange) or on the host (host mode).  The
+result is byte-identical to :func:`repro.plans.interp.evaluate_sinks` on
+the unsharded inputs -- asserted by the cluster test suite for TPC-H
+Q1/Q21.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
 from ..cpubase.select import cpu_select_time
 from ..core.opmodels import out_row_nbytes
 from ..faults import FaultInjector, FaultPlan, as_injector
-from ..plans.distribute import DistributedPlan, distribute_plan
+from ..plans.distribute import (DistributedPlan, combine_agg_specs,
+                                distribute_plan)
 from ..plans.interp import evaluate
 from ..plans.plan import OpType, Plan
 from ..ra.relation import Relation
@@ -56,7 +83,7 @@ from ..simgpu.device import DeviceSpec
 from ..simgpu.timeline import EventKind, Timeline
 from . import exchange as xchg
 from .host import ClusterSpec, contended_device
-from .partition import (Partitioner, even_counts, parse_scheme,
+from .partition import (Partitioner, even_counts, hash_shard, parse_scheme,
                         range_boundaries)
 
 
@@ -77,6 +104,12 @@ class ClusterConfig:
     #: devices assumed concurrently active on the host's PCIe complex;
     #: None -> num_devices (worst case)
     pcie_sharers: int | None = None
+    #: lower partial aggregation below the exchange cut when the suffix
+    #: decomposes (:func:`repro.plans.distribute.find_preagg`)
+    preagg: bool = True
+    #: host-merge strategy override ("flat"/"tree"); None lets the
+    #: rewrite pick (tree whenever pre-aggregation applies)
+    merge: str | None = None
 
 
 @dataclass(frozen=True)
@@ -111,6 +144,11 @@ class ClusterRunResult:
     exchange_out_bytes: float
     exchange_in_bytes: float
     merge_bytes: float
+    #: largest single device's outbound exchange volume -- the
+    #: scaling-relevant number (total conserved bytes stay in
+    #: ``exchange_out_bytes``); under pre-aggregation this *decreases*
+    #: as devices are added
+    exchange_out_per_device: float = 0.0
     faults_injected: int = 0
     retries: int = 0
     reissues: int = 0
@@ -147,11 +185,15 @@ class ClusterRunResult:
             "cluster.partition_key": "/".join(self.dist.partition_key or ())
                                      or "positional",
             "cluster.suffix_mode": self.dist.suffix_mode,
+            "cluster.merge_strategy": self.dist.merge,
+            "cluster.preagg": int(self.dist.preagg is not None),
             "cluster.makespan_s": round(self.makespan, 9),
             "cluster.lost_devices": list(self.lost_devices),
             "cluster.recovered_shards": self.recovered_shards,
             "exchange.out_bytes": round(self.exchange_out_bytes, 3),
             "exchange.in_bytes": round(self.exchange_in_bytes, 3),
+            "exchange.out_bytes_per_device": round(
+                self.exchange_out_per_device, 3),
             "merge.bytes": round(self.merge_bytes, 3),
             "faults.injected": self.faults_injected,
             "faults.retries": self.retries,
@@ -208,7 +250,8 @@ class ClusterExecutor:
                    source_rows: dict[str, int]) -> DistributedPlan:
         return distribute_plan(
             plan, source_rows, self.config.num_devices,
-            scheme=self.config.scheme, seed=self.config.seed)
+            scheme=self.config.scheme, seed=self.config.seed,
+            preagg=self.config.preagg, merge=self.config.merge)
 
     def _as_dist(self, plan, source_rows) -> DistributedPlan:
         if isinstance(plan, DistributedPlan):
@@ -225,6 +268,9 @@ class ClusterExecutor:
         n = cfg.num_devices
         injector = as_injector(cfg.faults)
         notes: list[str] = list(dist.notes)
+
+        if n == 1:
+            return self._run_single(dist, source_rows, injector, notes)
 
         # -- device-loss probes (phase 1) -------------------------------
         lost: set[int] = set()
@@ -250,7 +296,8 @@ class ClusterExecutor:
                                   f"fault.device_loss.device.{dev_id}")
 
         # -- phase 1: shard-local plans ---------------------------------
-        local = dist.local_plan()
+        local = (dist.preagg_plan() if dist.preagg is not None
+                 else dist.local_plan())
         has_local = any(nd.op is not OpType.SOURCE for nd in local.nodes)
         owner: dict[int, int] = {}
         assigned = {d: 0 for d in alive}
@@ -263,6 +310,8 @@ class ClusterExecutor:
             assigned[dev_id] += 1
 
         local_out_total = 0.0
+        #: shard -> (start, makespan, output bytes, frontier est rows)
+        local_info: dict[int, tuple[float, float, float, float]] = {}
         if has_local:
             for shard in range(n):
                 dev_id = owner[shard]
@@ -273,6 +322,11 @@ class ClusterExecutor:
                 h2d, d2h, out = _phase_bytes(res.timeline)
                 local_out_total += out
                 clock[dev_id] = t0 + res.timeline.end_time
+                f_rows = 0.0
+                if dist.frontier:
+                    f_rows = float(estimate_sizes(local, rows).get(
+                        dist.frontier[0], 0.0))
+                local_info[shard] = (t0, res.timeline.end_time, out, f_rows)
                 shard_runs.append(ShardRun(
                     shard=shard, device=dev_id, phase="local", start=t0,
                     makespan=res.timeline.end_time, h2d_bytes=h2d,
@@ -283,11 +337,67 @@ class ClusterExecutor:
 
         # -- phase 2/3: exchange / host suffix / merge ------------------
         exchange_out = exchange_in = merge_bytes = 0.0
+        exchange_out_per_device = 0.0
         sizes = estimate_sizes(dist.plan, source_rows)
         if dist.suffix_mode == "exchange":
             ex = dist.exchange
-            exchange_out = local_out_total
-            # device-loss probes between the phases ("mid-run" losses)
+            # destinations and key-group routing are fixed when the
+            # pipelined exchange starts; the group -> destination map is
+            # the same hash the functional repartition applies to the
+            # factorized key, so destination sizes track reality
+            barrier_alive = list(alive)
+            n_dest = len(barrier_alive)
+            G = max(1, int(ex.est_groups))
+            gcount = np.bincount(
+                hash_shard(np.arange(G, dtype=np.int64), n_dest, dist.seed),
+                minlength=n_dest).astype(float)
+
+            # outbound chunks: pre-agg state flush blocks, or
+            # EXCHANGE_CHUNK_ROWS-row cuts of the raw frontier.  Chunk k
+            # of K becomes available (k+1)/K of the way through its
+            # shard's local run -- the stream the fission pipeline
+            # drains while later rows still compute.
+            chunks: list[tuple[float, int, int, float]] = []
+            out_per_shard: dict[int, float] = {}
+            for shard in range(n):
+                t0, mk, out, f_rows = local_info.get(
+                    shard, (0.0, 0.0, 0.0, 0.0))
+                if dist.preagg is not None:
+                    k_n = dist.preagg.flushes(f_rows)
+                    sizes_k = [float(dist.preagg.state_block_nbytes)] * k_n
+                else:
+                    k_n = max(1, -(-int(f_rows)
+                                   // xchg.EXCHANGE_CHUNK_ROWS))
+                    sizes_k = [out / k_n] * k_n
+                out_per_shard[shard] = float(sum(sizes_k))
+                for k, nb in enumerate(sizes_k):
+                    chunks.append((t0 + mk * (k + 1) / k_n, shard, k, nb))
+            exchange_out = sum(out_per_shard.values())
+            exchange_out_per_device = max(out_per_shard.values(),
+                                          default=0.0)
+
+            # the host lane stages chunks greedily in availability
+            # order; a destination is ready when its last inbound chunk
+            # has been staged
+            chunks.sort()
+            host_clock = 0.0
+            dest_ready = [0.0] * n_dest
+            dest_in = [0.0] * n_dest
+            for avail, shard, k, nb in chunks:
+                start = max(host_clock, avail)
+                dur = nb / self.costs.host_gather_bw
+                host_tl.add(start, start + dur, EventKind.HOST,
+                            f"cluster.exchange.s{shard}.c{k}", nbytes=nb)
+                host_clock = start + dur
+                for d in range(n_dest):
+                    share = nb * gcount[d] / G
+                    if share > 0.0:
+                        dest_in[d] += share
+                        dest_ready[d] = host_clock
+
+            # device-loss probes between the phases ("mid-run" losses);
+            # destinations are already fixed, so a lost slot is
+            # recovered on the least-loaded survivor
             if injector is not None:
                 for dev_id in list(alive):
                     if (len(alive) > 1 and injector.device_loss(
@@ -297,53 +407,115 @@ class ClusterExecutor:
                         timelines[dev_id].add(
                             t_barrier, t_barrier + detect_s, EventKind.HOST,
                             f"fault.device_loss.device.{dev_id}.suffix")
-            shuffle_s = exchange_out / self.costs.host_gather_bw
-            host_tl.add(t_barrier, t_barrier + shuffle_s, EventKind.HOST,
-                        "cluster.exchange", nbytes=exchange_out)
-            t2 = t_barrier + shuffle_s
-            suffix = dist.suffix_plan()
-            dest_rows = even_counts(ex.est_rows, len(alive))
-            ends = []
-            for slot, dev_id in enumerate(alive):
-                res = self._run_executor(
-                    suffix, {ex.buffer: dest_rows[slot]}, injector)
-                timelines[dev_id].extend(res.timeline, offset=t2)
+
+            suffix = (dist.combine_plan() if dist.preagg is not None
+                      else dist.suffix_plan())
+            src_name = (f"{dist.preagg.agg}.partial"
+                        if dist.preagg is not None else ex.buffer)
+            unit = float(dist.preagg.state_row_nbytes
+                         if dist.preagg is not None else ex.row_nbytes)
+            ends: list[float] = []
+            slot_out: list[float] = []
+            suffix_assigned = {d: 0 for d in alive}
+            for slot, home in enumerate(barrier_alive):
+                recovered = home not in alive
+                if recovered:
+                    dev_id = min(alive, key=lambda d: (
+                        suffix_assigned[d], clock[d], d))
+                else:
+                    dev_id = home
+                suffix_assigned[dev_id] += 1
+                rows_s = int(round(dest_in[slot] / unit))
+                if rows_s <= 0:
+                    slot_out.append(0.0)
+                    shard_runs.append(ShardRun(
+                        shard=slot, device=dev_id, phase="suffix",
+                        start=dest_ready[slot], makespan=0.0,
+                        h2d_bytes=0.0, d2h_bytes=0.0, output_bytes=0.0,
+                        degraded_to=None, recovered=recovered))
+                    continue
+                res = self._run_executor(suffix, {src_name: rows_s},
+                                         injector)
+                start = max(dest_ready[slot], clock[dev_id])
+                if recovered:
+                    start = max(start, t_barrier + detect_s)
+                timelines[dev_id].extend(res.timeline, offset=start)
+                clock[dev_id] = start + res.timeline.end_time
                 h2d, d2h, out = _phase_bytes(res.timeline)
                 exchange_in += h2d
-                merge_bytes += out
-                ends.append(t2 + res.timeline.end_time)
+                slot_out.append(out)
+                ends.append(start + res.timeline.end_time)
                 shard_runs.append(ShardRun(
-                    shard=slot, device=dev_id, phase="suffix", start=t2,
+                    shard=slot, device=dev_id, phase="suffix", start=start,
                     makespan=res.timeline.end_time, h2d_bytes=h2d,
                     d2h_bytes=d2h, output_bytes=out,
-                    degraded_to=res.degraded_to))
-            t3 = max(ends) if ends else t2
+                    degraded_to=res.degraded_to, recovered=recovered))
+
+            t3 = max(ends) if ends else max(host_clock, t_barrier)
+            merge_bytes = sum(slot_out)
+            if dist.merge == "tree" and len(slot_out) > 1:
+                t3 = self._tree_rounds(host_tl, slot_out, t3)
             merge_s = merge_bytes / self.costs.host_gather_bw
             host_tl.add(t3, t3 + merge_s, EventKind.HOST, "cluster.merge",
                         nbytes=merge_bytes)
         elif dist.suffix_mode == "host":
-            # gather the frontier, then interpret the suffix on the host
-            # (priced like the cpubase rung: one CPU pass per node)
-            gather_bytes = local_out_total
-            suffix_s = gather_bytes / self.costs.host_gather_bw
-            for node in dist.plan.nodes:
-                if (node.name in dist.local_names
-                        or node.op is OpType.SOURCE):
-                    continue
-                prim = node.inputs[0] if node.inputs else node
-                suffix_s += cpu_select_time(
-                    sizes[prim.name], out_row_nbytes(prim))
-            merge_bytes = sum(
-                float(sizes[s.name]) * out_row_nbytes(s)
-                for s in dist.plan.sinks()
-                if s.name not in dist.local_names)
-            host_tl.add(t_barrier, t_barrier + suffix_s, EventKind.HOST,
-                        "cluster.merge", nbytes=gather_bytes)
+            if dist.preagg is not None:
+                # per-shard partial-state blocks combine pairwise up a
+                # device-level tree; the host ingests only the root and
+                # runs the combine + post chain there
+                cap = float(dist.preagg.state_block_nbytes)
+                state_row = float(dist.preagg.state_row_nbytes)
+                level = [local_info[s][2] for s in sorted(local_info)]
+                t_m = t_barrier
+                if dist.merge == "tree" and len(level) > 1:
+                    t_m = self._tree_rounds(host_tl, level, t_m, cap=cap)
+                    root_bytes = self._tree_root(level, cap)
+                else:
+                    root_bytes = float(sum(level))
+                merge_bytes = root_bytes
+                suffix_s = root_bytes / self.costs.host_gather_bw
+                suffix_s += cpu_select_time(root_bytes / state_row,
+                                            int(state_row))
+                skip = set(dist.preagg.lowered) | {dist.preagg.agg}
+                for node in dist.plan.nodes:
+                    if (node.name in dist.local_names
+                            or node.op is OpType.SOURCE
+                            or node.name in skip):
+                        continue
+                    prim = node.inputs[0] if node.inputs else node
+                    suffix_s += cpu_select_time(
+                        sizes[prim.name], out_row_nbytes(prim))
+                host_tl.add(t_m, t_m + suffix_s, EventKind.HOST,
+                            "cluster.merge", nbytes=root_bytes)
+            else:
+                # gather the frontier, then interpret the suffix on the
+                # host (priced like the cpubase rung: one CPU pass per
+                # node)
+                gather_bytes = local_out_total
+                suffix_s = gather_bytes / self.costs.host_gather_bw
+                for node in dist.plan.nodes:
+                    if (node.name in dist.local_names
+                            or node.op is OpType.SOURCE):
+                        continue
+                    prim = node.inputs[0] if node.inputs else node
+                    suffix_s += cpu_select_time(
+                        sizes[prim.name], out_row_nbytes(prim))
+                merge_bytes = sum(
+                    float(sizes[s.name]) * out_row_nbytes(s)
+                    for s in dist.plan.sinks()
+                    if s.name not in dist.local_names)
+                host_tl.add(t_barrier, t_barrier + suffix_s,
+                            EventKind.HOST, "cluster.merge",
+                            nbytes=gather_bytes)
         else:  # fully local: the host only merges per-shard sink outputs
             merge_bytes = local_out_total
             merge_s = merge_bytes / self.costs.host_gather_bw
             host_tl.add(t_barrier, t_barrier + merge_s, EventKind.HOST,
                         "cluster.merge", nbytes=merge_bytes)
+
+        if dist.suffix_mode != "exchange":
+            exchange_out_per_device = max(
+                (info[2] for info in local_info.values()), default=0.0)
 
         makespan = max([tl.end_time for tl in timelines.values()]
                        + [host_tl.end_time])
@@ -352,7 +524,9 @@ class ClusterExecutor:
             host_timeline=host_tl, makespan=makespan, shard_runs=shard_runs,
             lost_devices=tuple(sorted(lost)),
             exchange_out_bytes=exchange_out, exchange_in_bytes=exchange_in,
-            merge_bytes=merge_bytes, notes=tuple(notes))
+            merge_bytes=merge_bytes,
+            exchange_out_per_device=exchange_out_per_device,
+            notes=tuple(notes))
         if injector is not None:
             result.faults_injected = injector.faults_injected
             result.retries = injector.retries
@@ -361,6 +535,81 @@ class ClusterExecutor:
             from ..validate.cluster import validate_cluster
             validate_cluster(result, self.device).raise_if_failed()
         return result
+
+    # ------------------------------------------------------------------
+    def _run_single(self, dist: DistributedPlan, source_rows: dict[str, int],
+                    injector: FaultInjector | None,
+                    notes: list[str]) -> ClusterRunResult:
+        """num_devices == 1: the cluster degenerates to the plain
+        single-device Executor on the original plan -- no partitioning,
+        no exchange, no host merge -- so makespan and bytes equal
+        :func:`single_device_makespan` exactly."""
+        cfg = self.config
+        if injector is not None and injector.device_loss("device.0"):
+            notes.append("sole device probed lost; retained "
+                         "(no survivor to recover on)")
+        res = self._run_executor(dist.plan, dict(source_rows), injector)
+        h2d, d2h, out = _phase_bytes(res.timeline)
+        result = ClusterRunResult(
+            config=cfg, dist=dist, device_timelines={0: res.timeline},
+            host_timeline=Timeline(), makespan=res.timeline.end_time,
+            shard_runs=[ShardRun(
+                shard=0, device=0, phase="local", start=0.0,
+                makespan=res.timeline.end_time, h2d_bytes=h2d,
+                d2h_bytes=d2h, output_bytes=out,
+                degraded_to=res.degraded_to)],
+            lost_devices=(), exchange_out_bytes=0.0, exchange_in_bytes=0.0,
+            merge_bytes=0.0, exchange_out_per_device=0.0,
+            notes=tuple(notes))
+        if injector is not None:
+            result.faults_injected = injector.faults_injected
+            result.retries = injector.retries
+            result.reissues = injector.reissues
+        if cfg.check:
+            from ..validate.cluster import validate_cluster
+            validate_cluster(result, self.device).raise_if_failed()
+        return result
+
+    def _tree_rounds(self, host_tl: Timeline, level: list[float],
+                     t0: float, cap: float | None = None) -> float:
+        """Price pairwise device-level merge rounds onto the host lane
+        (coordination events; pairs move in parallel so a round costs its
+        largest sender).  Returns the time the root is ready."""
+        r = 0
+        level = list(level)
+        while len(level) > 1:
+            senders = [level[i + 1] for i in range(0, len(level) - 1, 2)]
+            nxt = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    merged = level[i] + level[i + 1]
+                    nxt.append(min(merged, cap) if cap is not None
+                               else merged)
+                else:
+                    nxt.append(level[i])
+            dur = (max(senders) / self.costs.host_gather_bw
+                   if senders else 0.0)
+            host_tl.add(t0, t0 + dur, EventKind.HOST,
+                        f"cluster.merge.round{r}", nbytes=float(sum(senders)))
+            t0 += dur
+            level = nxt
+            r += 1
+        return t0
+
+    @staticmethod
+    def _tree_root(level: list[float], cap: float | None = None) -> float:
+        level = list(level)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    merged = level[i] + level[i + 1]
+                    nxt.append(min(merged, cap) if cap is not None
+                               else merged)
+                else:
+                    nxt.append(level[i])
+            level = nxt
+        return float(level[0]) if level else 0.0
 
     # ------------------------------------------------------------------
     def _run_executor(self, plan: Plan, rows: dict[str, int],
@@ -396,7 +645,10 @@ class ClusterExecutor:
 
         Loss-agnostic: the data path always uses all ``num_shards`` shards
         and destinations; device losses only reroute *where* a shard's
-        timing runs, never what it computes.
+        timing runs, never what it computes.  The exchange streams in
+        chunks (:func:`repro.cluster.exchange.repartition_chunked`) and,
+        when the partial/combine split is bit-exact, shards really do
+        exchange partial aggregate states and tree-combine them.
         """
         dist = self._as_dist(
             plan, {name: rel.num_rows for name, rel in sources.items()})
@@ -434,7 +686,11 @@ class ClusterExecutor:
             elif src.kind == "replicated":
                 parts[src.name] = [sources[src.name]] * n
 
-        local = dist.local_plan()
+        # the exact partial/combine split really runs on the data path;
+        # a non-exact split (float sums re-associate) is timing-only and
+        # the referee keeps the raw whole-group exchange
+        exact_preagg = dist.preagg is not None and dist.preagg.exact
+        local = dist.preagg_plan() if exact_preagg else dist.local_plan()
         local_sources = {s.name for s in local.sources()}
         shard_results: list[dict[str, Relation]] = []
         for shard in range(n):
@@ -448,26 +704,53 @@ class ClusterExecutor:
         if dist.suffix_mode == "none":
             return outputs
 
-        suffix = dist.suffix_plan()
         if dist.suffix_mode == "exchange":
             ex = dist.exchange
-            dest_parts = xchg.repartition(
-                [r[ex.buffer] for r in shard_results], ex.key, n, dist.seed)
-            per_dest = [evaluate(suffix, {ex.buffer: dp})
-                        for dp in dest_parts]
+            if exact_preagg:
+                partial = f"{dist.preagg.agg}.partial"
+                dest_parts = xchg.repartition_chunked(
+                    [r[partial] for r in shard_results],
+                    dist.preagg.group_by, n, dist.seed)
+                suffix = dist.combine_plan()
+                per_dest = [evaluate(suffix, {partial: dp})
+                            for dp in dest_parts]
+            else:
+                suffix = dist.suffix_plan()
+                dest_parts = xchg.repartition_chunked(
+                    [r[ex.buffer] for r in shard_results], ex.key, n,
+                    dist.seed)
+                per_dest = [evaluate(suffix, {ex.buffer: dp})
+                            for dp in dest_parts]
+            merge_groups = (xchg.merge_group_sorted_tree
+                            if dist.merge == "tree"
+                            else xchg.merge_group_sorted)
             for sink in suffix.sinks():
                 group_by = sink.params.get("group_by") or []
-                outputs[sink.name] = xchg.merge_group_sorted(
+                outputs[sink.name] = merge_groups(
                     [r[sink.name] for r in per_dest], group_by)
             return outputs
 
         # host mode
+        if exact_preagg:
+            agg_name = dist.preagg.agg
+            combined = xchg.combine_partial_states(
+                [r[f"{agg_name}.partial"] for r in shard_results],
+                list(dist.preagg.group_by),
+                combine_agg_specs(dist.node(agg_name)))
+            post = dist.post_plan()
+            res = evaluate(post, {agg_name: combined})
+            for sink in post.sinks():
+                outputs[sink.name] = res[sink.name]
+            return outputs
+        suffix = dist.suffix_plan()
         bound: dict[str, Relation] = {}
+        merge_all = (xchg.merge_concat_tree if dist.merge == "tree"
+                     else xchg.merge_concat)
         for name in dist.frontier:
             parts_f = [r[name] for r in shard_results]
             bound[name] = (parts_f[0]
                            if self._is_replicated(dist, name)
-                           else xchg.merge_concat(parts_f))
+                           else merge_all(parts_f))
         for name in dist.suffix_sources:
             bound[name] = sources[name]
         res = evaluate(suffix, bound)

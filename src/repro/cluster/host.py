@@ -16,10 +16,16 @@ crossover at ``host_bw / link_bw`` (~4 devices for the simulated C2070
 host) is what bends the scaling curves in ``BENCH_cluster.json``.
 
 We model this statically: each device gets a
-:class:`~repro.simgpu.device.DeviceSpec` whose PCIe calibration caps the
-four asymptotic bandwidths at the shared-host quotient.  The fixed
+:class:`~repro.simgpu.device.DeviceSpec` whose PCIe calibration carries
+the shared-host quotient as a **throughput cap**
+(``PcieCalibration.host_share_bw``): a transfer of ``n`` bytes takes
+``max(link_time(n), latency + n / (host_bw / sharers))``.  The fixed
 per-transfer latency and the saturation knee are per-link properties and
-stay unchanged.  Static (rather than time-varying) contention keeps every
+stay unchanged -- capping the *asymptotic* link bandwidths instead (the
+old model) silently multiplied the small-transfer knee penalty by the
+sharer count, which is what produced the spurious 4->8-device regression
+in early ``BENCH_cluster.json`` snapshots.  Static (rather than
+time-varying) contention keeps every
 per-device :class:`~repro.simgpu.engine.SimEngine` run a pure function of
 its own inputs -- the property the validation layer and the
 byte-identical CI smoke depend on -- at the cost of being conservative
@@ -36,21 +42,21 @@ from ..simgpu.device import DeviceSpec
 
 def contended_calibration(calib: Calibration, sharers: int,
                           host_staging_bw: float | None = None) -> Calibration:
-    """`calib` with staging bandwidth capped at the shared-host quotient."""
+    """`calib` with staging throughput capped at the shared-host quotient.
+
+    The four asymptotic link bandwidths, the latency, and the saturation
+    knee are untouched (they are per-link properties); the cap rides in
+    ``pcie.host_share_bw`` and applies in
+    :meth:`repro.simgpu.pcie.PcieModel.transfer_time` as a floor on
+    transfer time, so contention never amplifies the small-transfer knee.
+    """
     sharers = max(1, int(sharers))
     if sharers == 1:
         return calib
     host_bw = (host_staging_bw if host_staging_bw is not None
                else calib.cpu.read_bw)
     cap = host_bw / sharers
-    p = calib.pcie
-    return replace(calib, pcie=replace(
-        p,
-        pinned_h2d_bw=min(p.pinned_h2d_bw, cap),
-        pinned_d2h_bw=min(p.pinned_d2h_bw, cap),
-        paged_h2d_bw=min(p.paged_h2d_bw, cap),
-        paged_d2h_bw=min(p.paged_d2h_bw, cap),
-    ))
+    return replace(calib, pcie=replace(calib.pcie, host_share_bw=cap))
 
 
 def contended_device(base: DeviceSpec, sharers: int,

@@ -47,6 +47,24 @@ REPLICATE_FRACTION = 0.125
 #: below this many estimated frontier bytes an exchange is not worth its
 #: staging round trip and the suffix runs on the host instead
 EXCHANGE_MIN_BYTES = 1 << 20
+#: rows a shard's streaming pre-aggregation combiner accumulates before
+#: flushing a block of partial states to the exchange -- bounds on-device
+#: combiner state and lets state blocks overlap the rest of the shard's
+#: compute (the per-shard flush count is ``ceil(shard_rows / this)``, so
+#: per-device exchange volume *shrinks* as shards shrink)
+PREAGG_FLUSH_ROWS = 1 << 18
+#: aggregate functions with a decomposable (partial, combine) split
+_DECOMPOSABLE_AGGS = frozenset({"sum", "mean", "count", "min", "max"})
+#: decomposable functions whose combine is also *bit-exact* (integer or
+#: order-insensitive); float sums/means re-associate under partial
+#: aggregation, so the functional path only pre-aggregates these
+_EXACT_AGGS = frozenset({"count", "min", "max"})
+#: per-aggregate partial-state bytes beyond the output column: mean
+#: carries (sum, count) instead of one float
+_EXTRA_STATE_BYTES = {"mean": 8}
+#: how each decomposable aggregate's partial states re-reduce
+_COMBINE_FUNC = {"count": "sum", "sum": "sum", "min": "min",
+                 "max": "max", "mean": "mean"}
 
 _JOIN_OPS = (OpType.JOIN, OpType.SEMI_JOIN, OpType.ANTI_JOIN)
 
@@ -75,10 +93,49 @@ class ExchangeSpec:
     key: tuple[str, ...]             # repartition key (suffix group-by)
     row_nbytes: int
     est_rows: int
+    #: distinct key-group estimate of the keyed suffix aggregate; the
+    #: executor routes group ids to destinations with the same hash the
+    #: functional repartition uses, so simulated destination sizes track
+    #: the real per-destination group counts
+    est_groups: int = 1
 
     @property
     def est_bytes(self) -> int:
         return self.est_rows * self.row_nbytes
+
+
+@dataclass(frozen=True)
+class PreAggSpec:
+    """Partial aggregation pushed below the frontier cut.
+
+    The suffix's keyed AGGREGATE splits into ``partial`` (per shard,
+    below the cut -- together with the row-local/sort chain feeding it)
+    and ``combine`` (above the cut), so shards exchange blocks of partial
+    aggregate *states* instead of raw frontier rows.  A streaming
+    combiner flushes one state block per :data:`PREAGG_FLUSH_ROWS` input
+    rows, so a shard's outbound exchange volume is proportional to its
+    row count and *decreases* as devices are added.
+    """
+
+    agg: str                         # the suffix AGGREGATE being split
+    group_by: tuple[str, ...]
+    est_groups: int
+    state_row_nbytes: int
+    #: partial -> combine is bit-exact (count/min/max); float sums and
+    #: means re-associate, so when False the functional referee keeps the
+    #: raw whole-group exchange and only the timing path prices states
+    exact: bool
+    #: suffix chain nodes lowered below the cut along with the partial
+    lowered: tuple[str, ...] = ()
+
+    @property
+    def state_block_nbytes(self) -> int:
+        """Bytes of one flush block (every group has a slot)."""
+        return self.est_groups * self.state_row_nbytes
+
+    def flushes(self, shard_rows: int | float) -> int:
+        """State blocks a shard of `shard_rows` frontier rows emits."""
+        return max(1, -(-int(shard_rows) // PREAGG_FLUSH_ROWS))
 
 
 @dataclass(frozen=True)
@@ -99,6 +156,12 @@ class DistributedPlan:
     exchange: ExchangeSpec | None
     driver_shard_rows: tuple[int, ...]
     notes: tuple[str, ...] = ()
+    #: partial aggregation below the cut (None = raw frontier crosses)
+    preagg: PreAggSpec | None = None
+    #: how per-device partials reach the host: "flat" (serial host
+    #: gather) or "tree" (pairwise device-level merge rounds, host
+    #: touches only the root)
+    merge: str = "flat"
 
     # ------------------------------------------------------------------
     @property
@@ -178,6 +241,92 @@ class DistributedPlan:
                 params=dict(node.params), selectivity=node.selectivity,
                 out_row_nbytes=node.out_row_nbytes))
         return sub
+
+    # -- pre-aggregation subplans --------------------------------------
+    def preagg_plan(self) -> Plan:
+        """The lowered shard-local plan when :attr:`preagg` is set: the
+        local prefix, the lowered suffix chain, and the *partial* half of
+        the split aggregate (named ``<agg>.partial``).  The frontier
+        buffer is consumed on-device, so only state blocks leave."""
+        if self.preagg is None:
+            raise PlanError(f"plan {self.plan.name!r} has no pre-agg")
+        sub = self.local_plan()
+        sub.name = f"{self.plan.name}.preagg"
+        byname = {n.name: n for n in sub.nodes}
+        for name in (*self.preagg.lowered, self.preagg.agg):
+            node = self.node(name)
+            new_name = (f"{name}.partial" if name == self.preagg.agg
+                        else name)
+            byname[name] = sub._add(PlanNode(
+                node.op, new_name,
+                [byname[i.name] for i in node.inputs],
+                params=dict(node.params), selectivity=node.selectivity,
+                out_row_nbytes=node.out_row_nbytes))
+        return sub
+
+    def combine_plan(self) -> Plan:
+        """The global half when :attr:`preagg` is set: a SOURCE of
+        partial-state rows (``<agg>.partial``), the combine aggregate
+        (under the original aggregate's name, so downstream suffix nodes
+        bind unchanged), and whatever follows the aggregate."""
+        if self.preagg is None:
+            raise PlanError(f"plan {self.plan.name!r} has no pre-agg")
+        agg_node = self.node(self.preagg.agg)
+        combine_aggs = combine_agg_specs(agg_node)
+        sub = Plan(name=f"{self.plan.name}.combine")
+        src = sub.source(f"{self.preagg.agg}.partial",
+                         row_nbytes=self.preagg.state_row_nbytes)
+        mapped: dict[str, PlanNode] = {self.preagg.agg: sub._add(PlanNode(
+            OpType.AGGREGATE, self.preagg.agg, [src],
+            params={"group_by": list(self.preagg.group_by),
+                    "aggs": combine_aggs,
+                    "n_groups": agg_node.params.get("n_groups")},
+            selectivity=agg_node.selectivity))}
+        skip = set(self.preagg.lowered) | {self.preagg.agg}
+        for node in self.plan.topological():
+            if (node.name in self.local_names or node.op is OpType.SOURCE
+                    or node.name in skip):
+                continue
+            mapped[node.name] = sub._add(PlanNode(
+                node.op, node.name,
+                [mapped[i.name] for i in node.inputs],
+                params=dict(node.params), selectivity=node.selectivity,
+                out_row_nbytes=node.out_row_nbytes))
+        return sub
+
+    def post_plan(self) -> Plan:
+        """Suffix nodes strictly past the split aggregate, with the
+        aggregate's output as a SOURCE (the functional combine path binds
+        the tree-combined states there).  With no such nodes the plan is
+        just the source and the aggregate output is the sink."""
+        from ..core.opmodels import out_row_nbytes
+        if self.preagg is None:
+            raise PlanError(f"plan {self.plan.name!r} has no pre-agg")
+        agg_node = self.node(self.preagg.agg)
+        sub = Plan(name=f"{self.plan.name}.post")
+        mapped: dict[str, PlanNode] = {self.preagg.agg: sub.source(
+            self.preagg.agg, row_nbytes=out_row_nbytes(agg_node))}
+        skip = set(self.preagg.lowered) | {self.preagg.agg}
+        for node in self.plan.topological():
+            if (node.name in self.local_names or node.op is OpType.SOURCE
+                    or node.name in skip):
+                continue
+            mapped[node.name] = sub._add(PlanNode(
+                node.op, node.name,
+                [mapped[i.name] for i in node.inputs],
+                params=dict(node.params), selectivity=node.selectivity,
+                out_row_nbytes=node.out_row_nbytes))
+        return sub
+
+
+def combine_agg_specs(agg_node: PlanNode) -> dict:
+    """The combine half of a decomposable aggregate's (partial, combine)
+    split: partial states combine field-wise -- counts and sums add,
+    min/max re-reduce.  Mean-of-means only appears on the timing path
+    (``exact=False`` keeps the functional referee on the raw exchange)."""
+    from ..ra.arithmetic import AggSpec
+    return {name: AggSpec(_COMBINE_FUNC[spec.func], name)
+            for name, spec in agg_node.params["aggs"].items()}
 
 
 # ---------------------------------------------------------------------------
@@ -344,19 +493,84 @@ def _even_counts(n_rows: int, num_shards: int) -> tuple[int, ...]:
 
 
 # ---------------------------------------------------------------------------
+# pre-aggregation detection
+# ---------------------------------------------------------------------------
+
+def find_preagg(dist: "DistributedPlan") -> PreAggSpec | None:
+    """A :class:`PreAggSpec` for `dist`'s suffix, or None.
+
+    Pre-aggregation applies when the global suffix reads exactly one
+    frontier buffer (no whole-source reads), and the frontier feeds a
+    linear chain of row-local ops (SELECT/PROJECT/ARITH) or SORTs ending
+    at a keyed AGGREGATE whose functions all decompose into
+    (partial, combine).  The chain and the partial half then run below
+    the cut, per shard: row-local ops commute with sharding, a sort
+    feeding only the aggregate's grouping is order-insensitive to it,
+    and the combine re-reduces partial states above the cut.
+
+    Exported for :mod:`repro.analyze.cluster_lints` (CLU406 flags
+    hand-built distributions that skip a detectable opportunity).
+    """
+    from ..core.opmodels import out_row_nbytes
+    if dist.suffix_mode not in ("exchange", "host"):
+        return None
+    if len(dist.frontier) != 1 or dist.suffix_sources:
+        return None
+    plan = dist.plan
+    cur = dist.node(dist.frontier[0])
+    lowered: list[str] = []
+    agg: PlanNode | None = None
+    while agg is None:
+        nexts = [c for c in plan.consumers(cur)
+                 if c.name not in dist.local_names]
+        if len(nexts) != 1 or len(nexts[0].inputs) != 1:
+            return None
+        cur = nexts[0]
+        if cur.op is OpType.AGGREGATE:
+            agg = cur
+        elif cur.op in (OpType.SELECT, OpType.PROJECT, OpType.ARITH,
+                        OpType.SORT):
+            lowered.append(cur.name)
+        else:
+            return None
+    group_by = tuple(agg.params.get("group_by") or ())
+    aggs = agg.params.get("aggs") or {}
+    if not group_by or not aggs:
+        return None
+    funcs = [spec.func for spec in aggs.values()]
+    if any(f not in _DECOMPOSABLE_AGGS for f in funcs):
+        return None
+    n_groups = agg.params.get("n_groups")
+    if n_groups is None:
+        from ..runtime.sizes import estimate_sizes
+        rows = {s.name: s.rows for s in dist.sources}
+        n_groups = int(estimate_sizes(plan, rows).get(agg.name, 1))
+    state_row = (out_row_nbytes(agg)
+                 + sum(_EXTRA_STATE_BYTES.get(f, 0) for f in funcs))
+    return PreAggSpec(
+        agg=agg.name, group_by=group_by, est_groups=max(1, int(n_groups)),
+        state_row_nbytes=int(state_row),
+        exact=all(f in _EXACT_AGGS for f in funcs),
+        lowered=tuple(lowered))
+
+
+# ---------------------------------------------------------------------------
 # the rewrite
 # ---------------------------------------------------------------------------
 
 def distribute_plan(plan: Plan, source_rows: dict[str, int], num_shards: int,
                     scheme: str = "hash", seed: int = 0,
                     replicate_fraction: float = REPLICATE_FRACTION,
-                    exchange_min_bytes: int = EXCHANGE_MIN_BYTES
+                    exchange_min_bytes: int = EXCHANGE_MIN_BYTES,
+                    preagg: bool = True, merge: str | None = None
                     ) -> DistributedPlan:
     """Distribute `plan` over `num_shards` shards (see module docstring).
 
     Deterministic: the chosen driver, partition key, local/global split
     and suffix mode are pure functions of the plan shape, the row counts,
-    and the arguments.
+    and the arguments.  ``preagg=False`` disables the partial-aggregation
+    lowering (:func:`find_preagg`); ``merge`` overrides the host-merge
+    strategy ("flat"/"tree", default: tree whenever pre-agg applies).
     """
     plan.validate()
     if num_shards < 1:
@@ -433,7 +647,9 @@ def distribute_plan(plan: Plan, source_rows: dict[str, int], num_shards: int,
                     f"exchange {fname} on {'/'.join(exchange.key)} "
                     f"(~{exchange.est_bytes >> 20} MiB)")
 
-    return DistributedPlan(
+    if merge is not None and merge not in ("flat", "tree"):
+        raise PlanError(f"unknown merge strategy {merge!r}")
+    dist = DistributedPlan(
         plan=plan, num_shards=num_shards, scheme=scheme, seed=seed,
         driver=driver.name, partition_key=best_key,
         sources=tuple(source_dists), local_names=local_names,
@@ -441,7 +657,20 @@ def distribute_plan(plan: Plan, source_rows: dict[str, int], num_shards: int,
         suffix_mode=suffix_mode, exchange=exchange,
         driver_shard_rows=_even_counts(
             _source_rows(driver, source_rows), num_shards),
-        notes=tuple(notes))
+        notes=tuple(notes), merge=merge or "flat")
+    if preagg:
+        spec = find_preagg(dist)
+        if spec is not None:
+            import dataclasses
+            dist = dataclasses.replace(
+                dist, preagg=spec, merge=merge or "tree",
+                notes=dist.notes + (
+                    f"pre-aggregate {spec.agg} below the cut "
+                    f"({'exact' if spec.exact else 'timing-only'}; "
+                    f"~{spec.est_groups} groups x "
+                    f"{spec.state_row_nbytes} B states); "
+                    f"{merge or 'tree'} merge",))
+    return dist
 
 
 def _try_exchange(plan: Plan, dist: dict, fnode: PlanNode,
@@ -465,11 +694,13 @@ def _try_exchange(plan: Plan, dist: dict, fnode: PlanNode,
     suffix_nodes = [n for n in plan.topological()
                     if dist[n.name] is None and n.op is not OpType.SOURCE]
     key: tuple[str, ...] | None = None
+    key_agg: PlanNode | None = None
     for node in suffix_nodes:
         if node.op is OpType.AGGREGATE:
             group_by = node.params.get("group_by") or []
             if group_by:
                 key = tuple(group_by)
+                key_agg = node
             break
     if key is None:
         return None
@@ -496,5 +727,8 @@ def _try_exchange(plan: Plan, dist: dict, fnode: PlanNode,
     est_rows = int(est.get(fnode.name, 0))
     if est_rows * row_bytes < exchange_min_bytes:
         return None
+    est_groups = key_agg.params.get("n_groups")
+    if est_groups is None:
+        est_groups = int(est.get(key_agg.name, 1))
     return ExchangeSpec(buffer=fnode.name, key=key, row_nbytes=row_bytes,
-                        est_rows=est_rows)
+                        est_rows=est_rows, est_groups=max(1, int(est_groups)))

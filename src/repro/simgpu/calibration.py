@@ -98,6 +98,13 @@ class PcieCalibration:
     pinned_degradation: float = 0.12
     pinned_degradation_onset_bytes: float = 0.8e9
     pinned_degradation_span_bytes: float = 1.2e9
+    # shared-host staging cap (bytes/s), set by the cluster layer
+    # (:func:`repro.cluster.host.contended_calibration`): this device's
+    # share of the host's aggregate DRAM streaming bandwidth.  A transfer
+    # can never complete faster than ``nbytes / host_share_bw``, but the
+    # per-link latency and saturation knee are link properties and are NOT
+    # scaled by contention.  None = uncontended (single tenant).
+    host_share_bw: float | None = None
 
 
 @dataclass(frozen=True)

@@ -73,6 +73,12 @@ class PcieModel:
         if nbytes <= 0:
             return 0.0
         t = self.calib.latency_s + nbytes / self.bandwidth(nbytes, direction, memory)
+        if self.calib.host_share_bw is not None:
+            # shared-host contention is a *throughput cap*, not a link
+            # property: the transfer cannot stream faster than this
+            # device's share of host DRAM bandwidth, but the per-link
+            # latency and small-transfer knee are unchanged by neighbours
+            t = max(t, self.calib.latency_s + nbytes / self.calib.host_share_bw)
         if host_slowdown > 1.0:
             if memory is HostMemory.PAGED:
                 t += (host_slowdown - 1.0) * nbytes / self.bandwidth(

@@ -8,14 +8,21 @@ Extends the single-device sanitizer to a
   .validate_timeline`) -- devices have private engines, so lanes are
   audited separately, never merged;
 * **cross-device transfer conservation**: in exchange mode the bytes the
-  local phase downloaded as frontier output must match the bytes the host
-  shuffled, which must match the bytes the suffix phase re-uploaded
-  (device -> host -> device, nothing created or lost in the shuffle);
-* the host lane must carry the events the executor claims (one
-  ``cluster.exchange`` per exchange, exactly one ``cluster.merge``), with
-  matching byte counts;
-* every lost device must carry its ``fault.device_loss.*`` marker and no
-  local-phase work, and every shard must have run exactly once;
+  local phase sent (the chunk/flush model's per-shard outbound, reported
+  as ``exchange_out_bytes``) must match the bytes the host staged across
+  its ``cluster.exchange*`` chunk events, which must match the bytes the
+  suffix phase re-uploaded (device -> host -> device, nothing created or
+  lost in the shuffle);
+* the host lane must carry the events the executor claims: at least one
+  ``cluster.exchange*`` chunk event in exchange mode (the pipelined
+  exchange emits one per chunk), exactly one root ``cluster.merge``,
+  ``cluster.merge.round*`` events only under a tree merge -- and an
+  *empty* host lane for a 1-device cluster (which must degenerate to the
+  plain single-device run);
+* every lost device must carry its ``fault.device_loss.*`` marker, no
+  local-phase work on a device lost before the local phase and no suffix
+  work on any lost device; every shard must have run exactly once, and
+  every suffix slot at most once;
 * the reported makespan must equal the latest lane end.
 
 Tolerance: per-shard row counts come from ``estimate_sizes`` on the
@@ -81,7 +88,7 @@ def _check_exchange_conservation(result: Any,
             f"local phase staged out {out_b:.0f} B but the suffix phase "
             f"re-uploaded {in_b:.0f} B (tol {abs_tol:.0f} B)"))
     shuffled = sum(e.nbytes for e in result.host_timeline.events
-                   if e.tag == "cluster.exchange")
+                   if e.tag.startswith("cluster.exchange"))
     if not _bytes_close(out_b, shuffled, abs_tol):
         report.violations.append(Violation(
             "exchange-conservation",
@@ -91,18 +98,37 @@ def _check_exchange_conservation(result: Any,
 
 def _check_host_lane(result: Any, report: ValidationReport) -> None:
     tags = [e.tag for e in result.host_timeline.events]
-    n_exchange = tags.count("cluster.exchange")
-    want_exchange = 1 if result.dist.suffix_mode == "exchange" else 0
-    if n_exchange != want_exchange:
+    if result.config.num_devices == 1:
+        # a 1-device cluster must degenerate to the plain single-device
+        # run: no exchange, no host merge
+        if tags:
+            report.violations.append(Violation(
+                "host-lane",
+                f"1-device cluster must have an empty host lane, "
+                f"found events {tags}"))
+        return
+    n_exchange = sum(1 for t in tags if t.startswith("cluster.exchange"))
+    if result.dist.suffix_mode == "exchange":
+        if n_exchange < 1:
+            report.violations.append(Violation(
+                "host-lane",
+                "exchange mode but no cluster.exchange* chunk events"))
+    elif n_exchange:
         report.violations.append(Violation(
             "host-lane",
-            f"expected {want_exchange} cluster.exchange event(s), "
-            f"found {n_exchange}"))
+            f"suffix mode {result.dist.suffix_mode!r} but found "
+            f"{n_exchange} cluster.exchange* event(s)"))
     n_merge = tags.count("cluster.merge")
     if n_merge != 1:
         report.violations.append(Violation(
             "host-lane",
             f"expected exactly one cluster.merge event, found {n_merge}"))
+    rounds = [t for t in tags if t.startswith("cluster.merge.round")]
+    if rounds and getattr(result.dist, "merge", "flat") != "tree":
+        report.violations.append(Violation(
+            "host-lane",
+            f"merge strategy {result.dist.merge!r} but found tree-round "
+            f"events {rounds}"))
 
 
 def _check_losses_and_coverage(result: Any,
@@ -130,11 +156,25 @@ def _check_losses_and_coverage(result: Any,
     local = [r for r in result.shard_runs if r.phase == "local"]
     if local:
         seen = sorted(r.shard for r in local)
-        if seen != list(range(num)):
+        want = list(range(num)) if num > 1 else [0]
+        if seen != want:
             report.violations.append(Violation(
                 "shard-coverage",
                 f"local phase ran shards {seen}, expected exactly "
-                f"0..{num - 1} once each"))
+                f"{want} once each"))
+    suffix = [r for r in result.shard_runs if r.phase == "suffix"]
+    for run in suffix:
+        if run.device in result.lost_devices:
+            report.violations.append(Violation(
+                "device-loss",
+                f"suffix slot {run.shard} ran on device {run.device}, "
+                f"which was lost; slots must be recovered on survivors"))
+    slots = sorted(r.shard for r in suffix)
+    if len(slots) != len(set(slots)):
+        report.violations.append(Violation(
+            "shard-coverage",
+            f"suffix slots {slots} contain duplicates: each exchange "
+            f"destination must run exactly once"))
 
 
 def _check_makespan(result: Any, report: ValidationReport,

@@ -93,6 +93,25 @@ class TestCodesFire:
         (diag,) = report.diagnostics
         assert diag.severity is Severity.INFO
 
+    def test_clu406_missed_preagg(self):
+        # a distribution built with the lowering disabled ships raw
+        # frontier rows even though the suffix aggregate decomposes
+        raw = distribute_plan(build_q1_plan(), q1_source_rows(N), 4,
+                              preagg=False)
+        assert raw.preagg is None
+        report = Analyzer().run(raw)
+        assert "CLU406" in codes(report)
+        assert report.ok  # warning, not error
+
+    def test_clu407_flat_merge_on_wide_cluster(self, q1d):
+        flat = dataclasses.replace(q1d, merge="flat")
+        assert codes(Analyzer().run(flat)) == ["CLU407"]
+
+    def test_clu407_silent_on_narrow_cluster(self):
+        two = distribute_plan(build_q1_plan(), q1_source_rows(N), 2,
+                              merge="flat")
+        assert "CLU407" not in codes(Analyzer().run(two))
+
 
 class TestBaselineRoundTrip:
     def test_clu_findings_suppress_and_reload(self, q21d, tmp_path):
@@ -121,7 +140,8 @@ class TestBaselineRoundTrip:
 class TestPassMetadata:
     def test_registered_codes(self):
         assert ClusterLintPass.codes == (
-            "CLU401", "CLU402", "CLU403", "CLU404", "CLU405")
+            "CLU401", "CLU402", "CLU403", "CLU404", "CLU405",
+            "CLU406", "CLU407")
 
     def test_locations_use_distributed_name(self, q21d):
         skewed = dataclasses.replace(

@@ -97,6 +97,41 @@ class TestQ21:
         assert dist.global_names == {"agg_numwait", "sort_numwait"}
 
 
+class TestPreAggregation:
+    def test_q1_lowers_timing_only_preagg(self):
+        pre = q1_dist().preagg
+        assert pre is not None
+        assert pre.agg == "agg_pricing"
+        assert pre.group_by == ("returnflag", "linestatus")
+        assert not pre.exact          # float sums: timing-only lowering
+        assert pre.est_groups == 6
+        assert pre.state_block_nbytes == 6 * pre.state_row_nbytes
+        assert "sort_group" in pre.lowered
+
+    def test_q21_lowers_exact_preagg(self):
+        pre = q21_dist().preagg
+        assert pre is not None
+        assert pre.exact              # count: bit-exact combine
+        assert pre.group_by == ("suppkey",)
+
+    def test_preagg_false_disables_lowering(self):
+        assert q1_dist(preagg=False).preagg is None
+        assert q21_dist(preagg=False).preagg is None
+
+    def test_merge_defaults_to_tree_and_overrides(self):
+        assert q1_dist().merge == "tree"
+        assert q1_dist(merge="flat").merge == "flat"
+
+    def test_preagg_subplans_validate(self):
+        dist = q1_dist()
+        pre, comb = dist.preagg_plan(), dist.combine_plan()
+        pre.validate()
+        comb.validate()
+        partial = f"{dist.preagg.agg}.partial"
+        assert partial in {n.name for n in pre.sinks()}
+        assert partial in {n.name for n in comb.sources()}
+
+
 class TestDeterminismAndErrors:
     @pytest.mark.parametrize("make", [q1_dist, q21_dist])
     def test_rewrite_is_deterministic(self, make):

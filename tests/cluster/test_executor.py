@@ -133,13 +133,78 @@ class TestScaling:
         assert makespans[4] < makespans[1]
         assert makespans[4] < single_device_makespan(plan, rows)
 
-    def test_contention_bends_the_curve(self):
-        """Q21 is transfer-bound: past the host-memory crossover more
-        devices stop helping (8 is worse than 4)."""
+    def test_q21_scaling_is_monotone(self):
+        """Regression for the 8-device cliff: contention is a throughput
+        cap, not a knee amplifier, so Q21's makespan must be monotone
+        non-increasing 1 -> 2 -> 4 -> 8 (and strictly better at 8 than
+        4, where the old model regressed)."""
         plan, rows = build_q21_plan(), q21_rows()
         m = {d: ClusterExecutor(config=ClusterConfig(
-            num_devices=d)).run(plan, rows).makespan for d in (4, 8)}
-        assert m[8] > m[4]
+            num_devices=d, check=True)).run(plan, rows).makespan
+            for d in (1, 2, 4, 8)}
+        assert m[2] <= m[1] and m[4] <= m[2] and m[8] <= m[4]
+        assert m[8] < m[4]
+
+    def test_q1_preagg_shrinks_per_device_exchange(self):
+        """Pre-aggregation exchanges partial-state flush blocks instead
+        of raw frontier rows: per-device outbound volume must *decrease*
+        as devices are added, and sit far below the raw frontier."""
+        plan, rows = build_q1_plan(), q1_rows()
+        per_dev = {}
+        for d in (2, 4, 8):
+            cx = ClusterExecutor(config=ClusterConfig(num_devices=d))
+            res = cx.run(plan, rows)
+            assert res.dist.preagg is not None
+            per_dev[d] = res.exchange_out_per_device
+        assert per_dev[4] <= per_dev[2] and per_dev[8] <= per_dev[4]
+        assert per_dev[8] < per_dev[2]
+        # raw mode for comparison: the whole frontier crosses the wire
+        raw = ClusterExecutor(config=ClusterConfig(
+            num_devices=8, preagg=False)).run(plan, rows)
+        assert raw.dist.preagg is None
+        assert per_dev[8] < 0.001 * raw.exchange_out_per_device
+
+    def test_one_device_cluster_equals_plain_executor(self):
+        """N=1 must bypass partitioning/exchange entirely: same makespan
+        as the plain single-device Executor, empty host lane, no
+        exchange bytes."""
+        for make_plan, make_rows in ((build_q1_plan, q1_rows),
+                                     (build_q21_plan, q21_rows)):
+            plan, rows = make_plan(), make_rows()
+            cx = ClusterExecutor(config=ClusterConfig(num_devices=1,
+                                                      check=True))
+            res = cx.run(plan, rows)
+            assert res.makespan == single_device_makespan(plan, rows)
+            assert not res.host_timeline.events
+            assert res.exchange_out_bytes == 0
+            assert res.merge_bytes == 0
+            assert [r.shard for r in res.shard_runs] == [0]
+
+    def test_pipelined_exchange_overlaps_local_compute(self):
+        """The host stages chunk events during the local phase (pipelined
+        exchange), not in one post-barrier shuffle: at least one chunk
+        must finish before the last local run ends."""
+        cx = ClusterExecutor(config=ClusterConfig(num_devices=4))
+        res = cx.run(build_q1_plan(), q1_rows())
+        chunk_events = [e for e in res.host_timeline.events
+                        if e.tag.startswith("cluster.exchange.")]
+        assert len(chunk_events) > 1
+        local_end = max(r.start + r.makespan for r in res.shard_runs
+                        if r.phase == "local")
+        assert min(e.end for e in chunk_events) < local_end
+
+    def test_suffix_device_loss_recovers_slot(self):
+        """A device lost between the phases has its exchange destination
+        slot re-run on a survivor, marked recovered."""
+        plan, rows = build_q1_plan(), q1_rows()
+        cx = ClusterExecutor(config=ClusterConfig(
+            num_devices=4, faults=kill_device(1, phase=".suffix"),
+            check=True))
+        res = cx.run(plan, rows)
+        assert res.lost_devices == (1,)
+        rec = [r for r in res.shard_runs
+               if r.phase == "suffix" and r.recovered]
+        assert rec and all(r.device != 1 for r in rec)
 
 
 class TestRunResult:

@@ -1,10 +1,13 @@
-"""The shared-host PCIe contention model: per-device staging bandwidth
-is min(link_bw, host_bw / sharers), latency and knees stay per-link."""
+"""The shared-host PCIe contention model: contention is a throughput
+*cap* (``host_share_bw = host_bw / sharers``) applied as a floor on
+transfer time; the per-link asymptotes, latency, and saturation knee stay
+untouched, so contention never amplifies the small-transfer knee."""
 
 import pytest
 
 from repro.cluster import ClusterSpec, contended_calibration, contended_device
 from repro.simgpu import DeviceSpec
+from repro.simgpu.pcie import Direction, HostMemory, PcieModel
 
 
 @pytest.fixture(scope="module")
@@ -18,46 +21,77 @@ def pcie_bws(calib):
             p.paged_h2d_bw, p.paged_d2h_bw)
 
 
+def t_h2d(calib, nbytes):
+    return PcieModel(calib.pcie).transfer_time(
+        nbytes, Direction.H2D, HostMemory.PINNED)
+
+
 class TestContention:
     def test_single_sharer_is_identity(self, base):
         assert contended_calibration(base.calib, 1) is base.calib
         assert contended_device(base, 1) is base
 
+    def test_link_asymptotes_untouched(self, base):
+        got = contended_calibration(base.calib, 8)
+        assert pcie_bws(got) == pcie_bws(base.calib)
+        assert got.pcie.latency_s == base.calib.pcie.latency_s
+        assert (got.pcie.half_saturation_bytes
+                == base.calib.pcie.half_saturation_bytes)
+        assert got.gpu == base.calib.gpu
+        assert got.cpu == base.calib.cpu
+
     def test_cap_is_host_quotient(self, base):
-        sharers = 8
-        host_bw = base.calib.cpu.read_bw
-        got = contended_calibration(base.calib, sharers)
-        for orig, capped in zip(pcie_bws(base.calib), pcie_bws(got)):
-            assert capped == min(orig, host_bw / sharers)
+        got = contended_calibration(base.calib, 8)
+        assert got.pcie.host_share_bw == base.calib.cpu.read_bw / 8
 
     def test_few_devices_stay_link_limited(self, base):
-        # 2 sharers: 25/2 = 12.5 GB/s host share > every link rate,
-        # so the links stay the bottleneck and nothing changes
+        # 2 sharers: 25/2 = 12.5 GB/s host share > every link rate, so
+        # the link curve is the binding constraint at every size and
+        # transfer times do not change at all
         got = contended_calibration(base.calib, 2)
-        assert pcie_bws(got) == pcie_bws(base.calib)
+        for nbytes in (1e3, 1e5, 4e6, 64e6, 1e9):
+            assert t_h2d(got, nbytes) == t_h2d(base.calib, nbytes)
 
     def test_many_devices_become_host_limited(self, base):
+        # 8 sharers: 25/8 = 3.125 GB/s < link rate, so large transfers
+        # stream at the host share...
         got = contended_calibration(base.calib, 8)
-        host_share = base.calib.cpu.read_bw / 8
-        assert all(bw <= host_share for bw in pcie_bws(got))
-        assert pcie_bws(got) != pcie_bws(base.calib)
+        share = base.calib.cpu.read_bw / 8
+        n = 256e6
+        assert t_h2d(got, n) == pytest.approx(
+            base.calib.pcie.latency_s + n / share)
+        # ...while tiny transfers stay knee-limited, NOT knee-divided:
+        # the contended time never exceeds link_time + n/share
+        tiny = 1e4
+        assert t_h2d(got, tiny) <= (t_h2d(base.calib, tiny)
+                                    + tiny / share + 1e-12)
 
-    def test_bandwidth_monotone_in_sharers(self, base):
-        prev = pcie_bws(base.calib)
-        for sharers in (2, 4, 8, 16):
-            cur = pcie_bws(contended_calibration(base.calib, sharers))
-            assert all(c <= p for c, p in zip(cur, prev))
-            prev = cur
+    def test_no_knee_amplification(self, base):
+        # the old model divided the asymptote, charging the ~half_sat
+        # ramp penalty at the contended rate; the cap model charges the
+        # knee once, at the link rate.  A knee-sized transfer under 8
+        # sharers must cost far less than the old amplified price.
+        got = contended_calibration(base.calib, 8)
+        n = base.calib.pcie.half_saturation_bytes   # 4 MB
+        share = base.calib.cpu.read_bw / 8
+        old_model = base.calib.pcie.latency_s + (n + n) / share
+        assert t_h2d(got, n) < 0.75 * old_model
+
+    def test_transfer_time_monotone_in_sharers(self, base):
+        for nbytes in (1e5, 4e6, 64e6):
+            prev = t_h2d(base.calib, nbytes)
+            for sharers in (2, 4, 8, 16):
+                cur = t_h2d(contended_calibration(base.calib, sharers),
+                            nbytes)
+                assert cur >= prev
+                prev = cur
 
     def test_explicit_host_bw_overrides_calibration(self, base):
         got = contended_calibration(base.calib, 2, host_staging_bw=4e9)
-        assert all(bw <= 2e9 for bw in pcie_bws(got))
-
-    def test_link_properties_untouched(self, base):
-        got = contended_calibration(base.calib, 8)
-        assert got.pcie.latency_s == base.calib.pcie.latency_s
-        assert got.gpu == base.calib.gpu
-        assert got.cpu == base.calib.cpu
+        assert got.pcie.host_share_bw == 2e9
+        n = 64e6
+        assert t_h2d(got, n) == pytest.approx(
+            base.calib.pcie.latency_s + n / 2e9)
 
 
 class TestClusterSpec:
