@@ -10,6 +10,7 @@ codes (see ``docs/ANALYSIS.md`` for the catalog):
 * ``STR2xx`` -- stream-program races and deadlocks
 * ``IRL3xx`` -- compilerlite IR lints
 * ``CLU4xx`` -- cluster distribution lints on sharded plans
+* ``OPT5xx`` -- optimizer lints on hand-forced strategy choices
 
 Entry points: :class:`Analyzer` for programmatic use, ``repro analyze``
 on the CLI, and the opt-in ``analyze=True`` pre-flight on
@@ -23,6 +24,7 @@ from .diagnostics import AnalysisReport, Diagnostic, Severity, SourceLocation
 from .framework import Analyzer
 from .fusion_check import FusionCheckPass
 from .ir_lints import IrLintPass
+from .opt_lints import OptimizerLintPass
 from .plan_lints import PlanLintPass
 from .stream_check import StreamCheckPass
 from . import corpus
@@ -31,5 +33,5 @@ __all__ = [
     "Analyzer", "AnalysisReport", "Diagnostic", "Severity",
     "SourceLocation", "Baseline", "Suppression", "baseline_from_findings",
     "write_baseline", "PlanLintPass", "FusionCheckPass", "StreamCheckPass",
-    "IrLintPass", "ClusterLintPass", "corpus",
+    "IrLintPass", "ClusterLintPass", "OptimizerLintPass", "corpus",
 ]

@@ -9,6 +9,8 @@
 * :class:`~repro.compilerlite.ir.Program` -> IR lints (IRL3xx)
 * :class:`~repro.plans.distribute.DistributedPlan` -> cluster lints
   (CLU4xx), after plan lints on the underlying plan
+* :class:`~repro.optimizer.StrategyTarget` -> optimizer lints (OPT5xx)
+  on hand-forced strategy choices
 
 A configured :class:`~repro.analyze.baseline.Baseline` filters known
 findings out of every report.  ``strict=True`` raises
@@ -23,6 +25,7 @@ from typing import Any, Iterable
 from ..core.fusion import FusionResult
 from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
 from ..compilerlite.ir import Program
+from ..optimizer.space import StrategyTarget
 from ..plans.distribute import DistributedPlan
 from ..plans.plan import Plan
 from ..simgpu.device import DeviceSpec
@@ -32,12 +35,13 @@ from .cluster_lints import ClusterLintPass
 from .diagnostics import AnalysisReport, Diagnostic
 from .fusion_check import FusionCheckPass
 from .ir_lints import IrLintPass
+from .opt_lints import OptimizerLintPass
 from .plan_lints import PlanLintPass
 from .stream_check import StreamCheckPass
 
 #: analyzable target types, for error messages
-_TARGET_KINDS = ("Plan, DistributedPlan, FusionResult, SimStream(s), "
-                 "StreamPool, or Program")
+_TARGET_KINDS = ("Plan, DistributedPlan, StrategyTarget, FusionResult, "
+                 "SimStream(s), StreamPool, or Program")
 
 
 class Analyzer:
@@ -54,6 +58,7 @@ class Analyzer:
         self.stream_check = StreamCheckPass()
         self.ir_lints = IrLintPass()
         self.cluster_lints = ClusterLintPass()
+        self.opt_lints = OptimizerLintPass(self.device, costs)
 
     # -- dispatch --------------------------------------------------------
     def run(self, target: Any, unit: str | None = None,
@@ -67,6 +72,9 @@ class Analyzer:
             diags += self.cluster_lints.run(target)
             report.passes_run.append(self.plan_lints.name)
             report.passes_run.append(self.cluster_lints.name)
+        elif isinstance(target, StrategyTarget):
+            diags = self.opt_lints.run(target)
+            report.passes_run.append(self.opt_lints.name)
         elif isinstance(target, Plan):
             diags = self.plan_lints.run(target)
             report.passes_run.append(self.plan_lints.name)

@@ -7,6 +7,10 @@ select      run the SELECT-chain microbenchmark under every strategy
 q1 / q21 / q6
             run a TPC-H query functionally (synthetic data) and report the
             simulated strategy comparison
+optimize    price every execution strategy for a query with the
+            cost-based optimizer (docs/OPTIMIZER.md): --explain prints
+            the full pricing table, --no-cache disables the
+            compiled-plan cache, --repeat exercises cache hits
 fuse        show what the fusion pass does to a query plan (+ rendered
             fused-kernel source with --render)
 trace       write a Chrome trace of a strategy run for visual inspection
@@ -32,7 +36,6 @@ from .core.render import render_fused_kernel
 from .faults import parse_chaos
 from .plans import evaluate_sinks, pattern_census
 from .runtime import ExecutionConfig, Executor, Strategy
-from .runtime.autostrategy import run_auto
 from .runtime.select_chain import run_select_chain, select_chain_plan
 from .simgpu import DeviceSpec, describe_environment
 from .simgpu.trace import write_chrome_trace
@@ -112,11 +115,54 @@ def _cmd_query(args) -> int:
                         else "") + "]")
         print(f"  {strategy.value:16s} {r.makespan*1e3:9.1f} ms "
               f"({r.makespan/base:5.3f} of baseline){chaos}")
-    auto, choice = run_auto(plan, rows, ex)
-    print(f"  auto -> {choice.strategy.value} "
+    from .optimizer import Optimizer
+    decision = Optimizer(ex.device).choose(plan, rows, include_cpubase=False)
+    auto = ex.run(plan, rows,
+                  ExecutionConfig(strategy=decision.chosen.option.strategy))
+    print(f"  auto -> {decision.chosen.label} "
           f"({auto.makespan*1e3:.1f} ms)")
-    for reason in choice.reasons:
-        print(f"       - {reason}")
+    for cand in decision.ranked():
+        marker = " (chosen)" if cand.option == decision.chosen.option else ""
+        print(f"       - {cand.label}: {cand.price_s*1e3:.3f} ms "
+              f"simulated{marker}")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    import json
+
+    from .optimizer import Optimizer, PlanCache
+
+    if args.query in _QUERIES:
+        build, rows_fn = _QUERIES[args.query]
+        plan, rows = build(), rows_fn(args.elements)
+    else:
+        plan, rows = select_chain_plan(3), {"input": args.elements}
+
+    cache = None if args.no_cache else PlanCache()
+    opt = Optimizer(cache=cache)
+    decision = None
+    for _ in range(max(1, args.repeat)):
+        decision = opt.choose(plan, rows, max_devices=args.devices)
+    cached = " [cached decision]" if decision.cache_hit else ""
+    print(f"chosen: {decision.chosen.label} "
+          f"({decision.chosen.price_s*1e3:.3f} ms simulated){cached}")
+    if args.explain:
+        print()
+        print(decision.explain())
+    if cache is not None:
+        st = cache.stats()
+        print(f"cache: {st['cache.hits']} hit(s), "
+              f"{st['cache.misses']} miss(es), "
+              f"hit rate {st['cache.hit_rate']:.3f}")
+    if args.summary:
+        payload = decision.summary()
+        if cache is not None:
+            payload.update(cache.stats())
+        with open(args.summary, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote optimizer summary to {args.summary}")
     return 0
 
 
@@ -350,6 +396,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also run the query on generated data")
         p_q.add_argument("--scale-factor", type=float, default=0.01)
 
+    p_opt = sub.add_parser(
+        "optimize", help="price every execution strategy for a query with "
+                         "the cost-based optimizer (docs/OPTIMIZER.md) and "
+                         "report the chosen one with its rationale")
+    p_opt.add_argument("--query", choices=[*_QUERIES, "chain"],
+                       default="chain")
+    p_opt.add_argument("--elements", type=int, default=6_000_000,
+                       help="simulated input cardinality")
+    p_opt.add_argument("--devices", type=int, default=1,
+                       help="max simulated devices the optimizer may "
+                            "shard over (power-of-two counts enumerated)")
+    p_opt.add_argument("--explain", action="store_true",
+                       help="print the full pricing table: every "
+                            "enumerated strategy with its analytic "
+                            "estimate and simulated makespan")
+    p_opt.add_argument("--no-cache", action="store_true",
+                       help="disable the compiled-plan cache (every "
+                            "repeat re-prices from scratch)")
+    p_opt.add_argument("--repeat", type=int, default=1,
+                       help="ask for the same decision N times (repeats "
+                            "after the first hit the plan cache)")
+    p_opt.add_argument("--summary", metavar="PATH", default=None,
+                       help="write decision + cache counters as JSON "
+                            "(byte-identical across same-seed runs)")
+
     p_fuse = sub.add_parser("fuse", help="show the fusion pass's output")
     p_fuse.add_argument("--query", choices=[*_QUERIES, "chain"],
                         default="chain")
@@ -521,6 +592,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_query(args)
     if args.command == "fuse":
         return _cmd_fuse(args)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "compile":

@@ -79,7 +79,6 @@ def compile_plan(plan: Plan, source_rows: dict[str, int],
                  options: PipelineOptions = PipelineOptions(),
                  costs: StageCostParams = DEFAULT_STAGE_COSTS) -> CompiledPlan:
     """Run the full pipeline on a logical plan."""
-    from ..runtime.autostrategy import choose_strategy
     from ..runtime.sizes import estimate_sizes
     from ..runtime.strategies import Strategy
 
@@ -103,8 +102,14 @@ def compile_plan(plan: Plan, source_rows: dict[str, int],
             chains.append(chain_for_region(region.nodes, costs))
 
     if options.auto_strategy:
-        choice = choose_strategy(optimized, source_rows, device)
-        strategy, reasons = choice.strategy, choice.reasons
+        from ..optimizer import Optimizer
+        decision = Optimizer(device, costs=costs).choose(
+            optimized, source_rows, include_cpubase=False)
+        strategy = decision.chosen.option.strategy
+        reasons = tuple(
+            f"{c.label}: {c.price_s * 1e3:.3f} ms simulated"
+            + (" (chosen)" if c.option == decision.chosen.option else "")
+            for c in decision.ranked())
     else:
         strategy = Strategy.FUSED if options.fuse else Strategy.SERIAL
         reasons = ("strategy fixed by pipeline options",)

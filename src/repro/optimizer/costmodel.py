@@ -1,0 +1,230 @@
+"""The analytic cost model: closed-form prices over the calibration.
+
+Prices every :class:`~repro.optimizer.space.StrategyOption` from the
+same constants the simulator runs on (:mod:`repro.simgpu.calibration`)
+plus :class:`~repro.optimizer.stats.DataStats` -- no simulation.  The
+estimates are deliberately simple roofline-style sums (PCIe transfer
+curves + memory-bandwidth-bound kernels + launch overhead + the CPU
+calibration for host work), which buys two properties the tests pin
+down:
+
+* **monotone in row count** -- every term grows with bytes moved;
+* **fast** -- the OPT5xx analyzer lints and option pruning can price a
+  whole strategy space in microseconds.
+
+The optimizer itself refines these estimates by *simulating* the
+shortlisted candidates (the simulator is the authoritative price); the
+analytic model's job is ordering and explanation, not ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.fusion import fuse_plan
+from ..core.opmodels import out_row_nbytes
+from ..core.stagecosts import DEFAULT_STAGE_COSTS, StageCostParams
+from ..cluster.host import contended_device
+from ..cpubase.select import cpu_select_time
+from ..plans.distribute import DistributedPlan
+from ..plans.plan import OpType, Plan
+from ..runtime.sizes import estimate_sizes
+from ..runtime.strategies import Strategy
+from ..simgpu.device import DeviceSpec
+from ..simgpu.pcie import Direction, HostMemory, PcieModel
+from .space import StrategyOption
+from .stats import DataStats
+
+#: fraction of the smaller of (transfer, compute) a fission pipeline is
+#: assumed to hide (segment ramp-up/down keeps it below 1.0)
+_FISSION_OVERLAP = 0.85
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Priced components of one strategy option (seconds)."""
+
+    option: StrategyOption
+    h2d_s: float = 0.0
+    kernel_s: float = 0.0
+    d2h_s: float = 0.0
+    launch_s: float = 0.0
+    #: intermediate host round trips (WITH_ROUND_TRIP only)
+    roundtrip_s: float = 0.0
+    #: exchange staging + merge on the cluster host lane
+    exchange_s: float = 0.0
+    #: CPU work (host baseline, host-mode suffixes)
+    host_s: float = 0.0
+    #: time hidden by pipelining (fission overlap); subtracted
+    overlap_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return max(0.0, self.h2d_s + self.kernel_s + self.d2h_s
+                   + self.launch_s + self.roundtrip_s + self.exchange_s
+                   + self.host_s - self.overlap_s)
+
+    def components(self) -> dict[str, float]:
+        return {
+            "h2d_s": self.h2d_s, "kernel_s": self.kernel_s,
+            "d2h_s": self.d2h_s, "launch_s": self.launch_s,
+            "roundtrip_s": self.roundtrip_s, "exchange_s": self.exchange_s,
+            "host_s": self.host_s, "overlap_s": self.overlap_s,
+        }
+
+
+class CostModel:
+    """Analytic strategy pricing over one device's calibration."""
+
+    def __init__(self, device: DeviceSpec | None = None,
+                 costs: StageCostParams = DEFAULT_STAGE_COSTS):
+        self.device = device or DeviceSpec()
+        self.costs = costs
+        self.pcie = PcieModel(self.device.calib.pcie)
+
+    # ------------------------------------------------------------------
+    def estimate(self, plan: Plan, stats: DataStats, option: StrategyOption,
+                 dist: DistributedPlan | None = None) -> CostEstimate:
+        """Price one option; ``dist`` (when the caller already distributed
+        the plan) refines the cluster estimates with the real exchange
+        and pre-aggregation specs."""
+        if option.kind == "cpubase":
+            return self._estimate_cpubase(plan, stats, option)
+        if option.kind == "cluster":
+            return self._estimate_cluster(plan, stats, option, dist)
+        return self._estimate_single(plan, stats, option)
+
+    # -- single device ---------------------------------------------------
+    def _plan_shape(self, plan: Plan, stats: DataStats, fused: bool):
+        """(sizes, per-region (in_bytes, out_bytes, is_barrier, n_in))."""
+        sizes = estimate_sizes(plan, stats.source_rows())
+        fusion = fuse_plan(plan, enable=fused)
+        regions = []
+        for region in fusion.regions:
+            first = region.nodes[0]
+            primary = first.inputs[0] if first.inputs else first
+            n_in = sizes[primary.name]
+            out_node = region.output_node
+            regions.append((
+                float(n_in) * out_row_nbytes(primary),
+                float(sizes[out_node.name]) * out_row_nbytes(out_node),
+                region.is_barrier_op,
+                n_in,
+            ))
+        return sizes, fusion, regions
+
+    def _estimate_single(self, plan: Plan, stats: DataStats,
+                         option: StrategyOption,
+                         pcie: PcieModel | None = None) -> CostEstimate:
+        strategy = option.strategy
+        pcie = pcie or self.pcie
+        gpu = self.device.calib.gpu
+        sizes, fusion, regions = self._plan_shape(
+            plan, stats, strategy.uses_fusion)
+
+        input_bytes = sum(float(sizes[s.name]) * out_row_nbytes(s)
+                          for s in plan.sources())
+        sink_names = {n.name for n in plan.sinks()}
+        output_bytes = sum(float(sizes[n.name]) * out_row_nbytes(n)
+                           for n in plan.sinks())
+        mem = (HostMemory.PAGED if strategy is Strategy.WITH_ROUND_TRIP
+               else HostMemory.PINNED)
+        h2d_s = pcie.transfer_time(input_bytes, Direction.H2D, mem)
+        d2h_s = pcie.transfer_time(output_bytes, Direction.D2H, mem)
+
+        kernel_s = 0.0
+        launches = 0
+        roundtrip_s = 0.0
+        for in_b, out_b, is_barrier, n_in in regions:
+            touched = in_b + out_b
+            if is_barrier:
+                # multi-pass device sort/group: log2(n) sweeps over the data
+                touched *= max(1.0, math.log2(max(float(n_in), 2.0)) / 4.0)
+            kernel_s += touched / gpu.mem_bw
+            launches += 1
+            # every intermediate result bounces through host memory under
+            # the paper's "with round trip" baseline (SS III-B)
+            if (strategy is Strategy.WITH_ROUND_TRIP
+                    and out_b > 0.0):
+                roundtrip_s += (
+                    pcie.transfer_time(out_b, Direction.D2H, HostMemory.PAGED)
+                    + pcie.transfer_time(out_b, Direction.H2D,
+                                         HostMemory.PAGED))
+        launch_s = launches * gpu.kernel_launch_s
+
+        overlap_s = 0.0
+        if strategy.uses_fission:
+            # the pipelined prefix hides transfer under compute (or vice
+            # versa): the smaller of the two, discounted for segment ramp
+            overlap_s = _FISSION_OVERLAP * min(h2d_s, kernel_s)
+
+        return CostEstimate(
+            option=option, h2d_s=h2d_s, kernel_s=kernel_s, d2h_s=d2h_s,
+            launch_s=launch_s, roundtrip_s=roundtrip_s, overlap_s=overlap_s)
+
+    # -- host baseline ---------------------------------------------------
+    def _estimate_cpubase(self, plan: Plan, stats: DataStats,
+                          option: StrategyOption) -> CostEstimate:
+        sizes = estimate_sizes(plan, stats.source_rows())
+        host_s = 0.0
+        for node in plan.nodes:
+            if node.op is OpType.SOURCE:
+                continue
+            prim = node.inputs[0] if node.inputs else node
+            host_s += cpu_select_time(sizes[prim.name], out_row_nbytes(prim),
+                                      calib=self.device.calib.cpu)
+        return CostEstimate(option=option, host_s=host_s)
+
+    # -- cluster ---------------------------------------------------------
+    def _estimate_cluster(self, plan: Plan, stats: DataStats,
+                          option: StrategyOption,
+                          dist: DistributedPlan | None) -> CostEstimate:
+        n = option.devices
+        # the straggler shard: even split, or the heaviest value's share
+        # when the data is skewed past 1/N (hash sends equal keys together)
+        shard_frac = max(1.0 / n, min(1.0, stats.max_skew))
+        shard_stats = stats.scaled(shard_frac)
+
+        # per-shard local run on a *contended* device: staging bandwidth
+        # capped at this device's share of the host (cluster/host.py)
+        cdev = contended_device(self.device, n)
+        local = CostModel(cdev, self.costs)._estimate_single(
+            plan, shard_stats,
+            StrategyOption(kind="single", strategy=option.strategy))
+
+        exchange_s = 0.0
+        if dist is not None and dist.suffix_mode == "exchange":
+            ex = dist.exchange
+            if option.preagg and dist.preagg is not None:
+                pre = dist.preagg
+                shard_rows = float(ex.est_rows) * shard_frac
+                per_shard = pre.flushes(shard_rows) * pre.state_block_nbytes
+                exchange_bytes = float(per_shard) * n
+            else:
+                exchange_bytes = float(ex.est_bytes)
+            exchange_s = exchange_bytes / self.costs.host_gather_bw
+        elif dist is not None and dist.suffix_mode == "host":
+            sizes = estimate_sizes(plan, stats.source_rows())
+            for node in plan.nodes:
+                if node.name in dist.local_names or node.op is OpType.SOURCE:
+                    continue
+                prim = node.inputs[0] if node.inputs else node
+                exchange_s += cpu_select_time(
+                    sizes[prim.name], out_row_nbytes(prim),
+                    calib=self.device.calib.cpu)
+
+        # host merge of per-device results: tree pays log2(N) rounds on
+        # the largest sender, flat pays the serial sum
+        merge_unit = local.d2h_s
+        merge = ((dist.merge if dist is not None else "tree") or "flat")
+        if merge == "tree":
+            merge_s = merge_unit * max(1.0, math.ceil(math.log2(n)))
+        else:
+            merge_s = merge_unit * n
+
+        return CostEstimate(
+            option=option, h2d_s=local.h2d_s, kernel_s=local.kernel_s,
+            d2h_s=local.d2h_s, launch_s=local.launch_s,
+            roundtrip_s=local.roundtrip_s, overlap_s=local.overlap_s,
+            exchange_s=exchange_s + merge_s)

@@ -1,18 +1,20 @@
-"""Automatic strategy selection.
+"""Automatic strategy selection -- deprecation shim.
 
-Encodes the paper's decision rules as a tiny planner:
-
-* intermediates that fit on the device stay there -- *with round trip* is
-  only ever a forced fallback (SS III-B);
-* fusion is applied wherever the pass (with its cost model) finds fusable
-  chains (SS III-C);
-* fission is applied when there is a pipelinable prefix from the driver
-  input and the input transfer is worth hiding -- always true for
-  > GPU-memory inputs, and generally whenever PCIe dominates (SS IV).
+.. deprecated::
+    The rule-based planner this module used to implement is subsumed by
+    the cost-based optimizer (:mod:`repro.optimizer`, docs/OPTIMIZER.md):
+    :func:`choose_strategy` and :func:`run_auto` now delegate to
+    :class:`repro.optimizer.Optimizer` restricted to the paper's
+    single-device strategy space, so old imports keep working and return
+    the same choices -- now priced by the simulator instead of
+    hand-written rules.  New code should call ``Optimizer.choose`` /
+    ``Optimizer.run`` directly (they also consider the host baseline and
+    multi-device cluster shapes, and cache their decisions).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..core.fusion import fuse_plan
@@ -30,64 +32,79 @@ class StrategyChoice:
     reasons: tuple[str, ...]
 
 
-def choose_strategy(plan: Plan, source_rows: dict[str, int],
-                    device: DeviceSpec | None = None,
-                    memory_safety: float = 0.9) -> StrategyChoice:
-    """Pick the execution strategy the paper's rules imply for this plan."""
-    device = device or DeviceSpec()
-    plan.validate()
-    sizes = estimate_sizes(plan, source_rows)
-    reasons: list[str] = []
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.runtime.autostrategy.{name} is deprecated; use "
+        f"repro.optimizer.Optimizer instead (docs/OPTIMIZER.md)",
+        DeprecationWarning, stacklevel=3)
 
+
+def _legacy_reasons(plan: Plan, sizes: dict[str, int],
+                    device: DeviceSpec, memory_safety: float) -> list[str]:
+    """The paper-rule commentary the old planner printed; kept so the
+    choice stays explainable in the same vocabulary."""
+    reasons: list[str] = []
     fr = fuse_plan(plan)
-    fusable = fr.num_fused_regions > 0
-    if fusable:
+    if fr.num_fused_regions > 0:
         reasons.append(
             f"fusion: {fr.num_fused_regions} fusable region(s) save "
             f"{fr.num_kernels_saved} kernel(s)")
     else:
         reasons.append("fusion: no fusable chains (barriers or shared "
                        "intermediates everywhere)")
-
-    # does the working set fit?
     total_bytes = sum(float(sizes[n.name]) * out_row_nbytes(n)
                       for n in plan.nodes)
     budget = device.global_mem_bytes * memory_safety
-    oversized = total_bytes > budget
-    if oversized:
+    if total_bytes > budget:
         reasons.append(
             f"working set ~{total_bytes/2**30:.1f} GiB exceeds the "
             f"{budget/2**30:.1f} GiB device budget: stream with fission")
-
-    # is there something to pipeline?  (a non-barrier region fed by the
-    # largest source)
     driver = max(plan.sources(), key=lambda s: sizes[s.name])
-    driver_feeds_chain = any(
-        not r.is_barrier_op and r.nodes[0].inputs
-        and r.nodes[0].inputs[0] is driver
-        for r in fr.regions)
-    if driver_feeds_chain and not oversized:
+    if any(not r.is_barrier_op and r.nodes[0].inputs
+           and r.nodes[0].inputs[0] is driver for r in fr.regions):
         reasons.append("fission: input transfer can overlap the first "
                        "compute region")
+    return reasons
 
-    use_fission = oversized or driver_feeds_chain
-    if fusable and use_fission:
-        strategy = Strategy.FUSED_FISSION
-    elif fusable:
-        strategy = Strategy.FUSED
-    elif use_fission:
-        strategy = Strategy.FISSION
-    else:
-        strategy = Strategy.SERIAL
+
+def _choose(plan: Plan, source_rows: dict[str, int],
+            device: DeviceSpec, memory_safety: float,
+            cache=None) -> StrategyChoice:
+    from ..optimizer import Optimizer
+
+    opt = Optimizer(device, cache=cache)
+    decision = opt.choose(plan, source_rows, include_cpubase=False)
+    strategy = decision.chosen.option.strategy
+    sizes = estimate_sizes(plan, source_rows)
+    reasons = _legacy_reasons(plan, sizes, device, memory_safety)
+    if strategy is Strategy.SERIAL:
         reasons.append("serial: nothing to fuse or pipeline")
+    reasons.append(
+        f"optimizer: {strategy.value} priced cheapest of "
+        f"{len(decision.candidates)} candidate(s) "
+        f"({decision.chosen.price_s * 1e3:.3f} ms simulated)")
     return StrategyChoice(strategy=strategy, reasons=tuple(reasons))
+
+
+def choose_strategy(plan: Plan, source_rows: dict[str, int],
+                    device: DeviceSpec | None = None,
+                    memory_safety: float = 0.9) -> StrategyChoice:
+    """Pick the execution strategy for this plan (deprecated shim: the
+    choice now comes from the cost-based optimizer)."""
+    _deprecated("choose_strategy")
+    device = device or DeviceSpec()
+    plan.validate()
+    return _choose(plan, source_rows, device, memory_safety)
 
 
 def run_auto(plan: Plan, source_rows: dict[str, int],
              executor: Executor | None = None) -> tuple[RunResult, StrategyChoice]:
-    """Choose a strategy and run the plan with it."""
+    """Choose a strategy and run the plan with it (deprecated shim)."""
+    _deprecated("run_auto")
     executor = executor or Executor()
-    choice = choose_strategy(plan, source_rows, executor.device)
+    plan.validate()
+    choice = _choose(plan, source_rows, executor.device, 0.9,
+                     cache=executor.plan_cache)
     result = executor.run(plan, source_rows,
                           ExecutionConfig(strategy=choice.strategy))
     return result, choice

@@ -5,6 +5,14 @@ profiler runs a plan functionally, compares every node's *actual* output
 cardinality against the estimate, and reports the error -- the tool for
 checking that a plan's annotations (and hence its simulated results) are
 trustworthy on a given dataset.
+
+.. deprecated::
+    Stats *collection* now lives in the optimizer
+    (:class:`repro.optimizer.DataStats`, docs/OPTIMIZER.md):
+    :func:`observed_stats` delegates there and is what the cost model
+    prices against.  This module's error profiling remains the tool for
+    auditing annotations; :meth:`EstimateProfile.data_stats` bridges a
+    profile into the optimizer's input.
 """
 
 from __future__ import annotations
@@ -41,6 +49,18 @@ class EstimateRecord:
 @dataclass
 class EstimateProfile:
     records: list[EstimateRecord]
+    #: (plan, sources) the profile was taken on; lets :meth:`data_stats`
+    #: bridge into the optimizer's observed statistics
+    inputs: tuple | None = None
+
+    def data_stats(self):
+        """The optimizer-ready :class:`repro.optimizer.DataStats` of the
+        profiled dataset (rows, widths, group cardinalities, skew)."""
+        if self.inputs is None:
+            raise ValueError("profile has no recorded inputs")
+        from ..optimizer import DataStats
+        plan, sources = self.inputs
+        return DataStats.from_relations(plan, sources)
 
     def worst(self) -> EstimateRecord:
         finite = [r for r in self.records if r.relative_error != float("inf")]
@@ -75,4 +95,18 @@ def profile_estimates(plan: Plan, sources: dict[str, Relation]
         for node in plan.topological()
         if node.op is not OpType.SOURCE
     ]
-    return EstimateProfile(records=records)
+    return EstimateProfile(records=records, inputs=(plan, dict(sources)))
+
+
+def observed_stats(plan: Plan, sources: dict[str, Relation]):
+    """Deprecated shim: the optimizer's observed data statistics
+    (:meth:`repro.optimizer.DataStats.from_relations`) -- rows, widths,
+    group cardinalities, and skew measured on the real relations."""
+    import warnings
+
+    warnings.warn(
+        "repro.runtime.estimates.observed_stats is deprecated; use "
+        "repro.optimizer.DataStats.from_relations (docs/OPTIMIZER.md)",
+        DeprecationWarning, stacklevel=2)
+    from ..optimizer import DataStats
+    return DataStats.from_relations(plan, sources)

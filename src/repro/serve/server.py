@@ -77,6 +77,11 @@ class ServeConfig:
     faults: FaultPlan | None = None
     #: device lanes sharing one host (1 = the classic serial server)
     devices: int = 1
+    #: content-addressed dispatch cache
+    #: (:class:`repro.optimizer.plancache.PlanCache`): a repeat batch --
+    #: same plans, same stats, same platform -- skips planning, analysis,
+    #: and simulation entirely and replays the priced result
+    plan_cache: object | None = None
 
     def __post_init__(self):
         if self.mode not in ("batched", "isolated"):
@@ -386,6 +391,14 @@ class QueryServer:
         cfg = self.config
         fault_plan = (cfg.faults.reseeded(batch_idx)
                       if cfg.faults is not None else None)
+        cache_key = None
+        if cfg.plan_cache is not None:
+            cache_key = self._dispatch_key(batch, fault_plan)
+            hit = cfg.plan_cache.get(cache_key)
+            if hit is not None:
+                # repeat batch: the priced dispatch replays verbatim --
+                # no planning, no analysis, no simulation
+                return hit
         wsched = self._wscheds[lane]
         wsched.faults = fault_plan
         plans = [r.plan() for r in batch]
@@ -419,10 +432,36 @@ class QueryServer:
         except FaultError:
             if self._pools[lane] is not None:
                 self._pools[lane].reset()
+            # a fault-poisoned batch is never cached: pinning the degraded
+            # timeline would replay the failure for every repeat query
             return self._dispatch_degraded(batch, fault_plan, warnings)
         faults_seen = sum(
             1 for ev in result.timeline.events if ev.tag.startswith("fault."))
-        return result.makespan, result.timeline, False, faults_seen, warnings
+        out = (result.makespan, result.timeline, False, faults_seen, warnings)
+        if cache_key is not None:
+            cfg.plan_cache.put(cache_key, out)
+        return out
+
+    def _dispatch_key(self, batch: list[QueryRequest],
+                      fault_plan: FaultPlan | None) -> str:
+        """Content address of one dispatch: the batch's plans and row
+        stats + serve knobs + lane-device calibration (+ the reseeded
+        fault plan when chaos is on, which keys each batch uniquely --
+        deliberately: a faulted schedule must not stand in for a clean
+        one)."""
+        from ..optimizer.fingerprint import (calibration_fingerprint,
+                                             plan_fingerprint)
+        cfg = self.config
+        if not hasattr(self, "_lane_device_fp"):
+            self._lane_device_fp = calibration_fingerprint(self.lane_device)
+        plans_fp = tuple(
+            (plan_fingerprint(r.plan()), tuple(sorted(
+                r.source_rows().items())))
+            for r in batch)
+        return cfg.plan_cache.key(
+            "serve", cfg.mode, cfg.max_streams, cfg.memory_safety,
+            cfg.check, cfg.analyze, self._lane_device_fp, plans_fp,
+            fault_plan)
 
     def _dispatch_degraded(self, batch: list[QueryRequest],
                            fault_plan: FaultPlan | None,

@@ -1,0 +1,80 @@
+"""Property tests on the cost model and chooser.
+
+Two invariants, each checked across a population of seeded stats
+profiles (rows, widths, group cardinalities, skew all varied):
+
+* **monotone in rows** -- scaling every table's cardinality up never
+  makes any strategy's analytic estimate cheaper;
+* **devices never hurt** -- opening the cluster space
+  (``max_devices > 1``) never yields a worse chosen price than the best
+  single-device decision, because the single-device options stay
+  enumerated alongside the cluster shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.optimizer import CostModel, DataStats, Optimizer, TableStats
+from repro.optimizer.space import enumerate_options
+from repro.runtime.select_chain import select_chain_plan
+from repro.simgpu import DeviceSpec
+from repro.tpch import build_q6_plan
+
+PROFILE_SEEDS = list(range(12))
+
+SCALES = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def _profile(plan, seed: int) -> DataStats:
+    """One seeded stats profile: random cardinality, group count, skew."""
+    rng = np.random.default_rng(seed)
+    base = DataStats.from_rows(
+        plan, {s.name: int(rng.integers(10_000, 20_000_000))
+               for s in plan.sources()})
+    return DataStats(tables=tuple(
+        (name, TableStats(
+            rows=ts.rows, row_nbytes=ts.row_nbytes,
+            distinct=(("k", int(rng.integers(2, 10_000))),),
+            skew=float(rng.uniform(0.0, 0.9))))
+        for name, ts in base.tables))
+
+
+class TestMonotoneInRows:
+    @pytest.mark.parametrize("seed", PROFILE_SEEDS)
+    def test_every_strategy_estimate_is_monotone(self, seed):
+        plan = build_q6_plan() if seed % 2 else select_chain_plan(3)
+        stats = _profile(plan, seed)
+        model = CostModel(DeviceSpec())
+        for option in enumerate_options(plan, stats):
+            prev = None
+            for scale in SCALES:
+                total = model.estimate(plan, stats.scaled(scale),
+                                       option).total_s
+                if prev is not None:
+                    assert total >= prev - 1e-12, (
+                        f"seed={seed} option={option.label}: estimate "
+                        f"dropped from {prev} to {total} at x{scale}")
+                prev = total
+
+
+class TestDevicesNeverHurt:
+    @pytest.mark.parametrize("rows", [200_000, 2_000_000, 6_000_000,
+                                      20_000_000])
+    def test_cluster_space_never_worse_than_single(self, rows):
+        plan = build_q6_plan()
+        opt = Optimizer()
+        single = opt.choose(plan, {"lineitem": rows}, max_devices=1)
+        multi = opt.choose(plan, {"lineitem": rows}, max_devices=4)
+        assert multi.chosen.price_s <= single.chosen.price_s + 1e-12, (
+            f"opening the cluster space at {rows} rows made the decision "
+            f"worse: {multi.chosen.label} {multi.chosen.price_s} vs "
+            f"{single.chosen.label} {single.chosen.price_s}")
+
+    def test_single_options_still_enumerated_at_multi(self):
+        plan = build_q6_plan()
+        decision = Optimizer().choose(plan, {"lineitem": 1_000_000},
+                                      max_devices=4)
+        labels = {c.label for c in decision.candidates}
+        assert {"serial", "fused", "fission", "fused_fission",
+                "with_round_trip", "cpubase"} <= labels
+        assert any(label.startswith("cluster") for label in labels)

@@ -1,0 +1,49 @@
+"""Deprecation shims: the old autostrategy / estimates entry points keep
+working, warn, and agree with the optimizer they now delegate to."""
+
+import pytest
+
+from repro.optimizer import DataStats, Optimizer
+from repro.plans.fuzz import random_plan_case
+from repro.runtime.autostrategy import StrategyChoice, choose_strategy, run_auto
+from repro.runtime.estimates import observed_stats, profile_estimates
+from repro.runtime.select_chain import select_chain_plan
+
+ROWS = {"input": 50_000_000}
+
+
+class TestAutostrategyShim:
+    def test_choose_strategy_warns(self):
+        with pytest.warns(DeprecationWarning, match="choose_strategy"):
+            choice = choose_strategy(select_chain_plan(2), ROWS)
+        assert isinstance(choice, StrategyChoice)
+
+    def test_choice_matches_optimizer(self):
+        plan = select_chain_plan(2)
+        with pytest.warns(DeprecationWarning):
+            choice = choose_strategy(plan, ROWS)
+        decision = Optimizer().choose(plan, ROWS, include_cpubase=False)
+        assert choice.strategy is decision.chosen.option.strategy
+        assert any("optimizer" in r for r in choice.reasons)
+
+    def test_run_auto_warns_and_runs_the_choice(self):
+        plan = select_chain_plan(2)
+        with pytest.warns(DeprecationWarning, match="run_auto"):
+            result, choice = run_auto(plan, ROWS)
+        assert result.strategy is choice.strategy
+        assert result.makespan > 0
+
+
+class TestEstimatesShim:
+    def test_observed_stats_warns_and_delegates(self):
+        case = random_plan_case(3)
+        with pytest.warns(DeprecationWarning, match="observed_stats"):
+            stats = observed_stats(case.plan, case.sources)
+        assert stats == DataStats.from_relations(case.plan, case.sources)
+        assert stats.total_rows > 0
+
+    def test_profile_bridges_into_data_stats(self):
+        case = random_plan_case(3)
+        profile = profile_estimates(case.plan, case.sources)
+        assert profile.data_stats() == DataStats.from_relations(
+            case.plan, case.sources)

@@ -43,7 +43,9 @@ class TestChooseStrategy:
         t = plan.source("t", row_nbytes=8)
         n = plan.select(t, Field("k") < 1, name="a")
         plan.sort(n)  # single select, nothing to fuse; select feeds driver
-        choice = choose_strategy(plan, {"t": 1_000_000})
+        # large enough that pipelined transfer beats the chunk overhead
+        # (the optimizer prices the break-even; tiny inputs stay serial)
+        choice = choose_strategy(plan, {"t": 10_000_000})
         assert choice.strategy is Strategy.FISSION
 
     def test_reasons_populated(self):
