@@ -26,6 +26,7 @@ from .fusion_check import FusionCheckPass
 from .ir_lints import IrLintPass
 from .opt_lints import OptimizerLintPass
 from .plan_lints import PlanLintPass
+from .serve_lints import ServeLintPass
 from .stream_check import StreamCheckPass
 from . import corpus
 
@@ -33,5 +34,6 @@ __all__ = [
     "Analyzer", "AnalysisReport", "Diagnostic", "Severity",
     "SourceLocation", "Baseline", "Suppression", "baseline_from_findings",
     "write_baseline", "PlanLintPass", "FusionCheckPass", "StreamCheckPass",
-    "IrLintPass", "ClusterLintPass", "OptimizerLintPass", "corpus",
+    "IrLintPass", "ClusterLintPass", "OptimizerLintPass", "ServeLintPass",
+    "corpus",
 ]

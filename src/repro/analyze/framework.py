@@ -11,6 +11,8 @@
   (CLU4xx), after plan lints on the underlying plan
 * :class:`~repro.optimizer.StrategyTarget` -> optimizer lints (OPT5xx)
   on hand-forced strategy choices
+* :class:`~repro.workers.merge.PoolReport` -> serving-pool lints
+  (SRV6xx) on a closed worker pool's report
 
 A configured :class:`~repro.analyze.baseline.Baseline` filters known
 findings out of every report.  ``strict=True`` raises
@@ -37,11 +39,12 @@ from .fusion_check import FusionCheckPass
 from .ir_lints import IrLintPass
 from .opt_lints import OptimizerLintPass
 from .plan_lints import PlanLintPass
+from .serve_lints import ServeLintPass
 from .stream_check import StreamCheckPass
 
 #: analyzable target types, for error messages
 _TARGET_KINDS = ("Plan, DistributedPlan, StrategyTarget, FusionResult, "
-                 "SimStream(s), StreamPool, or Program")
+                 "SimStream(s), StreamPool, Program, or PoolReport")
 
 
 class Analyzer:
@@ -59,6 +62,7 @@ class Analyzer:
         self.ir_lints = IrLintPass()
         self.cluster_lints = ClusterLintPass()
         self.opt_lints = OptimizerLintPass(self.device, costs)
+        self.serve_lints = ServeLintPass()
 
     # -- dispatch --------------------------------------------------------
     def run(self, target: Any, unit: str | None = None,
@@ -84,6 +88,9 @@ class Analyzer:
         elif isinstance(target, Program):
             diags = self.ir_lints.run(target)
             report.passes_run.append(self.ir_lints.name)
+        elif _is_pool_report(target):
+            diags = self.serve_lints.run(target)
+            report.passes_run.append(self.serve_lints.name)
         else:
             streams = _as_streams(target)
             if streams is None:
@@ -108,6 +115,13 @@ class Analyzer:
         if strict:
             merged.raise_if_errors()
         return merged
+
+
+def _is_pool_report(target: Any) -> bool:
+    """Lazy isinstance against :class:`repro.workers.merge.PoolReport`
+    (imported here to keep analyze importable without the pool)."""
+    from ..workers.merge import PoolReport
+    return isinstance(target, PoolReport)
 
 
 def _as_streams(target: Any) -> list[SimStream] | None:

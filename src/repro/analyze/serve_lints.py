@@ -1,0 +1,117 @@
+"""Serving-pool lints (SRV6xx): post-run audits of a worker-pool report.
+
+Runs over a :class:`~repro.workers.merge.PoolReport` (the artifact a
+closed pool hands back; ``repro serve --workers N --pool-report``).
+Unlike the pool sanitizer (:mod:`repro.validate.workers`), which checks
+hard invariants, these are *advisory* findings about pool health.
+
+========  ========  ====================================================
+code      severity  meaning
+========  ========  ====================================================
+SRV601    warning   tenant-shard skew: the busiest worker took >= 2x its
+                    fair share of dispatches -- tenant hashing landed
+                    hot tenants together; consider
+                    ``--rebalance least-bytes``
+SRV602    error     idempotency-key collision: two *different* dispatches
+                    (different batch index or content fingerprint)
+                    produced the same dispatch key -- retries of one
+                    would be served the other's recorded result
+SRV603    error     dead-worker replay gap: a crash recovery restored +
+                    re-dispatched fewer entries than the dead worker
+                    owned, or a recorded dispatch survives in no
+                    worker's log -- completions were lost
+========  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .diagnostics import Diagnostic, Severity, SourceLocation
+
+#: SRV601 fires when busiest-worker dispatches reach this multiple of the
+#: fair share (total / workers)
+SKEW_FACTOR = 2.0
+#: ... but only once the run is big enough for skew to mean anything
+SKEW_MIN_DISPATCHES = 8
+
+
+class ServeLintPass:
+    """All SRV6xx checks over one worker-pool report."""
+
+    name = "serve-lints"
+    codes = ("SRV601", "SRV602", "SRV603")
+
+    def run(self, report: Any) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        self._shard_skew(report, diags)
+        self._key_collisions(report, diags)
+        self._replay_gaps(report, diags)
+        return diags
+
+    # -- helpers ---------------------------------------------------------
+    def _diag(self, code: str, severity: Severity, message: str,
+              kind: str, name: str) -> Diagnostic:
+        return Diagnostic(
+            code=code, severity=severity, message=message,
+            location=SourceLocation("serve-pool", kind, name),
+            pass_name=self.name)
+
+    def _shard_skew(self, report: Any, diags: list[Diagnostic]) -> None:
+        """SRV601: one worker took >= 2x its fair dispatch share."""
+        per_worker = report.dispatches_per_worker()
+        total = sum(per_worker.values())
+        if report.num_workers < 2 or total < SKEW_MIN_DISPATCHES:
+            return
+        fair = total / report.num_workers
+        worker, busiest = max(per_worker.items(), key=lambda kv: (kv[1],
+                                                                  -kv[0]))
+        if busiest >= SKEW_FACTOR * fair:
+            hot = sorted(t for t, ws in report.tenant_workers().items()
+                         if worker in ws)
+            diags.append(self._diag(
+                "SRV601", Severity.WARNING,
+                f"worker {worker} took {busiest} of {total} dispatches "
+                f"({busiest / fair:.1f}x the fair share of {fair:.1f}); "
+                f"tenants {hot} hash together -- consider "
+                f"--rebalance least-bytes",
+                "worker", str(worker)))
+
+    def _key_collisions(self, report: Any,
+                        diags: list[Diagnostic]) -> None:
+        """SRV602: distinct dispatches sharing one idempotency key."""
+        by_token: dict[str, set[tuple[int, str]]] = {}
+        for rec in report.dispatches:
+            by_token.setdefault(rec.key_token, set()).add(
+                (rec.batch_idx, rec.query_fingerprint))
+        for token, members in sorted(by_token.items()):
+            if len(members) > 1:
+                idxs = sorted(b for b, _ in members)
+                diags.append(self._diag(
+                    "SRV602", Severity.ERROR,
+                    f"dispatches {idxs} collide on idempotency key "
+                    f"{token[:32]}...: a retry of one would replay the "
+                    f"other's result",
+                    "key", token[:32]))
+
+    def _replay_gaps(self, report: Any, diags: list[Diagnostic]) -> None:
+        """SRV603: crash recovery lost entries."""
+        for ev in report.respawns:
+            replayed = ev.restored + ev.redispatched
+            if replayed < ev.expected:
+                diags.append(self._diag(
+                    "SRV603", Severity.ERROR,
+                    f"worker {ev.worker} died owning {ev.expected} "
+                    f"outbox entries but replay covered only {replayed} "
+                    f"({ev.restored} restored + {ev.redispatched} "
+                    f"re-dispatched): completions were lost",
+                    "worker", str(ev.worker)))
+        logged = {rec.batch_idx for rec in report.dispatches}
+        expected = {a.sequence for a in report.assignments}
+        missing = sorted(expected - logged)
+        if missing:
+            diags.append(self._diag(
+                "SRV603", Severity.ERROR,
+                f"dispatch(es) {missing} were routed but survive in no "
+                f"worker's log: a dead worker's shard was not replayed",
+                "pool", "coverage"))

@@ -36,15 +36,12 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-from ..errors import FaultError
 from ..faults import FaultPlan
-from ..runtime.executor import Executor
-from ..runtime.workload import QueryWorkload, WorkloadScheduler
 from ..simgpu.device import DeviceSpec
 from ..simgpu.timeline import Timeline
-from ..streampool import StreamPool
 from .admission import AdmissionController, AdmissionDecision
 from .arrivals import ArrivalProcess, QueryRequest
+from .dispatch import DispatchEngine, DispatchRequest
 from .metrics import DeviceLaneStats, ServeMetrics
 from .queue import BoundedPriorityQueue
 from .scheduler import BatchScheduler
@@ -80,14 +77,31 @@ class ServeConfig:
     #: content-addressed dispatch cache
     #: (:class:`repro.optimizer.plancache.PlanCache`): a repeat batch --
     #: same plans, same stats, same platform -- skips planning, analysis,
-    #: and simulation entirely and replays the priced result
+    #: and simulation entirely and replays the priced result.  The cache
+    #: is process-private: with ``workers > 1`` each worker holds its own
+    #: copy (pooled hit-rates merge via ``PlanCache.merge_stats``)
     plan_cache: object | None = None
+    #: warm worker processes simulating dispatches (docs/SERVING.md,
+    #: "Worker pools"); 1 = simulate in-process.  The pool changes *where*
+    #: dispatches are simulated, never *what* they compute: summaries are
+    #: byte-identical across worker counts at the same seed
+    workers: int = 1
+    #: tenant->worker routing: "hash" (stable blake2b of the tenant id) or
+    #: "least-bytes" (epoch-pinned least-outstanding-bytes rebalancing)
+    worker_rebalance: str = "hash"
+    #: seed component of the pool's idempotent dispatch keys
+    pool_seed: int = 0
 
     def __post_init__(self):
         if self.mode not in ("batched", "isolated"):
             raise ValueError(f"unknown serve mode {self.mode!r}")
         if self.devices < 1:
             raise ValueError(f"devices must be >= 1, got {self.devices}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.worker_rebalance not in ("hash", "least-bytes"):
+            raise ValueError(
+                f"unknown worker_rebalance {self.worker_rebalance!r}")
 
 
 @dataclass
@@ -140,19 +154,35 @@ class QueryServer:
     """Serves an arrival trace on the simulated device."""
 
     def __init__(self, device: DeviceSpec | None = None,
-                 config: ServeConfig = ServeConfig()):
+                 config: ServeConfig = ServeConfig(),
+                 kill_worker: int | None = None):
         self.device = device or DeviceSpec()
         self.config = config
-        if config.devices > 1:
-            from ..cluster.host import contended_device
-            self.lane_device = contended_device(self.device, config.devices)
+        self.engine = DispatchEngine(self.device, config)
+        if config.workers > 1:
+            from ..workers import WorkerPool
+            self._backend = WorkerPool(self.device, config,
+                                       kill_worker=kill_worker)
         else:
-            self.lane_device = self.device
-        self._wscheds = [
-            WorkloadScheduler(self.lane_device, check=config.check,
-                              analyze=config.analyze)
-            for _ in range(config.devices)]
-        self._pools: list[StreamPool | None] = [None] * config.devices
+            self._backend = self.engine
+        #: stats returned by the backend at close (worker-pool report
+        #: material; empty for the in-process backend)
+        self.backend_stats: dict = {}
+
+    @property
+    def lane_device(self) -> DeviceSpec:
+        return self.engine.lane_device
+
+    @property
+    def pool(self):
+        """The WorkerPool backend, or None for in-process serving."""
+        return self._backend if self._backend is not self.engine else None
+
+    def close(self) -> dict:
+        """Shut the dispatch backend down (terminates pool workers) and
+        return its final stats."""
+        self.backend_stats = self._backend.close()
+        return self.backend_stats
 
     # ------------------------------------------------------------------
     def run(self, trace: list[QueryRequest] | None = None,
@@ -197,6 +227,7 @@ class QueryServer:
 
         now = 0.0
         batch_idx = 0
+        epoch = 0
         while pending or len(queue):
             if not len(queue):
                 now = max(now, pending[0][0])
@@ -222,8 +253,10 @@ class QueryServer:
             if not batch:
                 continue
 
-            makespan, timeline, degraded, faults_seen, warnings = \
-                self._dispatch(batch, batch_idx)
+            assignment = DispatchRequest(tuple(batch), batch_idx, 0)
+            epoch += 1
+            (makespan, timeline, degraded, faults_seen, warnings), = \
+                self._backend.execute_round([assignment], epoch)
             segments.append((now, timeline))
             metrics.batches += 1
             metrics.batch_sizes.append(len(batch))
@@ -234,12 +267,15 @@ class QueryServer:
             admission.note_service(len(batch), makespan)
 
             t_end = now + makespan
+            completions: list[tuple[str, float, bool]] = []
             for req in batch:
                 ok = t_end <= req.deadline_s
                 metrics.record_completion(req.tenant, t_end - req.arrival_s, ok)
                 records.append(RequestRecord(
                     req, "completed" if ok else "missed_deadline", t_end))
+                completions.append((req.tenant, t_end - req.arrival_s, ok))
                 respond(req, t_end)
+            self._backend.acknowledge(batch_idx, t_end, batch_idx, completions)
             now = t_end
             batch_idx += 1
 
@@ -289,6 +325,7 @@ class QueryServer:
         now = 0.0
         batch_idx = 0
         seq = 0
+        epoch = 0
         last_end = 0.0
         while pending or len(queue) or inflight:
             while pending and pending[0][0] <= now:
@@ -306,9 +343,11 @@ class QueryServer:
                     records.append(RequestRecord(req, "shed_backpressure"))
                     respond(req, req.arrival_s)
             while inflight and inflight[0][0] <= now:
-                t_end, _, dev, batch, nbytes = heapq.heappop(inflight)
+                t_end, order, dev, batch, nbytes, bidx = \
+                    heapq.heappop(inflight)
                 outstanding[dev] -= nbytes
                 last_end = max(last_end, t_end)
+                completions: list[tuple[str, float, bool]] = []
                 for req in batch:
                     ok = t_end <= req.deadline_s
                     metrics.record_completion(
@@ -316,15 +355,22 @@ class QueryServer:
                     records.append(RequestRecord(
                         req, "completed" if ok else "missed_deadline",
                         t_end))
+                    completions.append((req.tenant, t_end - req.arrival_s, ok))
                     respond(req, t_end)
+                self._backend.acknowledge(bidx, t_end, order, completions)
             for req in queue.drop_expired(now):
                 metrics.shed_expired += 1
                 records.append(RequestRecord(req, "shed_expired"))
                 respond(req, now)
 
-            progressed = False
+            # form the whole round before executing it: routing below only
+            # depends on pre-round lane state (a routed lane leaves `idle`,
+            # and `outstanding`/`note_service` updates cannot influence the
+            # same round), so deferring execution is outcome-identical and
+            # lets the worker-pool backend fan a round out across processes
             idle = [dev for dev in range(cfg.devices)
                     if busy_until[dev] <= now]
+            assignments: list[DispatchRequest] = []
             while idle and len(queue):
                 batch = scheduler.next_batch(queue, now)
                 if not batch:
@@ -333,35 +379,42 @@ class QueryServer:
                 # lowest device id
                 dev = min(idle, key=lambda d: (outstanding[d], d))
                 idle.remove(dev)
-                makespan, timeline, degraded, faults_seen, warnings = \
-                    self._dispatch(batch, batch_idx, lane=dev)
-                segments.append((now, timeline))
-                segment_devices.append(dev)
-                nbytes = sum(request_footprint(r) for r in batch)
-                metrics.batches += 1
-                metrics.batch_sizes.append(len(batch))
-                metrics.busy_s += makespan
-                metrics.degraded_batches += int(degraded)
-                metrics.faults_observed += faults_seen
-                metrics.analysis_warnings += warnings
-                lane = metrics.per_device[dev]
-                lane.batches += 1
-                lane.queries += len(batch)
-                lane.busy_s += makespan
-                lane.dispatched_bytes += nbytes
-                # the estimator sees per-query service time as before;
-                # with N lanes the backlog drains N-wide, so the wait a
-                # queued query faces shrinks accordingly
-                admission.note_service(
-                    len(batch) * cfg.devices, makespan)
-                t_end = now + makespan
-                busy_until[dev] = t_end
-                outstanding[dev] += nbytes
-                heapq.heappush(inflight, (t_end, seq, dev, batch, nbytes))
-                seq += 1
+                assignments.append(
+                    DispatchRequest(tuple(batch), batch_idx, dev))
                 batch_idx += 1
-                progressed = True
-            if progressed:
+            if assignments:
+                epoch += 1
+                outcomes = self._backend.execute_round(assignments, epoch)
+                for a, (makespan, timeline, degraded, faults_seen,
+                        warnings) in zip(assignments, outcomes):
+                    dev = a.lane
+                    batch = list(a.batch)
+                    segments.append((now, timeline))
+                    segment_devices.append(dev)
+                    nbytes = sum(request_footprint(r) for r in batch)
+                    metrics.batches += 1
+                    metrics.batch_sizes.append(len(batch))
+                    metrics.busy_s += makespan
+                    metrics.degraded_batches += int(degraded)
+                    metrics.faults_observed += faults_seen
+                    metrics.analysis_warnings += warnings
+                    lane = metrics.per_device[dev]
+                    lane.batches += 1
+                    lane.queries += len(batch)
+                    lane.busy_s += makespan
+                    lane.dispatched_bytes += nbytes
+                    # the estimator sees per-query service time as before;
+                    # with N lanes the backlog drains N-wide, so the wait a
+                    # queued query faces shrinks accordingly
+                    admission.note_service(
+                        len(batch) * cfg.devices, makespan)
+                    t_end = now + makespan
+                    busy_until[dev] = t_end
+                    outstanding[dev] += nbytes
+                    heapq.heappush(
+                        inflight,
+                        (t_end, seq, dev, batch, nbytes, a.batch_idx))
+                    seq += 1
                 continue
 
             horizons = []
@@ -384,97 +437,19 @@ class QueryServer:
                            segment_devices=segment_devices)
 
     # ------------------------------------------------------------------
+    # thin delegates: dispatch simulation lives in
+    # :class:`repro.serve.dispatch.DispatchEngine` so worker processes can
+    # own an identical engine without importing the serve loop's state
     def _dispatch(self, batch: list[QueryRequest], batch_idx: int,
                   lane: int = 0) -> tuple[float, Timeline, bool, int, int]:
-        """Run one batch on device lane `lane`; returns (makespan,
-        timeline, degraded, faults, analysis warnings)."""
-        cfg = self.config
-        fault_plan = (cfg.faults.reseeded(batch_idx)
-                      if cfg.faults is not None else None)
-        cache_key = None
-        if cfg.plan_cache is not None:
-            cache_key = self._dispatch_key(batch, fault_plan)
-            hit = cfg.plan_cache.get(cache_key)
-            if hit is not None:
-                # repeat batch: the priced dispatch replays verbatim --
-                # no planning, no analysis, no simulation
-                return hit
-        wsched = self._wscheds[lane]
-        wsched.faults = fault_plan
-        plans = [r.plan() for r in batch]
-        warnings = 0
-        if cfg.analyze:
-            # plan lints before dispatch: error findings abort the batch
-            # (the batched path additionally race-checks its stream program
-            # inside run_batched_streams)
-            from ..analyze import Analyzer
-            report = Analyzer(self.lane_device).run_all(plans)
-            report.raise_if_errors()
-            warnings = len(report.warnings)
-        workload = QueryWorkload(plans=plans)
-        rows: dict[str, int] = {}
-        for req in batch:
-            for name, n in req.source_rows().items():
-                rows[name] = max(rows.get(name, 0), n)
-        try:
-            if cfg.mode == "batched":
-                if self._pools[lane] is None:
-                    self._pools[lane] = StreamPool(
-                        self.lane_device, num_streams=1 + cfg.max_streams,
-                        engine=wsched._engine())
-                else:
-                    self._pools[lane].reset()
-                result = wsched.run_batched_streams(
-                    workload, rows, pool=self._pools[lane],
-                    max_streams=cfg.max_streams)
-            else:
-                result = wsched.run_isolated(workload, rows)
-        except FaultError:
-            if self._pools[lane] is not None:
-                self._pools[lane].reset()
-            # a fault-poisoned batch is never cached: pinning the degraded
-            # timeline would replay the failure for every repeat query
-            return self._dispatch_degraded(batch, fault_plan, warnings)
-        faults_seen = sum(
-            1 for ev in result.timeline.events if ev.tag.startswith("fault."))
-        out = (result.makespan, result.timeline, False, faults_seen, warnings)
-        if cache_key is not None:
-            cfg.plan_cache.put(cache_key, out)
-        return out
+        return self.engine.dispatch(batch, batch_idx, lane)
 
     def _dispatch_key(self, batch: list[QueryRequest],
                       fault_plan: FaultPlan | None) -> str:
-        """Content address of one dispatch: the batch's plans and row
-        stats + serve knobs + lane-device calibration (+ the reseeded
-        fault plan when chaos is on, which keys each batch uniquely --
-        deliberately: a faulted schedule must not stand in for a clean
-        one)."""
-        from ..optimizer.fingerprint import (calibration_fingerprint,
-                                             plan_fingerprint)
-        cfg = self.config
-        if not hasattr(self, "_lane_device_fp"):
-            self._lane_device_fp = calibration_fingerprint(self.lane_device)
-        plans_fp = tuple(
-            (plan_fingerprint(r.plan()), tuple(sorted(
-                r.source_rows().items())))
-            for r in batch)
-        return cfg.plan_cache.key(
-            "serve", cfg.mode, cfg.max_streams, cfg.memory_safety,
-            cfg.check, cfg.analyze, self._lane_device_fp, plans_fp,
-            fault_plan)
+        return self.engine.dispatch_key(batch, fault_plan)
 
     def _dispatch_degraded(self, batch: list[QueryRequest],
                            fault_plan: FaultPlan | None,
                            warnings: int = 0
                            ) -> tuple[float, Timeline, bool, int, int]:
-        """Re-dispatch a fault-poisoned batch query-by-query through the
-        Executor's degradation ladder (terminal rung cannot fault)."""
-        timeline = Timeline()
-        faults_seen = 0
-        for req in batch:
-            ex = Executor(self.lane_device, check=self.config.check,
-                          faults=fault_plan, degrade=True)
-            r = ex.run(req.plan(), req.source_rows())
-            timeline.extend(r.timeline, offset=timeline.end_time)
-            faults_seen += r.faults_injected
-        return timeline.end_time, timeline, True, faults_seen, warnings
+        return self.engine.dispatch_degraded(batch, fault_plan, warnings)

@@ -60,8 +60,13 @@ _ENQUEUE_SEQ = itertools.count()
 # commands
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class Command:
+    """Base simulated command.  The whole hierarchy is slotted: serve-scale
+    DES runs enqueue hundreds of thousands of commands, and per-command
+    ``__dict__`` allocation dominated the hot loop before slotting
+    (BENCH_workers.json tracks the resulting events/sec)."""
+
     tag: str = ""
     thunk: Thunk | None = None
     seq: int = -1  # stamped at enqueue time
@@ -73,34 +78,34 @@ class Command:
     writes: tuple[str, ...] = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferCommand(Command):
     nbytes: float = 0.0
     direction: Direction = Direction.H2D
     memory: HostMemory = HostMemory.PINNED
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelCommand(Command):
     spec: KernelLaunchSpec | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class HostCommand(Command):
     duration: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class SignalEventCommand(Command):
     event_id: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitEventCommand(Command):
     event_id: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStream:
     """An in-order command queue (one simulated CUDA stream)."""
 
@@ -161,7 +166,7 @@ class SimStream:
 # engine
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class _Running:
     end: float
     stream_idx: int
@@ -171,6 +176,8 @@ class _Running:
     failed: bool = False
     #: the failure is a stall abandonment (re-issue on a fresh stream)
     stalled: bool = False
+    #: dispatch time, stamped when the attempt is pushed on the heap
+    start: float = 0.0
 
 
 class SimEngine:
@@ -290,39 +297,32 @@ class SimEngine:
         free_sms = self.device.num_sms
         kernels_in_flight = 0
 
-        def pending() -> bool:
-            return any(cursors[i] < len(s.commands) for i, s in enumerate(streams))
+        #: commands not yet completed (cursor not yet advanced past them).
+        #: Maintained incrementally so the outer loop does not rescan every
+        #: stream per iteration -- the dominant cost at serve scale.
+        remaining = sum(len(s.commands) - cursors[i]
+                        for i, s in enumerate(streams))
+        num_streams = len(streams)
 
-        while pending() or running:
+        while remaining or running:
             dispatched = True
             while dispatched:
                 dispatched = False
-                # FIFO across streams: consider stream heads in enqueue order
+                # FIFO across streams: consider stream heads in enqueue
+                # order.  seq values are globally unique, so sorting
+                # (seq, i) pairs reproduces the old lambda-keyed order
+                # without a per-element key call.
                 heads = sorted(
-                    (i for i, s in enumerate(streams)
-                     if not blocked_until_done[i] and cursors[i] < len(s.commands)
-                     and ready_at[i] <= now),
-                    key=lambda i: streams[i].commands[cursors[i]].seq,
+                    (streams[i].commands[cursors[i]].seq, i)
+                    for i in range(num_streams)
+                    if not blocked_until_done[i]
+                    and cursors[i] < len(streams[i].commands)
+                    and ready_at[i] <= now
                 )
-                for i in heads:
+                for _, i in heads:
                     stream = streams[i]
                     cmd = stream.commands[cursors[i]]
-                    # -- zero-duration control commands ----------------------
-                    if isinstance(cmd, SignalEventCommand):
-                        signaled.add(cmd.event_id)
-                        tl.add(now, now, EventKind.SYNC, cmd.tag,
-                               stream=stream.stream_id)
-                        cursors[i] += 1
-                        dispatched = True
-                        continue
-                    if isinstance(cmd, WaitEventCommand):
-                        if cmd.event_id in signaled:
-                            tl.add(now, now, EventKind.SYNC, cmd.tag,
-                                   stream=stream.stream_id)
-                            cursors[i] += 1
-                            dispatched = True
-                        continue
-                    # -- resource-bound commands -----------------------------
+                    # -- resource-bound commands (the common case) -----------
                     if isinstance(cmd, TransferCommand):
                         if cmd.direction is Direction.H2D and h2d_busy:
                             continue
@@ -362,12 +362,29 @@ class SimEngine:
                         host_busy = True
                         run = _Running(end=now + dur, stream_idx=i, cmd=cmd,
                                        failed=failed, stalled=stalled)
+                    # -- zero-duration control commands ----------------------
+                    elif isinstance(cmd, SignalEventCommand):
+                        signaled.add(cmd.event_id)
+                        tl.add(now, now, EventKind.SYNC, cmd.tag,
+                               stream=stream.stream_id)
+                        cursors[i] += 1
+                        remaining -= 1
+                        dispatched = True
+                        continue
+                    elif isinstance(cmd, WaitEventCommand):
+                        if cmd.event_id in signaled:
+                            tl.add(now, now, EventKind.SYNC, cmd.tag,
+                                   stream=stream.stream_id)
+                            cursors[i] += 1
+                            remaining -= 1
+                            dispatched = True
+                        continue
                     else:
                         raise SchedulingError(f"unknown command type: {cmd!r}")
 
                     blocked_until_done[i] = True
+                    run.start = now
                     heapq.heappush(running, (run.end, next(seq), run))
-                    run.start = now  # type: ignore[attr-defined]
                     dispatched = True
 
             if not running:
@@ -378,7 +395,7 @@ class SimEngine:
                 if future:
                     now = min(future)
                     continue
-                if pending():
+                if remaining:
                     raise SchedulingError(
                         "deadlock: streams pending but nothing can be dispatched "
                         "(wait on an event that is never signaled?)")
@@ -393,7 +410,7 @@ class SimEngine:
 
             for run in completions:
                 cmd = run.cmd
-                start = getattr(run, "start")
+                start = run.start
                 # a command re-issued after a stall completes on its fresh
                 # replacement stream; everything else on its own stream
                 event_stream = reissued_stream.get(
@@ -442,6 +459,7 @@ class SimEngine:
                 if cmd.thunk is not None:
                     cmd.thunk()
                 cursors[run.stream_idx] += 1
+                remaining -= 1
 
         if self.check:
             # imported lazily: repro.validate depends on this module's package

@@ -20,8 +20,13 @@ class EventKind(enum.Enum):
     SYNC = "sync"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimelineEvent:
+    """One simulated interval.  Slotted: serve-scale runs log hundreds of
+    thousands of these, and a per-event ``__dict__`` was the single
+    biggest allocation churn in the DES hot loop (BENCH_workers.json
+    tracks the resulting events/sec)."""
+
     start: float
     end: float
     kind: EventKind
@@ -91,7 +96,13 @@ class Timeline:
         """End-to-end simulated time."""
         if not self.events:
             return 0.0
-        return max(e.end for e in self.events) - min(e.start for e in self.events)
+        lo = hi = None
+        for e in self.events:
+            if lo is None or e.start < lo:
+                lo = e.start
+            if hi is None or e.end > hi:
+                hi = e.end
+        return hi - lo
 
     @property
     def end_time(self) -> float:

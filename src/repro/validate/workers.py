@@ -1,0 +1,123 @@
+"""Worker-pool sanitizer (docs/SERVING.md, "Worker pools").
+
+Audits a *closed* :class:`~repro.workers.pool.WorkerPool` for the
+exactly-once and sharding invariants the serving subsystem promises:
+
+* **ack discipline** -- every dispatched id (outbox entry) was
+  acknowledged exactly once: an unacked entry means a completion was
+  dropped, a double-ack means one was processed twice;
+* **outbox conservation** -- every dispatch attempt routed through the
+  pool either recorded a new entry or hit an existing one
+  (``attempts == recorded + hits``); nothing executed outside the
+  outbox, nothing vanished;
+* **tenant affinity** -- no tenant was split across workers within a
+  batch epoch (the router's epoch pin; required in both ``hash`` and
+  ``least-bytes`` modes);
+* **dispatch coverage** -- every recorded sequence (batch index) appears
+  in exactly one live worker's dispatch log (crash replay must restore
+  or re-execute a dead worker's entries, never lose or duplicate them),
+  and every worker's collect-time partial actually arrived;
+* **replay conservation** -- each respawn replayed everything the dead
+  worker owned (``restored + redispatched == expected``).
+
+The pool is duck-typed (``outbox`` / ``router`` / ``partials`` /
+``respawn_events`` / ``num_workers``), so this module imports nothing
+from :mod:`repro.workers`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .sanitizer import ValidationReport, Violation
+
+
+def _check_acks(pool: Any, report: ValidationReport) -> None:
+    for entry in pool.outbox.entries.values():
+        if entry.ack_count == 0:
+            report.violations.append(Violation(
+                "pool-ack",
+                f"dispatch {entry.key.sequence} (tenant "
+                f"{entry.key.tenant}) was recorded but never "
+                f"acknowledged"))
+        elif entry.ack_count > 1:
+            report.violations.append(Violation(
+                "pool-ack",
+                f"dispatch {entry.key.sequence} (tenant "
+                f"{entry.key.tenant}) acknowledged {entry.ack_count} "
+                f"times; completions must be processed exactly once"))
+
+
+def _check_conservation(pool: Any, report: ValidationReport) -> None:
+    counters = pool.outbox.counters()
+    attempts = counters["outbox.attempts"]
+    recorded = counters["outbox.recorded"]
+    hits = counters["outbox.hits"]
+    if attempts != recorded + hits:
+        report.violations.append(Violation(
+            "pool-conservation",
+            f"{attempts} dispatch attempt(s) but {recorded} recorded + "
+            f"{hits} duplicate hit(s): every attempt must record or hit"))
+
+
+def _check_tenant_affinity(pool: Any, report: ValidationReport) -> None:
+    seen: dict[tuple[int, str], set[int]] = {}
+    for a in pool.router.log:
+        seen.setdefault((a.epoch, a.tenant), set()).add(a.worker)
+    for (epoch, tenant), workers in sorted(seen.items()):
+        if len(workers) > 1:
+            report.violations.append(Violation(
+                "pool-tenant-split",
+                f"tenant {tenant} split across workers "
+                f"{sorted(workers)} within batch epoch {epoch}"))
+
+
+def _check_coverage(pool: Any, report: ValidationReport) -> None:
+    if len(pool.partials) != pool.num_workers:
+        got = sorted(p.worker for p in pool.partials)
+        report.violations.append(Violation(
+            "pool-coverage",
+            f"collected partials from workers {got}, expected all "
+            f"{pool.num_workers}"))
+    owners: dict[int, list[int]] = {}
+    for p in pool.partials:
+        for rec in p.dispatches:
+            owners.setdefault(rec.batch_idx, []).append(p.worker)
+    for bidx, workers in sorted(owners.items()):
+        if len(workers) > 1:
+            report.violations.append(Violation(
+                "pool-coverage",
+                f"dispatch {bidx} logged by workers {sorted(workers)}; "
+                f"each dispatch must live in exactly one worker's log"))
+    recorded = {e.key.sequence for e in pool.outbox.entries.values()}
+    missing = sorted(recorded - set(owners))
+    if missing:
+        report.violations.append(Violation(
+            "pool-coverage",
+            f"dispatch(es) {missing} recorded in the outbox but absent "
+            f"from every worker's log (lost in a crash replay?)"))
+
+
+def _check_replays(pool: Any, report: ValidationReport) -> None:
+    for ev in pool.respawn_events:
+        if ev.restored + ev.redispatched != ev.expected:
+            report.violations.append(Violation(
+                "pool-replay",
+                f"worker {ev.worker} respawn replayed "
+                f"{ev.restored} restored + {ev.redispatched} "
+                f"re-dispatched of {ev.expected} owned entries"))
+
+
+def validate_pool(pool: Any) -> ValidationReport:
+    """Audit a closed worker pool; see the module docstring for rules."""
+    report = ValidationReport()
+    report.num_events = pool.outbox.attempts
+    _check_acks(pool, report)
+    _check_conservation(pool, report)
+    _check_tenant_affinity(pool, report)
+    _check_coverage(pool, report)
+    _check_replays(pool, report)
+    return report
+
+
+__all__ = ["validate_pool"]

@@ -1,0 +1,94 @@
+"""Deterministic tenant -> worker routing.
+
+Two modes, both pure functions of the run's inputs (so two same-seed runs
+route identically and the pool's summaries stay byte-identical):
+
+* ``"hash"`` -- a tenant is pinned to ``blake2b(seed, tenant) % workers``
+  for the whole run.  Simple, stateless, and sticky: a tenant's dispatches
+  always land on the same worker, so that worker's plan cache and warmed
+  state see all of the tenant's repeat traffic.
+* ``"least-bytes"`` -- rebalancing: a tenant's *first* dispatch in each
+  batch epoch goes to the worker with the least outstanding (dispatched
+  minus acknowledged) estimated bytes, ties to the lowest worker id; the
+  tenant is then pinned to that worker for the rest of the epoch.  The
+  epoch pin is what keeps the sanitizer invariant -- no tenant split
+  across workers within a batch epoch -- true under rebalancing.
+
+The router also keeps the full assignment log (epoch, tenant, worker,
+sequence); the pool-level sanitizer and the SRV601 skew lint read it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+def route_tenant(tenant: str, num_workers: int, seed: int = 0) -> int:
+    """The stable hash route: ``blake2b("{seed}:{tenant}") % num_workers``."""
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    payload = f"{seed}:{tenant}".encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_workers
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One routed dispatch, as logged for the sanitizer and lints."""
+
+    epoch: int
+    tenant: str
+    worker: int
+    sequence: int
+
+
+class TenantRouter:
+    """Routes dispatches to workers; logs every decision."""
+
+    def __init__(self, num_workers: int, mode: str = "hash", seed: int = 0):
+        if mode not in ("hash", "least-bytes"):
+            raise ValueError(f"unknown router mode {mode!r}")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self.mode = mode
+        self.seed = seed
+        #: estimated bytes dispatched to each worker and not yet acked
+        #: (the "least-bytes" routing signal)
+        self.outstanding = {w: 0.0 for w in range(num_workers)}
+        #: tenant pins of the current epoch (cleared when the epoch turns)
+        self._epoch = -1
+        self._epoch_pins: dict[str, int] = {}
+        self.log: list[Assignment] = []
+
+    def route(self, tenant: str, epoch: int, nbytes: float,
+              sequence: int) -> int:
+        """Pick the worker for one dispatch and log the decision."""
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self._epoch_pins = {}
+        worker = self._epoch_pins.get(tenant)
+        if worker is None:
+            if self.mode == "hash":
+                worker = route_tenant(tenant, self.num_workers, self.seed)
+            else:
+                worker = min(self.outstanding,
+                             key=lambda w: (self.outstanding[w], w))
+            self._epoch_pins[tenant] = worker
+        self.outstanding[worker] += nbytes
+        self.log.append(Assignment(epoch, tenant, worker, sequence))
+        return worker
+
+    def note_ack(self, worker: int, nbytes: float) -> None:
+        """A dispatch completed: its bytes stop counting as outstanding."""
+        self.outstanding[worker] -= nbytes
+
+    def dispatches_per_worker(self) -> dict[int, int]:
+        out = {w: 0 for w in range(self.num_workers)}
+        for a in self.log:
+            out[a.worker] += 1
+        return out
+
+
+__all__ = ["Assignment", "TenantRouter", "route_tenant"]

@@ -1,0 +1,112 @@
+"""SRV6xx serving-pool lints over synthetic pool reports."""
+
+from repro.analyze import Analyzer, Severity
+from repro.analyze.serve_lints import ServeLintPass
+from repro.workers import (
+    Assignment,
+    DispatchKey,
+    DispatchRecord,
+    PoolReport,
+    RespawnEvent,
+)
+
+
+def record(batch_idx, worker, tenant="a", fp=None, token=None):
+    fp = fp or "f" * 64
+    key = DispatchKey(0, tenant, fp, batch_idx)
+    return DispatchRecord(
+        batch_idx=batch_idx, epoch=1, lane=0, worker=worker,
+        tenant=tenant, key_token=token or key.token,
+        query_fingerprint=fp, size=1, nbytes=8.0, makespan=1.0,
+        degraded=False, faults=0, warnings=0)
+
+
+def report(num_workers=2, assignments=(), dispatches=(), respawns=()):
+    return PoolReport(
+        num_workers=num_workers, rebalance="hash",
+        assignments=list(assignments), dispatches=list(dispatches),
+        outbox={}, respawns=list(respawns))
+
+
+def balanced(n=8, workers=2):
+    assignments = [Assignment(1 + i // workers, "ab"[i % workers],
+                              i % workers, i) for i in range(n)]
+    dispatches = [record(i, i % workers, tenant="ab"[i % workers])
+                  for i in range(n)]
+    return report(workers, assignments, dispatches)
+
+
+def codes(rep):
+    return [d.code for d in ServeLintPass().run(rep)]
+
+
+class TestSrv601Skew:
+    def test_balanced_pool_clean(self):
+        assert "SRV601" not in codes(balanced())
+
+    def test_all_on_one_worker_fires(self):
+        n = 8
+        assignments = [Assignment(1, "a", 0, i) for i in range(n)]
+        dispatches = [record(i, 0) for i in range(n)]
+        rep = report(2, assignments, dispatches)
+        diags = [d for d in ServeLintPass().run(rep) if d.code == "SRV601"]
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.WARNING
+        assert "least-bytes" in diags[0].message
+
+    def test_small_runs_exempt(self):
+        assignments = [Assignment(1, "a", 0, i) for i in range(3)]
+        rep = report(2, assignments, [record(i, 0) for i in range(3)])
+        assert codes(rep) == []
+
+    def test_single_worker_exempt(self):
+        assignments = [Assignment(1, "a", 0, i) for i in range(20)]
+        rep = report(1, assignments, [record(i, 0) for i in range(20)])
+        assert "SRV601" not in codes(rep)
+
+
+class TestSrv602Collisions:
+    def test_colliding_keys_fire_error(self):
+        shared = "deadbeef-token"
+        rep = report(2, dispatches=[
+            record(0, 0, token=shared, fp="a" * 64),
+            record(1, 0, token=shared, fp="b" * 64),
+        ])
+        diags = [d for d in ServeLintPass().run(rep) if d.code == "SRV602"]
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.ERROR
+
+    def test_distinct_keys_clean(self):
+        assert "SRV602" not in codes(balanced())
+
+    def test_replayed_copies_of_one_dispatch_are_not_collisions(self):
+        rec = record(0, 0)
+        again = record(0, 1)  # same dispatch, logged by its new owner
+        rep = report(2, dispatches=[rec, again])
+        assert "SRV602" not in codes(rep)
+
+
+class TestSrv603ReplayGap:
+    def test_short_replay_fires_error(self):
+        rep = report(2, respawns=[
+            RespawnEvent(worker=1, restored=2, redispatched=0, expected=4)])
+        diags = [d for d in ServeLintPass().run(rep) if d.code == "SRV603"]
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.ERROR
+
+    def test_full_replay_clean(self):
+        rep = report(2, respawns=[
+            RespawnEvent(worker=1, restored=3, redispatched=1, expected=4)])
+        assert "SRV603" not in codes(rep)
+
+    def test_routed_but_unlogged_dispatch_fires(self):
+        assignments = [Assignment(1, "a", 0, 0), Assignment(1, "a", 0, 1)]
+        rep = report(2, assignments, dispatches=[record(0, 0)])
+        assert "SRV603" in codes(rep)
+
+
+class TestFrameworkDispatch:
+    def test_analyzer_routes_pool_reports(self):
+        rep = Analyzer().run(balanced())
+        assert rep.passes_run == ["serve-lints"]
+        assert rep.diagnostics == []

@@ -1,0 +1,141 @@
+"""Pool-sanitizer rules over synthetic (duck-typed) pools."""
+
+from repro.validate.workers import validate_pool
+from repro.workers import (
+    Assignment,
+    DispatchKey,
+    DispatchRecord,
+    RespawnEvent,
+    ResultOutbox,
+    TenantRouter,
+    WorkerPartial,
+)
+
+
+def record(batch_idx, worker, tenant="a", epoch=1):
+    key = DispatchKey(0, tenant, "f" * 64, batch_idx)
+    return DispatchRecord(
+        batch_idx=batch_idx, epoch=epoch, lane=0, worker=worker,
+        tenant=tenant, key_token=key.token, query_fingerprint="f" * 64,
+        size=1, nbytes=8.0, makespan=1.0, degraded=False, faults=0,
+        warnings=0)
+
+
+class FakePool:
+    """The sanitizer's duck-typed surface, assembled by hand."""
+
+    def __init__(self, num_workers=2):
+        self.num_workers = num_workers
+        self.outbox = ResultOutbox()
+        self.router = TenantRouter(num_workers, seed=0)
+        self.partials = [WorkerPartial(worker=w)
+                         for w in range(num_workers)]
+        self.respawn_events = []
+
+    def dispatch(self, batch_idx, tenant="a", epoch=1, ack=True):
+        """One healthy dispatch: routed, recorded, logged, acked."""
+        key = DispatchKey(0, tenant, "f" * 64, batch_idx)
+        assert self.outbox.lookup(key) is None
+        worker = self.router.route(tenant, epoch, 8.0, batch_idx)
+        self.outbox.record(key, result="r", worker=worker)
+        self.partials[worker].dispatches.append(
+            record(batch_idx, worker, tenant, epoch))
+        if ack:
+            self.outbox.ack(key, payload=None)
+        return key, worker
+
+
+def healthy(n=4):
+    pool = FakePool()
+    for i in range(n):
+        pool.dispatch(i, tenant="ab"[i % 2], epoch=1 + i // 2)
+    return pool
+
+
+def rules(pool):
+    return {v.rule for v in validate_pool(pool).violations}
+
+
+class TestHealthyPool:
+    def test_clean(self):
+        assert validate_pool(healthy()).ok
+
+
+class TestAckDiscipline:
+    def test_unacked_entry_flagged(self):
+        pool = healthy()
+        pool.dispatch(99, ack=False)
+        assert "pool-ack" in rules(pool)
+
+    def test_double_ack_flagged(self):
+        pool = healthy()
+        key, _ = pool.dispatch(99)
+        pool.outbox.ack(key, payload=None)
+        assert "pool-ack" in rules(pool)
+
+
+class TestConservation:
+    def test_attempt_without_record_flagged(self):
+        pool = healthy()
+        pool.outbox.attempts += 1  # an attempt that vanished
+        assert "pool-conservation" in rules(pool)
+
+    def test_duplicate_hits_conserve(self):
+        pool = healthy()
+        key = DispatchKey(0, "a", "f" * 64, 0)
+        assert pool.outbox.lookup(key) is not None  # hit, no new record
+        assert validate_pool(pool).ok
+
+
+class TestTenantAffinity:
+    def test_split_within_epoch_flagged(self):
+        pool = healthy()
+        # forge a same-epoch assignment of tenant "a" to the other worker
+        home = pool.router.log[0].worker
+        pool.router.log.append(
+            Assignment(epoch=1, tenant="a", worker=1 - home, sequence=99))
+        assert "pool-tenant-split" in rules(pool)
+
+    def test_move_across_epochs_allowed(self):
+        pool = healthy()
+        home = pool.router.log[0].worker
+        pool.router.log.append(
+            Assignment(epoch=50, tenant="a", worker=1 - home, sequence=99))
+        assert "pool-tenant-split" not in rules(pool)
+
+
+class TestCoverage:
+    def test_missing_partial_flagged(self):
+        pool = healthy()
+        pool.partials.pop()
+        assert "pool-coverage" in rules(pool)
+
+    def test_dispatch_in_two_logs_flagged(self):
+        pool = healthy()
+        rec = pool.partials[0].dispatches[0] if \
+            pool.partials[0].dispatches else pool.partials[1].dispatches[0]
+        other = pool.partials[1 - rec.worker]
+        other.dispatches.append(record(rec.batch_idx, other.worker))
+        assert "pool-coverage" in rules(pool)
+
+    def test_recorded_but_unlogged_flagged(self):
+        pool = healthy()
+        for p in pool.partials:
+            if p.dispatches:
+                p.dispatches.pop()
+                break
+        assert "pool-coverage" in rules(pool)
+
+
+class TestReplayConservation:
+    def test_gap_flagged(self):
+        pool = healthy()
+        pool.respawn_events.append(
+            RespawnEvent(worker=0, restored=1, redispatched=0, expected=3))
+        assert "pool-replay" in rules(pool)
+
+    def test_full_replay_clean(self):
+        pool = healthy()
+        pool.respawn_events.append(
+            RespawnEvent(worker=0, restored=2, redispatched=1, expected=3))
+        assert "pool-replay" not in rules(pool)

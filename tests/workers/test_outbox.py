@@ -1,0 +1,79 @@
+"""Idempotency keys and outbox conservation."""
+
+import pytest
+
+from repro.workers import DispatchKey, ResultOutbox
+
+
+def key(seq=0, tenant="a", fp="f" * 64, seed=0):
+    return DispatchKey(seed, tenant, fp, seq)
+
+
+class TestDispatchKey:
+    def test_token_keeps_full_fingerprint(self):
+        fp = "ab" * 32
+        assert fp in key(fp=fp).token
+
+    def test_distinct_sequences_distinct_keys(self):
+        assert key(seq=0) != key(seq=1)
+        assert key(seq=0) == key(seq=0)
+
+
+class TestOutbox:
+    def test_first_attempt_misses_then_hits(self):
+        ob = ResultOutbox()
+        assert ob.lookup(key()) is None
+        ob.record(key(), result="r", worker=0)
+        entry = ob.lookup(key())
+        assert entry is not None and entry.result == "r"
+        assert entry.hits == 1
+        assert ob.counters() == {
+            "outbox.attempts": 2, "outbox.recorded": 1, "outbox.hits": 1,
+            "outbox.acked": 0, "outbox.replays": 0}
+
+    def test_conservation_attempts_equal_records_plus_hits(self):
+        ob = ResultOutbox()
+        for seq in range(5):
+            if ob.lookup(key(seq=seq)) is None:
+                ob.record(key(seq=seq), result=seq, worker=0)
+        for seq in range(3):
+            ob.lookup(key(seq=seq))
+        c = ob.counters()
+        assert c["outbox.attempts"] == c["outbox.recorded"] + c["outbox.hits"]
+
+    def test_double_record_rejected(self):
+        ob = ResultOutbox()
+        ob.record(key(), result="r", worker=0)
+        with pytest.raises(ValueError):
+            ob.record(key(), result="r2", worker=1)
+
+    def test_double_ack_counted_not_raised(self):
+        ob = ResultOutbox()
+        ob.record(key(), result="r", worker=0)
+        ob.ack(key(), payload=(1.0, 0, ()))
+        ob.ack(key(), payload=(2.0, 1, ()))
+        entry = ob.entries[key()]
+        assert entry.ack_count == 2
+        assert entry.ack_payload == (1.0, 0, ())  # first payload wins
+
+    def test_replay_moves_ownership(self):
+        ob = ResultOutbox()
+        ob.record(key(seq=0), result="r", worker=0)
+        ob.record(key(seq=1), result="s", worker=1)
+        ob.note_replay(key(seq=0), worker=2)
+        assert [e.key.sequence for e in ob.for_worker(2)] == [0]
+        assert [e.key.sequence for e in ob.for_worker(0)] == []
+        assert ob.replays == 1
+
+    def test_for_worker_preserves_dispatch_order(self):
+        ob = ResultOutbox()
+        for seq in (3, 1, 2):
+            ob.record(key(seq=seq), result=seq, worker=0)
+        assert [e.key.sequence for e in ob.for_worker(0)] == [3, 1, 2]
+
+    def test_unacked(self):
+        ob = ResultOutbox()
+        ob.record(key(seq=0), result="r", worker=0)
+        ob.record(key(seq=1), result="s", worker=0)
+        ob.ack(key(seq=0), payload=None)
+        assert [e.key.sequence for e in ob.unacked()] == [1]

@@ -1,0 +1,66 @@
+"""Tenant->worker routing: determinism, pinning, rebalancing."""
+
+import pytest
+
+from repro.workers import TenantRouter, route_tenant
+
+
+class TestRouteTenant:
+    def test_deterministic_and_in_range(self):
+        for tenant in ("interactive", "reporting", "batch", "t42"):
+            for n in (1, 2, 3, 8):
+                w = route_tenant(tenant, n, seed=7)
+                assert 0 <= w < n
+                assert w == route_tenant(tenant, n, seed=7)
+
+    def test_seed_reshuffles(self):
+        routes = {route_tenant("interactive", 16, seed=s)
+                  for s in range(32)}
+        assert len(routes) > 1
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            route_tenant("t", 0)
+
+
+class TestHashRouter:
+    def test_tenant_sticky_across_epochs(self):
+        r = TenantRouter(4, mode="hash", seed=0)
+        first = r.route("interactive", epoch=1, nbytes=10.0, sequence=0)
+        for epoch in (1, 2, 5):
+            assert r.route("interactive", epoch, 10.0, 1) == first
+
+    def test_assignment_log_complete(self):
+        r = TenantRouter(2, mode="hash", seed=0)
+        r.route("a", 1, 1.0, 0)
+        r.route("b", 1, 1.0, 1)
+        r.route("a", 2, 1.0, 2)
+        assert [(a.epoch, a.tenant, a.sequence) for a in r.log] == [
+            (1, "a", 0), (1, "b", 1), (2, "a", 2)]
+        assert sum(r.dispatches_per_worker().values()) == 3
+
+
+class TestLeastBytesRouter:
+    def test_balances_by_outstanding_bytes(self):
+        r = TenantRouter(2, mode="least-bytes", seed=0)
+        assert r.route("a", 1, 100.0, 0) == 0  # tie -> lowest id
+        assert r.route("b", 1, 1.0, 1) == 1    # 0 has 100 outstanding
+        # epoch turns; worker 1 is lighter, so the next new tenant
+        # lands there
+        assert r.route("c", 2, 1.0, 2) == 1
+
+    def test_epoch_pin_prevents_intra_epoch_split(self):
+        r = TenantRouter(2, mode="least-bytes", seed=0)
+        w = r.route("a", 1, 100.0, 0)
+        # same epoch: pinned to w even though the other worker is empty
+        assert r.route("a", 1, 100.0, 1) == w
+
+    def test_acks_release_outstanding(self):
+        r = TenantRouter(2, mode="least-bytes", seed=0)
+        w = r.route("a", 1, 100.0, 0)
+        r.note_ack(w, 100.0)
+        assert r.outstanding[w] == 0.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TenantRouter(2, mode="round-robin")
