@@ -11,6 +11,9 @@ codes (see ``docs/ANALYSIS.md`` for the catalog):
 * ``IRL3xx`` -- compilerlite IR lints
 * ``CLU4xx`` -- cluster distribution lints on sharded plans
 * ``OPT5xx`` -- optimizer lints on hand-forced strategy choices
+* ``MEM7xx`` -- memory-safety verdicts from interval abstract
+  interpretation (certain/possible OOM, chunking sufficiency,
+  exchange-volume bounds, fusion savings)
 
 Entry points: :class:`Analyzer` for programmatic use, ``repro analyze``
 on the CLI, and the opt-in ``analyze=True`` pre-flight on
@@ -18,12 +21,17 @@ on the CLI, and the opt-in ``analyze=True`` pre-flight on
 :class:`~repro.serve.server.QueryServer`.
 """
 
+from .absint import Envelope, Interval, plan_envelopes, strategy_footprint
 from .baseline import Baseline, Suppression, baseline_from_findings, write_baseline
 from .cluster_lints import ClusterLintPass
-from .diagnostics import AnalysisReport, Diagnostic, Severity, SourceLocation
+from .diagnostics import (REGISTRY, AnalysisReport, CodeInfo, Diagnostic,
+                          Severity, SourceLocation, registered,
+                          registry_table)
 from .framework import Analyzer
 from .fusion_check import FusionCheckPass
 from .ir_lints import IrLintPass
+from .memory_check import (MemoryCheckPass, MemoryTarget, MemoryVerdict,
+                           check_strategy)
 from .opt_lints import OptimizerLintPass
 from .plan_lints import PlanLintPass
 from .serve_lints import ServeLintPass
@@ -35,5 +43,8 @@ __all__ = [
     "SourceLocation", "Baseline", "Suppression", "baseline_from_findings",
     "write_baseline", "PlanLintPass", "FusionCheckPass", "StreamCheckPass",
     "IrLintPass", "ClusterLintPass", "OptimizerLintPass", "ServeLintPass",
+    "MemoryCheckPass", "MemoryTarget", "MemoryVerdict", "check_strategy",
+    "Interval", "Envelope", "plan_envelopes", "strategy_footprint",
+    "REGISTRY", "CodeInfo", "registered", "registry_table",
     "corpus",
 ]

@@ -42,9 +42,18 @@ class Suppression:
 
 @dataclass
 class Baseline:
-    """A set of suppressions loaded from (or destined for) a file."""
+    """A set of suppressions loaded from (or destined for) a file.
+
+    Every :meth:`apply` accumulates per-suppression match counts, so
+    after a full corpus run :meth:`unused_suppressions` names the stale
+    entries that matched nothing -- ``repro analyze --baseline`` reports
+    them and ``--strict --prune-baseline`` rewrites the file without
+    them, so baselines cannot silently accumulate dead entries.
+    """
 
     suppressions: list[Suppression] = field(default_factory=list)
+    #: matches accumulated across every apply() since load/reset
+    match_counts: dict[Suppression, int] = field(default_factory=dict)
 
     @classmethod
     def parse(cls, text: str) -> "Baseline":
@@ -70,15 +79,35 @@ class Baseline:
         return any(s.matches(diag) for s in self.suppressions)
 
     def apply(self, report: AnalysisReport) -> AnalysisReport:
-        """Move baseline-matched diagnostics into ``report.suppressed``."""
+        """Move baseline-matched diagnostics into ``report.suppressed``,
+        crediting *every* suppression a diagnostic matches (an entry
+        shadowed by a broader glob still counts as used)."""
         kept: list[Diagnostic] = []
         for diag in report.diagnostics:
-            if self.matches(diag):
+            hit = False
+            for sup in self.suppressions:
+                if sup.matches(diag):
+                    hit = True
+                    self.match_counts[sup] = self.match_counts.get(sup, 0) + 1
+            if hit:
                 report.suppressed.append(diag)
             else:
                 kept.append(diag)
         report.diagnostics = kept
         return report
+
+    def unused_suppressions(self) -> list[Suppression]:
+        """Entries that matched zero findings across every apply() so
+        far, in file order."""
+        return [s for s in self.suppressions
+                if self.match_counts.get(s, 0) == 0]
+
+    def pruned(self) -> "Baseline":
+        """A new baseline without the unused entries (match counts are
+        not carried over)."""
+        stale = set(self.unused_suppressions())
+        return Baseline(suppressions=[s for s in self.suppressions
+                                      if s not in stale])
 
     def render(self) -> str:
         lines = ["# repro analyze baseline -- suppressed findings",

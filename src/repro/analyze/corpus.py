@@ -200,6 +200,36 @@ def ir_programs() -> list[tuple[str, Program]]:
     return targets
 
 
+def memory_targets(device: DeviceSpec | None = None
+                   ) -> list[tuple[str, Any]]:
+    """Memory-safety targets (MEM7xx): the TPC-H plans at the cluster
+    smoke's row scale, single-device and distributed -- all proven safe
+    at the default 6 GB budget, so the strict gate holds the analyzer to
+    zero false OOM errors on real shapes."""
+    from ..analyze.memory_check import MemoryTarget
+    from ..plans.distribute import distribute_plan
+    from ..tpch.q1 import build_q1_plan, q1_source_rows
+    from ..tpch.q6 import build_q6_plan
+    from ..tpch.q21 import build_q21_plan, q21_source_rows
+    n = 2_000_000
+    q21_rows = q21_source_rows(n, n // 4, max(1, n // 600))
+    targets: list[tuple[str, Any]] = [
+        ("mem:tpch_q1", MemoryTarget(build_q1_plan(), q1_source_rows(n),
+                                     device=device)),
+        ("mem:tpch_q6", MemoryTarget(build_q6_plan(), {"lineitem": n},
+                                     device=device)),
+        ("mem:tpch_q21", MemoryTarget(build_q21_plan(), q21_rows,
+                                      device=device)),
+        ("mem:pattern_g", MemoryTarget(pattern_g_plan(), {"t": 1_000_000},
+                                       device=device)),
+    ]
+    q1 = build_q1_plan()
+    targets.append(("mem:tpch_q1@x4", MemoryTarget(
+        distribute_plan(q1, q1_source_rows(n), 4),
+        q1_source_rows(n), device=device)))
+    return targets
+
+
 def batched_stream_pool(device: DeviceSpec | None = None):
     """A serving-path batched-streams program (enqueued, not run): the
     three-query shared-scan workload the race detector inspects."""
@@ -237,6 +267,7 @@ def default_corpus(n_fuzz_seeds: int = 50,
     for label, plan in plans:
         targets.append((f"{label}:fused", fuse_plan(plan)))
     targets.extend(cluster_plans())
+    targets.extend(memory_targets(device))
     if include_streams:
         targets.append(("batched_streams", batched_stream_pool(device)))
     for label, prog in ir_programs():
@@ -246,6 +277,6 @@ def default_corpus(n_fuzz_seeds: int = 50,
 
 __all__ = [
     "pattern_plans", "tpch_plans", "cluster_plans", "fuzz_plans",
-    "ir_programs", "batched_stream_pool", "default_corpus",
-    "select_chain_plan",
+    "ir_programs", "batched_stream_pool", "memory_targets",
+    "default_corpus", "select_chain_plan",
 ]

@@ -79,6 +79,11 @@ class Diagnostic:
         }
 
 
+#: pinned identifier of the ``--json`` report document; bump on any
+#: shape change (tests/analyze/test_json_report.py pins the layout)
+JSON_SCHEMA = "repro.analyze.report/v1"
+
+
 @dataclass
 class AnalysisReport:
     """Everything one :class:`~repro.analyze.Analyzer` invocation found."""
@@ -143,6 +148,26 @@ class AnalysisReport:
             "codes": {code: counts[code] for code in sorted(counts)},
         }
 
+    def json_payload(self, targets: int = 0,
+                     stale: list = ()) -> dict[str, object]:
+        """The CLI's ``--json`` document (schema :data:`JSON_SCHEMA`).
+
+        Findings are sorted by ``(code, location, message, pass)`` so two
+        runs over the same corpus render byte-identical output (checked
+        with ``cmp`` in CI).  ``stale`` lists baseline suppressions that
+        matched nothing.
+        """
+        findings = sorted(
+            self.diagnostics,
+            key=lambda d: (d.code, str(d.location), d.message, d.pass_name))
+        return {
+            "schema": JSON_SCHEMA,
+            "targets": targets,
+            "summary": self.summary(),
+            "diagnostics": [d.to_dict() for d in findings],
+            "stale_suppressions": [s.render() for s in stale],
+        }
+
     def render(self) -> str:
         lines = []
         order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
@@ -156,3 +181,120 @@ class AnalysisReport:
             f"{s['infos']} info(s), {s['suppressed']} suppressed "
             f"[{', '.join(self.passes_run)}]")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the central diagnostic-code registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """One registered diagnostic code: its severity and one-line doc."""
+
+    code: str
+    severity: Severity
+    doc: str
+
+
+#: every diagnostic code any pass may emit, with its declared severity.
+#: Passes must emit exactly these severities, and the docs tables must
+#: agree -- both are asserted by ``tests/analyze/test_registry.py``.
+_CODES: tuple[CodeInfo, ...] = (
+    # plan lints (plan_lints.py)
+    CodeInfo("PLN001", Severity.ERROR, "operator arity mismatch"),
+    CodeInfo("PLN002", Severity.ERROR, "duplicate node name"),
+    CodeInfo("PLN003", Severity.ERROR, "dependency cycle in the plan DAG"),
+    CodeInfo("PLN004", Severity.ERROR, "node input not registered in the plan"),
+    CodeInfo("PLN005", Severity.WARNING, "dead source: no consumers"),
+    CodeInfo("PLN006", Severity.ERROR,
+             "PROJECT keeps a field its input does not produce"),
+    CodeInfo("PLN007", Severity.ERROR, "join key missing on probe/build side"),
+    CodeInfo("PLN008", Severity.ERROR,
+             "predicate / sort key / group-by field not in the input schema"),
+    CodeInfo("PLN009", Severity.WARNING, "implausible cost annotation"),
+    # fusion legality (fusion_check.py)
+    CodeInfo("FUS101", Severity.ERROR,
+             "barrier / non-fusable op inside a fused region"),
+    CodeInfo("FUS102", Severity.ERROR,
+             "region chain link is not an elementwise dependence"),
+    CodeInfo("FUS103", Severity.ERROR,
+             "fused producer has consumers outside its region"),
+    CodeInfo("FUS104", Severity.ERROR,
+             "inter-region dependence cycle via side inputs"),
+    CodeInfo("FUS105", Severity.ERROR, "region list not topologically ordered"),
+    CodeInfo("FUS106", Severity.WARNING,
+             "fused region exceeds the device register budget"),
+    CodeInfo("FUS107", Severity.ERROR,
+             "plan node missing from, or duplicated across, regions"),
+    # stream races (stream_check.py)
+    CodeInfo("STR201", Severity.ERROR, "unordered write-write on one buffer"),
+    CodeInfo("STR202", Severity.ERROR, "unordered read-write (missing edge)"),
+    CodeInfo("STR203", Severity.ERROR,
+             "read with no write ordered before it (use before upload)"),
+    CodeInfo("STR204", Severity.ERROR,
+             "D2H download of a buffer nothing ever writes"),
+    CodeInfo("STR205", Severity.ERROR,
+             "wait on an event never signaled, or signaled late (deadlock)"),
+    CodeInfo("STR206", Severity.WARNING, "buffer uploaded but never read"),
+    CodeInfo("STR207", Severity.INFO,
+             "kernel-written buffer never read or downloaded"),
+    # IR lints (ir_lints.py)
+    CodeInfo("IRL301", Severity.ERROR, "register used before any definition"),
+    CodeInfo("IRL302", Severity.WARNING, "dead store"),
+    CodeInfo("IRL303", Severity.ERROR,
+             "guard predicate register never defined"),
+    CodeInfo("IRL304", Severity.ERROR, "branch to an undefined label"),
+    # cluster lints (cluster_lints.py)
+    CodeInfo("CLU401", Severity.ERROR,
+             "keyed join with sides not co-partitioned marked shard-local"),
+    CodeInfo("CLU402", Severity.WARNING,
+             "partition skew: max/mean driver shard rows >= 2x"),
+    CodeInfo("CLU403", Severity.WARNING,
+             "exchange re-partitions on the existing partition key"),
+    CodeInfo("CLU404", Severity.WARNING,
+             "replicated relation larger than the largest driver shard"),
+    CodeInfo("CLU405", Severity.INFO, "distributed plan with a single shard"),
+    CodeInfo("CLU406", Severity.WARNING,
+             "decomposable suffix aggregate ships raw frontier rows"),
+    CodeInfo("CLU407", Severity.WARNING,
+             "pre-aggregated distribution merges flat on >= 4 shards"),
+    # optimizer lints (opt_lints.py)
+    CodeInfo("OPT501", Severity.WARNING,
+             "forced strategy >= 2x the best priced option"),
+    CodeInfo("OPT502", Severity.INFO,
+             "host baseline beats every GPU option but a GPU strategy "
+             "is forced"),
+    # serving-pool lints (serve_lints.py)
+    CodeInfo("SRV601", Severity.WARNING,
+             "tenant-shard skew: busiest worker >= 2x fair share"),
+    CodeInfo("SRV602", Severity.ERROR, "idempotency-key collision"),
+    CodeInfo("SRV603", Severity.ERROR, "dead-worker replay gap"),
+    # memory safety (memory_check.py)
+    CodeInfo("MEM701", Severity.ERROR,
+             "certain OOM: peak lower bound exceeds the device budget "
+             "with no chunking escape"),
+    CodeInfo("MEM702", Severity.WARNING,
+             "possible OOM: the budget falls inside the peak interval"),
+    CodeInfo("MEM703", Severity.INFO,
+             "chunked / pipelined execution proven sufficient"),
+    CodeInfo("MEM704", Severity.WARNING,
+             "exchange hot destination may exceed the device budget"),
+    CodeInfo("MEM705", Severity.INFO,
+             "pre-aggregation is load-bearing for memory fit"),
+    CodeInfo("MEM706", Severity.INFO,
+             "fusion-savings report: intermediate bytes eliminated"),
+)
+
+REGISTRY: dict[str, CodeInfo] = {info.code: info for info in _CODES}
+assert len(REGISTRY) == len(_CODES), "duplicate diagnostic code registered"
+
+
+def registered(code: str) -> CodeInfo:
+    """The registry entry for ``code`` (KeyError on unknown codes)."""
+    return REGISTRY[code]
+
+
+def registry_table(prefix: str = "") -> list[CodeInfo]:
+    """Registered codes (optionally one family), in code order."""
+    return [info for code, info in sorted(REGISTRY.items())
+            if code.startswith(prefix)]

@@ -13,6 +13,8 @@
   on hand-forced strategy choices
 * :class:`~repro.workers.merge.PoolReport` -> serving-pool lints
   (SRV6xx) on a closed worker pool's report
+* :class:`~repro.analyze.memory_check.MemoryTarget` -> memory-safety
+  verdicts (MEM7xx) from interval abstract interpretation
 
 A configured :class:`~repro.analyze.baseline.Baseline` filters known
 findings out of every report.  ``strict=True`` raises
@@ -37,14 +39,16 @@ from .cluster_lints import ClusterLintPass
 from .diagnostics import AnalysisReport, Diagnostic
 from .fusion_check import FusionCheckPass
 from .ir_lints import IrLintPass
+from .memory_check import MemoryCheckPass, MemoryTarget
 from .opt_lints import OptimizerLintPass
 from .plan_lints import PlanLintPass
 from .serve_lints import ServeLintPass
 from .stream_check import StreamCheckPass
 
 #: analyzable target types, for error messages
-_TARGET_KINDS = ("Plan, DistributedPlan, StrategyTarget, FusionResult, "
-                 "SimStream(s), StreamPool, Program, or PoolReport")
+_TARGET_KINDS = ("Plan, DistributedPlan, StrategyTarget, MemoryTarget, "
+                 "FusionResult, SimStream(s), StreamPool, Program, or "
+                 "PoolReport")
 
 
 class Analyzer:
@@ -63,6 +67,7 @@ class Analyzer:
         self.cluster_lints = ClusterLintPass()
         self.opt_lints = OptimizerLintPass(self.device, costs)
         self.serve_lints = ServeLintPass()
+        self.memory_check = MemoryCheckPass(self.device, costs)
 
     # -- dispatch --------------------------------------------------------
     def run(self, target: Any, unit: str | None = None,
@@ -79,6 +84,9 @@ class Analyzer:
         elif isinstance(target, StrategyTarget):
             diags = self.opt_lints.run(target)
             report.passes_run.append(self.opt_lints.name)
+        elif isinstance(target, MemoryTarget):
+            diags = self.memory_check.run(target)
+            report.passes_run.append(self.memory_check.name)
         elif isinstance(target, Plan):
             diags = self.plan_lints.run(target)
             report.passes_run.append(self.plan_lints.name)

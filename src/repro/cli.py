@@ -203,6 +203,9 @@ def _cmd_analyze(args) -> int:
     from .analyze import AnalysisReport, Analyzer, Baseline, write_baseline
     from .analyze import corpus as _corpus
 
+    if args.prune_baseline and not args.baseline:
+        print("--prune-baseline requires --baseline", file=sys.stderr)
+        return 2
     baseline = Baseline.load(args.baseline) if args.baseline else None
     an = Analyzer(DeviceSpec(), baseline=baseline)
     merged = AnalysisReport()
@@ -216,17 +219,21 @@ def _cmd_analyze(args) -> int:
         print(f"wrote baseline ({len(merged.diagnostics)} finding(s)) "
               f"to {args.write_baseline}")
         return 0
+    stale = baseline.unused_suppressions() if baseline is not None else []
+    if stale and args.prune_baseline and args.strict:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            f.write(baseline.pruned().render())
+        print(f"pruned {len(stale)} stale suppression(s) from "
+              f"{args.baseline}", file=sys.stderr)
     if args.json:
-        payload = {
-            "targets": len(targets),
-            "summary": merged.summary(),
-            "diagnostics": [d.to_dict() for d in merged.diagnostics],
-        }
+        payload = merged.json_payload(targets=len(targets), stale=stale)
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(f"analyzed {len(targets)} target(s) "
               f"({args.fuzz_seeds} fuzz seed(s))")
         print(merged.render())
+        for sup in stale:
+            print(f"stale suppression (matched nothing): {sup.render()}")
     if args.strict and not merged.ok:
         print(f"strict: {len(merged.errors)} error-severity finding(s)",
               file=sys.stderr)
@@ -254,7 +261,8 @@ def _cmd_serve(args) -> int:
         cfg = ServeConfig(
             mode=mode, queue_capacity=args.queue_depth,
             max_batch=args.max_batch, max_streams=args.max_streams,
-            check=args.validate, analyze=args.analyze, faults=args.chaos,
+            check=args.validate, analyze=args.analyze,
+            shed_unsafe=args.shed_unsafe, faults=args.chaos,
             devices=args.devices, workers=args.workers,
             worker_rebalance=args.rebalance, pool_seed=args.seed)
         # each mode serves the identical offered trace
@@ -508,6 +516,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="static pre-flight on every batch "
                             "(docs/ANALYSIS.md): plan lints + stream-program "
                             "race check; error findings abort dispatch")
+    p_srv.add_argument("--shed-unsafe", action="store_true",
+                       help="shed queries the static memory check proves "
+                            "cannot fit the lane device (MEM701, "
+                            "docs/ANALYSIS.md) instead of dispatching them")
     p_srv.add_argument("--devices", type=int, default=1,
                        help="device lanes sharing the host (batches are "
                             "routed to the lane with the least outstanding "
@@ -579,8 +591,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "(CODE LOCATION-GLOB per line)")
     p_an.add_argument("--write-baseline", metavar="PATH", default=None,
                       help="write current findings as a baseline and exit")
+    p_an.add_argument("--prune-baseline", action="store_true",
+                      help="with --baseline: report suppressions that "
+                           "matched nothing; with --strict, rewrite the "
+                           "baseline file without them")
     p_an.add_argument("--json", action="store_true",
-                      help="machine-readable report on stdout")
+                      help="machine-readable report on stdout "
+                           "(schema repro.analyze.report/v1, findings "
+                           "sorted by code then location)")
 
     p_c = sub.add_parser("compile", help="run the full compilation pipeline")
     p_c.add_argument("--query", choices=[*_QUERIES, "chain"], default="chain")

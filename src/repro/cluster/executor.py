@@ -98,6 +98,10 @@ class ClusterConfig:
     #: the paper's best single-device pipeline, now one per device)
     strategy: Strategy = Strategy.FUSED_FISSION
     check: bool = False
+    #: static memory-safety pre-flight (:mod:`repro.analyze`): vet the
+    #: shard-local phase and exchange-volume bounds before any device
+    #: runs; a certain-OOM verdict (MEM701) raises AnalysisError
+    analyze: bool = False
     #: chaos plan shared across devices (one budget for the whole run);
     #: devices are additionally probed for DEVICE_LOSS at ``device.<k>``
     faults: FaultPlan | None = None
@@ -291,6 +295,8 @@ class ClusterExecutor:
             source_rows: dict[str, int]) -> ClusterRunResult:
         cfg = self.config
         dist = self._as_dist(plan, source_rows)
+        if cfg.analyze:
+            self._memory_preflight(dist, source_rows)
         n = cfg.num_devices
         injector = as_injector(cfg.faults)
         notes: list[str] = list(dist.notes)
@@ -638,6 +644,18 @@ class ClusterExecutor:
         return float(level[0]) if level else 0.0
 
     # ------------------------------------------------------------------
+    def _memory_preflight(self, dist: DistributedPlan,
+                          source_rows: dict[str, int]) -> None:
+        """Refuse certain-OOM dispatch: vet the shard-local phase (on the
+        largest shard's slice) and the exchange-volume bounds against the
+        contended per-device budget before anything runs."""
+        from ..analyze import Analyzer
+        from ..analyze.memory_check import MemoryTarget
+        target = MemoryTarget(dist, dict(source_rows),
+                              strategies=(self.config.strategy,),
+                              device=self.device)
+        Analyzer(self.device, self.costs).run(target, strict=True)
+
     def _run_executor(self, plan: Plan, rows: dict[str, int],
                       injector: FaultInjector | None) -> RunResult:
         ex = Executor(self.device, costs=self.costs, check=self.config.check,

@@ -202,7 +202,14 @@ class Optimizer:
                     if option.kind == "cluster" else None)
             est = self.cost_model.estimate(plan, stats, option, dist=dist)
             sim, feasible, notes = None, True, []
-            if self.simulate:
+            verdict = self._memory_verdict(plan, plan_fp, stats_dg,
+                                           calib_fp, option, stats)
+            if verdict is not None and verdict.certain_oom:
+                # hard-prune without simulating: the abstract interpreter
+                # proved the dispatch would raise DeviceOOMError
+                feasible = False
+                notes = [f"MEM701 certain OOM: {verdict.detail}"]
+            elif self.simulate:
                 sim, feasible, notes = self._simulate(plan, stats, option)
             priced.append(PricedOption(
                 option=option, est=est, sim_makespan_s=sim,
@@ -221,6 +228,29 @@ class Optimizer:
         if self.cache is not None:
             self.cache.put(cache_key, decision)
         return decision
+
+    # ------------------------------------------------------------------
+    def _memory_verdict(self, plan: Plan, plan_fp: str, stats_dg: str,
+                        calib_fp: str, option: StrategyOption,
+                        stats: DataStats):
+        """Static memory verdict for a single-device option, cached under
+        ``absint:*`` keys (None for cluster/host options: hosts cannot
+        OOM and cluster shards are priced by simulation)."""
+        if option.kind != "single":
+            return None
+        from ..analyze.memory_check import check_strategy
+        key = PlanCache.key("absint", plan_fp, stats_dg, calib_fp,
+                            option.strategy.value)
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit
+        verdict = check_strategy(plan, option.strategy,
+                                 stats.source_rows(), self.device,
+                                 stats=stats)
+        if self.cache is not None:
+            self.cache.put(key, verdict)
+        return verdict
 
     # ------------------------------------------------------------------
     def _simulate(self, plan: Plan, stats: DataStats,
@@ -295,7 +325,7 @@ class Optimizer:
                 config=ClusterConfig(
                     num_devices=option.devices, scheme=option.scheme,
                     seed=self.cluster_seed, strategy=option.strategy,
-                    check=check, faults=faults,
+                    check=check, faults=faults, analyze=analyze,
                     pcie_sharers=self.pcie_sharers, preagg=option.preagg,
                     merge=option.merge))
             result = cx.run(plan, rows)

@@ -197,6 +197,7 @@ class Executor:
         if self.analyze:
             self._analysis_reports.append(
                 self._analyzer().run(plan, strict=True))
+            self._memory_preflight(plan, source_rows, config)
         injector = as_injector(self.faults)
         degrade = self.degrade if self.degrade is not None else injector is not None
         steps = (self._strategy_ladder(config.strategy) if degrade
@@ -227,6 +228,26 @@ class Executor:
             return result
         assert last_err is not None
         raise last_err
+
+    def _memory_preflight(self, plan: Plan,
+                          source_rows: dict[str, int] | None,
+                          config: ExecutionConfig) -> None:
+        """Refuse certain-OOM dispatch: vet the configured strategy's
+        peak-footprint interval against this device before lowering
+        anything.  A MEM701 verdict raises AnalysisError; MEM703/MEM706
+        land in the run's analysis summary."""
+        from ..analyze.memory_check import MemoryTarget
+        fusion = None
+        if self.cost_model is not None and config.strategy.uses_fusion:
+            # vet the exact regions this executor will dispatch
+            fusion = fuse_plan(plan, cost_model=self.cost_model,
+                               enable=True)
+        target = MemoryTarget(plan, source_rows,
+                              strategies=(config.strategy,),
+                              memory_safety=config.memory_safety,
+                              device=self.device, fusion=fusion)
+        self._analysis_reports.append(
+            self._analyzer().run(target, strict=True))
 
     @staticmethod
     def _strategy_ladder(strategy: Strategy) -> list:

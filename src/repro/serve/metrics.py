@@ -76,6 +76,9 @@ class ServeMetrics:
     shed_backpressure: int = 0
     #: dropped at dispatch: deadline passed while queued
     shed_expired: int = 0
+    #: shed at dispatch: the static memory check proved the query cannot
+    #: fit the lane device (``ServeConfig.shed_unsafe``)
+    shed_unsafe: int = 0
     completed: int = 0
     #: completed within deadline
     completed_ok: int = 0
@@ -114,7 +117,7 @@ class ServeMetrics:
     @property
     def shed(self) -> int:
         return (self.shed_queue_full + self.shed_backpressure
-                + self.shed_expired)
+                + self.shed_expired + self.shed_unsafe)
 
     @property
     def shed_rate(self) -> float:
@@ -153,6 +156,7 @@ class ServeMetrics:
             "shed_queue_full": self.shed_queue_full,
             "shed_backpressure": self.shed_backpressure,
             "shed_expired": self.shed_expired,
+            "shed_unsafe": self.shed_unsafe,
             "completed": self.completed,
             "completed_ok": self.completed_ok,
             "missed_deadline": self.missed_deadline,
@@ -197,7 +201,7 @@ class ServeMetrics:
             f"offered {s['offered']}  admitted {s['admitted']}  "
             f"shed {self.shed} (full {s['shed_queue_full']}, "
             f"backpressure {s['shed_backpressure']}, "
-            f"expired {s['shed_expired']})",
+            f"expired {s['shed_expired']}, unsafe {s['shed_unsafe']})",
             f"completed {s['completed']}  within SLO {s['completed_ok']}  "
             f"missed {s['missed_deadline']}",
             f"batches {s['batches']} (mean size {s['mean_batch_size']:.2f}, "

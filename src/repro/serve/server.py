@@ -70,6 +70,11 @@ class ServeConfig:
     #: findings raise :class:`~repro.errors.AnalysisError` (aborting the
     #: dispatch), warnings are counted in the metrics
     analyze: bool = False
+    #: shed queries the abstract interpreter proves cannot fit the lane
+    #: device (MEM701 certain-OOM under serial residency at this config's
+    #: ``memory_safety``) instead of dispatching them; counted in
+    #: ``ServeMetrics.shed_unsafe``.  Default off
+    shed_unsafe: bool = False
     #: chaos plan; batch ``k`` runs under ``faults.reseeded(k)``
     faults: FaultPlan | None = None
     #: device lanes sharing one host (1 = the classic serial server)
@@ -110,7 +115,7 @@ class RequestRecord:
 
     request: QueryRequest
     #: completed | missed_deadline | shed_queue_full | shed_backpressure |
-    #: shed_expired
+    #: shed_expired | shed_unsafe
     status: str
     completion_s: float | None = None
 
@@ -250,6 +255,16 @@ class QueryServer:
                 records.append(RequestRecord(req, "shed_expired"))
                 respond(req, now)
             batch = scheduler.next_batch(queue, now)
+            if cfg.shed_unsafe and batch:
+                safe = []
+                for req in batch:
+                    if self._statically_unsafe(req):
+                        metrics.shed_unsafe += 1
+                        records.append(RequestRecord(req, "shed_unsafe"))
+                        respond(req, now)
+                    else:
+                        safe.append(req)
+                batch = safe
             if not batch:
                 continue
 
@@ -375,6 +390,19 @@ class QueryServer:
                 batch = scheduler.next_batch(queue, now)
                 if not batch:
                     break
+                if cfg.shed_unsafe:
+                    safe = []
+                    for req in batch:
+                        if self._statically_unsafe(req):
+                            metrics.shed_unsafe += 1
+                            records.append(
+                                RequestRecord(req, "shed_unsafe"))
+                            respond(req, now)
+                        else:
+                            safe.append(req)
+                    batch = safe
+                    if not batch:
+                        continue
                 # least outstanding bytes wins the batch; ties go to the
                 # lowest device id
                 dev = min(idle, key=lambda d: (outstanding[d], d))
@@ -435,6 +463,25 @@ class QueryServer:
         return ServeResult(config=cfg, metrics=metrics, records=records,
                            segments=segments,
                            segment_devices=segment_devices)
+
+    # ------------------------------------------------------------------
+    def _statically_unsafe(self, req: QueryRequest) -> bool:
+        """Admission-side memory check: True when the abstract interpreter
+        proves the request cannot fit the lane device resident (MEM701
+        under serial execution at this config's ``memory_safety``).
+        Verdicts are memoized per (query kind, elements)."""
+        memo = getattr(self, "_unsafe_memo", None)
+        if memo is None:
+            memo = self._unsafe_memo = {}
+        key = (req.kind, req.elements)
+        if key not in memo:
+            from ..analyze.memory_check import check_strategy
+            from ..runtime.strategies import Strategy
+            verdict = check_strategy(
+                req.plan(), Strategy.SERIAL, req.source_rows(),
+                self.lane_device, memory_safety=self.config.memory_safety)
+            memo[key] = verdict.certain_oom
+        return memo[key]
 
     # ------------------------------------------------------------------
     # thin delegates: dispatch simulation lives in

@@ -1,0 +1,100 @@
+"""The ``--json`` report schema is pinned: a fixed fixture run must
+serialize byte-identically to the checked-in golden file.
+
+Regenerate after an *intentional* schema change (and bump
+``JSON_SCHEMA``) with::
+
+    PYTHONPATH=src python tests/analyze/test_json_report.py --regen
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.analyze import Analyzer, AnalysisReport, Baseline
+from repro.analyze.diagnostics import JSON_SCHEMA
+from repro.analyze.memory_check import MemoryTarget
+from repro.plans.plan import Plan
+from repro.ra.arithmetic import AggSpec
+from repro.ra.expr import Field
+from repro.runtime.strategies import Strategy
+from repro.simgpu.device import DEFAULT_CALIBRATION, DeviceSpec
+
+GOLDEN = Path(__file__).with_name("goldens") / "report_v1.json"
+
+BASELINE_TEXT = """\
+# fixture baseline: one live suppression, one stale
+PLN005 fixture:*
+FUS999 nothing:matches:this
+"""
+
+
+def fixture_payload() -> dict:
+    """A deterministic two-target run: one plan lint, one planted
+    memory defect, one suppressed finding, one stale suppression."""
+    device = DeviceSpec(calib=dataclasses.replace(
+        DEFAULT_CALIBRATION,
+        gpu=dataclasses.replace(DEFAULT_CALIBRATION.gpu,
+                                global_mem_bytes=1 << 24)))
+
+    lint_plan = Plan(name="fixture")
+    src = lint_plan.source("t", row_nbytes=8, n_rows=10)
+    lint_plan.source("orphan", row_nbytes=8, n_rows=10)   # PLN005
+    lint_plan.select(src, Field("v") < 1, name="sel")
+
+    oom_plan = Plan(name="fixture_oom")
+    s2 = oom_plan.source("u", row_nbytes=20, n_rows=2_000_000)
+    srt = oom_plan.sort(s2, ["k"], name="srt")
+    oom_plan.aggregate(srt, ["k"], {"n": AggSpec("count")}, n_groups=8,
+                       name="agg")
+
+    baseline = Baseline.parse(BASELINE_TEXT)
+    an = Analyzer(device, baseline=baseline)
+    merged = AnalysisReport()
+    merged.merge(an.run(lint_plan, unit="fixture"))
+    merged.merge(an.run(MemoryTarget(oom_plan, {"u": 2_000_000},
+                                     strategies=(Strategy.SERIAL,)),
+                        unit="fixture_oom"))
+    return merged.json_payload(targets=2,
+                               stale=baseline.unused_suppressions())
+
+
+def serialize(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class TestJsonReport:
+    def test_matches_golden_byte_for_byte(self):
+        assert serialize(fixture_payload()) == GOLDEN.read_text()
+
+    def test_schema_is_pinned(self):
+        payload = fixture_payload()
+        assert payload["schema"] == JSON_SCHEMA == "repro.analyze.report/v1"
+        assert sorted(payload) == ["diagnostics", "schema",
+                                   "stale_suppressions", "summary",
+                                   "targets"]
+        for diag in payload["diagnostics"]:
+            assert sorted(diag) == ["code", "location", "message", "pass",
+                                    "severity"]
+
+    def test_findings_sorted_and_stale_reported(self):
+        payload = fixture_payload()
+        keys = [(d["code"], d["location"], d["message"], d["pass"])
+                for d in payload["diagnostics"]]
+        assert keys == sorted(keys)
+        assert payload["stale_suppressions"] == ["FUS999 nothing:matches:this"]
+        assert payload["summary"]["suppressed"] == 1
+        assert any(d["code"] == "MEM701" for d in payload["diagnostics"])
+        assert not any(d["code"] == "PLN005"     # suppressed by baseline
+                       for d in payload["diagnostics"])
+
+    def test_repeated_fixture_runs_are_byte_identical(self):
+        assert serialize(fixture_payload()) == serialize(fixture_payload())
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        GOLDEN.parent.mkdir(exist_ok=True)
+        GOLDEN.write_text(serialize(fixture_payload()))
+        print(f"wrote {GOLDEN}")

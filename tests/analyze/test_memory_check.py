@@ -1,0 +1,244 @@
+"""Planted memory defects must earn their exact MEM7xx codes, and the
+clean corpus must stay free of OOM findings at default budgets."""
+
+import dataclasses
+
+import pytest
+
+from repro.analyze import Analyzer
+from repro.analyze.corpus import memory_targets, select_chain_plan
+from repro.analyze.memory_check import (MemoryTarget, check_strategy)
+from repro.optimizer.stats import DataStats, TableStats
+from repro.plans.distribute import distribute_plan
+from repro.plans.plan import Plan
+from repro.ra.arithmetic import AggSpec
+from repro.ra.expr import Field
+from repro.runtime.strategies import Strategy
+from repro.simgpu.device import DEFAULT_CALIBRATION, DeviceSpec
+from repro.tpch.q1 import build_q1_plan, q1_source_rows
+
+
+def small_device(nbytes: int) -> DeviceSpec:
+    return DeviceSpec(calib=dataclasses.replace(
+        DEFAULT_CALIBRATION,
+        gpu=dataclasses.replace(DEFAULT_CALIBRATION.gpu,
+                                global_mem_bytes=nbytes)))
+
+
+def barrier_plan(n_rows: int = 2_000_000) -> Plan:
+    """SELECT -> SORT -> AGGREGATE: the sort barrier pins the whole
+    working set, so chunking cannot rescue an oversized run."""
+    plan = Plan(name="planted_barrier")
+    src = plan.source("t", row_nbytes=20, n_rows=n_rows)
+    sel = plan.select(src, Field("v") < 10, selectivity=0.9, name="sel")
+    srt = plan.sort(sel, ["k"], name="srt")
+    plan.aggregate(srt, ["k"], {"n": AggSpec("count")}, n_groups=64,
+                   name="agg")
+    return plan
+
+
+def sort_first_plan(n_rows: int = 2_000_000) -> Plan:
+    """SORT directly on the driver: fission has no streamable prefix, so
+    it degenerates to serial chunking -- which the barrier blocks."""
+    plan = Plan(name="planted_sortfirst")
+    src = plan.source("t", row_nbytes=20, n_rows=n_rows)
+    srt = plan.sort(src, ["k"], name="srt")
+    plan.aggregate(srt, ["k"], {"n": AggSpec("count")}, n_groups=64,
+                   name="agg")
+    return plan
+
+
+def side_heavy_plan() -> Plan:
+    """Joins whose build sides *together* exceed a small budget: side
+    inputs stay resident regardless of driver chunking, so no chunk
+    count rescues the run."""
+    plan = Plan(name="planted_side")
+    fact = plan.source("fact", row_nbytes=40, n_rows=200_000)
+    j = fact
+    for i in range(3):
+        dim = plan.source(f"dim{i}", row_nbytes=32, n_rows=190_000)
+        j = plan.join(j, dim, on="k", match_rate=1.0, name=f"j{i}")
+    return plan
+
+
+class TestPlantedDefects:
+    def test_oversized_fused_region_with_barrier_is_mem701(self):
+        an = Analyzer(small_device(1 << 24))
+        report = an.run(MemoryTarget(
+            barrier_plan(), {"t": 2_000_000},
+            strategies=(Strategy.FUSED,)))
+        assert report.has_code("MEM701")
+        [diag] = [d for d in report.diagnostics if d.code == "MEM701"]
+        assert "barrier" in diag.message
+
+    def test_under_chunked_fission_is_mem701(self):
+        # the barrier sits directly on the driver, so fission has no
+        # streamable prefix: it degenerates to serial chunking, which
+        # the barrier blocks -> certain OOM under 'fission' itself
+        an = Analyzer(small_device(1 << 24))
+        report = an.run(MemoryTarget(
+            sort_first_plan(), {"t": 2_000_000},
+            strategies=(Strategy.FISSION,)))
+        assert report.has_code("MEM701")
+        [diag] = [d for d in report.diagnostics if d.code == "MEM701"]
+        assert "fission" in str(diag.location)
+
+    def test_side_inputs_overflow_is_mem701(self):
+        an = Analyzer(small_device(1 << 24))
+        report = an.run(MemoryTarget(
+            side_heavy_plan(), None, strategies=(Strategy.SERIAL,)))
+        [diag] = [d for d in report.diagnostics if d.code == "MEM701"]
+        assert "side inputs alone" in diag.message
+
+    def test_unknown_cardinality_is_mem702(self):
+        plan = Plan(name="unknown_rows")
+        src = plan.source("t", row_nbytes=20)      # no n_rows declared
+        srt = plan.sort(src, ["k"], name="srt")
+        plan.select(srt, Field("v") < 10, name="sel")
+        an = Analyzer(small_device(1 << 24))
+        report = an.run(MemoryTarget(plan, None,
+                                     strategies=(Strategy.SERIAL,)))
+        assert report.has_code("MEM702")
+        assert not report.has_code("MEM701")
+
+    def test_exchange_hot_shard_under_zipfian_stats_is_mem704(self):
+        plan = build_q1_plan()
+        rows = q1_source_rows(2_000_000)
+        dist = distribute_plan(plan, rows, 4, preagg=False)
+        stats = DataStats(tables=(
+            ("lineitem", TableStats(rows=2_000_000, row_nbytes=36,
+                                    skew=0.9)),))
+        an = Analyzer(small_device(1 << 24))
+        report = an.run(MemoryTarget(dist, rows, stats=stats,
+                                     strategies=(Strategy.FUSED_FISSION,)))
+        assert report.has_code("MEM704")
+        [diag] = [d for d in report.diagnostics if d.code == "MEM704"]
+        assert "exchange" in str(diag.location)
+
+    def test_preagg_load_bearing_is_mem705(self):
+        plan = build_q1_plan()
+        rows = q1_source_rows(2_000_000)
+        dist = distribute_plan(plan, rows, 4)      # preagg on
+        assert dist.preagg is not None
+        # raw hot-destination volume ~15.4 MB > the 15.1 MB budget;
+        # partial-state blocks are ~KBs
+        an = Analyzer(small_device(1 << 24))
+        report = an.run(MemoryTarget(dist, rows,
+                                     strategies=(Strategy.FUSED_FISSION,)))
+        assert report.has_code("MEM705")
+        [diag] = [d for d in report.diagnostics if d.code == "MEM705"]
+        assert "load-bearing" in diag.message
+
+    def test_savings_reported_as_mem706(self, device):
+        an = Analyzer(device)
+        report = an.run(MemoryTarget(build_q1_plan(),
+                                     q1_source_rows(2_000_000)))
+        assert report.has_code("MEM706")
+
+
+class TestCleanCorpus:
+    def test_memory_targets_clean_at_default_budget(self, device):
+        an = Analyzer(device)
+        for label, target in memory_targets():
+            report = an.run(target, unit=label)
+            assert not report.has_code("MEM701"), label
+            assert not report.has_code("MEM702"), label
+
+    def test_safe_verdict_for_every_default_strategy(self, device):
+        rows = q1_source_rows(200_000)
+        for strategy in (*Strategy, "cpubase"):
+            v = check_strategy(build_q1_plan(), strategy, rows, device)
+            assert v.verdict == "safe", strategy
+            assert not v.certain_oom
+
+
+class TestWiring:
+    """Optimizer pruning, executor/cluster refusal, serve shedding."""
+
+    def test_optimizer_prunes_mem701_options(self):
+        from repro.optimizer import Optimizer
+        from repro.optimizer.plancache import PlanCache
+        cache = PlanCache()
+        opt = Optimizer(small_device(1 << 24), cache=cache)
+        decision = opt.choose(build_q1_plan(), q1_source_rows(2_000_000))
+        pruned = {c.label for c in decision.candidates
+                  if not c.feasible and any("MEM701" in n for n in c.notes)}
+        assert "serial" in pruned and "with_round_trip" in pruned
+        assert decision.chosen.label not in pruned
+        assert "MEM701" in decision.explain()
+        # pruned without simulating
+        for cand in decision.candidates:
+            if cand.label in pruned:
+                assert cand.sim_makespan_s is None
+
+    def test_optimizer_pruning_never_selects_certain_oom(self, device):
+        from repro.optimizer import Optimizer
+        for nbytes in (1 << 24, 1 << 26, 6 << 30):
+            opt = Optimizer(small_device(nbytes))
+            decision = opt.choose(build_q1_plan(),
+                                  q1_source_rows(2_000_000))
+            v = check_strategy(
+                build_q1_plan(),
+                decision.chosen.option.strategy
+                if decision.chosen.option.kind == "single" else "cpubase",
+                q1_source_rows(2_000_000), small_device(nbytes))
+            assert not v.certain_oom
+
+    def test_executor_preflight_refuses_certain_oom(self):
+        from repro.errors import AnalysisError
+        from repro.runtime.executor import ExecutionConfig, Executor
+        ex = Executor(small_device(1 << 24), analyze=True)
+        with pytest.raises(AnalysisError) as err:
+            ex.run(build_q1_plan(), q1_source_rows(2_000_000),
+                   ExecutionConfig(strategy=Strategy.SERIAL))
+        assert "MEM701" in str(err.value)
+
+    def test_cluster_preflight_refuses_certain_oom(self):
+        from repro.cluster.executor import ClusterConfig, ClusterExecutor
+        from repro.errors import AnalysisError
+        cx = ClusterExecutor(small_device(1 << 22), config=ClusterConfig(
+            num_devices=2, strategy=Strategy.SERIAL, analyze=True))
+        with pytest.raises(AnalysisError) as err:
+            cx.run(build_q1_plan(), q1_source_rows(2_000_000))
+        assert "MEM701" in str(err.value)
+
+    def test_cluster_preflight_passes_pipelined_strategy(self):
+        from repro.cluster.executor import ClusterConfig, ClusterExecutor
+        cx = ClusterExecutor(small_device(1 << 22), config=ClusterConfig(
+            num_devices=2, analyze=True))
+        res = cx.run(build_q1_plan(), q1_source_rows(2_000_000))
+        assert res.makespan > 0
+
+    def test_serve_sheds_statically_unsafe_batches(self):
+        from repro.serve import (ArrivalProcess, QueryServer, ServeConfig,
+                                 TenantSpec)
+        tenants = (TenantSpec("t0", mix=(("q1", 1.0),), weight=1.0,
+                              priority=0, deadline_s=60.0,
+                              elements=2_000_000),)
+        trace = ArrivalProcess(qps=20, duration_s=0.3, tenants=tenants,
+                               seed=1).trace()
+        server = QueryServer(small_device(1 << 24), ServeConfig(
+            mode="isolated", shed_unsafe=True))
+        res = server.run(trace=list(trace))
+        assert res.metrics.shed_unsafe == res.metrics.offered
+        assert res.metrics.completed == 0
+        assert all(r.status == "shed_unsafe" for r in res.records)
+        assert res.metrics.summary()["shed_unsafe"] == res.metrics.offered
+
+    def test_serve_shed_flag_defaults_off_and_spares_safe_load(self, device):
+        from repro.serve import ArrivalProcess, QueryServer, ServeConfig
+        trace = ArrivalProcess(qps=30, duration_s=0.2, seed=5).trace()
+        assert ServeConfig().shed_unsafe is False
+        res = QueryServer(device, ServeConfig(shed_unsafe=True)).run(
+            trace=list(trace))
+        assert res.metrics.shed_unsafe == 0
+        assert res.metrics.completed > 0
+
+    def test_executor_preflight_keeps_makespan(self, device):
+        from repro.runtime.executor import Executor
+        plan = select_chain_plan(3)
+        rows = {"t": 50_000}
+        base = Executor(device).run(plan, rows)
+        checked = Executor(device, analyze=True).run(plan, rows)
+        assert checked.makespan == pytest.approx(base.makespan)
+        assert "memory-check" in checked.analysis["passes"]

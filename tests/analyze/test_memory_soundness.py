@@ -1,0 +1,118 @@
+"""Differential soundness harness for the memory-safety analysis.
+
+The contract (docs/ANALYSIS.md, "Memory-safety analysis") is enforced in
+both directions against the real executor:
+
+* **no false negatives** -- a (plan, rows, device, strategy) the analysis
+  calls ``safe`` must never raise :class:`DeviceOOMError` at runtime;
+* **no silent OOMs** -- every runtime :class:`DeviceOOMError` must have
+  been flagged statically as certain (MEM701 / ``certain-oom``) or
+  possible (MEM702 / ``possible-oom``).
+
+The matrix covers the TPC-H queries, a fuzzed plan population, several
+row scales, and device budgets from 16 MB up to the default 6 GB.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analyze.memory_check import check_strategy
+from repro.errors import DeviceOOMError
+from repro.plans.fuzz import random_plan_case
+from repro.runtime.executor import ExecutionConfig, Executor
+from repro.runtime.strategies import Strategy
+from repro.simgpu.device import DEFAULT_CALIBRATION, DeviceSpec
+from repro.tpch.q1 import build_q1_plan, q1_source_rows
+from repro.tpch.q6 import build_q6_plan
+from repro.tpch.q21 import build_q21_plan, q21_source_rows
+
+DEVICE_BYTES = (1 << 24, 1 << 26, 1 << 28, 6 << 30)
+SCALES = (200_000, 2_000_000, 20_000_000)
+FUZZ_SEEDS = range(20)
+FUZZ_FACTORS = (1, 40, 1600)
+
+
+def device_of(nbytes: int) -> DeviceSpec:
+    return DeviceSpec(calib=dataclasses.replace(
+        DEFAULT_CALIBRATION,
+        gpu=dataclasses.replace(DEFAULT_CALIBRATION.gpu,
+                                global_mem_bytes=nbytes)))
+
+
+DEVICES = tuple(device_of(n) for n in DEVICE_BYTES)
+
+
+def check_both_directions(plan, rows, device, strategy) -> str:
+    """Run the analysis and the executor; assert they agree. Returns the
+    static verdict so callers can count coverage."""
+    verdict = check_strategy(plan, strategy, rows, device)
+    oom = None
+    try:
+        Executor(device).run(plan, rows, ExecutionConfig(strategy=strategy))
+    except DeviceOOMError as err:
+        oom = err
+    label = f"{plan.name}/{strategy.value}@{device.calib.gpu.global_mem_bytes}"
+    if verdict.verdict == "safe":
+        assert oom is None, (
+            f"UNSOUND: {label} declared safe but raised {oom} "
+            f"({verdict.detail})")
+    if oom is not None:
+        assert verdict.verdict in ("certain-oom", "possible-oom"), (
+            f"SILENT OOM: {label} raised {oom} but verdict was "
+            f"{verdict.verdict} ({verdict.detail})")
+    return verdict.verdict
+
+
+class TestTpchSoundness:
+    @pytest.mark.parametrize("nbytes", DEVICE_BYTES)
+    def test_q1(self, nbytes):
+        device = device_of(nbytes)
+        for n in SCALES:
+            for strategy in Strategy:
+                check_both_directions(build_q1_plan(), q1_source_rows(n),
+                                      device, strategy)
+
+    @pytest.mark.parametrize("nbytes", DEVICE_BYTES)
+    def test_q6(self, nbytes):
+        device = device_of(nbytes)
+        for n in SCALES:
+            for strategy in Strategy:
+                check_both_directions(build_q6_plan(), {"lineitem": n},
+                                      device, strategy)
+
+    @pytest.mark.parametrize("nbytes", DEVICE_BYTES)
+    def test_q21(self, nbytes):
+        device = device_of(nbytes)
+        for n in SCALES:
+            rows = q21_source_rows(n, n // 4, max(1, n // 600))
+            for strategy in Strategy:
+                check_both_directions(build_q21_plan(), rows, device,
+                                      strategy)
+
+
+class TestFuzzSoundness:
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_fuzzed_plans(self, seed):
+        case = random_plan_case(seed)
+        base = {name: rel.num_rows for name, rel in case.sources.items()}
+        for factor in FUZZ_FACTORS:
+            rows = {name: n * factor for name, n in base.items()}
+            for device in DEVICES:
+                for strategy in Strategy:
+                    check_both_directions(case.plan, rows, device, strategy)
+
+
+class TestCoverage:
+    def test_matrix_exercises_every_verdict(self):
+        """The harness is only meaningful if all three verdicts actually
+        occur in the matrix -- an all-safe sweep would prove nothing."""
+        seen = set()
+        for n in SCALES:
+            for device in DEVICES:
+                for strategy in Strategy:
+                    seen.add(check_both_directions(
+                        build_q1_plan(), q1_source_rows(n), device,
+                        strategy))
+        assert "safe" in seen
+        assert "certain-oom" in seen

@@ -197,6 +197,52 @@ class TestAnalyze:
         assert doc["summary"]["warnings"] == 0
         assert doc["summary"]["infos"] == 0  # indexed locations too
         assert doc["summary"]["suppressed"] > 0
+        assert doc["stale_suppressions"] == []
+
+    def test_json_is_byte_stable_across_runs(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json"]) == 0
+        assert capsys.readouterr().out == first
+        doc = json.loads(first)
+        assert doc["schema"] == "repro.analyze.report/v1"
+
+    def test_stale_suppressions_reported(self, tmp_path, capsys):
+        path = tmp_path / "baseline.txt"
+        path.write_text("FUS999 nothing:matches:this\n")
+        assert main(self.ARGS + ["--baseline", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stale_suppressions"] == ["FUS999 nothing:matches:this"]
+        # text mode prints the same warning...
+        assert main(self.ARGS + ["--baseline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stale suppression (matched nothing): FUS999" in out
+        # ...but without --prune-baseline the file is untouched
+        assert path.read_text() == "FUS999 nothing:matches:this\n"
+
+    def test_prune_baseline_drops_only_stale_lines(self, tmp_path, capsys):
+        path = tmp_path / "baseline.txt"
+        assert main(self.ARGS + ["--write-baseline", str(path)]) == 0
+        live = path.read_text()
+        path.write_text(live + "FUS999 nothing:matches:this\n")
+        capsys.readouterr()
+        assert main(self.ARGS + ["--baseline", str(path), "--strict",
+                                 "--prune-baseline"]) == 0
+        err = capsys.readouterr().err
+        assert "pruned 1 stale suppression(s)" in err
+        pruned = path.read_text()
+        assert "FUS999" not in pruned
+        # every live suppression survived: the pruned file still silences
+        # the full corpus under --strict with nothing stale left
+        assert main(self.ARGS + ["--baseline", str(path), "--strict",
+                                 "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stale_suppressions"] == []
+
+    def test_prune_baseline_requires_baseline(self, capsys):
+        assert main(self.ARGS + ["--prune-baseline"]) == 2
+        assert "--prune-baseline requires --baseline" in \
+            capsys.readouterr().err
 
 
 class TestCluster:
