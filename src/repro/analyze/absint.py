@@ -160,6 +160,13 @@ def _node_rows(node: PlanNode, envs: dict[str, Envelope],
     if node.op is OpType.UNION:
         right = envs[node.inputs[1].name].rows
         return (left + right).scale(sel).round_bracket().clamp_min(0.0)
+    if node.op is OpType.UNION_ALL:
+        # mirrors sizes._node_size exactly: bag concat ignores selectivity
+        return left + envs[node.inputs[1].name].rows
+    if node.op is OpType.TOP_N:
+        n = float(node.params["n"])
+        return Interval(max(0.0, min(left.lo, n)),
+                        max(0.0, min(left.hi, n)))
     if node.op is OpType.AGGREGATE:
         n_groups = node.params.get("n_groups")
         if n_groups is not None:

@@ -156,6 +156,12 @@ def tpch_plans() -> list[tuple[str, Plan]]:
     ]
 
 
+def frontend_plans() -> list[tuple[str, Plan]]:
+    """The full TPC-H suite compiled through the SQL frontend."""
+    from ..tpch.catalog import QUERIES, compile_tpch
+    return [(f"sql_{name}", compile_tpch(name).plan) for name in QUERIES]
+
+
 def cluster_plans(num_shards: int = 4) -> list[tuple[str, Any]]:
     """The TPC-H plans distributed over a 4-shard cluster (CLU4xx
     targets) -- the exact shapes the cluster CI smoke executes, at a row
@@ -261,7 +267,8 @@ def default_corpus(n_fuzz_seeds: int = 50,
     Plans appear twice: raw (plan lints) and fused (fusion legality).
     """
     targets: list[tuple[str, Any]] = []
-    plans = pattern_plans() + tpch_plans() + fuzz_plans(n_fuzz_seeds)
+    plans = (pattern_plans() + tpch_plans() + frontend_plans()
+             + fuzz_plans(n_fuzz_seeds))
     for label, plan in plans:
         targets.append((label, plan))
     for label, plan in plans:
@@ -276,7 +283,8 @@ def default_corpus(n_fuzz_seeds: int = 50,
 
 
 __all__ = [
-    "pattern_plans", "tpch_plans", "cluster_plans", "fuzz_plans",
+    "pattern_plans", "tpch_plans", "frontend_plans", "cluster_plans",
+    "fuzz_plans",
     "ir_programs", "batched_stream_pool", "memory_targets",
     "default_corpus", "select_chain_plan",
 ]

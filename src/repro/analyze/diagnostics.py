@@ -212,6 +212,8 @@ _CODES: tuple[CodeInfo, ...] = (
     CodeInfo("PLN008", Severity.ERROR,
              "predicate / sort key / group-by field not in the input schema"),
     CodeInfo("PLN009", Severity.WARNING, "implausible cost annotation"),
+    CodeInfo("PLN010", Severity.ERROR,
+             "unbound correlated reference survived decorrelation"),
     # fusion legality (fusion_check.py)
     CodeInfo("FUS101", Severity.ERROR,
              "barrier / non-fusable op inside a fused region"),
@@ -226,6 +228,8 @@ _CODES: tuple[CodeInfo, ...] = (
              "fused region exceeds the device register budget"),
     CodeInfo("FUS107", Severity.ERROR,
              "plan node missing from, or duplicated across, regions"),
+    CodeInfo("FUS108", Severity.ERROR,
+             "illegal fusion across an outer-join null-padding barrier"),
     # stream races (stream_check.py)
     CodeInfo("STR201", Severity.ERROR, "unordered write-write on one buffer"),
     CodeInfo("STR202", Severity.ERROR, "unordered read-write (missing edge)"),

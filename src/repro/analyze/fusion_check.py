@@ -16,6 +16,7 @@ FUS104    error     inter-region dependence cycle (via side inputs)
 FUS105    error     region list not topologically ordered
 FUS106    warning   fused region exceeds the register budget
 FUS107    error     plan node missing from / duplicated across regions
+FUS108    error     fusion crosses a LEFT_JOIN null-padding barrier
 ========  ========  ====================================================
 
 The register check (FUS106) measures pressure two ways and takes the
@@ -51,7 +52,7 @@ class FusionCheckPass:
 
     name = "fusion-check"
     codes = ("FUS101", "FUS102", "FUS103", "FUS104", "FUS105",
-             "FUS106", "FUS107")
+             "FUS106", "FUS107", "FUS108")
 
     def __init__(self, device: DeviceSpec | None = None,
                  costs: StageCostParams = DEFAULT_STAGE_COSTS):
@@ -90,6 +91,14 @@ class FusionCheckPass:
                         f"region {region.name!r} fuses {node.name!r} "
                         f"({node.op.value}), a barrier operator that can "
                         f"never share a kernel")
+                    bad = True
+            for node in region.nodes[:-1]:
+                if node.op is OpType.LEFT_JOIN:
+                    err("FUS108",
+                        f"region {region.name!r} fuses ops after "
+                        f"{node.name!r} (left_join): the null-padding "
+                        f"step inserts rows for unmatched probe tuples, "
+                        f"so an outer join may only terminate a region")
                     bad = True
 
         for prev, node in zip(region.nodes, region.nodes[1:]):

@@ -23,7 +23,13 @@ PLN006    error     PROJECT keeps a field its input cannot produce
 PLN007    error     join key missing from a join input's schema
 PLN008    error     predicate/expression/sort/group field unknown
 PLN009    warning   implausible cardinality parameter
+PLN010    error     reserved ``__corr`` correlation placeholder survives
 ========  ========  ====================================================
+
+PLN010 guards the frontend's decorrelation contract: the SQL lowering
+names correlated subquery references ``__corr_<name>`` while rewriting
+them into joins, and every placeholder must be consumed by that rewrite.
+One left behind would read a column no relation produces at runtime.
 """
 
 from __future__ import annotations
@@ -44,8 +50,12 @@ _STRUCTURAL_CODES = {
 #: ops whose selectivity is a probability (must stay within [0, 1])
 _FRACTIONAL_OPS = frozenset({
     OpType.SELECT, OpType.SEMI_JOIN, OpType.ANTI_JOIN, OpType.UNIQUE,
-    OpType.INTERSECTION, OpType.DIFFERENCE,
+    OpType.INTERSECTION, OpType.DIFFERENCE, OpType.EXCEPT_ALL,
 })
+
+#: field-name prefix the SQL frontend reserves for correlated subquery
+#: placeholders; decorrelation must rewrite every one away (PLN010)
+CORR_PREFIX = "__corr"
 
 Schema = frozenset[str] | None
 
@@ -55,7 +65,7 @@ class PlanLintPass:
 
     name = "plan-lints"
     codes = ("PLN001", "PLN002", "PLN003", "PLN004", "PLN005",
-             "PLN006", "PLN007", "PLN008", "PLN009")
+             "PLN006", "PLN007", "PLN008", "PLN009", "PLN010")
 
     def run(self, plan: Plan) -> list[Diagnostic]:
         diags = self._structural(plan)
@@ -66,6 +76,7 @@ class PlanLintPass:
         schemas = self._schema_flow(plan, diags)
         self._dead_nodes(plan, diags)
         self._cardinality(plan, diags)
+        self._correlation_residue(plan, diags)
         del schemas
         return diags
 
@@ -142,29 +153,37 @@ class PlanLintPass:
                 return None
             return left | frozenset(outputs)
 
-        if node.op is OpType.JOIN:
+        if node.op in (OpType.JOIN, OpType.LEFT_JOIN):
             on = node.params.get("on")
             if on is not None:
-                check_fields("PLN007", {on}, left, "join key", "probe side")
-                check_fields("PLN007", {on}, right, "join key", "build side")
+                lk, rk = on if isinstance(on, tuple) else (on, on)
+                check_fields("PLN007", {lk}, left, "join key", "probe side")
+                check_fields("PLN007", {rk}, right, "join key", "build side")
             if left is None or right is None:
                 return None
-            return left | right
+            out = left | right
+            if node.op is OpType.LEFT_JOIN:
+                out |= {node.params.get("match_field", "__matched")}
+            return out
 
         if node.op in (OpType.SEMI_JOIN, OpType.ANTI_JOIN):
             on = node.params.get("on")
             if on is not None:
-                check_fields("PLN007", {on}, left, "join key", "probe side")
-                check_fields("PLN007", {on}, right, "join key", "build side")
+                lk, rk = on if isinstance(on, tuple) else (on, on)
+                check_fields("PLN007", {lk}, left, "join key", "probe side")
+                check_fields("PLN007", {rk}, right, "join key", "build side")
             return left
 
         if node.op in (OpType.INTERSECTION, OpType.DIFFERENCE):
             return left
 
-        if node.op is OpType.UNION:
+        if node.op in (OpType.UNION, OpType.UNION_ALL):
             return left if left is not None else right
 
-        if node.op is OpType.SORT:
+        if node.op is OpType.EXCEPT_ALL:
+            return left
+
+        if node.op in (OpType.SORT, OpType.TOP_N):
             by = node.params.get("by") or []
             check_fields("PLN008", set(by), left, "sort key")
             return left
@@ -195,6 +214,23 @@ class PlanLintPass:
                     location=SourceLocation(plan.name, "node", src.name),
                     pass_name=self.name))
 
+    # -- decorrelation residue -------------------------------------------
+    def _correlation_residue(self, plan: Plan,
+                             diags: list[Diagnostic]) -> None:
+        """PLN010: a reserved ``__corr*`` placeholder survived lowering."""
+        for node in plan.nodes:
+            residue = sorted(f for f in _referenced_fields(node)
+                             if f.startswith(CORR_PREFIX))
+            if residue:
+                diags.append(Diagnostic(
+                    code="PLN010", severity=Severity.ERROR,
+                    message=(f"node {node.name!r} ({node.op.value}) still "
+                             f"references correlated placeholder(s) "
+                             f"{residue}: decorrelation left an unbound "
+                             f"outer-query reference"),
+                    location=SourceLocation(plan.name, "node", node.name),
+                    pass_name=self.name))
+
     # -- cardinality sanity ----------------------------------------------
     def _cardinality(self, plan: Plan, diags: list[Diagnostic]) -> None:
         def warn(node: PlanNode, message: str) -> None:
@@ -219,3 +255,27 @@ class PlanLintPass:
                     warn(node,
                          f"node {node.name!r}: n_groups={n_groups} "
                          f"must be positive (or None to scale with input)")
+
+
+def _referenced_fields(node: PlanNode) -> set[str]:
+    """Every column name a node's parameters read or group/sort/join by."""
+    out: set[str] = set()
+    p = node.params
+    pred = p.get("predicate")
+    if pred is not None:
+        out |= set(pred.fields())
+    for expr in (p.get("outputs") or {}).values():
+        out |= set(expr.fields())
+    out |= set(p.get("keep") or [])
+    out |= set(p.get("fields") or []) if node.op is OpType.PROJECT else set()
+    out |= set(p.get("by") or [])
+    out |= set(p.get("group_by") or [])
+    for spec in (p.get("aggs") or {}).values():
+        if isinstance(spec, AggSpec) and spec.field is not None:
+            out.add(spec.field)
+    on = p.get("on")
+    if isinstance(on, tuple):
+        out |= set(on)
+    elif on is not None:
+        out.add(on)
+    return out

@@ -609,8 +609,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_e.add_argument("--elements", type=int, default=6_000_000)
 
     p_sql = sub.add_parser("sql", help="run a SQL query over generated TPC-H")
-    p_sql.add_argument("statement", help="e.g. \"SELECT returnflag, COUNT(*) "
-                       "AS n FROM lineitem GROUP BY returnflag\"")
+    p_sql.add_argument("statement", nargs="?", default=None,
+                       help="e.g. \"SELECT returnflag, COUNT(*) "
+                       "AS n FROM lineitem GROUP BY returnflag\" "
+                       "(legacy single-table path, physical column names)")
+    p_sql.add_argument("--query", default=None, metavar="qN",
+                       help="a TPC-H catalog query (q1..q22), or 'all' for "
+                       "the whole suite (frontend path, SQL column names)")
+    p_sql.add_argument("--file", default=None, metavar="F.sql",
+                       help="read the SQL text from a file (frontend path)")
+    p_sql.add_argument("--explain", action="store_true",
+                       help="print the bound query and the lowered plan "
+                       "instead of executing")
+    p_sql.add_argument("--validate", action="store_true",
+                       help="differentially validate against the NumPy "
+                       "reference interpreter; exit nonzero on mismatch")
+    p_sql.add_argument("--json", action="store_true",
+                       help="with --query all: print the JSON coverage "
+                       "report (stable key order)")
+    p_sql.add_argument("--seed", type=int, default=1992,
+                       help="dataset seed for the frontend path")
     p_sql.add_argument("--scale-factor", type=float, default=0.01)
     p_sql.add_argument("--limit", type=int, default=20,
                        help="max rows to print")
@@ -618,10 +636,96 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_rows(out, limit: int) -> None:
+    header = "  ".join(f"{f:>14}" for f in out.fields)
+    print(header)
+    for i in range(min(out.num_rows, limit)):
+        print("  ".join(f"{out.column(f)[i]!s:>14}" for f in out.fields))
+    if out.num_rows > limit:
+        print(f"... ({out.num_rows} rows total)")
+
+
+def _cmd_sql_frontend(args) -> int:
+    import json
+
+    from .frontend import bind_sql, compile_sql, run_plan, validate_sql
+    from .plans.explain import explain
+    from .sql.lexer import SqlError
+    from .tpch.catalog import (
+        CATALOG, QUERIES, tpch_dataset, tpch_source_rows, validate_tpch,
+    )
+
+    if args.query == "all":
+        report = validate_tpch(scale_factor=args.scale_factor,
+                               seed=args.seed)
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        else:
+            for r in report.reports:
+                line = f"{r.query:5s} {r.status:12s}"
+                if r.rows >= 0:
+                    line += f" rows={r.rows}"
+                if r.detail:
+                    line += f"  {r.detail}"
+                print(line)
+            print(f"covered {len(report.covered)}/{len(report.reports)}")
+        if args.validate and (report.failed or len(report.covered) < 16):
+            return 1
+        return 0
+
+    if args.query is not None:
+        if args.query not in QUERIES:
+            print(f"unknown query {args.query!r}; have q1..q22 or 'all'")
+            return 2
+        name, sql = args.query, QUERIES[args.query]
+    else:
+        name = args.file
+        with open(args.file) as fh:
+            sql = fh.read()
+
+    source_rows = tpch_source_rows(args.scale_factor)
+    try:
+        bound = bind_sql(sql, CATALOG)
+        compiled = compile_sql(sql, CATALOG, source_rows=source_rows,
+                               name=name)
+    except SqlError as exc:
+        print(f"error: {exc}")
+        return 1
+
+    if args.explain:
+        print(bound.describe())
+        print()
+        print(explain(compiled.plan, source_rows=source_rows))
+        return 0
+
+    tables = tpch_dataset(scale_factor=args.scale_factor, seed=args.seed)
+    if args.validate:
+        report = validate_sql(name, sql, CATALOG, tables,
+                              source_rows=source_rows)
+        line = f"{report.query}: {report.status}"
+        if report.rows >= 0:
+            line += f" rows={report.rows}"
+        if report.detail:
+            line += f"  {report.detail}"
+        print(line)
+        return 0 if report.status == "ok" else 1
+
+    _print_rows(run_plan(compiled, tables), args.limit)
+    return 0
+
+
 def _cmd_sql(args) -> int:
     from .core.passes import compile_plan
     from .plans import evaluate_sinks
     from .sql import sql_to_plan
+
+    picked = sum(x is not None
+                 for x in (args.statement, args.query, args.file))
+    if picked != 1:
+        print("provide exactly one of: a SQL statement, --query, or --file")
+        return 2
+    if args.query is not None or args.file is not None:
+        return _cmd_sql_frontend(args)
 
     plan = sql_to_plan(args.statement)
     data = generate(TpchConfig(scale_factor=args.scale_factor))
@@ -635,12 +739,7 @@ def _cmd_sql(args) -> int:
         return 1
 
     out = list(evaluate_sinks(plan, sources).values())[0]
-    header = "  ".join(f"{f:>14}" for f in out.fields)
-    print(header)
-    for i in range(min(out.num_rows, args.limit)):
-        print("  ".join(f"{out.column(f)[i]!s:>14}" for f in out.fields))
-    if out.num_rows > args.limit:
-        print(f"... ({out.num_rows} rows total)")
+    _print_rows(out, args.limit)
 
     rows = {s.name: tables[s.name].num_rows for s in plan.sources()}
     cp = compile_plan(plan, rows)

@@ -25,18 +25,26 @@ class DepClass(enum.Enum):
     BARRIER = "barrier"
 
 
-#: producers whose full output must exist before any consumer element is valid
+#: producers whose full output must exist before any consumer element is valid.
+#: LEFT_JOIN belongs here: its null-padding step inserts pad rows for the
+#: unmatched left tuples, so no output element is final until the whole
+#: probe has run -- it may *terminate* a fused region but never feed one.
 _BARRIER_PRODUCERS = frozenset({
     OpType.SORT, OpType.UNIQUE, OpType.AGGREGATE, OpType.UNION,
+    OpType.LEFT_JOIN, OpType.TOP_N, OpType.UNION_ALL, OpType.EXCEPT_ALL,
 })
 
 #: consumers that need their whole input before producing anything
-_BARRIER_CONSUMERS = frozenset({OpType.SORT, OpType.UNIQUE, OpType.UNION})
+_BARRIER_CONSUMERS = frozenset({
+    OpType.SORT, OpType.UNIQUE, OpType.UNION,
+    OpType.TOP_N, OpType.UNION_ALL, OpType.EXCEPT_ALL,
+})
 
 #: binary consumers whose *second* input is a build/lookup structure
 _BUILD_SIDE_CONSUMERS = frozenset({
     OpType.JOIN, OpType.SEMI_JOIN, OpType.ANTI_JOIN, OpType.PRODUCT,
-    OpType.INTERSECTION, OpType.DIFFERENCE,
+    OpType.INTERSECTION, OpType.DIFFERENCE, OpType.LEFT_JOIN,
+    OpType.EXCEPT_ALL,
 })
 
 

@@ -32,11 +32,16 @@ def out_row_nbytes(node: PlanNode) -> int:
     if node.op is OpType.SOURCE:
         return 4
     left = out_row_nbytes(node.inputs[0])
-    if node.op in (OpType.JOIN, OpType.PRODUCT):
+    if node.op in (OpType.JOIN, OpType.LEFT_JOIN, OpType.PRODUCT):
         right = out_row_nbytes(node.inputs[1])
         if node.op is OpType.JOIN:
             return left + max(0, right - KEY_BYTES)
+        if node.op is OpType.LEFT_JOIN:
+            # joined row + the 32-bit match-indicator column
+            return left + max(0, right - KEY_BYTES) + 4
         return left + right
+    if node.op is OpType.UNION_ALL:
+        return max(left, out_row_nbytes(node.inputs[1]))
     if node.op is OpType.AGGREGATE:
         n_aggs = len(node.params.get("aggs", {})) or 1
         n_keys = len(node.params.get("group_by", [])) or 1
@@ -97,7 +102,7 @@ def compute_stage(node: PlanNode, reads_input: bool,
             selectivity=1.0,
             regs=costs.map_regs_base + 2 * len(node.params["outputs"]),
         )
-    if node.op is OpType.JOIN:
+    if node.op in (OpType.JOIN, OpType.LEFT_JOIN):
         right_row = out_row_nbytes(node.inputs[1])
         if node.params.get("gather"):
             # positional join: fetch just the new value bytes per element
@@ -147,10 +152,14 @@ def compute_stage(node: PlanNode, reads_input: bool,
     raise FusionError(f"{node.op.value} has no fusable compute stage")
 
 
+#: LEFT_JOIN is fusable but only as a region *tail* -- its probe edge is
+#: elementwise yet its null-padding output is a barrier (dependence.py
+#: lists it under _BARRIER_PRODUCERS, and FUS108 enforces terminality).
 FUSABLE_OPS = frozenset({
     OpType.SELECT, OpType.PROJECT, OpType.ARITH, OpType.JOIN,
     OpType.SEMI_JOIN, OpType.ANTI_JOIN, OpType.INTERSECTION,
     OpType.DIFFERENCE, OpType.PRODUCT, OpType.AGGREGATE,
+    OpType.LEFT_JOIN,
 })
 
 
@@ -201,8 +210,9 @@ def build_side_kernels(nodes: list[PlanNode], costs: StageCostParams
     for node in nodes:
         if node.op is OpType.JOIN and node.params.get("gather"):
             continue  # positional join: the column array needs no build
-        if node.op in (OpType.JOIN, OpType.SEMI_JOIN, OpType.ANTI_JOIN,
-                       OpType.INTERSECTION, OpType.DIFFERENCE):
+        if node.op in (OpType.JOIN, OpType.LEFT_JOIN, OpType.SEMI_JOIN,
+                       OpType.ANTI_JOIN, OpType.INTERSECTION,
+                       OpType.DIFFERENCE, OpType.EXCEPT_ALL):
             build_input = node.inputs[1]
             row = out_row_nbytes(build_input)
             kern = Kernel(
@@ -280,6 +290,12 @@ def chain_for_node(node: PlanNode,
         return _unique_chain(node, costs, n_in_hint)
     if node.op is OpType.UNION:
         return _union_chain(node, costs)
+    if node.op is OpType.TOP_N:
+        return _top_n_chain(node, costs, n_in_hint)
+    if node.op is OpType.UNION_ALL:
+        return _union_all_chain(node, costs)
+    if node.op is OpType.EXCEPT_ALL:
+        return _except_all_chain(node, costs)
     raise PlanError(f"cannot lower op {node.op.value}")
 
 
@@ -355,3 +371,93 @@ def _union_chain(node: PlanNode, costs: StageCostParams) -> KernelChain:
         base_regs=costs.skeleton_base_regs,
     )
     return KernelChain(name=node.name, kernels=[merge])
+
+
+def _top_n_chain(node: PlanNode, costs: StageCostParams,
+                 n_in: int) -> KernelChain:
+    """TOP_N = full sort passes + a truncating copy of the first n rows."""
+    row = in_row_nbytes(node)
+    passes = _sort_passes(max(n_in, 2), costs)
+    n = max(1, int(node.params.get("n", 1)))
+    keep = min(1.0, n / max(n_in, 1))
+    sort_kern = Kernel(
+        name=f"{node.name}.sort",
+        stages=[StageSpec(
+            StageKind.SORT_PASS, f"{node.name}.sort",
+            insts_per_input=costs.sort_pass_insts * passes,
+            reads_bytes_per_input=float(row) * passes,
+            writes_bytes_per_output=float(row) * passes,
+            regs=costs.sort_regs,
+        )],
+        op_names=[node.name],
+        base_regs=costs.skeleton_base_regs,
+    )
+    truncate = Kernel(
+        name=f"{node.name}.truncate",
+        stages=[StageSpec(
+            StageKind.GATHER, f"{node.name}.truncate",
+            insts_per_input=costs.gather_insts_per_elem * keep,
+            reads_bytes_per_input=float(row) * keep,
+            writes_bytes_per_output=float(row) * keep,
+            regs=costs.gather_regs,
+        )],
+        op_names=[node.name],
+        base_regs=costs.skeleton_base_regs,
+    )
+    return KernelChain(name=node.name, kernels=[sort_kern, truncate])
+
+
+def _union_all_chain(node: PlanNode, costs: StageCostParams) -> KernelChain:
+    """UNION ALL = a pure concatenating copy (no dedup passes)."""
+    row = out_row_nbytes(node)
+    concat = Kernel(
+        name=f"{node.name}.concat",
+        stages=[StageSpec(
+            StageKind.GATHER, node.name,
+            insts_per_input=costs.gather_insts_per_elem,
+            reads_bytes_per_input=float(row),
+            writes_bytes_per_output=float(row),
+            regs=costs.gather_regs,
+        )],
+        op_names=[node.name],
+        base_regs=costs.skeleton_base_regs,
+    )
+    return KernelChain(name=node.name, kernels=[concat])
+
+
+def _except_all_chain(node: PlanNode, costs: StageCostParams) -> KernelChain:
+    """EXCEPT ALL = occurrence numbering (sort passes over the probe
+    side) + a multiplicity-lookup filter against the build side."""
+    row = in_row_nbytes(node)
+    passes = _sort_passes(2, costs)
+    number = Kernel(
+        name=f"{node.name}.number",
+        stages=[StageSpec(
+            StageKind.SORT_PASS, f"{node.name}.number",
+            insts_per_input=costs.sort_pass_insts * passes,
+            reads_bytes_per_input=float(row) * passes,
+            writes_bytes_per_output=float(row) * passes,
+            regs=costs.sort_regs,
+        )],
+        op_names=[node.name],
+        base_regs=costs.skeleton_base_regs,
+    )
+    compact = Kernel(
+        name=f"{node.name}.compact",
+        stages=[
+            _partition_stage(costs),
+            StageSpec(StageKind.SET_LOOKUP, f"{node.name}.lookup",
+                      insts_per_input=costs.set_lookup_insts,
+                      reads_bytes_per_input=float(row)
+                      + costs.join_probe_read_factor * KEY_BYTES,
+                      selectivity=node.selectivity,
+                      regs=costs.set_lookup_regs),
+            _buffer_stage(row, costs),
+        ],
+        op_names=[node.name],
+        base_regs=costs.skeleton_base_regs,
+    )
+    gather = _gather_kernel(f"{node.name}.gather", row, costs, [node.name])
+    side = build_side_kernels([node], costs)
+    return KernelChain(name=node.name, kernels=[number, compact, gather],
+                       side_kernels=side)

@@ -1,0 +1,72 @@
+"""Schema catalog the SQL frontend binds against.
+
+A :class:`Catalog` names tables and typed columns.  Column kinds:
+
+* ``int`` / ``float`` -- plain numeric columns;
+* ``date``   -- int32 day-counts since the repo-wide 1992-01-01 epoch;
+* ``str``    -- real unicode columns (free-form text);
+* ``code``   -- dictionary-encoded strings: the stored value is an index
+  into ``pool``, and the binder rewrites string comparisons/LIKE patterns
+  on such columns into integer comparisons over the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sql.lexer import SqlError
+
+#: kinds that order and do arithmetic like numbers
+NUMERIC_KINDS = ("int", "float", "date")
+
+
+class BindError(SqlError):
+    """Raised when a query does not bind against the catalog."""
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    kind: str                          # 'int' | 'float' | 'date' | 'str' | 'code'
+    pool: tuple[str, ...] | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("int", "float", "date", "str", "code"):
+            raise ValueError(f"unknown column kind {self.kind!r}")
+        if (self.kind == "code") != (self.pool is not None):
+            raise ValueError("exactly the 'code' kind carries a decode pool")
+
+
+@dataclass(frozen=True)
+class Table:
+    name: str
+    columns: tuple[Column, ...]
+
+    def column(self, name: str) -> Column | None:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        return None
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+
+class Catalog:
+    def __init__(self, tables):
+        self.tables: dict[str, Table] = {t.name: t for t in tables}
+
+    def table(self, name: str) -> Table:
+        if name not in self.tables:
+            raise BindError(
+                f"unknown table {name!r}; have {sorted(self.tables)}")
+        return self.tables[name]
+
+
+#: bytes per stored value, for plan row-width annotations
+KIND_NBYTES = {"int": 4, "float": 4, "date": 4, "code": 2, "str": 16}
+
+
+def table_row_nbytes(table: Table) -> int:
+    return sum(KIND_NBYTES[c.kind] for c in table.columns)

@@ -1,0 +1,336 @@
+"""Lowering: bound SQL -> fusable plan IR.
+
+The chain/aggregation *decisions* come from :mod:`repro.frontend.common`;
+this module turns them into plan nodes, applying the optimizations the
+reference interpreter deliberately does not: per-relation filter pushdown
+(so SELECT chains sit on the sources where fusion wants them) and
+decorrelation of EXISTS / IN / scalar subqueries into SEMI/ANTI/LEFT
+joins.  A correlated reference that survives lowering is a bug; the
+PLN010 lint proves none do.
+
+Decorrelation strategies, by subquery shape:
+
+* uncorrelated ``[NOT] IN (subquery)``   -> SEMI/ANTI join on the column;
+* equality-correlated ``[NOT] EXISTS``   -> SEMI/ANTI join on the pair;
+* EXISTS with an extra ``<>`` conjunct   -> per-key MIN/MAX aggregate +
+  LEFT JOIN + match-indicator predicate (the Q21 shape);
+* uncorrelated scalar subquery           -> 1-row aggregate + PRODUCT;
+* equality-correlated scalar aggregate   -> per-key aggregate + inner
+  JOIN (order-preserving) + comparison against the joined value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..plans.plan import Plan, PlanNode
+from ..ra.arithmetic import AggSpec
+from ..ra.expr import And, Compare, Const, Field, Not, Or, Predicate
+from ..sql.ast import AggExpr, Exists, InSubquery, ScalarSubquery
+from .binder import BoundQuery, BoundRel, bind_sql
+from .catalog import Catalog, table_row_nbytes
+from .common import (
+    AggRecipe, ChainRecipe, UnsupportedError, item_outputs, order_spec,
+    plan_aggregate, plan_chain, subst_expr, subst_pred,
+)
+
+#: default selectivity assumed for a pushed-down filter conjunct
+FILTER_SELECTIVITY = 0.5
+
+
+@dataclass
+class CompiledQuery:
+    """A lowered query: the plan, its sink, and the output column order."""
+
+    plan: Plan
+    sink: PlanNode
+    out_fields: list[str]
+    bound: BoundQuery
+
+
+class Lowering:
+    def __init__(self, catalog: Catalog,
+                 source_rows: dict[str, int] | None = None,
+                 name: str = "query"):
+        self.catalog = catalog
+        self.source_rows = source_rows or {}
+        self.plan = Plan(name=name)
+        self._sources: dict[str, PlanNode] = {}
+        self._uid = itertools.count()
+
+    # -- relations -----------------------------------------------------------
+    def _source(self, table: str) -> PlanNode:
+        if table not in self._sources:
+            t = self.catalog.table(table)
+            self._sources[table] = self.plan.source(
+                table, row_nbytes=table_row_nbytes(t),
+                n_rows=self.source_rows.get(table),
+                fields=t.column_names)
+        return self._sources[table]
+
+    def _rel_node(self, rel: BoundRel) -> PlanNode:
+        if rel.subquery is not None:
+            node, _ = self._query(rel.subquery)
+            return node
+        node = self._source(rel.table)
+        if rel.prefix:
+            outputs = {rel.canonical(c): Field(c) for c in rel.columns}
+            node = self.plan.arith(node, outputs, keep=[],
+                                   name=f"alias_{rel.name}")
+        return node
+
+    # -- chain ---------------------------------------------------------------
+    def _chain(self, bq: BoundQuery, recipe: ChainRecipe) -> PlanNode:
+        def with_local(i: int) -> PlanNode:
+            node = self._rel_node(bq.rels[i])
+            for pred in recipe.local[i]:
+                node = self.plan.select(node, pred,
+                                        selectivity=FILTER_SELECTIVITY)
+            return node
+
+        cur = with_local(0)
+        for step in recipe.steps:
+            right = with_local(step.index)
+            if step.kind == "left":
+                cur = self.plan.left_join(cur, right, on=step.key,
+                                          match_field=step.match_field)
+            elif step.key is not None:
+                cur = self.plan.join(cur, right, on=step.key)
+            else:
+                right_rows = self.source_rows.get(
+                    bq.rels[step.index].table or "", 1)
+                cur = self.plan.product(cur, right, right_rows=right_rows)
+            for pred in step.residual:
+                cur = self.plan.select(cur, subst_pred(pred, recipe.repr_map),
+                                       selectivity=FILTER_SELECTIVITY)
+        return cur
+
+    # -- decorrelation -------------------------------------------------------
+    def _inner_chain(self, inner: BoundQuery) -> tuple[PlanNode, ChainRecipe]:
+        recipe = plan_chain(inner)
+        if recipe.subqueries:
+            raise UnsupportedError(
+                "a subquery nested inside another subquery's WHERE clause "
+                "is not supported")
+        return self._chain(inner, recipe), recipe
+
+    def _resolve_pairs(self, recipe, repr_map) -> "list[tuple[str, str]]":
+        return [(repr_map.get(o, o),
+                 recipe.repr_map.get(i, i)) for o, i in recipe.corr_pairs]
+
+    def _apply_subquery(self, cur: PlanNode, pred: Predicate,
+                        repr_map: dict[str, str]) -> PlanNode:
+        if isinstance(pred, Exists):
+            return self._lower_exists(cur, pred, repr_map)
+        if isinstance(pred, InSubquery):
+            return self._lower_in(cur, pred, repr_map)
+        if isinstance(pred, Compare):
+            return self._lower_scalar_compare(cur, pred, repr_map)
+        raise UnsupportedError(
+            "subquery predicates must be top-level EXISTS / IN / "
+            "comparisons, not nested under OR")
+
+    def _lower_exists(self, cur, pred: Exists, repr_map) -> PlanNode:
+        inner: BoundQuery = pred.query
+        node, recipe = self._inner_chain(inner)
+        pairs = self._resolve_pairs(recipe, repr_map)
+        if not pairs:
+            raise UnsupportedError(
+                "EXISTS without a correlated equality is not supported")
+        if not recipe.corr_resid:
+            if len(pairs) != 1:
+                raise UnsupportedError(
+                    "EXISTS supports one correlated equality, "
+                    f"found {len(pairs)}")
+            outer_col, inner_col = pairs[0]
+            node = self.plan.project(node, [inner_col])
+            joiner = self.plan.anti_join if pred.negated else self.plan.semi_join
+            return joiner(cur, node, on=(outer_col, inner_col))
+        # Q21 shape: one equality plus one inequality against the outer row.
+        # A per-key MIN/MAX summary decides "any inner row differs".
+        if len(pairs) != 1 or len(recipe.corr_resid) != 1:
+            raise UnsupportedError(
+                "EXISTS supports one equality plus one inequality "
+                "correlation, found more")
+        resid = recipe.corr_resid[0]
+        if not (isinstance(resid, Compare) and resid.op == "!="
+                and isinstance(resid.left, Field)
+                and isinstance(resid.right, Field)):
+            raise UnsupportedError(
+                "the extra EXISTS correlation must be a '<>' between two "
+                "columns")
+        sides = {resid.left.name, resid.right.name}
+        corr_name = next((s for s in sides if s in inner.correlated), None)
+        if corr_name is None or len(sides) != 2:
+            raise UnsupportedError(
+                "the extra EXISTS correlation must compare an inner column "
+                "with an outer column")
+        inner_neq = next(s for s in sides if s != corr_name)
+        inner_neq = recipe.repr_map.get(inner_neq, inner_neq)
+        outer_neq = inner.correlated[corr_name]
+        outer_neq = repr_map.get(outer_neq, outer_neq)
+        outer_eq, inner_eq = pairs[0]
+        u = next(self._uid)
+        mn, mx, match = f"__mn{u}", f"__mx{u}", f"__dm{u}"
+        agg = self.plan.aggregate(
+            node, [inner_eq], {mn: AggSpec("min", inner_neq),
+                               mx: AggSpec("max", inner_neq)},
+            n_groups=None, group_rate=0.1)
+        cur = self.plan.left_join(cur, agg, on=(outer_eq, inner_eq),
+                                  match_field=match)
+        exists = And(Compare("==", Field(match), Const(1)),
+                     Or(Compare("!=", Field(mn), Field(outer_neq)),
+                        Compare("!=", Field(mx), Field(outer_neq))))
+        return self.plan.select(cur, Not(exists) if pred.negated else exists,
+                                selectivity=FILTER_SELECTIVITY)
+
+    def _lower_in(self, cur, pred: InSubquery, repr_map) -> PlanNode:
+        inner: BoundQuery = pred.query
+        if inner.correlated:
+            raise UnsupportedError(
+                "correlated IN (subquery) is not supported; use EXISTS")
+        probe = subst_expr(pred.expr, repr_map)
+        if not isinstance(probe, Field):
+            raise UnsupportedError(
+                "the left side of IN (subquery) must be a plain column")
+        node, fields = self._query(inner)
+        joiner = self.plan.anti_join if pred.negated else self.plan.semi_join
+        return joiner(cur, node, on=(probe.name, fields[0]))
+
+    def _lower_scalar_compare(self, cur, pred: Compare, repr_map) -> PlanNode:
+        sub_left = isinstance(pred.left, ScalarSubquery)
+        sub = pred.left if sub_left else pred.right
+        other = pred.right if sub_left else pred.left
+        if not isinstance(sub, ScalarSubquery) or isinstance(
+                other, ScalarSubquery):
+            raise UnsupportedError(
+                "exactly one comparison side may be a scalar subquery")
+        other = subst_expr(other, repr_map)
+        inner: BoundQuery = sub.query
+        u = next(self._uid)
+        if not inner.correlated:
+            node, fields = self._query(inner)
+            value = f"__scalar{u}"
+            node = self.plan.arith(node, {value: Field(fields[0])}, keep=[])
+            cur = self.plan.product(cur, node, right_rows=1)
+        else:
+            node, recipe = self._inner_chain(inner)
+            if recipe.corr_resid:
+                raise UnsupportedError(
+                    "correlated scalar subqueries support equality "
+                    "correlation only")
+            pairs = self._resolve_pairs(recipe, repr_map)
+            group_cols = list(dict.fromkeys(i for _, i in pairs))
+            arecipe = plan_aggregate(inner, recipe.repr_map, recipe.nullable,
+                                     group_override=group_cols)
+            if arecipe is None or len(inner.items) != 1:
+                raise UnsupportedError(
+                    "a correlated scalar subquery must compute one "
+                    "aggregate")
+            if arecipe.pre:
+                node = self.plan.arith(node, arecipe.pre)
+            node = self.plan.aggregate(node, arecipe.group_by, arecipe.aggs,
+                                       n_groups=None, group_rate=0.1)
+            alias = inner.items[0].alias
+            value_expr = arecipe.post.get(alias, Field(alias))
+            gnames = {f"__g{u}_{j}": Field(c)
+                      for j, c in enumerate(group_cols)}
+            value = f"__v{u}"
+            node = self.plan.arith(node, {**gnames, value: value_expr},
+                                   keep=[])
+            keyed = list(gnames)
+            cur = self.plan.join(cur, node, on=(pairs[0][0], keyed[0]),
+                                 preserve_order=True)
+            for j in range(1, len(pairs)):
+                outer_j = pairs[j][0]
+                # map this pair's inner column to its __g name
+                g = keyed[group_cols.index(pairs[j][1])]
+                cur = self.plan.select(
+                    cur, Compare("==", Field(outer_j), Field(g)),
+                    selectivity=FILTER_SELECTIVITY)
+        final = (Compare(pred.op, Field(value), other) if sub_left
+                 else Compare(pred.op, other, Field(value)))
+        return self.plan.select(cur, final, selectivity=FILTER_SELECTIVITY)
+
+    # -- full query ----------------------------------------------------------
+    def _query(self, bq: BoundQuery) -> tuple[PlanNode, list[str]]:
+        if bq.correlated:
+            raise UnsupportedError(
+                "correlated references are only supported inside "
+                "decorrelatable EXISTS / scalar subqueries")
+        recipe = plan_chain(bq)
+        if recipe.corr_pairs or recipe.corr_resid:
+            raise UnsupportedError(
+                "correlated references are only supported inside "
+                "decorrelatable EXISTS / scalar subqueries")
+        cur = self._chain(bq, recipe)
+        for sq in recipe.subqueries:
+            cur = self._apply_subquery(cur, sq, recipe.repr_map)
+
+        arecipe = plan_aggregate(bq, recipe.repr_map, recipe.nullable)
+        if arecipe is not None:
+            if arecipe.pre:
+                cur = self.plan.arith(cur, arecipe.pre)
+            cur = self.plan.aggregate(
+                cur, arecipe.group_by, arecipe.aggs,
+                n_groups=1 if not arecipe.group_by else None,
+                group_rate=0.01)
+            if arecipe.post:
+                cur = self.plan.arith(cur, arecipe.post)
+            for c in arecipe.having_plain:
+                cur = self.plan.select(cur, c,
+                                       selectivity=FILTER_SELECTIVITY)
+            for sq in arecipe.having_subqueries:
+                cur = self._apply_subquery(cur, sq, {})
+        else:
+            outs = item_outputs(bq, recipe.repr_map)
+            if outs:
+                cur = self.plan.arith(cur, outs)
+
+        out_fields = [i.alias for i in bq.items]
+        cur = self.plan.project(cur, list(out_fields))
+        if bq.distinct:
+            cur = self.plan.unique(cur, distinct_rate=0.5)
+        if bq.set_op is not None:
+            op, rhs = bq.set_op
+            rnode, rfields = self._query(rhs)
+            if rfields != out_fields:
+                rnode = self.plan.arith(
+                    rnode, {a: Field(b) for a, b in zip(out_fields, rfields)},
+                    keep=[])
+            if op.startswith("union"):
+                cur = self.plan.union_all(cur, rnode)
+            else:
+                cur = self.plan.except_all(cur, rnode, keep_rate=0.5)
+            if op in ("union", "except"):
+                cur = self.plan.unique(cur, distinct_rate=0.5)
+        if bq.order_by:
+            by, descending = order_spec(bq)
+            if bq.limit is not None:
+                cur = self.plan.top_n(cur, by, bq.limit,
+                                      descending=descending)
+            else:
+                cur = self.plan.sort(cur, by=by, descending=descending)
+        elif bq.limit is not None:
+            raise UnsupportedError("LIMIT without ORDER BY has no "
+                                   "deterministic meaning here")
+        return cur, out_fields
+
+
+def lower(bq: BoundQuery, catalog: Catalog,
+          source_rows: dict[str, int] | None = None,
+          name: str = "query") -> CompiledQuery:
+    """Lower a bound query to a plan."""
+    lowering = Lowering(catalog, source_rows=source_rows, name=name)
+    sink, out_fields = lowering._query(bq)
+    return CompiledQuery(plan=lowering.plan, sink=sink,
+                         out_fields=out_fields, bound=bq)
+
+
+def compile_sql(sql: str, catalog: Catalog,
+                source_rows: dict[str, int] | None = None,
+                name: str = "query") -> CompiledQuery:
+    """Parse, bind, and lower in one call."""
+    return lower(bind_sql(sql, catalog), catalog,
+                 source_rows=source_rows, name=name)

@@ -1,0 +1,261 @@
+"""Reference interpreter: bound SQL -> NumPy result, no plan IR.
+
+The differential oracle for the frontend.  It replays the shared recipes
+(:mod:`repro.frontend.common`) over plain relations but takes the *naive*
+road everywhere the lowering optimizes:
+
+* no filter pushdown -- WHERE conjuncts run after the full join chain;
+* no decorrelation -- EXISTS/IN/scalar subqueries are evaluated directly,
+  correlated ones by probing per outer row.
+
+Everything that determines float bit patterns is shared with the plan
+path: the join-key choices, the join/aggregate/sort primitives from
+:mod:`repro.ra`, and the aggregate-naming recipe.  A disagreement in the
+byte-for-byte comparison therefore points at a real semantic divergence,
+not float noise.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..ra import arithmetic, operators
+from ..ra.expr import Compare, Field, Predicate, conjoin
+from ..ra.relation import Relation
+from ..ra.sort import sort as ra_sort, top_n as ra_top_n, unique as ra_unique
+from ..sql.ast import Exists, InSubquery, ScalarSubquery
+from .binder import BoundQuery
+from .common import (
+    UnsupportedError, item_outputs, order_spec, plan_aggregate, plan_chain,
+    subst_expr, subst_pred,
+)
+
+
+def execute(bq: BoundQuery, tables: dict[str, Relation]) -> Relation:
+    """Execute a bound query over ``tables`` (SQL column names)."""
+    return _Reference(tables).query(bq)
+
+
+class _Reference:
+    def __init__(self, tables: dict[str, Relation]):
+        self.tables = tables
+
+    # -- relations -----------------------------------------------------------
+    def _rel(self, bq: BoundQuery, i: int) -> Relation:
+        rel = bq.rels[i]
+        if rel.subquery is not None:
+            return self.query(rel.subquery)
+        if rel.table not in self.tables:
+            raise UnsupportedError(f"no data bound for table {rel.table!r}")
+        base = self.tables[rel.table]
+        return Relation({rel.canonical(c): base.column(c)
+                         for c in rel.columns})
+
+    def _chain(self, bq: BoundQuery, recipe) -> Relation:
+        cur = self._rel(bq, 0)
+        for step in recipe.steps:
+            right = self._rel(bq, step.index)
+            for pred in step.push_right:
+                right = operators.select(right, pred)
+            if step.kind == "left":
+                cur = operators.left_join(cur, right, on=step.key,
+                                          match_field=step.match_field)
+            elif step.key is not None:
+                cur = operators.join(cur, right, on=step.key)
+            else:
+                cur = operators.product(cur, right)
+        return cur
+
+    # -- subquery predicates -------------------------------------------------
+    def _subquery_mask(self, cur: Relation, pred: Predicate,
+                       repr_map: dict[str, str]) -> np.ndarray:
+        if isinstance(pred, Exists):
+            return self._exists_mask(cur, pred, repr_map)
+        if isinstance(pred, InSubquery):
+            inner = self.query(pred.query)
+            vals = inner.column(inner.fields[0])
+            arr = np.asarray(
+                subst_expr(pred.expr, repr_map).evaluate(cur.columns))
+            mask = np.isin(arr, vals)
+            return ~mask if pred.negated else mask
+        if isinstance(pred, Compare):
+            return self._scalar_mask(cur, pred, repr_map)
+        raise UnsupportedError(
+            "subquery predicates must be top-level EXISTS / IN / "
+            "comparisons, not nested under OR")
+
+    def _inner_chain(self, inner: BoundQuery):
+        recipe = plan_chain(inner)
+        if recipe.subqueries:
+            raise UnsupportedError(
+                "a subquery nested inside another subquery's WHERE clause "
+                "is not supported")
+        rel = self._chain(inner, recipe)
+        if recipe.post_chain:
+            rel = operators.select(rel, conjoin(
+                [subst_pred(p, recipe.repr_map) for p in recipe.post_chain]))
+        pairs = [(oc, recipe.repr_map.get(ic, ic))
+                 for oc, ic in recipe.corr_pairs]
+        return rel, recipe, pairs
+
+    def _exists_mask(self, cur: Relation, pred: Exists,
+                     repr_map: dict[str, str]) -> np.ndarray:
+        inner = pred.query
+        rel, recipe, pairs = self._inner_chain(inner)
+        pairs = [(repr_map.get(oc, oc), ic) for oc, ic in pairs]
+        n = cur.num_rows
+        if not pairs and not recipe.corr_resid:
+            mask = np.full(n, rel.num_rows > 0)
+        elif not recipe.corr_resid:
+            if len(pairs) == 1:
+                oc, ic = pairs[0]
+                mask = np.isin(cur.column(oc), rel.column(ic))
+            else:
+                inner_keys = set(zip(*(rel.column(ic) for _, ic in pairs)))
+                mask = np.fromiter(
+                    (t in inner_keys
+                     for t in zip(*(cur.column(oc) for oc, _ in pairs))),
+                    dtype=bool, count=n)
+        else:
+            # general correlation: probe candidate rows per outer row with
+            # the outer values bound to the __corr columns
+            resid = [subst_pred(p, recipe.repr_map)
+                     for p in recipe.corr_resid]
+            groups: dict[tuple, list[int]] = defaultdict(list)
+            for idx, t in enumerate(zip(*(rel.column(ic)
+                                          for _, ic in pairs))):
+                groups[t].append(idx)
+            outer_eq = [cur.column(oc) for oc, _ in pairs]
+            corr_outer = {
+                cn: cur.column(repr_map.get(oc, oc))
+                for cn, oc in inner.correlated.items()}
+            mask = np.zeros(n, dtype=bool)
+            for r in range(n):
+                idxs = groups.get(tuple(c[r] for c in outer_eq))
+                if not idxs:
+                    continue
+                cols = {f: rel.column(f)[idxs] for f in rel.fields}
+                for cn, col in corr_outer.items():
+                    cols[cn] = np.full(len(idxs), col[r])
+                ok = np.ones(len(idxs), dtype=bool)
+                for p in resid:
+                    ok &= np.asarray(p.evaluate(cols), dtype=bool)
+                mask[r] = bool(ok.any())
+        return ~mask if pred.negated else mask
+
+    def _scalar_mask(self, cur: Relation, pred: Compare,
+                     repr_map: dict[str, str]) -> np.ndarray:
+        sub_left = isinstance(pred.left, ScalarSubquery)
+        sub = pred.left if sub_left else pred.right
+        other = pred.right if sub_left else pred.left
+        if not isinstance(sub, ScalarSubquery) or isinstance(
+                other, ScalarSubquery):
+            raise UnsupportedError(
+                "exactly one comparison side may be a scalar subquery")
+        other = subst_expr(other, repr_map)
+        inner = sub.query
+        n = cur.num_rows
+        if not inner.correlated:
+            res = self.query(inner)
+            col = res.column(res.fields[0])
+            if len(col) == 0:
+                return np.zeros(n, dtype=bool)
+            values = np.full(n, col[0])
+            matched = np.ones(n, dtype=bool)
+        else:
+            rel, recipe, pairs = self._inner_chain(inner)
+            if recipe.corr_resid:
+                raise UnsupportedError(
+                    "correlated scalar subqueries support equality "
+                    "correlation only")
+            pairs = [(repr_map.get(oc, oc), ic) for oc, ic in pairs]
+            group_cols = list(dict.fromkeys(ic for _, ic in pairs))
+            arecipe = plan_aggregate(inner, recipe.repr_map, recipe.nullable,
+                                     group_override=group_cols)
+            if arecipe is None or len(inner.items) != 1:
+                raise UnsupportedError(
+                    "a correlated scalar subquery must compute one "
+                    "aggregate")
+            if arecipe.pre:
+                rel = arithmetic.arith(rel, arecipe.pre)
+            grouped = arithmetic.aggregate(rel, group_cols, arecipe.aggs)
+            if arecipe.post:
+                grouped = arithmetic.arith(grouped, arecipe.post)
+            alias = inner.items[0].alias
+            vcol = grouped.column(alias)
+            probe = {t: vcol[i] for i, t in enumerate(
+                zip(*(grouped.column(g) for g in group_cols)))}
+            outer_cols = [cur.column(oc) for oc, _ in pairs]
+            # dedup outer columns in the same order as group_cols
+            seen: dict[str, np.ndarray] = {}
+            for (oc, ic), col in zip(pairs, outer_cols):
+                seen.setdefault(ic, col)
+            keyed = [seen[g] for g in group_cols]
+            values = np.zeros(n, dtype=vcol.dtype)
+            matched = np.zeros(n, dtype=bool)
+            for r in range(n):
+                v = probe.get(tuple(c[r] for c in keyed))
+                if v is not None:
+                    values[r] = v
+                    matched[r] = True
+        cols = dict(cur.columns)
+        cols["__scalar"] = values
+        cmp = (Compare(pred.op, Field("__scalar"), other) if sub_left
+               else Compare(pred.op, other, Field("__scalar")))
+        return np.asarray(cmp.evaluate(cols), dtype=bool) & matched
+
+    # -- full query ----------------------------------------------------------
+    def query(self, bq: BoundQuery) -> Relation:
+        recipe = plan_chain(bq)
+        if recipe.corr_pairs or recipe.corr_resid:
+            raise UnsupportedError(
+                "correlated references are only supported inside "
+                "decorrelatable EXISTS / scalar subqueries")
+        cur = self._chain(bq, recipe)
+        if recipe.post_chain:
+            cur = operators.select(cur, conjoin(
+                [subst_pred(p, recipe.repr_map) for p in recipe.post_chain]))
+        for sq in recipe.subqueries:
+            cur = cur.take(self._subquery_mask(cur, sq, recipe.repr_map))
+
+        arecipe = plan_aggregate(bq, recipe.repr_map, recipe.nullable)
+        if arecipe is not None:
+            if arecipe.pre:
+                cur = arithmetic.arith(cur, arecipe.pre)
+            cur = arithmetic.aggregate(cur, arecipe.group_by, arecipe.aggs)
+            if arecipe.post:
+                cur = arithmetic.arith(cur, arecipe.post)
+            for c in arecipe.having_plain:
+                cur = operators.select(cur, c)
+            for sq in arecipe.having_subqueries:
+                cur = cur.take(self._subquery_mask(cur, sq, {}))
+        else:
+            outs = item_outputs(bq, recipe.repr_map)
+            if outs:
+                cur = arithmetic.arith(cur, outs)
+
+        out_fields = [i.alias for i in bq.items]
+        cur = operators.project(cur, list(out_fields))
+        if bq.distinct:
+            cur = ra_unique(cur)
+        if bq.set_op is not None:
+            op, rhs_bq = bq.set_op
+            rhs = self.query(rhs_bq)
+            if op.startswith("union"):
+                cur = operators.union_all(cur, rhs)
+            else:
+                cur = operators.except_all(cur, rhs)
+            if op in ("union", "except"):
+                cur = ra_unique(cur)
+        if bq.order_by:
+            by, descending = order_spec(bq)
+            if bq.limit is not None:
+                cur = ra_top_n(cur, by, bq.limit, descending=descending)
+            else:
+                cur = ra_sort(cur, by=by, descending=descending)
+        elif bq.limit is not None:
+            raise UnsupportedError("LIMIT without ORDER BY has no "
+                                   "deterministic meaning here")
+        return cur

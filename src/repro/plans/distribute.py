@@ -66,7 +66,15 @@ _EXTRA_STATE_BYTES = {"mean": 8}
 _COMBINE_FUNC = {"count": "sum", "sum": "sum", "min": "min",
                  "max": "max", "mean": "mean"}
 
-_JOIN_OPS = (OpType.JOIN, OpType.SEMI_JOIN, OpType.ANTI_JOIN)
+_JOIN_OPS = (OpType.JOIN, OpType.SEMI_JOIN, OpType.ANTI_JOIN,
+             OpType.LEFT_JOIN)
+
+
+def _probe_key(on) -> "str | None":
+    """Probe-side join-key name from an ``on`` param (str or pair)."""
+    if isinstance(on, tuple):
+        return on[0]
+    return on
 
 #: a distribution is one of
 #:   ("replicated",)          -- identical everywhere
@@ -354,7 +362,8 @@ def _joined_on(plan: Plan, src: PlanNode, key: tuple[str, ...]) -> bool:
     if len(key) != 1:
         return False
     for node in plan.nodes:
-        if node.op in _JOIN_OPS and node.params.get("on") == key[0]:
+        if (node.op in _JOIN_OPS
+                and _probe_key(node.params.get("on")) == key[0]):
             if any(_reaches_through_unary(plan, src, inp)
                    for inp in node.inputs):
                 return True
@@ -380,6 +389,10 @@ def _node_dist(node: PlanNode, ins: list, sort_local: bool = False):
         if node.params.get("gather") and lk is None and rk is None:
             return ("partitioned", None)     # row-aligned column gather
         on = node.params.get("on")
+        if isinstance(on, tuple):
+            # differently-named equi-keys cannot be statically proven
+            # co-partitioned (the partitioner hashes by column name)
+            return None
         if on is not None and lk is not None and lk == rk and set(lk) == {on}:
             return ("partitioned", lk)       # co-partitioned key join
         return None
@@ -476,7 +489,7 @@ def _candidate_keys(plan: Plan) -> list[tuple[str, ...] | None]:
     for node in plan.topological():
         if (node.op in _JOIN_OPS and node.params.get("on")
                 and not node.params.get("gather")):
-            cands.append((node.params["on"],))
+            cands.append((_probe_key(node.params["on"]),))
         if node.op is OpType.AGGREGATE:
             group_by = node.params.get("group_by") or []
             if len(group_by) == 1:

@@ -30,6 +30,13 @@ _CHAIN_OPS = [
     ("unique", 1),
     ("semi_join", 1),
     ("anti_join", 1),
+    # the frontend-era operators, generated with bounded probability so
+    # most chains stay fusion-friendly while every barrier kind still
+    # appears across a seed sweep
+    ("left_join", 1),
+    ("top_n", 1),
+    ("union_all", 1),
+    ("except_all", 1),
 ]
 
 
@@ -101,6 +108,18 @@ def random_plan_case(seed: int, max_ops: int = 6,
             node = plan.semi_join(node, side, on="k", name=f"op{i}_semi")
         elif op == "anti_join":
             node = plan.anti_join(node, side, on="k", name=f"op{i}_anti")
+        elif op == "left_join":
+            node = plan.left_join(node, side, on=("k", "k"),
+                                  match_field=f"__m{i}", name=f"op{i}_ljoin")
+        elif op == "top_n":
+            node = plan.top_n(node, by=[fld], n=int(rng.integers(5, 100)),
+                              name=f"op{i}_topn")
+        elif op == "union_all":
+            node = plan.union_all(node, node, name=f"op{i}_union")
+        elif op == "except_all":
+            sub = plan.select(node, Field(fld) < int(rng.integers(10, 40)),
+                              selectivity=0.5, name=f"op{i}_exsub")
+            node = plan.except_all(node, sub, name=f"op{i}_except")
         steps.append(op)
 
     # occasionally aggregate at the end

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..errors import PlanError
 from ..ra import arithmetic, operators
-from ..ra.sort import sort as ra_sort, unique as ra_unique
+from ..ra.sort import sort as ra_sort, top_n as ra_top_n, unique as ra_unique
 from ..ra.relation import Relation
 from .plan import OpType, Plan, PlanNode
 
@@ -42,11 +42,19 @@ def _eval_node(node: PlanNode, results: dict[str, Relation],
     if node.op is OpType.PROJECT:
         return operators.project(ins[0], p["fields"])
     if node.op is OpType.JOIN:
-        return operators.join(ins[0], ins[1], on=p.get("on"))
+        return operators.join(ins[0], ins[1], on=p.get("on"),
+                              preserve_order=p.get("preserve_order", False))
+    if node.op is OpType.LEFT_JOIN:
+        return operators.left_join(ins[0], ins[1], on=p.get("on"),
+                                   match_field=p.get("match_field", "__matched"))
     if node.op is OpType.SEMI_JOIN:
         return operators.semi_join(ins[0], ins[1], on=p.get("on"))
     if node.op is OpType.ANTI_JOIN:
         return operators.anti_join(ins[0], ins[1], on=p.get("on"))
+    if node.op is OpType.UNION_ALL:
+        return operators.union_all(ins[0], ins[1])
+    if node.op is OpType.EXCEPT_ALL:
+        return operators.except_all(ins[0], ins[1])
     if node.op is OpType.PRODUCT:
         return operators.product(ins[0], ins[1])
     if node.op is OpType.UNION:
@@ -57,6 +65,9 @@ def _eval_node(node: PlanNode, results: dict[str, Relation],
         return operators.difference(ins[0], ins[1])
     if node.op is OpType.SORT:
         return ra_sort(ins[0], by=p.get("by"), descending=p.get("descending", False))
+    if node.op is OpType.TOP_N:
+        return ra_top_n(ins[0], by=p["by"], n=p["n"],
+                        descending=p.get("descending", False))
     if node.op is OpType.UNIQUE:
         return ra_unique(ins[0])
     if node.op is OpType.ARITH:

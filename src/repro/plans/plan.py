@@ -33,10 +33,16 @@ class OpType(enum.Enum):
     UNIQUE = "unique"
     ARITH = "arith"
     AGGREGATE = "aggregate"
+    LEFT_JOIN = "left_join"
+    TOP_N = "top_n"
+    UNION_ALL = "union_all"
+    EXCEPT_ALL = "except_all"
 
 
-#: operators that can never fuse with anything (paper SS III-C).
-FUSION_BARRIER_OPS = frozenset({OpType.SORT, OpType.UNIQUE})
+#: operators that can never fuse with anything (paper SS III-C).  TOP_N
+#: is a bounded SORT; the bag set-ops see their whole inputs at once.
+FUSION_BARRIER_OPS = frozenset({OpType.SORT, OpType.UNIQUE, OpType.TOP_N,
+                                OpType.UNION_ALL, OpType.EXCEPT_ALL})
 
 
 @dataclass(eq=False)
@@ -113,16 +119,39 @@ class Plan:
             OpType.PROJECT, self._name(OpType.PROJECT, name), [input_node],
             params={"fields": fields}, out_row_nbytes=out_row_nbytes))
 
-    def join(self, left: PlanNode, right: PlanNode, on: str | None = None,
+    def join(self, left: PlanNode, right: PlanNode,
+             on: "str | tuple[str, str] | None" = None,
              match_rate: float = 1.0, out_row_nbytes: int | None = None,
-             gather: bool = False, name: str | None = None) -> PlanNode:
+             gather: bool = False, preserve_order: bool = False,
+             name: str | None = None) -> PlanNode:
         """JOIN.  ``gather=True`` marks a positional (row-id) join against an
         aligned column array: no hash build, the probe is a direct fetch --
-        how the paper's columnar engine merges lineitem columns in Q1."""
+        how the paper's columnar engine merges lineitem columns in Q1.
+        ``on`` may be a (left, right) pair for differently-named keys;
+        ``preserve_order`` re-sorts match pairs to probe-side row order
+        (what decorrelated subquery joins need for bit-exact replays)."""
         return self._add(PlanNode(
             OpType.JOIN, self._name(OpType.JOIN, name), [left, right],
-            params={"on": on, "gather": gather}, selectivity=match_rate,
-            out_row_nbytes=out_row_nbytes))
+            params={"on": on, "gather": gather,
+                    "preserve_order": preserve_order},
+            selectivity=match_rate, out_row_nbytes=out_row_nbytes))
+
+    def left_join(self, left: PlanNode, right: PlanNode,
+                  on: "str | tuple[str, str] | None" = None,
+                  match_field: str = "__matched", match_rate: float = 1.0,
+                  out_row_nbytes: int | None = None,
+                  name: str | None = None) -> PlanNode:
+        """LEFT OUTER JOIN: every left row survives, unmatched rows carry
+        zero pads plus a 0/1 ``match_field`` indicator column.  The
+        null-padding step sees the whole probe result, so the node is a
+        barrier *producer*: it may only terminate a fused region."""
+        if match_rate < 1.0:
+            raise PlanError(
+                f"left join {name!r} cannot drop rows (match_rate >= 1)")
+        return self._add(PlanNode(
+            OpType.LEFT_JOIN, self._name(OpType.LEFT_JOIN, name),
+            [left, right], params={"on": on, "match_field": match_field},
+            selectivity=match_rate, out_row_nbytes=out_row_nbytes))
 
     def semi_join(self, left: PlanNode, right: PlanNode, on: str | None = None,
                   match_rate: float = 0.5, name: str | None = None) -> PlanNode:
@@ -160,7 +189,8 @@ class Plan:
             [left, right], selectivity=keep_rate))
 
     def sort(self, input_node: PlanNode, by: list[str] | None = None,
-             descending: bool = False, name: str | None = None) -> PlanNode:
+             descending: "bool | list[bool]" = False,
+             name: str | None = None) -> PlanNode:
         return self._add(PlanNode(
             OpType.SORT, self._name(OpType.SORT, name), [input_node],
             params={"by": by, "descending": descending}))
@@ -170,6 +200,30 @@ class Plan:
         return self._add(PlanNode(
             OpType.UNIQUE, self._name(OpType.UNIQUE, name), [input_node],
             selectivity=distinct_rate))
+
+    def top_n(self, input_node: PlanNode, by: list[str], n: int,
+              descending: "bool | list[bool]" = False,
+              name: str | None = None) -> PlanNode:
+        """ORDER BY ... LIMIT n: bounded sort, a barrier both ways."""
+        if n < 0:
+            raise PlanError(f"top_n needs n >= 0, got {n}")
+        return self._add(PlanNode(
+            OpType.TOP_N, self._name(OpType.TOP_N, name), [input_node],
+            params={"by": by, "n": n, "descending": descending}))
+
+    def union_all(self, left: PlanNode, right: PlanNode,
+                  name: str | None = None) -> PlanNode:
+        """UNION ALL: bag concatenation (no dedup, unlike UNION)."""
+        return self._add(PlanNode(
+            OpType.UNION_ALL, self._name(OpType.UNION_ALL, name),
+            [left, right], selectivity=1.0))
+
+    def except_all(self, left: PlanNode, right: PlanNode,
+                   keep_rate: float = 0.5, name: str | None = None) -> PlanNode:
+        """EXCEPT ALL: bag difference (per-tuple multiplicities subtract)."""
+        return self._add(PlanNode(
+            OpType.EXCEPT_ALL, self._name(OpType.EXCEPT_ALL, name),
+            [left, right], selectivity=keep_rate))
 
     def arith(self, input_node: PlanNode, outputs: dict[str, Expr],
               keep: list[str] | None = None, out_row_nbytes: int | None = None,
@@ -274,7 +328,8 @@ OP_ARITY = {
     OpType.SORT: 1, OpType.UNIQUE: 1, OpType.ARITH: 1,
     OpType.AGGREGATE: 1, OpType.JOIN: 2, OpType.SEMI_JOIN: 2,
     OpType.ANTI_JOIN: 2, OpType.PRODUCT: 2, OpType.UNION: 2,
-    OpType.INTERSECTION: 2, OpType.DIFFERENCE: 2,
+    OpType.INTERSECTION: 2, OpType.DIFFERENCE: 2, OpType.LEFT_JOIN: 2,
+    OpType.TOP_N: 1, OpType.UNION_ALL: 2, OpType.EXCEPT_ALL: 2,
 }
 
 

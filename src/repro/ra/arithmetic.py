@@ -19,7 +19,7 @@ from .relation import Relation
 from .rows import pack_rows
 
 #: Supported aggregate functions.
-AGG_FUNCS = ("sum", "mean", "count", "min", "max")
+AGG_FUNCS = ("sum", "mean", "count", "count_distinct", "min", "max")
 
 
 def arith(rel: Relation, outputs: Mapping[str, Expr], keep: list[str] | None = None
@@ -55,7 +55,7 @@ class AggSpec:
     def __post_init__(self):
         if self.func not in AGG_FUNCS:
             raise RelationError(f"unknown aggregate {self.func!r}; have {AGG_FUNCS}")
-        if self.func != "count" and self.field is None:
+        if self.func not in ("count",) and self.field is None:
             raise RelationError(f"aggregate {self.func!r} needs a field")
 
 
@@ -76,7 +76,7 @@ def aggregate(rel: Relation, group_by: list[str],
         # no rows -> no groups: empty output with the right schema
         cols: dict[str, np.ndarray] = {n: rel.column(n)[:0] for n in group_by}
         for name, spec in aggs.items():
-            if spec.func == "count":
+            if spec.func in ("count", "count_distinct"):
                 cols[name] = np.empty(0, dtype=np.int64)
             else:
                 cols[name] = rel.column(spec.field)[:0].astype(np.float64)
@@ -107,6 +107,10 @@ def aggregate(rel: Relation, group_by: list[str],
             continue
         values = rel.column(spec.field)[order]
         segments = np.split(values, boundaries) if n_groups > 1 else [values]
+        if spec.func == "count_distinct":
+            out[name] = np.array([len(np.unique(seg)) for seg in segments],
+                                 dtype=np.int64)
+            continue
         if spec.func == "sum":
             result = np.array([seg.sum() for seg in segments])
         elif spec.func == "mean":

@@ -117,6 +117,69 @@ class BinOp(Expr):
         return 1 + self.left.instruction_estimate() + self.right.instruction_estimate()
 
 
+@dataclass(frozen=True, eq=True)
+class Func(Expr):
+    """A builtin scalar function applied element-wise.
+
+    ``year`` expects day-counts relative to the ISO date in ``meta`` and
+    yields calendar years; ``substring`` expects ``meta=(start, length)``
+    with SQL's 1-based ``start`` over a unicode column.
+    """
+
+    func: str
+    arg: Expr
+    meta: tuple | str | None = None
+
+    def __post_init__(self):
+        if self.func not in ("year", "substring"):
+            raise ValueError(f"unknown function {self.func!r}")
+
+    def evaluate(self, columns):
+        values = self.arg.evaluate(columns)
+        if self.func == "year":
+            epoch = np.datetime64(self.meta or "1970-01-01", "D")
+            days = np.asarray(values, dtype="timedelta64[D]")
+            return (epoch + days).astype("datetime64[Y]").astype(np.int64) + 1970
+        start, length = self.meta
+        lo = start - 1
+        return np.array([s[lo:lo + length] for s in np.asarray(values)])
+
+    def fields(self):
+        return self.arg.fields()
+
+    def instruction_estimate(self):
+        # a handful of integer ops (date split) or byte moves (substring)
+        return 4 + self.arg.instruction_estimate()
+
+
+@dataclass(frozen=True, eq=True)
+class Case(Expr):
+    """``CASE WHEN p THEN e ... ELSE d END`` -- a predicated select tree."""
+
+    whens: tuple  # of (Predicate, Expr) pairs
+    default: Expr
+
+    def evaluate(self, columns):
+        conds = [p.evaluate(columns) for p, _ in self.whens]
+        outs = [np.broadcast_to(np.asarray(e.evaluate(columns)),
+                                np.shape(conds[0])) for _, e in self.whens]
+        default = np.broadcast_to(np.asarray(self.default.evaluate(columns)),
+                                  np.shape(conds[0]))
+        return np.select(conds, outs, default=default)
+
+    def fields(self):
+        out = self.default.fields()
+        for pred, expr in self.whens:
+            out |= pred.fields() | expr.fields()
+        return out
+
+    def instruction_estimate(self):
+        total = 1 + self.default.instruction_estimate()
+        for pred, expr in self.whens:
+            total += 1 + pred.instruction_estimate() + expr.instruction_estimate()
+        return total
+
+
 # ---------------------------------------------------------------------------
 # predicates
 # ---------------------------------------------------------------------------
@@ -213,6 +276,61 @@ class Not(Predicate):
 
     def instruction_estimate(self):
         return 1 + self.inner.instruction_estimate()
+
+
+@dataclass(frozen=True, eq=True)
+class InList(Predicate):
+    """``expr IN (v1, v2, ...)`` over a literal value list."""
+
+    expr: Expr
+    values: tuple
+
+    def evaluate(self, columns):
+        arr = np.asarray(self.expr.evaluate(columns))
+        return np.isin(arr, np.array(list(self.values)))
+
+    def fields(self):
+        return self.expr.fields()
+
+    def instruction_estimate(self):
+        # one compare + or per list element
+        return 2 * len(self.values) + self.expr.instruction_estimate()
+
+
+def like_to_regex(pattern: str) -> str:
+    """SQL ``LIKE`` pattern -> anchored regex (% -> .*, _ -> .)."""
+    import re as _re
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(_re.escape(ch))
+    return "^" + "".join(out) + "$"
+
+
+@dataclass(frozen=True, eq=True)
+class Like(Predicate):
+    """``expr LIKE pattern`` over a unicode column."""
+
+    expr: Expr
+    pattern: str
+
+    def evaluate(self, columns):
+        import re as _re
+        rx = _re.compile(like_to_regex(self.pattern))
+        values = np.asarray(self.expr.evaluate(columns))
+        return np.fromiter((rx.match(s) is not None for s in values),
+                           dtype=bool, count=len(values))
+
+    def fields(self):
+        return self.expr.fields()
+
+    def instruction_estimate(self):
+        # per-character compare loop, amortized
+        return 4 * max(1, len(self.pattern)) + self.expr.instruction_estimate()
 
 
 @dataclass(frozen=True, eq=True)

@@ -97,19 +97,42 @@ def product(x: Relation, y: Relation) -> Relation:
     return Relation(cols, key=x.key)
 
 
-def join(x: Relation, y: Relation, on: str | None = None) -> Relation:
-    """JOIN: inner equi-join on the key field (Table I).
+def _join_keys(x: Relation, y: Relation,
+               on: "str | tuple[str, str] | None") -> tuple[str, str]:
+    """Resolve ``on`` to (left key, right key).
 
-    Output tuples are x's fields followed by y's non-key fields, renamed
-    with a ``_r`` suffix when they clash with x's field names.
+    ``on`` may be a single shared column name, a ``(left, right)`` pair
+    for differently-named equi-join columns, or None (both relations'
+    declared key fields).
     """
-    kx = on if on is not None else x.key
-    ky = on if on is not None else y.key
+    if on is None:
+        kx, ky = x.key, y.key
+    elif isinstance(on, tuple):
+        kx, ky = on
+    else:
+        kx = ky = on
     if kx not in x.columns:
         raise RelationError(f"join key {kx!r} missing from left relation")
     if ky not in y.columns:
         raise RelationError(f"join key {ky!r} missing from right relation")
+    return kx, ky
+
+
+def join(x: Relation, y: Relation, on: str | tuple[str, str] | None = None,
+         preserve_order: bool = False) -> Relation:
+    """JOIN: inner equi-join on the key field (Table I).
+
+    Output tuples are x's fields followed by y's non-key fields, renamed
+    with a ``_r`` suffix when they clash with x's field names.  The
+    default output order is (key, left index, right index); with
+    ``preserve_order`` the pairs are re-sorted to (left index, right
+    index), i.e. x's row order with each row's matches in y order.
+    """
+    kx, ky = _join_keys(x, y, on)
     li, ri = inner_join_indices(x.column(kx), y.column(ky))
+    if preserve_order:
+        order = np.lexsort((ri, li))
+        li, ri = li[order], ri[order]
     cols: dict[str, np.ndarray] = {n: x.column(n)[li] for n in x.fields}
     for n in y.fields:
         if n == ky:
@@ -119,19 +142,100 @@ def join(x: Relation, y: Relation, on: str | None = None) -> Relation:
     return Relation(cols, key=kx)
 
 
-def semi_join(x: Relation, y: Relation, on: str | None = None) -> Relation:
+def left_join(x: Relation, y: Relation,
+              on: str | tuple[str, str] | None = None,
+              match_field: str = "__matched") -> Relation:
+    """LEFT OUTER JOIN with an explicit match indicator.
+
+    Every x row appears at least once, in x's row order, with its y
+    matches in y order.  Unmatched rows carry zero / empty-string pads in
+    y's fields and ``match_field`` = 0 (matched rows = 1); downstream
+    predicates and counts consult the indicator instead of SQL NULLs.
+    """
+    kx, ky = _join_keys(x, y, on)
+    li, ri = inner_join_indices(x.column(kx), y.column(ky))
+    unmatched = np.setdiff1d(np.arange(x.num_rows), li)
+    full_li = np.concatenate([li, unmatched])
+    full_ri = np.concatenate([ri, np.zeros(len(unmatched), dtype=ri.dtype)])
+    matched = np.concatenate([
+        np.ones(len(li), dtype=np.int32),
+        np.zeros(len(unmatched), dtype=np.int32)])
+    order = np.lexsort((full_ri, 1 - matched, full_li))
+    full_li, full_ri = full_li[order], full_ri[order]
+    matched = matched[order]
+    pad = matched == 0
+    cols: dict[str, np.ndarray] = {n: x.column(n)[full_li] for n in x.fields}
+    for n in y.fields:
+        if n == ky:
+            continue
+        out = n if n not in cols else f"{n}_r"
+        col = y.column(n)[full_ri].copy()
+        col[pad] = "" if col.dtype.kind in ("U", "S") else 0
+        cols[out] = col
+    if match_field in cols:
+        raise RelationError(f"match field {match_field!r} clashes with a "
+                            "relation field")
+    cols[match_field] = matched
+    return Relation(cols, key=kx)
+
+
+def semi_join(x: Relation, y: Relation,
+              on: str | tuple[str, str] | None = None) -> Relation:
     """Tuples of x whose key appears in y (EXISTS; used by Q21)."""
-    kx = on if on is not None else x.key
-    ky = on if on is not None else y.key
+    kx, ky = _join_keys(x, y, on)
     ykeys = y.column(ky)
     mask = np.isin(x.column(kx), ykeys)
     return x.take(mask)
 
 
-def anti_join(x: Relation, y: Relation, on: str | None = None) -> Relation:
+def anti_join(x: Relation, y: Relation,
+              on: str | tuple[str, str] | None = None) -> Relation:
     """Tuples of x whose key does NOT appear in y (NOT EXISTS; Q21)."""
-    kx = on if on is not None else x.key
-    ky = on if on is not None else y.key
+    kx, ky = _join_keys(x, y, on)
     ykeys = y.column(ky)
     mask = ~np.isin(x.column(kx), ykeys)
     return x.take(mask)
+
+
+def union_all(x: Relation, y: Relation) -> Relation:
+    """UNION ALL: bag union -- every x tuple, then every y tuple."""
+    _check_union_compatible(x, y)
+    y = _align(y, x)
+    cols = {n: np.concatenate([x.column(n), y.column(n)])
+            for n in x.fields}
+    return Relation(cols, key=x.key)
+
+
+def except_all(x: Relation, y: Relation) -> Relation:
+    """EXCEPT ALL: bag difference.
+
+    Each tuple keeps ``max(count_x - count_y, 0)`` occurrences; the
+    *earliest* ``count_y`` occurrences in x order are the ones removed,
+    so the result preserves x's relative order deterministically.
+    """
+    _check_union_compatible(x, y)
+    y = _align(y, x)
+    px, py = pack_rows(x), pack_rows(y)
+    if px.dtype != py.dtype:
+        py = py.astype(px.dtype)
+    n = len(px)
+    if n == 0:
+        return x.take(np.zeros(0, dtype=bool))
+    # occurrence index of each x row among equal rows (0 for the first)
+    sorted_idx = np.argsort(px, kind="stable")
+    ps = px[sorted_idx]
+    new_run = np.concatenate([[True], ps[1:] != ps[:-1]])
+    run_starts = np.where(new_run, np.arange(n), 0)
+    pos_in_run = np.arange(n) - np.maximum.accumulate(run_starts)
+    occurrence = np.empty(n, dtype=np.int64)
+    occurrence[sorted_idx] = pos_in_run
+    # per-row count of equal tuples in y
+    y_vals, y_counts = np.unique(py, return_counts=True)
+    slot = np.searchsorted(y_vals, px)
+    slot = np.clip(slot, 0, max(len(y_vals) - 1, 0))
+    if len(y_vals):
+        in_y = y_vals[slot] == px
+        y_count = np.where(in_y, y_counts[slot], 0)
+    else:
+        y_count = np.zeros(n, dtype=np.int64)
+    return x.take(occurrence >= y_count)

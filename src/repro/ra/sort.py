@@ -15,21 +15,58 @@ from .relation import Relation
 from .rows import pack_rows, unique_rows_mask
 
 
-def sort(rel: Relation, by: list[str] | None = None, descending: bool = False
-         ) -> Relation:
-    """SORT: stable sort by the given fields (default: the key field)."""
-    fields = by if by is not None else [rel.key]
-    if not fields:
+def sort_order(columns, by: list[str],
+               descending: "bool | list[bool]" = False) -> np.ndarray:
+    """The stable row permutation sorting ``columns`` by ``by``.
+
+    ``descending`` may be a single bool (legacy semantics: a fully
+    reversed order, ties reversed too) or a per-field list, in which
+    case descending fields sort by *inverted ranks* -- a stable
+    multi-direction lexsort where ties keep their original order.  Both
+    the SORT/TOP_N operators and the frontend's reference interpreter
+    order rows through this one helper, so ORDER BY tie-breaks are
+    identical on both paths by construction.
+    """
+    if not by:
         raise RelationError("sort needs at least one field")
-    for n in fields:
-        if n not in rel.columns:
+    for n in by:
+        if n not in columns:
             raise RelationError(f"sort field {n!r} not in relation")
-    # np.lexsort sorts by the *last* key first
-    keys = tuple(rel.column(n) for n in reversed(fields))
+    if isinstance(descending, list):
+        if len(descending) != len(by):
+            raise RelationError(
+                f"{len(by)} sort field(s) but {len(descending)} direction(s)")
+        keys = []
+        for name, desc in zip(by, descending):
+            col = np.asarray(columns[name])
+            if desc:
+                values, inverse = np.unique(col, return_inverse=True)
+                col = (len(values) - 1) - inverse
+            keys.append(col)
+        # np.lexsort sorts by the *last* key first
+        return np.lexsort(tuple(reversed(keys)))
+    keys = tuple(np.asarray(columns[n]) for n in reversed(by))
     order = np.lexsort(keys)
     if descending:
         order = order[::-1]
-    return rel.take(order)
+    return order
+
+
+def sort(rel: Relation, by: list[str] | None = None,
+         descending: "bool | list[bool]" = False) -> Relation:
+    """SORT: stable sort by the given fields (default: the key field)."""
+    fields = by if by is not None else [rel.key]
+    return rel.take(sort_order(rel.columns, fields, descending))
+
+
+def top_n(rel: Relation, by: list[str], n: int,
+          descending: "bool | list[bool]" = False) -> Relation:
+    """TOP-N: the first ``n`` tuples of the sorted relation (ORDER BY +
+    LIMIT).  Ties at the cut are broken by the stable sort order."""
+    if n < 0:
+        raise RelationError(f"top_n needs n >= 0, got {n}")
+    order = sort_order(rel.columns, by, descending)
+    return rel.take(order[:n])
 
 
 def unique(rel: Relation) -> Relation:

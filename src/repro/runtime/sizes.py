@@ -31,6 +31,11 @@ def _node_size(node: PlanNode, sizes: dict[str, int],
     if node.op is OpType.UNION:
         right = sizes[node.inputs[1].name]
         return max(0, int(round((left + right) * node.selectivity)))
+    if node.op is OpType.UNION_ALL:
+        # bag concatenation is exact: every tuple of both inputs survives
+        return left + sizes[node.inputs[1].name]
+    if node.op is OpType.TOP_N:
+        return max(0, min(left, int(node.params["n"])))
     if node.op is OpType.AGGREGATE:
         n_groups = node.params.get("n_groups")
         if n_groups is not None:

@@ -60,6 +60,9 @@ def catalog_plan(kind: str) -> Plan:
         return sql_to_plan(_SQL_SCAN[0], row_nbytes=_SQL_SCAN[1])
     if kind == "sql_agg":
         return sql_to_plan(_SQL_AGG[0], row_nbytes=_SQL_AGG[1])
+    if kind.startswith("tpch_q"):
+        from ..tpch.catalog import compile_tpch
+        return compile_tpch(kind[len("tpch_"):]).plan
     raise KeyError(f"unknown catalog query kind {kind!r}")
 
 
@@ -72,10 +75,18 @@ def catalog_rows(kind: str, elements: int) -> dict[str, int]:
                                max(1, elements // 600))
     if kind in ("q6", "sql_scan", "sql_agg"):
         return q6_source_rows(elements)
+    if kind.startswith("tpch_q"):
+        from ..tpch import schema
+        sf = elements / schema.BASE_ROWS["lineitem"]
+        return {t: schema.scaled_rows(t, sf) for t in schema.BASE_ROWS}
     raise KeyError(f"unknown catalog query kind {kind!r}")
 
 
-QUERY_KINDS = ("q1", "q6", "q21", "sql_scan", "sql_agg")
+#: the frontend-compiled suite (src/repro/tpch/catalog.py), served under
+#: a ``tpch_`` prefix to keep the hand-built q1/q6/q21 plans distinct
+FRONTEND_KINDS = tuple(f"tpch_q{i}" for i in range(1, 23))
+
+QUERY_KINDS = ("q1", "q6", "q21", "sql_scan", "sql_agg") + FRONTEND_KINDS
 
 
 # ---------------------------------------------------------------------------
@@ -118,10 +129,11 @@ DEFAULT_TENANTS: tuple[TenantSpec, ...] = (
                mix=(("q6", 0.6), ("sql_scan", 0.25), ("sql_agg", 0.15)),
                weight=0.6, priority=0, deadline_s=0.5, elements=2_000_000),
     TenantSpec("reporting",
-               mix=(("q1", 0.7), ("q21", 0.3)),
+               mix=(("q1", 0.4), ("q21", 0.2), ("tpch_q3", 0.15),
+                    ("tpch_q9", 0.1), ("tpch_q14", 0.1), ("tpch_q19", 0.05)),
                weight=0.3, priority=1, deadline_s=4.0, elements=4_000_000),
     TenantSpec("adhoc",
-               mix=(("q6", 0.5), ("sql_scan", 0.5)),
+               mix=(("q6", 0.4), ("sql_scan", 0.4), ("tpch_q13", 0.2)),
                weight=0.1, priority=2, deadline_s=2.0, elements=2_000_000),
 )
 

@@ -31,6 +31,14 @@ def to_plan(query: Query,
     ``row_nbytes`` optionally maps table name -> bytes/row for the timing
     annotations (defaults to 16 B for the driver, 8 B for joined tables).
     """
+    if (len(query.tables) > 1 or query.limit is not None
+            or query.set_op is not None
+            or any(t.subquery is not None or t.alias for t in query.tables)
+            or any(j.on is not None or j.kind != "inner" or not j.using
+                   for j in query.joins)):
+        raise SqlError(
+            "comma joins, ON/LEFT/CROSS joins, derived tables, LIMIT and "
+            "set operations need the schema-aware frontend (repro.frontend)")
     if query.has_aggregates and any(
             not i.is_aggregate
             and not (isinstance(i.expr, Field) and i.expr.name in query.group_by)

@@ -15,6 +15,10 @@ KEYWORDS = {
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "ASC", "DESC",
     "AND", "OR", "NOT", "JOIN", "USING", "AS", "BETWEEN", "DISTINCT",
     "HAVING", "SUM", "COUNT", "AVG", "MIN", "MAX",
+    "ON", "LEFT", "OUTER", "INNER", "CROSS", "EXISTS", "IN", "LIKE",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "DATE", "INTERVAL", "LIMIT",
+    "UNION", "ALL", "EXCEPT", "EXTRACT", "SUBSTRING", "FOR",
+    "YEAR", "MONTH", "DAY",
 }
 
 SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", "*", "+", "-", "/",

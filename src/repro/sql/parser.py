@@ -1,27 +1,53 @@
 """Recursive-descent SQL parser.
 
-Grammar (the analytic subset):
+Grammar (the analytic subset; TPC-H class):
 
-    query      := SELECT items FROM ident joins? (WHERE pred)?
-                  (GROUP BY idents)? (ORDER BY order_items)?
+    statement  := query ((UNION ALL?|EXCEPT ALL?) query)?
+    query      := SELECT DISTINCT? items FROM table_refs joins?
+                  (WHERE pred)? (GROUP BY idents)? (HAVING pred)?
+                  (ORDER BY order_items)? (LIMIT number)?
+    table_refs := table_ref (',' table_ref)*
+    table_ref  := ident (AS? ident)? | '(' query ')' AS? ident
+    joins      := ((LEFT OUTER?|INNER|CROSS)? JOIN table_ref
+                   (USING '(' ident ')' | ON pred)?)*
     items      := item (',' item)*
-    item       := (agg | expr) (AS ident)?
-    agg        := (SUM|AVG|MIN|MAX) '(' expr ')' | COUNT '(' '*' | expr ')'
-    joins      := (JOIN ident USING '(' ident ')')*
+    item       := expr (AS ident)?
     pred       := or_pred
     or_pred    := and_pred (OR and_pred)*
     and_pred   := unary_pred (AND unary_pred)*
-    unary_pred := NOT unary_pred | '(' pred ')' | comparison
-    comparison := expr (cmp expr | BETWEEN expr AND expr)
-    expr       := term (('+'|'-') term)*
+    unary_pred := NOT unary_pred | EXISTS '(' query ')'
+                | '(' pred ')' | comparison
+    comparison := expr ( cmp expr | BETWEEN expr AND expr
+                       | NOT? LIKE string
+                       | NOT? IN '(' (query | literals) ')' )
+    expr       := term (('+'|'-') (term | interval))*
     term       := factor (('*'|'/') factor)*
-    factor     := number | string | ident | '(' expr ')' | '-' factor
+    factor     := number | string | ident | date | case | extract
+                | substring | agg | '(' (query | expr) ')' | '-' factor
+    agg        := (SUM|AVG|MIN|MAX|COUNT) '(' DISTINCT? ('*' | expr) ')'
+    date       := DATE 'yyyy-mm-dd'
+    interval   := INTERVAL 'n' (DAY|MONTH|YEAR)
+    case       := CASE (WHEN pred THEN expr)+ (ELSE expr)? END
+    extract    := EXTRACT '(' YEAR FROM expr ')'
+    substring  := SUBSTRING '(' expr FROM number FOR number ')'
+
+DATE literals fold to int day-counts since 1992-01-01 (the repo-wide
+integer-date epoch, see :mod:`repro.tpch.schema`); ``date +/- interval``
+folds with real calendar arithmetic at parse time.
 """
 
 from __future__ import annotations
 
-from ..ra.expr import And, BinOp, Compare, Const, Expr, Field, Not, Or, Predicate
-from .ast import Aggregate, JoinClause, Query, SelectItem
+import datetime
+
+from ..ra.expr import (
+    And, BinOp, Case, Compare, Const, Expr, Field, Func, InList, Like, Not,
+    Or, Predicate,
+)
+from .ast import (
+    Aggregate, AggExpr, Exists, InSubquery, JoinClause, Query, ScalarSubquery,
+    SelectItem, TableRef,
+)
 from .lexer import SqlError, Token, tokenize
 
 _CMP_MAP = {"=": "==", "!=": "!=", "<>": "!=", "<": "<", "<=": "<=",
@@ -29,11 +55,47 @@ _CMP_MAP = {"=": "==", "!=": "!=", "<>": "!=", "<": "<", "<=": "<=",
 _AGG_MAP = {"SUM": "sum", "COUNT": "count", "AVG": "mean",
             "MIN": "min", "MAX": "max"}
 
+#: epoch of the integer date representation; must match schema.DATE_EPOCH
+DATE_EPOCH_ISO = "1992-01-01"
+
+
+def _parse_iso(text: str, pos: int) -> datetime.date:
+    try:
+        return datetime.date.fromisoformat(text)
+    except ValueError:
+        raise SqlError(f"malformed date literal {text!r} at {pos}") from None
+
+
+def _date_days(date: datetime.date) -> int:
+    return (date - datetime.date.fromisoformat(DATE_EPOCH_ISO)).days
+
+
+def _add_months(date: datetime.date, months: int) -> datetime.date:
+    base = date.year * 12 + (date.month - 1) + months
+    return date.replace(year=base // 12, month=base % 12 + 1)
+
+
+class _Interval:
+    """A parsed INTERVAL literal, only meaningful next to a DATE literal."""
+
+    def __init__(self, amount: int, unit: str):
+        self.amount = amount
+        self.unit = unit  # 'DAY' | 'MONTH' | 'YEAR'
+
+    def shift(self, date: datetime.date, sign: int) -> datetime.date:
+        if self.unit == "DAY":
+            return date + datetime.timedelta(days=sign * self.amount)
+        months = self.amount * (12 if self.unit == "YEAR" else 1)
+        return _add_months(date, sign * months)
+
 
 class _Parser:
     def __init__(self, tokens: list[Token]):
         self.tokens = tokens
         self.pos = 0
+        # identity map Const -> datetime.date for folded DATE literals, so
+        # +/- INTERVAL can shift them with calendar arithmetic
+        self._dates: dict[int, datetime.date] = {}
 
     # -- token helpers -------------------------------------------------------
     def peek(self) -> Token:
@@ -59,6 +121,17 @@ class _Parser:
         return tok
 
     # -- grammar -----------------------------------------------------------------
+    def parse_statement(self) -> Query:
+        query = self.parse_query()
+        op = None
+        if self.accept("kw", "UNION"):
+            op = "union_all" if self.accept("kw", "ALL") else "union"
+        elif self.accept("kw", "EXCEPT"):
+            op = "except_all" if self.accept("kw", "ALL") else "except"
+        if op is not None:
+            query.set_op = (op, self.parse_statement())
+        return query
+
     def parse_query(self) -> Query:
         self.expect("kw", "SELECT")
         distinct = self.accept("kw", "DISTINCT") is not None
@@ -66,16 +139,42 @@ class _Parser:
         while self.accept("symbol", ","):
             items.append(self.parse_item())
         self.expect("kw", "FROM")
-        table = self.expect("ident").value
+        tables = [self.parse_table_ref()]
+        while self.accept("symbol", ","):
+            tables.append(self.parse_table_ref())
 
         joins: list[JoinClause] = []
-        while self.accept("kw", "JOIN"):
-            jt = self.expect("ident").value
-            self.expect("kw", "USING")
-            self.expect("symbol", "(")
-            col = self.expect("ident").value
-            self.expect("symbol", ")")
-            joins.append(JoinClause(table=jt, using=col))
+        while True:
+            kind = None
+            if self.accept("kw", "JOIN"):
+                kind = "inner"
+            elif self.accept("kw", "LEFT"):
+                self.accept("kw", "OUTER")
+                self.expect("kw", "JOIN")
+                kind = "left"
+            elif self.accept("kw", "INNER"):
+                self.expect("kw", "JOIN")
+                kind = "inner"
+            elif self.accept("kw", "CROSS"):
+                self.expect("kw", "JOIN")
+                kind = "cross"
+            else:
+                break
+            ref = self.parse_table_ref()
+            using, on = "", None
+            if self.accept("kw", "USING"):
+                self.expect("symbol", "(")
+                using = self.expect("ident").value
+                self.expect("symbol", ")")
+            elif self.accept("kw", "ON"):
+                on = self.parse_pred()
+            elif kind != "cross":
+                got = self.peek()
+                raise SqlError(
+                    f"JOIN needs USING or ON, got {got.value!r} at {got.pos}")
+            joins.append(JoinClause(table=ref.table, using=using, kind=kind,
+                                    alias=ref.alias, on=on,
+                                    subquery=ref.subquery))
 
         where = None
         if self.accept("kw", "WHERE"):
@@ -101,10 +200,32 @@ class _Parser:
             while self.accept("symbol", ","):
                 order_by.append(self.parse_order_item())
 
-        self.expect("eof")
-        return Query(items=items, table=table, joins=joins, where=where,
-                     group_by=group_by, having=having, order_by=order_by,
-                     distinct=distinct)
+        limit = None
+        if self.accept("kw", "LIMIT"):
+            tok = self.expect("number")
+            if "." in tok.value:
+                raise SqlError(f"LIMIT needs an integer at {tok.pos}")
+            limit = int(tok.value)
+
+        return Query(items=items, table=tables[0].name, joins=joins,
+                     where=where, group_by=group_by, having=having,
+                     order_by=order_by, distinct=distinct, tables=tables,
+                     limit=limit)
+
+    def parse_table_ref(self) -> TableRef:
+        if self.accept("symbol", "("):
+            sub = self.parse_query()
+            self.expect("symbol", ")")
+            self.accept("kw", "AS")
+            alias = self.expect("ident").value
+            return TableRef(table=alias, alias=alias, subquery=sub)
+        name = self.expect("ident").value
+        alias = None
+        # aliases require AS: a bare trailing identifier stays a syntax
+        # error (``FROM t trailing``), as the original grammar promised
+        if self.accept("kw", "AS"):
+            alias = self.expect("ident").value
+        return TableRef(table=name, alias=alias)
 
     def parse_order_item(self) -> tuple[str, bool]:
         col = self.expect("ident").value
@@ -116,19 +237,11 @@ class _Parser:
         return (col, desc)
 
     def parse_item(self) -> SelectItem:
-        tok = self.peek()
-        if tok.kind == "kw" and tok.value in _AGG_MAP:
-            self.next()
-            func = _AGG_MAP[tok.value]
-            self.expect("symbol", "(")
-            if func == "count" and self.accept("symbol", "*"):
-                arg = None
-            else:
-                arg = self.parse_expr()
-            self.expect("symbol", ")")
-            alias = self._alias(default=f"{func}_{self.pos}")
-            return SelectItem(alias=alias, agg=Aggregate(func, arg))
         expr = self.parse_expr()
+        if isinstance(expr, AggExpr):
+            alias = self._alias(default=f"{expr.func}_{self.pos}")
+            return SelectItem(alias=alias, agg=Aggregate(
+                expr.func, expr.argument, expr.distinct))
         default = expr.name if isinstance(expr, Field) else f"expr_{self.pos}"
         alias = self._alias(default=default)
         return SelectItem(alias=alias, expr=expr)
@@ -154,6 +267,11 @@ class _Parser:
     def parse_unary_pred(self) -> Predicate:
         if self.accept("kw", "NOT"):
             return Not(self.parse_unary_pred())
+        if self.accept("kw", "EXISTS"):
+            self.expect("symbol", "(")
+            sub = self.parse_query()
+            self.expect("symbol", ")")
+            return Exists(sub)
         mark = self.pos
         if self.accept("symbol", "("):
             # could be a parenthesized predicate or expression; try predicate
@@ -172,6 +290,19 @@ class _Parser:
             self.expect("kw", "AND")
             hi = self.parse_expr()
             return And(Compare(">=", left, lo), Compare("<=", left, hi))
+        negated = False
+        if self.accept("kw", "NOT"):
+            negated = True
+            tok = self.peek()
+            if not (tok.kind == "kw" and tok.value in ("LIKE", "IN")):
+                raise SqlError(f"expected LIKE or IN after NOT at {tok.pos}")
+        if self.accept("kw", "LIKE"):
+            pat = self.expect("string").value
+            pred: Predicate = Like(left, pat)
+            return Not(pred) if negated else pred
+        if self.accept("kw", "IN"):
+            pred = self.parse_in_rhs(left)
+            return Not(pred) if negated else pred
         tok = self.peek()
         if tok.kind == "symbol" and tok.value in _CMP_MAP:
             self.next()
@@ -179,16 +310,62 @@ class _Parser:
             return Compare(_CMP_MAP[tok.value], left, right)
         raise SqlError(f"expected a comparison at {tok.pos}")
 
+    def parse_in_rhs(self, left: Expr) -> Predicate:
+        self.expect("symbol", "(")
+        if self.peek().kind == "kw" and self.peek().value == "SELECT":
+            sub = self.parse_query()
+            self.expect("symbol", ")")
+            return InSubquery(left, sub)
+        values = [self.parse_literal()]
+        while self.accept("symbol", ","):
+            values.append(self.parse_literal())
+        self.expect("symbol", ")")
+        return InList(left, tuple(values))
+
+    def parse_literal(self):
+        tok = self.peek()
+        if tok.kind == "number":
+            self.next()
+            return float(tok.value) if "." in tok.value else int(tok.value)
+        if tok.kind == "string":
+            self.next()
+            return tok.value
+        raise SqlError(f"expected a literal at {tok.pos}")
+
     # expressions ------------------------------------------------------------------
     def parse_expr(self) -> Expr:
         left = self.parse_term()
         while True:
             if self.accept("symbol", "+"):
-                left = BinOp("+", left, self.parse_term())
+                sign = 1
             elif self.accept("symbol", "-"):
-                left = BinOp("-", left, self.parse_term())
+                sign = -1
             else:
                 return left
+            if self.peek().kind == "kw" and self.peek().value == "INTERVAL":
+                left = self.fold_interval(left, sign)
+            else:
+                left = BinOp("+" if sign > 0 else "-", left, self.parse_term())
+
+    def fold_interval(self, left: Expr, sign: int) -> Expr:
+        tok = self.expect("kw", "INTERVAL")
+        amount_tok = self.expect("string")
+        try:
+            amount = int(amount_tok.value)
+        except ValueError:
+            raise SqlError(
+                f"malformed INTERVAL amount at {amount_tok.pos}") from None
+        unit_tok = self.next()
+        if unit_tok.value not in ("DAY", "MONTH", "YEAR"):
+            raise SqlError(f"expected DAY, MONTH or YEAR at {unit_tok.pos}")
+        date = self._dates.get(id(left))
+        if date is None:
+            raise SqlError(
+                f"INTERVAL arithmetic needs a DATE literal operand at {tok.pos}")
+        shifted = _Interval(amount, unit_tok.value).shift(date, sign)
+        const = Const(_date_days(shifted))
+        self._dates[id(const)] = shifted
+        return const
 
     def parse_term(self) -> Expr:
         left = self.parse_factor()
@@ -212,7 +389,37 @@ class _Parser:
         if tok.kind == "ident":
             self.next()
             return Field(tok.value)
+        if tok.kind == "kw" and tok.value in _AGG_MAP:
+            return self.parse_agg()
+        if self.accept("kw", "DATE"):
+            lit = self.expect("string")
+            date = _parse_iso(lit.value, lit.pos)
+            const = Const(_date_days(date))
+            self._dates[id(const)] = date
+            return const
+        if self.accept("kw", "CASE"):
+            return self.parse_case()
+        if self.accept("kw", "EXTRACT"):
+            self.expect("symbol", "(")
+            self.expect("kw", "YEAR")
+            self.expect("kw", "FROM")
+            arg = self.parse_expr()
+            self.expect("symbol", ")")
+            return Func("year", arg, meta=DATE_EPOCH_ISO)
+        if self.accept("kw", "SUBSTRING"):
+            self.expect("symbol", "(")
+            arg = self.parse_expr()
+            self.expect("kw", "FROM")
+            start = int(self.expect("number").value)
+            self.expect("kw", "FOR")
+            length = int(self.expect("number").value)
+            self.expect("symbol", ")")
+            return Func("substring", arg, meta=(start, length))
         if self.accept("symbol", "("):
+            if self.peek().kind == "kw" and self.peek().value == "SELECT":
+                sub = self.parse_query()
+                self.expect("symbol", ")")
+                return ScalarSubquery(sub)
             inner = self.parse_expr()
             self.expect("symbol", ")")
             return inner
@@ -220,7 +427,41 @@ class _Parser:
             return BinOp("-", Const(0), self.parse_factor())
         raise SqlError(f"unexpected token {tok.value!r} at {tok.pos}")
 
+    def parse_agg(self) -> AggExpr:
+        tok = self.next()
+        func = _AGG_MAP[tok.value]
+        self.expect("symbol", "(")
+        distinct = self.accept("kw", "DISTINCT") is not None
+        if func == "count" and not distinct and self.accept("symbol", "*"):
+            arg = None
+        else:
+            arg = self.parse_expr()
+        self.expect("symbol", ")")
+        if distinct and func != "count":
+            raise SqlError(f"DISTINCT aggregates support COUNT only, "
+                           f"got {tok.value} at {tok.pos}")
+        func = "count_distinct" if distinct else func
+        return AggExpr(func, arg)
+
+    def parse_case(self) -> Case:
+        whens = []
+        while self.accept("kw", "WHEN"):
+            pred = self.parse_pred()
+            self.expect("kw", "THEN")
+            whens.append((pred, self.parse_expr()))
+        if not whens:
+            got = self.peek()
+            raise SqlError(f"CASE needs at least one WHEN at {got.pos}")
+        default: Expr = Const(0)
+        if self.accept("kw", "ELSE"):
+            default = self.parse_expr()
+        self.expect("kw", "END")
+        return Case(tuple(whens), default)
+
 
 def parse(sql: str) -> Query:
-    """Parse a SQL string into a :class:`Query`."""
-    return _Parser(tokenize(sql)).parse_query()
+    """Parse a SQL string into a :class:`Query` (with any set operation)."""
+    parser = _Parser(tokenize(sql))
+    query = parser.parse_statement()
+    parser.expect("eof")
+    return query

@@ -1,0 +1,521 @@
+"""TPC-H as seen by the SQL frontend: catalog, data binding, queries.
+
+Three layers glue the synthetic generator (:mod:`repro.tpch.datagen`) to
+the frontend (:mod:`repro.frontend`):
+
+* ``CATALOG`` -- the eight tables with SQL column names and kinds, with
+  every dictionary-encoded column carrying its value pool so the binder
+  can fold string predicates to code comparisons;
+* ``sql_tables`` -- physical generator columns renamed to SQL names;
+* ``QUERIES`` -- all 22 TPC-H queries, authored against this catalog.
+
+The SQL is adapted to the generated dataset where the official text
+would be degenerate (thresholds scaled to the synthetic row counts,
+LIKE patterns restricted to values that exist in the pools); the query
+*shapes* -- join graphs, subquery structure, aggregation -- follow the
+specification.
+"""
+
+from __future__ import annotations
+
+from ..frontend import Catalog, Column, Table
+from ..ra.relation import Relation
+from . import schema
+from .datagen import TpchConfig, TpchData, generate
+
+RETURNFLAGS = ("A", "N", "R")
+LINESTATUSES = ("F", "O")
+ORDERSTATUSES = ("F", "O", "P")
+
+CATALOG = Catalog([
+    Table("lineitem", [
+        Column("l_orderkey", "int"),
+        Column("l_partkey", "int"),
+        Column("l_suppkey", "int"),
+        Column("l_linenumber", "int"),
+        Column("l_quantity", "float"),
+        Column("l_extendedprice", "float"),
+        Column("l_discount", "float"),
+        Column("l_tax", "float"),
+        Column("l_returnflag", "code", pool=RETURNFLAGS),
+        Column("l_linestatus", "code", pool=LINESTATUSES),
+        Column("l_shipdate", "date"),
+        Column("l_commitdate", "date"),
+        Column("l_receiptdate", "date"),
+        Column("l_shipmode", "code", pool=tuple(schema.L_SHIPMODES)),
+        Column("l_shipinstruct", "code", pool=tuple(schema.L_SHIPINSTRUCTS)),
+    ]),
+    Table("orders", [
+        Column("o_orderkey", "int"),
+        Column("o_custkey", "int"),
+        Column("o_orderstatus", "code", pool=ORDERSTATUSES),
+        Column("o_orderdate", "date"),
+        Column("o_totalprice", "float"),
+        Column("o_orderpriority", "code", pool=tuple(schema.O_PRIORITIES)),
+        Column("o_comment", "code", pool=tuple(schema.O_COMMENTS)),
+        Column("o_shippriority", "int"),
+    ]),
+    Table("supplier", [
+        Column("s_suppkey", "int"),
+        Column("s_nationkey", "int"),
+        Column("s_acctbal", "float"),
+        Column("s_comment", "code", pool=tuple(schema.S_COMMENTS)),
+        Column("s_name", "str"),
+    ]),
+    Table("nation", [
+        Column("n_nationkey", "int"),
+        Column("n_name", "code", pool=tuple(schema.NATION_NAMES)),
+        Column("n_regionkey", "int"),
+    ]),
+    Table("part", [
+        Column("p_partkey", "int"),
+        Column("p_name", "code", pool=tuple(schema.P_NAMES)),
+        Column("p_mfgr", "code", pool=tuple(schema.P_MFGRS)),
+        Column("p_brand", "code", pool=tuple(schema.P_BRANDS)),
+        Column("p_type", "code", pool=tuple(schema.P_TYPES)),
+        Column("p_size", "int"),
+        Column("p_container", "code", pool=tuple(schema.P_CONTAINERS)),
+        Column("p_retailprice", "float"),
+    ]),
+    Table("partsupp", [
+        Column("ps_partkey", "int"),
+        Column("ps_suppkey", "int"),
+        Column("ps_availqty", "int"),
+        Column("ps_supplycost", "float"),
+    ]),
+    Table("customer", [
+        Column("c_custkey", "int"),
+        Column("c_nationkey", "int"),
+        Column("c_mktsegment", "code", pool=tuple(schema.C_MKTSEGMENTS)),
+        Column("c_acctbal", "float"),
+        Column("c_phone", "str"),
+        Column("c_name", "str"),
+    ]),
+    Table("region", [
+        Column("r_regionkey", "int"),
+        Column("r_name", "code", pool=tuple(schema.REGION_NAMES)),
+    ]),
+])
+
+#: physical generator column -> SQL column, per table
+SQL_COLUMNS: dict[str, dict[str, str]] = {
+    "lineitem": {
+        "orderkey": "l_orderkey", "partkey": "l_partkey",
+        "suppkey": "l_suppkey", "linenumber": "l_linenumber",
+        "quantity": "l_quantity", "extendedprice": "l_extendedprice",
+        "discount": "l_discount", "tax": "l_tax",
+        "returnflag": "l_returnflag", "linestatus": "l_linestatus",
+        "shipdate": "l_shipdate", "commitdate": "l_commitdate",
+        "receiptdate": "l_receiptdate", "shipmode": "l_shipmode",
+        "shipinstruct": "l_shipinstruct",
+    },
+    "orders": {
+        "orderkey": "o_orderkey", "custkey": "o_custkey",
+        "orderstatus": "o_orderstatus", "orderdate": "o_orderdate",
+        "totalprice": "o_totalprice", "orderpriority": "o_orderpriority",
+        "comment_code": "o_comment", "shippriority": "o_shippriority",
+    },
+    "supplier": {
+        "suppkey": "s_suppkey", "nationkey": "s_nationkey",
+        "acctbal": "s_acctbal", "comment_code": "s_comment",
+        "name": "s_name",
+    },
+    "nation": {
+        "nationkey": "n_nationkey", "name_code": "n_name",
+        "regionkey": "n_regionkey",
+    },
+    "part": {
+        "partkey": "p_partkey", "name_code": "p_name", "mfgr": "p_mfgr",
+        "brand": "p_brand", "type": "p_type", "size": "p_size",
+        "container": "p_container", "retailprice": "p_retailprice",
+    },
+    "partsupp": {
+        "partkey": "ps_partkey", "suppkey": "ps_suppkey",
+        "availqty": "ps_availqty", "supplycost": "ps_supplycost",
+    },
+    "customer": {
+        "custkey": "c_custkey", "nationkey": "c_nationkey",
+        "mktsegment": "c_mktsegment", "acctbal": "c_acctbal",
+        "phone": "c_phone", "name": "c_name",
+    },
+    "region": {
+        "regionkey": "r_regionkey", "name_code": "r_name",
+    },
+}
+
+
+def sql_tables(data: TpchData) -> dict[str, Relation]:
+    """Generated relations with columns renamed to their SQL names."""
+    out = {}
+    for name, rel in data.tables().items():
+        renames = SQL_COLUMNS[name]
+        out[name] = Relation({renames[c]: rel.column(c) for c in rel.fields})
+    return out
+
+
+def tpch_source_rows(scale_factor: float) -> dict[str, int]:
+    """Row-count hints for the plan cost model at the given scale."""
+    return {t: schema.scaled_rows(t, scale_factor) for t in schema.BASE_ROWS}
+
+
+def tpch_dataset(scale_factor: float = 0.002, seed: int = 1992,
+                 ) -> dict[str, Relation]:
+    """Generate and rename a full dataset in one call."""
+    data = generate(TpchConfig(scale_factor=scale_factor, seed=seed))
+    return sql_tables(data)
+
+
+# ---------------------------------------------------------------------------
+# The 22 queries.  The FROM order and conjunct order are deliberate: the
+# lowering picks the first evaluable equality as each join key, so the
+# authored order selects the intended (selective) key, and every FROM
+# entry after the first must share an equality with the chain built so
+# far to avoid a cross product.
+# ---------------------------------------------------------------------------
+
+QUERIES: dict[str, str] = {}
+
+QUERIES["q1"] = """
+SELECT l_returnflag AS l_returnflag, l_linestatus AS l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+QUERIES["q2"] = """
+SELECT s_acctbal AS s_acctbal, s_name AS s_name, n_name AS n_name,
+       p_partkey AS p_partkey, p_mfgr AS p_mfgr
+FROM part, partsupp, supplier, nation, region
+WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND p_size < 26 AND p_type LIKE '%BRASS' AND r_name = 'EUROPE'
+  AND ps_supplycost = (
+    SELECT MIN(ps2.ps_supplycost) AS min_cost
+    FROM partsupp AS ps2, supplier AS s2, nation AS n2, region AS r2
+    WHERE ps2.ps_partkey = p_partkey AND s2.s_suppkey = ps2.ps_suppkey
+      AND s2.s_nationkey = n2.n_nationkey
+      AND n2.n_regionkey = r2.r_regionkey AND r2.r_name = 'EUROPE')
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100
+"""
+
+QUERIES["q3"] = """
+SELECT l_orderkey AS l_orderkey,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate AS o_orderdate, o_shippriority AS o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10
+"""
+
+QUERIES["q4"] = """
+SELECT o_orderpriority AS o_orderpriority, COUNT(*) AS order_count
+FROM orders
+WHERE o_orderdate >= DATE '1993-07-01'
+  AND o_orderdate < DATE '1993-07-01' + INTERVAL '3' MONTH
+  AND EXISTS (SELECT l_orderkey AS k FROM lineitem
+              WHERE l_orderkey = o_orderkey
+                AND l_commitdate < l_receiptdate)
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority
+"""
+
+QUERIES["q5"] = """
+SELECT n_name AS n_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+GROUP BY n_name
+ORDER BY revenue DESC
+"""
+
+QUERIES["q6"] = """
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+  AND l_discount BETWEEN 0.05 AND 0.071 AND l_quantity < 24
+"""
+
+QUERIES["q7"] = """
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       EXTRACT(YEAR FROM l_shipdate) AS l_year,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM supplier, lineitem, orders, customer, nation AS n1, nation AS n2
+WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+  AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey
+  AND c_nationkey = n2.n_nationkey
+  AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+       OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+  AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year
+"""
+
+QUERIES["q8"] = """
+SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year,
+       SUM(CASE WHEN n2.n_name = 'BRAZIL'
+                THEN l_extendedprice * (1 - l_discount) ELSE 0 END)
+         / SUM(l_extendedprice * (1 - l_discount)) AS mkt_share
+FROM lineitem, part, supplier, orders, customer, nation AS n1,
+     nation AS n2, region
+WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+  AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+  AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey
+  AND s_nationkey = n2.n_nationkey AND r_name = 'AMERICA'
+  AND p_type = 'ECONOMY ANODIZED STEEL'
+  AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+GROUP BY o_year
+ORDER BY o_year
+"""
+
+QUERIES["q9"] = """
+SELECT n_name AS nation, EXTRACT(YEAR FROM o_orderdate) AS o_year,
+       SUM(l_extendedprice * (1 - l_discount)
+           - ps_supplycost * l_quantity) AS sum_profit
+FROM lineitem, part, supplier, partsupp, orders, nation
+WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+  AND ps_partkey = l_partkey AND ps_suppkey = l_suppkey
+  AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+  AND p_name LIKE '%green%'
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC
+"""
+
+QUERIES["q10"] = """
+SELECT c_custkey AS c_custkey, c_name AS c_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal AS c_acctbal, n_name AS n_name, c_phone AS c_phone
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1993-10-01' + INTERVAL '3' MONTH
+  AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name
+ORDER BY revenue DESC
+LIMIT 20
+"""
+
+QUERIES["q11"] = """
+SELECT ps_partkey AS ps_partkey,
+       SUM(ps_supplycost * ps_availqty) AS value
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+  AND n_name = 'GERMANY'
+GROUP BY ps_partkey
+HAVING SUM(ps_supplycost * ps_availqty) > (
+  SELECT SUM(ps2.ps_supplycost * ps2.ps_availqty) * 0.0001 AS threshold
+  FROM partsupp AS ps2, supplier AS s2, nation AS n2
+  WHERE ps2.ps_suppkey = s2.s_suppkey AND s2.s_nationkey = n2.n_nationkey
+    AND n2.n_name = 'GERMANY')
+ORDER BY value DESC
+"""
+
+QUERIES["q12"] = """
+SELECT l_shipmode AS l_shipmode,
+       SUM(CASE WHEN o_orderpriority = '1-URGENT'
+                  OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       SUM(CASE WHEN o_orderpriority <> '1-URGENT'
+                 AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+  AND l_receiptdate >= DATE '1994-01-01'
+  AND l_receiptdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+GROUP BY l_shipmode
+ORDER BY l_shipmode
+"""
+
+QUERIES["q13"] = """
+SELECT c_count AS c_count, COUNT(*) AS custdist
+FROM (SELECT c_custkey AS c_custkey, COUNT(o_orderkey) AS c_count
+      FROM customer LEFT JOIN orders
+        ON c_custkey = o_custkey
+       AND o_comment NOT LIKE '%special%requests%'
+      GROUP BY c_custkey) AS c_orders
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC
+"""
+
+QUERIES["q14"] = """
+SELECT 100.0 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                        THEN l_extendedprice * (1 - l_discount)
+                        ELSE 0 END)
+         / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= DATE '1995-09-01'
+  AND l_shipdate < DATE '1995-09-01' + INTERVAL '1' MONTH
+"""
+
+_Q15_VIEW = """SELECT l_suppkey AS supplier_no,
+             SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+      FROM lineitem
+      WHERE l_shipdate >= DATE '1996-01-01'
+        AND l_shipdate < DATE '1996-01-01' + INTERVAL '3' MONTH
+      GROUP BY supplier_no"""
+
+QUERIES["q15"] = f"""
+SELECT s_suppkey AS s_suppkey, s_name AS s_name,
+       total_revenue AS total_revenue
+FROM supplier, ({_Q15_VIEW}) AS revenue0
+WHERE s_suppkey = supplier_no
+  AND total_revenue = (SELECT MAX(total_revenue) AS max_revenue
+                       FROM ({_Q15_VIEW}) AS revenue1)
+ORDER BY s_suppkey
+"""
+
+QUERIES["q16"] = """
+SELECT p_brand AS p_brand, p_type AS p_type, p_size AS p_size,
+       COUNT(DISTINCT ps_suppkey) AS supplier_cnt
+FROM partsupp, part
+WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45'
+  AND p_type NOT LIKE 'MEDIUM POLISHED%'
+  AND p_size IN (3, 9, 14, 19, 23, 36, 45, 49)
+  AND ps_suppkey NOT IN (SELECT s_suppkey AS s_suppkey FROM supplier
+                         WHERE s_comment LIKE '%Customer%Complaints%')
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size
+"""
+
+QUERIES["q17"] = """
+SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem, part
+WHERE p_partkey = l_partkey AND p_brand = 'Brand#23'
+  AND p_container = 'MED BOX'
+  AND l_quantity < (SELECT 0.2 * AVG(l2.l_quantity) AS threshold
+                    FROM lineitem AS l2
+                    WHERE l2.l_partkey = lineitem.l_partkey)
+"""
+
+QUERIES["q18"] = """
+SELECT c_name AS c_name, c_custkey AS c_custkey,
+       o_orderkey AS o_orderkey, o_orderdate AS o_orderdate,
+       o_totalprice AS o_totalprice, SUM(l_quantity) AS total_qty
+FROM customer, orders, lineitem
+WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey
+  AND o_orderkey IN (SELECT l2.l_orderkey AS l_orderkey
+                     FROM lineitem AS l2
+                     GROUP BY l_orderkey
+                     HAVING SUM(l2.l_quantity) > 150)
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100
+"""
+
+QUERIES["q19"] = """
+SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem, part
+WHERE p_partkey = l_partkey AND l_shipinstruct = 'DELIVER IN PERSON'
+  AND ((p_brand = 'Brand#12'
+        AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+        AND l_quantity >= 1 AND l_quantity <= 11
+        AND p_size BETWEEN 1 AND 5
+        AND l_shipmode IN ('AIR', 'REG AIR'))
+       OR (p_brand = 'Brand#23'
+           AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+           AND l_quantity >= 10 AND l_quantity <= 20
+           AND p_size BETWEEN 1 AND 10
+           AND l_shipmode IN ('AIR', 'REG AIR'))
+       OR (p_brand = 'Brand#34'
+           AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+           AND l_quantity >= 20 AND l_quantity <= 30
+           AND p_size BETWEEN 1 AND 15
+           AND l_shipmode IN ('AIR', 'REG AIR')))
+"""
+
+QUERIES["q20"] = """
+SELECT s_name AS s_name, s_acctbal AS s_acctbal
+FROM supplier, nation
+WHERE s_nationkey = n_nationkey
+  AND n_name IN ('CANADA', 'BRAZIL', 'ARGENTINA', 'PERU', 'UNITED STATES')
+  AND s_suppkey IN (
+    SELECT ps_suppkey AS ps_suppkey FROM partsupp
+    WHERE ps_partkey IN (SELECT p_partkey AS p_partkey FROM part
+                         WHERE p_name LIKE '%green%')
+      AND ps_availqty > (SELECT 0.5 * SUM(l_quantity) AS threshold
+                         FROM lineitem
+                         WHERE l_partkey = ps_partkey
+                           AND l_suppkey = ps_suppkey
+                           AND l_shipdate >= DATE '1994-01-01'
+                           AND l_shipdate <
+                               DATE '1994-01-01' + INTERVAL '1' YEAR))
+ORDER BY s_name
+"""
+
+QUERIES["q21"] = """
+SELECT s_name AS s_name, COUNT(*) AS numwait
+FROM supplier, lineitem AS l1, orders, nation
+WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey
+  AND o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate
+  AND EXISTS (SELECT l2.l_orderkey AS k FROM lineitem AS l2
+              WHERE l2.l_orderkey = l1.l_orderkey
+                AND l2.l_suppkey <> l1.l_suppkey)
+  AND NOT EXISTS (SELECT l3.l_orderkey AS k FROM lineitem AS l3
+                  WHERE l3.l_orderkey = l1.l_orderkey
+                    AND l3.l_suppkey <> l1.l_suppkey
+                    AND l3.l_receiptdate > l3.l_commitdate)
+  AND s_nationkey = n_nationkey
+  AND n_name IN ('SAUDI ARABIA', 'IRAN', 'IRAQ', 'JORDAN', 'EGYPT')
+GROUP BY s_name
+ORDER BY numwait DESC, s_name
+LIMIT 100
+"""
+
+QUERIES["q22"] = """
+SELECT cntrycode AS cntrycode, COUNT(*) AS numcust,
+       SUM(c_acctbal) AS totacctbal
+FROM (SELECT SUBSTRING(c_phone FROM 1 FOR 2) AS cntrycode,
+             c_acctbal AS c_acctbal
+      FROM customer
+      WHERE SUBSTRING(c_phone FROM 1 FOR 2)
+              IN ('13', '31', '23', '29', '30', '18', '17')
+        AND c_acctbal > (
+          SELECT AVG(c2.c_acctbal) AS avg_bal FROM customer AS c2
+          WHERE c2.c_acctbal > 0.0
+            AND SUBSTRING(c2.c_phone FROM 1 FOR 2)
+                  IN ('13', '31', '23', '29', '30', '18', '17'))
+        AND NOT EXISTS (SELECT o_orderkey AS k FROM orders
+                        WHERE o_custkey = c_custkey
+                          AND o_orderdate >= DATE '1998-01-01')) AS custsale
+GROUP BY cntrycode
+ORDER BY cntrycode
+"""
+
+QUERIES = {f"q{i}": QUERIES[f"q{i}"].strip() for i in range(1, 23)}
+
+
+def compile_tpch(name: str, scale_factor: float = 0.01):
+    """Compile one catalog query to a plan (raises on unsupported)."""
+    from ..frontend import compile_sql
+    return compile_sql(QUERIES[name], CATALOG,
+                       source_rows=tpch_source_rows(scale_factor),
+                       name=name)
+
+
+def validate_tpch(scale_factor: float = 0.002, seed: int = 1992):
+    """Differentially validate the whole suite at the given scale."""
+    from ..frontend import validate_suite
+    tables = tpch_dataset(scale_factor=scale_factor, seed=seed)
+    return validate_suite(QUERIES, CATALOG, tables,
+                          source_rows=tpch_source_rows(scale_factor))

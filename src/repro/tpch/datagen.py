@@ -1,8 +1,8 @@
 """Synthetic TPC-H data generator (dbgen substitute).
 
-Generates the lineitem / orders / supplier / nation tables at a given scale
-factor with value distributions matching the TPC-H specification closely
-enough for Q1/Q21 selectivities:
+Generates all eight TPC-H tables at a given scale factor with value
+distributions matching the TPC-H specification closely enough for the
+benchmark selectivities:
 
 * shipdate uniform over ~7 years, so ``shipdate <= 1998-09-02`` keeps ~98%;
 * receiptdate > commitdate for roughly half the lineitems (Q21's "late"
@@ -19,10 +19,23 @@ import numpy as np
 
 from ..ra.relation import Relation
 from .schema import (
+    C_MKTSEGMENTS,
     LINESTATUS_CODES,
+    L_SHIPINSTRUCTS,
+    L_SHIPMODES,
     NATION_NAMES,
+    NATION_REGION,
+    O_COMMENTS,
+    O_PRIORITIES,
     ORDERSTATUS_CODES,
+    P_BRANDS,
+    P_CONTAINERS,
+    P_MFGRS,
+    P_NAMES,
+    P_TYPES,
+    REGION_NAMES,
     RETURNFLAG_CODES,
+    S_COMMENTS,
     date_to_int,
     scaled_rows,
 )
@@ -60,16 +73,98 @@ def generate_nation() -> Relation:
     return Relation({
         "nationkey": np.arange(n, dtype=np.int32),
         "name_code": np.arange(n, dtype=np.int32),
+        "regionkey": np.array(NATION_REGION, dtype=np.int32),
     }, key="nationkey")
+
+
+def generate_region() -> Relation:
+    n = len(REGION_NAMES)
+    return Relation({
+        "regionkey": np.arange(n, dtype=np.int32),
+        "name_code": np.arange(n, dtype=np.int32),
+    }, key="regionkey")
 
 
 def generate_supplier(config: TpchConfig) -> Relation:
     rng = np.random.default_rng(config.seed + 1)
     n = scaled_rows("supplier", config.scale_factor)
+    # draw order matters: nationkey first keeps pre-existing columns
+    # byte-identical across generator versions
+    nationkey = rng.integers(0, len(NATION_NAMES), n).astype(np.int32)
+    acctbal = rng.random(n).astype(np.float32) * np.float32(10_999.98) \
+        - np.float32(999.99)
+    comment_code = rng.integers(0, len(S_COMMENTS), n).astype(np.int16)
     return Relation({
         "suppkey": np.arange(1, n + 1, dtype=np.int32),
-        "nationkey": rng.integers(0, len(NATION_NAMES), n).astype(np.int32),
+        "nationkey": nationkey,
+        "acctbal": acctbal,
+        "comment_code": comment_code,
+        "name": np.array([f"Supplier#{k:09d}" for k in range(1, n + 1)]),
     }, key="suppkey")
+
+
+def generate_part(config: TpchConfig) -> Relation:
+    rng = np.random.default_rng(config.seed + 5)
+    n = scaled_rows("part", config.scale_factor)
+    return Relation({
+        "partkey": np.arange(1, n + 1, dtype=np.int32),
+        "name_code": rng.integers(0, len(P_NAMES), n).astype(np.int16),
+        "mfgr": rng.integers(0, len(P_MFGRS), n).astype(np.int8),
+        "brand": rng.integers(0, len(P_BRANDS), n).astype(np.int8),
+        "type": rng.integers(0, len(P_TYPES), n).astype(np.int16),
+        "size": rng.integers(1, 51, n).astype(np.int32),
+        "container": rng.integers(0, len(P_CONTAINERS), n).astype(np.int8),
+        "retailprice": rng.random(n).astype(np.float32) * 1_100 + 900,
+    }, key="partkey")
+
+
+def _partsupp_step(n_suppliers: int) -> tuple[int, int]:
+    """(suppliers per part, key stride) of the partsupp association."""
+    return min(4, n_suppliers), max(1, n_suppliers // 4)
+
+
+def generate_partsupp(config: TpchConfig, n_parts: int | None = None,
+                      n_suppliers: int | None = None) -> Relation:
+    """Each part is supplied by up to four suppliers picked by a fixed
+    formula, so lineitem's (partkey, suppkey) pairs can be made consistent
+    with partsupp without sampling it."""
+    rng = np.random.default_rng(config.seed + 6)
+    n_parts = n_parts or scaled_rows("part", config.scale_factor)
+    n_suppliers = n_suppliers or scaled_rows("supplier", config.scale_factor)
+    per, step = _partsupp_step(n_suppliers)
+    p = np.repeat(np.arange(1, n_parts + 1, dtype=np.int64), per)
+    k = np.tile(np.arange(per, dtype=np.int64), n_parts)
+    suppkey = ((p - 1 + k * step) % n_suppliers + 1).astype(np.int32)
+    n = len(p)
+    return Relation({
+        "partkey": p.astype(np.int32),
+        "suppkey": suppkey,
+        "availqty": rng.integers(1, 10_000, n).astype(np.int32),
+        "supplycost": rng.random(n).astype(np.float32) * 999 + 1,
+    }, key="partkey")
+
+
+def generate_customer(config: TpchConfig) -> Relation:
+    rng = np.random.default_rng(config.seed + 4)
+    n = scaled_rows("customer", config.scale_factor)
+    nationkey = rng.integers(0, len(NATION_NAMES), n).astype(np.int32)
+    mktsegment = rng.integers(0, len(C_MKTSEGMENTS), n).astype(np.int8)
+    acctbal = rng.random(n).astype(np.float32) * np.float32(10_999.98) \
+        - np.float32(999.99)
+    d1 = rng.integers(100, 1_000, n)
+    d2 = rng.integers(100, 1_000, n)
+    d3 = rng.integers(1_000, 10_000, n)
+    # country code = 10 + nationkey, the first two phone characters (Q22)
+    phone = np.array([f"{10 + c}-{a}-{b}-{e}"
+                      for c, a, b, e in zip(nationkey, d1, d2, d3)])
+    return Relation({
+        "custkey": np.arange(1, n + 1, dtype=np.int32),
+        "nationkey": nationkey,
+        "mktsegment": mktsegment,
+        "acctbal": acctbal,
+        "phone": phone,
+        "name": np.array([f"Customer#{k:09d}" for k in range(1, n + 1)]),
+    }, key="custkey")
 
 
 def generate_orders(config: TpchConfig) -> Relation:
@@ -79,20 +174,28 @@ def generate_orders(config: TpchConfig) -> Relation:
         [ORDERSTATUS_CODES["F"], ORDERSTATUS_CODES["O"], ORDERSTATUS_CODES["P"]],
         size=n, p=[0.49, 0.49, 0.02],
     ).astype(np.int8)
+    # new columns are drawn after every pre-existing draw so the original
+    # columns stay byte-identical across generator versions
     return Relation({
         "orderkey": np.arange(1, n + 1, dtype=np.int32),
         "custkey": rng.integers(1, max(2, n // 10), n).astype(np.int32),
         "orderstatus": status,
         "orderdate": rng.integers(0, date_to_int("1998-08-02"), n).astype(np.int32),
+        "totalprice": rng.random(n).astype(np.float32) * 450_000 + 900,
+        "orderpriority": rng.integers(0, len(O_PRIORITIES), n).astype(np.int8),
+        "comment_code": rng.integers(0, len(O_COMMENTS), n).astype(np.int16),
+        "shippriority": np.zeros(n, dtype=np.int8),
     }, key="orderkey")
 
 
 def generate_lineitem(config: TpchConfig, n_orders: int | None = None,
-                      n_suppliers: int | None = None) -> Relation:
+                      n_suppliers: int | None = None,
+                      n_parts: int | None = None) -> Relation:
     rng = np.random.default_rng(config.seed + 3)
     n = scaled_rows("lineitem", config.scale_factor)
     n_orders = n_orders or scaled_rows("orders", config.scale_factor)
     n_suppliers = n_suppliers or scaled_rows("supplier", config.scale_factor)
+    n_parts = n_parts or scaled_rows("part", config.scale_factor)
 
     shipdate = rng.integers(0, date_to_int("1998-12-01"), n).astype(np.int32)
     commitdate = shipdate + rng.integers(1, 60, n).astype(np.int32)
@@ -104,7 +207,7 @@ def generate_lineitem(config: TpchConfig, n_orders: int | None = None,
     )
     receiptdate = (commitdate + receipt_delta).astype(np.int32)
 
-    return Relation({
+    cols = {
         "orderkey": _skewed_keys(rng, n, n_orders, config.skew),
         "suppkey": _skewed_keys(rng, n, n_suppliers, config.skew),
         "linenumber": (np.arange(n) % 7 + 1).astype(np.int32),
@@ -121,7 +224,21 @@ def generate_lineitem(config: TpchConfig, n_orders: int | None = None,
         "shipdate": shipdate,
         "commitdate": commitdate,
         "receiptdate": receiptdate,
-    }, key="orderkey")
+    }
+    # new columns are drawn after every pre-existing draw so the original
+    # columns stay byte-identical across generator versions.  partkey is
+    # *derived* from the already-drawn suppkey by inverting the partsupp
+    # association formula, so every (partkey, suppkey) pair exists in
+    # partsupp.
+    per, step = _partsupp_step(n_suppliers)
+    k = rng.integers(0, per, n)
+    base_p = (cols["suppkey"].astype(np.int64) - 1 - k * step) % n_suppliers + 1
+    reps = (n_parts - base_p) // n_suppliers + 1
+    m = rng.integers(0, 1 << 30, n) % reps
+    cols["partkey"] = (base_p + m * n_suppliers).astype(np.int32)
+    cols["shipmode"] = rng.integers(0, len(L_SHIPMODES), n).astype(np.int8)
+    cols["shipinstruct"] = rng.integers(0, len(L_SHIPINSTRUCTS), n).astype(np.int8)
+    return Relation(cols, key="orderkey")
 
 
 @dataclass
@@ -131,14 +248,34 @@ class TpchData:
     orders: Relation
     lineitem: Relation
     config: TpchConfig
+    region: Relation | None = None
+    part: Relation | None = None
+    partsupp: Relation | None = None
+    customer: Relation | None = None
+
+    def tables(self) -> dict[str, Relation]:
+        """All generated relations keyed by TPC-H table name."""
+        return {
+            "nation": self.nation, "supplier": self.supplier,
+            "orders": self.orders, "lineitem": self.lineitem,
+            "region": self.region, "part": self.part,
+            "partsupp": self.partsupp, "customer": self.customer,
+        }
 
 
 def generate(config: TpchConfig = TpchConfig()) -> TpchData:
-    """Generate all four tables consistently (FK ranges line up)."""
+    """Generate all eight tables consistently (FK ranges line up)."""
     nation = generate_nation()
+    region = generate_region()
     supplier = generate_supplier(config)
     orders = generate_orders(config)
-    lineitem = generate_lineitem(config, n_orders=orders.num_rows,
+    part = generate_part(config)
+    partsupp = generate_partsupp(config, n_parts=part.num_rows,
                                  n_suppliers=supplier.num_rows)
+    customer = generate_customer(config)
+    lineitem = generate_lineitem(config, n_orders=orders.num_rows,
+                                 n_suppliers=supplier.num_rows,
+                                 n_parts=part.num_rows)
     return TpchData(nation=nation, supplier=supplier, orders=orders,
-                    lineitem=lineitem, config=config)
+                    lineitem=lineitem, config=config, region=region,
+                    part=part, partsupp=partsupp, customer=customer)

@@ -1,8 +1,10 @@
-"""TPC-H schema subset used by Q1 and Q21.
+"""The full eight-table TPC-H schema.
 
 Columns are stored as compact NumPy dtypes ("compressed row data" in the
 paper's terms): dates are int32 days since 1992-01-01, enumerated strings
-(flags, statuses, nation names) are small integer codes with decode tables.
+(flags, statuses, names, comments) are small integer codes with decode
+pools.  Only genuinely free-form text (customer phone numbers, the derived
+``Supplier#``/``Customer#`` names) is stored as unicode.
 """
 
 from __future__ import annotations
@@ -30,13 +32,103 @@ NATION_NAMES = [
 ]
 NATION_CODES = {name: i for i, name in enumerate(NATION_NAMES)}
 
+REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+REGION_CODES = {name: i for i, name in enumerate(REGION_NAMES)}
+
+#: region of each nation, indexed by nationkey (TPC-H fixed mapping)
+NATION_REGION = [
+    0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3,
+    4, 2, 3, 3, 1,
+]
+
+# decode pools for dictionary-encoded string columns ---------------------------
+_P_TYPE_S1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_P_TYPE_S2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_P_TYPE_S3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+P_TYPES = [f"{a} {b} {c}" for a in _P_TYPE_S1 for b in _P_TYPE_S2
+           for c in _P_TYPE_S3]
+
+_P_CONTAINER_S1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+_P_CONTAINER_S2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+P_CONTAINERS = [f"{a} {b}" for a in _P_CONTAINER_S1 for b in _P_CONTAINER_S2]
+
+P_BRANDS = [f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6)]
+P_MFGRS = [f"Manufacturer#{m}" for m in range(1, 6)]
+
+_P_NAME_COLORS = [
+    "almond", "antique", "azure", "beige", "bisque", "blush", "burnished",
+    "chartreuse", "chiffon", "coral", "cornsilk", "firebrick", "forest",
+    "frosted", "goldenrod", "green", "honeydew", "indian", "ivory",
+    "lavender", "lemon", "magenta", "maroon", "midnight",
+]
+#: deterministic triples of color words (dbgen's five-word names, shortened)
+P_NAMES = [
+    " ".join((
+        _P_NAME_COLORS[i % len(_P_NAME_COLORS)],
+        _P_NAME_COLORS[(7 * i + 3) % len(_P_NAME_COLORS)],
+        _P_NAME_COLORS[(13 * i + 5) % len(_P_NAME_COLORS)],
+    ))
+    for i in range(120)
+]
+
+O_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+#: order comments; a few match Q13's ``%special%requests%`` exclusion
+O_COMMENTS = [
+    "carefully final deposits boost blithely",
+    "pending accounts nag furiously",
+    "special packages among the requests detect slyly",
+    "quickly express ideas haggle",
+    "ironic requests sleep carefully",
+    "special pending requests are quietly regular",
+    "furiously unusual theodolites cajole",
+    "regular instructions above the foxes wake",
+    "silent deposits use about the slyly special packages",
+    "bold requests along the platelets solve",
+    "blithely ironic accounts affix special bold requests",
+    "express foxes nag against the even asymptotes",
+    "daring courts sleep along the quiet dependencies",
+    "even pinto beans integrate furiously",
+    "enticing requests boost carefully special sentiments",
+    "final ideas detect above the stealthy dolphins",
+]
+
+#: supplier comments; a few match Q16's ``%Customer%Complaints%`` exclusion
+S_COMMENTS = [
+    "blithely regular packages use carefully",
+    "requests sleep against the instructions",
+    "Customer deposits wake slyly Complaints about the furious accounts",
+    "quickly even asymptotes among the theodolites",
+    "express dependencies print furiously",
+    "Customer accounts cajole quickly after the final Complaints",
+    "carefully ironic packages detect about the foxes",
+    "silent requests along the pending warhorses nag",
+    "slyly bold excuses across the regular ideas boost",
+    "unusual deposits haggle furiously",
+    "final theodolites against the dugouts thrash",
+    "enticing platelets sleep quietly",
+]
+
+C_MKTSEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                 "HOUSEHOLD"]
+L_SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+L_SHIPINSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                   "TAKE BACK RETURN"]
+
 #: base (scale factor 1) cardinalities
 BASE_ROWS = {
     "lineitem": 6_001_215,
     "orders": 1_500_000,
     "supplier": 10_000,
     "nation": 25,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "customer": 150_000,
+    "region": 5,
 }
+
+#: tables whose cardinality does not scale
+FIXED_TABLES = ("nation", "region")
 
 LINEITEM_COLUMNS = [
     ("orderkey", np.int32),
@@ -51,6 +143,9 @@ LINEITEM_COLUMNS = [
     ("shipdate", np.int32),
     ("commitdate", np.int32),
     ("receiptdate", np.int32),
+    ("partkey", np.int32),
+    ("shipmode", np.int8),
+    ("shipinstruct", np.int8),
 ]
 
 ORDERS_COLUMNS = [
@@ -58,23 +153,63 @@ ORDERS_COLUMNS = [
     ("custkey", np.int32),
     ("orderstatus", np.int8),
     ("orderdate", np.int32),
+    ("totalprice", np.float32),
+    ("orderpriority", np.int8),
+    ("comment_code", np.int16),
+    ("shippriority", np.int8),
 ]
 
 SUPPLIER_COLUMNS = [
     ("suppkey", np.int32),
     ("nationkey", np.int32),
+    ("acctbal", np.float32),
+    ("comment_code", np.int16),
+    ("name", np.str_),
 ]
 
 NATION_COLUMNS = [
     ("nationkey", np.int32),
     ("name_code", np.int32),
+    ("regionkey", np.int32),
+]
+
+PART_COLUMNS = [
+    ("partkey", np.int32),
+    ("name_code", np.int16),
+    ("mfgr", np.int8),
+    ("brand", np.int8),
+    ("type", np.int16),
+    ("size", np.int32),
+    ("container", np.int8),
+    ("retailprice", np.float32),
+]
+
+PARTSUPP_COLUMNS = [
+    ("partkey", np.int32),
+    ("suppkey", np.int32),
+    ("availqty", np.int32),
+    ("supplycost", np.float32),
+]
+
+CUSTOMER_COLUMNS = [
+    ("custkey", np.int32),
+    ("nationkey", np.int32),
+    ("mktsegment", np.int8),
+    ("acctbal", np.float32),
+    ("phone", np.str_),
+    ("name", np.str_),
+]
+
+REGION_COLUMNS = [
+    ("regionkey", np.int32),
+    ("name_code", np.int32),
 ]
 
 
 def scaled_rows(table: str, scale_factor: float) -> int:
-    """Row count for `table` at the given scale factor (nation is fixed)."""
+    """Row count for `table` at the given scale factor (nation/region fixed)."""
     if table not in BASE_ROWS:
         raise KeyError(f"unknown table {table!r}; have {sorted(BASE_ROWS)}")
-    if table == "nation":
-        return BASE_ROWS["nation"]
+    if table in FIXED_TABLES:
+        return BASE_ROWS[table]
     return max(1, int(round(BASE_ROWS[table] * scale_factor)))

@@ -209,6 +209,7 @@ class TestBarrierChains:
             OpType.PROJECT: plan.project(l, ["x"]),
             OpType.ARITH: plan.arith(l, {"y": Field("x") + 1}),
             OpType.JOIN: plan.join(l, r),
+            OpType.LEFT_JOIN: plan.left_join(l, r),
             OpType.SEMI_JOIN: plan.semi_join(l, r),
             OpType.ANTI_JOIN: plan.anti_join(l, r),
             OpType.INTERSECTION: plan.intersection(l, r),

@@ -1,0 +1,55 @@
+"""The frontend suite in the serving catalog and the fuzzer grammar.
+
+Every ``tpch_qN`` kind must resolve to a cached plan with full-schema
+source cardinalities, and the fuzzer must actually generate the four
+frontend-era operators across a modest seed sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plans.fuzz import random_plan_case
+from repro.serve.arrivals import (
+    DEFAULT_TENANTS,
+    FRONTEND_KINDS,
+    QUERY_KINDS,
+    catalog_plan,
+    catalog_rows,
+)
+from repro.tpch import schema
+
+
+def test_frontend_kinds_enumerate_the_suite():
+    assert FRONTEND_KINDS == tuple(f"tpch_q{i}" for i in range(1, 23))
+    assert set(FRONTEND_KINDS) <= set(QUERY_KINDS)
+
+
+@pytest.mark.parametrize("kind", ["tpch_q3", "tpch_q9", "tpch_q13",
+                                  "tpch_q14", "tpch_q19"])
+def test_tenant_mix_kinds_resolve(kind):
+    plan = catalog_plan(kind)
+    plan.validate()
+    rows = catalog_rows(kind, 1_000_000)
+    assert set(rows) == set(schema.BASE_ROWS)
+    assert rows["lineitem"] == 1_000_000
+
+
+def test_catalog_plan_is_cached():
+    assert catalog_plan("tpch_q5") is catalog_plan("tpch_q5")
+
+
+def test_default_tenants_offer_frontend_queries():
+    offered = {kind for t in DEFAULT_TENANTS for kind, _ in t.mix}
+    assert offered & set(FRONTEND_KINDS), \
+        "no tenant offers a frontend-compiled query"
+
+
+def test_fuzzer_generates_frontend_operators():
+    wanted = {"left_join", "top_n", "union_all", "except_all"}
+    seen: set[str] = set()
+    for seed in range(150):
+        seen.update(random_plan_case(seed).description.split("->"))
+        if wanted <= seen:
+            break
+    assert wanted <= seen, f"missing from sweep: {wanted - seen}"

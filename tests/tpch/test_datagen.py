@@ -22,8 +22,28 @@ class TestShapes:
     def test_lineitem_columns(self, data):
         expected = {"orderkey", "suppkey", "linenumber", "quantity",
                     "extendedprice", "discount", "tax", "returnflag",
-                    "linestatus", "shipdate", "commitdate", "receiptdate"}
+                    "linestatus", "shipdate", "commitdate", "receiptdate",
+                    "partkey", "shipmode", "shipinstruct"}
         assert set(data.lineitem.fields) == expected
+
+    def test_new_table_row_counts(self, data):
+        assert data.part.num_rows == scaled_rows("part", 0.01)
+        assert data.customer.num_rows == scaled_rows("customer", 0.01)
+        assert data.region.num_rows == 5
+
+    def test_partsupp_covers_lineitem_pairs(self, data):
+        ps = set(zip(data.partsupp["partkey"].tolist(),
+                     data.partsupp["suppkey"].tolist()))
+        li = set(zip(data.lineitem["partkey"].tolist(),
+                     data.lineitem["suppkey"].tolist()))
+        assert li <= ps
+
+    def test_orders_custkeys_in_customer(self, data):
+        assert np.isin(data.orders["custkey"], data.customer["custkey"]).all()
+
+    def test_customer_phone_country_code(self, data):
+        codes = np.array([int(p[:2]) for p in data.customer["phone"]])
+        assert np.array_equal(codes, data.customer["nationkey"] + 10)
 
     def test_compact_dtypes(self, data):
         li = data.lineitem
